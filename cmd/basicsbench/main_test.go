@@ -1,0 +1,44 @@
+package main
+
+import "testing"
+
+// TestAllExperimentsConsistent runs every experiment exactly as the
+// binary does and fails on any row that contradicts the paper — the
+// claim-vs-measured table is itself under test.
+func TestAllExperimentsConsistent(t *testing.T) {
+	if testing.Short() {
+		t.Skip("experiments take ~1 minute; skipped in -short mode")
+	}
+	for _, e := range experiments {
+		e := e
+		t.Run(e.id, func(t *testing.T) {
+			for _, r := range e.run() {
+				if !r.ok {
+					t.Errorf("claim %q contradicted: measured %q", r.claim, r.measured)
+				}
+			}
+		})
+	}
+}
+
+func TestExperimentIDsUnique(t *testing.T) {
+	seen := map[string]bool{}
+	for _, e := range experiments {
+		if seen[e.id] {
+			t.Errorf("duplicate experiment id %s", e.id)
+		}
+		seen[e.id] = true
+	}
+	if len(experiments) != 17 {
+		t.Errorf("got %d experiments, want 17 (E0–E16)", len(experiments))
+	}
+}
+
+func TestFirstWords(t *testing.T) {
+	if got := firstWords("a b c d", 2); got != "a b…" {
+		t.Errorf("firstWords = %q", got)
+	}
+	if got := firstWords("short", 8); got != "short" {
+		t.Errorf("firstWords = %q", got)
+	}
+}

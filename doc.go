@@ -1,0 +1,11 @@
+// Package distbasics is an executable companion to Michel Raynal's
+// invited tutorial "A Look at Basics of Distributed Computing" (IEEE
+// ICDCS 2016): every model the paper defines is a substrate, every
+// algorithm it cites is an implementation, and every quantitative claim
+// is an experiment.
+//
+// The library lives under internal/ (see DESIGN.md for the inventory);
+// the public surface is the examples/ programs, the cmd/basicsbench
+// claim-vs-measured harness, and the repository-level benchmarks in
+// bench_test.go, one per experiment E1–E16.
+package distbasics

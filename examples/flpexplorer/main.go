@@ -1,0 +1,79 @@
+// Command flpexplorer makes the FLP impossibility result (§2.4 of the
+// paper, [23]) tangible: it exhaustively explores every message
+// delivery order and every single-crash schedule of two natural
+// deterministic consensus protocols, prints the valence of every
+// initial configuration, and exhibits the dilemma — each protocol loses
+// either termination or agreement.
+//
+//	go run ./examples/flpexplorer -n 3
+package main
+
+import (
+	"flag"
+	"fmt"
+	"sort"
+
+	"distbasics/internal/flp"
+)
+
+func main() {
+	n := flag.Int("n", 3, "number of processes (2 or 3)")
+	flag.Parse()
+	if *n < 2 || *n > 3 {
+		fmt.Println("n must be 2 or 3 (the configuration space is explored exhaustively)")
+		return
+	}
+
+	protos := []struct {
+		name  string
+		proto flp.Protocol
+	}{
+		{"wait-for-all      (decide min of ALL inputs)", flp.WaitAll{Procs: *n}},
+		{"wait-for-majority (decide min of a majority)", flp.WaitMajority{Procs: *n}},
+	}
+
+	for _, p := range protos {
+		fmt.Printf("protocol: %s, n=%d, crash budget 1\n", p.name, *n)
+
+		vals := flp.InitialValences(p.proto, flp.Options{MaxCrashes: 1})
+		labels := make([]string, 0, len(vals))
+		for l := range vals {
+			labels = append(labels, l)
+		}
+		sort.Strings(labels)
+		fmt.Println("  valence of each initial input vector:")
+		for _, l := range labels {
+			fmt.Printf("    inputs %s → %s\n", l, vals[l])
+		}
+
+		// The dilemma on a mixed vector.
+		inputs := make([]int, *n)
+		for i := 1; i < *n; i++ {
+			inputs[i] = 1
+		}
+		rep := flp.Explore(p.proto, inputs, flp.Options{MaxCrashes: 1})
+		fmt.Printf("  exhaustive exploration of inputs %v: %d configurations\n", inputs, rep.Configs)
+		if rep.TerminationViolation != "" {
+			fmt.Printf("    LOSES TERMINATION: %s\n", rep.TerminationViolation)
+		}
+		if rep.AgreementViolation != "" {
+			fmt.Printf("    LOSES AGREEMENT:   %s\n", firstN(rep.AgreementViolation, 80))
+		}
+		if rep.TerminationViolation == "" && rep.AgreementViolation == "" {
+			fmt.Println("    keeps both?! — FLP says this cannot happen; please file a bug")
+		}
+		fmt.Println()
+	}
+
+	fmt.Println("FLP [23]: no deterministic protocol keeps both properties in an")
+	fmt.Println("asynchronous system with one crash — every candidate you write will")
+	fmt.Println("land on one of the two horns above. Circumventions: randomization")
+	fmt.Println("(Ben-Or), partial synchrony + Ω (synod), or input conditions (§5.3).")
+}
+
+func firstN(s string, n int) string {
+	if len(s) <= n {
+		return s
+	}
+	return s[:n] + "…"
+}

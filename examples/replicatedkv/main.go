@@ -1,0 +1,95 @@
+// Command replicatedkv runs a replicated key-value store — the paper's
+// universality construction for AMPn,t[t<n/2] (§5.1): clients submit
+// operations, a total-order reliable broadcast (built from Ω-based
+// consensus per slot) sequences them identically at every replica, and
+// each replica applies the same sequence to its local copy.
+//
+// One replica crashes mid-stream; the survivors keep sequencing and stay
+// mutually consistent — the state machine survives t < n/2 failures.
+//
+//	go run ./examples/replicatedkv
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"distbasics/internal/amp"
+	"distbasics/internal/rsm"
+)
+
+func main() {
+	const n = 5
+	nodes := make([]*rsm.Node, n)
+	procs := make([]amp.Process, n)
+	for i := 0; i < n; i++ {
+		nodes[i] = rsm.NewNode(n, 16)
+		procs[i] = nodes[i].Stack
+	}
+	sim := amp.NewSim(procs, amp.WithSeed(9), amp.WithDelay(amp.FixedDelay{D: 2}))
+
+	fmt.Printf("model AMP_{%d,%d}[t<n/2, Ω]: replicated KV store over TO-broadcast (state-machine replication, §5.1)\n\n", n, (n-1)/2)
+
+	// Clients at different replicas submit interleaved operations.
+	type req struct {
+		at   amp.Time
+		node int
+		cmd  rsm.Command
+	}
+	reqs := []req{
+		{10, 1, rsm.Command{Op: "put", Key: "lang", Val: "go"}},
+		{12, 2, rsm.Command{Op: "put", Key: "paper", Val: "icdcs16"}},
+		{14, 3, rsm.Command{Op: "put", Key: "lang", Val: "ml"}},
+		{300, 3, rsm.Command{Op: "put", Key: "venue", Val: "nara"}},
+		{600, 1, rsm.Command{Op: "put", Key: "lang", Val: "go!"}},
+	}
+	for _, r := range reqs {
+		r := r
+		sim.Schedule(r.at, func() {
+			nodes[r.node].Submit(nodes[r.node].Ctx(), r.cmd)
+		})
+	}
+
+	// Replica p5 crashes while commands are in flight.
+	sim.CrashAt(4, 250)
+
+	sim.Run(500_000)
+
+	// Every surviving replica must have applied the identical sequence.
+	var ref []rsm.Entry
+	for i := 0; i < n-1; i++ {
+		log := nodes[i].Applied()
+		if ref == nil {
+			ref = log
+		}
+		if len(log) != len(ref) {
+			fmt.Printf("FAIL: replica %d applied %d entries, replica 1 applied %d\n", i+1, len(log), len(ref))
+			os.Exit(1)
+		}
+		for j := range log {
+			if log[j].ID != ref[j].ID {
+				fmt.Printf("FAIL: replicas diverge at slot %d\n", j)
+				os.Exit(1)
+			}
+		}
+	}
+
+	fmt.Printf("replica p5 crashed at t=250; survivors applied %d commands in the identical order:\n", len(ref))
+	for j, e := range ref {
+		cmd := e.Payload.(rsm.Command)
+		fmt.Printf("  slot %d: %s %s=%v (from p%d)\n", j, cmd.Op, cmd.Key, cmd.Val, e.ID.Sender+1)
+	}
+	fmt.Println("\nfinal state on every survivor:")
+	for _, key := range []string{"lang", "paper", "venue"} {
+		fmt.Printf("  %-6s = %v\n", key, nodes[0].Get(key))
+	}
+	for i := 1; i < n-1; i++ {
+		for _, key := range []string{"lang", "paper", "venue"} {
+			if nodes[i].Get(key) != nodes[0].Get(key) {
+				fmt.Printf("FAIL: replica %d disagrees on %s\n", i+1, key)
+				os.Exit(1)
+			}
+		}
+	}
+	fmt.Println("\nmutual consistency holds — TO-broadcast turned consensus into a fault-tolerant service (§5.1).")
+}

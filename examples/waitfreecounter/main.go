@@ -1,0 +1,95 @@
+// Command waitfreecounter builds a wait-free shared counter out of
+// nothing but atomic registers and CAS-based consensus objects, using
+// Herlihy's universal construction (§4.2 of the paper, [32]).
+//
+// Four asynchronous processes each perform increments while a hostile
+// scheduler interleaves them arbitrarily and crashes up to three of the
+// four (the wait-free model ASMn,n-1[CAS]). The survivors finish their
+// operations regardless — that is wait-freedom — and the final counter
+// value is exactly the number of increments the construction applied,
+// each applied once.
+//
+//	go run ./examples/waitfreecounter
+package main
+
+import (
+	"fmt"
+	"math/rand"
+	"os"
+
+	"distbasics/internal/shm"
+	"distbasics/internal/universal"
+)
+
+func main() {
+	const (
+		n      = 4
+		perOp  = 6
+		nRuns  = 5
+		budget = 2_000_000
+	)
+
+	fmt.Printf("model ASM_{%d,%d}[CAS]: counter via Herlihy's universal construction\n\n", n, n-1)
+
+	for run := int64(0); run < nRuns; run++ {
+		u := universal.NewUniversal(n, universal.CounterSpec{})
+		bodies := make([]func(*shm.Proc) any, n)
+		for i := 0; i < n; i++ {
+			bodies[i] = func(p *shm.Proc) any {
+				h := u.Handle(p)
+				var last any
+				for k := 0; k < perOp; k++ {
+					last = h.Invoke(universal.AddOp{Delta: 1})
+				}
+				return last
+			}
+		}
+
+		policy := &shm.RandomPolicy{
+			Rng:        rand.New(rand.NewSource(run)),
+			CrashProb:  0.002,
+			MaxCrashes: n - 1,
+		}
+		out := shm.Execute(&shm.Run{Bodies: bodies}, policy, budget)
+
+		survivors := 0
+		crashed := 0
+		for i := 0; i < n; i++ {
+			switch {
+			case out.Crashed[i]:
+				crashed++
+			case out.Finished[i]:
+				survivors++
+			}
+		}
+		if survivors+crashed != n || out.Cutoff {
+			fmt.Printf("run %d: FAIL — some survivor did not finish (wait-freedom violated)\n", run)
+			os.Exit(1)
+		}
+
+		// Read the final value with a fresh operation by a survivor.
+		final := -1
+		for i := n - 1; i >= 0; i-- {
+			if !out.Crashed[i] {
+				readBody := func(p *shm.Proc) any {
+					return u.Handle(p).Invoke(universal.AddOp{Delta: 0})
+				}
+				o2 := shm.Execute(&shm.Run{Bodies: []func(*shm.Proc) any{readBody}}, &shm.RoundRobinPolicy{}, 0)
+				final = o2.Outputs[0].(int)
+				break
+			}
+		}
+
+		min := survivors * perOp
+		max := n * perOp
+		ok := final >= min && final <= max
+		fmt.Printf("run %d: %d crashed, %d survivors all finished; counter=%d (bounds [%d,%d]) %v\n",
+			run, crashed, survivors, final, min, max, map[bool]string{true: "ok", false: "FAIL"}[ok])
+		if !ok {
+			os.Exit(1)
+		}
+	}
+
+	fmt.Println("\nwait-freedom held on every run: survivors always completed, and every applied increment counted exactly once.")
+	fmt.Println("CAS has consensus number ∞, so this works at any n — registers alone could not do it (§4.2).")
+}

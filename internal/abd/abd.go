@@ -1,0 +1,187 @@
+// Package abd implements the emulation of an atomic read/write register on
+// top of asynchronous message passing (§5.1 of the paper): the
+// Attiya–Bar-Noy–Dolev (ABD) algorithm, which requires t < n/2 (majority
+// quorums) — shown in [4] to be necessary and sufficient — plus the
+// fast-read optimization in the spirit of Mostéfaoui–Raynal PODC'16, whose
+// read completes in 2Δ "in good circumstances" instead of ABD's 4Δ.
+//
+// Latencies in Δ units (each message takes Δ): a write is one query/ack
+// round trip = 2Δ; a classic read is two round trips (query + write-back)
+// = 4Δ; a fast read skips the write-back when the first-phase replies are
+// unanimous, finishing in 2Δ.
+package abd
+
+import (
+	"fmt"
+
+	"distbasics/internal/amp"
+)
+
+// tagged is a timestamped value; timestamps order writes (single writer:
+// its local counter).
+type tagged struct {
+	TS  int
+	Val any
+}
+
+func (t tagged) newer(o tagged) bool { return t.TS > o.TS }
+
+// message kinds.
+type (
+	readQuery struct{ Op int }
+	readReply struct {
+		Op int
+		TV tagged
+	}
+	writeBack struct {
+		Op int
+		TV tagged
+	}
+	writeQuery struct {
+		Op int
+		TV tagged
+	}
+	ack struct{ Op int }
+)
+
+// Register is the SWMR ABD register component: every process runs a
+// replica; process Writer is the single writer; any process may read.
+// Operations are asynchronous: they take a callback fired on completion
+// (quorum reached).
+type Register struct {
+	n      int
+	writer int
+	// FastRead enables the 2Δ good-case read: if all first-phase replies
+	// carry the same timestamp, the write-back phase is skipped (every
+	// majority already stores the value, so atomicity is preserved).
+	FastRead bool
+
+	local tagged // replica state
+
+	nextOp  int
+	pending map[int]*opState
+	wts     int // writer's timestamp counter
+}
+
+type opState struct {
+	isRead    bool
+	replies   int
+	acks      int
+	best      tagged
+	unanimous bool
+	firstTS   int
+	started   amp.Time
+	done      func(val any, latency amp.Time)
+	wroteBack bool
+	val       any // value being written (writes)
+}
+
+// NewRegister returns an ABD register replica for n processes with the
+// given writer.
+func NewRegister(n, writer int) *Register {
+	return &Register{
+		n:       n,
+		writer:  writer,
+		pending: make(map[int]*opState),
+	}
+}
+
+// Init implements amp.Component.
+func (r *Register) Init(amp.Context) {}
+
+// Write starts a write of val (caller must be the writer process). done
+// fires when a majority acked, with the operation latency in virtual time
+// units. Latency is 2Δ under FixedDelay{Δ}.
+func (r *Register) Write(ctx amp.Context, val any, done func(latency amp.Time)) {
+	if ctx.ID() != r.writer {
+		panic(fmt.Sprintf("abd: process %d is not the writer (%d)", ctx.ID(), r.writer))
+	}
+	r.wts++
+	op := r.nextOp
+	r.nextOp++
+	st := &opState{
+		started: ctx.Now(),
+		val:     val,
+		done: func(_ any, lat amp.Time) {
+			if done != nil {
+				done(lat)
+			}
+		},
+	}
+	r.pending[op] = st
+	ctx.Broadcast(writeQuery{Op: op, TV: tagged{TS: r.wts, Val: val}})
+}
+
+// Read starts a read; done fires with the value and latency. Latency is
+// 4Δ classic, 2Δ with FastRead when replies are unanimous.
+func (r *Register) Read(ctx amp.Context, done func(val any, latency amp.Time)) {
+	op := r.nextOp
+	r.nextOp++
+	st := &opState{isRead: true, started: ctx.Now(), done: done, unanimous: true, firstTS: -1}
+	r.pending[op] = st
+	ctx.Broadcast(readQuery{Op: op})
+}
+
+// OnMessage implements amp.Component.
+func (r *Register) OnMessage(ctx amp.Context, from int, msg amp.Message) {
+	switch m := msg.(type) {
+	case readQuery:
+		ctx.Send(from, readReply{Op: m.Op, TV: r.local})
+	case writeQuery:
+		if m.TV.newer(r.local) {
+			r.local = m.TV
+		}
+		ctx.Send(from, ack{Op: m.Op})
+	case writeBack:
+		if m.TV.newer(r.local) {
+			r.local = m.TV
+		}
+		ctx.Send(from, ack{Op: m.Op})
+	case readReply:
+		st, ok := r.pending[m.Op]
+		if !ok || !st.isRead || st.wroteBack {
+			return
+		}
+		st.replies++
+		if st.firstTS == -1 {
+			st.firstTS = m.TV.TS
+		} else if m.TV.TS != st.firstTS {
+			st.unanimous = false
+		}
+		if m.TV.newer(st.best) {
+			st.best = m.TV
+		}
+		if st.replies > r.n/2 {
+			if r.FastRead && st.unanimous {
+				// Good circumstances: a majority already stores this exact
+				// timestamp, so the write-back is unnecessary.
+				delete(r.pending, m.Op)
+				st.done(st.best.Val, ctx.Now()-st.started)
+				return
+			}
+			// Classic ABD: "a reader has to write the value it returns".
+			st.wroteBack = true
+			st.acks = 0
+			ctx.Broadcast(writeBack{Op: m.Op, TV: st.best})
+		}
+	case ack:
+		st, ok := r.pending[m.Op]
+		if !ok {
+			return
+		}
+		if st.isRead && !st.wroteBack {
+			return
+		}
+		st.acks++
+		if st.acks > r.n/2 {
+			delete(r.pending, m.Op)
+			st.done(st.best.Val, ctx.Now()-st.started)
+		}
+	}
+}
+
+// OnTimer implements amp.Component.
+func (r *Register) OnTimer(amp.Context, int) {}
+
+// Value returns the replica's current local value (test inspection).
+func (r *Register) Value() (any, int) { return r.local.Val, r.local.TS }

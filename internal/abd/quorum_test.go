@@ -1,0 +1,142 @@
+package abd
+
+import (
+	"math/bits"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"distbasics/internal/amp"
+)
+
+// Property: any two majority quorums of an n-process system intersect —
+// the fact the ABD algorithm's correctness rests on ([4]): the read
+// quorum must contain at least one process that saw the latest write.
+func TestMajorityQuorumIntersectionProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + rng.Intn(14) // 2..15
+		maj := n/2 + 1
+		// Draw two random majorities as bitmasks and check intersection.
+		draw := func() uint {
+			var s uint
+			for bits.OnesCount(s) < maj {
+				s |= 1 << uint(rng.Intn(n))
+			}
+			return s
+		}
+		q1, q2 := draw(), draw()
+		return q1&q2 != 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: a sub-majority is NOT a quorum — there exist two disjoint
+// sets of size ⌊n/2⌋ when n is even, so majority is the tight threshold.
+func TestSubMajorityDisjointExists(t *testing.T) {
+	for n := 2; n <= 12; n += 2 {
+		half := n / 2
+		q1 := uint(1)<<uint(half) - 1      // {0..half-1}
+		q2 := (uint(1)<<uint(n) - 1) &^ q1 // the rest
+		if bits.OnesCount(q1) != half || bits.OnesCount(q2) != half {
+			t.Fatalf("n=%d: bad construction", n)
+		}
+		if q1&q2 != 0 {
+			t.Fatalf("n=%d: halves are not disjoint", n)
+		}
+	}
+}
+
+// Property: for every crash set of size < n/2 (every minority), a write
+// followed by a read completes and returns the written value — ABD's
+// liveness and safety under the full failure space it claims, not just
+// sampled crash patterns.
+func TestABDEveryMinorityCrashSet(t *testing.T) {
+	const n = 5
+	writer := 0
+	for crashSet := 0; crashSet < 1<<n; crashSet++ {
+		k := bits.OnesCount(uint(crashSet))
+		if k == 0 || k > (n-1)/2 {
+			continue
+		}
+		if crashSet&(1<<uint(writer)) != 0 {
+			continue // the writer itself must stay to issue the write
+		}
+		// Pick a reader outside the crash set, different from writer.
+		reader := -1
+		for i := 1; i < n; i++ {
+			if crashSet&(1<<uint(i)) == 0 {
+				reader = i
+				break
+			}
+		}
+
+		regs := make([]*Register, n)
+		stacks := make([]*amp.Stack, n)
+		procs := make([]amp.Process, n)
+		for i := 0; i < n; i++ {
+			regs[i] = NewRegister(n, writer)
+			stacks[i] = amp.NewStack(regs[i])
+			procs[i] = stacks[i]
+		}
+		sim := amp.NewSim(procs, amp.WithSeed(int64(crashSet)), amp.WithDelay(amp.FixedDelay{D: 3}))
+		for i := 0; i < n; i++ {
+			if crashSet&(1<<uint(i)) != 0 {
+				sim.CrashAt(i, 0)
+			}
+		}
+		var got any
+		wrote := false
+		sim.Schedule(1, func() {
+			regs[writer].Write(stacks[writer].Ctx(0), crashSet, func(amp.Time) { wrote = true })
+		})
+		sim.Schedule(1000, func() {
+			regs[reader].Read(stacks[reader].Ctx(0), func(v any, _ amp.Time) { got = v })
+		})
+		sim.Run(0)
+
+		if !wrote {
+			t.Fatalf("crashSet=%05b: write did not complete despite minority crash", crashSet)
+		}
+		if got != crashSet {
+			t.Fatalf("crashSet=%05b: read %v, want %v", crashSet, got, crashSet)
+		}
+	}
+}
+
+// Property: under random delays and seeds, a completed write is never
+// lost — any read that starts after a write completes returns that
+// write's value or a later one (here: exactly it, single writer).
+func TestABDFreshnessProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		const n = 5
+		regs := make([]*Register, n)
+		stacks := make([]*amp.Stack, n)
+		procs := make([]amp.Process, n)
+		for i := 0; i < n; i++ {
+			regs[i] = NewRegister(n, 0)
+			stacks[i] = amp.NewStack(regs[i])
+			procs[i] = stacks[i]
+		}
+		sim := amp.NewSim(procs, amp.WithSeed(seed), amp.WithDelay(amp.UniformDelay{Min: 1, Max: 12}))
+		rng := rand.New(rand.NewSource(seed))
+		reader := 1 + rng.Intn(n-1)
+
+		var got any
+		var wDone amp.Time
+		sim.Schedule(1, func() {
+			regs[0].Write(stacks[0].Ctx(0), seed, func(amp.Time) { wDone = sim.Now() })
+		})
+		// Read well after the write completes (delays ≤ 12, write ≤ 24).
+		sim.Schedule(500, func() {
+			regs[reader].Read(stacks[reader].Ctx(0), func(v any, _ amp.Time) { got = v })
+		})
+		sim.Run(0)
+		return wDone > 0 && got == seed
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Error(err)
+	}
+}

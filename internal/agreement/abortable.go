@@ -1,0 +1,96 @@
+package agreement
+
+import (
+	"distbasics/internal/shm"
+)
+
+// Abortable objects (§4.3 of the paper): an operation invoked in a
+// concurrency-free pattern must terminate with its normal result; under
+// contention it may abort, in which case it does not modify the object.
+// Abortable objects trade progress guarantees for cheap implementations
+// from registers only.
+
+// ErrAborted is the sentinel returned by abortable operations that
+// detected contention. (A value, not an error, because aborting is a
+// specified outcome, not a failure.)
+type abortedType struct{}
+
+// Aborted is returned by abortable operations that hit contention.
+var Aborted = abortedType{}
+
+// AbortableObject wraps a deterministic sequential object: Apply takes the
+// current state and an operation and returns the new state and response.
+// The implementation uses a contention-detection doorway of n flags plus
+// one state register — registers only, no locks, no strong primitives.
+type AbortableObject struct {
+	n     int
+	flags *shm.RegisterArray // doorway: flags[i] = true while i is inside
+	state *shm.Register
+	apply func(state, op any) (newState, resp any)
+}
+
+// NewAbortableObject returns an abortable object for n processes with the
+// given initial state and sequential semantics.
+func NewAbortableObject(n int, init any, apply func(state, op any) (any, any)) *AbortableObject {
+	return &AbortableObject{
+		n:     n,
+		flags: shm.NewRegisterArray(n, false),
+		state: shm.NewRegister(init),
+		apply: apply,
+	}
+}
+
+// Invoke attempts op. It returns (resp, true) on success, or (Aborted,
+// false) if contention was detected — in which case the object state is
+// unchanged. Solo invocations always succeed.
+func (a *AbortableObject) Invoke(p *shm.Proc, op any) (any, bool) {
+	id := p.ID()
+	a.flags.Reg(id).Write(p, true)
+	for i := 0; i < a.n; i++ {
+		if i == id {
+			continue
+		}
+		if a.flags.Reg(i).Read(p).(bool) {
+			a.flags.Reg(id).Write(p, false)
+			return Aborted, false
+		}
+	}
+	st := a.state.Read(p)
+	newState, resp := a.apply(st, op)
+	a.state.Write(p, newState)
+	a.flags.Reg(id).Write(p, false)
+	return resp, true
+}
+
+// Peek reads the current state without the doorway (always succeeds; the
+// value may be concurrently stale, as with any register read).
+func (a *AbortableObject) Peek(p *shm.Proc) any {
+	return a.state.Read(p)
+}
+
+// AbortableConsensus is a one-shot abortable consensus object built from
+// registers only: Propose either decides (all deciders agree) or aborts.
+// Solo proposals always decide. It is the adopt/abort building block that
+// makes indulgent round-based algorithms possible without violating the
+// §4.2 impossibility — no termination under contention is promised.
+type AbortableConsensus struct {
+	inner *AbortableObject
+}
+
+// NewAbortableConsensus returns an abortable consensus object for n
+// processes.
+func NewAbortableConsensus(n int) *AbortableConsensus {
+	apply := func(state, op any) (any, any) {
+		if state != nil {
+			return state, state // already decided: return it
+		}
+		return op, op
+	}
+	return &AbortableConsensus{inner: NewAbortableObject(n, nil, apply)}
+}
+
+// Propose proposes v: on success returns the decided value (which may be
+// an earlier proposal); on contention returns (Aborted, false).
+func (c *AbortableConsensus) Propose(p *shm.Proc, v any) (any, bool) {
+	return c.inner.Invoke(p, v)
+}

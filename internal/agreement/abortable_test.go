@@ -1,0 +1,258 @@
+package agreement
+
+import (
+	"testing"
+
+	"distbasics/internal/shm"
+)
+
+func TestAbortableObjectSoloAlwaysSucceeds(t *testing.T) {
+	// §4.3: operations in concurrency-free patterns must terminate (with a
+	// result, not an abort).
+	counter := NewAbortableObject(3, 0, func(st, op any) (any, any) {
+		return st.(int) + op.(int), st.(int) + op.(int)
+	})
+	body := func(p *shm.Proc) any {
+		resp, ok := counter.Invoke(p, 5)
+		if !ok {
+			return "aborted"
+		}
+		return resp
+	}
+	out := shm.Execute(&shm.Run{Bodies: []func(*shm.Proc) any{body}}, &shm.RoundRobinPolicy{}, 0)
+	if out.Outputs[0] != 5 {
+		t.Fatalf("solo invoke = %v, want 5", out.Outputs[0])
+	}
+}
+
+func TestAbortableObjectSequentialSequence(t *testing.T) {
+	counter := NewAbortableObject(2, 0, func(st, op any) (any, any) {
+		return st.(int) + op.(int), st.(int) + op.(int)
+	})
+	body := func(p *shm.Proc) any {
+		var last any
+		for k := 0; k < 3; k++ {
+			resp, ok := counter.Invoke(p, 1)
+			if !ok {
+				return "aborted"
+			}
+			last = resp
+		}
+		return last
+	}
+	out := shm.Execute(&shm.Run{Bodies: []func(*shm.Proc) any{body}}, &shm.RoundRobinPolicy{}, 0)
+	if out.Outputs[0] != 3 {
+		t.Fatalf("3 increments = %v, want 3", out.Outputs[0])
+	}
+}
+
+func TestAbortableObjectNeverCorruptsState(t *testing.T) {
+	// Exhaustive: two concurrent increments; each either succeeds or
+	// aborts, and the final state equals the number of successes (aborts
+	// leave state untouched, successes serialize).
+	res := shm.Explore(shm.ExploreOpts{
+		Factory: func() *shm.Run {
+			counter := NewAbortableObject(2, 0, func(st, op any) (any, any) {
+				return st.(int) + 1, st.(int) + 1
+			})
+			body := func(p *shm.Proc) any {
+				_, ok := counter.Invoke(p, nil)
+				// After both processes are done, read the state.
+				final := counter.Peek(p)
+				return [2]any{ok, final}
+			}
+			return &shm.Run{Bodies: []func(*shm.Proc) any{body, body}}
+		},
+		Check: func(out *shm.Outcome) string {
+			successes := 0
+			maxFinal := 0
+			for i := range out.Outputs {
+				if !out.Finished[i] {
+					continue
+				}
+				pair := out.Outputs[i].([2]any)
+				if pair[0].(bool) {
+					successes++
+				}
+				if f := pair[1].(int); f > maxFinal {
+					maxFinal = f
+				}
+			}
+			if maxFinal > successes {
+				return "state exceeds number of successful operations"
+			}
+			return ""
+		},
+	})
+	if res.Violation != "" {
+		t.Fatalf("abortable object: %s", res.Violation)
+	}
+	t.Logf("abortable object: %d executions checked", res.Executions)
+}
+
+func TestAbortableObjectContentionAborts(t *testing.T) {
+	// Some schedule must produce an abort (contention is detectable).
+	aborted := false
+	shm.Explore(shm.ExploreOpts{
+		Factory: func() *shm.Run {
+			obj := NewAbortableObject(2, 0, func(st, op any) (any, any) { return st, st })
+			body := func(p *shm.Proc) any {
+				_, ok := obj.Invoke(p, nil)
+				return ok
+			}
+			return &shm.Run{Bodies: []func(*shm.Proc) any{body, body}}
+		},
+		Check: func(out *shm.Outcome) string {
+			for i := range out.Outputs {
+				if out.Finished[i] && out.Outputs[i] == false {
+					aborted = true
+				}
+			}
+			return ""
+		},
+	})
+	if !aborted {
+		t.Fatal("no schedule produced an abort under contention")
+	}
+}
+
+func TestAbortableConsensusAgreement(t *testing.T) {
+	// All successful proposals must return the same value, under every
+	// schedule with up to 1 crash.
+	res := shm.Explore(shm.ExploreOpts{
+		Factory: func() *shm.Run {
+			c := NewAbortableConsensus(2)
+			mk := func(v string) func(*shm.Proc) any {
+				return func(p *shm.Proc) any {
+					d, ok := c.Propose(p, v)
+					if !ok {
+						return Aborted
+					}
+					return d
+				}
+			}
+			return &shm.Run{Bodies: []func(*shm.Proc) any{mk("x"), mk("y")}}
+		},
+		MaxCrashes: 1,
+		Check: func(out *shm.Outcome) string {
+			var first any
+			for i := range out.Outputs {
+				if !out.Finished[i] || out.Outputs[i] == any(Aborted) {
+					continue
+				}
+				v := out.Outputs[i]
+				if v != "x" && v != "y" {
+					return "validity violated"
+				}
+				if first == nil {
+					first = v
+				} else if v != first {
+					return "agreement violated among successful proposals"
+				}
+			}
+			return ""
+		},
+	})
+	if res.Violation != "" {
+		t.Fatalf("abortable consensus: %s", res.Violation)
+	}
+}
+
+func TestAbortableConsensusSoloDecides(t *testing.T) {
+	c := NewAbortableConsensus(4)
+	body := func(p *shm.Proc) any {
+		d, ok := c.Propose(p, "solo")
+		if !ok {
+			return Aborted
+		}
+		return d
+	}
+	out := shm.Execute(&shm.Run{Bodies: []func(*shm.Proc) any{body}}, &shm.RoundRobinPolicy{}, 0)
+	if out.Outputs[0] != "solo" {
+		t.Fatalf("solo propose = %v", out.Outputs[0])
+	}
+}
+
+func TestKSimConsensusBasics(t *testing.T) {
+	p0, p1, p2 := shm.NewDirectProc(0), shm.NewDirectProc(1), shm.NewDirectProc(2)
+	o := NewKSimConsensus(2)
+	if o.K() != 2 || o.Width() != 1 {
+		t.Fatalf("K=%d Width=%d", o.K(), o.Width())
+	}
+	r0 := o.Propose(p0, []any{"a0", "a1"})
+	r1 := o.Propose(p1, []any{"b0", "b1"})
+	r2 := o.Propose(p2, []any{"c0", "c1"})
+	// Arrival order spreads instances round-robin: 0, 1, 0.
+	if r0[0].Instance != 0 || r0[0].Value != "a0" {
+		t.Fatalf("r0 = %+v", r0)
+	}
+	if r1[0].Instance != 1 || r1[0].Value != "b1" {
+		t.Fatalf("r1 = %+v", r1)
+	}
+	// Third arrival hits instance 0, already decided by p0.
+	if r2[0].Instance != 0 || r2[0].Value != "a0" {
+		t.Fatalf("r2 = %+v", r2)
+	}
+	dec := o.Decisions(p0)
+	if dec[0] != "a0" || dec[1] != "b1" {
+		t.Fatalf("Decisions = %v", dec)
+	}
+}
+
+func TestKSimConsensusPerInstanceAgreement(t *testing.T) {
+	// Under any schedule, two results for the same instance carry the same
+	// value.
+	for seed := int64(0); seed < 30; seed++ {
+		o := NewKSimConsensus(3)
+		results := make([][]KSimResult, 4)
+		bodies := make([]func(*shm.Proc) any, 4)
+		for i := range bodies {
+			i := i
+			bodies[i] = func(p *shm.Proc) any {
+				props := []any{
+					[2]int{i, 0}, [2]int{i, 1}, [2]int{i, 2},
+				}
+				results[i] = o.Propose(p, props)
+				return nil
+			}
+		}
+		shm.Execute(&shm.Run{Bodies: bodies}, shm.NewRandomPolicy(seed), 0)
+		byInstance := map[int]any{}
+		for _, rs := range results {
+			for _, r := range rs {
+				if prev, ok := byInstance[r.Instance]; ok && prev != r.Value {
+					t.Fatalf("seed %d: instance %d decided both %v and %v", seed, r.Instance, prev, r.Value)
+				}
+				byInstance[r.Instance] = r.Value
+			}
+		}
+	}
+}
+
+func TestKLSimConsensusWidth(t *testing.T) {
+	p := shm.NewDirectProc(0)
+	o := NewKLSimConsensus(4, 2)
+	rs := o.Propose(p, []any{"a", "b", "c", "d"})
+	if len(rs) != 2 {
+		t.Fatalf("got %d results, want 2", len(rs))
+	}
+	if rs[0].Instance == rs[1].Instance {
+		t.Fatal("width-2 proposal returned duplicate instances")
+	}
+}
+
+func TestKSimConsensusPanics(t *testing.T) {
+	assertPanics := func(name string, fn func()) {
+		defer func() {
+			if recover() == nil {
+				t.Errorf("%s: expected panic", name)
+			}
+		}()
+		fn()
+	}
+	assertPanics("k=0", func() { NewKSimConsensus(0) })
+	assertPanics("l>k", func() { NewKLSimConsensus(2, 3) })
+	assertPanics("wrong proposal len", func() {
+		NewKSimConsensus(2).Propose(shm.NewDirectProc(0), []any{"only one"})
+	})
+}

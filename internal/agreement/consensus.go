@@ -1,0 +1,235 @@
+// Package agreement implements the agreement abstractions of §4 of the
+// paper: the consensus object and its constructions from the hardware
+// primitives of Herlihy's hierarchy (§4.2), obstruction-free consensus and
+// k-set agreement from read/write registers only (§4.3), k-simultaneous
+// consensus, and abortable objects.
+package agreement
+
+import (
+	"fmt"
+
+	"distbasics/internal/shm"
+)
+
+// Consensus is the one-shot consensus object of §4.2: Propose returns the
+// single decided value; Validity, Agreement, Integrity and Termination as
+// defined in the paper. Implementations differ in which base objects they
+// use and for how many processes they are correct (their consensus
+// number).
+type Consensus interface {
+	Propose(p *shm.Proc, v any) any
+}
+
+// CASConsensus solves n-process wait-free consensus from one
+// compare&swap object (consensus number +∞): the first CAS from the unset
+// sentinel wins.
+type CASConsensus struct {
+	cell *shm.CompareAndSwap
+}
+
+// casUnset is the private sentinel for "no decision yet" (nil must remain
+// available to users as a proposable value is NOT supported; proposals must
+// be non-nil, which the constructor documents).
+type casUnsetType struct{}
+
+var casUnset = casUnsetType{}
+
+// NewCASConsensus returns a consensus object for any number of processes.
+// Proposed values must be comparable and non-nil.
+func NewCASConsensus() *CASConsensus {
+	return &CASConsensus{cell: shm.NewCompareAndSwap(casUnset)}
+}
+
+// Propose implements Consensus.
+func (c *CASConsensus) Propose(p *shm.Proc, v any) any {
+	c.cell.CompareAndSwap(p, casUnset, v)
+	return c.cell.Read(p)
+}
+
+// LLSCConsensus solves n-process wait-free consensus from one LL/SC cell
+// (consensus number +∞).
+type LLSCConsensus struct {
+	cell *shm.LLSC
+}
+
+// NewLLSCConsensus returns a consensus object for any number of processes.
+func NewLLSCConsensus() *LLSCConsensus {
+	return &LLSCConsensus{cell: shm.NewLLSC(casUnset)}
+}
+
+// Propose implements Consensus.
+func (c *LLSCConsensus) Propose(p *shm.Proc, v any) any {
+	for {
+		cur := c.cell.LL(p)
+		if cur != any(casUnset) {
+			return cur
+		}
+		if c.cell.SC(p, v) {
+			return v
+		}
+		// SC failed: someone else's SC succeeded, so the next LL returns a
+		// decided value; the loop runs at most twice.
+	}
+}
+
+// StickyConsensus solves n-process wait-free BINARY consensus from one
+// sticky bit (consensus number +∞ per §4.2; multivalued consensus follows
+// by bit-by-bit agreement, see StickyMultiConsensus).
+type StickyConsensus struct {
+	bit *shm.StickyBit
+}
+
+// NewStickyConsensus returns a binary consensus object (propose 0 or 1).
+func NewStickyConsensus() *StickyConsensus {
+	return &StickyConsensus{bit: shm.NewStickyBit()}
+}
+
+// Propose implements Consensus for values 0 and 1. Other values panic
+// (programmer error).
+func (c *StickyConsensus) Propose(p *shm.Proc, v any) any {
+	b, ok := v.(int)
+	if !ok || (b != 0 && b != 1) {
+		panic(fmt.Sprintf("agreement: StickyConsensus requires 0 or 1, got %v", v))
+	}
+	return c.bit.Set(p, b)
+}
+
+// TASConsensus2 solves 2-process wait-free consensus from one test&set
+// object and two registers (consensus number of Test&Set is 2, §4.2): the
+// processes publish their proposals, then race on the TAS; the winner
+// decides its own value, the loser adopts the winner's.
+type TASConsensus2 struct {
+	prefs *shm.RegisterArray
+	tas   *shm.TestAndSet
+}
+
+// NewTASConsensus2 returns a consensus object correct for processes with
+// ids 0 and 1.
+func NewTASConsensus2() *TASConsensus2 {
+	return &TASConsensus2{prefs: shm.NewRegisterArray(2, nil), tas: shm.NewTestAndSet()}
+}
+
+// Propose implements Consensus for p.ID() in {0, 1}.
+func (c *TASConsensus2) Propose(p *shm.Proc, v any) any {
+	id := p.ID()
+	c.prefs.Reg(id).Write(p, v)
+	if !c.tas.TestAndSet(p) {
+		return v // winner
+	}
+	return c.prefs.Reg(1 - id).Read(p) // loser adopts the winner's proposal
+}
+
+// QueueConsensus2 solves 2-process consensus from one atomic queue
+// pre-loaded with a winner token and a loser token, plus two registers
+// (consensus number of a queue is 2).
+type QueueConsensus2 struct {
+	prefs *shm.RegisterArray
+	queue *shm.Queue
+}
+
+// queue tokens.
+const (
+	tokenWin  = "WIN"
+	tokenLose = "LOSE"
+)
+
+// NewQueueConsensus2 returns a consensus object correct for ids 0 and 1.
+func NewQueueConsensus2() *QueueConsensus2 {
+	return &QueueConsensus2{
+		prefs: shm.NewRegisterArray(2, nil),
+		queue: shm.NewQueue(tokenWin, tokenLose),
+	}
+}
+
+// Propose implements Consensus for p.ID() in {0, 1}.
+func (c *QueueConsensus2) Propose(p *shm.Proc, v any) any {
+	id := p.ID()
+	c.prefs.Reg(id).Write(p, v)
+	tok, ok := c.queue.Deq(p)
+	if ok && tok == tokenWin {
+		return v
+	}
+	return c.prefs.Reg(1 - id).Read(p)
+}
+
+// FAAConsensus2 solves 2-process consensus from one fetch&add object plus
+// two registers (consensus number of Fetch&Add is 2): the process that
+// increments first wins.
+type FAAConsensus2 struct {
+	prefs *shm.RegisterArray
+	ctr   *shm.FetchAndAdd
+}
+
+// NewFAAConsensus2 returns a consensus object correct for ids 0 and 1.
+func NewFAAConsensus2() *FAAConsensus2 {
+	return &FAAConsensus2{prefs: shm.NewRegisterArray(2, nil), ctr: shm.NewFetchAndAdd(0)}
+}
+
+// Propose implements Consensus for p.ID() in {0, 1}.
+func (c *FAAConsensus2) Propose(p *shm.Proc, v any) any {
+	id := p.ID()
+	c.prefs.Reg(id).Write(p, v)
+	if old := c.ctr.Add(p, 1); old == 0 {
+		return v
+	}
+	return c.prefs.Reg(1 - id).Read(p)
+}
+
+// NaiveRegisterConsensus is a NATURAL BUT INCORRECT attempt at consensus
+// from registers only (write your value, then read the other's; prefer the
+// smaller id's value if both visible). It exists so the exhaustive
+// explorer can exhibit the §4.2 impossibility empirically: for every such
+// protocol some schedule violates agreement; the hierarchy tests show the
+// explorer finds one for this protocol.
+type NaiveRegisterConsensus struct {
+	prefs *shm.RegisterArray
+}
+
+// NewNaiveRegisterConsensus returns the (incorrect) register-only protocol
+// for n processes.
+func NewNaiveRegisterConsensus(n int) *NaiveRegisterConsensus {
+	return &NaiveRegisterConsensus{prefs: shm.NewRegisterArray(n, nil)}
+}
+
+// Propose implements Consensus — incorrectly, by design.
+func (c *NaiveRegisterConsensus) Propose(p *shm.Proc, v any) any {
+	c.prefs.Reg(p.ID()).Write(p, v)
+	for i := 0; i < c.prefs.Len(); i++ {
+		if w := c.prefs.Reg(i).Read(p); w != nil {
+			return w // first visible proposal in id order
+		}
+	}
+	return v
+}
+
+// TASConsensusN is the NATURAL BUT INCORRECT generalization of
+// TASConsensus2 to n >= 3 processes (the loser adopts the value of the
+// lowest-id other process it sees). The hierarchy tests use the exhaustive
+// explorer to find an agreement violation at n = 3, demonstrating that the
+// consensus number of Test&Set is exactly 2, not merely at least 2.
+type TASConsensusN struct {
+	prefs *shm.RegisterArray
+	tas   *shm.TestAndSet
+}
+
+// NewTASConsensusN returns the (incorrect for n >= 3) protocol.
+func NewTASConsensusN(n int) *TASConsensusN {
+	return &TASConsensusN{prefs: shm.NewRegisterArray(n, nil), tas: shm.NewTestAndSet()}
+}
+
+// Propose implements Consensus — incorrectly for n >= 3, by design.
+func (c *TASConsensusN) Propose(p *shm.Proc, v any) any {
+	c.prefs.Reg(p.ID()).Write(p, v)
+	if !c.tas.TestAndSet(p) {
+		return v
+	}
+	for i := 0; i < c.prefs.Len(); i++ {
+		if i == p.ID() {
+			continue
+		}
+		if w := c.prefs.Reg(i).Read(p); w != nil {
+			return w
+		}
+	}
+	return v
+}

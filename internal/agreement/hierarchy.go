@@ -1,0 +1,176 @@
+package agreement
+
+import (
+	"fmt"
+
+	"distbasics/internal/shm"
+)
+
+// Herlihy's consensus hierarchy (§4.2 of the paper): the consensus number
+// of an object type T is the largest n for which consensus is solvable in
+// ASMn,n-1[T]. This file provides the machinery that *checks* hierarchy
+// claims by exhaustive interleaving exploration: a consensus protocol for
+// n processes is correct iff no schedule (including crash patterns with up
+// to n-1 crashes) violates validity, agreement, or wait-free termination.
+
+// HierarchyEntry is one row of the paper's hierarchy table.
+type HierarchyEntry struct {
+	// Object names the base object type.
+	Object string
+	// ConsensusNumber is the claimed consensus number (-1 encodes +∞).
+	ConsensusNumber int
+	// Factory builds a fresh consensus object for n processes, or nil if
+	// the object cannot even be instantiated for that n.
+	Factory func(n int) Consensus
+}
+
+// Infinity encodes consensus number +∞ in tables.
+const Infinity = -1
+
+// Hierarchy returns the paper's hierarchy table (§4.2) with executable
+// constructions: read/write registers at level 1 (represented by the
+// deliberately incorrect register-only protocol, used to exhibit the
+// impossibility), Test&Set / Fetch&Add / queue at level 2, and
+// Compare&Swap / LL-SC / sticky bit at +∞.
+func Hierarchy() []HierarchyEntry {
+	return []HierarchyEntry{
+		{
+			Object:          "read/write register",
+			ConsensusNumber: 1,
+			Factory:         func(n int) Consensus { return NewNaiveRegisterConsensus(n) },
+		},
+		{
+			Object:          "Test&Set",
+			ConsensusNumber: 2,
+			Factory: func(n int) Consensus {
+				if n == 2 {
+					return NewTASConsensus2()
+				}
+				return NewTASConsensusN(n)
+			},
+		},
+		{
+			Object:          "Swap",
+			ConsensusNumber: 2,
+			Factory: func(n int) Consensus {
+				if n == 2 {
+					return NewSwapConsensus2()
+				}
+				return nil
+			},
+		},
+		{
+			Object:          "Fetch&Add",
+			ConsensusNumber: 2,
+			Factory: func(n int) Consensus {
+				if n == 2 {
+					return NewFAAConsensus2()
+				}
+				return nil
+			},
+		},
+		{
+			Object:          "queue",
+			ConsensusNumber: 2,
+			Factory: func(n int) Consensus {
+				if n == 2 {
+					return NewQueueConsensus2()
+				}
+				return nil
+			},
+		},
+		{
+			Object:          "Compare&Swap",
+			ConsensusNumber: Infinity,
+			Factory:         func(n int) Consensus { return NewCASConsensus() },
+		},
+		{
+			Object:          "LL/SC",
+			ConsensusNumber: Infinity,
+			Factory:         func(n int) Consensus { return NewLLSCConsensus() },
+		},
+		{
+			Object:          "sticky bit",
+			ConsensusNumber: Infinity,
+			Factory:         func(n int) Consensus { return NewStickyConsensus() },
+		},
+	}
+}
+
+// VerifyResult reports an exhaustive consensus verification.
+type VerifyResult struct {
+	// OK reports that every explored schedule satisfied consensus.
+	OK bool
+	// Violation describes the failure when OK is false.
+	Violation string
+	// Executions is the number of complete executions explored.
+	Executions int
+}
+
+// VerifyConsensusExhaustive explores every schedule (with up to n-1
+// crashes when crashes is true) of n processes proposing distinct values
+// through a fresh object from factory, checking validity, agreement, and
+// wait-free termination of non-crashed processes.
+//
+// proposals[i] is process i's proposal; binary objects (sticky bit) take
+// proposals in {0,1}.
+func VerifyConsensusExhaustive(n int, proposals []any, factory func() Consensus, crashes bool) *VerifyResult {
+	maxCrashes := 0
+	if crashes {
+		maxCrashes = n - 1
+	}
+	res := shm.Explore(shm.ExploreOpts{
+		Factory: func() *shm.Run {
+			obj := factory()
+			bodies := make([]func(*shm.Proc) any, n)
+			for i := 0; i < n; i++ {
+				v := proposals[i]
+				bodies[i] = func(p *shm.Proc) any { return obj.Propose(p, v) }
+			}
+			return &shm.Run{Bodies: bodies}
+		},
+		MaxCrashes: maxCrashes,
+		MaxSteps:   5000,
+		Check: func(out *shm.Outcome) string {
+			return CheckConsensusOutcome(out, proposals)
+		},
+	})
+	return &VerifyResult{
+		OK:         res.Violation == "",
+		Violation:  res.Violation,
+		Executions: res.Executions,
+	}
+}
+
+// CheckConsensusOutcome validates one execution outcome against the
+// consensus specification: wait-free termination (every non-crashed
+// process finished — a cutoff means termination failed), validity, and
+// agreement among finished processes.
+func CheckConsensusOutcome(out *shm.Outcome, proposals []any) string {
+	if out.Cutoff {
+		return "termination violated: step budget exhausted (not wait-free)"
+	}
+	proposed := make(map[any]bool, len(proposals))
+	for _, v := range proposals {
+		proposed[v] = true
+	}
+	var decided any
+	for i := range out.Outputs {
+		if out.Crashed[i] {
+			continue
+		}
+		if !out.Finished[i] {
+			return fmt.Sprintf("termination violated: process %d neither finished nor crashed", i)
+		}
+		v := out.Outputs[i]
+		if !proposed[v] {
+			return fmt.Sprintf("validity violated: process %d decided %v, never proposed", i, v)
+		}
+		if decided == nil {
+			decided = v
+		} else if v != decided {
+			return fmt.Sprintf("agreement violated: %v vs %v", decided, v)
+		}
+	}
+	return ""
+}

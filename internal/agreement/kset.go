@@ -1,0 +1,209 @@
+package agreement
+
+import (
+	"fmt"
+
+	"distbasics/internal/shm"
+)
+
+// This file implements k-set agreement (§4.2–4.3 of the paper): like
+// consensus but at most k distinct values may be decided (k = 1 is
+// consensus). k-set agreement is impossible wait-free for k ≤ n-1, so —
+// following §4.3 — termination is weakened to obstruction-freedom.
+//
+// Two implementations are provided:
+//
+//   - OFKSet: obstruction-free k-set agreement from m = n-k+1 multi-writer
+//     multi-reader registers, the space the paper reports as optimal
+//     (Bouzid–Raynal–Sutra, [9] in the paper). The algorithm here is a
+//     ballot-based reconstruction in the style of shared-memory/Disk
+//     Paxos rather than a line-by-line port of [9]: each register is an
+//     "acceptor" cell (mbal, bal, val) written through per-register
+//     read-then-write claims, and a proposer decides after covering and
+//     re-verifying all m registers at its ballot. Registers cannot reject
+//     writes, so a concurrent process can overwrite ("erase") a record
+//     through a stale read-write straddle — but program order allows each
+//     other process at most ONE stale straddle pending at any decision
+//     point, so at least m-(n-1) registers keep an honest record. With
+//     m = n (k = 1) a record always survives and the object is consensus;
+//     with m = n-k+1 full erasure consumes m distinct processes' straddles
+//     and at most k distinct values can ever be decided. The test suite
+//     validates this with bounded-exhaustive and randomized exploration.
+//
+//   - PartitionKSet: the provably-trivial baseline — partition the n
+//     processes into k groups and run one obstruction-free consensus per
+//     group — which costs n registers. The E7 bench contrasts the two
+//     space figures.
+
+// acceptor is the content of one MWMR register: a Paxos acceptor state.
+type acceptor struct {
+	mbal int // highest ballot seen (phase-1 promise)
+	bal  int // ballot of the accepted value (0 = none)
+	val  any
+}
+
+// OFKSet is obstruction-free k-set agreement from m = n-k+1 registers.
+type OFKSet struct {
+	n, k int
+	regs *shm.RegisterArray
+}
+
+// NewOFKSet returns a k-set agreement object for n processes, 1 ≤ k < n,
+// using n-k+1 registers. (k = 1 yields obstruction-free consensus with n
+// registers, the same space as OFConsensus but over MWMR registers.)
+func NewOFKSet(n, k int) *OFKSet {
+	if k < 1 || k >= n {
+		panic(fmt.Sprintf("agreement: OFKSet requires 1 <= k < n, got n=%d k=%d", n, k))
+	}
+	return &OFKSet{n: n, k: k, regs: shm.NewRegisterArray(n-k+1, acceptor{})}
+}
+
+// RegisterCount returns n-k+1.
+func (o *OFKSet) RegisterCount() int { return o.regs.Len() }
+
+// Propose proposes v and returns a decided value. Termination is
+// obstruction-free: guaranteed when the caller eventually runs alone;
+// under perpetual contention the call may not return (callers bound it
+// with the scheduler's step budget).
+func (o *OFKSet) Propose(p *shm.Proc, v int) int {
+	b := p.ID() + 1 // ballots unique per process: b ≡ id+1 (mod n)
+	for {
+		decided, maxSeen, ok := o.tryBallot(p, b, v)
+		if ok {
+			return decided
+		}
+		for b <= maxSeen {
+			b += o.n
+		}
+	}
+}
+
+// tryBallot runs one ballot; on failure it reports the highest ballot
+// observed so the proposer can jump past it.
+func (o *OFKSet) tryBallot(p *shm.Proc, b int, v int) (decided int, maxSeen int, ok bool) {
+	m := o.regs.Len()
+
+	// Phase 1: claim each register with an adjacent read-then-write that
+	// preserves the accepted (bal, val) and raises mbal to b.
+	for j := 0; j < m; j++ {
+		a := o.read(p, j)
+		if a.mbal >= b || a.bal >= b {
+			return 0, max(a.mbal, a.bal), false
+		}
+		o.regs.Reg(j).Write(p, acceptor{mbal: b, bal: a.bal, val: a.val})
+	}
+
+	// Adoption collect: take the value accepted at the highest ballot.
+	adopt := any(v)
+	adoptBal := 0
+	for j := 0; j < m; j++ {
+		a := o.read(p, j)
+		if a.mbal > b || a.bal > b {
+			return 0, max(a.mbal, a.bal), false
+		}
+		if a.bal > adoptBal {
+			adoptBal = a.bal
+			adopt = a.val
+		}
+	}
+
+	// Phase 2: cover every register with (b, b, adopt).
+	for j := 0; j < m; j++ {
+		a := o.read(p, j)
+		if a.mbal > b || a.bal > b {
+			return 0, max(a.mbal, a.bal), false
+		}
+		o.regs.Reg(j).Write(p, acceptor{mbal: b, bal: b, val: adopt})
+	}
+
+	// Verification collect: the ballot committed iff no register moved
+	// past b and every register still holds (b, adopt).
+	for j := 0; j < m; j++ {
+		a := o.read(p, j)
+		if a.mbal > b || a.bal > b || a.bal != b || a.val != adopt {
+			return 0, max(a.mbal, a.bal), false
+		}
+	}
+	return adopt.(int), b, true
+}
+
+func (o *OFKSet) read(p *shm.Proc, j int) acceptor {
+	return o.regs.Reg(j).Read(p).(acceptor)
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// PartitionKSet is the baseline k-set agreement: processes are split into
+// k groups by id; each group runs an independent obstruction-free
+// consensus. At most one value is decided per group, hence at most k in
+// total. It uses n registers — more than OFKSet's n-k+1.
+type PartitionKSet struct {
+	n, k   int
+	groups []*OFConsensus
+	sizes  []int
+}
+
+// NewPartitionKSet returns the baseline object for n processes and k
+// groups.
+func NewPartitionKSet(n, k int) *PartitionKSet {
+	if k < 1 || k > n {
+		panic(fmt.Sprintf("agreement: PartitionKSet requires 1 <= k <= n, got n=%d k=%d", n, k))
+	}
+	ps := &PartitionKSet{n: n, k: k}
+	for g := 0; g < k; g++ {
+		size := n/k + boolToInt(g < n%k)
+		ps.groups = append(ps.groups, NewOFConsensus(size))
+		ps.sizes = append(ps.sizes, size)
+	}
+	return ps
+}
+
+// RegisterCount returns the total registers used (n).
+func (ps *PartitionKSet) RegisterCount() int {
+	total := 0
+	for _, s := range ps.sizes {
+		total += s
+	}
+	return total
+}
+
+// Propose proposes v; the caller joins group p.ID() mod k and runs that
+// group's consensus under its group-local identity p.ID()/k.
+func (ps *PartitionKSet) Propose(p *shm.Proc, v int) int {
+	g := p.ID() % ps.k
+	local := shm.DeriveProc(p, p.ID()/ps.k)
+	return ps.groups[g].Propose(local, v).(int)
+}
+
+func boolToInt(b bool) int {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+// CheckKAgreement verifies the k-set agreement safety properties over a
+// set of decided values and the proposals: at most k distinct decisions,
+// every decision proposed. It returns "" or a violation description.
+func CheckKAgreement(decided []int, proposed []int, k int) string {
+	prop := make(map[int]bool, len(proposed))
+	for _, v := range proposed {
+		prop[v] = true
+	}
+	distinct := make(map[int]bool)
+	for _, d := range decided {
+		if !prop[d] {
+			return fmt.Sprintf("validity violated: decided %d never proposed", d)
+		}
+		distinct[d] = true
+	}
+	if len(distinct) > k {
+		return fmt.Sprintf("k-agreement violated: %d distinct decisions, k=%d", len(distinct), k)
+	}
+	return ""
+}

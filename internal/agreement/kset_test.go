@@ -1,0 +1,274 @@
+package agreement
+
+import (
+	"math/rand"
+	"testing"
+
+	"distbasics/internal/shm"
+)
+
+func TestOFConsensusSolo(t *testing.T) {
+	// Obstruction-freedom: a solo proposer decides its own value.
+	c := NewOFConsensus(3)
+	body := func(p *shm.Proc) any { return c.Propose(p, "mine") }
+	out := shm.Execute(&shm.Run{Bodies: []func(*shm.Proc) any{body, nil, nil}[:1]}, &shm.RoundRobinPolicy{}, 0)
+	if !out.Finished[0] || out.Outputs[0] != "mine" {
+		t.Fatalf("solo propose: %+v", out)
+	}
+}
+
+func TestOFConsensusRegisterCount(t *testing.T) {
+	// k=1: n-k+1 = n registers, matching [9]'s bound.
+	for _, n := range []int{2, 5, 9} {
+		if got := NewOFConsensus(n).RegisterCount(); got != n {
+			t.Errorf("n=%d: RegisterCount = %d, want %d", n, got, n)
+		}
+	}
+}
+
+func TestOFConsensusAgreementUnderRandomSchedules(t *testing.T) {
+	for seed := int64(0); seed < 60; seed++ {
+		n := 3
+		c := NewOFConsensus(n)
+		proposals := []any{10, 20, 30}
+		bodies := make([]func(*shm.Proc) any, n)
+		for i := range bodies {
+			v := proposals[i]
+			bodies[i] = func(p *shm.Proc) any { return c.Propose(p, v) }
+		}
+		out := shm.Execute(&shm.Run{Bodies: bodies}, shm.NewRandomPolicy(seed), 200_000)
+		// Under a fair random schedule contention subsides and all finish;
+		// whether or not they do, finished processes must agree.
+		var first any
+		for i, o := range out.Outputs {
+			if !out.Finished[i] {
+				continue
+			}
+			if o != proposals[0] && o != proposals[1] && o != proposals[2] {
+				t.Fatalf("seed %d: validity violated: %v", seed, o)
+			}
+			if first == nil {
+				first = o
+			} else if o != first {
+				t.Fatalf("seed %d: agreement violated: %v vs %v", seed, first, o)
+			}
+		}
+	}
+}
+
+func TestOFConsensusEventualSoloDecides(t *testing.T) {
+	// A contended prefix, then process 0 runs in isolation: it must decide
+	// (the obstruction-freedom guarantee of §4.3).
+	for seed := int64(0); seed < 20; seed++ {
+		n := 4
+		c := NewOFConsensus(n)
+		bodies := make([]func(*shm.Proc) any, n)
+		for i := range bodies {
+			v := i * 100
+			bodies[i] = func(p *shm.Proc) any { return c.Propose(p, v) }
+		}
+		policy := &shm.SoloPolicy{Rng: rand.New(rand.NewSource(seed)), Prefix: 40, Solo: 0}
+		out := shm.Execute(&shm.Run{Bodies: bodies}, policy, 100_000)
+		if !out.Finished[0] {
+			t.Fatalf("seed %d: solo process did not decide (obstruction-freedom broken)", seed)
+		}
+	}
+}
+
+func TestOFConsensusExhaustiveSmall(t *testing.T) {
+	// Exhaustive safety check for n=2 with a step cutoff: every schedule
+	// either decides consistently or is cut off (livelock is permitted for
+	// an OF algorithm; disagreement is not).
+	proposals := []any{1, 2}
+	res := shm.Explore(shm.ExploreOpts{
+		Factory: func() *shm.Run {
+			c := NewOFConsensus(2)
+			bodies := make([]func(*shm.Proc) any, 2)
+			for i := range bodies {
+				v := proposals[i]
+				bodies[i] = func(p *shm.Proc) any { return c.Propose(p, v) }
+			}
+			return &shm.Run{Bodies: bodies}
+		},
+		MaxSteps:      50, // bounded exploration depth
+		MaxExecutions: 25_000,
+		Check: func(out *shm.Outcome) string {
+			var first any
+			for i, o := range out.Outputs {
+				if !out.Finished[i] {
+					continue
+				}
+				if o != 1 && o != 2 {
+					return "validity violated"
+				}
+				if first == nil {
+					first = o
+				} else if o != first {
+					return "agreement violated"
+				}
+			}
+			return ""
+		},
+	})
+	if res.Violation != "" {
+		t.Fatalf("OFConsensus n=2: %s", res.Violation)
+	}
+	t.Logf("OFConsensus n=2: %d bounded executions checked", res.Executions)
+}
+
+func TestOFKSetSolo(t *testing.T) {
+	o := NewOFKSet(4, 2)
+	if got := o.RegisterCount(); got != 3 {
+		t.Fatalf("RegisterCount = %d, want n-k+1 = 3", got)
+	}
+	body := func(p *shm.Proc) any { return o.Propose(p, 42) }
+	out := shm.Execute(&shm.Run{Bodies: []func(*shm.Proc) any{body}}, &shm.RoundRobinPolicy{}, 0)
+	if !out.Finished[0] || out.Outputs[0] != 42 {
+		t.Fatalf("solo propose: %+v", out)
+	}
+}
+
+func TestOFKSetPanicsOnBadParams(t *testing.T) {
+	for _, bad := range []struct{ n, k int }{{3, 0}, {3, 3}, {2, 5}} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("NewOFKSet(%d,%d) did not panic", bad.n, bad.k)
+				}
+			}()
+			NewOFKSet(bad.n, bad.k)
+		}()
+	}
+}
+
+func TestOFKSetKAgreementUnderRandomSchedules(t *testing.T) {
+	// k-set agreement safety: over many random schedules with crashes, the
+	// set of decided values has at most k distinct elements and respects
+	// validity.
+	cases := []struct{ n, k int }{{3, 2}, {4, 2}, {4, 3}, {5, 2}, {6, 3}}
+	for _, tc := range cases {
+		for seed := int64(0); seed < 40; seed++ {
+			o := NewOFKSet(tc.n, tc.k)
+			proposals := make([]int, tc.n)
+			bodies := make([]func(*shm.Proc) any, tc.n)
+			for i := range bodies {
+				proposals[i] = i + 1
+				v := proposals[i]
+				bodies[i] = func(p *shm.Proc) any { return o.Propose(p, v) }
+			}
+			pol := shm.NewRandomPolicy(seed)
+			pol.CrashProb = 0.02
+			pol.MaxCrashes = tc.n - 1
+			out := shm.Execute(&shm.Run{Bodies: bodies}, pol, 300_000)
+			var decided []int
+			for i, v := range out.Outputs {
+				if out.Finished[i] {
+					decided = append(decided, v.(int))
+				}
+			}
+			if msg := CheckKAgreement(decided, proposals, tc.k); msg != "" {
+				t.Fatalf("n=%d k=%d seed=%d: %s (decided %v)", tc.n, tc.k, seed, msg, decided)
+			}
+		}
+	}
+}
+
+func TestOFKSetExhaustiveBounded(t *testing.T) {
+	// Bounded exhaustive exploration for (n=3, k=2, m=2): at most 2
+	// distinct decisions in EVERY schedule up to the step bound.
+	proposals := []int{1, 2, 3}
+	res := shm.Explore(shm.ExploreOpts{
+		Factory: func() *shm.Run {
+			o := NewOFKSet(3, 2)
+			bodies := make([]func(*shm.Proc) any, 3)
+			for i := range bodies {
+				v := proposals[i]
+				bodies[i] = func(p *shm.Proc) any { return o.Propose(p, v) }
+			}
+			return &shm.Run{Bodies: bodies}
+		},
+		MaxSteps:      40,
+		MaxExecutions: 25_000,
+		Check: func(out *shm.Outcome) string {
+			var decided []int
+			for i, v := range out.Outputs {
+				if out.Finished[i] {
+					decided = append(decided, v.(int))
+				}
+			}
+			return CheckKAgreement(decided, proposals, 2)
+		},
+	})
+	if res.Violation != "" {
+		t.Fatalf("OFKSet (3,2): %s", res.Violation)
+	}
+	t.Logf("OFKSet (3,2): %d bounded executions checked", res.Executions)
+}
+
+func TestOFKSetEventualSoloDecides(t *testing.T) {
+	for seed := int64(0); seed < 15; seed++ {
+		o := NewOFKSet(4, 2)
+		bodies := make([]func(*shm.Proc) any, 4)
+		for i := range bodies {
+			v := i + 1
+			bodies[i] = func(p *shm.Proc) any { return o.Propose(p, v) }
+		}
+		policy := &shm.SoloPolicy{Rng: rand.New(rand.NewSource(seed)), Prefix: 30, Solo: 2}
+		out := shm.Execute(&shm.Run{Bodies: bodies}, policy, 100_000)
+		if !out.Finished[2] {
+			t.Fatalf("seed %d: solo proposer did not decide", seed)
+		}
+	}
+}
+
+func TestPartitionKSet(t *testing.T) {
+	n, k := 6, 3
+	ps := NewPartitionKSet(n, k)
+	if got := ps.RegisterCount(); got != n {
+		t.Fatalf("RegisterCount = %d, want %d", got, n)
+	}
+	for seed := int64(0); seed < 25; seed++ {
+		proposals := make([]int, n)
+		bodies := make([]func(*shm.Proc) any, n)
+		obj := NewPartitionKSet(n, k)
+		for i := range bodies {
+			proposals[i] = 10 + i
+			v := proposals[i]
+			bodies[i] = func(p *shm.Proc) any { return obj.Propose(p, v) }
+		}
+		out := shm.Execute(&shm.Run{Bodies: bodies}, shm.NewRandomPolicy(seed), 400_000)
+		var decided []int
+		for i, v := range out.Outputs {
+			if out.Finished[i] {
+				decided = append(decided, v.(int))
+			}
+		}
+		if msg := CheckKAgreement(decided, proposals, k); msg != "" {
+			t.Fatalf("seed %d: %s", seed, msg)
+		}
+	}
+}
+
+func TestCheckKAgreement(t *testing.T) {
+	tests := []struct {
+		name     string
+		decided  []int
+		proposed []int
+		k        int
+		wantOK   bool
+	}{
+		{"ok one value", []int{1, 1, 1}, []int{1, 2, 3}, 1, true},
+		{"ok two values k=2", []int{1, 2, 1}, []int{1, 2, 3}, 2, true},
+		{"too many values", []int{1, 2, 3}, []int{1, 2, 3}, 2, false},
+		{"invalid value", []int{9}, []int{1, 2}, 1, false},
+		{"empty ok", nil, []int{1}, 1, true},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			got := CheckKAgreement(tt.decided, tt.proposed, tt.k)
+			if (got == "") != tt.wantOK {
+				t.Errorf("CheckKAgreement = %q, wantOK %v", got, tt.wantOK)
+			}
+		})
+	}
+}

@@ -1,0 +1,43 @@
+package agreement
+
+import "distbasics/internal/shm"
+
+// KSetFromKSim realizes the constructive direction of §4.2's
+// equivalence between k-simultaneous consensus and k-set agreement
+// ([2, 16]): to solve k-set agreement with input v, propose the vector
+// (v, v, …, v) to a k-simultaneous consensus object and decide the
+// value of whichever instance it reports.
+//
+//   - Validity: each instance decides a value proposed to it, and every
+//     proposed value is some process's k-set input.
+//   - k-Agreement: outputs are drawn from the k instances' decisions —
+//     at most k distinct values.
+//   - Termination: one wait-free operation on the base object.
+//
+// (The reverse direction — building k-simultaneous consensus from
+// k-set agreement and registers — also holds [2]; this package provides
+// the simultaneous-consensus object as an atomic base, mirroring how
+// the paper's k-universal constructions consume it.)
+type KSetFromKSim struct {
+	k    int
+	base *KSimConsensus
+}
+
+// NewKSetFromKSim returns a k-set agreement object built on a fresh
+// k-simultaneous consensus base object.
+func NewKSetFromKSim(k int) *KSetFromKSim {
+	return &KSetFromKSim{k: k, base: NewKSimConsensus(k)}
+}
+
+// K returns the agreement parameter.
+func (o *KSetFromKSim) K() int { return o.k }
+
+// Propose submits v and returns this process's decision.
+func (o *KSetFromKSim) Propose(p *shm.Proc, v any) any {
+	vec := make([]any, o.k)
+	for i := range vec {
+		vec[i] = v
+	}
+	res := o.base.Propose(p, vec)
+	return res[0].Value
+}

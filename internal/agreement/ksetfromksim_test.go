@@ -1,0 +1,170 @@
+package agreement
+
+import (
+	"fmt"
+	"testing"
+
+	"distbasics/internal/shm"
+)
+
+// TestKSetFromKSimStress: under random schedules with crashes, the
+// reduction never violates k-agreement or validity, and survivors
+// always terminate (wait-freedom: a single atomic base operation).
+func TestKSetFromKSimStress(t *testing.T) {
+	for _, nk := range [][2]int{{4, 2}, {6, 3}, {8, 2}} {
+		n, k := nk[0], nk[1]
+		t.Run(fmt.Sprintf("n=%d,k=%d", n, k), func(t *testing.T) {
+			for seed := int64(0); seed < 25; seed++ {
+				o := NewKSetFromKSim(k)
+				bodies := make([]func(p *shm.Proc) any, n)
+				for i := 0; i < n; i++ {
+					i := i
+					bodies[i] = func(p *shm.Proc) any { return o.Propose(p, i) }
+				}
+				pol := shm.NewRandomPolicy(seed)
+				pol.CrashProb = 0.01
+				pol.MaxCrashes = n - 1
+				out := shm.Execute(&shm.Run{Bodies: bodies}, pol, 0)
+
+				var decided, proposed []int
+				for i := 0; i < n; i++ {
+					proposed = append(proposed, i)
+					if out.Finished[i] {
+						decided = append(decided, out.Outputs[i].(int))
+					} else if !out.Crashed[i] {
+						t.Fatalf("seed %d: process %d neither finished nor crashed", seed, i)
+					}
+				}
+				if msg := CheckKAgreement(decided, proposed, k); msg != "" {
+					t.Fatalf("seed %d: %s", seed, msg)
+				}
+			}
+		})
+	}
+}
+
+// TestKSetFromKSimExhaustive: every interleaving (with one crash) of 3
+// processes over a 2-set-agreement reduction satisfies validity and
+// 2-agreement.
+func TestKSetFromKSimExhaustive(t *testing.T) {
+	res := shm.Explore(shm.ExploreOpts{
+		Factory: func() *shm.Run {
+			o := NewKSetFromKSim(2)
+			return &shm.Run{Bodies: []func(p *shm.Proc) any{
+				func(p *shm.Proc) any { return o.Propose(p, 10) },
+				func(p *shm.Proc) any { return o.Propose(p, 20) },
+				func(p *shm.Proc) any { return o.Propose(p, 30) },
+			}}
+		},
+		MaxCrashes: 1,
+		Check: func(out *shm.Outcome) string {
+			var decided []int
+			for i, fin := range out.Finished {
+				if fin {
+					decided = append(decided, out.Outputs[i].(int))
+				}
+			}
+			return CheckKAgreement(decided, []int{10, 20, 30}, 2)
+		},
+	})
+	if res.Violation != "" {
+		t.Fatalf("violation: %s (schedule %v)", res.Violation, res.Schedule)
+	}
+	if res.Executions == 0 {
+		t.Fatal("explorer ran nothing")
+	}
+	t.Logf("exhaustive: %d executions, no violation", res.Executions)
+}
+
+// TestKSetFromKSimK1IsConsensus: with k=1 the reduction is consensus —
+// exhaustively checked at n=2.
+func TestKSetFromKSimK1IsConsensus(t *testing.T) {
+	res := shm.Explore(shm.ExploreOpts{
+		Factory: func() *shm.Run {
+			o := NewKSetFromKSim(1)
+			return &shm.Run{Bodies: []func(p *shm.Proc) any{
+				func(p *shm.Proc) any { return o.Propose(p, "a") },
+				func(p *shm.Proc) any { return o.Propose(p, "b") },
+			}}
+		},
+		MaxCrashes: 1,
+		Check: func(out *shm.Outcome) string {
+			return CheckConsensusOutcome(out, []any{"a", "b"})
+		},
+	})
+	if res.Violation != "" {
+		t.Fatalf("k=1 must be consensus: %s", res.Violation)
+	}
+}
+
+func TestKSetFromKSimDistinctCount(t *testing.T) {
+	// All n propose distinct values round-robin; the number of distinct
+	// decisions is at most k and at least 1.
+	const n, k = 6, 3
+	o := NewKSetFromKSim(k)
+	bodies := make([]func(p *shm.Proc) any, n)
+	for i := 0; i < n; i++ {
+		i := i
+		bodies[i] = func(p *shm.Proc) any { return o.Propose(p, i*11) }
+	}
+	out := shm.Execute(&shm.Run{Bodies: bodies}, &shm.RoundRobinPolicy{}, 0)
+	distinct := map[any]bool{}
+	for i := 0; i < n; i++ {
+		distinct[out.Outputs[i]] = true
+	}
+	if len(distinct) < 1 || len(distinct) > k {
+		t.Fatalf("%d distinct decisions, want in [1,%d]", len(distinct), k)
+	}
+}
+
+// TestSwapConsensus2Exhaustive: every interleaving of the swap-based
+// 2-process consensus (with one crash) is correct — swap is at level 2
+// of the hierarchy, one of §4.2's "many others".
+func TestSwapConsensus2Exhaustive(t *testing.T) {
+	res := shm.Explore(shm.ExploreOpts{
+		Factory: func() *shm.Run {
+			c := NewSwapConsensus2()
+			return &shm.Run{Bodies: []func(p *shm.Proc) any{
+				func(p *shm.Proc) any { return c.Propose(p, "a") },
+				func(p *shm.Proc) any { return c.Propose(p, "b") },
+			}}
+		},
+		MaxCrashes: 1,
+		Check: func(out *shm.Outcome) string {
+			return CheckConsensusOutcome(out, []any{"a", "b"})
+		},
+	})
+	if res.Violation != "" {
+		t.Fatalf("violation: %s (schedule %v)", res.Violation, res.Schedule)
+	}
+	t.Logf("exhaustive: %d executions, no violation", res.Executions)
+}
+
+func TestSwapConsensus2Sequential(t *testing.T) {
+	c := NewSwapConsensus2()
+	p0, p1 := shm.NewDirectProc(0), shm.NewDirectProc(1)
+	if got := c.Propose(p0, "x"); got != "x" {
+		t.Fatalf("first Propose = %v", got)
+	}
+	if got := c.Propose(p1, "y"); got != "x" {
+		t.Fatalf("second Propose = %v, want x", got)
+	}
+}
+
+func TestHierarchyHasSwapRow(t *testing.T) {
+	for _, e := range Hierarchy() {
+		if e.Object == "Swap" {
+			if e.ConsensusNumber != 2 {
+				t.Fatalf("Swap consensus number = %d, want 2", e.ConsensusNumber)
+			}
+			if e.Factory(2) == nil {
+				t.Fatal("Swap factory must instantiate at n=2")
+			}
+			if e.Factory(3) != nil {
+				t.Fatal("Swap factory must decline n=3 (no correct construction exists)")
+			}
+			return
+		}
+	}
+	t.Fatal("hierarchy table is missing the Swap row")
+}

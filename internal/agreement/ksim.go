@@ -1,0 +1,139 @@
+package agreement
+
+import (
+	"fmt"
+
+	"distbasics/internal/shm"
+)
+
+// k-simultaneous consensus (§4.2 of the paper, [2]): a one-shot object
+// representing k independent consensus instances. A process proposes a
+// vector of k values (one proposal per instance) and obtains a pair
+// (j, w): "instance j decided w". Different processes may return different
+// instances, but any two outputs for the same instance carry the same
+// value, and w was proposed to instance j by some process. In
+// ASMn,n-1[∅], k-simultaneous consensus is computationally equivalent to
+// k-set agreement [2, 16]; the k-universal constructions of §4.2 consume
+// it as their base object.
+//
+// KSimConsensus here is an atomic *base object* (each operation is a
+// single atomic step), mirroring how the paper's k-universal constructions
+// assume the object rather than implement it. The instance-assignment rule
+// — proposer arrivals spread round-robin over instances — realizes the
+// object's essential weakness: concurrent proposers may be directed to
+// different instances, so no single total order emerges.
+
+// KSimResult is the output of a k-simultaneous consensus proposal.
+type KSimResult struct {
+	// Instance is the index j in [0, k) of the instance this process
+	// learned the decision of.
+	Instance int
+	// Value is instance j's decided value.
+	Value any
+}
+
+// KSimConsensus is the atomic k-simultaneous consensus base object. The
+// Width parameter generalizes it to the (k,ℓ)-simultaneous consensus
+// object of [62]: each proposal returns decisions for ℓ distinct instances
+// rather than one, which is what lifts the k-universal construction's
+// guarantee from "at least 1 object progresses" to "at least ℓ".
+type KSimConsensus struct {
+	k, width int
+	offset   int // rotation of the arrival->instance map (see NewKLSimConsensusAt)
+	st       *ksimState
+}
+
+type ksimState struct {
+	decided  []any
+	sealed   []bool
+	arrivals int
+}
+
+// NewKSimConsensus returns a k-simultaneous consensus object (width 1).
+func NewKSimConsensus(k int) *KSimConsensus { return NewKLSimConsensus(k, 1) }
+
+// NewKLSimConsensus returns a (k,ℓ)-simultaneous consensus object: each
+// Propose returns decisions for ℓ distinct instances.
+func NewKLSimConsensus(k, l int) *KSimConsensus { return NewKLSimConsensusAt(k, l, 0) }
+
+// NewKLSimConsensusAt additionally rotates the arrival→instance mapping by
+// offset: the first proposer is directed to instance offset mod k. Users
+// that allocate one object per round pass the round number, so that a solo
+// process cycles through all k instances over k rounds instead of driving
+// only instance 0.
+func NewKLSimConsensusAt(k, l, offset int) *KSimConsensus {
+	if k < 1 || l < 1 || l > k {
+		panic(fmt.Sprintf("agreement: (k,l)-simultaneous consensus requires 1 <= l <= k, got k=%d l=%d", k, l))
+	}
+	if offset < 0 {
+		offset = -offset
+	}
+	return &KSimConsensus{
+		k:      k,
+		width:  l,
+		offset: offset % k,
+		st:     &ksimState{decided: make([]any, k), sealed: make([]bool, k)},
+	}
+}
+
+// K returns the object's arity.
+func (o *KSimConsensus) K() int { return o.k }
+
+// Width returns ℓ, the number of instances each proposal learns.
+func (o *KSimConsensus) Width() int { return o.width }
+
+// Propose submits one proposal per instance (len(proposals) must be k) and
+// returns the ℓ (instance, value) decisions this process learns. Proposals
+// must be non-nil. One atomic step.
+func (o *KSimConsensus) Propose(p *shm.Proc, proposals []any) []KSimResult {
+	if len(proposals) != o.k {
+		panic(fmt.Sprintf("agreement: KSimConsensus.Propose needs %d proposals, got %d", o.k, len(proposals)))
+	}
+	out := make([]KSimResult, 0, o.width)
+	shm.Atomic(p, func() {
+		start := (o.st.arrivals + o.offset) % o.k
+		o.st.arrivals++
+		for i := 0; i < o.width; i++ {
+			j := (start + i) % o.k
+			if o.st.decided[j] == nil && !o.st.sealed[j] {
+				o.st.decided[j] = proposals[j]
+			}
+			// Value stays nil if the instance was sealed undecided.
+			out = append(out, KSimResult{Instance: j, Value: o.st.decided[j]})
+		}
+	})
+	return out
+}
+
+// Seal atomically closes the object: every still-undecided instance
+// becomes permanently undecided, and the (now final) per-instance verdicts
+// are returned (nil = never decided). Every Seal returns the same
+// verdicts. This is the closing barrier the k-universal construction uses
+// to fix a round's outcome before moving to the next round — without it,
+// a slow proposer could decide an instance of an old round after faster
+// processes had already acted on its absence.
+func (o *KSimConsensus) Seal(p *shm.Proc) []any {
+	var out []any
+	shm.Atomic(p, func() {
+		for j := range o.st.decided {
+			if o.st.decided[j] == nil {
+				o.st.sealed[j] = true
+			}
+		}
+		out = make([]any, len(o.st.decided))
+		copy(out, o.st.decided)
+	})
+	return out
+}
+
+// Decisions returns a copy of the per-instance decided values (nil entries
+// undecided). One atomic step. The k-universal construction uses it to
+// learn decisions of instances other than the caller's own.
+func (o *KSimConsensus) Decisions(p *shm.Proc) []any {
+	var out []any
+	shm.Atomic(p, func() {
+		out = make([]any, len(o.st.decided))
+		copy(out, o.st.decided)
+	})
+	return out
+}

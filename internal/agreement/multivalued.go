@@ -1,0 +1,63 @@
+package agreement
+
+import "distbasics/internal/shm"
+
+// MVConsensus builds multivalued consensus from BINARY consensus
+// objects plus read/write registers — the classical reduction that
+// closes the gap between the paper's hierarchy table (whose level-∞
+// witness "sticky bit" is a binary object) and §4.2's consensus
+// definition (arbitrary proposed values): if binary consensus is
+// solvable for n processes, so is multivalued consensus.
+//
+// Algorithm (one binary instance per process id):
+//
+//	write prop[i] := v_i
+//	for k = 0 .. n-1:
+//	    d_k := B_k.propose( prop[k] ≠ ⊥ ? 1 : 0 )
+//	    if d_k = 1: return prop[k]
+//
+// Agreement: binary agreement makes every process see the same first
+// k* with d_{k*} = 1; prop[k*] is written exactly once (by k*, before
+// anyone can propose 1 to B_{k*}), so all readers return the same
+// value. Validity: prop[k*] is k*'s proposal. Termination: let k* be
+// the process whose write of prop[k*] completes first; every proposal
+// to B_{k*} happens after the proposer's own write, hence after k*'s
+// write, so every proposal to B_{k*} reads prop[k*] ≠ ⊥ and is 1 —
+// B_{k*} decides 1, and the loop returns within n iterations,
+// wait-free.
+type MVConsensus struct {
+	n     int
+	props *shm.RegisterArray
+	bins  []Consensus
+}
+
+// NewMVConsensus builds the reduction for n processes; binFactory must
+// produce fresh binary consensus objects correct for n processes (e.g.
+// sticky bits, or CAS-based binary consensus).
+func NewMVConsensus(n int, binFactory func() Consensus) *MVConsensus {
+	bins := make([]Consensus, n)
+	for k := range bins {
+		bins[k] = binFactory()
+	}
+	return &MVConsensus{n: n, props: shm.NewRegisterArray(n, nil), bins: bins}
+}
+
+// Propose implements Consensus for arbitrary non-nil values.
+func (c *MVConsensus) Propose(p *shm.Proc, v any) any {
+	if v == nil {
+		panic("agreement: MVConsensus proposals must be non-nil")
+	}
+	c.props.Reg(p.ID()).Write(p, v)
+	for k := 0; k < c.n; k++ {
+		bit := 0
+		if c.props.Reg(k).Read(p) != nil {
+			bit = 1
+		}
+		if c.bins[k].Propose(p, bit) == 1 {
+			return c.props.Reg(k).Read(p)
+		}
+	}
+	// Unreachable when the binary objects are correct: this process's
+	// own instance must decide 1 (it wrote prop[i] before proposing).
+	panic("agreement: MVConsensus fell through every instance")
+}

@@ -1,0 +1,98 @@
+package agreement
+
+import (
+	"math/rand"
+	"testing"
+
+	"distbasics/internal/shm"
+)
+
+// TestMVFromStickyExhaustive: multivalued consensus from binary sticky
+// bits — every 2-process interleaving (with one crash) is correct for
+// arbitrary (non-binary) values.
+func TestMVFromStickyExhaustive(t *testing.T) {
+	res := shm.Explore(shm.ExploreOpts{
+		Factory: func() *shm.Run {
+			c := NewMVConsensus(2, func() Consensus { return NewStickyConsensus() })
+			return &shm.Run{Bodies: []func(p *shm.Proc) any{
+				func(p *shm.Proc) any { return c.Propose(p, "apple") },
+				func(p *shm.Proc) any { return c.Propose(p, "pear") },
+			}}
+		},
+		MaxCrashes: 1,
+		Check: func(out *shm.Outcome) string {
+			return CheckConsensusOutcome(out, []any{"apple", "pear"})
+		},
+	})
+	if res.Violation != "" {
+		t.Fatalf("violation: %s (schedule %v)", res.Violation, res.Schedule)
+	}
+	t.Logf("exhaustive: %d executions, no violation", res.Executions)
+}
+
+// TestMVFromStickyStressN4: arbitrary string values at n=4 under
+// hostile random schedules with up to 3 crashes — the hierarchy's
+// "cons#(sticky bit) = ∞" realized for multivalued consensus.
+func TestMVFromStickyStressN4(t *testing.T) {
+	vals := []any{"red", "green", "blue", "amber"}
+	for seed := int64(0); seed < 40; seed++ {
+		c := NewMVConsensus(4, func() Consensus { return NewStickyConsensus() })
+		bodies := make([]func(p *shm.Proc) any, 4)
+		for i := 0; i < 4; i++ {
+			i := i
+			bodies[i] = func(p *shm.Proc) any { return c.Propose(p, vals[i]) }
+		}
+		pol := &shm.RandomPolicy{Rng: rand.New(rand.NewSource(seed)), CrashProb: 0.01, MaxCrashes: 3}
+		out := shm.Execute(&shm.Run{Bodies: bodies}, pol, 0)
+		if msg := CheckConsensusOutcome(out, vals); msg != "" {
+			t.Fatalf("seed %d: %s", seed, msg)
+		}
+	}
+}
+
+// TestMVFromCASBinary: the reduction is agnostic to which binary object
+// backs it — CAS-based binary consensus works identically.
+func TestMVFromCASBinary(t *testing.T) {
+	for seed := int64(0); seed < 20; seed++ {
+		c := NewMVConsensus(3, func() Consensus { return NewCASConsensus() })
+		bodies := make([]func(p *shm.Proc) any, 3)
+		for i := 0; i < 3; i++ {
+			i := i
+			bodies[i] = func(p *shm.Proc) any { return c.Propose(p, []int{i * 7}) }
+		}
+		out := shm.Execute(&shm.Run{Bodies: bodies}, shm.NewRandomPolicy(seed), 0)
+		// All finished (no crashes injected) and agreed.
+		var first any
+		for i := 0; i < 3; i++ {
+			if !out.Finished[i] {
+				t.Fatalf("seed %d: process %d did not finish", seed, i)
+			}
+			if first == nil {
+				first = out.Outputs[i]
+			} else if out.Outputs[i].([]int)[0] != first.([]int)[0] {
+				t.Fatalf("seed %d: disagreement %v vs %v", seed, out.Outputs[i], first)
+			}
+		}
+	}
+}
+
+func TestMVConsensusSequential(t *testing.T) {
+	c := NewMVConsensus(2, func() Consensus { return NewStickyConsensus() })
+	p0, p1 := shm.NewDirectProc(0), shm.NewDirectProc(1)
+	if got := c.Propose(p0, 42); got != 42 {
+		t.Fatalf("first Propose = %v", got)
+	}
+	if got := c.Propose(p1, 99); got != 42 {
+		t.Fatalf("second Propose = %v, want 42", got)
+	}
+}
+
+func TestMVConsensusRejectsNil(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("nil proposal must panic")
+		}
+	}()
+	c := NewMVConsensus(2, func() Consensus { return NewStickyConsensus() })
+	c.Propose(shm.NewDirectProc(0), nil)
+}

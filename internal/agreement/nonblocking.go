@@ -1,0 +1,72 @@
+package agreement
+
+import "distbasics/internal/shm"
+
+// NonBlockingAbortable combines abortable semantics with the
+// non-blocking progress property — the hybrid §4.3 points to ("it is
+// also possible to combine abortable objects with the non-blocking
+// progress property", [55, 60]).
+//
+// The object keeps its state behind a version-stamped CAS register. An
+// invocation reads the current version, computes the operation locally,
+// and tries to CAS the successor version in; contention makes the CAS
+// fail, and after Retries failures the invocation aborts WITHOUT having
+// modified the object. The two §4.3 properties:
+//
+//   - Abortable: a concurrency-free invocation succeeds on its first
+//     attempt; an aborted invocation left no trace.
+//   - Non-blocking: a CAS can only fail because another invocation's
+//     CAS succeeded in the same window, so whenever operations are
+//     attempted concurrently and some process keeps taking steps, some
+//     operation completes — the system makes progress even though
+//     individual invocations may abort (contrast wait-freedom, §4.3).
+type NonBlockingAbortable struct {
+	cas     *shm.CompareAndSwap
+	apply   func(state, op any) (newState, resp any)
+	retries int
+}
+
+// version is the CAS cell content: a state with a sequence stamp so ABA
+// cannot occur (states may repeat; versions never do).
+type version struct {
+	seq   int
+	state any
+}
+
+// NewNonBlockingAbortable returns the hybrid object with the given
+// initial state, sequential semantics, and per-invocation retry budget
+// (minimum 1).
+func NewNonBlockingAbortable(init any, retries int, apply func(state, op any) (any, any)) *NonBlockingAbortable {
+	if retries < 1 {
+		retries = 1
+	}
+	return &NonBlockingAbortable{
+		cas:     shm.NewCompareAndSwap(&version{seq: 0, state: init}),
+		apply:   apply,
+		retries: retries,
+	}
+}
+
+// Invoke attempts op. It returns (resp, true) on success and
+// (Aborted, false) when every attempt hit contention; an aborted
+// invocation has not modified the object.
+func (o *NonBlockingAbortable) Invoke(p *shm.Proc, op any) (any, bool) {
+	for attempt := 0; attempt < o.retries; attempt++ {
+		cur := o.cas.Read(p).(*version)
+		next, resp := o.apply(cur.state, op)
+		if o.cas.CompareAndSwap(p, cur, &version{seq: cur.seq + 1, state: next}) {
+			return resp, true
+		}
+	}
+	return Aborted, false
+}
+
+// Peek returns the current state (one atomic read).
+func (o *NonBlockingAbortable) Peek(p *shm.Proc) any {
+	return o.cas.Read(p).(*version).state
+}
+
+// Version returns the number of successful invocations so far.
+func (o *NonBlockingAbortable) Version(p *shm.Proc) int {
+	return o.cas.Read(p).(*version).seq
+}

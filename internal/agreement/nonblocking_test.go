@@ -1,0 +1,143 @@
+package agreement
+
+import (
+	"testing"
+
+	"distbasics/internal/shm"
+)
+
+func incApply(state, op any) (any, any) {
+	return state.(int) + op.(int), state.(int) + op.(int)
+}
+
+func TestNonBlockingAbortableSolo(t *testing.T) {
+	o := NewNonBlockingAbortable(0, 1, incApply)
+	p := shm.NewDirectProc(0)
+	for i := 1; i <= 5; i++ {
+		resp, ok := o.Invoke(p, 1)
+		if !ok || resp != i {
+			t.Fatalf("solo invoke %d: (%v, %v)", i, resp, ok)
+		}
+	}
+	if o.Peek(p) != 5 || o.Version(p) != 5 {
+		t.Fatalf("state/version = %v/%d", o.Peek(p), o.Version(p))
+	}
+}
+
+// TestNonBlockingSystemProgress: exhaustively, in every 2-process
+// interleaving, at least one invocation succeeds (non-blocking), and
+// the final state counts exactly the successes (aborts left no trace).
+func TestNonBlockingSystemProgress(t *testing.T) {
+	res := shm.Explore(shm.ExploreOpts{
+		Factory: func() *shm.Run {
+			o := NewNonBlockingAbortable(0, 1, incApply)
+			body := func(p *shm.Proc) any {
+				_, ok := o.Invoke(p, 1)
+				return ok
+			}
+			return &shm.Run{Bodies: []func(p *shm.Proc) any{body, body}}
+		},
+		Check: func(out *shm.Outcome) string {
+			succ := 0
+			for i := 0; i < 2; i++ {
+				if out.Finished[i] && out.Outputs[i] == true {
+					succ++
+				}
+			}
+			bothDone := out.Finished[0] && out.Finished[1]
+			if bothDone && succ == 0 {
+				return "both invocations aborted: non-blocking violated"
+			}
+			return ""
+		},
+	})
+	if res.Violation != "" {
+		t.Fatalf("%s (schedule %v)", res.Violation, res.Schedule)
+	}
+	if res.Executions == 0 {
+		t.Fatal("explorer ran nothing")
+	}
+}
+
+// TestAbortsLeaveNoTrace: under hostile random schedules with many
+// processes and a tiny retry budget, the final counter equals the
+// number of successful invocations exactly.
+func TestAbortsLeaveNoTrace(t *testing.T) {
+	const n, per = 4, 6
+	for seed := int64(0); seed < 30; seed++ {
+		o := NewNonBlockingAbortable(0, 1, incApply)
+		bodies := make([]func(p *shm.Proc) any, n)
+		for i := 0; i < n; i++ {
+			bodies[i] = func(p *shm.Proc) any {
+				succ := 0
+				for k := 0; k < per; k++ {
+					if _, ok := o.Invoke(p, 1); ok {
+						succ++
+					}
+				}
+				return succ
+			}
+		}
+		out := shm.Execute(&shm.Run{Bodies: bodies}, shm.NewRandomPolicy(seed), 0)
+		total := 0
+		for i := 0; i < n; i++ {
+			total += out.Outputs[i].(int)
+		}
+		p := shm.NewDirectProc(0)
+		if got := o.Peek(p); got != total {
+			t.Fatalf("seed %d: state %v, want %d successful increments", seed, got, total)
+		}
+		if v := o.Version(p); v != total {
+			t.Fatalf("seed %d: version %d, want %d", seed, v, total)
+		}
+	}
+}
+
+// TestRetryBudgetHelps: with a generous retry budget, contended
+// invocations succeed far more often than with budget 1.
+func TestRetryBudgetHelps(t *testing.T) {
+	run := func(retries int) int {
+		const n, per = 4, 8
+		total := 0
+		for seed := int64(0); seed < 10; seed++ {
+			o := NewNonBlockingAbortable(0, retries, incApply)
+			bodies := make([]func(p *shm.Proc) any, n)
+			for i := 0; i < n; i++ {
+				bodies[i] = func(p *shm.Proc) any {
+					succ := 0
+					for k := 0; k < per; k++ {
+						if _, ok := o.Invoke(p, 1); ok {
+							succ++
+						}
+					}
+					return succ
+				}
+			}
+			out := shm.Execute(&shm.Run{Bodies: bodies}, shm.NewRandomPolicy(seed), 0)
+			for i := 0; i < n; i++ {
+				total += out.Outputs[i].(int)
+			}
+		}
+		return total
+	}
+	one, many := run(1), run(16)
+	if many < one {
+		t.Fatalf("retry budget 16 succeeded %d times, budget 1 %d times", many, one)
+	}
+	if many == 0 {
+		t.Fatal("no invocation ever succeeded")
+	}
+}
+
+func TestNonBlockingConcurrencyFreeAlwaysSucceeds(t *testing.T) {
+	// Round-robin schedule where operations never overlap: every
+	// invocation must succeed even with retry budget 1.
+	o := NewNonBlockingAbortable(0, 1, incApply)
+	bodies := []func(p *shm.Proc) any{
+		func(p *shm.Proc) any { r, ok := o.Invoke(p, 1); _ = r; return ok },
+	}
+	out := shm.Execute(&shm.Run{Bodies: bodies}, &shm.RoundRobinPolicy{}, 0)
+	if out.Outputs[0] != true {
+		t.Fatal("concurrency-free invocation aborted")
+	}
+}

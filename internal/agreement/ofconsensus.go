@@ -1,0 +1,106 @@
+package agreement
+
+import (
+	"distbasics/internal/shm"
+)
+
+// OFConsensus is obstruction-free consensus from read/write registers
+// only — the §4.3 recipe for living with the §4.2 impossibility: keep the
+// safety of consensus but weaken its termination to obstruction-freedom
+// ("a process that runs long enough in isolation decides").
+//
+// The algorithm is single-decree Paxos transposed to shared memory (the
+// "Alpha" of indulgent consensus): process i owns one register holding a
+// triple (mbal, bal, val) — the highest ballot it has seen, and the ballot
+// and value it last accepted. A proposer with ballot b (b ≡ id mod n, so
+// ballots never collide):
+//
+//  1. writes mbal := b to its register, then reads all registers; if any
+//     mbal' > b it restarts with a higher ballot; otherwise it adopts the
+//     value of the highest (bal, val) accepted so far (or its own input),
+//  2. writes (bal, val) := (b, v), re-reads all registers; if still no
+//     mbal' > b, v is decided.
+//
+// Safety is the Paxos ballot argument, unconditional. Termination holds
+// whenever a process eventually runs alone (obstruction-freedom); under
+// contention two proposers can abort each other forever, which tests
+// exhibit with an adversarial scheduler. Space: exactly n registers —
+// matching the n-k+1 lower bound of [9] for k = 1.
+type OFConsensus struct {
+	n    int
+	regs *shm.RegisterArray // one SWMR triple per process
+}
+
+// ofTriple is one process's Paxos state.
+type ofTriple struct {
+	mbal int // highest ballot entered (phase 1)
+	bal  int // ballot of accepted value (phase 2), 0 = none
+	val  any
+}
+
+// NewOFConsensus returns an obstruction-free consensus object for n
+// processes using n registers.
+func NewOFConsensus(n int) *OFConsensus {
+	return &OFConsensus{n: n, regs: shm.NewRegisterArray(n, &ofTriple{})}
+}
+
+// Propose runs proposer ballots until one commits. It returns the decided
+// value; it may run forever under perpetual contention (obstruction-free
+// termination only).
+func (c *OFConsensus) Propose(p *shm.Proc, v any) any {
+	id := p.ID()
+	b := id + 1 // ballots are positive and ≡ id+1 (mod n)
+	for {
+		if val, ok := c.tryBallot(p, b, v); ok {
+			return val
+		}
+		// Retry with the next ballot this process owns, jumping past every
+		// ballot observed.
+		maxSeen := 0
+		for i := 0; i < c.n; i++ {
+			tr := c.regs.Reg(i).Read(p).(*ofTriple)
+			if tr.mbal > maxSeen {
+				maxSeen = tr.mbal
+			}
+		}
+		for b <= maxSeen {
+			b += c.n
+		}
+	}
+}
+
+// tryBallot runs one two-phase ballot; ok reports a decision.
+func (c *OFConsensus) tryBallot(p *shm.Proc, b int, v any) (any, bool) {
+	id := p.ID()
+	my := c.regs.Reg(id)
+
+	// Phase 1: claim ballot b.
+	cur := my.Read(p).(*ofTriple)
+	my.Write(p, &ofTriple{mbal: b, bal: cur.bal, val: cur.val})
+	adopt := v
+	adoptBal := 0
+	for i := 0; i < c.n; i++ {
+		tr := c.regs.Reg(i).Read(p).(*ofTriple)
+		if tr.mbal > b {
+			return nil, false
+		}
+		if tr.bal > adoptBal {
+			adoptBal = tr.bal
+			adopt = tr.val
+		}
+	}
+
+	// Phase 2: accept (b, adopt).
+	my.Write(p, &ofTriple{mbal: b, bal: b, val: adopt})
+	for i := 0; i < c.n; i++ {
+		tr := c.regs.Reg(i).Read(p).(*ofTriple)
+		if tr.mbal > b {
+			return nil, false
+		}
+	}
+	return adopt, true
+}
+
+// RegisterCount returns the number of registers the object uses (n, i.e.
+// n-k+1 with k = 1).
+func (c *OFConsensus) RegisterCount() int { return c.regs.Len() }

@@ -1,0 +1,34 @@
+package agreement
+
+import "distbasics/internal/shm"
+
+// SwapConsensus2 solves 2-process consensus from one atomic swap
+// register plus two read/write registers — swap is one of §4.2's
+// "many others" at hierarchy level 2 ([32]). Each process publishes
+// its proposal, then swaps its own marker into a register initialized
+// with a neutral token: whoever swaps first gets the token back and
+// wins; the other gets the winner's marker and adopts.
+type SwapConsensus2 struct {
+	prefs *shm.RegisterArray
+	swp   *shm.Swap
+}
+
+// swapToken is the neutral initial content of the swap register.
+type swapToken struct{}
+
+// NewSwapConsensus2 returns a consensus object correct for processes
+// with ids 0 and 1.
+func NewSwapConsensus2() *SwapConsensus2 {
+	return &SwapConsensus2{prefs: shm.NewRegisterArray(2, nil), swp: shm.NewSwap(swapToken{})}
+}
+
+// Propose implements Consensus for p.ID() in {0, 1}.
+func (c *SwapConsensus2) Propose(p *shm.Proc, v any) any {
+	id := p.ID()
+	c.prefs.Reg(id).Write(p, v)
+	got := c.swp.Swap(p, id)
+	if _, neutral := got.(swapToken); neutral {
+		return v // first swapper: winner
+	}
+	return c.prefs.Reg(got.(int)).Read(p) // adopt the winner's proposal
+}

@@ -1,0 +1,136 @@
+// Package amp implements the asynchronous message-passing model of §5 of
+// the paper, AMPn,t[∅]: n sequential asynchronous processes, every pair
+// connected by a reliable bidirectional channel (no loss, duplication,
+// creation, or corruption), with arbitrary-but-finite message delays and
+// up to t process crashes.
+//
+// Two runtimes execute the same Process code:
+//
+//   - Sim: a deterministic virtual-time discrete-event simulator. Message
+//     delays come from a pluggable DelayModel (fixed Δ, uniform,
+//     partially-synchronous with a GST). Virtual time is what lets tests
+//     measure the paper's Δ-denominated claims (ABD write = 2Δ, read =
+//     4Δ; the fast-read variant's 2Δ) exactly.
+//   - Live: one goroutine per process over real channels, for integration
+//     tests under the race detector.
+package amp
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// Time is virtual time in abstract units (the simulator's clock).
+type Time int64
+
+// Message is an opaque protocol payload.
+type Message any
+
+// Context is what a process may do from inside a handler. Handlers run
+// atomically with respect to each other (the actor model): a process is
+// sequential, per the paper's model.
+type Context interface {
+	// ID returns this process's identity in [0, N).
+	ID() int
+	// N returns the number of processes.
+	N() int
+	// Now returns the current virtual time.
+	Now() Time
+	// Send queues msg for delivery to process `to` after the network's
+	// chosen delay. Sending to self is allowed (delivered like any other
+	// message).
+	Send(to int, msg Message)
+	// Broadcast sends msg to every process, including the sender (the
+	// paper's "send to all" convention: a broadcaster delivers to itself).
+	// The n sends are individually subject to crash truncation: a process
+	// that crashes mid-broadcast reaches only a prefix of destinations.
+	Broadcast(msg Message)
+	// SetTimer schedules OnTimer(id) after d time units. Timers are
+	// one-shot; re-arm in the handler for periodic behavior.
+	SetTimer(d Time, id int)
+	// Rand returns this process's deterministic random source.
+	Rand() *rand.Rand
+	// Halt marks the process as voluntarily finished: it stops receiving
+	// messages and timers. (Distinct from a crash, which is injected by
+	// the harness.)
+	Halt()
+}
+
+// Process is an asynchronous message-passing protocol endpoint.
+type Process interface {
+	// Init runs once before any message is delivered.
+	Init(ctx Context)
+	// OnMessage handles one delivered message.
+	OnMessage(ctx Context, from int, msg Message)
+	// OnTimer handles a timer expiry.
+	OnTimer(ctx Context, id int)
+}
+
+// DelayModel chooses the delivery delay of each message. Implementations
+// must be deterministic given their own seeded state.
+type DelayModel interface {
+	// Delay returns the delivery delay for a message sent from src to dst
+	// at virtual time at. It must be >= 1.
+	Delay(src, dst int, at Time, rng *rand.Rand) Time
+}
+
+// FixedDelay delivers every message after exactly D units — the paper's
+// "each message takes Δ time units" measurement convention for ABD.
+type FixedDelay struct{ D Time }
+
+// Delay implements DelayModel.
+func (f FixedDelay) Delay(_, _ int, _ Time, _ *rand.Rand) Time {
+	if f.D < 1 {
+		return 1
+	}
+	return f.D
+}
+
+// UniformDelay delivers after a uniform random delay in [Min, Max].
+type UniformDelay struct{ Min, Max Time }
+
+// Delay implements DelayModel.
+func (u UniformDelay) Delay(_, _ int, _ Time, rng *rand.Rand) Time {
+	lo, hi := u.Min, u.Max
+	if lo < 1 {
+		lo = 1
+	}
+	if hi < lo {
+		hi = lo
+	}
+	return lo + Time(rng.Int63n(int64(hi-lo)+1))
+}
+
+// GSTDelay models partial synchrony (§5.3's "restrict the asynchrony"
+// approach, [21, 22]): before the Global Stabilization Time messages take
+// arbitrary delays in [BeforeMin, BeforeMax]; from GST on, delays are
+// bounded by [AfterMin, AfterMax]. Eventual-leader failure detectors (Ω)
+// are implementable exactly because such a GST exists.
+type GSTDelay struct {
+	GST                  Time
+	BeforeMin, BeforeMax Time
+	AfterMin, AfterMax   Time
+}
+
+// Delay implements DelayModel.
+func (g GSTDelay) Delay(src, dst int, at Time, rng *rand.Rand) Time {
+	if at >= g.GST {
+		return UniformDelay{Min: g.AfterMin, Max: g.AfterMax}.Delay(src, dst, at, rng)
+	}
+	return UniformDelay{Min: g.BeforeMin, Max: g.BeforeMax}.Delay(src, dst, at, rng)
+}
+
+// DelayFunc adapts a function to DelayModel.
+type DelayFunc func(src, dst int, at Time, rng *rand.Rand) Time
+
+// Delay implements DelayModel.
+func (f DelayFunc) Delay(src, dst int, at Time, rng *rand.Rand) Time {
+	return f(src, dst, at, rng)
+}
+
+// Validate panics unless 0 <= t < n (internal invariant guard).
+func validatePID(pid, n int) {
+	if pid < 0 || pid >= n {
+		panic(fmt.Sprintf("amp: process id %d out of range [0,%d)", pid, n))
+	}
+}

@@ -1,0 +1,198 @@
+package amp
+
+import (
+	"math/rand"
+	"sync"
+	"time"
+)
+
+// Live runs the same Process code on real goroutines and channels: one
+// goroutine per process consuming an inbox channel, one dispatcher
+// applying real (scaled-down) delays. It exists to demonstrate that
+// protocols written against Context run unchanged on real concurrency —
+// the calibration note's "goroutines/channels ideal for message-passing
+// algorithms" — and to stress them under the race detector.
+//
+// Live makes no determinism promise; assertions against it must be
+// schedule-independent (safety properties).
+type Live struct {
+	n     int
+	procs []Process
+	ctxs  []*liveCtx
+	unit  time.Duration // real duration of one virtual time unit
+	delay DelayModel
+	rng   *rand.Rand
+	mu    sync.Mutex // guards rng and crash/halt flags
+
+	crashed []bool
+	halted  []bool
+	start   time.Time
+	wg      sync.WaitGroup
+	done    chan struct{}
+	inboxes []chan liveEvent
+}
+
+type liveEvent struct {
+	isTimer bool
+	from    int
+	msg     Message
+	tid     int
+}
+
+// LiveOption configures a Live runtime.
+type LiveOption func(*Live)
+
+// WithLiveDelay sets the delay model (virtual units, scaled by the unit
+// duration). Default FixedDelay{1}.
+func WithLiveDelay(d DelayModel) LiveOption {
+	return func(l *Live) { l.delay = d }
+}
+
+// WithUnit sets the real duration of one virtual time unit (default
+// 200µs).
+func WithUnit(u time.Duration) LiveOption {
+	return func(l *Live) { l.unit = u }
+}
+
+// WithLiveSeed seeds delay randomness.
+func WithLiveSeed(seed int64) LiveOption {
+	return func(l *Live) { l.rng = rand.New(rand.NewSource(seed)) }
+}
+
+// NewLive builds and starts the runtime: Init runs synchronously before
+// any delivery, then each process's loop goroutine starts. Call Stop to
+// shut down.
+func NewLive(procs []Process, opts ...LiveOption) *Live {
+	n := len(procs)
+	l := &Live{
+		n:       n,
+		procs:   procs,
+		unit:    200 * time.Microsecond,
+		delay:   FixedDelay{D: 1},
+		rng:     rand.New(rand.NewSource(1)),
+		crashed: make([]bool, n),
+		halted:  make([]bool, n),
+		done:    make(chan struct{}),
+		inboxes: make([]chan liveEvent, n),
+	}
+	for _, o := range opts {
+		o(l)
+	}
+	l.start = time.Now()
+	l.ctxs = make([]*liveCtx, n)
+	for i := 0; i < n; i++ {
+		l.inboxes[i] = make(chan liveEvent, 1024)
+		l.mu.Lock()
+		seed := l.rng.Int63()
+		l.mu.Unlock()
+		l.ctxs[i] = &liveCtx{live: l, id: i, rng: rand.New(rand.NewSource(seed))}
+	}
+	for i, p := range procs {
+		p.Init(l.ctxs[i])
+	}
+	for i := range procs {
+		l.wg.Add(1)
+		go l.loop(i)
+	}
+	return l
+}
+
+func (l *Live) loop(pid int) {
+	defer l.wg.Done()
+	for {
+		select {
+		case <-l.done:
+			return
+		case ev := <-l.inboxes[pid]:
+			l.mu.Lock()
+			dead := l.crashed[pid] || l.halted[pid]
+			l.mu.Unlock()
+			if dead {
+				continue
+			}
+			if ev.isTimer {
+				l.procs[pid].OnTimer(l.ctxs[pid], ev.tid)
+			} else {
+				l.procs[pid].OnMessage(l.ctxs[pid], ev.from, ev.msg)
+			}
+		}
+	}
+}
+
+// Crash marks pid crashed (it stops handling events immediately).
+func (l *Live) Crash(pid int) {
+	validatePID(pid, l.n)
+	l.mu.Lock()
+	l.crashed[pid] = true
+	l.mu.Unlock()
+}
+
+// Stop shuts the runtime down and waits for all goroutines to exit.
+func (l *Live) Stop() {
+	close(l.done)
+	l.wg.Wait()
+}
+
+// Wait sleeps for d virtual units of real time (testing helper).
+func (l *Live) Wait(d Time) {
+	time.Sleep(time.Duration(d) * l.unit)
+}
+
+func (l *Live) virtualNow() Time {
+	return Time(time.Since(l.start) / l.unit)
+}
+
+func (l *Live) post(pid int, ev liveEvent, after time.Duration) {
+	timer := time.AfterFunc(after, func() {
+		select {
+		case l.inboxes[pid] <- ev:
+		case <-l.done:
+		}
+	})
+	// Ensure Stop doesn't leave armed timers delivering into closed land;
+	// the select above guards delivery, so letting the timer fire is safe.
+	_ = timer
+}
+
+// liveCtx implements Context over the live runtime.
+type liveCtx struct {
+	live *Live
+	id   int
+	rng  *rand.Rand
+}
+
+func (c *liveCtx) ID() int          { return c.id }
+func (c *liveCtx) N() int           { return c.live.n }
+func (c *liveCtx) Now() Time        { return c.live.virtualNow() }
+func (c *liveCtx) Rand() *rand.Rand { return c.rng }
+
+func (c *liveCtx) Halt() {
+	c.live.mu.Lock()
+	c.live.halted[c.id] = true
+	c.live.mu.Unlock()
+}
+
+func (c *liveCtx) Send(to int, msg Message) {
+	validatePID(to, c.live.n)
+	c.live.mu.Lock()
+	if c.live.crashed[c.id] {
+		c.live.mu.Unlock()
+		return
+	}
+	d := c.live.delay.Delay(c.id, to, c.Now(), c.live.rng)
+	c.live.mu.Unlock()
+	c.live.post(to, liveEvent{from: c.id, msg: msg}, time.Duration(d)*c.live.unit)
+}
+
+func (c *liveCtx) Broadcast(msg Message) {
+	for i := 0; i < c.live.n; i++ {
+		c.Send(i, msg)
+	}
+}
+
+func (c *liveCtx) SetTimer(d Time, id int) {
+	if d < 1 {
+		d = 1
+	}
+	c.live.post(c.id, liveEvent{isTimer: true, tid: id}, time.Duration(d)*c.live.unit)
+}

@@ -1,0 +1,212 @@
+package amp
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+// liveEcho counts pings and pongs; p0 broadcasts, everyone echoes back
+// to the sender, and each process halts after its quota.
+type liveEcho struct {
+	mu    sync.Mutex
+	pings int
+	pongs int
+	quota int
+}
+
+type pingMsg struct{ Hop int }
+
+func (e *liveEcho) Init(ctx Context) {
+	if ctx.ID() == 0 {
+		ctx.Broadcast(pingMsg{Hop: 0})
+	}
+}
+
+func (e *liveEcho) OnMessage(ctx Context, from int, msg Message) {
+	m, ok := msg.(pingMsg)
+	if !ok {
+		return
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if m.Hop == 0 {
+		e.pings++
+		if ctx.ID() != 0 {
+			ctx.Send(from, pingMsg{Hop: 1})
+		}
+	} else {
+		e.pongs++
+	}
+	if e.pings+e.pongs >= e.quota {
+		ctx.Halt()
+	}
+}
+
+func (e *liveEcho) OnTimer(Context, int) {}
+
+func TestLiveBroadcastEchoAndHalt(t *testing.T) {
+	const n = 4
+	procs := make([]Process, n)
+	echoes := make([]*liveEcho, n)
+	for i := 0; i < n; i++ {
+		echoes[i] = &liveEcho{quota: 64}
+		procs[i] = echoes[i]
+	}
+	l := NewLive(procs,
+		WithUnit(100*time.Microsecond),
+		WithLiveSeed(7),
+		WithLiveDelay(UniformDelay{Min: 1, Max: 3}))
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		echoes[0].mu.Lock()
+		done := echoes[0].pongs >= n-1
+		echoes[0].mu.Unlock()
+		if done {
+			break
+		}
+		time.Sleep(time.Millisecond)
+	}
+	l.Stop()
+
+	// p0 broadcast to all n (including itself); the n-1 others replied.
+	for i := 1; i < n; i++ {
+		echoes[i].mu.Lock()
+		pings := echoes[i].pings
+		echoes[i].mu.Unlock()
+		if pings != 1 {
+			t.Fatalf("process %d saw %d pings, want 1", i, pings)
+		}
+	}
+	echoes[0].mu.Lock()
+	defer echoes[0].mu.Unlock()
+	if echoes[0].pongs != n-1 {
+		t.Fatalf("p0 saw %d pongs, want %d", echoes[0].pongs, n-1)
+	}
+}
+
+// liveTimerProc re-arms a timer a fixed number of times, then halts.
+type liveTimerProc struct {
+	mu    sync.Mutex
+	fires int
+	limit int
+}
+
+func (p *liveTimerProc) Init(ctx Context) { ctx.SetTimer(2, 1) }
+
+func (p *liveTimerProc) OnMessage(Context, int, Message) {}
+
+func (p *liveTimerProc) OnTimer(ctx Context, id int) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.fires++
+	if p.fires < p.limit {
+		ctx.SetTimer(2, id)
+	} else {
+		ctx.Halt()
+	}
+}
+
+func TestLiveTimersFireAndHaltStopsDelivery(t *testing.T) {
+	p := &liveTimerProc{limit: 5}
+	l := NewLive([]Process{p}, WithUnit(100*time.Microsecond))
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		p.mu.Lock()
+		fires := p.fires
+		p.mu.Unlock()
+		if fires >= 5 || time.Now().After(deadline) {
+			break
+		}
+		time.Sleep(time.Millisecond)
+	}
+	l.Wait(20) // margin: a 6th fire would land in here if halt failed
+	l.Stop()
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.fires != 5 {
+		t.Fatalf("timer fired %d times, want exactly 5 (halt must stop re-delivery)", p.fires)
+	}
+}
+
+// liveRandProc draws from the per-process Rand inside a handler.
+type liveRandProc struct {
+	mu   sync.Mutex
+	draw int64
+}
+
+func (p *liveRandProc) Init(ctx Context) { ctx.Send(ctx.ID(), "go") }
+
+func (p *liveRandProc) OnMessage(ctx Context, _ int, _ Message) {
+	p.mu.Lock()
+	p.draw = ctx.Rand().Int63()
+	p.mu.Unlock()
+	ctx.Halt()
+}
+
+func (p *liveRandProc) OnTimer(Context, int) {}
+
+func TestLivePerProcessRand(t *testing.T) {
+	a, b := &liveRandProc{}, &liveRandProc{}
+	l := NewLive([]Process{a, b}, WithUnit(100*time.Microsecond), WithLiveSeed(3))
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		a.mu.Lock()
+		da := a.draw
+		a.mu.Unlock()
+		b.mu.Lock()
+		db := b.draw
+		b.mu.Unlock()
+		if da != 0 && db != 0 {
+			break
+		}
+		time.Sleep(time.Millisecond)
+	}
+	l.Stop()
+	a.mu.Lock()
+	da := a.draw
+	a.mu.Unlock()
+	b.mu.Lock()
+	db := b.draw
+	b.mu.Unlock()
+	if da == 0 || db == 0 {
+		t.Fatal("both processes must have drawn randomness")
+	}
+	if da == db {
+		t.Fatal("per-process Rand sources must be independent")
+	}
+}
+
+// TestLiveCrashStopsHandling: a crashed process ignores queued events.
+func TestLiveCrashStopsHandling(t *testing.T) {
+	const n = 3
+	procs := make([]Process, n)
+	echoes := make([]*liveEcho, n)
+	for i := 0; i < n; i++ {
+		echoes[i] = &liveEcho{quota: 1 << 30}
+		procs[i] = echoes[i]
+	}
+	l := NewLive(procs, WithUnit(100*time.Microsecond))
+	l.Crash(2) // crash before the ping can be handled
+	l.Wait(60)
+	l.Stop()
+	echoes[2].mu.Lock()
+	defer echoes[2].mu.Unlock()
+	if echoes[2].pings != 0 {
+		t.Fatalf("crashed process handled %d pings, want 0", echoes[2].pings)
+	}
+}
+
+func TestLiveContextAccessors(t *testing.T) {
+	p := &liveRandProc{}
+	l := NewLive([]Process{p}, WithUnit(100*time.Microsecond))
+	ctx := l.ctxs[0]
+	if ctx.N() != 1 || ctx.ID() != 0 {
+		t.Fatalf("N/ID = %d/%d", ctx.N(), ctx.ID())
+	}
+	l.Wait(5)
+	if ctx.Now() < 0 {
+		t.Fatal("virtual now must be non-negative")
+	}
+	l.Stop()
+}

@@ -1,0 +1,276 @@
+package amp
+
+import (
+	"container/heap"
+	"fmt"
+	"math/rand"
+)
+
+// Sim is the deterministic virtual-time simulator of AMPn,t[∅]. All state
+// changes happen inside Run's event loop; the test driver injects work via
+// Schedule closures (virtual "clients") and inspects processes afterwards.
+type Sim struct {
+	n      int
+	procs  []Process
+	ctxs   []*simCtx
+	delay  DelayModel
+	rng    *rand.Rand
+	events eventHeap
+	seq    uint64
+	now    Time
+
+	crashed    []bool
+	halted     []bool
+	sendBudget []int // -1 = unlimited; otherwise remaining sends before crash
+	delivered  int
+	sent       int
+	dropFn     func(src, dst int, at Time) bool
+	inited     bool
+}
+
+// SimOption configures a simulator.
+type SimOption func(*Sim)
+
+// WithDelay sets the delay model (default FixedDelay{1}).
+func WithDelay(d DelayModel) SimOption {
+	return func(s *Sim) { s.delay = d }
+}
+
+// WithSeed seeds the simulator's deterministic randomness (delays and
+// per-process Rand sources derive from it). Default seed 1.
+func WithSeed(seed int64) SimOption {
+	return func(s *Sim) { s.rng = rand.New(rand.NewSource(seed)) }
+}
+
+// WithDropRule installs a message filter: messages for which fn returns
+// true are silently dropped (network partitions for liveness experiments;
+// note AMPn,t[∅] channels are reliable, so protocols relying on that must
+// only face drops in "what if" liveness probes like E9's t >= n/2 case).
+func WithDropRule(fn func(src, dst int, at Time) bool) SimOption {
+	return func(s *Sim) { s.dropFn = fn }
+}
+
+// NewSim builds a simulator over the given processes (procs[i] is process
+// i). Init runs at virtual time 0 on the first Run call.
+func NewSim(procs []Process, opts ...SimOption) *Sim {
+	n := len(procs)
+	s := &Sim{
+		n:          n,
+		procs:      procs,
+		delay:      FixedDelay{D: 1},
+		rng:        rand.New(rand.NewSource(1)),
+		crashed:    make([]bool, n),
+		halted:     make([]bool, n),
+		sendBudget: make([]int, n),
+	}
+	for i := range s.sendBudget {
+		s.sendBudget[i] = -1
+	}
+	for _, o := range opts {
+		o(s)
+	}
+	s.ctxs = make([]*simCtx, n)
+	for i := 0; i < n; i++ {
+		s.ctxs[i] = &simCtx{sim: s, id: i, rng: rand.New(rand.NewSource(s.rng.Int63()))}
+	}
+	return s
+}
+
+// initOnce runs Init on every process at virtual time 0, once, before the
+// first event is processed. Deferring Init to Run (rather than NewSim)
+// lets crash injection configured between NewSim and Run — in particular
+// CrashAfterSends(pid, 0), "crash before sending anything" — truncate
+// Init-time broadcasts.
+func (s *Sim) initOnce() {
+	if s.inited {
+		return
+	}
+	s.inited = true
+	for i, p := range s.procs {
+		if !s.crashed[i] {
+			p.Init(s.ctxs[i])
+		}
+	}
+}
+
+// event kinds.
+type eventKind int
+
+const (
+	evDeliver eventKind = iota + 1
+	evTimer
+	evClosure
+	evCrash
+)
+
+type event struct {
+	at   Time
+	seq  uint64 // tie-break for determinism
+	kind eventKind
+	to   int
+	from int
+	msg  Message
+	tid  int
+	fn   func()
+}
+
+type eventHeap []*event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x any)   { *h = append(*h, x.(*event)) }
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return e
+}
+
+func (s *Sim) push(e *event) {
+	e.seq = s.seq
+	s.seq++
+	heap.Push(&s.events, e)
+}
+
+// Now returns the current virtual time.
+func (s *Sim) Now() Time { return s.now }
+
+// N returns the number of processes.
+func (s *Sim) N() int { return s.n }
+
+// MessagesSent and MessagesDelivered report network statistics.
+func (s *Sim) MessagesSent() int { return s.sent }
+
+// MessagesDelivered reports how many messages reached a live process.
+func (s *Sim) MessagesDelivered() int { return s.delivered }
+
+// Schedule runs fn at virtual time at (>= now) inside the event loop —
+// the mechanism for test drivers ("clients") to invoke protocol
+// operations at chosen times.
+func (s *Sim) Schedule(at Time, fn func()) {
+	if at < s.now {
+		at = s.now
+	}
+	s.push(&event{at: at, kind: evClosure, fn: fn})
+}
+
+// CrashAt schedules a crash of pid at virtual time at: from then on it
+// neither sends nor receives (messages in flight to it are dropped at
+// delivery). Crash failures are premature halts, per §2.4.
+func (s *Sim) CrashAt(pid int, at Time) {
+	validatePID(pid, s.n)
+	s.push(&event{at: at, kind: evCrash, to: pid})
+}
+
+// CrashAfterSends lets pid send k more messages and then crashes it at the
+// (k+1)-th send attempt — the "crash in the middle of a broadcast" of
+// §5.1's reliable-broadcast motivation: only a prefix of destinations
+// receive the message.
+func (s *Sim) CrashAfterSends(pid int, k int) {
+	validatePID(pid, s.n)
+	s.sendBudget[pid] = k
+}
+
+// Crashed reports whether pid has crashed.
+func (s *Sim) Crashed(pid int) bool {
+	validatePID(pid, s.n)
+	return s.crashed[pid]
+}
+
+// Run processes events until the queue is empty or virtual time would
+// exceed until (0 = run to quiescence). It returns the number of events
+// processed.
+func (s *Sim) Run(until Time) int {
+	s.initOnce()
+	processed := 0
+	for s.events.Len() > 0 {
+		e := s.events[0]
+		if until > 0 && e.at > until {
+			break
+		}
+		heap.Pop(&s.events)
+		s.now = e.at
+		processed++
+		switch e.kind {
+		case evDeliver:
+			if s.crashed[e.to] || s.halted[e.to] {
+				continue
+			}
+			s.delivered++
+			s.procs[e.to].OnMessage(s.ctxs[e.to], e.from, e.msg)
+		case evTimer:
+			if s.crashed[e.to] || s.halted[e.to] {
+				continue
+			}
+			s.procs[e.to].OnTimer(s.ctxs[e.to], e.tid)
+		case evClosure:
+			e.fn()
+		case evCrash:
+			s.crashed[e.to] = true
+		default:
+			panic(fmt.Sprintf("amp: unknown event kind %d", e.kind))
+		}
+	}
+	return processed
+}
+
+// send is the internal path used by contexts.
+func (s *Sim) send(src, dst int, msg Message) {
+	validatePID(dst, s.n)
+	if s.crashed[src] {
+		return
+	}
+	if s.sendBudget[src] == 0 {
+		// Crash triggered mid-send-sequence.
+		s.crashed[src] = true
+		return
+	}
+	if s.sendBudget[src] > 0 {
+		s.sendBudget[src]--
+	}
+	s.sent++
+	if s.dropFn != nil && s.dropFn(src, dst, s.now) {
+		return
+	}
+	d := s.delay.Delay(src, dst, s.now, s.rng)
+	if d < 1 {
+		d = 1
+	}
+	s.push(&event{at: s.now + d, kind: evDeliver, to: dst, from: src, msg: msg})
+}
+
+// simCtx implements Context for one process.
+type simCtx struct {
+	sim *Sim
+	id  int
+	rng *rand.Rand
+}
+
+func (c *simCtx) ID() int          { return c.id }
+func (c *simCtx) N() int           { return c.sim.n }
+func (c *simCtx) Now() Time        { return c.sim.now }
+func (c *simCtx) Rand() *rand.Rand { return c.rng }
+func (c *simCtx) Halt()            { c.sim.halted[c.id] = true }
+
+func (c *simCtx) Send(to int, msg Message) { c.sim.send(c.id, to, msg) }
+
+func (c *simCtx) Broadcast(msg Message) {
+	for i := 0; i < c.sim.n; i++ {
+		c.sim.send(c.id, i, msg)
+	}
+}
+
+func (c *simCtx) SetTimer(d Time, id int) {
+	if d < 1 {
+		d = 1
+	}
+	c.sim.push(&event{at: c.sim.now + d, kind: evTimer, to: c.id, tid: id})
+}

@@ -1,0 +1,91 @@
+package amp
+
+// Component composition: real protocol stacks layer an agreement protocol
+// over a failure detector over the network (§5.3). A Stack hosts several
+// Components inside one Process, namespacing their messages and timers so
+// they cannot collide.
+
+// Component is a sub-protocol that can be hosted in a Stack. It sees a
+// Context whose Send/Broadcast/SetTimer are transparently namespaced.
+type Component interface {
+	Init(ctx Context)
+	OnMessage(ctx Context, from int, msg Message)
+	OnTimer(ctx Context, id int)
+}
+
+// Stack is a Process hosting an ordered list of components.
+type Stack struct {
+	comps []Component
+	ctxs  []*compCtx
+}
+
+// NewStack builds a stack over the given components.
+func NewStack(comps ...Component) *Stack {
+	return &Stack{comps: comps}
+}
+
+// Component returns the i-th hosted component (for test inspection).
+func (s *Stack) Component(i int) Component { return s.comps[i] }
+
+// Ctx returns the i-th component's namespaced context. Valid after Init;
+// drivers use it to invoke component operations from Schedule closures.
+func (s *Stack) Ctx(i int) Context { return s.ctxs[i] }
+
+// compMsg wraps a component's message with its slot index.
+type compMsg struct {
+	Slot  int
+	Inner Message
+}
+
+// timerStride namespaces timer ids: component i's timer id t becomes
+// t*len(comps)+i at the host level. Component timer ids must be >= 0.
+func (s *Stack) encodeTimer(slot, tid int) int { return tid*len(s.comps) + slot }
+func (s *Stack) decodeTimer(id int) (slot, tid int) {
+	return id % len(s.comps), id / len(s.comps)
+}
+
+// Init implements Process.
+func (s *Stack) Init(ctx Context) {
+	s.ctxs = make([]*compCtx, len(s.comps))
+	for i, c := range s.comps {
+		s.ctxs[i] = &compCtx{Context: ctx, stack: s, slot: i}
+		c.Init(s.ctxs[i])
+	}
+}
+
+// OnMessage implements Process, routing to the addressed component.
+func (s *Stack) OnMessage(ctx Context, from int, msg Message) {
+	m, ok := msg.(compMsg)
+	if !ok || m.Slot < 0 || m.Slot >= len(s.comps) {
+		return // not a stack message; drop
+	}
+	s.comps[m.Slot].OnMessage(s.ctxs[m.Slot], from, m.Inner)
+}
+
+// OnTimer implements Process.
+func (s *Stack) OnTimer(ctx Context, id int) {
+	slot, tid := s.decodeTimer(id)
+	if slot < 0 || slot >= len(s.comps) {
+		return
+	}
+	s.comps[slot].OnTimer(s.ctxs[slot], tid)
+}
+
+// compCtx namespaces a component's sends and timers.
+type compCtx struct {
+	Context
+	stack *Stack
+	slot  int
+}
+
+func (c *compCtx) Send(to int, msg Message) {
+	c.Context.Send(to, compMsg{Slot: c.slot, Inner: msg})
+}
+
+func (c *compCtx) Broadcast(msg Message) {
+	c.Context.Broadcast(compMsg{Slot: c.slot, Inner: msg})
+}
+
+func (c *compCtx) SetTimer(d Time, id int) {
+	c.Context.SetTimer(d, c.stack.encodeTimer(c.slot, id))
+}

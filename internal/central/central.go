@@ -1,0 +1,109 @@
+// Package central implements §2.4's opening observation: "if the system
+// is reliable, a distributed problem, abstracted as a task T, can be
+// solved in a centralized way. Each process pi sends its input ini to a
+// given predetermined process, which computes T(I), and sends back to
+// each process pj its output outj. This is no longer possible in the
+// presence of failures."
+//
+// Both halves are executable here: a reliable run solves ANY function
+// task, and the package's tests crash the coordinator (or an input
+// holder) to show the same protocol blocks — the paper's motivation for
+// everything in §4 and §5.
+package central
+
+import (
+	"distbasics/internal/amp"
+)
+
+type inputMsg struct{ V any }
+
+type outputMsg struct{ V any }
+
+// Node is one process of the centralized solution. Every node ships its
+// input to the predetermined coordinator; the node whose id equals
+// Coordinator additionally gathers the full input vector, applies Fn,
+// and sends each process its output.
+type Node struct {
+	// Input is this process's local input in_i.
+	Input any
+	// Coordinator is the predetermined central process id.
+	Coordinator int
+	// Fn maps the complete input vector to the per-process output
+	// vector (the task relation T made functional). Used only by the
+	// coordinator node.
+	Fn func(inputs []any) []any
+	// OnOutput fires when this node's output arrives.
+	OnOutput func(v any, at amp.Time)
+
+	inputs  []any
+	got     int
+	sent    bool
+	out     any
+	decided bool
+}
+
+var _ amp.Process = (*Node)(nil)
+
+// NewNode returns a node of the centralized protocol.
+func NewNode(input any, coordinator int, fn func([]any) []any, onOutput func(v any, at amp.Time)) *Node {
+	return &Node{Input: input, Coordinator: coordinator, Fn: fn, OnOutput: onOutput}
+}
+
+// Init implements amp.Process.
+func (nd *Node) Init(ctx amp.Context) {
+	nd.inputs = make([]any, ctx.N())
+	ctx.Send(nd.Coordinator, inputMsg{V: nd.Input})
+}
+
+// OnMessage implements amp.Process.
+func (nd *Node) OnMessage(ctx amp.Context, from int, msg amp.Message) {
+	switch m := msg.(type) {
+	case inputMsg:
+		if ctx.ID() != nd.Coordinator || nd.sent {
+			return
+		}
+		if nd.inputs[from] == nil {
+			nd.inputs[from] = m.V
+			nd.got++
+		}
+		if nd.got == ctx.N() {
+			nd.sent = true
+			outs := nd.Fn(nd.inputs)
+			for j := 0; j < ctx.N(); j++ {
+				ctx.Send(j, outputMsg{V: outs[j]})
+			}
+		}
+	case outputMsg:
+		if nd.decided {
+			return
+		}
+		nd.out, nd.decided = m.V, true
+		if nd.OnOutput != nil {
+			nd.OnOutput(m.V, ctx.Now())
+		}
+	}
+}
+
+// OnTimer implements amp.Process.
+func (nd *Node) OnTimer(amp.Context, int) {}
+
+// Output returns the received output, if any.
+func (nd *Node) Output() (any, bool) { return nd.out, nd.decided }
+
+// Cluster builds the usual topology: process 0 is the coordinator,
+// everyone (including it) holds an input and awaits an output.
+func Cluster(inputs []any, fn func([]any) []any, onOutput func(i int, v any, at amp.Time)) ([]amp.Process, []*Node) {
+	n := len(inputs)
+	procs := make([]amp.Process, n)
+	nodes := make([]*Node, n)
+	for i := 0; i < n; i++ {
+		i := i
+		var cb func(v any, at amp.Time)
+		if onOutput != nil {
+			cb = func(v any, at amp.Time) { onOutput(i, v, at) }
+		}
+		nodes[i] = NewNode(inputs[i], 0, fn, cb)
+		procs[i] = nodes[i]
+	}
+	return procs, nodes
+}

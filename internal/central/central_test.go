@@ -1,0 +1,154 @@
+package central
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"distbasics/internal/amp"
+	"distbasics/internal/core"
+)
+
+// sumFn gives everyone the sum of all inputs (a function task).
+func sumFn(inputs []any) []any {
+	s := 0
+	for _, v := range inputs {
+		s += v.(int)
+	}
+	outs := make([]any, len(inputs))
+	for i := range outs {
+		outs[i] = s
+	}
+	return outs
+}
+
+// TestReliableSystemSolvesAnyFunctionTask is §2.4's positive half: with
+// no crashes, the centralized protocol solves the sum task, validated
+// through the core task framework.
+func TestReliableSystemSolvesAnyFunctionTask(t *testing.T) {
+	inputs := core.Vector(3, 1, 4, 1, 5)
+	n := len(inputs)
+	procs, nodes := Cluster(inputs, sumFn, nil)
+	sim := amp.NewSim(procs, amp.WithDelay(amp.UniformDelay{Min: 1, Max: 7}))
+	sim.Run(0)
+
+	task := core.FunctionTask("sum", n, func(in []any) any {
+		s := 0
+		for _, v := range in {
+			s += v.(int)
+		}
+		return s
+	})
+	outs := make([]any, n)
+	for i, nd := range nodes {
+		v, ok := nd.Output()
+		if !ok {
+			t.Fatalf("node %d got no output in a reliable run", i)
+		}
+		outs[i] = v
+	}
+	if v := task.Check(inputs, outs); !v.OK || v.Err != nil {
+		t.Fatalf("task verdict: %v", v)
+	}
+}
+
+// TestCoordinatorCrashBlocksEveryone is §2.4's negative half: the
+// predetermined process crashes, and no output is ever produced.
+func TestCoordinatorCrashBlocksEveryone(t *testing.T) {
+	inputs := core.Vector(1, 2, 3, 4)
+	procs, nodes := Cluster(inputs, sumFn, nil)
+	sim := amp.NewSim(procs, amp.WithDelay(amp.FixedDelay{D: 2}))
+	sim.CrashAt(0, 1) // before any input can arrive
+	sim.Run(1_000_000)
+
+	for i, nd := range nodes {
+		if _, ok := nd.Output(); ok {
+			t.Fatalf("node %d decided despite the coordinator crashing", i)
+		}
+	}
+}
+
+// TestInputHolderCrashBlocksEveryone: even a non-coordinator crash
+// (before sending its input) blocks the computation — the coordinator
+// waits for an input vector that never completes.
+func TestInputHolderCrashBlocksEveryone(t *testing.T) {
+	inputs := core.Vector(1, 2, 3, 4)
+	procs, nodes := Cluster(inputs, sumFn, nil)
+	sim := amp.NewSim(procs, amp.WithDelay(amp.FixedDelay{D: 2}))
+	sim.CrashAfterSends(2, 0) // crash before shipping the input
+	sim.Run(1_000_000)
+
+	for i, nd := range nodes {
+		if _, ok := nd.Output(); ok {
+			t.Fatalf("node %d decided despite a missing input", i)
+		}
+	}
+}
+
+// TestLateCoordinatorCrashPartialOutputs: the coordinator crashes
+// mid-reply; only a prefix of processes learn their output — the
+// unreliable-broadcast shape of §5.1's motivation.
+func TestLateCoordinatorCrashPartialOutputs(t *testing.T) {
+	inputs := core.Vector(1, 2, 3, 4, 5)
+	procs, nodes := Cluster(inputs, sumFn, nil)
+	sim := amp.NewSim(procs, amp.WithDelay(amp.FixedDelay{D: 2}))
+	// Coordinator sends 1 input (its own) + 2 outputs, then crashes.
+	sim.CrashAfterSends(0, 3)
+	sim.Run(1_000_000)
+
+	decided := 0
+	for _, nd := range nodes {
+		if _, ok := nd.Output(); ok {
+			decided++
+		}
+	}
+	if decided == 0 || decided >= len(nodes) {
+		t.Fatalf("decided = %d, want a strict non-empty subset", decided)
+	}
+}
+
+// Property: for random inputs, delays, and seeds, reliable centralized
+// runs compute exactly f(I) at every node.
+func TestCentralizedCorrectnessProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + rng.Intn(6)
+		inputs := make([]any, n)
+		want := 0
+		for i := range inputs {
+			x := rng.Intn(100)
+			inputs[i] = x
+			want += x
+		}
+		procs, nodes := Cluster(inputs, sumFn, nil)
+		sim := amp.NewSim(procs, amp.WithSeed(seed), amp.WithDelay(amp.UniformDelay{Min: 1, Max: 11}))
+		sim.Run(0)
+		for _, nd := range nodes {
+			v, ok := nd.Output()
+			if !ok || v != want {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestOutputTiming: outputs arrive after two hops (input in, output
+// out), i.e. within [2, 2·maxDelay] of virtual time under fixed delay.
+func TestOutputTiming(t *testing.T) {
+	inputs := core.Vector(1, 2, 3)
+	var latest amp.Time
+	procs, _ := Cluster(inputs, sumFn, func(_ int, _ any, at amp.Time) {
+		if at > latest {
+			latest = at
+		}
+	})
+	sim := amp.NewSim(procs, amp.WithDelay(amp.FixedDelay{D: 5}))
+	sim.Run(0)
+	if latest != 10 {
+		t.Fatalf("last output at t=%d, want 2Δ=10 (one input hop + one output hop)", latest)
+	}
+}

@@ -1,0 +1,234 @@
+// Package check implements a linearizability checker in the style of
+// Wing & Gong, with the state-memoization refinement of Lowe: given a
+// concurrent history of operation call/return events and a sequential
+// specification, it searches for a linearization — a total order of the
+// operations, consistent with the history's real-time order, that the
+// sequential spec accepts.
+//
+// Linearizability [36] is the paper's correctness condition for the
+// atomic objects of §4: every operation appears to take effect
+// instantaneously between its call and its return. The checker is how
+// this repository verifies that its simulated hardware objects, and the
+// objects built above them by the universal constructions, actually are
+// atomic — rather than asserting it.
+//
+// Histories may contain pending operations (called, never returned —
+// crashed processes, §4.1). A pending operation either took effect
+// before the crash (the checker may linearize it anywhere after its
+// call) or did not (the checker may drop it), per the standard
+// completion rule.
+package check
+
+import (
+	"fmt"
+	"reflect"
+	"sort"
+	"sync"
+)
+
+// Spec is a sequential object specification. It is satisfied by the
+// SeqSpec implementations of package universal (structural typing).
+type Spec interface {
+	// Init returns the initial state.
+	Init() any
+	// Apply applies op to state, returning the new state and the
+	// operation's return value. It must be a pure function.
+	Apply(state, op any) (newState, ret any)
+}
+
+// Pending marks the Return time of an operation that never returned.
+const Pending int64 = -1
+
+// Op is one operation instance in a history.
+type Op struct {
+	// Proc is the invoking process (used for well-formedness: a process
+	// is sequential, so its operations must not overlap).
+	Proc int
+	// Arg is the operation value handed to Spec.Apply.
+	Arg any
+	// Out is the value the operation returned (ignored when pending).
+	Out any
+	// Call and Return are event timestamps; Return == Pending marks an
+	// operation with no response.
+	Call, Return int64
+}
+
+// precedes reports whether o completed before p was invoked (real-time
+// order that every linearization must respect).
+func (o Op) precedes(p Op) bool {
+	return o.Return != Pending && o.Return < p.Call
+}
+
+// History is a set of operation instances with real-time ordering given
+// by their Call/Return timestamps.
+type History []Op
+
+// Validate checks well-formedness: Call < Return for completed ops, and
+// per-process sequentiality (no overlapping ops by one process).
+func (h History) Validate() error {
+	byProc := make(map[int][]Op)
+	for i, o := range h {
+		if o.Return != Pending && o.Return <= o.Call {
+			return fmt.Errorf("check: op %d returns at %d not after call at %d", i, o.Return, o.Call)
+		}
+		byProc[o.Proc] = append(byProc[o.Proc], o)
+	}
+	for pid, ops := range byProc {
+		sort.Slice(ops, func(i, j int) bool { return ops[i].Call < ops[j].Call })
+		for i := 1; i < len(ops); i++ {
+			prev := ops[i-1]
+			if prev.Return == Pending || prev.Return > ops[i].Call {
+				return fmt.Errorf("check: process %d has overlapping operations", pid)
+			}
+		}
+	}
+	return nil
+}
+
+// MaxOps bounds the history size the exhaustive search accepts.
+const MaxOps = 63
+
+// Result reports the outcome of a linearizability check.
+type Result struct {
+	// OK reports that a linearization exists.
+	OK bool
+	// Order, when OK, lists indices into the history in linearization
+	// order (dropped pending operations are absent).
+	Order []int
+	// Explored counts search states visited, a work measure for benches.
+	Explored int
+}
+
+// Linearizable searches for a linearization of h against spec. It
+// returns an error for malformed or oversized histories.
+func Linearizable(spec Spec, h History) (Result, error) {
+	if len(h) > MaxOps {
+		return Result{}, fmt.Errorf("check: history has %d ops, max %d", len(h), MaxOps)
+	}
+	if err := h.Validate(); err != nil {
+		return Result{}, err
+	}
+
+	type frame struct {
+		mask  uint64
+		state any
+	}
+	var res Result
+	memo := make(map[string]bool)
+
+	// completedMask marks ops that must be linearized.
+	var completedMask uint64
+	for i, o := range h {
+		if o.Return != Pending {
+			completedMask |= 1 << uint(i)
+		}
+	}
+
+	var order []int
+	var dfs func(f frame) bool
+	dfs = func(f frame) bool {
+		res.Explored++
+		if f.mask&completedMask == completedMask {
+			return true // all completed ops linearized; pendings dropped
+		}
+		key := fmt.Sprintf("%d|%#v", f.mask, f.state)
+		if memo[key] {
+			return false
+		}
+
+		// minimal ops: not yet linearized, and no other unlinearized op
+		// returned before their call.
+		for i, o := range h {
+			bit := uint64(1) << uint(i)
+			if f.mask&bit != 0 {
+				continue
+			}
+			minimal := true
+			for j, p := range h {
+				jbit := uint64(1) << uint(j)
+				if i == j || f.mask&jbit != 0 {
+					continue
+				}
+				if p.precedes(o) {
+					minimal = false
+					break
+				}
+			}
+			if !minimal {
+				continue
+			}
+			next, ret := spec.Apply(f.state, o.Arg)
+			if o.Return != Pending && !reflect.DeepEqual(ret, o.Out) {
+				continue // spec's return disagrees with observed return
+			}
+			order = append(order, i)
+			if dfs(frame{mask: f.mask | bit, state: next}) {
+				return true
+			}
+			order = order[:len(order)-1]
+		}
+		memo[key] = true
+		return false
+	}
+
+	if dfs(frame{mask: 0, state: spec.Init()}) {
+		res.OK = true
+		res.Order = append([]int(nil), order...)
+	}
+	return res, nil
+}
+
+// MustLinearizable is Linearizable for tests that treat errors as
+// failures; it panics on malformed histories.
+func MustLinearizable(spec Spec, h History) Result {
+	r, err := Linearizable(spec, h)
+	if err != nil {
+		panic(err)
+	}
+	return r
+}
+
+// Recorder builds histories from live executions. Call/Return pairs get
+// timestamps from a global logical clock; the recorder is safe for
+// concurrent use.
+type Recorder struct {
+	mu    sync.Mutex
+	clock int64
+	ops   []Op
+}
+
+// NewRecorder returns an empty recorder.
+func NewRecorder() *Recorder { return &Recorder{} }
+
+// Invocation is an in-flight recorded operation.
+type Invocation struct {
+	r   *Recorder
+	idx int
+}
+
+// Call records the invocation of op by proc and returns the in-flight
+// handle to complete with Return.
+func (r *Recorder) Call(proc int, arg any) *Invocation {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.clock++
+	r.ops = append(r.ops, Op{Proc: proc, Arg: arg, Call: r.clock, Return: Pending})
+	return &Invocation{r: r, idx: len(r.ops) - 1}
+}
+
+// Return completes the invocation with the observed return value.
+func (inv *Invocation) Return(out any) {
+	inv.r.mu.Lock()
+	defer inv.r.mu.Unlock()
+	inv.r.clock++
+	inv.r.ops[inv.idx].Out = out
+	inv.r.ops[inv.idx].Return = inv.r.clock
+}
+
+// History snapshots the recorded history (operations still in flight
+// appear as pending).
+func (r *Recorder) History() History {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return append(History(nil), r.ops...)
+}

@@ -1,0 +1,260 @@
+package check
+
+import (
+	"math/rand"
+
+	"testing"
+	"testing/quick"
+
+	"distbasics/internal/shm"
+	"distbasics/internal/universal"
+)
+
+func TestRegisterLinearizableHistory(t *testing.T) {
+	// w(1) completes, then two overlapping reads both see 1.
+	h := History{
+		{Proc: 0, Arg: WriteOp{V: 1}, Call: 1, Return: 2},
+		{Proc: 1, Arg: ReadOp{}, Out: 1, Call: 3, Return: 6},
+		{Proc: 2, Arg: ReadOp{}, Out: 1, Call: 4, Return: 5},
+	}
+	r := MustLinearizable(RegisterSpec{Init0: 0}, h)
+	if !r.OK {
+		t.Fatal("history must be linearizable")
+	}
+	if len(r.Order) != 3 || r.Order[0] != 0 {
+		t.Fatalf("Order = %v, want write first", r.Order)
+	}
+}
+
+func TestRegisterNewOldInversion(t *testing.T) {
+	// The classic violation: read of the NEW value completes before a
+	// read of the OLD value starts, with the write concurrent with both…
+	// no — make it strict: w(1) finishes, then a read returns 0.
+	h := History{
+		{Proc: 0, Arg: WriteOp{V: 1}, Call: 1, Return: 2},
+		{Proc: 1, Arg: ReadOp{}, Out: 0, Call: 3, Return: 4},
+	}
+	if MustLinearizable(RegisterSpec{Init0: 0}, h).OK {
+		t.Fatal("stale read after completed write must not linearize")
+	}
+
+	// And the subtler inversion: two sequential reads around a concurrent
+	// write observe new-then-old.
+	h2 := History{
+		{Proc: 0, Arg: WriteOp{V: 1}, Call: 1, Return: 10},
+		{Proc: 1, Arg: ReadOp{}, Out: 1, Call: 2, Return: 3},
+		{Proc: 1, Arg: ReadOp{}, Out: 0, Call: 4, Return: 5},
+	}
+	if MustLinearizable(RegisterSpec{Init0: 0}, h2).OK {
+		t.Fatal("new/old read inversion must not linearize")
+	}
+}
+
+func TestPendingWriteMayTakeEffect(t *testing.T) {
+	// A write with no response (crashed writer) explains a read of 1:
+	// the pending op is linearized.
+	h := History{
+		{Proc: 0, Arg: WriteOp{V: 1}, Call: 1, Return: Pending},
+		{Proc: 1, Arg: ReadOp{}, Out: 1, Call: 2, Return: 3},
+	}
+	r := MustLinearizable(RegisterSpec{Init0: 0}, h)
+	if !r.OK {
+		t.Fatal("pending write must be allowed to take effect")
+	}
+	if len(r.Order) != 2 {
+		t.Fatalf("both ops must be linearized, got %v", r.Order)
+	}
+}
+
+func TestPendingWriteMayBeDropped(t *testing.T) {
+	h := History{
+		{Proc: 0, Arg: WriteOp{V: 1}, Call: 1, Return: Pending},
+		{Proc: 1, Arg: ReadOp{}, Out: 0, Call: 2, Return: 3},
+	}
+	r := MustLinearizable(RegisterSpec{Init0: 0}, h)
+	if !r.OK {
+		t.Fatal("pending write must be allowed to not take effect")
+	}
+	if len(r.Order) != 1 {
+		t.Fatalf("only the read should be linearized, got %v", r.Order)
+	}
+}
+
+func TestTestAndSetWinnersAndLosers(t *testing.T) {
+	// Exactly one of two concurrent T&S ops may win (return false).
+	win := History{
+		{Proc: 0, Arg: TestAndSetOp{}, Out: false, Call: 1, Return: 4},
+		{Proc: 1, Arg: TestAndSetOp{}, Out: true, Call: 2, Return: 3},
+	}
+	if !MustLinearizable(TestAndSetSpec{}, win).OK {
+		t.Error("one winner one loser must linearize")
+	}
+	both := History{
+		{Proc: 0, Arg: TestAndSetOp{}, Out: false, Call: 1, Return: 4},
+		{Proc: 1, Arg: TestAndSetOp{}, Out: false, Call: 2, Return: 3},
+	}
+	if MustLinearizable(TestAndSetSpec{}, both).OK {
+		t.Error("two winners must not linearize")
+	}
+}
+
+func TestQueueSpecHistories(t *testing.T) {
+	spec := universal.QueueSpec{}
+	ok := History{
+		{Proc: 0, Arg: universal.EnqOp{V: "a"}, Out: 1, Call: 1, Return: 2},
+		{Proc: 1, Arg: universal.EnqOp{V: "b"}, Out: 2, Call: 3, Return: 4},
+		{Proc: 2, Arg: universal.DeqOp{}, Out: "a", Call: 5, Return: 6},
+		{Proc: 2, Arg: universal.DeqOp{}, Out: "b", Call: 7, Return: 8},
+	}
+	if !MustLinearizable(spec, ok).OK {
+		t.Error("FIFO history must linearize")
+	}
+	bad := History{
+		{Proc: 0, Arg: universal.EnqOp{V: "a"}, Out: 1, Call: 1, Return: 2},
+		{Proc: 1, Arg: universal.EnqOp{V: "b"}, Out: 2, Call: 3, Return: 4},
+		{Proc: 2, Arg: universal.DeqOp{}, Out: "b", Call: 5, Return: 6},
+		{Proc: 2, Arg: universal.DeqOp{}, Out: "a", Call: 7, Return: 8},
+	}
+	if MustLinearizable(spec, bad).OK {
+		t.Error("LIFO-order dequeues of sequential enqueues must not linearize")
+	}
+}
+
+func TestCASOpSemantics(t *testing.T) {
+	h := History{
+		{Proc: 0, Arg: CASOp{Old: 0, New: 5}, Out: true, Call: 1, Return: 2},
+		{Proc: 1, Arg: CASOp{Old: 0, New: 6}, Out: false, Call: 3, Return: 4},
+		{Proc: 2, Arg: ReadOp{}, Out: 5, Call: 5, Return: 6},
+	}
+	if !MustLinearizable(RegisterSpec{Init0: 0}, h).OK {
+		t.Error("CAS winner/loser history must linearize")
+	}
+}
+
+func TestValidateRejectsMalformed(t *testing.T) {
+	bad := History{{Proc: 0, Arg: ReadOp{}, Call: 5, Return: 3}}
+	if err := bad.Validate(); err == nil {
+		t.Error("return before call must be rejected")
+	}
+	overlap := History{
+		{Proc: 0, Arg: ReadOp{}, Call: 1, Return: 5},
+		{Proc: 0, Arg: ReadOp{}, Call: 2, Return: 6},
+	}
+	if err := overlap.Validate(); err == nil {
+		t.Error("overlapping same-process ops must be rejected")
+	}
+}
+
+func TestOversizedHistoryRejected(t *testing.T) {
+	h := make(History, MaxOps+1)
+	for i := range h {
+		h[i] = Op{Proc: i, Arg: ReadOp{}, Out: 0, Call: int64(2*i + 1), Return: int64(2*i + 2)}
+	}
+	if _, err := Linearizable(RegisterSpec{Init0: 0}, h); err == nil {
+		t.Error("oversized history must be rejected")
+	}
+}
+
+// Property: any history produced by actually running operations
+// sequentially against the spec is linearizable.
+func TestSequentialHistoriesLinearizableProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		spec := RegisterSpec{Init0: 0}
+		state := spec.Init()
+		var h History
+		clock := int64(0)
+		for i := 0; i < 8; i++ {
+			var arg any
+			switch rng.Intn(3) {
+			case 0:
+				arg = ReadOp{}
+			case 1:
+				arg = WriteOp{V: rng.Intn(3)}
+			default:
+				arg = CASOp{Old: rng.Intn(3), New: rng.Intn(3)}
+			}
+			var out any
+			state, out = spec.Apply(state, arg)
+			clock++
+			call := clock
+			clock++
+			h = append(h, Op{Proc: rng.Intn(3), Arg: arg, Out: out, Call: call, Return: clock})
+		}
+		// Sequential same-process ops are naturally non-overlapping here
+		// because timestamps are globally increasing.
+		return MustLinearizable(spec, h).OK
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 120}); err != nil {
+		t.Error(err)
+	}
+}
+
+// obsQueueSpec is QueueSpec with observable returns only: shm.Queue.Enq
+// returns nothing, so Enq's response is nil rather than the new length.
+type obsQueueSpec struct{}
+
+func (obsQueueSpec) Init() any { return []any(nil) }
+
+func (obsQueueSpec) Apply(state, op any) (any, any) {
+	switch o := op.(type) {
+	case universal.EnqOp:
+		items := state.([]any)
+		next := make([]any, len(items)+1)
+		copy(next, items)
+		next[len(items)] = o.V
+		return next, nil
+	default:
+		return universal.QueueSpec{}.Apply(state, op)
+	}
+}
+
+// TestRecorderOnSharedQueue records a real concurrent execution of the
+// shm.Queue under the free scheduler and checks it linearizes — the
+// substrate's atomicity verified end to end.
+func TestRecorderOnSharedQueue(t *testing.T) {
+	for round := 0; round < 10; round++ {
+		rec := NewRecorder()
+		q := shm.NewQueue()
+		bodies := make([]func(p *shm.Proc) any, 3)
+		for pid := 0; pid < 3; pid++ {
+			pid := pid
+			bodies[pid] = func(p *shm.Proc) any {
+				for k := 0; k < 3; k++ {
+					v := pid*10 + k
+					inv := rec.Call(pid, universal.EnqOp{V: v})
+					q.Enq(p, v)
+					inv.Return(nil)
+
+					inv = rec.Call(pid, universal.DeqOp{})
+					got, ok := q.Deq(p)
+					var out any = universal.DeqEmpty{}
+					if ok {
+						out = got
+					}
+					inv.Return(out)
+				}
+				return nil
+			}
+		}
+		shm.ExecuteFree(&shm.Run{Bodies: bodies})
+		r, err := Linearizable(obsQueueSpec{}, rec.History())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !r.OK {
+			t.Fatalf("round %d: concurrent queue history not linearizable:\n%v", round, rec.History())
+		}
+	}
+}
+
+func TestResultExploredCounts(t *testing.T) {
+	h := History{
+		{Proc: 0, Arg: WriteOp{V: 1}, Call: 1, Return: 2},
+		{Proc: 1, Arg: ReadOp{}, Out: 1, Call: 3, Return: 4},
+	}
+	r := MustLinearizable(RegisterSpec{Init0: 0}, h)
+	if r.Explored <= 0 {
+		t.Error("Explored must count search states")
+	}
+}

@@ -1,0 +1,58 @@
+package check
+
+// This file provides the small sequential specs the checker's own tests
+// and the repository's atomicity experiments use directly. Richer specs
+// (queue, stack, counter, KV) live in package universal and satisfy Spec
+// structurally.
+
+// ReadOp reads a register.
+type ReadOp struct{}
+
+// WriteOp writes V to a register.
+type WriteOp struct{ V any }
+
+// CASOp is a compare-and-swap: if the register holds Old, store New and
+// return true, else return false.
+type CASOp struct{ Old, New any }
+
+// RegisterSpec is an atomic read/write register initialized to Init0,
+// optionally supporting CASOp — the base object of ASMn,t[∅] (§4.1).
+type RegisterSpec struct{ Init0 any }
+
+// Init implements Spec.
+func (s RegisterSpec) Init() any { return s.Init0 }
+
+// Apply implements Spec.
+func (s RegisterSpec) Apply(state, op any) (any, any) {
+	switch o := op.(type) {
+	case ReadOp:
+		return state, state
+	case WriteOp:
+		return o.V, nil
+	case CASOp:
+		if state == o.Old {
+			return o.New, true
+		}
+		return state, false
+	default:
+		panic("check: RegisterSpec got unknown op")
+	}
+}
+
+// TestAndSetOp sets the bit and returns its previous value.
+type TestAndSetOp struct{}
+
+// TestAndSetSpec is the one-shot Test&Set object of Herlihy's hierarchy
+// level 2 (§4.2).
+type TestAndSetSpec struct{}
+
+// Init implements Spec.
+func (TestAndSetSpec) Init() any { return false }
+
+// Apply implements Spec.
+func (TestAndSetSpec) Apply(state, op any) (any, any) {
+	if _, ok := op.(TestAndSetOp); !ok {
+		panic("check: TestAndSetSpec got unknown op")
+	}
+	return true, state
+}

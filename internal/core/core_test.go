@@ -1,0 +1,258 @@
+package core
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestConsensusTaskValid(t *testing.T) {
+	tests := []struct {
+		name string
+		in   []any
+		out  []any
+		ok   bool
+	}{
+		{"all agree on proposed", Vector(1, 2, 3), Vector(2, 2, 2), true},
+		{"disagreement", Vector(1, 2, 3), Vector(1, 2, 2), false},
+		{"invented value", Vector(1, 2, 3), Vector(9, 9, 9), false},
+		{"crashed process allowed", Vector(1, 2, 3), Vector(3, NoOutput, 3), true},
+		{"all crashed vacuously ok", Vector(1, 2, 3), Vector(NoOutput, NoOutput, NoOutput), true},
+		{"nil treated as no output", Vector(1, 2, 3), Vector(1, nil, 1), true},
+	}
+	task := ConsensusTask(3)
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			v := task.Check(tt.in, tt.out)
+			if v.Err != nil {
+				t.Fatalf("unexpected error: %v", v.Err)
+			}
+			if v.OK != tt.ok {
+				t.Fatalf("Check(%v, %v).OK = %v, want %v", tt.in, tt.out, v.OK, tt.ok)
+			}
+		})
+	}
+}
+
+func TestKSetTaskValid(t *testing.T) {
+	task := KSetTask(4, 2)
+	if v := task.Check(Vector(1, 2, 3, 4), Vector(1, 2, 1, 2)); !v.OK {
+		t.Errorf("two distinct values must satisfy 2-set agreement: %v", v)
+	}
+	if v := task.Check(Vector(1, 2, 3, 4), Vector(1, 2, 3, 2)); v.OK {
+		t.Errorf("three distinct values must violate 2-set agreement: %v", v)
+	}
+	if v := task.Check(Vector(1, 2, 3, 4), Vector(1, 5, 1, 1)); v.OK {
+		t.Errorf("unproposed value must violate validity: %v", v)
+	}
+}
+
+func TestBinaryConsensusLegality(t *testing.T) {
+	task := BinaryConsensusTask(2)
+	if v := task.Check(Vector(0, 1), Vector(1, 1)); v.Err != nil || !v.OK {
+		t.Errorf("binary inputs should be legal and outputs valid: %v", v)
+	}
+	if v := task.Check(Vector(0, 7), Vector(0, 0)); v.Err == nil {
+		t.Errorf("input 7 must be rejected as illegal, got %v", v)
+	}
+}
+
+func TestCheckLengthMismatch(t *testing.T) {
+	task := ConsensusTask(3)
+	if v := task.Check(Vector(1, 2), Vector(1, 1, 1)); v.Err == nil {
+		t.Error("short input vector must error")
+	}
+	if v := task.Check(Vector(1, 2, 3), Vector(1, 1)); v.Err == nil {
+		t.Error("short output vector must error")
+	}
+}
+
+// TestTaskFunctionCorrespondence is experiment E0: with n = 1 a task is
+// exactly a sequential function out = f(in) (Figure 1), and for n > 1
+// the FunctionTask relation is what full-information flooding solves.
+func TestTaskFunctionCorrespondence(t *testing.T) {
+	square := func(in []any) any { return in[0].(int) * in[0].(int) }
+	seq := FunctionTask("square", 1, square)
+	for x := -5; x <= 5; x++ {
+		want := x * x
+		if v := seq.Check(Vector(x), Vector(want)); !v.OK {
+			t.Fatalf("n=1 task must accept out = f(in): %v", v)
+		}
+		if v := seq.Check(Vector(x), Vector(want+1)); v.OK {
+			t.Fatalf("n=1 task must reject out != f(in): %v", v)
+		}
+	}
+
+	// n > 1: every deciding process outputs f(I) where f needs the whole
+	// input vector — the reason tasks require communication.
+	sum := func(in []any) any {
+		s := 0
+		for _, v := range in {
+			s += v.(int)
+		}
+		return s
+	}
+	task := FunctionTask("sum", 4, sum)
+	if v := task.Check(Vector(1, 2, 3, 4), Vector(10, 10, 10, 10)); !v.OK {
+		t.Fatalf("all-correct sum outputs must validate: %v", v)
+	}
+	if v := task.Check(Vector(1, 2, 3, 4), Vector(10, NoOutput, 10, NoOutput)); !v.OK {
+		t.Fatalf("crashed processes must be excused: %v", v)
+	}
+	if v := task.Check(Vector(1, 2, 3, 4), Vector(10, 10, 9, 10)); v.OK {
+		t.Fatalf("a wrong local output must invalidate: %v", v)
+	}
+}
+
+func TestLeaderElectionTask(t *testing.T) {
+	task := LeaderElectionTask(3)
+	if v := task.Check(Vector(0, 0, 0), Vector(2, 2, 2)); !v.OK {
+		t.Errorf("common in-range leader must validate: %v", v)
+	}
+	if v := task.Check(Vector(0, 0, 0), Vector(2, 1, 2)); v.OK {
+		t.Errorf("split leadership must invalidate: %v", v)
+	}
+	if v := task.Check(Vector(0, 0, 0), Vector(3, 3, 3)); v.OK {
+		t.Errorf("out-of-range leader must invalidate: %v", v)
+	}
+}
+
+func TestColoringTask(t *testing.T) {
+	task := ColoringTask(4, 3)
+	if v := task.Check(make([]any, 4), Vector(0, 1, 0, 1)); !v.OK {
+		t.Errorf("proper 2-coloring of even ring must validate: %v", v)
+	}
+	if v := task.Check(make([]any, 4), Vector(0, 0, 1, 2)); v.OK {
+		t.Errorf("adjacent same colors must invalidate: %v", v)
+	}
+	if v := task.Check(make([]any, 4), Vector(0, 3, 0, 1)); v.OK {
+		t.Errorf("color out of palette must invalidate: %v", v)
+	}
+	if v := task.Check(make([]any, 4), Vector(0, NoOutput, 0, 1)); !v.OK {
+		t.Errorf("crashed vertex must be excused: %v", v)
+	}
+}
+
+// Property: consensus outputs drawn from the inputs with a single common
+// value always validate; any output vector with two distinct decided
+// values never does.
+func TestConsensusTaskProperty(t *testing.T) {
+	cfg := &quick.Config{MaxCount: 300}
+	agree := func(seed int64, n8 uint8) bool {
+		n := int(n8%7) + 1
+		rng := rand.New(rand.NewSource(seed))
+		in := make([]any, n)
+		for i := range in {
+			in[i] = rng.Intn(5)
+		}
+		chosen := in[rng.Intn(n)]
+		out := make([]any, n)
+		for i := range out {
+			if rng.Intn(4) == 0 {
+				out[i] = NoOutput
+			} else {
+				out[i] = chosen
+			}
+		}
+		return ConsensusTask(n).Check(in, out).OK
+	}
+	if err := quick.Check(agree, cfg); err != nil {
+		t.Error(err)
+	}
+
+	disagree := func(seed int64, n8 uint8) bool {
+		n := int(n8%6) + 2
+		rng := rand.New(rand.NewSource(seed))
+		in := make([]any, n)
+		for i := range in {
+			in[i] = i // all distinct proposals
+		}
+		out := make([]any, n)
+		for i := range out {
+			out[i] = in[i%2] // two distinct decided values
+		}
+		_ = rng
+		return !ConsensusTask(n).Check(in, out).OK
+	}
+	if err := quick.Check(disagree, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestModelString(t *testing.T) {
+	tests := []struct {
+		m    Model
+		want string
+	}{
+		{SMPModel(8, "TREE"), "SMP_{8}[adv:TREE]"},
+		{SMPModel(8, ""), "SMP_{8}[adv:∅]"},
+		{WaitFreeModel(4, "CAS"), "ASM_{4,3}[CAS]"},
+		{ASMModel(5, 0), "ASM_{5,0}[∅]"},
+		{AMPModel(5, 2, "t<n/2", "Ω"), "AMP_{5,2}[t<n/2,Ω]"},
+		{AMPModel(3, 1), "AMP_{3,1}[∅]"},
+	}
+	for _, tt := range tests {
+		if got := tt.m.String(); got != tt.want {
+			t.Errorf("String() = %q, want %q", got, tt.want)
+		}
+	}
+}
+
+func TestModelPredicates(t *testing.T) {
+	if !WaitFreeModel(4).WaitFree() {
+		t.Error("ASM_{4,3} must be wait-free")
+	}
+	if ASMModel(4, 1).WaitFree() {
+		t.Error("ASM_{4,1} must not be wait-free")
+	}
+	if !AMPModel(5, 2).MajorityResilient() {
+		t.Error("AMP_{5,2} satisfies t<n/2")
+	}
+	if AMPModel(4, 2).MajorityResilient() {
+		t.Error("AMP_{4,2} violates t<n/2")
+	}
+}
+
+// Property: the same-kind strength order is reflexive, antisymmetric on
+// T, and monotone: ASMn,t is at least as strong as ASMn,t' iff t <= t'.
+func TestStrengthOrderProperty(t *testing.T) {
+	f := func(n8, t1, t2 uint8) bool {
+		n := int(n8%8) + 2
+		a := ASMModel(n, int(t1)%n)
+		b := ASMModel(n, int(t2)%n)
+		got := AtLeastAsStrong(a, b)
+		want := a.T <= b.T
+		return got == want && AtLeastAsStrong(a, a)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+	if AtLeastAsStrong(SMPModel(3, "TREE"), ASMModel(3, 1)) {
+		t.Error("cross-kind models must be incomparable")
+	}
+}
+
+func TestDistinctDecided(t *testing.T) {
+	got := DistinctDecided(Vector(3, 1, NoOutput, 3, nil, 2))
+	if len(got) != 3 {
+		t.Fatalf("DistinctDecided = %v, want 3 distinct", got)
+	}
+}
+
+func TestVerdictString(t *testing.T) {
+	task := ConsensusTask(2)
+	ok := task.Check(Vector(1, 2), Vector(1, 1)).String()
+	bad := task.Check(Vector(1, 2), Vector(1, 2)).String()
+	if ok == bad {
+		t.Error("ok and violating verdicts must render differently")
+	}
+	for _, s := range []string{ok, bad} {
+		if s == "" {
+			t.Error("verdict must render non-empty")
+		}
+	}
+	if fmt.Sprint(NoOutput) != "⊥" {
+		t.Errorf("NoOutput renders as %q, want ⊥", fmt.Sprint(NoOutput))
+	}
+}

@@ -1,0 +1,122 @@
+package core
+
+import (
+	"fmt"
+	"strings"
+)
+
+// ModelKind discriminates the three computation models of the paper's
+// tour. Enums start at 1 so the zero Model is invalid.
+type ModelKind int
+
+const (
+	// SMP is the synchronous message-passing model of §3, SMPn[adv:AD].
+	SMP ModelKind = iota + 1
+	// ASM is the asynchronous shared-memory model of §4, ASMn,t[T].
+	ASM
+	// AMP is the asynchronous message-passing model of §5, AMPn,t[cond].
+	AMP
+)
+
+// String implements fmt.Stringer.
+func (k ModelKind) String() string {
+	switch k {
+	case SMP:
+		return "SMP"
+	case ASM:
+		return "ASM"
+	case AMP:
+		return "AMP"
+	default:
+		return fmt.Sprintf("ModelKind(%d)", int(k))
+	}
+}
+
+// Model is a descriptor in the paper's bracket notation: the model
+// family, the process count, the resilience bound, and the
+// enrichments/restrictions in brackets (message adversary, object types,
+// failure detectors, synchrony conditions).
+//
+//	SMPn[adv:TREE]      {Kind: SMP, N: n, Enrich: ["adv:TREE"]}
+//	ASMn,n-1[CAS]       {Kind: ASM, N: n, T: n-1, Enrich: ["CAS"]}
+//	AMPn,t[t<n/2, Ω]    {Kind: AMP, N: n, T: t, Enrich: ["t<n/2", "Ω"]}
+//
+// Enrichments are free-form strings; the descriptor exists so that
+// experiments, benches, and docs name models exactly the way the paper
+// does.
+type Model struct {
+	Kind ModelKind
+	// N is the number of processes.
+	N int
+	// T is the resilience bound (maximum crashes). Ignored for SMP,
+	// whose processes are reliable (§3.1).
+	T int
+	// Enrich lists bracket annotations: "adv:TREE", "CAS", "Ω",
+	// "t<n/2", ... An empty list renders as [∅].
+	Enrich []string
+}
+
+// SMPModel returns SMPn[adv:<adversary>]; pass "" for adv:∅.
+func SMPModel(n int, adversary string) Model {
+	if adversary == "" {
+		adversary = "∅"
+	}
+	return Model{Kind: SMP, N: n, Enrich: []string{"adv:" + adversary}}
+}
+
+// ASMModel returns ASMn,t[objects...]; no objects means [∅]
+// (read/write registers only).
+func ASMModel(n, t int, objects ...string) Model {
+	return Model{Kind: ASM, N: n, T: t, Enrich: append([]string(nil), objects...)}
+}
+
+// WaitFreeModel returns the wait-free model ASMn,n-1[objects...] (§4.1).
+func WaitFreeModel(n int, objects ...string) Model {
+	return ASMModel(n, n-1, objects...)
+}
+
+// AMPModel returns AMPn,t[conds...]; no conditions means [∅].
+func AMPModel(n, t int, conds ...string) Model {
+	return Model{Kind: AMP, N: n, T: t, Enrich: append([]string(nil), conds...)}
+}
+
+// String renders the descriptor in the paper's notation, e.g.
+// "AMP_{5,2}[t<n/2,Ω]".
+func (m Model) String() string {
+	var b strings.Builder
+	b.WriteString(m.Kind.String())
+	switch m.Kind {
+	case SMP:
+		fmt.Fprintf(&b, "_{%d}", m.N)
+	default:
+		fmt.Fprintf(&b, "_{%d,%d}", m.N, m.T)
+	}
+	b.WriteByte('[')
+	if len(m.Enrich) == 0 {
+		b.WriteString("∅")
+	} else {
+		b.WriteString(strings.Join(m.Enrich, ","))
+	}
+	b.WriteByte(']')
+	return b.String()
+}
+
+// WaitFree reports whether the model tolerates crashes of all but one
+// process (t = n−1), the premise of §4's universality results.
+func (m Model) WaitFree() bool { return m.Kind != SMP && m.T >= m.N-1 }
+
+// MajorityResilient reports t < n/2 — the necessary and sufficient
+// condition for register emulation in AMP (§5.1, ABD).
+func (m Model) MajorityResilient() bool { return 2*m.T < m.N }
+
+// AtLeastAsStrong reports a ≥ b in the informal power order the paper
+// uses for same-kind models: fewer tolerated crashes (and, for SMP, a
+// weaker adversary already expressed in Enrich) means a stronger model.
+// It compares only same-kind, same-n descriptors; anything else is
+// incomparable and returns false.
+func AtLeastAsStrong(a, b Model) bool {
+	if a.Kind != b.Kind || a.N != b.N {
+		return false
+	}
+	return a.T <= b.T
+}

@@ -1,0 +1,267 @@
+// Package core implements §2 of the paper: the distributed task — the
+// basic unit of distributed computing — and the model descriptors the
+// paper's guided tour is organized around.
+//
+// A task T is defined by a set of input vectors I, a set of output
+// vectors O, and a relation T: I → 2^O (Figure 1 of the paper). Each
+// process pi knows only its own input in_i and computes only its own
+// output out_i; the vector [out_1..out_n] must lie in T([in_1..in_n]).
+// The case n = 1 collapses to a sequential function — the
+// correspondence the paper draws between Figure 1's two halves, checked
+// by TestTaskFunctionCorrespondence.
+//
+// Tasks here are specified operationally: Legal says whether an input
+// vector is admissible, and Valid decides O ∈ T(I). Crashed processes
+// are modeled by a nil entry in the output vector; a task's Valid
+// receives only the outputs of processes that decided, which matches
+// the paper's termination properties ("at least the processes that do
+// not crash must decide").
+package core
+
+import (
+	"fmt"
+	"reflect"
+	"sort"
+)
+
+// NoOutput marks a process that produced no output (crashed before
+// deciding, or was not required to decide). Valid predicates must accept
+// vectors containing NoOutput entries and judge only the decided ones.
+var NoOutput = noOutput{}
+
+type noOutput struct{}
+
+func (noOutput) String() string { return "⊥" }
+
+// Task is a distributed task per §2.2: n processes, a set of admissible
+// input vectors, and a relation from input vectors to allowed output
+// vectors.
+type Task struct {
+	// Name identifies the task in verdicts and experiment tables.
+	Name string
+	// N is the number of processes (n = 1 is sequential computing).
+	N int
+	// Legal reports whether the input vector is admissible (I ∈ 𝓘).
+	// A nil Legal admits every vector of length N.
+	Legal func(in []any) bool
+	// Valid reports whether out ∈ T(in). Entries of out equal to
+	// NoOutput denote processes that did not decide; Valid judges the
+	// decided entries only (safety is a property of decided values).
+	Valid func(in, out []any) bool
+}
+
+// Check evaluates one execution of the task: it verifies vector lengths,
+// input legality, and output validity, and reports which processes
+// decided. It is the "run/verdict plumbing" used by tests and by
+// cmd/basicsbench.
+func (t Task) Check(in, out []any) Verdict {
+	v := Verdict{Task: t.Name, In: append([]any(nil), in...), Out: append([]any(nil), out...)}
+	if len(in) != t.N || len(out) != t.N {
+		v.Err = fmt.Errorf("core: task %s wants vectors of length %d, got in=%d out=%d",
+			t.Name, t.N, len(in), len(out))
+		return v
+	}
+	if t.Legal != nil && !t.Legal(in) {
+		v.Err = fmt.Errorf("core: task %s: input vector %v is not admissible", t.Name, in)
+		return v
+	}
+	for _, o := range out {
+		if o != NoOutput && o != nil {
+			v.Decided++
+		}
+	}
+	v.OK = t.Valid(in, out)
+	return v
+}
+
+// Verdict reports the outcome of checking one execution against a task.
+type Verdict struct {
+	Task    string
+	In, Out []any
+	// Decided counts processes whose output entry is not NoOutput.
+	Decided int
+	// OK reports O ∈ T(I).
+	OK bool
+	// Err reports a malformed check (wrong lengths, illegal input).
+	Err error
+}
+
+// String renders the verdict for experiment logs.
+func (v Verdict) String() string {
+	status := "VIOLATION"
+	if v.Err != nil {
+		status = "ERROR(" + v.Err.Error() + ")"
+	} else if v.OK {
+		status = "ok"
+	}
+	return fmt.Sprintf("%s: in=%v out=%v decided=%d %s", v.Task, v.In, v.Out, v.Decided, status)
+}
+
+// FunctionTask lifts a sequential function f over the input vector to a
+// task: every process that decides must output f(I). After D rounds of
+// full-information flooding every process knows I and can compute any
+// such task (§3.2); with n = 1 this is exactly the left half of
+// Figure 1: out = f(in).
+func FunctionTask(name string, n int, f func(in []any) any) Task {
+	return Task{
+		Name: name,
+		N:    n,
+		Valid: func(in, out []any) bool {
+			want := f(in)
+			for _, o := range out {
+				if o == NoOutput || o == nil {
+					continue
+				}
+				if !reflect.DeepEqual(o, want) {
+					return false
+				}
+			}
+			return true
+		},
+	}
+}
+
+// ConsensusTask is the consensus problem of §4.2 as a task: validity
+// (every decided value was proposed), agreement (no two processes decide
+// differently). Termination is a liveness property of executions, not of
+// the relation, so it is checked by callers via Verdict.Decided.
+func ConsensusTask(n int) Task {
+	return KSetTask(n, 1)
+}
+
+// KSetTask is k-set agreement (§4.2, [16]): at most k distinct values
+// are decided, each of them proposed. k = 1 is consensus.
+func KSetTask(n, k int) Task {
+	name := fmt.Sprintf("%d-set-agreement(n=%d)", k, n)
+	if k == 1 {
+		name = fmt.Sprintf("consensus(n=%d)", n)
+	}
+	return Task{
+		Name: name,
+		N:    n,
+		Valid: func(in, out []any) bool {
+			proposed := make(map[any]bool, len(in))
+			for _, v := range in {
+				proposed[v] = true
+			}
+			distinct := make(map[any]bool)
+			for _, o := range out {
+				if o == NoOutput || o == nil {
+					continue
+				}
+				if !proposed[o] {
+					return false // validity
+				}
+				distinct[o] = true
+			}
+			return len(distinct) <= k // agreement
+		},
+	}
+}
+
+// BinaryConsensusTask restricts consensus inputs to {0, 1} — the form
+// used by Ben-Or's randomized algorithm and the FLP impossibility proof.
+func BinaryConsensusTask(n int) Task {
+	t := ConsensusTask(n)
+	t.Name = fmt.Sprintf("binary-consensus(n=%d)", n)
+	t.Legal = func(in []any) bool {
+		for _, v := range in {
+			if v != 0 && v != 1 {
+				return false
+			}
+		}
+		return true
+	}
+	return t
+}
+
+// LeaderElectionTask: all deciding processes output the same identity,
+// and that identity is in [0, n).
+func LeaderElectionTask(n int) Task {
+	return Task{
+		Name: fmt.Sprintf("leader-election(n=%d)", n),
+		N:    n,
+		Valid: func(_, out []any) bool {
+			var leader any
+			for _, o := range out {
+				if o == NoOutput || o == nil {
+					continue
+				}
+				id, ok := o.(int)
+				if !ok || id < 0 || id >= n {
+					return false
+				}
+				if leader == nil {
+					leader = o
+				} else if leader != o {
+					return false
+				}
+			}
+			return true
+		},
+	}
+}
+
+// ColoringTask: given ring positions as inputs, outputs are colors in
+// [0, colors) such that ring-adjacent processes differ (§3.2's example).
+// Inputs are ignored; adjacency is positional: i and (i+1) mod n.
+func ColoringTask(n, colors int) Task {
+	return Task{
+		Name: fmt.Sprintf("ring-%d-coloring(n=%d)", colors, n),
+		N:    n,
+		Valid: func(_, out []any) bool {
+			get := func(i int) (int, bool) {
+				o := out[i]
+				if o == NoOutput || o == nil {
+					return 0, false
+				}
+				c, ok := o.(int)
+				return c, ok
+			}
+			for i := range out {
+				c, ok := get(i)
+				if !ok {
+					if out[i] == NoOutput || out[i] == nil {
+						continue
+					}
+					return false
+				}
+				if c < 0 || c >= colors {
+					return false
+				}
+				if n > 1 {
+					if d, ok2 := get((i + 1) % n); ok2 && c == d {
+						return false
+					}
+				}
+			}
+			return true
+		},
+	}
+}
+
+// Vector builds an input/output vector from per-process values, a
+// convenience for tests and experiments.
+func Vector(vals ...any) []any { return vals }
+
+// DistinctDecided returns the sorted distinct decided values of an
+// output vector (ignoring NoOutput/nil), useful for k-set measurements.
+func DistinctDecided(out []any) []any {
+	set := make(map[string]any)
+	for _, o := range out {
+		if o == NoOutput || o == nil {
+			continue
+		}
+		set[fmt.Sprint(o)] = o
+	}
+	keys := make([]string, 0, len(set))
+	for k := range set {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	vals := make([]any, len(keys))
+	for i, k := range keys {
+		vals[i] = set[k]
+	}
+	return vals
+}

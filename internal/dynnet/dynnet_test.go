@@ -1,0 +1,243 @@
+package dynnet
+
+import (
+	"testing"
+
+	"distbasics/internal/graph"
+	"distbasics/internal/madv"
+	"distbasics/internal/round"
+)
+
+func TestTreeFloodDisseminatesWithinNMinusOne(t *testing.T) {
+	// The paper's §3.3 claim: under TREE, every input reaches every process
+	// in at most n-1 rounds, for arbitrary per-round tree changes.
+	for _, n := range []int{2, 3, 4, 8, 16, 64} {
+		for seed := int64(0); seed < 5; seed++ {
+			inputs := make([]any, n)
+			for i := range inputs {
+				inputs[i] = i * 7
+			}
+			procs := NewTreeFlood(inputs, n-1)
+			sys, err := round.NewSystem(graph.Complete(n), procs,
+				round.WithAdversary(madv.NewSpanningTree(seed)))
+			if err != nil {
+				t.Fatal(err)
+			}
+			res, err := sys.Run(n - 1)
+			if err != nil {
+				t.Fatal(err)
+			}
+			rounds, complete := DisseminationTime(procs)
+			if !complete {
+				t.Fatalf("n=%d seed=%d: dissemination incomplete after n-1=%d rounds", n, seed, n-1)
+			}
+			if rounds > n-1 {
+				t.Fatalf("n=%d seed=%d: dissemination took %d rounds, bound is %d", n, seed, rounds, n-1)
+			}
+			for i, o := range res.Outputs {
+				vec, ok := o.([]any)
+				if !ok {
+					t.Fatalf("n=%d process %d incomplete output", n, i)
+				}
+				for j, v := range vec {
+					if v != inputs[j] {
+						t.Fatalf("n=%d process %d: vec[%d] = %v", n, i, j, v)
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestTreeFloodExhaustiveWorstCaseN4(t *testing.T) {
+	// Exhaustively check the n-1 bound over ALL sequences of spanning trees
+	// of K4 of length n-1 = 3 (16^3 = 4096 adversary strategies).
+	n := 4
+	choices := SpanningTreeChoices(n)
+	if len(choices) != 16 {
+		t.Fatalf("K4 has %d spanning trees enumerated, want 16", len(choices))
+	}
+	inputs := make([]any, n)
+	for i := range inputs {
+		inputs[i] = i
+	}
+	ex := &Explorer{
+		Base:    graph.Complete(n),
+		Choices: choices,
+		NewProcs: func() []round.Process {
+			return NewTreeFlood(inputs, n-1)
+		},
+		Rounds: n - 1,
+		Check: func(outputs []any) string {
+			for i, o := range outputs {
+				if o == nil {
+					return "process " + string(rune('0'+i)) + " missing inputs after n-1 rounds"
+				}
+			}
+			return ""
+		},
+	}
+	v, count, err := ex.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if count != 16*16*16 {
+		t.Fatalf("explored %d executions, want 4096", count)
+	}
+	if v != nil {
+		t.Fatalf("found TREE adversary strategy beating the n-1 bound: %s", v.Reason)
+	}
+}
+
+func TestFloodMinSolvesConsensusUnderNoAdversary(t *testing.T) {
+	// One round of FloodMin on a reliable complete graph is consensus.
+	inputs := []int{5, 2, 9, 2}
+	ex := &Explorer{
+		Base:     graph.Complete(4),
+		Choices:  NoneChoices(graph.Complete(4)),
+		NewProcs: NewFloodMin(inputs, 1),
+		Rounds:   1,
+		Check:    CheckConsensus(inputs),
+	}
+	v, count, err := ex.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if count != 1 {
+		t.Fatalf("explored %d executions, want 1", count)
+	}
+	if v != nil {
+		t.Fatalf("consensus violated under adv:∅: %s", v.Reason)
+	}
+}
+
+func TestFloodMinBrokenUnderTournament(t *testing.T) {
+	// §3.3: SMPn[adv:TOUR] is task-equivalent to the wait-free read/write
+	// model, where consensus is impossible. The exhaustive explorer must
+	// find a TOUR schedule that makes FloodMin violate agreement — for any
+	// number of rounds (the adversary can starve one direction forever).
+	for rounds := 1; rounds <= 3; rounds++ {
+		inputs := []int{1, 0} // p0 holds the max, p1 the min
+		ex := &Explorer{
+			Base:     graph.Complete(2),
+			Choices:  TournamentChoices(2),
+			NewProcs: NewFloodMin(inputs, rounds),
+			Rounds:   rounds,
+			Check:    CheckConsensus(inputs),
+		}
+		v, count, err := ex.Run()
+		if err != nil {
+			t.Fatal(err)
+		}
+		wantCount := 1
+		for i := 0; i < rounds; i++ {
+			wantCount *= 3
+		}
+		// The explorer stops at the first violation, so count <= wantCount.
+		if count > wantCount {
+			t.Fatalf("explored %d executions, cap %d", count, wantCount)
+		}
+		if v == nil {
+			t.Fatalf("rounds=%d: no TOUR schedule violated FloodMin agreement; expected a violation", rounds)
+		}
+	}
+}
+
+func TestFloodMinThreeProcsTournament(t *testing.T) {
+	// Same separation with n=3 over 1 round: 27 adversary graphs.
+	inputs := []int{2, 1, 0}
+	ex := &Explorer{
+		Base:     graph.Complete(3),
+		Choices:  TournamentChoices(3),
+		NewProcs: NewFloodMin(inputs, 1),
+		Rounds:   1,
+		Check:    CheckConsensus(inputs),
+	}
+	v, _, err := ex.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v == nil {
+		t.Fatal("expected an agreement violation under TOUR with n=3")
+	}
+}
+
+func TestTournamentChoicesCount(t *testing.T) {
+	if got := len(TournamentChoices(2)); got != 3 {
+		t.Fatalf("TournamentChoices(2) = %d, want 3", got)
+	}
+	if got := len(TournamentChoices(3)); got != 27 {
+		t.Fatalf("TournamentChoices(3) = %d, want 27", got)
+	}
+	for _, d := range TournamentChoices(3) {
+		if !madv.CheckTournament(d) {
+			t.Fatal("illegal tournament choice generated")
+		}
+	}
+}
+
+func TestSpanningTreeChoicesCount(t *testing.T) {
+	// Cayley: n^(n-2) labelled trees.
+	if got := len(SpanningTreeChoices(2)); got != 1 {
+		t.Fatalf("n=2: %d, want 1", got)
+	}
+	if got := len(SpanningTreeChoices(3)); got != 3 {
+		t.Fatalf("n=3: %d, want 3", got)
+	}
+	if got := len(SpanningTreeChoices(4)); got != 16 {
+		t.Fatalf("n=4: %d, want 16", got)
+	}
+	for _, d := range SpanningTreeChoices(4) {
+		if !madv.CheckTree(d) {
+			t.Fatal("illegal spanning-tree choice generated")
+		}
+	}
+}
+
+func TestTreeFloodUnderWorstCaseLineTrees(t *testing.T) {
+	// Adversary always picks a path with process 0 at one end: still within
+	// the n-1 bound (and exactly n-1 rounds for the far endpoint's input to
+	// cross, demonstrating tightness).
+	n := 6
+	path := graph.Path(n) // 0-1-2-3-4-5 as a fixed "tree" each round
+	seq := []*graph.Digraph{graph.DigraphFromGraph(path)}
+	inputs := make([]any, n)
+	for i := range inputs {
+		inputs[i] = i
+	}
+	procs := NewTreeFlood(inputs, n-1)
+	sys, err := round.NewSystem(graph.Complete(n), procs,
+		round.WithAdversary(&madv.Replay{Seq: seq}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sys.Run(n - 1); err != nil {
+		t.Fatal(err)
+	}
+	rounds, complete := DisseminationTime(procs)
+	if !complete {
+		t.Fatal("incomplete dissemination on static path")
+	}
+	if rounds != n-1 {
+		t.Fatalf("static path dissemination = %d rounds, want exactly n-1 = %d (bound tight)", rounds, n-1)
+	}
+}
+
+func BenchmarkTreeFlood64(b *testing.B) {
+	n := 64
+	inputs := make([]any, n)
+	for i := range inputs {
+		inputs[i] = i
+	}
+	for i := 0; i < b.N; i++ {
+		procs := NewTreeFlood(inputs, n-1)
+		sys, err := round.NewSystem(graph.Complete(n), procs,
+			round.WithAdversary(madv.NewSpanningTree(int64(i))))
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := sys.Run(n - 1); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,150 @@
+package dynnet
+
+import (
+	"distbasics/internal/graph"
+	"distbasics/internal/madv"
+	"distbasics/internal/round"
+)
+
+// Explorer exhaustively enumerates bounded synchronous executions of a
+// protocol under every per-round choice the adversary could make, and
+// reports whether some adversary strategy makes the run violate a
+// predicate. This realizes, for small systems, §3.3's computability
+// comparisons between SMPn[adv:∅], SMPn[adv:TOUR], and SMPn[adv:TREE]:
+// a task is solvable under an adversary iff *no* adversary choice sequence
+// breaks the protocol.
+type Explorer struct {
+	// Base is the base communication graph (complete for TOUR).
+	Base *graph.Graph
+	// Choices enumerates every legal communication digraph the adversary
+	// may pick in a round.
+	Choices []*graph.Digraph
+	// NewProcs builds a fresh protocol instance (executions are replayed
+	// from scratch for each adversary choice sequence).
+	NewProcs func() []round.Process
+	// Rounds is the execution depth to explore.
+	Rounds int
+	// Check inspects the outputs of a completed execution and returns an
+	// empty string if the run is correct, or a description of the
+	// violation.
+	Check func(outputs []any) string
+}
+
+// Violation describes one adversary strategy that breaks the protocol.
+type Violation struct {
+	// Schedule is the sequence of adversary graphs, one per round.
+	Schedule []*graph.Digraph
+	// Reason is the Check description of what went wrong.
+	Reason string
+}
+
+// Run explores all |Choices|^Rounds executions. It returns the first
+// violation found (nil if the protocol is correct under every adversary
+// choice sequence) along with the number of executions explored.
+func (e *Explorer) Run() (*Violation, int, error) {
+	schedule := make([]*graph.Digraph, e.Rounds)
+	count := 0
+	v, err := e.explore(schedule, 0, &count)
+	return v, count, err
+}
+
+func (e *Explorer) explore(schedule []*graph.Digraph, depth int, count *int) (*Violation, error) {
+	if depth == e.Rounds {
+		*count++
+		procs := e.NewProcs()
+		seq := make([]*graph.Digraph, len(schedule))
+		copy(seq, schedule)
+		sys, err := round.NewSystem(e.Base, procs, round.WithAdversary(&madv.Replay{Seq: seq}))
+		if err != nil {
+			return nil, err
+		}
+		res, err := sys.Run(e.Rounds)
+		if err != nil {
+			return nil, err
+		}
+		if reason := e.Check(res.Outputs); reason != "" {
+			return &Violation{Schedule: seq, Reason: reason}, nil
+		}
+		return nil, nil
+	}
+	for _, c := range e.Choices {
+		schedule[depth] = c
+		v, err := e.explore(schedule, depth+1, count)
+		if err != nil || v != nil {
+			return v, err
+		}
+	}
+	return nil, nil
+}
+
+// TournamentChoices enumerates every digraph a TOUR adversary may pick in
+// one round on the complete n-graph: independently for each unordered pair,
+// deliver i->j only, j->i only, or both (3^(n(n-1)/2) graphs).
+func TournamentChoices(n int) []*graph.Digraph {
+	var pairs [][2]int
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			pairs = append(pairs, [2]int{i, j})
+		}
+	}
+	total := 1
+	for range pairs {
+		total *= 3
+	}
+	out := make([]*graph.Digraph, 0, total)
+	for code := 0; code < total; code++ {
+		d := graph.NewDigraph(n)
+		c := code
+		for _, pr := range pairs {
+			switch c % 3 {
+			case 0:
+				d.AddArc(pr[0], pr[1])
+			case 1:
+				d.AddArc(pr[1], pr[0])
+			default:
+				d.AddArc(pr[0], pr[1])
+				d.AddArc(pr[1], pr[0])
+			}
+			c /= 3
+		}
+		out = append(out, d)
+	}
+	return out
+}
+
+// NoneChoices is the single choice available to the empty adversary adv:∅
+// on the given base graph: the full symmetric digraph.
+func NoneChoices(base *graph.Graph) []*graph.Digraph {
+	return []*graph.Digraph{graph.DigraphFromGraph(base)}
+}
+
+// SpanningTreeChoices enumerates every spanning tree of the complete
+// n-graph (as symmetric digraphs), via all Prüfer sequences — n^(n-2)
+// trees, so keep n small (n ≤ 5 is comfortable).
+func SpanningTreeChoices(n int) []*graph.Digraph {
+	if n == 1 {
+		return []*graph.Digraph{graph.NewDigraph(1)}
+	}
+	if n == 2 {
+		d := graph.NewDigraph(2)
+		d.AddArc(0, 1)
+		d.AddArc(1, 0)
+		return []*graph.Digraph{d}
+	}
+	total := 1
+	for i := 0; i < n-2; i++ {
+		total *= n
+	}
+	out := make([]*graph.Digraph, 0, total)
+	seq := make([]int, n-2)
+	for code := 0; code < total; code++ {
+		c := code
+		for i := range seq {
+			seq[i] = c % n
+			c /= n
+		}
+		tree := graph.TreeFromPrufer(n, seq)
+		out = append(out, graph.DigraphFromGraph(tree))
+	}
+	return out
+}

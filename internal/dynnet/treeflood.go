@@ -1,0 +1,122 @@
+// Package dynnet implements the dynamic-network results of §3.3 of the
+// paper: computing under the TREE message adversary (where the
+// communication graph is an arbitrary, per-round-changing spanning tree)
+// and an exhaustive execution explorer that separates the adv:∅ model from
+// the TOUR adversary on agreement tasks.
+package dynnet
+
+import (
+	"distbasics/internal/round"
+)
+
+// TreeFlood is the dissemination protocol of §3.3's TREE-adversary
+// argument: every round, every process sends every <id, input> pair it
+// knows to all its neighbors; the adversary delivers only along the
+// current spanning tree. The partition argument in the paper (yes_i/no_i
+// sets joined by some tree edge) shows every input reaches every process
+// in at most n-1 rounds regardless of how the tree changes.
+//
+// Processes do not halt early: they run for exactly Rounds rounds so the
+// partition argument's premise (everybody keeps forwarding) holds, and
+// they record the first round at which they knew all inputs.
+type TreeFlood struct {
+	// Input is this process's initial value v_i.
+	Input any
+	// Rounds is the fixed number of rounds to execute (use n-1 to match the
+	// paper's bound).
+	Rounds int
+
+	id, n     int
+	neighbors []int
+	known     map[int]any
+	knewAllAt int
+}
+
+var _ round.Process = (*TreeFlood)(nil)
+
+// Init implements round.Process.
+func (p *TreeFlood) Init(env round.Env) {
+	p.id = env.ID
+	p.n = env.N
+	p.neighbors = env.Neighbors
+	p.known = map[int]any{p.id: p.Input}
+	p.knewAllAt = 0
+}
+
+// Send implements round.Process.
+func (p *TreeFlood) Send(_ int) round.Outbox {
+	payload := make(map[int]any, len(p.known))
+	for k, v := range p.known {
+		payload[k] = v
+	}
+	out := make(round.Outbox, len(p.neighbors))
+	for _, nb := range p.neighbors {
+		out[nb] = payload
+	}
+	return out
+}
+
+// Compute implements round.Process.
+func (p *TreeFlood) Compute(r int, in round.Inbox) bool {
+	for _, m := range in {
+		if pairs, ok := m.(map[int]any); ok {
+			for k, v := range pairs {
+				if _, seen := p.known[k]; !seen {
+					p.known[k] = v
+				}
+			}
+		}
+	}
+	if p.knewAllAt == 0 && len(p.known) == p.n {
+		p.knewAllAt = r
+	}
+	return r >= p.Rounds
+}
+
+// Output implements round.Process: the gathered input vector (nil if
+// incomplete), plus dissemination metadata via KnewAllAt.
+func (p *TreeFlood) Output() any {
+	if len(p.known) != p.n {
+		return nil
+	}
+	vec := make([]any, p.n)
+	for i := 0; i < p.n; i++ {
+		vec[i] = p.known[i]
+	}
+	return vec
+}
+
+// KnewAllAt returns the first round at which the process knew every input
+// (0 = never, or initially for n=1).
+func (p *TreeFlood) KnewAllAt() int { return p.knewAllAt }
+
+// NewTreeFlood builds one TreeFlood process per input, all running for the
+// given number of rounds.
+func NewTreeFlood(inputs []any, rounds int) []round.Process {
+	procs := make([]round.Process, len(inputs))
+	for i := range procs {
+		procs[i] = &TreeFlood{Input: inputs[i], Rounds: rounds}
+	}
+	return procs
+}
+
+// DisseminationTime returns the latest KnewAllAt over all processes, i.e.
+// the number of rounds needed for every input to reach every process, and
+// whether dissemination completed at all.
+func DisseminationTime(procs []round.Process) (rounds int, complete bool) {
+	complete = true
+	for _, rp := range procs {
+		p, ok := rp.(*TreeFlood)
+		if !ok {
+			return 0, false
+		}
+		if p.Output() == nil {
+			complete = false
+			continue
+		}
+		if p.knewAllAt > rounds {
+			rounds = p.knewAllAt
+		}
+	}
+	return rounds, complete
+}

@@ -1,0 +1,172 @@
+// Package fd implements the failure detectors of §5.3 of the paper:
+// unreliable detectors that abstract underlying synchrony assumptions
+// ([15], Chandra–Toueg), and in particular Ω — the weakest failure
+// detector for consensus ([14]) — which provides an eventual-leader
+// primitive: after some unknown time τ, all alive processes' leader
+// variables contain the same correct process forever. Ω is the formal
+// definition of the leader service used in Paxos ([42]).
+//
+// The implementation is heartbeat-based with adaptive timeouts: each
+// process broadcasts ALIVE every Period; a peer is suspected when no
+// heartbeat arrives within its current timeout; a false suspicion
+// (heartbeat arrives from a suspected peer) retracts the suspicion and
+// increases that peer's timeout. Under partial synchrony (amp.GSTDelay)
+// timeouts eventually exceed the post-GST bound, suspicions stabilize,
+// and the detector behaves as ◇P; Leader() = smallest non-suspected id
+// then realizes Ω.
+package fd
+
+import (
+	"distbasics/internal/amp"
+)
+
+// heartbeat is the ALIVE message.
+type heartbeat struct{}
+
+const (
+	timerPeriod = 0 // broadcast heartbeat
+	timerCheck  = 1 // suspicion sweep
+)
+
+// Detector is an eventually-perfect failure detector component with an Ω
+// leader output.
+type Detector struct {
+	// Period is the heartbeat interval (default 8).
+	Period amp.Time
+	// InitialTimeout is the starting suspicion timeout (default 3*Period).
+	InitialTimeout amp.Time
+	// TimeoutStep is added to a peer's timeout after each false suspicion
+	// (default Period).
+	TimeoutStep amp.Time
+	// OnLeaderChange, if set, is invoked whenever Leader() changes, with
+	// the new leader and the time.
+	OnLeaderChange func(leader int, at amp.Time)
+
+	n         int
+	id        int
+	lastHeard []amp.Time
+	timeout   []amp.Time
+	suspected []bool
+	leader    int
+	changes   []LeaderChange
+}
+
+// LeaderChange records one leader transition (for stabilization-time
+// measurements).
+type LeaderChange struct {
+	Leader int
+	At     amp.Time
+}
+
+// NewDetector returns a detector for n processes.
+func NewDetector(n int) *Detector {
+	return &Detector{Period: 8, n: n}
+}
+
+// Init implements amp.Component.
+func (d *Detector) Init(ctx amp.Context) {
+	d.id = ctx.ID()
+	if d.InitialTimeout == 0 {
+		d.InitialTimeout = 3 * d.Period
+	}
+	if d.TimeoutStep == 0 {
+		d.TimeoutStep = d.Period
+	}
+	d.lastHeard = make([]amp.Time, d.n)
+	d.timeout = make([]amp.Time, d.n)
+	d.suspected = make([]bool, d.n)
+	for i := range d.timeout {
+		d.timeout[i] = d.InitialTimeout
+		d.lastHeard[i] = ctx.Now()
+	}
+	d.leader = -1
+	d.refreshLeader(ctx)
+	ctx.Broadcast(heartbeat{})
+	ctx.SetTimer(d.Period, timerPeriod)
+	ctx.SetTimer(d.Period, timerCheck)
+}
+
+// OnMessage implements amp.Component.
+func (d *Detector) OnMessage(ctx amp.Context, from int, msg amp.Message) {
+	if _, ok := msg.(heartbeat); !ok {
+		return
+	}
+	d.lastHeard[from] = ctx.Now()
+	if d.suspected[from] {
+		// False suspicion: retract and adapt (the ◇P mechanism).
+		d.suspected[from] = false
+		d.timeout[from] += d.TimeoutStep
+		d.refreshLeader(ctx)
+	}
+}
+
+// OnTimer implements amp.Component.
+func (d *Detector) OnTimer(ctx amp.Context, id int) {
+	switch id {
+	case timerPeriod:
+		ctx.Broadcast(heartbeat{})
+		ctx.SetTimer(d.Period, timerPeriod)
+	case timerCheck:
+		changed := false
+		for i := 0; i < d.n; i++ {
+			if i == d.id || d.suspected[i] {
+				continue
+			}
+			if ctx.Now()-d.lastHeard[i] > d.timeout[i] {
+				d.suspected[i] = true
+				changed = true
+			}
+		}
+		if changed {
+			d.refreshLeader(ctx)
+		}
+		ctx.SetTimer(d.Period, timerCheck)
+	}
+}
+
+func (d *Detector) refreshLeader(ctx amp.Context) {
+	lead := d.id
+	for i := 0; i < d.n; i++ {
+		if !d.suspected[i] && i != d.id {
+			if i < lead {
+				lead = i
+			}
+		}
+	}
+	// Own id competes too (a process never suspects itself).
+	if d.leader != lead {
+		d.leader = lead
+		d.changes = append(d.changes, LeaderChange{Leader: lead, At: ctx.Now()})
+		if d.OnLeaderChange != nil {
+			d.OnLeaderChange(lead, ctx.Now())
+		}
+	}
+}
+
+// Leader returns the Ω output: the current leader estimate.
+func (d *Detector) Leader() int { return d.leader }
+
+// Suspects returns a copy of the current suspicion vector.
+func (d *Detector) Suspects() []bool {
+	out := make([]bool, d.n)
+	copy(out, d.suspected)
+	return out
+}
+
+// Changes returns the leader-change history (for stabilization analysis).
+func (d *Detector) Changes() []LeaderChange {
+	out := make([]LeaderChange, len(d.changes))
+	copy(out, d.changes)
+	return out
+}
+
+// StabilizationTime returns the time of the last leader change, i.e. the
+// earliest τ after which this process's leader output was constant, and
+// that final leader.
+func (d *Detector) StabilizationTime() (amp.Time, int) {
+	if len(d.changes) == 0 {
+		return 0, d.leader
+	}
+	last := d.changes[len(d.changes)-1]
+	return last.At, last.Leader
+}

@@ -1,0 +1,157 @@
+package fd
+
+import (
+	"math/rand"
+	"testing"
+
+	"distbasics/internal/amp"
+)
+
+type fdCluster struct {
+	sim    *amp.Sim
+	stacks []*amp.Stack
+	dets   []*Detector
+}
+
+func newFDCluster(n int, opts ...amp.SimOption) *fdCluster {
+	c := &fdCluster{}
+	procs := make([]amp.Process, n)
+	for i := 0; i < n; i++ {
+		d := NewDetector(n)
+		c.dets = append(c.dets, d)
+		st := amp.NewStack(d)
+		c.stacks = append(c.stacks, st)
+		procs[i] = st
+	}
+	c.sim = amp.NewSim(procs, opts...)
+	return c
+}
+
+func TestAllAliveLeaderIsZero(t *testing.T) {
+	c := newFDCluster(5, amp.WithDelay(amp.FixedDelay{D: 2}))
+	c.sim.Run(500)
+	for i, d := range c.dets {
+		if d.Leader() != 0 {
+			t.Fatalf("process %d leader = %d, want 0 (everyone alive)", i, d.Leader())
+		}
+		for j, s := range d.Suspects() {
+			if s {
+				t.Fatalf("process %d falsely suspects %d under synchrony", i, j)
+			}
+		}
+	}
+}
+
+func TestLeaderCrashTriggersNewLeader(t *testing.T) {
+	c := newFDCluster(4, amp.WithDelay(amp.FixedDelay{D: 2}))
+	c.sim.CrashAt(0, 200)
+	c.sim.Run(800)
+	for i := 1; i < 4; i++ {
+		if got := c.dets[i].Leader(); got != 1 {
+			t.Fatalf("process %d leader = %d, want 1 after 0 crashed", i, got)
+		}
+		if !c.dets[i].Suspects()[0] {
+			t.Fatalf("process %d does not suspect crashed 0", i)
+		}
+	}
+}
+
+func TestCascadingCrashes(t *testing.T) {
+	c := newFDCluster(4, amp.WithDelay(amp.FixedDelay{D: 2}))
+	c.sim.CrashAt(0, 200)
+	c.sim.CrashAt(1, 500)
+	c.sim.Run(1200)
+	for i := 2; i < 4; i++ {
+		if got := c.dets[i].Leader(); got != 2 {
+			t.Fatalf("process %d leader = %d, want 2", i, got)
+		}
+	}
+}
+
+func TestEventualLeadershipUnderPartialSynchrony(t *testing.T) {
+	// Before GST, delays are chaotic (up to 60 units >> timeout): false
+	// suspicions and leader churn happen. After GST, delays drop to <= 3;
+	// adaptive timeouts guarantee the leader stabilizes on the smallest
+	// alive id, on every process — the Ω property.
+	for seed := int64(0); seed < 8; seed++ {
+		gst := amp.Time(600)
+		c := newFDCluster(4,
+			amp.WithSeed(seed),
+			amp.WithDelay(amp.GSTDelay{GST: gst, BeforeMin: 1, BeforeMax: 60, AfterMin: 1, AfterMax: 3}))
+		c.sim.Run(4000)
+		for i, d := range c.dets {
+			stab, leader := d.StabilizationTime()
+			if leader != 0 {
+				t.Fatalf("seed %d: process %d stabilized on leader %d, want 0", seed, i, leader)
+			}
+			if stab >= 4000 {
+				t.Fatalf("seed %d: process %d never stabilized", seed, i)
+			}
+		}
+	}
+}
+
+func TestEventualLeadershipWithCrashUnderPartialSynchrony(t *testing.T) {
+	// Same, but the natural leader crashes after GST: everyone must
+	// converge on process 1, forever after some τ.
+	for seed := int64(0); seed < 8; seed++ {
+		c := newFDCluster(4,
+			amp.WithSeed(seed),
+			amp.WithDelay(amp.GSTDelay{GST: 400, BeforeMin: 1, BeforeMax: 50, AfterMin: 1, AfterMax: 3}))
+		c.sim.CrashAt(0, 900)
+		c.sim.Run(5000)
+		for i := 1; i < 4; i++ {
+			_, leader := c.dets[i].StabilizationTime()
+			if leader != 1 {
+				t.Fatalf("seed %d: process %d final leader = %d, want 1", seed, i, leader)
+			}
+		}
+	}
+}
+
+func TestAdaptiveTimeoutRetractsFalseSuspicion(t *testing.T) {
+	// A burst of slow 0->1 deliveries makes process 1 falsely suspect 0
+	// (leader flips to 1); the late heartbeat retracts the suspicion
+	// (leader returns to 0) and the adapted timeout prevents a repeat
+	// under the same delay.
+	slow := amp.DelayFunc(func(src, dst int, at amp.Time, r *rand.Rand) amp.Time {
+		if src == 0 && dst == 1 && at >= 100 && at < 140 {
+			return 100 // burst: way beyond the initial 24-unit timeout
+		}
+		return 2
+	})
+	c := newFDCluster(2, amp.WithDelay(slow))
+	c.sim.Run(1500)
+	ch := c.dets[1].Changes()
+	sawFalse, sawRetract := false, false
+	for i, e := range ch {
+		if e.Leader == 1 {
+			sawFalse = true
+		}
+		if sawFalse && e.Leader == 0 && i > 0 {
+			sawRetract = true
+		}
+	}
+	if !sawFalse {
+		t.Fatalf("no false suspicion occurred (changes %v)", ch)
+	}
+	if !sawRetract {
+		t.Fatalf("false suspicion never retracted (changes %v)", ch)
+	}
+	if c.dets[1].Leader() != 0 {
+		t.Fatalf("final leader = %d, want 0", c.dets[1].Leader())
+	}
+}
+
+func TestChangesHistoryRecorded(t *testing.T) {
+	c := newFDCluster(3, amp.WithDelay(amp.FixedDelay{D: 2}))
+	c.sim.CrashAt(0, 100)
+	c.sim.Run(500)
+	ch := c.dets[1].Changes()
+	if len(ch) < 2 {
+		t.Fatalf("expected at least 2 leader changes (init + after crash), got %v", ch)
+	}
+	if ch[len(ch)-1].Leader != 1 {
+		t.Fatalf("final change leader = %d, want 1", ch[len(ch)-1].Leader)
+	}
+}

@@ -1,0 +1,98 @@
+package fd
+
+import "distbasics/internal/amp"
+
+// EventuallyStrong is ◇S, the weakest Chandra–Toueg class that solves
+// consensus with a majority of correct processes [15]: strong
+// completeness (every crashed process is eventually suspected by every
+// correct one) plus *eventual weak* accuracy — SOME correct process is
+// eventually never suspected by any correct process. It is implemented
+// here the standard way: a ◇P detector trivially satisfies ◇S (eventual
+// strong accuracy implies eventual weak accuracy), so ◇S wraps ◇P and
+// exposes the ◇S-level query.
+//
+// The companion construction OmegaFromSuspects extracts an eventual
+// leader from any suspect-list detector with ◇S accuracy — the paper's
+// §5.3 observation that Ω "can be seen as a formal definition of the
+// leader service used in Paxos" made executable: leader := the smallest
+// id currently not suspected. Once suspicions stabilize (◇P gives
+// eventual strong accuracy), every correct process computes the same
+// smallest non-suspected id, and that id is correct — exactly Ω's
+// eventual-leadership property.
+type EventuallyStrong struct {
+	inner *EventuallyPerfect
+}
+
+var _ amp.Component = (*EventuallyStrong)(nil)
+
+// NewEventuallyStrong returns a ◇S detector for n processes.
+func NewEventuallyStrong(n int) *EventuallyStrong {
+	return &EventuallyStrong{inner: NewEventuallyPerfect(n)}
+}
+
+// Init implements amp.Component.
+func (d *EventuallyStrong) Init(ctx amp.Context) { d.inner.Init(ctx) }
+
+// OnMessage implements amp.Component.
+func (d *EventuallyStrong) OnMessage(ctx amp.Context, from int, msg amp.Message) {
+	d.inner.OnMessage(ctx, from, msg)
+}
+
+// OnTimer implements amp.Component.
+func (d *EventuallyStrong) OnTimer(ctx amp.Context, id int) { d.inner.OnTimer(ctx, id) }
+
+// Suspects returns the current suspect list.
+func (d *EventuallyStrong) Suspects() []bool { return d.inner.Suspects() }
+
+// Trusted reports ◇S's defining output: some process this detector
+// currently does not suspect (the eventual-weak-accuracy witness). It
+// returns the smallest non-suspected id.
+func (d *EventuallyStrong) Trusted() int {
+	for i, s := range d.inner.Suspects() {
+		if !s {
+			return i
+		}
+	}
+	return -1 // everyone suspected: transiently possible pre-GST
+}
+
+// OmegaFromSuspects derives Ω from a suspect-list detector: the leader
+// is the smallest currently-trusted id. With ◇P/◇S-stabilized suspicion
+// lists this yields eventual leadership — the classical reduction
+// showing Ω is implementable wherever ◇S is.
+type OmegaFromSuspects struct {
+	d *EventuallyStrong
+
+	changes []LeaderChange
+	last    int
+}
+
+// NewOmegaFromSuspects wraps a ◇S detector as an eventual leader
+// oracle. Poll Leader after delivering the detector's events; the
+// wrapper records leader changes when RecordAt is called (tests drive
+// it from a timer or after Run).
+func NewOmegaFromSuspects(d *EventuallyStrong) *OmegaFromSuspects {
+	return &OmegaFromSuspects{d: d, last: -1}
+}
+
+// Leader returns the current leader estimate: the smallest trusted id.
+func (o *OmegaFromSuspects) Leader() int { return o.d.Trusted() }
+
+// RecordAt notes the current leader for stabilization measurement.
+func (o *OmegaFromSuspects) RecordAt(now amp.Time) {
+	l := o.Leader()
+	if l != o.last {
+		o.changes = append(o.changes, LeaderChange{At: now, Leader: l})
+		o.last = l
+	}
+}
+
+// StabilizationTime returns the time of the last recorded leader change
+// and the final leader (-1 if never recorded).
+func (o *OmegaFromSuspects) StabilizationTime() (amp.Time, int) {
+	if len(o.changes) == 0 {
+		return 0, -1
+	}
+	last := o.changes[len(o.changes)-1]
+	return last.At, last.Leader
+}

@@ -1,0 +1,144 @@
+package fd
+
+import (
+	"testing"
+
+	"distbasics/internal/amp"
+)
+
+// omegaProbe pairs a ◇S detector with the Ω reduction and samples the
+// leader periodically so stabilization can be measured.
+type omegaProbe struct {
+	det   *EventuallyStrong
+	omega *OmegaFromSuspects
+}
+
+func (p *omegaProbe) Init(ctx amp.Context) {
+	p.det.Init(ctx)
+	ctx.SetTimer(7, 999)
+}
+
+func (p *omegaProbe) OnMessage(ctx amp.Context, from int, msg amp.Message) {
+	p.det.OnMessage(ctx, from, msg)
+}
+
+func (p *omegaProbe) OnTimer(ctx amp.Context, id int) {
+	if id == 999 {
+		p.omega.RecordAt(ctx.Now())
+		ctx.SetTimer(7, 999)
+		return
+	}
+	p.det.OnTimer(ctx, id)
+}
+
+func buildOmegaFromS(n int, opts ...amp.SimOption) (*amp.Sim, []*omegaProbe) {
+	probes := make([]*omegaProbe, n)
+	procs := make([]amp.Process, n)
+	for i := 0; i < n; i++ {
+		det := NewEventuallyStrong(n)
+		probes[i] = &omegaProbe{det: det, omega: NewOmegaFromSuspects(det)}
+		procs[i] = probes[i]
+	}
+	return amp.NewSim(procs, opts...), probes
+}
+
+// TestOmegaFromDiamondS: the classical reduction — smallest trusted id —
+// yields eventual leadership under partial synchrony, surviving the
+// crash of the first leader.
+func TestOmegaFromDiamondS(t *testing.T) {
+	const n, gst = 4, 300
+	sim, probes := buildOmegaFromS(n,
+		amp.WithSeed(8),
+		amp.WithDelay(amp.GSTDelay{GST: gst, BeforeMin: 1, BeforeMax: 30, AfterMin: 1, AfterMax: 4}))
+	sim.CrashAt(0, 800) // p1 leads after stabilization, then crashes
+	sim.Run(60_000)
+
+	leaders := map[int]bool{}
+	for i := 1; i < n; i++ {
+		tau, leader := probes[i].omega.StabilizationTime()
+		if leader < 0 {
+			t.Fatalf("probe %d never observed a leader", i)
+		}
+		leaders[leader] = true
+		if tau > 40_000 {
+			t.Fatalf("probe %d still changing leaders at t=%d", i, tau)
+		}
+	}
+	if len(leaders) != 1 {
+		t.Fatalf("correct processes disagree on the final leader: %v", leaders)
+	}
+	for l := range leaders {
+		if l == 0 || sim.Crashed(l) {
+			t.Fatalf("final leader %d is crashed", l)
+		}
+	}
+}
+
+// TestDiamondSWeakAccuracy: after stabilization some correct process is
+// trusted by every correct process — ◇S's defining property (here the
+// witness is the smallest correct id, since ◇P stabilizes fully).
+func TestDiamondSWeakAccuracy(t *testing.T) {
+	const n = 5
+	sim, probes := buildOmegaFromS(n,
+		amp.WithSeed(2),
+		amp.WithDelay(amp.GSTDelay{GST: 200, BeforeMin: 1, BeforeMax: 25, AfterMin: 1, AfterMax: 4}))
+	sim.CrashAt(1, 50)
+	sim.Run(40_000)
+
+	witness := -1
+	for cand := 0; cand < n; cand++ {
+		if sim.Crashed(cand) {
+			continue
+		}
+		trustedByAll := true
+		for i := 0; i < n; i++ {
+			if sim.Crashed(i) {
+				continue
+			}
+			if probes[i].det.Suspects()[cand] {
+				trustedByAll = false
+				break
+			}
+		}
+		if trustedByAll {
+			witness = cand
+			break
+		}
+	}
+	if witness < 0 {
+		t.Fatal("no correct process is trusted by all correct processes (◇S accuracy violated after stabilization)")
+	}
+}
+
+// TestDiamondSCompleteness: crashed processes end up suspected.
+func TestDiamondSCompleteness(t *testing.T) {
+	const n = 4
+	sim, probes := buildOmegaFromS(n, amp.WithDelay(amp.FixedDelay{D: 2}))
+	sim.CrashAt(2, 100)
+	sim.Run(10_000)
+	for i := 0; i < n; i++ {
+		if i == 2 {
+			continue
+		}
+		if !probes[i].det.Suspects()[2] {
+			t.Fatalf("probe %d does not suspect the crashed process", i)
+		}
+	}
+}
+
+func TestTrustedAllSuspected(t *testing.T) {
+	d := NewEventuallyStrong(2)
+	// Force the everyone-suspected transient by hand.
+	d.inner.suspect[0] = true
+	d.inner.suspect[1] = true
+	if got := d.Trusted(); got != -1 {
+		t.Fatalf("Trusted = %d, want -1 when all are suspected", got)
+	}
+}
+
+func TestOmegaFromSuspectsNoRecords(t *testing.T) {
+	o := NewOmegaFromSuspects(NewEventuallyStrong(3))
+	if at, l := o.StabilizationTime(); at != 0 || l != -1 {
+		t.Fatalf("empty recorder = (%d, %d), want (0, -1)", at, l)
+	}
+}

@@ -1,0 +1,317 @@
+// Package flp makes the FLP impossibility result (§2.4, §5.1, [23])
+// executable: it exhaustively explores every schedule of a deterministic
+// message-passing protocol under at most one crash, classifies initial
+// configurations by valence (0-valent, 1-valent, bivalent), and exhibits
+// the dilemma concretely — for each candidate consensus protocol it
+// finds either an execution that never decides or one that violates
+// agreement.
+//
+// The model is FLP's: a configuration is the vector of process states
+// plus the multiset of in-flight messages; a step is the delivery of one
+// message to a live process (which may send new messages and/or decide);
+// the adversary additionally may crash up to MaxCrashes processes, after
+// which their pending messages are discarded. An execution is complete
+// when no message addressed to a live process remains. Determinism of
+// the protocol is what makes the reachable configuration space finite
+// for bounded protocols, and exhaustive search meaningful.
+package flp
+
+import (
+	"fmt"
+	"sort"
+)
+
+// State is an opaque per-process protocol state. It is rendered with
+// fmt.Sprintf("%#v") for memoization, so implementations should be plain
+// comparable structs or values.
+type State any
+
+// Outgoing is a message produced by a protocol step.
+type Outgoing struct {
+	To   int
+	Body any
+}
+
+// Protocol is a deterministic asynchronous message-passing protocol for
+// binary consensus (decisions are 0 or 1). The explorer owns delivery
+// order and crashes; the protocol owns everything else.
+type Protocol interface {
+	// N returns the number of processes.
+	N() int
+	// Initial returns process pid's initial state and its initial sends
+	// (the messages it emits on wake-up, before receiving anything).
+	Initial(pid int, input int) (State, []Outgoing)
+	// Deliver hands body (sent by from) to pid in state s.
+	Deliver(pid int, s State, from int, body any) (State, []Outgoing)
+	// Decision reports whether s has irrevocably decided, and what.
+	Decision(s State) (int, bool)
+}
+
+// message is an in-flight message. A wake message (Wake=true) is the
+// explorer-generated initial event of its target: delivering it runs
+// Protocol.Initial, producing the process's first state and sends. This
+// is what makes "crash before taking any step" — the schedule FLP's
+// initial-bivalence argument needs — reachable: crashing a process whose
+// wake is still in the buffer discards its initial sends entirely.
+type message struct {
+	From, To int
+	Body     any
+	Wake     bool
+}
+
+// asleep is the placeholder state of a process whose wake message has
+// not yet been delivered. It holds no protocol state and has decided
+// nothing.
+type asleep struct{ Input int }
+
+// config is an explorer configuration.
+type config struct {
+	states  []State
+	crashed []bool
+	buffer  []message // in-flight, order-insensitive (multiset)
+	crashes int
+}
+
+func (c *config) key() string {
+	msgs := make([]string, 0, len(c.buffer))
+	for _, m := range c.buffer {
+		msgs = append(msgs, fmt.Sprintf("%d>%d:%v:%#v", m.From, m.To, m.Wake, m.Body))
+	}
+	sort.Strings(msgs)
+	return fmt.Sprintf("%#v|%v|%v", c.states, c.crashed, msgs)
+}
+
+func (c *config) clone() *config {
+	d := &config{
+		states:  append([]State(nil), c.states...),
+		crashed: append([]bool(nil), c.crashed...),
+		buffer:  append([]message(nil), c.buffer...),
+		crashes: c.crashes,
+	}
+	return d
+}
+
+// quiescent reports that no message addressed to a live process remains.
+func (c *config) quiescent() bool {
+	for _, m := range c.buffer {
+		if !c.crashed[m.To] {
+			return false
+		}
+	}
+	return true
+}
+
+// Valence classifies a configuration by the set of decision values
+// reachable from it.
+type Valence int
+
+// Valence values. The zero value Unknown is reported only for
+// configurations from which no execution decides at all.
+const (
+	Unknown Valence = iota
+	ZeroValent
+	OneValent
+	Bivalent
+)
+
+// String implements fmt.Stringer.
+func (v Valence) String() string {
+	switch v {
+	case ZeroValent:
+		return "0-valent"
+	case OneValent:
+		return "1-valent"
+	case Bivalent:
+		return "bivalent"
+	default:
+		return "undecided"
+	}
+}
+
+// Report summarizes an exhaustive exploration.
+type Report struct {
+	// Decided[v] is true if some execution reaches a configuration where
+	// a correct process decides v.
+	Decided map[int]bool
+	// AgreementViolation is an execution trace note when two correct
+	// processes decide differently in the same execution ("" if none).
+	AgreementViolation string
+	// TerminationViolation is set when some complete execution (with at
+	// most MaxCrashes crashes) ends with a correct, undecided process.
+	TerminationViolation string
+	// Configs counts distinct configurations visited.
+	Configs int
+	// Truncated reports that exploration hit MaxConfigs and results are
+	// a lower bound.
+	Truncated bool
+}
+
+// Valence derives the initial configuration's valence from the report.
+func (r Report) Valence() Valence {
+	switch {
+	case r.Decided[0] && r.Decided[1]:
+		return Bivalent
+	case r.Decided[0]:
+		return ZeroValent
+	case r.Decided[1]:
+		return OneValent
+	default:
+		return Unknown
+	}
+}
+
+// Options bound the exploration.
+type Options struct {
+	// MaxCrashes is the adversary's crash budget (FLP uses 1).
+	MaxCrashes int
+	// MaxConfigs caps visited configurations (0 = DefaultMaxConfigs).
+	MaxConfigs int
+}
+
+// DefaultMaxConfigs bounds exploration when Options.MaxConfigs is 0.
+const DefaultMaxConfigs = 2_000_000
+
+// Explore exhaustively explores every delivery/crash schedule of proto
+// from the given inputs and reports reachable decisions, agreement
+// violations, and termination violations.
+func Explore(proto Protocol, inputs []int, opts Options) Report {
+	n := proto.N()
+	if len(inputs) != n {
+		panic(fmt.Sprintf("flp: %d inputs for %d processes", len(inputs), n))
+	}
+	maxConfigs := opts.MaxConfigs
+	if maxConfigs == 0 {
+		maxConfigs = DefaultMaxConfigs
+	}
+
+	init := &config{
+		states:  make([]State, n),
+		crashed: make([]bool, n),
+	}
+	for i := 0; i < n; i++ {
+		init.states[i] = asleep{Input: inputs[i]}
+		init.buffer = append(init.buffer, message{From: i, To: i, Wake: true})
+	}
+
+	rep := Report{Decided: make(map[int]bool)}
+	seen := make(map[string]bool)
+
+	var visit func(c *config)
+	visit = func(c *config) {
+		if rep.Configs >= maxConfigs {
+			rep.Truncated = true
+			return
+		}
+		key := c.key()
+		if seen[key] {
+			return
+		}
+		seen[key] = true
+		rep.Configs++
+
+		// Record decisions and check agreement among live processes.
+		decidedVals := make(map[int]bool)
+		for pid, s := range c.states {
+			if c.crashed[pid] {
+				continue
+			}
+			if _, sleeping := s.(asleep); sleeping {
+				continue
+			}
+			if v, ok := proto.Decision(s); ok {
+				rep.Decided[v] = true
+				decidedVals[v] = true
+			}
+		}
+		if len(decidedVals) > 1 && rep.AgreementViolation == "" {
+			rep.AgreementViolation = fmt.Sprintf("config %s has two decided values", key)
+		}
+
+		if c.quiescent() {
+			for pid, s := range c.states {
+				if c.crashed[pid] {
+					continue
+				}
+				undecided := false
+				if _, sleeping := s.(asleep); sleeping {
+					undecided = true
+				} else if _, ok := proto.Decision(s); !ok {
+					undecided = true
+				}
+				if undecided && rep.TerminationViolation == "" {
+					rep.TerminationViolation = fmt.Sprintf(
+						"complete execution (crashes=%d) leaves p%d undecided", c.crashes, pid+1)
+				}
+			}
+			return
+		}
+
+		// Branch on every deliverable message.
+		for i, m := range c.buffer {
+			if c.crashed[m.To] {
+				continue
+			}
+			if _, sleeping := c.states[m.To].(asleep); sleeping && !m.Wake {
+				continue // protocol messages wait until the target wakes
+			}
+			d := c.clone()
+			d.buffer = append(d.buffer[:i:i], d.buffer[i+1:]...)
+			var s State
+			var outs []Outgoing
+			if m.Wake {
+				s, outs = proto.Initial(m.To, d.states[m.To].(asleep).Input)
+			} else {
+				s, outs = proto.Deliver(m.To, d.states[m.To], m.From, m.Body)
+			}
+			d.states[m.To] = s
+			for _, o := range outs {
+				d.buffer = append(d.buffer, message{From: m.To, To: o.To, Body: o.Body})
+			}
+			visit(d)
+		}
+
+		// Branch on crashing each live process (budget permitting).
+		if c.crashes < opts.MaxCrashes {
+			for pid := 0; pid < n; pid++ {
+				if c.crashed[pid] {
+					continue
+				}
+				d := c.clone()
+				d.crashed[pid] = true
+				d.crashes++
+				// Messages to the crashed process are moot; drop them so
+				// quiescence is detected.
+				kept := d.buffer[:0]
+				for _, m := range d.buffer {
+					if m.To != pid {
+						kept = append(kept, m)
+					}
+				}
+				d.buffer = kept
+				visit(d)
+			}
+		}
+	}
+
+	visit(init)
+	return rep
+}
+
+// InitialValences explores every binary input vector of proto and
+// returns each vector's valence — how tests exhibit FLP Lemma 2's
+// "bivalent initial configuration exists".
+func InitialValences(proto Protocol, opts Options) map[string]Valence {
+	n := proto.N()
+	out := make(map[string]Valence)
+	for bits := 0; bits < 1<<uint(n); bits++ {
+		inputs := make([]int, n)
+		label := make([]byte, n)
+		for i := 0; i < n; i++ {
+			inputs[i] = (bits >> uint(i)) & 1
+			label[i] = byte('0' + inputs[i])
+		}
+		rep := Explore(proto, inputs, opts)
+		out[string(label)] = rep.Valence()
+	}
+	return out
+}

@@ -1,0 +1,143 @@
+package flp
+
+// Two natural deterministic candidate protocols for binary consensus.
+// Exhaustive exploration shows each loses one horn of the FLP dilemma
+// under a single crash: WaitAll sacrifices termination, WaitMajority
+// sacrifices agreement. No deterministic protocol can keep both —
+// that is the content of [23], demonstrated rather than proved here.
+
+// waState is the state of both flooding protocols: the values heard so
+// far (indexed by sender) and the decision, if any.
+type waState struct {
+	// Heard is a bitmask of processes heard from (bit i = value from i).
+	Heard int
+	// Vals packs heard values: bit i set means process i sent 1.
+	Vals int
+	// Decided is -1 before deciding.
+	Decided int
+}
+
+func heardCount(h int) int {
+	c := 0
+	for ; h != 0; h &= h - 1 {
+		c++
+	}
+	return c
+}
+
+func minHeard(s waState, n int) int {
+	for i := 0; i < n; i++ {
+		if s.Heard&(1<<uint(i)) != 0 && s.Vals&(1<<uint(i)) == 0 {
+			return 0 // heard a zero
+		}
+	}
+	return 1
+}
+
+// WaitAll is flooding consensus that waits for every process's value and
+// decides the minimum. With no crashes it solves consensus; a single
+// pre-send crash makes every correct process wait forever (termination
+// violation). It never violates agreement.
+type WaitAll struct {
+	// Procs is the number of processes.
+	Procs int
+}
+
+var _ Protocol = WaitAll{}
+
+// N implements Protocol.
+func (p WaitAll) N() int { return p.Procs }
+
+// Initial implements Protocol.
+func (p WaitAll) Initial(pid int, input int) (State, []Outgoing) {
+	s := waState{Heard: 1 << uint(pid), Vals: input << uint(pid), Decided: -1}
+	outs := make([]Outgoing, 0, p.Procs-1)
+	for i := 0; i < p.Procs; i++ {
+		if i != pid {
+			outs = append(outs, Outgoing{To: i, Body: input})
+		}
+	}
+	s = p.maybeDecide(s)
+	return s, outs
+}
+
+// Deliver implements Protocol.
+func (p WaitAll) Deliver(_ int, st State, from int, body any) (State, []Outgoing) {
+	s := st.(waState)
+	v := body.(int)
+	s.Heard |= 1 << uint(from)
+	if v == 1 {
+		s.Vals |= 1 << uint(from)
+	}
+	return p.maybeDecide(s), nil
+}
+
+func (p WaitAll) maybeDecide(s waState) waState {
+	if s.Decided < 0 && heardCount(s.Heard) == p.Procs {
+		s.Decided = minHeard(s, p.Procs)
+	}
+	return s
+}
+
+// Decision implements Protocol.
+func (p WaitAll) Decision(st State) (int, bool) {
+	s := st.(waState)
+	return s.Decided, s.Decided >= 0
+}
+
+// WaitMajority is flooding consensus that decides the minimum of the
+// first ⌈(n+1)/2⌉ values it hears (its own included). It always
+// terminates under a minority of crashes, but exhaustive search finds
+// schedules in which two correct processes decide differently
+// (agreement violation) — the other horn of the dilemma.
+type WaitMajority struct {
+	// Procs is the number of processes.
+	Procs int
+}
+
+var _ Protocol = WaitMajority{}
+
+// N implements Protocol.
+func (p WaitMajority) N() int { return p.Procs }
+
+func (p WaitMajority) quorum() int { return p.Procs/2 + 1 }
+
+// Initial implements Protocol.
+func (p WaitMajority) Initial(pid int, input int) (State, []Outgoing) {
+	s := waState{Heard: 1 << uint(pid), Vals: input << uint(pid), Decided: -1}
+	outs := make([]Outgoing, 0, p.Procs-1)
+	for i := 0; i < p.Procs; i++ {
+		if i != pid {
+			outs = append(outs, Outgoing{To: i, Body: input})
+		}
+	}
+	s = p.maybeDecide(s)
+	return s, outs
+}
+
+// Deliver implements Protocol.
+func (p WaitMajority) Deliver(_ int, st State, from int, body any) (State, []Outgoing) {
+	s := st.(waState)
+	if s.Decided >= 0 {
+		return s, nil // decision is irrevocable; late values ignored
+	}
+	v := body.(int)
+	s.Heard |= 1 << uint(from)
+	if v == 1 {
+		s.Vals |= 1 << uint(from)
+	}
+	return p.maybeDecide(s), nil
+}
+
+func (p WaitMajority) maybeDecide(s waState) waState {
+	if s.Decided < 0 && heardCount(s.Heard) >= p.quorum() {
+		s.Decided = minHeard(s, p.Procs)
+	}
+	return s
+}
+
+// Decision implements Protocol.
+func (p WaitMajority) Decision(st State) (int, bool) {
+	s := st.(waState)
+	return s.Decided, s.Decided >= 0
+}

@@ -1,0 +1,281 @@
+package graph
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// Ring returns the n-vertex cycle C_n (the topology of §3.2's coloring
+// example). Ring(2) is a single edge; Ring(1) a single vertex; n < 1 yields
+// an empty graph.
+func Ring(n int) *Graph {
+	g := New(n)
+	if n < 2 {
+		return g
+	}
+	for i := 0; i < n; i++ {
+		g.AddEdge(i, (i+1)%n)
+	}
+	return g
+}
+
+// Path returns the n-vertex path P_n.
+func Path(n int) *Graph {
+	g := New(n)
+	for i := 0; i+1 < n; i++ {
+		g.AddEdge(i, i+1)
+	}
+	return g
+}
+
+// Star returns the n-vertex star with vertex 0 at the center.
+func Star(n int) *Graph {
+	g := New(n)
+	for i := 1; i < n; i++ {
+		g.AddEdge(0, i)
+	}
+	return g
+}
+
+// Complete returns the complete graph K_n (the topology assumed by the TOUR
+// adversary in §3.3: every pair of processes is connected by a channel).
+func Complete(n int) *Graph {
+	g := New(n)
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			g.AddEdge(i, j)
+		}
+	}
+	return g
+}
+
+// Grid returns the rows x cols grid graph.
+func Grid(rows, cols int) *Graph {
+	g := New(rows * cols)
+	id := func(r, c int) int { return r*cols + c }
+	for r := 0; r < rows; r++ {
+		for c := 0; c < cols; c++ {
+			if c+1 < cols {
+				g.AddEdge(id(r, c), id(r, c+1))
+			}
+			if r+1 < rows {
+				g.AddEdge(id(r, c), id(r+1, c))
+			}
+		}
+	}
+	return g
+}
+
+// RandomTree returns a uniformly random labelled tree on n vertices, drawn
+// via a random Prüfer sequence. TREE adversaries (§3.3) draw a fresh one of
+// these every round.
+func RandomTree(n int, rng *rand.Rand) *Graph {
+	g := New(n)
+	switch {
+	case n <= 1:
+		return g
+	case n == 2:
+		g.AddEdge(0, 1)
+		return g
+	}
+	prufer := make([]int, n-2)
+	for i := range prufer {
+		prufer[i] = rng.Intn(n)
+	}
+	return TreeFromPrufer(n, prufer)
+}
+
+// TreeFromPrufer decodes a Prüfer sequence of length n-2 into the unique
+// labelled tree it encodes. It panics if the sequence length or entries are
+// out of range (programmer error, per the style guide's "don't panic" rule
+// this is restricted to invariant violations).
+func TreeFromPrufer(n int, prufer []int) *Graph {
+	if n < 2 {
+		panic(fmt.Sprintf("graph: TreeFromPrufer needs n >= 2, got %d", n))
+	}
+	if len(prufer) != n-2 {
+		panic(fmt.Sprintf("graph: Prüfer sequence for n=%d must have length %d, got %d", n, n-2, len(prufer)))
+	}
+	g := New(n)
+	degree := make([]int, n)
+	for i := range degree {
+		degree[i] = 1
+	}
+	for _, v := range prufer {
+		if v < 0 || v >= n {
+			panic(fmt.Sprintf("graph: Prüfer entry %d out of range [0,%d)", v, n))
+		}
+		degree[v]++
+	}
+	for _, v := range prufer {
+		for u := 0; u < n; u++ {
+			if degree[u] == 1 {
+				g.AddEdge(u, v)
+				degree[u]--
+				degree[v]--
+				break
+			}
+		}
+	}
+	u, v := -1, -1
+	for i := 0; i < n; i++ {
+		if degree[i] == 1 {
+			if u == -1 {
+				u = i
+			} else {
+				v = i
+			}
+		}
+	}
+	g.AddEdge(u, v)
+	return g
+}
+
+// RandomConnected returns a connected Erdős–Rényi-style graph: a random
+// spanning tree plus each remaining edge independently with probability p.
+func RandomConnected(n int, p float64, rng *rand.Rand) *Graph {
+	g := RandomTree(n, rng)
+	for u := 0; u < n; u++ {
+		for v := u + 1; v < n; v++ {
+			if !g.HasEdge(u, v) && rng.Float64() < p {
+				g.AddEdge(u, v)
+			}
+		}
+	}
+	return g
+}
+
+// Digraph is a directed graph on vertices 0..N-1, used for the per-round
+// communication graphs G_r that a message adversary produces (§3.3): an edge
+// u->v means the message sent by u to v in that round is delivered.
+type Digraph struct {
+	n   int
+	out [][]int
+	set []map[int]struct{}
+}
+
+// NewDigraph returns an empty digraph with n vertices.
+func NewDigraph(n int) *Digraph {
+	if n < 0 {
+		n = 0
+	}
+	d := &Digraph{
+		n:   n,
+		out: make([][]int, n),
+		set: make([]map[int]struct{}, n),
+	}
+	for i := range d.set {
+		d.set[i] = make(map[int]struct{})
+	}
+	return d
+}
+
+// N returns the number of vertices.
+func (d *Digraph) N() int { return d.n }
+
+// AddArc inserts the directed edge u->v, ignoring self-loops and duplicates,
+// and reports whether it was newly added.
+func (d *Digraph) AddArc(u, v int) bool {
+	if u == v || u < 0 || v < 0 || u >= d.n || v >= d.n {
+		return false
+	}
+	if _, ok := d.set[u][v]; ok {
+		return false
+	}
+	d.set[u][v] = struct{}{}
+	d.out[u] = insertSorted(d.out[u], v)
+	return true
+}
+
+// HasArc reports whether the directed edge u->v is present.
+func (d *Digraph) HasArc(u, v int) bool {
+	if u < 0 || v < 0 || u >= d.n || v >= d.n {
+		return false
+	}
+	_, ok := d.set[u][v]
+	return ok
+}
+
+// Out returns a copy of the sorted out-neighbor list of u.
+func (d *Digraph) Out(u int) []int {
+	if u < 0 || u >= d.n {
+		return nil
+	}
+	out := make([]int, len(d.out[u]))
+	copy(out, d.out[u])
+	return out
+}
+
+// ArcCount returns the number of directed edges.
+func (d *Digraph) ArcCount() int {
+	total := 0
+	for _, o := range d.out {
+		total += len(o)
+	}
+	return total
+}
+
+// Undirected returns the undirected graph obtained by forgetting arc
+// directions (used to check the TREE adversary's spanning-tree constraint,
+// which requires both directions of each tree edge).
+func (d *Digraph) Undirected() *Graph {
+	g := New(d.n)
+	for u := 0; u < d.n; u++ {
+		for _, v := range d.out[u] {
+			g.AddEdge(u, v)
+		}
+	}
+	return g
+}
+
+// IsSymmetric reports whether every arc u->v has the reverse arc v->u.
+func (d *Digraph) IsSymmetric() bool {
+	for u := 0; u < d.n; u++ {
+		for _, v := range d.out[u] {
+			if !d.HasArc(v, u) {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// IsTournamentComplete reports whether, for every ordered pair (u,v) of
+// distinct vertices, at least one of u->v and v->u is present. This is the
+// TOUR adversary's guarantee (§3.3): the adversary may suppress one message
+// per channel per round, but never both.
+func (d *Digraph) IsTournamentComplete() bool {
+	for u := 0; u < d.n; u++ {
+		for v := u + 1; v < d.n; v++ {
+			if !d.HasArc(u, v) && !d.HasArc(v, u) {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// CompleteDigraph returns the digraph with all n(n-1) arcs (the adv:∅
+// communication graph on a complete network).
+func CompleteDigraph(n int) *Digraph {
+	d := NewDigraph(n)
+	for u := 0; u < n; u++ {
+		for v := 0; v < n; v++ {
+			if u != v {
+				d.AddArc(u, v)
+			}
+		}
+	}
+	return d
+}
+
+// DigraphFromGraph returns the symmetric digraph with both arcs for each
+// undirected edge of g.
+func DigraphFromGraph(g *Graph) *Digraph {
+	d := NewDigraph(g.N())
+	for _, e := range g.Edges() {
+		d.AddArc(e[0], e[1])
+		d.AddArc(e[1], e[0])
+	}
+	return d
+}

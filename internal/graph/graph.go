@@ -1,0 +1,296 @@
+// Package graph provides the static communication-graph substrate used by
+// the synchronous (LOCAL) model of Section 3 of the paper: undirected
+// connected graphs G = (V, E) whose vertices are processes and whose edges
+// are reliable bidirectional channels, plus the per-round directed graphs
+// G_r produced by message adversaries.
+package graph
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Graph is an undirected simple graph on vertices 0..N-1. The zero value is
+// an empty graph with no vertices; use New or a builder to construct one.
+//
+// Vertices model processes p_1..p_n (0-indexed here, per Go convention) and
+// edges model reliable bidirectional channels (§3.1 of the paper).
+type Graph struct {
+	n   int
+	adj [][]int            // adjacency lists, kept sorted
+	set []map[int]struct{} // membership index for O(1) HasEdge
+}
+
+// New returns an empty graph with n vertices and no edges.
+func New(n int) *Graph {
+	if n < 0 {
+		n = 0
+	}
+	g := &Graph{
+		n:   n,
+		adj: make([][]int, n),
+		set: make([]map[int]struct{}, n),
+	}
+	for i := range g.set {
+		g.set[i] = make(map[int]struct{})
+	}
+	return g
+}
+
+// N returns the number of vertices.
+func (g *Graph) N() int { return g.n }
+
+// M returns the number of edges.
+func (g *Graph) M() int {
+	total := 0
+	for _, a := range g.adj {
+		total += len(a)
+	}
+	return total / 2
+}
+
+// AddEdge inserts the undirected edge {u, v}. Self-loops and duplicate edges
+// are ignored. It reports whether the edge was newly added.
+func (g *Graph) AddEdge(u, v int) bool {
+	if u == v || u < 0 || v < 0 || u >= g.n || v >= g.n {
+		return false
+	}
+	if _, ok := g.set[u][v]; ok {
+		return false
+	}
+	g.set[u][v] = struct{}{}
+	g.set[v][u] = struct{}{}
+	g.adj[u] = insertSorted(g.adj[u], v)
+	g.adj[v] = insertSorted(g.adj[v], u)
+	return true
+}
+
+// RemoveEdge deletes the undirected edge {u, v} if present and reports
+// whether it was removed.
+func (g *Graph) RemoveEdge(u, v int) bool {
+	if u < 0 || v < 0 || u >= g.n || v >= g.n {
+		return false
+	}
+	if _, ok := g.set[u][v]; !ok {
+		return false
+	}
+	delete(g.set[u], v)
+	delete(g.set[v], u)
+	g.adj[u] = removeSorted(g.adj[u], v)
+	g.adj[v] = removeSorted(g.adj[v], u)
+	return true
+}
+
+// HasEdge reports whether the undirected edge {u, v} is present.
+func (g *Graph) HasEdge(u, v int) bool {
+	if u < 0 || v < 0 || u >= g.n || v >= g.n {
+		return false
+	}
+	_, ok := g.set[u][v]
+	return ok
+}
+
+// Neighbors returns the sorted neighbor list of u. The returned slice is a
+// copy; callers may mutate it freely.
+func (g *Graph) Neighbors(u int) []int {
+	if u < 0 || u >= g.n {
+		return nil
+	}
+	out := make([]int, len(g.adj[u]))
+	copy(out, g.adj[u])
+	return out
+}
+
+// Degree returns the degree of vertex u.
+func (g *Graph) Degree(u int) int {
+	if u < 0 || u >= g.n {
+		return 0
+	}
+	return len(g.adj[u])
+}
+
+// MaxDegree returns the maximum vertex degree, or 0 for an empty graph.
+func (g *Graph) MaxDegree() int {
+	max := 0
+	for u := 0; u < g.n; u++ {
+		if d := len(g.adj[u]); d > max {
+			max = d
+		}
+	}
+	return max
+}
+
+// Edges returns every undirected edge once, as ordered pairs (u < v),
+// sorted lexicographically.
+func (g *Graph) Edges() [][2]int {
+	var out [][2]int
+	for u := 0; u < g.n; u++ {
+		for _, v := range g.adj[u] {
+			if u < v {
+				out = append(out, [2]int{u, v})
+			}
+		}
+	}
+	return out
+}
+
+// Clone returns a deep copy of g.
+func (g *Graph) Clone() *Graph {
+	c := New(g.n)
+	for u := 0; u < g.n; u++ {
+		for _, v := range g.adj[u] {
+			if u < v {
+				c.AddEdge(u, v)
+			}
+		}
+	}
+	return c
+}
+
+// String renders the graph as "n=K edges=[(u,v) ...]" for debugging.
+func (g *Graph) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "n=%d edges=[", g.n)
+	for i, e := range g.Edges() {
+		if i > 0 {
+			b.WriteByte(' ')
+		}
+		fmt.Fprintf(&b, "(%d,%d)", e[0], e[1])
+	}
+	b.WriteByte(']')
+	return b.String()
+}
+
+func insertSorted(s []int, v int) []int {
+	i := sort.SearchInts(s, v)
+	s = append(s, 0)
+	copy(s[i+1:], s[i:])
+	s[i] = v
+	return s
+}
+
+func removeSorted(s []int, v int) []int {
+	i := sort.SearchInts(s, v)
+	if i < len(s) && s[i] == v {
+		return append(s[:i], s[i+1:]...)
+	}
+	return s
+}
+
+// BFSDistances returns the vector of hop distances from src to every vertex
+// (-1 for unreachable vertices).
+func (g *Graph) BFSDistances(src int) []int {
+	dist := make([]int, g.n)
+	for i := range dist {
+		dist[i] = -1
+	}
+	if src < 0 || src >= g.n {
+		return dist
+	}
+	dist[src] = 0
+	queue := []int{src}
+	for len(queue) > 0 {
+		u := queue[0]
+		queue = queue[1:]
+		for _, v := range g.adj[u] {
+			if dist[v] == -1 {
+				dist[v] = dist[u] + 1
+				queue = append(queue, v)
+			}
+		}
+	}
+	return dist
+}
+
+// Connected reports whether the graph is connected. The empty graph and the
+// single-vertex graph are considered connected.
+func (g *Graph) Connected() bool {
+	if g.n <= 1 {
+		return true
+	}
+	dist := g.BFSDistances(0)
+	for _, d := range dist {
+		if d == -1 {
+			return false
+		}
+	}
+	return true
+}
+
+// Diameter returns the diameter D of the graph (the maximum over all pairs
+// of the hop distance), or -1 if the graph is disconnected or empty. The
+// paper's flooding bound (§3.2) states any function of the inputs is
+// computable in D rounds.
+func (g *Graph) Diameter() int {
+	if g.n == 0 {
+		return -1
+	}
+	diam := 0
+	for u := 0; u < g.n; u++ {
+		dist := g.BFSDistances(u)
+		for _, d := range dist {
+			if d == -1 {
+				return -1
+			}
+			if d > diam {
+				diam = d
+			}
+		}
+	}
+	return diam
+}
+
+// Eccentricity returns the maximum distance from u to any vertex, or -1 if
+// some vertex is unreachable.
+func (g *Graph) Eccentricity(u int) int {
+	ecc := 0
+	for _, d := range g.BFSDistances(u) {
+		if d == -1 {
+			return -1
+		}
+		if d > ecc {
+			ecc = d
+		}
+	}
+	return ecc
+}
+
+// IsTree reports whether the graph is a tree: connected with exactly n-1
+// edges. TREE message adversaries (§3.3) must produce such graphs each
+// round.
+func (g *Graph) IsTree() bool {
+	if g.n == 0 {
+		return false
+	}
+	return g.M() == g.n-1 && g.Connected()
+}
+
+// SpanningTreeBFS returns a BFS spanning tree of g rooted at root, or nil if
+// g is disconnected.
+func (g *Graph) SpanningTreeBFS(root int) *Graph {
+	if g.n == 0 || root < 0 || root >= g.n {
+		return nil
+	}
+	t := New(g.n)
+	seen := make([]bool, g.n)
+	seen[root] = true
+	queue := []int{root}
+	count := 1
+	for len(queue) > 0 {
+		u := queue[0]
+		queue = queue[1:]
+		for _, v := range g.adj[u] {
+			if !seen[v] {
+				seen[v] = true
+				count++
+				t.AddEdge(u, v)
+				queue = append(queue, v)
+			}
+		}
+	}
+	if count != g.n {
+		return nil
+	}
+	return t
+}

@@ -1,0 +1,118 @@
+package local
+
+import (
+	"sort"
+
+	"distbasics/internal/round"
+)
+
+// Flood is the full-information protocol of §3.2: in round 1 each process
+// sends the pair <id, input> to its neighbors; in every later round it
+// forwards every pair learned so far. On a reliable synchronous graph of
+// diameter D, after D rounds every process knows the whole input vector
+// [in_1..in_n] and can therefore compute any function of it.
+//
+// A Flood process halts after HaltAfter rounds (callers pass the graph
+// diameter, or n-1 as a universal upper bound) and applies Fn to the
+// gathered input vector to produce its output. A nil Fn returns the vector
+// itself.
+type Flood struct {
+	// Input is this process's private input in_i.
+	Input any
+	// HaltAfter is the number of rounds to run before halting.
+	HaltAfter int
+	// Fn, if non-nil, maps the gathered input vector to the local output.
+	// All processes applying the same Fn realizes "compute any function on
+	// the input vector".
+	Fn func(vector []any) any
+
+	id, n     int
+	neighbors []int
+	known     map[int]any
+	knewAllAt int // first round at which known covered all n processes; 0 if never
+}
+
+var _ round.Process = (*Flood)(nil)
+
+// Init implements round.Process.
+func (p *Flood) Init(env round.Env) {
+	p.id = env.ID
+	p.n = env.N
+	p.neighbors = env.Neighbors
+	p.known = map[int]any{p.id: p.Input}
+	p.knewAllAt = 0
+}
+
+// Send implements round.Process: forward all known pairs to every neighbor.
+func (p *Flood) Send(_ int) round.Outbox {
+	payload := make(map[int]any, len(p.known))
+	for k, v := range p.known {
+		payload[k] = v
+	}
+	out := make(round.Outbox)
+	for _, nb := range p.neighbors {
+		out[nb] = payload
+	}
+	return out
+}
+
+// Compute implements round.Process.
+func (p *Flood) Compute(r int, in round.Inbox) bool {
+	for _, m := range in {
+		pairs, ok := m.(map[int]any)
+		if !ok {
+			continue
+		}
+		for k, v := range pairs {
+			if _, seen := p.known[k]; !seen {
+				p.known[k] = v
+			}
+		}
+	}
+	if p.knewAllAt == 0 && len(p.known) == p.n {
+		p.knewAllAt = r
+	}
+	return r >= p.HaltAfter
+}
+
+// Output implements round.Process. If the process gathered the full vector
+// it returns Fn(vector) (or the vector when Fn is nil); otherwise it
+// returns nil, signalling incomplete knowledge.
+func (p *Flood) Output() any {
+	if len(p.known) != p.n {
+		return nil
+	}
+	vec := make([]any, p.n)
+	for i := 0; i < p.n; i++ {
+		vec[i] = p.known[i]
+	}
+	if p.Fn == nil {
+		return vec
+	}
+	return p.Fn(vec)
+}
+
+// KnewAllAt returns the first round at which this process knew every input,
+// or 0 if it never did (or if it knew everything initially, n=1).
+func (p *Flood) KnewAllAt() int { return p.knewAllAt }
+
+// Known returns a sorted snapshot of the ids whose inputs this process has
+// learned. Exposed for dissemination-progress assertions in tests.
+func (p *Flood) Known() []int {
+	ids := make([]int, 0, len(p.known))
+	for k := range p.known {
+		ids = append(ids, k)
+	}
+	sort.Ints(ids)
+	return ids
+}
+
+// NewFlood returns one Flood process per vertex with inputs[i] as process
+// i's input, all halting after haltAfter rounds and applying fn.
+func NewFlood(inputs []any, haltAfter int, fn func([]any) any) []round.Process {
+	procs := make([]round.Process, len(inputs))
+	for i := range procs {
+		procs[i] = &Flood{Input: inputs[i], HaltAfter: haltAfter, Fn: fn}
+	}
+	return procs
+}

@@ -1,0 +1,284 @@
+package local
+
+import (
+	"testing"
+	"testing/quick"
+
+	"distbasics/internal/graph"
+	"distbasics/internal/round"
+)
+
+func TestLogStar(t *testing.T) {
+	tests := []struct {
+		n    int
+		want int
+	}{
+		{0, 0}, {1, 0}, {2, 1}, {3, 2}, {4, 2}, {5, 3}, {16, 3}, {17, 4},
+		{65536, 4}, {65537, 5}, {1 << 20, 5},
+	}
+	for _, tt := range tests {
+		if got := LogStar(tt.n); got != tt.want {
+			t.Errorf("LogStar(%d) = %d, want %d", tt.n, got, tt.want)
+		}
+	}
+}
+
+func TestBitLen(t *testing.T) {
+	tests := []struct{ v, want int }{
+		{0, 1}, {-5, 1}, {1, 1}, {2, 2}, {3, 2}, {4, 3}, {255, 8}, {256, 9},
+	}
+	for _, tt := range tests {
+		if got := BitLen(tt.v); got != tt.want {
+			t.Errorf("BitLen(%d) = %d, want %d", tt.v, got, tt.want)
+		}
+	}
+}
+
+func TestCVIterationsSmall(t *testing.T) {
+	// For n <= 6 no bit-trick iterations are needed.
+	for n := 1; n <= 6; n++ {
+		if got := CVIterations(n); got != 0 {
+			t.Errorf("CVIterations(%d) = %d, want 0", n, got)
+		}
+	}
+	if CVIterations(7) == 0 {
+		t.Error("CVIterations(7) = 0, want > 0")
+	}
+}
+
+// Property: CVIterations is within a small constant of log* (the paper's
+// log*n + 3 bound has slack for the exact iteration accounting).
+func TestPropertyCVIterationsNearLogStar(t *testing.T) {
+	f := func(sz uint32) bool {
+		n := int(sz%1_000_000) + 3
+		iters := CVIterations(n)
+		ls := LogStar(n)
+		return iters <= ls+3 && iters >= 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCVStep(t *testing.T) {
+	// mine=0b0110 prev=0b0100: lowest differing bit is position 1, my bit
+	// there is 1 -> color 2*1+1 = 3.
+	if got := cvStep(0b0110, 0b0100); got != 3 {
+		t.Fatalf("cvStep = %d, want 3", got)
+	}
+	// mine=5(101) prev=4(100): differ at bit 0, mine has 1 -> 1.
+	if got := cvStep(5, 4); got != 1 {
+		t.Fatalf("cvStep = %d, want 1", got)
+	}
+}
+
+func runColeVishkin(t *testing.T, n int) (*round.Result, []round.Process) {
+	t.Helper()
+	procs := NewColeVishkinRing(n)
+	sys, err := round.NewSystem(graph.Ring(n), procs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := sys.Run(CVIterations(n) + 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res, procs
+}
+
+func TestColeVishkinProducesProper3Coloring(t *testing.T) {
+	for _, n := range []int{3, 4, 5, 7, 8, 16, 33, 100, 257, 1024} {
+		res, _ := runColeVishkin(t, n)
+		if !res.AllHalted {
+			t.Fatalf("n=%d: not all processes halted", n)
+		}
+		colors := make([]int, n)
+		for i, o := range res.Outputs {
+			colors[i] = o.(int)
+		}
+		if !VerifyColoring(colors, 3) {
+			t.Fatalf("n=%d: invalid 3-coloring: %v", n, colors)
+		}
+	}
+}
+
+func TestColeVishkinRoundComplexity(t *testing.T) {
+	// The paper's claim: log*n + 3 rounds (asymptotically; our accounting
+	// gives CVIterations(n)+3 which tests verify is <= log*n + 6).
+	for _, n := range []int{8, 64, 1024, 1 << 16} {
+		res, _ := runColeVishkin(t, n)
+		bound := LogStar(n) + 6
+		if res.Rounds > bound {
+			t.Errorf("n=%d: took %d rounds, want <= log*n+6 = %d", n, res.Rounds, bound)
+		}
+		// And crucially: far below the diameter for large rings (locality!).
+		if n >= 64 && res.Rounds >= n/2 {
+			t.Errorf("n=%d: %d rounds is not local (diameter %d)", n, res.Rounds, n/2)
+		}
+	}
+}
+
+func TestColeVishkinLocality(t *testing.T) {
+	// Concrete locality statement: a quarter-million ring colored in <=10
+	// rounds (the full 2^20 case runs in the E1 bench harness).
+	n := 1 << 18
+	res, _ := runColeVishkin(t, n)
+	if res.Rounds > 10 {
+		t.Fatalf("n=2^20 took %d rounds, expected ~CVIterations+3 = %d", res.Rounds, CVIterations(n)+3)
+	}
+}
+
+func TestFloodGathersAllOnDiameterRounds(t *testing.T) {
+	cases := []struct {
+		name string
+		g    *graph.Graph
+	}{
+		{"ring10", graph.Ring(10)},
+		{"path6", graph.Path(6)},
+		{"star8", graph.Star(8)},
+		{"complete5", graph.Complete(5)},
+		{"grid3x3", graph.Grid(3, 3)},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			n := tc.g.N()
+			d := tc.g.Diameter()
+			inputs := make([]any, n)
+			for i := range inputs {
+				inputs[i] = i * 10
+			}
+			sum := func(vec []any) any {
+				total := 0
+				for _, v := range vec {
+					total += v.(int)
+				}
+				return total
+			}
+			procs := NewFlood(inputs, d, sum)
+			sys, err := round.NewSystem(tc.g, procs)
+			if err != nil {
+				t.Fatal(err)
+			}
+			res, err := sys.Run(d)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !res.AllHalted {
+				t.Fatal("not all halted after D rounds")
+			}
+			wantSum := 0
+			for i := 0; i < n; i++ {
+				wantSum += i * 10
+			}
+			for i, o := range res.Outputs {
+				if o == nil {
+					t.Fatalf("process %d did not gather the full vector after D=%d rounds", i, d)
+				}
+				if o.(int) != wantSum {
+					t.Fatalf("process %d computed %v, want %d", i, o, wantSum)
+				}
+			}
+		})
+	}
+}
+
+func TestFloodNeedsDiameterRounds(t *testing.T) {
+	// On a path, D-1 rounds are not enough for the endpoints.
+	g := graph.Path(7) // D = 6
+	inputs := make([]any, 7)
+	for i := range inputs {
+		inputs[i] = i
+	}
+	procs := NewFlood(inputs, 5, nil)
+	sys, err := round.NewSystem(g, procs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := sys.Run(5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Outputs[0] != nil {
+		t.Fatal("endpoint gathered full vector in D-1 rounds; expected incomplete")
+	}
+}
+
+func TestFloodKnewAllAtEqualsEccentricity(t *testing.T) {
+	g := graph.Path(5)
+	inputs := []any{0, 1, 2, 3, 4}
+	procs := NewFlood(inputs, g.Diameter(), nil)
+	sys, err := round.NewSystem(g, procs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sys.Run(g.Diameter()); err != nil {
+		t.Fatal(err)
+	}
+	for i, rp := range procs {
+		f := rp.(*Flood)
+		if want := g.Eccentricity(i); f.KnewAllAt() != want {
+			t.Errorf("process %d knew all at round %d, want eccentricity %d", i, f.KnewAllAt(), want)
+		}
+	}
+}
+
+func TestFloodIdentityFunction(t *testing.T) {
+	g := graph.Complete(3)
+	inputs := []any{"a", "b", "c"}
+	procs := NewFlood(inputs, 1, nil)
+	sys, err := round.NewSystem(g, procs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := sys.Run(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, o := range res.Outputs {
+		vec, ok := o.([]any)
+		if !ok || len(vec) != 3 {
+			t.Fatalf("process %d output %v", i, o)
+		}
+		for j, v := range vec {
+			if v != inputs[j] {
+				t.Fatalf("process %d: vec[%d] = %v, want %v", i, j, v, inputs[j])
+			}
+		}
+	}
+}
+
+func TestVerifyColoring(t *testing.T) {
+	tests := []struct {
+		name      string
+		colors    []int
+		maxColors int
+		want      bool
+	}{
+		{"valid", []int{0, 1, 2, 1}, 3, true},
+		{"adjacent equal", []int{0, 0, 1, 2}, 3, false},
+		{"wraparound equal", []int{1, 0, 2, 1}, 3, false},
+		{"color too big", []int{0, 1, 3, 1}, 3, false},
+		{"negative", []int{0, -1, 2, 1}, 3, false},
+		{"empty", nil, 3, false},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if got := VerifyColoring(tt.colors, tt.maxColors); got != tt.want {
+				t.Errorf("VerifyColoring(%v) = %v, want %v", tt.colors, got, tt.want)
+			}
+		})
+	}
+}
+
+func BenchmarkColeVishkinRing4096(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		procs := NewColeVishkinRing(4096)
+		sys, err := round.NewSystem(graph.Ring(4096), procs)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := sys.Run(CVIterations(4096) + 3); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,72 @@
+// Package local implements the fault-free synchronous algorithms of §3.2 of
+// the paper: full-information flooding (any computable function of the
+// inputs in D rounds, D the diameter) and the Cole–Vishkin deterministic
+// ring 3-coloring, whose log*n + 3 round complexity is the paper's flagship
+// example of a *local* algorithm (round complexity below the diameter).
+package local
+
+import "math/bits"
+
+// LogStar returns log*₂(n): the number of times log₂ must be iterated,
+// starting from n, to reach a value ≤ 1. LogStar(n) = 0 for n ≤ 1.
+// The paper (§3.2, footnote 3) recalls log*(number of atoms in the
+// universe) ≈ 5.
+func LogStar(n int) int {
+	count := 0
+	x := float64(n)
+	for x > 1 {
+		x = log2(x)
+		count++
+	}
+	return count
+}
+
+func log2(x float64) float64 {
+	// Iterative bit-based log2 for x >= 1; fractional part via halving is
+	// unnecessary here because callers only compare against 1, so a float
+	// approximation with integer bit-length is enough when x >= 2.
+	// For 1 < x < 2, log2(x) in (0,1), which terminates the loop next turn.
+	if x <= 1 {
+		return 0
+	}
+	if x < 2 {
+		return 0.5
+	}
+	// Compute log2 via frexp-free decomposition: x = m * 2^e, 1<=m<2.
+	e := 0
+	for x >= 2 {
+		x /= 2
+		e++
+	}
+	// x in [1,2); linear approximation of log2 on [1,2) is fine: the log*
+	// iteration only needs ordering with respect to 1, and e >= 1 here.
+	return float64(e) + (x - 1)
+}
+
+// BitLen returns the number of bits needed to represent v (BitLen(0) = 1,
+// so that a color value of 0 still occupies one bit position).
+func BitLen(v int) int {
+	if v <= 0 {
+		return 1
+	}
+	return bits.Len(uint(v))
+}
+
+// CVIterations returns the number of Cole–Vishkin color-reduction
+// iterations needed to shrink an initial color space of size n (colors
+// 0..n-1) to at most 6 colors (0..5), after which the constant-round 6→3
+// reduction applies. Every process computes this same number locally from
+// n, which is how the algorithm halts without global coordination.
+//
+// One iteration maps a color space of size K to one of size
+// 2*BitLen(K-1): the new color is 2k+b where k indexes a differing bit
+// position and b is the local bit value.
+func CVIterations(n int) int {
+	iters := 0
+	k := n
+	for k > 6 {
+		k = 2 * BitLen(k-1)
+		iters++
+	}
+	return iters
+}

@@ -1,0 +1,97 @@
+package local
+
+import (
+	"testing"
+
+	"distbasics/internal/graph"
+	"distbasics/internal/round"
+)
+
+func runMIS(t *testing.T, n int) ([]bool, int) {
+	t.Helper()
+	procs := NewMISRing(n)
+	sys, err := round.NewSystem(graph.Ring(n), procs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := sys.Run(CVIterations(n) + 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.AllHalted {
+		t.Fatalf("n=%d: some process never halted", n)
+	}
+	inMIS := make([]bool, n)
+	worst := 0
+	for i, p := range procs {
+		m := p.(*MISRing)
+		inMIS[i] = m.Output().(bool)
+		if r := m.Rounds(); r > worst {
+			worst = r
+		}
+	}
+	return inMIS, worst
+}
+
+func TestMISRingCorrectAcrossSizes(t *testing.T) {
+	for _, n := range []int{3, 4, 5, 8, 16, 63, 64, 1000} {
+		inMIS, _ := runMIS(t, n)
+		if !VerifyMIS(inMIS) {
+			t.Fatalf("n=%d: output %v is not a maximal independent set", n, inMIS)
+		}
+	}
+}
+
+func TestMISRingIsLocal(t *testing.T) {
+	// log*n + O(1): coloring rounds + 3. The whole point: rounds stay
+	// tiny while the diameter grows linearly.
+	for _, n := range []int{64, 4096, 1 << 16} {
+		_, rounds := runMIS(t, n)
+		bound := LogStar(n) + 3 + 3
+		if rounds > bound {
+			t.Fatalf("n=%d: MIS took %d rounds, bound log*n+6 = %d", n, rounds, bound)
+		}
+		if rounds >= n/2 {
+			t.Fatalf("n=%d: %d rounds is not local (diameter %d)", n, rounds, n/2)
+		}
+	}
+}
+
+func TestMISDensity(t *testing.T) {
+	// On a ring, any MIS has between ⌈n/3⌉ and ⌊n/2⌋ vertices.
+	for _, n := range []int{6, 30, 100} {
+		inMIS, _ := runMIS(t, n)
+		size := 0
+		for _, b := range inMIS {
+			if b {
+				size++
+			}
+		}
+		if size < (n+2)/3 || size > n/2 {
+			t.Fatalf("n=%d: MIS size %d outside [⌈n/3⌉=%d, ⌊n/2⌋=%d]", n, size, (n+2)/3, n/2)
+		}
+	}
+}
+
+func TestVerifyMIS(t *testing.T) {
+	tests := []struct {
+		name  string
+		inMIS []bool
+		want  bool
+	}{
+		{"valid alternating", []bool{true, false, true, false}, true},
+		{"adjacent members", []bool{true, true, false, false}, false},
+		{"not maximal", []bool{true, false, false, false}, false},
+		{"empty set on ring", []bool{false, false, false}, false},
+		{"single vertex in", []bool{true}, true},
+		{"single vertex out", []bool{false}, false},
+		{"empty vector", nil, false},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if got := VerifyMIS(tt.inMIS); got != tt.want {
+				t.Errorf("VerifyMIS(%v) = %v, want %v", tt.inMIS, got, tt.want)
+			}
+		})
+	}
+}

@@ -1,0 +1,214 @@
+package madv
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"distbasics/internal/graph"
+)
+
+func TestFullSuppressesAll(t *testing.T) {
+	base := graph.Complete(5)
+	d := Full{}.Graph(1, base, nil)
+	if d.ArcCount() != 0 {
+		t.Fatalf("ArcCount = %d, want 0", d.ArcCount())
+	}
+}
+
+func TestSpanningTreeProducesTrees(t *testing.T) {
+	base := graph.Complete(8)
+	adv := NewSpanningTree(42)
+	for r := 1; r <= 50; r++ {
+		d := adv.Graph(r, base, nil)
+		if !CheckTree(d) {
+			t.Fatalf("round %d: adversary graph is not a spanning tree: %v", r, d.Undirected())
+		}
+	}
+}
+
+func TestSpanningTreeOnSparseBase(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	base := graph.RandomConnected(10, 0.2, rng)
+	adv := NewSpanningTree(7)
+	for r := 1; r <= 30; r++ {
+		d := adv.Graph(r, base, nil)
+		if !CheckTree(d) {
+			t.Fatalf("round %d: not a spanning tree on sparse base", r)
+		}
+		// Every tree edge must come from the base graph.
+		for _, e := range d.Undirected().Edges() {
+			if !base.HasEdge(e[0], e[1]) {
+				t.Fatalf("round %d: tree edge %v not in base graph", r, e)
+			}
+		}
+	}
+}
+
+func TestSpanningTreeDisconnectedBase(t *testing.T) {
+	base := graph.New(4)
+	base.AddEdge(0, 1) // {2,3} isolated
+	adv := NewSpanningTree(1)
+	d := adv.Graph(1, base, nil)
+	if d.ArcCount() != 0 {
+		t.Fatalf("disconnected base should deliver nothing, got %d arcs", d.ArcCount())
+	}
+}
+
+func TestSpanningTreeVariesAcrossRounds(t *testing.T) {
+	base := graph.Complete(12)
+	adv := NewSpanningTree(9)
+	first := adv.Graph(1, base, nil).Undirected()
+	varies := false
+	for r := 2; r <= 20; r++ {
+		tr := adv.Graph(r, base, nil).Undirected()
+		for _, e := range tr.Edges() {
+			if !first.HasEdge(e[0], e[1]) {
+				varies = true
+			}
+		}
+	}
+	if !varies {
+		t.Fatal("adversary produced the same tree for 20 rounds (suspicious)")
+	}
+}
+
+func TestRandomSpanningTree(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for _, n := range []int{1, 2, 5, 20} {
+		base := graph.Complete(n)
+		tr := RandomSpanningTree(base, rng)
+		if n == 0 {
+			continue
+		}
+		if n == 1 {
+			if tr == nil || tr.N() != 1 {
+				t.Fatalf("n=1: %v", tr)
+			}
+			continue
+		}
+		if tr == nil || !tr.IsTree() {
+			t.Fatalf("n=%d: not a tree: %v", n, tr)
+		}
+	}
+	disc := graph.New(3)
+	if tr := RandomSpanningTree(disc, rng); tr != nil {
+		t.Fatal("spanning tree of disconnected graph should be nil")
+	}
+}
+
+func TestTournamentLegality(t *testing.T) {
+	base := graph.Complete(6)
+	for _, bothProb := range []float64{0, 0.3, 1} {
+		adv := NewTournament(5, bothProb)
+		for r := 1; r <= 30; r++ {
+			d := adv.Graph(r, base, nil)
+			if !CheckTournament(d) {
+				t.Fatalf("bothProb=%v round %d: pair with both directions suppressed", bothProb, r)
+			}
+		}
+	}
+}
+
+func TestTournamentStrict(t *testing.T) {
+	base := graph.Complete(5)
+	adv := NewTournament(1, 0)
+	d := adv.Graph(1, base, nil)
+	// With bothProb=0 exactly one arc per pair survives.
+	want := 5 * 4 / 2
+	if d.ArcCount() != want {
+		t.Fatalf("ArcCount = %d, want %d", d.ArcCount(), want)
+	}
+}
+
+func TestTournamentBothProbOne(t *testing.T) {
+	base := graph.Complete(4)
+	adv := NewTournament(1, 1)
+	d := adv.Graph(1, base, nil)
+	if d.ArcCount() != 12 {
+		t.Fatalf("ArcCount = %d, want 12 (all arcs with bothProb=1)", d.ArcCount())
+	}
+}
+
+func TestTournamentClampsProb(t *testing.T) {
+	if adv := NewTournament(1, -3); adv.bothProb != 0 {
+		t.Fatalf("bothProb = %v, want 0", adv.bothProb)
+	}
+	if adv := NewTournament(1, 2); adv.bothProb != 1 {
+		t.Fatalf("bothProb = %v, want 1", adv.bothProb)
+	}
+}
+
+func TestDropExtremes(t *testing.T) {
+	base := graph.Complete(5)
+	never := NewDrop(1, 0)
+	d := never.Graph(1, base, nil)
+	if d.ArcCount() != 20 {
+		t.Fatalf("p=0: ArcCount = %d, want 20", d.ArcCount())
+	}
+	always := NewDrop(1, 1)
+	d = always.Graph(1, base, nil)
+	if d.ArcCount() != 0 {
+		t.Fatalf("p=1: ArcCount = %d, want 0", d.ArcCount())
+	}
+}
+
+func TestReplay(t *testing.T) {
+	base := graph.Complete(3)
+	d1 := graph.NewDigraph(3)
+	d1.AddArc(0, 1)
+	d2 := graph.NewDigraph(3)
+	d2.AddArc(1, 2)
+	adv := &Replay{Seq: []*graph.Digraph{d1, d2}}
+	if g := adv.Graph(1, base, nil); !g.HasArc(0, 1) || g.ArcCount() != 1 {
+		t.Fatal("round 1 replay wrong")
+	}
+	if g := adv.Graph(2, base, nil); !g.HasArc(1, 2) {
+		t.Fatal("round 2 replay wrong")
+	}
+	// Past the end: repeats the last.
+	if g := adv.Graph(9, base, nil); !g.HasArc(1, 2) {
+		t.Fatal("round 9 should repeat last graph")
+	}
+	empty := &Replay{}
+	if g := empty.Graph(1, base, nil); g.ArcCount() != 0 {
+		t.Fatal("empty replay should deliver nothing")
+	}
+}
+
+// Property: the TREE adversary always emits a legal graph (symmetric
+// spanning tree) on complete bases of arbitrary size.
+func TestPropertyTreeAdversaryAlwaysLegal(t *testing.T) {
+	f := func(seed int64, sz uint8) bool {
+		n := int(sz%30) + 2
+		base := graph.Complete(n)
+		adv := NewSpanningTree(seed)
+		for r := 1; r <= 5; r++ {
+			if !CheckTree(adv.Graph(r, base, nil)) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: the TOUR adversary never suppresses both directions of a pair.
+func TestPropertyTournamentAlwaysLegal(t *testing.T) {
+	f := func(seed int64, sz, probByte uint8) bool {
+		n := int(sz%10) + 2
+		base := graph.Complete(n)
+		adv := NewTournament(seed, float64(probByte)/255)
+		for r := 1; r <= 5; r++ {
+			if !CheckTournament(adv.Graph(r, base, nil)) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,189 @@
+// Package mpcons implements the consensus algorithms of §5.3 of the
+// paper — the four approaches to circumventing FLP in AMPn,t[t < n/2]:
+//
+//   - Ben-Or's randomized binary consensus ([6]): replace deterministic
+//     termination with termination with probability 1.
+//   - Synod: single-decree Paxos driven by an Ω eventual-leader failure
+//     detector ([14], [42]) — the archetypal indulgent algorithm ([28],
+//     [29]): always safe, live once Ω behaves.
+//   - Condition-based consensus ([48]): restrict the space of input
+//     vectors; terminates when the inputs satisfy the condition, never
+//     violates safety.
+//
+// (The fourth approach, restricting asynchrony itself, is what
+// amp.GSTDelay models; Ω is implemented on top of it in package fd.)
+package mpcons
+
+import (
+	"fmt"
+
+	"distbasics/internal/amp"
+)
+
+// DecideFn is the decision upcall: invoked at most once per process.
+type DecideFn func(v any, at amp.Time)
+
+// Ben-Or message kinds.
+type (
+	boReport struct {
+		Round int
+		Est   int
+	}
+	boAux struct {
+		Round int
+		Aux   int // proposed value or boNone
+	}
+	boDecide struct{ Val int }
+)
+
+// boNone is the "no value" marker in phase 2.
+const boNone = -1
+
+// BenOr is Ben-Or's randomized binary consensus for t < n/2 crash
+// failures: each round has a report phase (broadcast estimate, collect
+// n-t) and an aux phase (broadcast the majority value or ⊥, collect n-t);
+// a value seen more than t times in phase 2 is decided; a value seen at
+// least once is adopted; otherwise the estimate is a coin flip. The
+// adversary cannot keep the coins disagreeing forever, so termination has
+// probability 1 — expected round count grows with n (measured in E11).
+type BenOr struct {
+	// Input is the proposed binary value (0 or 1).
+	Input int
+	// T is the resilience bound (default (n-1)/2).
+	T int
+	// OnDecide fires on decision.
+	OnDecide DecideFn
+
+	n       int
+	round   int
+	est     int
+	decided bool
+	rounds  int // rounds executed (for measurements)
+
+	reports map[int]map[int]int // round -> sender -> est
+	auxes   map[int]map[int]int // round -> sender -> aux
+}
+
+// NewBenOr returns a Ben-Or instance proposing input.
+func NewBenOr(input int, onDecide DecideFn) *BenOr {
+	if input != 0 && input != 1 {
+		panic(fmt.Sprintf("mpcons: BenOr requires binary input, got %d", input))
+	}
+	return &BenOr{
+		Input:    input,
+		OnDecide: onDecide,
+		reports:  make(map[int]map[int]int),
+		auxes:    make(map[int]map[int]int),
+	}
+}
+
+// Rounds returns the number of rounds this process executed.
+func (b *BenOr) Rounds() int { return b.rounds }
+
+// Decided reports whether this process has decided.
+func (b *BenOr) Decided() bool { return b.decided }
+
+// Init implements amp.Component.
+func (b *BenOr) Init(ctx amp.Context) {
+	b.n = ctx.N()
+	if b.T == 0 {
+		b.T = (b.n - 1) / 2
+	}
+	b.est = b.Input
+	b.round = 1
+	ctx.Broadcast(boReport{Round: 1, Est: b.est})
+}
+
+// OnMessage implements amp.Component.
+func (b *BenOr) OnMessage(ctx amp.Context, from int, msg amp.Message) {
+	if b.decided {
+		return
+	}
+	switch m := msg.(type) {
+	case boReport:
+		if b.reports[m.Round] == nil {
+			b.reports[m.Round] = make(map[int]int)
+		}
+		b.reports[m.Round][from] = m.Est
+		b.advance(ctx)
+	case boAux:
+		if b.auxes[m.Round] == nil {
+			b.auxes[m.Round] = make(map[int]int)
+		}
+		b.auxes[m.Round][from] = m.Aux
+		b.advance(ctx)
+	case boDecide:
+		b.decide(ctx, m.Val)
+	}
+}
+
+// OnTimer implements amp.Component.
+func (b *BenOr) OnTimer(amp.Context, int) {}
+
+// phase tracking: a process is "waiting for reports" of b.round until it
+// has n-t of them and has sent its aux; then "waiting for auxes".
+func (b *BenOr) advance(ctx amp.Context) {
+	for !b.decided {
+		quorum := b.n - b.T
+		reps := b.reports[b.round]
+		if len(reps) < quorum {
+			return
+		}
+		if _, sent := b.auxes[b.round][ctx.ID()]; !sent {
+			// Count phase-1 votes; a strict majority of n yields a
+			// candidate (two majorities intersect, so at most one value
+			// can be a candidate in any round).
+			counts := [2]int{}
+			for _, v := range reps {
+				counts[v]++
+			}
+			aux := boNone
+			if counts[0] > b.n/2 {
+				aux = 0
+			} else if counts[1] > b.n/2 {
+				aux = 1
+			}
+			ctx.Broadcast(boAux{Round: b.round, Aux: aux})
+		}
+		auxs := b.auxes[b.round]
+		if len(auxs) < quorum {
+			return
+		}
+		// Phase 2 resolution.
+		valCount := [2]int{}
+		for _, v := range auxs {
+			if v != boNone {
+				valCount[v]++
+			}
+		}
+		switch {
+		case valCount[0] > b.T:
+			b.decide(ctx, 0)
+		case valCount[1] > b.T:
+			b.decide(ctx, 1)
+		case valCount[0] > 0:
+			b.est = 0
+		case valCount[1] > 0:
+			b.est = 1
+		default:
+			b.est = ctx.Rand().Intn(2) // the free choice
+		}
+		if b.decided {
+			return
+		}
+		b.round++
+		b.rounds = b.round
+		ctx.Broadcast(boReport{Round: b.round, Est: b.est})
+	}
+}
+
+func (b *BenOr) decide(ctx amp.Context, v int) {
+	if b.decided {
+		return
+	}
+	b.decided = true
+	ctx.Broadcast(boDecide{Val: v})
+	if b.OnDecide != nil {
+		b.OnDecide(v, ctx.Now())
+	}
+}

@@ -1,0 +1,133 @@
+package mpcons
+
+import (
+	"distbasics/internal/amp"
+)
+
+// Condition-based consensus (§5.3 approach 3, [48]): restrict the space
+// of input vectors so that deterministic consensus becomes solvable.
+// Safety (validity + agreement) holds for EVERY input vector; termination
+// is guaranteed when the inputs satisfy the acceptable condition.
+//
+// The condition used here is
+//
+//	C: the maximum input value appears in more than 2t entries
+//
+// — a legal acceptable condition (more conservative than the optimal
+// C1 of [48], which tolerates "more than t"; the slack pays for the very
+// simple decision rule below). The decision rule: collect input values;
+// once at least n-t values are in hand, decide the view's maximum w iff w
+// occurs more than t times in the view.
+//
+//   - Agreement (any inputs): if p decides x and q decides y with y > x,
+//     then y occurs globally more than t times, so at least one occurrence
+//     is inside p's view (which misses at most t processes), contradicting
+//     x = max(view_p). Symmetrically for x > y. Hence x = y.
+//   - Termination (inputs in C): a correct process eventually holds the
+//     inputs of all >= n-t correct processes; the global max m* appears
+//     more than 2t times, at most t of which can be missing, leaving more
+//     than t occurrences, and m* is necessarily the view max.
+type Condition struct {
+	// Input is the proposed value (non-negative).
+	Input int
+	// T is the resilience bound (default (n-1)/2).
+	T int
+	// OnDecide fires on decision.
+	OnDecide DecideFn
+
+	n       int
+	values  map[int]int // sender -> value
+	decided bool
+}
+
+// Condition message kinds.
+type (
+	condVal    struct{ V int }
+	condDecide struct{ V int }
+)
+
+// NewCondition returns a condition-based consensus instance.
+func NewCondition(input int, onDecide DecideFn) *Condition {
+	return &Condition{Input: input, OnDecide: onDecide, values: make(map[int]int)}
+}
+
+// SatisfiesCondition reports whether an input vector is in C for the
+// given t: its maximum appears more than 2t times.
+func SatisfiesCondition(inputs []int, t int) bool {
+	if len(inputs) == 0 {
+		return false
+	}
+	max := inputs[0]
+	for _, v := range inputs[1:] {
+		if v > max {
+			max = v
+		}
+	}
+	count := 0
+	for _, v := range inputs {
+		if v == max {
+			count++
+		}
+	}
+	return count > 2*t
+}
+
+// Decided reports whether this process decided.
+func (c *Condition) Decided() bool { return c.decided }
+
+// Init implements amp.Component.
+func (c *Condition) Init(ctx amp.Context) {
+	c.n = ctx.N()
+	if c.T == 0 {
+		c.T = (c.n - 1) / 2
+	}
+	ctx.Broadcast(condVal{V: c.Input})
+}
+
+// OnMessage implements amp.Component.
+func (c *Condition) OnMessage(ctx amp.Context, from int, msg amp.Message) {
+	if c.decided {
+		return
+	}
+	switch m := msg.(type) {
+	case condVal:
+		c.values[from] = m.V
+		c.tryDecide(ctx)
+	case condDecide:
+		c.decided = true
+		ctx.Broadcast(condDecide{V: m.V}) // relay
+		if c.OnDecide != nil {
+			c.OnDecide(m.V, ctx.Now())
+		}
+	}
+}
+
+// OnTimer implements amp.Component.
+func (c *Condition) OnTimer(amp.Context, int) {}
+
+func (c *Condition) tryDecide(ctx amp.Context) {
+	if len(c.values) < c.n-c.T {
+		return
+	}
+	max := 0
+	first := true
+	for _, v := range c.values {
+		if first || v > max {
+			max = v
+			first = false
+		}
+	}
+	count := 0
+	for _, v := range c.values {
+		if v == max {
+			count++
+		}
+	}
+	if count > c.T {
+		c.decided = true
+		ctx.Broadcast(condDecide{V: max})
+		if c.OnDecide != nil {
+			c.OnDecide(max, ctx.Now())
+		}
+	}
+}

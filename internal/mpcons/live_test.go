@@ -1,0 +1,128 @@
+package mpcons
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"distbasics/internal/amp"
+	"distbasics/internal/fd"
+)
+
+// TestSynodLiveRuntime runs Ω-based consensus on the live goroutine
+// runtime (real concurrency, race detector): the exact code that runs
+// on the virtual-time simulator, unchanged. Assertions are
+// schedule-independent: agreement and validity among deciders, and —
+// since delays are bounded — termination within a generous deadline.
+func TestSynodLiveRuntime(t *testing.T) {
+	const n = 4
+	inputs := []any{"w", "x", "y", "z"}
+
+	var mu sync.Mutex
+	decs := make([]any, n)
+
+	procs := make([]amp.Process, n)
+	for i := 0; i < n; i++ {
+		i := i
+		det := fd.NewDetector(n)
+		syn := NewSynod(inputs[i], det, func(v any, _ amp.Time) {
+			mu.Lock()
+			decs[i] = v
+			mu.Unlock()
+		})
+		procs[i] = amp.NewStack(det, syn)
+	}
+
+	l := amp.NewLive(procs,
+		amp.WithUnit(50*time.Microsecond),
+		amp.WithLiveSeed(11),
+		amp.WithLiveDelay(amp.UniformDelay{Min: 1, Max: 3}))
+
+	deadline := time.Now().Add(10 * time.Second)
+	for time.Now().Before(deadline) {
+		mu.Lock()
+		all := true
+		for i := 0; i < n; i++ {
+			if decs[i] == nil {
+				all = false
+			}
+		}
+		mu.Unlock()
+		if all {
+			break
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	l.Stop()
+
+	mu.Lock()
+	defer mu.Unlock()
+	var common any
+	for i := 0; i < n; i++ {
+		if decs[i] == nil {
+			t.Fatalf("process %d undecided on the live runtime", i)
+		}
+		if common == nil {
+			common = decs[i]
+		} else if common != decs[i] {
+			t.Fatalf("agreement violated on live runtime: %v", decs)
+		}
+	}
+	valid := false
+	for _, in := range inputs {
+		if in == common {
+			valid = true
+		}
+	}
+	if !valid {
+		t.Fatalf("decided value %v was never proposed", common)
+	}
+}
+
+// TestBenOrLiveRuntime runs randomized consensus on real goroutines.
+func TestBenOrLiveRuntime(t *testing.T) {
+	const n = 3
+	var mu sync.Mutex
+	decs := make([]any, n)
+
+	procs := make([]amp.Process, n)
+	for i := 0; i < n; i++ {
+		i := i
+		bo := NewBenOr(i%2, func(v any, _ amp.Time) {
+			mu.Lock()
+			decs[i] = v
+			mu.Unlock()
+		})
+		procs[i] = amp.NewStack(bo)
+	}
+	l := amp.NewLive(procs,
+		amp.WithUnit(50*time.Microsecond),
+		amp.WithLiveSeed(5),
+		amp.WithLiveDelay(amp.UniformDelay{Min: 1, Max: 2}))
+
+	deadline := time.Now().Add(10 * time.Second)
+	for time.Now().Before(deadline) {
+		mu.Lock()
+		all := decs[0] != nil && decs[1] != nil && decs[2] != nil
+		mu.Unlock()
+		if all {
+			break
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	l.Stop()
+
+	mu.Lock()
+	defer mu.Unlock()
+	for i := 0; i < n; i++ {
+		if decs[i] == nil {
+			t.Fatalf("process %d undecided", i)
+		}
+		if decs[i] != decs[0] {
+			t.Fatalf("agreement violated: %v", decs)
+		}
+	}
+	if decs[0] != 0 && decs[0] != 1 {
+		t.Fatalf("invalid decision %v", decs[0])
+	}
+}

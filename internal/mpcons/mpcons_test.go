@@ -1,0 +1,364 @@
+package mpcons
+
+import (
+	"testing"
+
+	"distbasics/internal/amp"
+	"distbasics/internal/fd"
+)
+
+// decision captures one process's decision.
+type decision struct {
+	val any
+	at  amp.Time
+	ok  bool
+}
+
+func TestBenOrPanicsOnNonBinary(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	NewBenOr(3, nil)
+}
+
+func runBenOr(t *testing.T, inputs []int, crashes []int, seed int64) []decision {
+	t.Helper()
+	n := len(inputs)
+	decs := make([]decision, n)
+	procs := make([]amp.Process, n)
+	bos := make([]*BenOr, n)
+	for i := 0; i < n; i++ {
+		i := i
+		bos[i] = NewBenOr(inputs[i], func(v any, at amp.Time) {
+			decs[i] = decision{val: v, at: at, ok: true}
+		})
+		procs[i] = amp.NewStack(bos[i])
+	}
+	sim := amp.NewSim(procs, amp.WithSeed(seed), amp.WithDelay(amp.UniformDelay{Min: 1, Max: 10}))
+	for _, c := range crashes {
+		sim.CrashAt(c, amp.Time(5+10*int64(c)))
+	}
+	sim.Run(2_000_000)
+	return decs
+}
+
+func checkBinaryConsensus(t *testing.T, decs []decision, inputs []int, crashed map[int]bool, requireLive bool) {
+	t.Helper()
+	proposed := map[int]bool{}
+	for _, v := range inputs {
+		proposed[v] = true
+	}
+	var first any
+	for i, d := range decs {
+		if crashed[i] {
+			continue
+		}
+		if !d.ok {
+			if requireLive {
+				t.Fatalf("process %d never decided", i)
+			}
+			continue
+		}
+		if !proposed[d.val.(int)] {
+			t.Fatalf("validity violated: %v", d.val)
+		}
+		if first == nil {
+			first = d.val
+		} else if d.val != first {
+			t.Fatalf("agreement violated: %v vs %v", first, d.val)
+		}
+	}
+}
+
+func TestBenOrUnanimousDecidesFast(t *testing.T) {
+	// All-same inputs: round 1 decides (no coin needed).
+	for seed := int64(0); seed < 10; seed++ {
+		decs := runBenOr(t, []int{1, 1, 1, 1, 1}, nil, seed)
+		checkBinaryConsensus(t, decs, []int{1}, nil, true)
+		for i, d := range decs {
+			if d.val != 1 {
+				t.Fatalf("seed %d: process %d decided %v, want 1 (validity on unanimous)", seed, i, d.val)
+			}
+		}
+	}
+}
+
+func TestBenOrMixedInputsTerminates(t *testing.T) {
+	for seed := int64(0); seed < 15; seed++ {
+		decs := runBenOr(t, []int{0, 1, 0, 1, 1}, nil, seed)
+		checkBinaryConsensus(t, decs, []int{0, 1}, nil, true)
+	}
+}
+
+func TestBenOrWithCrashes(t *testing.T) {
+	// t = 2 < n/2 = 2.5 crashes: must still terminate and agree.
+	for seed := int64(0); seed < 15; seed++ {
+		crashed := map[int]bool{3: true, 4: true}
+		decs := runBenOr(t, []int{0, 1, 1, 0, 1}, []int{3, 4}, seed)
+		checkBinaryConsensus(t, decs, []int{0, 1}, crashed, true)
+	}
+}
+
+func TestBenOrRoundsGrowWithContention(t *testing.T) {
+	// Unanimous inputs end in 1 round; mixed inputs sometimes need more
+	// (the coin). Verify rounds >= 1 and bounded termination overall.
+	maxRounds := 0
+	for seed := int64(0); seed < 20; seed++ {
+		n := 5
+		decs := make([]decision, n)
+		procs := make([]amp.Process, n)
+		bos := make([]*BenOr, n)
+		inputs := []int{0, 1, 0, 1, 0}
+		for i := 0; i < n; i++ {
+			i := i
+			bos[i] = NewBenOr(inputs[i], func(v any, at amp.Time) {
+				decs[i] = decision{val: v, at: at, ok: true}
+			})
+			procs[i] = amp.NewStack(bos[i])
+		}
+		sim := amp.NewSim(procs, amp.WithSeed(seed), amp.WithDelay(amp.UniformDelay{Min: 1, Max: 12}))
+		sim.Run(2_000_000)
+		for i := range bos {
+			if bos[i].Rounds() > maxRounds {
+				maxRounds = bos[i].Rounds()
+			}
+			if !decs[i].ok {
+				t.Fatalf("seed %d: process %d undecided", seed, i)
+			}
+		}
+	}
+	if maxRounds < 1 {
+		t.Fatalf("max rounds = %d; expected some contention", maxRounds)
+	}
+}
+
+// synodCluster builds n processes each hosting [Detector, Synod].
+type synodCluster struct {
+	sim    *amp.Sim
+	syns   []*Synod
+	decs   []decision
+	stacks []*amp.Stack
+}
+
+func newSynodCluster(inputs []any, opts ...amp.SimOption) *synodCluster {
+	n := len(inputs)
+	c := &synodCluster{decs: make([]decision, n)}
+	procs := make([]amp.Process, n)
+	for i := 0; i < n; i++ {
+		i := i
+		det := fd.NewDetector(n)
+		syn := NewSynod(inputs[i], det, func(v any, at amp.Time) {
+			c.decs[i] = decision{val: v, at: at, ok: true}
+		})
+		c.syns = append(c.syns, syn)
+		st := amp.NewStack(det, syn)
+		c.stacks = append(c.stacks, st)
+		procs[i] = st
+	}
+	c.sim = amp.NewSim(procs, opts...)
+	return c
+}
+
+func TestSynodDecidesUnderSynchrony(t *testing.T) {
+	c := newSynodCluster([]any{"a", "b", "c"}, amp.WithDelay(amp.FixedDelay{D: 2}))
+	c.sim.Run(5000)
+	var first any
+	for i, d := range c.decs {
+		if !d.ok {
+			t.Fatalf("process %d undecided", i)
+		}
+		if first == nil {
+			first = d.val
+		} else if d.val != first {
+			t.Fatalf("agreement violated: %v vs %v", first, d.val)
+		}
+	}
+	if first != "a" && first != "b" && first != "c" {
+		t.Fatalf("validity violated: %v", first)
+	}
+}
+
+func TestSynodSurvivesLeaderCrash(t *testing.T) {
+	c := newSynodCluster([]any{10, 20, 30, 40}, amp.WithDelay(amp.FixedDelay{D: 2}))
+	// Crash the initial leader early; Ω re-elects and the new leader
+	// drives a ballot.
+	c.sim.CrashAt(0, 30)
+	c.sim.Run(20_000)
+	var first any
+	for i := 1; i < 4; i++ {
+		d := c.decs[i]
+		if !d.ok {
+			t.Fatalf("process %d undecided after leader crash", i)
+		}
+		if first == nil {
+			first = d.val
+		} else if d.val != first {
+			t.Fatalf("agreement violated: %v vs %v", first, d.val)
+		}
+	}
+}
+
+func TestSynodIndulgenceSafeBeforeGSTLiveAfter(t *testing.T) {
+	// E13: chaos before GST (Ω misbehaves, ballots clash) — no decision
+	// requirement, but any decisions agree; after GST, everyone decides.
+	for seed := int64(0); seed < 8; seed++ {
+		gst := amp.Time(1500)
+		c := newSynodCluster([]any{1, 2, 3, 4},
+			amp.WithSeed(seed),
+			amp.WithDelay(amp.GSTDelay{GST: gst, BeforeMin: 1, BeforeMax: 80, AfterMin: 1, AfterMax: 3}))
+		c.sim.Run(40_000)
+		var first any
+		for i, d := range c.decs {
+			if !d.ok {
+				t.Fatalf("seed %d: process %d undecided well after GST (indulgence liveness)", seed, i)
+			}
+			if first == nil {
+				first = d.val
+			} else if d.val != first {
+				t.Fatalf("seed %d: agreement violated: %v vs %v", seed, first, d.val)
+			}
+		}
+	}
+}
+
+func TestSynodAgreementAcrossManySeeds(t *testing.T) {
+	for seed := int64(0); seed < 20; seed++ {
+		c := newSynodCluster([]any{"x", "y", "z"},
+			amp.WithSeed(seed), amp.WithDelay(amp.UniformDelay{Min: 1, Max: 20}))
+		c.sim.Run(60_000)
+		var first any
+		for _, d := range c.decs {
+			if !d.ok {
+				continue
+			}
+			if first == nil {
+				first = d.val
+			} else if d.val != first {
+				t.Fatalf("seed %d: agreement violated", seed)
+			}
+		}
+		if first == nil {
+			t.Fatalf("seed %d: nobody decided under fair delays", seed)
+		}
+	}
+}
+
+func TestConditionSatisfiedTerminates(t *testing.T) {
+	// n=5, t=2: condition needs the max to appear > 4 times => unanimous.
+	inputs := []int{7, 7, 7, 7, 7}
+	if !SatisfiesCondition(inputs, 2) {
+		t.Fatal("unanimous vector should satisfy C")
+	}
+	for seed := int64(0); seed < 10; seed++ {
+		decs := runCondition(t, inputs, nil, seed)
+		for i, d := range decs {
+			if !d.ok {
+				t.Fatalf("seed %d: process %d undecided on condition-satisfying input", seed, i)
+			}
+			if d.val != 7 {
+				t.Fatalf("seed %d: decided %v, want 7", seed, d.val)
+			}
+		}
+	}
+}
+
+func TestConditionUnsatisfiedStaysSafe(t *testing.T) {
+	// Outside C: termination not promised; any decisions must agree.
+	inputs := []int{1, 2, 3, 4, 5}
+	if SatisfiesCondition(inputs, 2) {
+		t.Fatal("distinct vector should not satisfy C for t=2")
+	}
+	for seed := int64(0); seed < 10; seed++ {
+		decs := runCondition(t, inputs, nil, seed)
+		var first any
+		for _, d := range decs {
+			if !d.ok {
+				continue
+			}
+			if first == nil {
+				first = d.val
+			} else if d.val != first {
+				t.Fatalf("seed %d: agreement violated outside C: %v vs %v", seed, first, d.val)
+			}
+		}
+	}
+}
+
+func TestConditionWithCrashes(t *testing.T) {
+	// Satisfying vector, t=2 crashes: correct processes still decide.
+	inputs := []int{9, 9, 9, 9, 9, 9, 9} // n=7, t=3: max must appear > 6 times
+	for seed := int64(0); seed < 8; seed++ {
+		decs := runCondition(t, inputs, []int{5, 6}, seed)
+		for i := 0; i < 5; i++ {
+			if !decs[i].ok {
+				t.Fatalf("seed %d: correct process %d undecided", seed, i)
+			}
+			if decs[i].val != 9 {
+				t.Fatalf("seed %d: decided %v", seed, decs[i].val)
+			}
+		}
+	}
+}
+
+func runCondition(t *testing.T, inputs []int, crashes []int, seed int64) []decision {
+	t.Helper()
+	n := len(inputs)
+	decs := make([]decision, n)
+	procs := make([]amp.Process, n)
+	for i := 0; i < n; i++ {
+		i := i
+		cc := NewCondition(inputs[i], func(v any, at amp.Time) {
+			decs[i] = decision{val: v, at: at, ok: true}
+		})
+		procs[i] = amp.NewStack(cc)
+	}
+	sim := amp.NewSim(procs, amp.WithSeed(seed), amp.WithDelay(amp.UniformDelay{Min: 1, Max: 15}))
+	for _, c := range crashes {
+		sim.CrashAt(c, 3)
+	}
+	sim.Run(500_000)
+	return decs
+}
+
+func TestSatisfiesCondition(t *testing.T) {
+	tests := []struct {
+		name   string
+		inputs []int
+		t      int
+		want   bool
+	}{
+		{"empty", nil, 1, false},
+		{"unanimous small t", []int{5, 5, 5}, 1, true},
+		{"max once", []int{1, 2, 3}, 1, false},
+		{"max thrice t=1", []int{3, 3, 3, 1}, 1, true},
+		{"max twice t=1", []int{3, 3, 1}, 1, false},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if got := SatisfiesCondition(tt.inputs, tt.t); got != tt.want {
+				t.Errorf("SatisfiesCondition(%v, %d) = %v, want %v", tt.inputs, tt.t, got, tt.want)
+			}
+		})
+	}
+}
+
+func TestFLPBivalenceExhibited(t *testing.T) {
+	// E16: the same initial configuration (mixed inputs) decides 0 under
+	// one delivery schedule and 1 under another — an initial bivalent
+	// configuration, the launching point of the FLP proof (§2.4). Ben-Or's
+	// decisions depend on message timing/coins, making this easy to
+	// exhibit.
+	inputs := []int{0, 1, 0, 1}
+	seen := map[int]bool{}
+	for seed := int64(0); seed < 60 && len(seen) < 2; seed++ {
+		decs := runBenOr(t, inputs, nil, seed)
+		if decs[0].ok {
+			seen[decs[0].val.(int)] = true
+		}
+	}
+	if len(seen) != 2 {
+		t.Fatalf("only decisions %v observed; expected both 0 and 1 (bivalence)", seen)
+	}
+}

@@ -1,0 +1,193 @@
+package mpcons
+
+import (
+	"distbasics/internal/amp"
+	"distbasics/internal/fd"
+)
+
+// Synod is single-decree Paxos ([42]) driven by an Ω failure detector —
+// §5.3's indulgent consensus: the algorithm is safe no matter how Ω (and
+// the network) behave, and terminates once Ω stabilizes on a correct
+// leader. Every process is proposer, acceptor, and learner; only the
+// current Ω leader runs ballots, realizing the paper's "some process must
+// be more equal than the others" symmetry-breaking (§5.2).
+type Synod struct {
+	// Input is this process's proposal.
+	Input any
+	// InputFn, if set, supplies the proposal lazily at ballot time
+	// (overrides Input). TO-broadcast uses it to propose the current
+	// pending batch.
+	InputFn func() any
+	// Enabled, if set, gates ballot initiation: the leader only starts
+	// ballots while Enabled() is true (acceptor/learner roles stay
+	// active). TO-broadcast uses it to run slots in order.
+	Enabled func() bool
+	// Omega supplies the leader estimate (same Stack, separate slot).
+	Omega *fd.Detector
+	// RetryPeriod is how often an undecided leader re-attempts a ballot
+	// (default 40 virtual units).
+	RetryPeriod amp.Time
+	// OnDecide fires on decision.
+	OnDecide DecideFn
+
+	n  int
+	id int
+
+	// Acceptor state.
+	promised    int
+	acceptedBal int
+	acceptedVal any
+
+	// Proposer state.
+	ballot    int
+	inBallot  bool
+	phase     int // 1 or 2
+	promises  map[int]promise
+	accepteds map[int]bool
+	propVal   any
+
+	decided    bool
+	decidedVal any
+}
+
+type promise struct {
+	bal int
+	val any
+}
+
+// Synod message kinds.
+type (
+	synPrepare struct{ Bal int }
+	synPromise struct {
+		Bal         int
+		AcceptedBal int
+		AcceptedVal any
+	}
+	synAccept struct {
+		Bal int
+		Val any
+	}
+	synAccepted struct{ Bal int }
+	synReject   struct{ Promised int }
+	synDecide   struct{ Val any }
+)
+
+const synodRetryTimer = 0
+
+// NewSynod returns a Synod instance proposing input, using the given Ω.
+func NewSynod(input any, omega *fd.Detector, onDecide DecideFn) *Synod {
+	return &Synod{Input: input, Omega: omega, OnDecide: onDecide}
+}
+
+// Decided reports the decision state.
+func (s *Synod) Decided() (any, bool) { return s.decidedVal, s.decided }
+
+// Init implements amp.Component.
+func (s *Synod) Init(ctx amp.Context) {
+	s.n = ctx.N()
+	s.id = ctx.ID()
+	if s.RetryPeriod == 0 {
+		s.RetryPeriod = 40
+	}
+	ctx.SetTimer(s.RetryPeriod, synodRetryTimer)
+}
+
+// OnTimer implements amp.Component: the leader-retry loop.
+func (s *Synod) OnTimer(ctx amp.Context, id int) {
+	if id != synodRetryTimer {
+		return
+	}
+	if !s.decided && s.Omega != nil && s.Omega.Leader() == s.id &&
+		(s.Enabled == nil || s.Enabled()) {
+		s.startBallot(ctx)
+	}
+	if !s.decided {
+		ctx.SetTimer(s.RetryPeriod, synodRetryTimer)
+	}
+}
+
+func (s *Synod) startBallot(ctx amp.Context) {
+	// Ballots are id+1 mod n classes, strictly increasing.
+	next := s.ballot + s.n
+	if next <= s.promised {
+		next += ((s.promised-next)/s.n + 1) * s.n
+	}
+	if s.ballot == 0 {
+		next = s.id + 1
+		for next <= s.promised {
+			next += s.n
+		}
+	}
+	s.ballot = next
+	s.inBallot = true
+	s.phase = 1
+	s.promises = make(map[int]promise)
+	s.accepteds = make(map[int]bool)
+	ctx.Broadcast(synPrepare{Bal: s.ballot})
+}
+
+// OnMessage implements amp.Component.
+func (s *Synod) OnMessage(ctx amp.Context, from int, msg amp.Message) {
+	switch m := msg.(type) {
+	case synPrepare:
+		if m.Bal > s.promised {
+			s.promised = m.Bal
+			ctx.Send(from, synPromise{Bal: m.Bal, AcceptedBal: s.acceptedBal, AcceptedVal: s.acceptedVal})
+		} else {
+			ctx.Send(from, synReject{Promised: s.promised})
+		}
+	case synPromise:
+		if !s.inBallot || s.phase != 1 || m.Bal != s.ballot {
+			return
+		}
+		s.promises[from] = promise{bal: m.AcceptedBal, val: m.AcceptedVal}
+		if len(s.promises) > s.n/2 {
+			// Adopt the value accepted at the highest ballot, else our own.
+			s.propVal = s.Input
+			if s.InputFn != nil {
+				s.propVal = s.InputFn()
+			}
+			best := 0
+			for _, pr := range s.promises {
+				if pr.bal > best {
+					best = pr.bal
+					s.propVal = pr.val
+				}
+			}
+			s.phase = 2
+			ctx.Broadcast(synAccept{Bal: s.ballot, Val: s.propVal})
+		}
+	case synAccept:
+		if m.Bal >= s.promised {
+			s.promised = m.Bal
+			s.acceptedBal = m.Bal
+			s.acceptedVal = m.Val
+			ctx.Send(from, synAccepted{Bal: m.Bal})
+		} else {
+			ctx.Send(from, synReject{Promised: s.promised})
+		}
+	case synAccepted:
+		if !s.inBallot || s.phase != 2 || m.Bal != s.ballot {
+			return
+		}
+		s.accepteds[from] = true
+		if len(s.accepteds) > s.n/2 {
+			s.inBallot = false
+			ctx.Broadcast(synDecide{Val: s.propVal})
+		}
+	case synReject:
+		if s.inBallot && m.Promised > s.ballot {
+			s.inBallot = false // abandon; retry on the next timer tick
+		}
+	case synDecide:
+		if s.decided {
+			return
+		}
+		s.decided = true
+		s.decidedVal = m.Val
+		ctx.Broadcast(synDecide{Val: m.Val}) // relay for reliability
+		if s.OnDecide != nil {
+			s.OnDecide(m.Val, ctx.Now())
+		}
+	}
+}

@@ -1,0 +1,76 @@
+package procadv
+
+import (
+	"distbasics/internal/amp"
+)
+
+// Gatherer is the A-resilient termination harness: each process
+// broadcasts its input once and waits until the set of processes it has
+// heard from contains some live set of the adversary, then reports the
+// partial input vector it assembled.
+//
+// Termination analysis (the point of §5.4): messages of correct
+// processes always arrive, so if the execution's correct set L is a
+// superset of a member of A, every correct process's guard eventually
+// fires — the algorithm is A-resilient. If L contains no member of A,
+// nothing is owed; under crash-at-start schedules the guard provably
+// never fires, which is how tests separate "terminates" from "may hang".
+type Gatherer struct {
+	adv    *Adversary
+	input  any
+	onDone func(vals map[int]any, at amp.Time)
+
+	heard Set
+	vals  map[int]any
+	done  bool
+}
+
+var _ amp.Process = (*Gatherer)(nil)
+
+// NewGatherer returns a process that gathers inputs until its heard-from
+// set contains a live set of adv. onDone receives the id→input partial
+// vector at termination time; it is called at most once.
+func NewGatherer(adv *Adversary, input any, onDone func(vals map[int]any, at amp.Time)) *Gatherer {
+	return &Gatherer{adv: adv, input: input, onDone: onDone, vals: make(map[int]any)}
+}
+
+// Done reports whether the gather guard has fired.
+func (g *Gatherer) Done() bool { return g.done }
+
+// Heard returns the set of processes heard from so far.
+func (g *Gatherer) Heard() Set { return g.heard }
+
+type gatherMsg struct {
+	Input any
+}
+
+// Init implements amp.Process.
+func (g *Gatherer) Init(ctx amp.Context) {
+	ctx.Broadcast(gatherMsg{Input: g.input})
+}
+
+// OnMessage implements amp.Process.
+func (g *Gatherer) OnMessage(ctx amp.Context, from int, msg amp.Message) {
+	m, ok := msg.(gatherMsg)
+	if !ok || g.done {
+		return
+	}
+	g.heard |= 1 << uint(from)
+	g.vals[from] = m.Input
+	for _, s := range g.adv.LiveSets() {
+		if s.SubsetOf(g.heard) {
+			g.done = true
+			if g.onDone != nil {
+				out := make(map[int]any, len(g.vals))
+				for k, v := range g.vals {
+					out[k] = v
+				}
+				g.onDone(out, ctx.Now())
+			}
+			return
+		}
+	}
+}
+
+// OnTimer implements amp.Process.
+func (g *Gatherer) OnTimer(amp.Context, int) {}

@@ -1,0 +1,252 @@
+// Package procadv implements the process adversaries of §5.4 of the
+// paper ([37], generalized in [19]): non-uniform failure models in which
+// not all crash patterns are equally likely or tolerated.
+//
+// A process adversary A is a set of sets of processes. An algorithm
+// A-resiliently solves a problem if (a) it never violates safety, and
+// (b) it terminates in every execution whose set of non-faulty processes
+// is a member of A.
+//
+// The package also implements the core / survivor-set formulation
+// (Junqueira–Marzullo): a core is a minimal set of processes such that
+// in every execution at least one member stays correct; a survivor set
+// is a minimal set such that some execution's correct set is exactly it.
+// The two are dual — each family is the set of minimal transversals
+// (hitting sets) of the other — and, borrowing quorum vocabulary, the
+// paper calls survivor sets the anti-quorums of the cores.
+package procadv
+
+import (
+	"fmt"
+	"math/bits"
+	"sort"
+	"strings"
+)
+
+// MaxN bounds the number of processes a Set can hold.
+const MaxN = 64
+
+// Set is a set of process identities in [0, MaxN), one bit per process.
+type Set uint64
+
+// MakeSet builds a Set from identities.
+func MakeSet(ids ...int) Set {
+	var s Set
+	for _, id := range ids {
+		s |= 1 << uint(id)
+	}
+	return s
+}
+
+// FullSet returns {0, …, n−1}.
+func FullSet(n int) Set {
+	if n >= MaxN {
+		return ^Set(0)
+	}
+	return Set(1)<<uint(n) - 1
+}
+
+// Contains reports id ∈ s.
+func (s Set) Contains(id int) bool { return s&(1<<uint(id)) != 0 }
+
+// Card returns |s|.
+func (s Set) Card() int { return bits.OnesCount64(uint64(s)) }
+
+// SubsetOf reports s ⊆ t.
+func (s Set) SubsetOf(t Set) bool { return s&^t == 0 }
+
+// Intersects reports s ∩ t ≠ ∅.
+func (s Set) Intersects(t Set) bool { return s&t != 0 }
+
+// IDs returns the members in increasing order.
+func (s Set) IDs() []int {
+	ids := make([]int, 0, s.Card())
+	for s != 0 {
+		id := bits.TrailingZeros64(uint64(s))
+		ids = append(ids, id)
+		s &^= 1 << uint(id)
+	}
+	return ids
+}
+
+// String renders the set in the paper's style, e.g. "{p1,p3}" (1-based,
+// matching the paper's p1…pn naming).
+func (s Set) String() string {
+	ids := s.IDs()
+	parts := make([]string, len(ids))
+	for i, id := range ids {
+		parts[i] = fmt.Sprintf("p%d", id+1)
+	}
+	return "{" + strings.Join(parts, ",") + "}"
+}
+
+// Adversary is a process adversary: the explicit collection of live sets
+// (sets of non-faulty processes) in which termination is required.
+type Adversary struct {
+	n    int
+	live map[Set]bool
+}
+
+// NewAdversary builds an adversary over n processes from the listed live
+// sets. Termination is owed exactly in executions whose correct set is a
+// member (the paper's definition is exact membership, not closure).
+func NewAdversary(n int, liveSets ...Set) *Adversary {
+	a := &Adversary{n: n, live: make(map[Set]bool, len(liveSets))}
+	for _, s := range liveSets {
+		a.live[s] = true
+	}
+	return a
+}
+
+// N returns the number of processes.
+func (a *Adversary) N() int { return a.n }
+
+// Allows reports whether termination is required when the set of
+// non-faulty processes is exactly live.
+func (a *Adversary) Allows(live Set) bool { return a.live[live] }
+
+// LiveSets returns the member sets, sorted by value for determinism.
+func (a *Adversary) LiveSets() []Set {
+	out := make([]Set, 0, len(a.live))
+	for s := range a.live {
+		out = append(out, s)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// PaperExample is the 4-process adversary of §5.4:
+// A = {{p1,p2}, {p1,p4}, {p1,p3,p4}}. An A-resilient algorithm must
+// terminate when the correct set is exactly one of these, and owes
+// nothing when it is, e.g., {p3,p4} or {p1,p2,p3}.
+func PaperExample() *Adversary {
+	return NewAdversary(4,
+		MakeSet(0, 1),
+		MakeSet(0, 3),
+		MakeSet(0, 2, 3),
+	)
+}
+
+// maxEnumN bounds n for the constructors that enumerate all 2^n subsets.
+const maxEnumN = 24
+
+// TResilient is the classical uniform adversary recovered as a special
+// case (§5.4 notes process adversaries generalize t-resilience): every
+// set of at least n−t processes is a possible correct set. n must be at
+// most 24 (the constructor enumerates all subsets).
+func TResilient(n, t int) *Adversary {
+	if n > maxEnumN {
+		panic(fmt.Sprintf("procadv: TResilient enumerates 2^n subsets; n=%d > %d", n, maxEnumN))
+	}
+	a := &Adversary{n: n, live: make(map[Set]bool)}
+	full := FullSet(n)
+	for s := Set(0); s <= full; s++ {
+		if s.Card() >= n-t {
+			a.live[s] = true
+		}
+	}
+	return a
+}
+
+// minimalAntichain drops every set that strictly contains another member,
+// returning the minimal elements sorted by value.
+func minimalAntichain(sets []Set) []Set {
+	sort.Slice(sets, func(i, j int) bool {
+		if sets[i].Card() != sets[j].Card() {
+			return sets[i].Card() < sets[j].Card()
+		}
+		return sets[i] < sets[j]
+	})
+	var out []Set
+	for _, s := range sets {
+		dominated := false
+		for _, m := range out {
+			if m.SubsetOf(s) {
+				dominated = true
+				break
+			}
+		}
+		if !dominated {
+			out = append(out, s)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// MinimalTransversals returns all minimal sets that intersect every set
+// in family — the hypergraph dual. Cores and survivor sets are each
+// other's minimal transversals. n bounds the universe; family must be
+// non-empty and contain no empty set.
+func MinimalTransversals(n int, family []Set) []Set {
+	if len(family) == 0 {
+		return nil
+	}
+	var out []Set
+	var rec func(idx int, partial Set)
+	rec = func(idx int, partial Set) {
+		if idx == len(family) {
+			out = append(out, partial)
+			return
+		}
+		s := family[idx]
+		if partial.Intersects(s) {
+			rec(idx+1, partial)
+			return
+		}
+		for _, id := range s.IDs() {
+			if id >= n {
+				break
+			}
+			rec(idx+1, partial|1<<uint(id))
+		}
+	}
+	rec(0, 0)
+	return minimalAntichain(out)
+}
+
+// SurvivorsFromCores converts a family of cores into the corresponding
+// survivor sets (its minimal transversals), and CoresFromSurvivors is
+// the inverse — the duality of §5.4. Both inputs are minimalized first,
+// since cores and survivor sets are by definition minimal.
+func SurvivorsFromCores(n int, cores []Set) []Set {
+	return MinimalTransversals(n, minimalAntichain(append([]Set(nil), cores...)))
+}
+
+// CoresFromSurvivors converts survivor sets to cores; see
+// SurvivorsFromCores.
+func CoresFromSurvivors(n int, survivors []Set) []Set {
+	return MinimalTransversals(n, minimalAntichain(append([]Set(nil), survivors...)))
+}
+
+// FromSurvivors builds the adversary whose live sets are exactly the
+// supersets of some survivor set — the Junqueira–Marzullo reading, where
+// an execution's correct set always contains a survivor set. n must be
+// at most 24 (the constructor enumerates all subsets).
+func FromSurvivors(n int, survivors []Set) *Adversary {
+	if n > maxEnumN {
+		panic(fmt.Sprintf("procadv: FromSurvivors enumerates 2^n subsets; n=%d > %d", n, maxEnumN))
+	}
+	a := &Adversary{n: n, live: make(map[Set]bool)}
+	full := FullSet(n)
+	for s := Set(0); s <= full; s++ {
+		for _, sv := range survivors {
+			if sv.SubsetOf(s) {
+				a.live[s] = true
+				break
+			}
+		}
+	}
+	return a
+}
+
+// CoreHolds reports the defining property of a core against an
+// execution's correct set: at least one member of every core is correct.
+func CoreHolds(cores []Set, correct Set) bool {
+	for _, c := range cores {
+		if !c.Intersects(correct) {
+			return false
+		}
+	}
+	return true
+}

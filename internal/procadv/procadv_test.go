@@ -1,0 +1,317 @@
+package procadv
+
+import (
+	"math/rand"
+	"reflect"
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"distbasics/internal/amp"
+)
+
+func setsEqual(a, b []Set) bool {
+	sort.Slice(a, func(i, j int) bool { return a[i] < a[j] })
+	sort.Slice(b, func(i, j int) bool { return b[i] < b[j] })
+	return reflect.DeepEqual(a, b)
+}
+
+func TestSetBasics(t *testing.T) {
+	s := MakeSet(0, 2, 5)
+	if s.Card() != 3 {
+		t.Errorf("Card = %d, want 3", s.Card())
+	}
+	if !s.Contains(2) || s.Contains(1) {
+		t.Error("membership wrong")
+	}
+	if got := s.IDs(); !reflect.DeepEqual(got, []int{0, 2, 5}) {
+		t.Errorf("IDs = %v", got)
+	}
+	if s.String() != "{p1,p3,p6}" {
+		t.Errorf("String = %q", s.String())
+	}
+	if !MakeSet(0, 2).SubsetOf(s) || s.SubsetOf(MakeSet(0, 2)) {
+		t.Error("SubsetOf wrong")
+	}
+	if !s.Intersects(MakeSet(5)) || s.Intersects(MakeSet(1, 3)) {
+		t.Error("Intersects wrong")
+	}
+	if FullSet(3) != MakeSet(0, 1, 2) {
+		t.Error("FullSet wrong")
+	}
+}
+
+// TestPaperCoreSurvivorExample is the worked example of §5.4: cores
+// {p1,p2} and {p3,p4} have survivor sets {p1,p3}, {p1,p4}, {p2,p3},
+// {p2,p4}, and the conversion is an involution.
+func TestPaperCoreSurvivorExample(t *testing.T) {
+	cores := []Set{MakeSet(0, 1), MakeSet(2, 3)}
+	wantSurv := []Set{MakeSet(0, 2), MakeSet(0, 3), MakeSet(1, 2), MakeSet(1, 3)}
+
+	surv := SurvivorsFromCores(4, cores)
+	if !setsEqual(surv, wantSurv) {
+		t.Fatalf("SurvivorsFromCores = %v, want %v", surv, wantSurv)
+	}
+	back := CoresFromSurvivors(4, surv)
+	if !setsEqual(back, cores) {
+		t.Fatalf("duality round-trip = %v, want %v", back, cores)
+	}
+}
+
+func TestTResilientCores(t *testing.T) {
+	// In the uniform t-resilient model over n processes, the cores are
+	// exactly the (t+1)-subsets: any t+1 processes contain a correct one.
+	n, tt := 5, 2
+	adv := TResilient(n, tt)
+
+	// Survivor sets of t-resilience: all (n−t)-subsets.
+	var minLive []Set
+	for _, s := range adv.LiveSets() {
+		if s.Card() == n-tt {
+			minLive = append(minLive, s)
+		}
+	}
+	cores := CoresFromSurvivors(n, minLive)
+	for _, c := range cores {
+		if c.Card() != tt+1 {
+			t.Fatalf("core %v has size %d, want t+1=%d", c, c.Card(), tt+1)
+		}
+	}
+	if want := choose(n, tt+1); len(cores) != want {
+		t.Fatalf("got %d cores, want C(%d,%d)=%d", len(cores), n, tt+1, want)
+	}
+}
+
+func choose(n, k int) int {
+	if k < 0 || k > n {
+		return 0
+	}
+	r := 1
+	for i := 0; i < k; i++ {
+		r = r * (n - i) / (i + 1)
+	}
+	return r
+}
+
+func TestPaperExampleMembership(t *testing.T) {
+	adv := PaperExample()
+	for _, s := range []Set{MakeSet(0, 1), MakeSet(0, 3), MakeSet(0, 2, 3)} {
+		if !adv.Allows(s) {
+			t.Errorf("adversary must allow %v", s)
+		}
+	}
+	// The paper's explicit non-members.
+	for _, s := range []Set{MakeSet(2, 3), MakeSet(0, 1, 2)} {
+		if adv.Allows(s) {
+			t.Errorf("adversary must not contain %v", s)
+		}
+	}
+}
+
+func TestCoreHolds(t *testing.T) {
+	cores := []Set{MakeSet(0, 1), MakeSet(2, 3)}
+	if !CoreHolds(cores, MakeSet(0, 2)) {
+		t.Error("{p1,p3} hits both cores")
+	}
+	if CoreHolds(cores, MakeSet(0, 1)) {
+		t.Error("{p1,p2} misses core {p3,p4}")
+	}
+}
+
+// Property: transversal duality is an involution on antichains — for a
+// random family, transversals(transversals(F)) equals the minimal
+// antichain of F. This is the classical hypergraph duality the paper's
+// core/survivor duality instantiates.
+func TestTransversalInvolutionProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 3 + rng.Intn(4) // 3..6
+		k := 1 + rng.Intn(3) // 1..3 sets
+		family := make([]Set, 0, k)
+		for i := 0; i < k; i++ {
+			var s Set
+			for s == 0 {
+				s = Set(rng.Int63n(int64(FullSet(n)))) + 1
+				s &= FullSet(n)
+			}
+			family = append(family, s)
+		}
+		min := minimalAntichain(append([]Set(nil), family...))
+		tr := MinimalTransversals(n, min)
+		back := MinimalTransversals(n, tr)
+		return setsEqual(back, min)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: every transversal intersects every family member, and no
+// proper subset of a transversal does (minimality).
+func TestTransversalSoundnessProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 3 + rng.Intn(4)
+		k := 1 + rng.Intn(3)
+		family := make([]Set, 0, k)
+		for i := 0; i < k; i++ {
+			var s Set
+			for s == 0 {
+				s = Set(rng.Int63n(int64(FullSet(n)))) + 1
+				s &= FullSet(n)
+			}
+			family = append(family, s)
+		}
+		for _, tr := range MinimalTransversals(n, family) {
+			for _, s := range family {
+				if !tr.Intersects(s) {
+					return false
+				}
+			}
+			for _, id := range tr.IDs() {
+				sub := tr &^ (1 << uint(id))
+				hitsAll := true
+				for _, s := range family {
+					if !sub.Intersects(s) {
+						hitsAll = false
+						break
+					}
+				}
+				if hitsAll {
+					return false // not minimal
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestGathererTerminationMatrix runs the A-resilient gather harness for
+// the paper's 4-process adversary under every crash-at-start pattern and
+// checks: every correct process terminates iff the correct set contains
+// a member of A (E15).
+func TestGathererTerminationMatrix(t *testing.T) {
+	adv := PaperExample()
+	n := adv.N()
+	for live := Set(1); live <= FullSet(n); live++ {
+		live := live
+		procs := make([]amp.Process, n)
+		gs := make([]*Gatherer, n)
+		for i := 0; i < n; i++ {
+			gs[i] = NewGatherer(adv, 100+i, nil)
+			procs[i] = gs[i]
+		}
+		sim := amp.NewSim(procs, amp.WithSeed(int64(live)), amp.WithDelay(amp.FixedDelay{D: 1}))
+		for i := 0; i < n; i++ {
+			if !live.Contains(i) {
+				sim.CrashAfterSends(i, 0) // crash before sending anything
+			}
+		}
+		sim.Run(1000)
+
+		shouldTerminate := false
+		for _, s := range adv.LiveSets() {
+			if s.SubsetOf(live) {
+				shouldTerminate = true
+				break
+			}
+		}
+		for i := 0; i < n; i++ {
+			if !live.Contains(i) {
+				continue
+			}
+			if gs[i].Done() != shouldTerminate {
+				t.Errorf("live=%v proc p%d Done=%v, want %v (heard=%v)",
+					live, i+1, gs[i].Done(), shouldTerminate, gs[i].Heard())
+			}
+		}
+	}
+}
+
+// TestGathererCollectsLiveInputs checks the gathered partial vector
+// contains the inputs of the live set members that triggered the guard.
+func TestGathererCollectsLiveInputs(t *testing.T) {
+	cores := []Set{MakeSet(0, 1), MakeSet(2, 3)}
+	surv := SurvivorsFromCores(4, cores)
+	adv := FromSurvivors(4, surv)
+
+	var got map[int]any
+	var at amp.Time
+	gs := make([]*Gatherer, 4)
+	procs := make([]amp.Process, 4)
+	for i := range procs {
+		i := i
+		cb := func(vals map[int]any, now amp.Time) {
+			if i == 0 {
+				got, at = vals, now
+			}
+		}
+		gs[i] = NewGatherer(adv, i*10, cb)
+		procs[i] = gs[i]
+	}
+	sim := amp.NewSim(procs, amp.WithDelay(amp.FixedDelay{D: 2}))
+	sim.CrashAfterSends(1, 0)
+	sim.CrashAfterSends(3, 0) // correct set {p1,p3} is a survivor set
+	sim.Run(1000)
+
+	if got == nil {
+		t.Fatal("p1 never terminated though {p1,p3} is a survivor set")
+	}
+	if got[0] != 0 || got[2] != 20 {
+		t.Errorf("gathered vector %v missing live inputs", got)
+	}
+	if at <= 0 {
+		t.Errorf("termination time %d, want positive", at)
+	}
+	if gs[0].Heard() != MakeSet(0, 2) {
+		t.Errorf("heard = %v, want {p1,p3}", gs[0].Heard())
+	}
+}
+
+// TestGathererLateCrash: a process that crashes after broadcasting still
+// contributes its input — termination can then occur even when the
+// correct set alone is not in A, which A-resilience permits.
+func TestGathererLateCrash(t *testing.T) {
+	adv := PaperExample() // members all contain p1 except {p1,p2}… all contain p1
+	n := adv.N()
+	gs := make([]*Gatherer, n)
+	procs := make([]amp.Process, n)
+	for i := range procs {
+		gs[i] = NewGatherer(adv, i, nil)
+		procs[i] = gs[i]
+	}
+	sim := amp.NewSim(procs, amp.WithDelay(amp.FixedDelay{D: 1}))
+	// p1 broadcasts, then crashes: correct set {p3,p4} ∉ A, but p3/p4
+	// hear from {p1,p3,p4} ⊇ {p1,p4} and may terminate.
+	sim.CrashAt(0, 5)
+	sim.CrashAfterSends(1, 0)
+	sim.Run(1000)
+	if !gs[2].Done() || !gs[3].Done() {
+		t.Error("late-crash messages should let p3,p4 terminate")
+	}
+}
+
+func TestAdversaryLiveSetsSorted(t *testing.T) {
+	adv := PaperExample()
+	sets := adv.LiveSets()
+	for i := 1; i < len(sets); i++ {
+		if sets[i-1] >= sets[i] {
+			t.Fatalf("LiveSets not sorted: %v", sets)
+		}
+	}
+	if len(sets) != 3 {
+		t.Fatalf("paper example has 3 live sets, got %d", len(sets))
+	}
+}
+
+func TestTResilientPanicsOnHugeN(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("TResilient(30, 1) must panic")
+		}
+	}()
+	TResilient(30, 1)
+}

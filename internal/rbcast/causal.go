@@ -1,0 +1,112 @@
+package rbcast
+
+import "distbasics/internal/amp"
+
+// causalEnv is the causal layer's wire envelope: the application payload
+// plus the sender's vector timestamp.
+type causalEnv struct {
+	VC      []int
+	Payload any
+}
+
+// Causal layers causal order over Reliable (Birman–Schiper–Stephenson):
+// if a process delivered m before broadcasting m', then every process
+// delivers m before m'. Each message carries a vector timestamp VC where
+// VC[sender] counts the sender's prior broadcasts and VC[k] counts the
+// messages from k the sender had delivered; a receiver holds back a
+// message until its own delivery counts dominate that timestamp.
+//
+// Causal order implies per-sender FIFO order; it is the strongest order
+// implementable in AMPn,t[∅] without consensus (total order, §5.1, is
+// not).
+type Causal struct {
+	n       int
+	inner   *Reliable
+	deliver Deliver
+
+	sent      int   // own broadcasts so far
+	delivered []int // delivered count per sender
+	pending   []pendingMsg
+}
+
+type pendingMsg struct {
+	id      MsgID
+	vc      []int
+	payload any
+}
+
+// NewCausal returns a causal-order reliable broadcast for n processes.
+func NewCausal(n int, deliver Deliver) *Causal {
+	c := &Causal{n: n, deliver: deliver, delivered: make([]int, n)}
+	c.inner = NewReliable(c.onRaw)
+	return c
+}
+
+// Init implements amp.Component.
+func (c *Causal) Init(amp.Context) {}
+
+// Broadcast causally broadcasts payload.
+func (c *Causal) Broadcast(ctx amp.Context, payload any) MsgID {
+	vc := make([]int, c.n)
+	copy(vc, c.delivered)
+	vc[ctx.ID()] = c.sent
+	c.sent++
+	return c.inner.Broadcast(ctx, causalEnv{VC: vc, Payload: payload})
+}
+
+// OnMessage implements amp.Component.
+func (c *Causal) OnMessage(ctx amp.Context, from int, msg amp.Message) {
+	c.inner.OnMessage(ctx, from, msg)
+}
+
+// OnTimer implements amp.Component.
+func (c *Causal) OnTimer(amp.Context, int) {}
+
+// onRaw receives reliably-delivered envelopes and applies the holdback
+// rule.
+func (c *Causal) onRaw(id MsgID, payload any) {
+	env, ok := payload.(causalEnv)
+	if !ok {
+		return
+	}
+	c.pending = append(c.pending, pendingMsg{id: id, vc: env.VC, payload: env.Payload})
+	c.drain()
+}
+
+// deliverable reports whether m's causal past has been delivered here.
+func (c *Causal) deliverable(m pendingMsg) bool {
+	for k := 0; k < c.n; k++ {
+		if k == m.id.Sender {
+			if c.delivered[k] != m.vc[k] {
+				return false
+			}
+		} else if c.delivered[k] < m.vc[k] {
+			return false
+		}
+	}
+	return true
+}
+
+// drain delivers held-back messages until a fixpoint.
+func (c *Causal) drain() {
+	for {
+		progressed := false
+		for i, m := range c.pending {
+			if !c.deliverable(m) {
+				continue
+			}
+			c.pending = append(c.pending[:i], c.pending[i+1:]...)
+			c.delivered[m.id.Sender]++
+			c.deliver(m.id, m.payload)
+			progressed = true
+			break
+		}
+		if !progressed {
+			return
+		}
+	}
+}
+
+// Pending reports how many messages are held back awaiting their causal
+// past (observability for tests).
+func (c *Causal) Pending() int { return len(c.pending) }

@@ -1,0 +1,183 @@
+package rbcast
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"distbasics/internal/amp"
+)
+
+func TestCausalDeliversCausalPastFirst(t *testing.T) {
+	// p0 broadcasts a; p1 delivers a then broadcasts b (causally after
+	// a). Even with delays that put b first on the wire to p2, every
+	// process must deliver a before b.
+	n := 3
+	var h *harness
+	h = buildHarness(n, func(i int, d Deliver) amp.Component {
+		return NewCausal(n, func(id MsgID, payload any) {
+			d(id, payload)
+			// When p1 delivers p0's message, it reacts with its own.
+			if i == 1 && id.Sender == 0 {
+				c := h.comp(1).(*Causal)
+				c.Broadcast(h.ctx(1), "b")
+			}
+		})
+	}, amp.WithDelay(amp.UniformDelay{Min: 1, Max: 20}), amp.WithSeed(7))
+
+	h.sim.Schedule(1, func() {
+		h.comp(0).(*Causal).Broadcast(h.ctx(0), "a")
+	})
+	h.sim.Run(0)
+
+	for i := 0; i < n; i++ {
+		var sawA, sawB bool
+		for _, id := range h.delivered[i] {
+			if id.Sender == 0 {
+				sawA = true
+			}
+			if id.Sender == 1 {
+				if !sawA {
+					t.Fatalf("process %d delivered b before its cause a: %v", i, h.delivered[i])
+				}
+				sawB = true
+			}
+		}
+		if !sawA || !sawB {
+			t.Fatalf("process %d missed deliveries: %v", i, h.delivered[i])
+		}
+	}
+}
+
+func TestCausalImpliesPerSenderFIFO(t *testing.T) {
+	n := 4
+	h := buildHarness(n, func(_ int, d Deliver) amp.Component { return NewCausal(n, d) },
+		amp.WithDelay(amp.UniformDelay{Min: 1, Max: 15}), amp.WithSeed(3))
+
+	h.sim.Schedule(1, func() {
+		c := h.comp(2).(*Causal)
+		for k := 0; k < 5; k++ {
+			c.Broadcast(h.ctx(2), fmt.Sprintf("m%d", k))
+		}
+	})
+	h.sim.Run(0)
+
+	for i := 0; i < n; i++ {
+		if len(h.delivered[i]) != 5 {
+			t.Fatalf("process %d delivered %d messages, want 5", i, len(h.delivered[i]))
+		}
+		for k, id := range h.delivered[i] {
+			if id.Seq != k {
+				t.Fatalf("process %d delivery order %v breaks FIFO", i, h.delivered[i])
+			}
+		}
+	}
+}
+
+func TestCausalSurvivesSenderCrash(t *testing.T) {
+	// The broadcaster crashes mid-send, but the relay in the underlying
+	// Reliable layer still gets the message everywhere.
+	n := 5
+	h := buildHarness(n, func(_ int, d Deliver) amp.Component { return NewCausal(n, d) })
+	h.sim.CrashAfterSends(0, 2)
+	h.sim.Schedule(1, func() { h.comp(0).(*Causal).Broadcast(h.ctx(0), "x") })
+	h.sim.Run(0)
+
+	for i := 1; i < n; i++ {
+		if len(h.delivered[i]) != 1 {
+			t.Fatalf("correct process %d delivered %d messages, want 1 (reliable relay)", i, len(h.delivered[i]))
+		}
+	}
+}
+
+func TestCausalConcurrentMessagesAllDelivered(t *testing.T) {
+	// Concurrent (causally unrelated) broadcasts may be delivered in any
+	// relative order but must all be delivered, with no holdback leak.
+	n := 4
+	h := buildHarness(n, func(_ int, d Deliver) amp.Component { return NewCausal(n, d) },
+		amp.WithDelay(amp.UniformDelay{Min: 1, Max: 9}), amp.WithSeed(11))
+
+	h.sim.Schedule(1, func() {
+		for i := 0; i < n; i++ {
+			h.comp(i).(*Causal).Broadcast(h.ctx(i), i)
+		}
+	})
+	h.sim.Run(0)
+
+	for i := 0; i < n; i++ {
+		if len(h.delivered[i]) != n {
+			t.Fatalf("process %d delivered %d, want %d", i, len(h.delivered[i]), n)
+		}
+		if pend := h.comp(i).(*Causal).Pending(); pend != 0 {
+			t.Fatalf("process %d still holds %d messages", i, pend)
+		}
+	}
+}
+
+// Property: under random delays, seeds, and chatter patterns, causal
+// delivery respects the happens-before relation built from (a)
+// per-sender order and (b) deliver-then-broadcast edges. Each process's
+// delivery log is checked against the global causality graph.
+func TestCausalOrderProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 3 + rng.Intn(3) // 3..5
+
+		// Scripted chatter: every process broadcasts after each delivery
+		// until it has sent its quota, creating deep causal chains.
+		quota := make([]int, n)
+		for i := range quota {
+			quota[i] = 1 + rng.Intn(2)
+		}
+
+		type event struct{ cause, effect MsgID }
+		var edges []event
+		sent := make([]int, n)
+		var h *harness
+		h = buildHarness(n, func(i int, d Deliver) amp.Component {
+			return NewCausal(n, func(id MsgID, payload any) {
+				d(id, payload)
+				if sent[i] < quota[i] {
+					my := MsgID{Sender: i, Seq: sent[i]}
+					sent[i]++
+					edges = append(edges, event{cause: id, effect: my})
+					h.comp(i).(*Causal).Broadcast(h.ctx(i), "chain")
+				}
+			})
+		}, amp.WithDelay(amp.UniformDelay{Min: 1, Max: 25}), amp.WithSeed(seed))
+
+		h.sim.Schedule(1, func() {
+			// One root broadcast seeds the chains.
+			sent[0]++
+			h.comp(0).(*Causal).Broadcast(h.ctx(0), "root")
+		})
+		h.sim.Run(0)
+
+		for i := 0; i < n; i++ {
+			pos := make(map[MsgID]int, len(h.delivered[i]))
+			for k, id := range h.delivered[i] {
+				pos[id] = k
+			}
+			for _, e := range edges {
+				pc, okc := pos[e.cause]
+				pe, oke := pos[e.effect]
+				if oke && (!okc || pc > pe) {
+					return false // effect delivered without/before cause
+				}
+			}
+			// Per-sender FIFO.
+			last := make(map[int]int)
+			for _, id := range h.delivered[i] {
+				if prev, ok := last[id.Sender]; ok && id.Seq <= prev {
+					return false
+				}
+				last[id.Sender] = id.Seq
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}

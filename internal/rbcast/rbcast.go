@@ -1,0 +1,233 @@
+// Package rbcast implements the broadcast communication abstractions of
+// §5.1 of the paper: best-effort broadcast, reliable broadcast (all
+// correct processes deliver the same message set, including at least their
+// own broadcasts, even if the sender crashes mid-send), uniform reliable
+// broadcast, and FIFO ordering. Total-order (TO) reliable broadcast —
+// which requires consensus — lives in package rsm.
+package rbcast
+
+import (
+	"fmt"
+
+	"distbasics/internal/amp"
+)
+
+// MsgID uniquely identifies an application message: sender plus
+// per-sender sequence number.
+type MsgID struct {
+	Sender int
+	Seq    int
+}
+
+// Deliver is the upcall invoked exactly once per delivered message.
+type Deliver func(id MsgID, payload any)
+
+// bcMsg is the wire format shared by the broadcast components.
+type bcMsg struct {
+	ID      MsgID
+	Payload any
+	Echo    bool // true for relays/acks in the uniform variant
+}
+
+// BestEffort is unreliable broadcast: a send to all, with no guarantee
+// when the sender crashes mid-broadcast — §5.1's motivating non-example.
+type BestEffort struct {
+	deliver Deliver
+	nextSeq int
+	seen    map[MsgID]bool
+}
+
+// NewBestEffort returns a best-effort broadcast with the given delivery
+// upcall.
+func NewBestEffort(deliver Deliver) *BestEffort {
+	return &BestEffort{deliver: deliver, seen: make(map[MsgID]bool)}
+}
+
+// Init implements amp.Component.
+func (b *BestEffort) Init(amp.Context) {}
+
+// Broadcast sends payload to every process (including the caller).
+func (b *BestEffort) Broadcast(ctx amp.Context, payload any) MsgID {
+	id := MsgID{Sender: ctx.ID(), Seq: b.nextSeq}
+	b.nextSeq++
+	ctx.Broadcast(bcMsg{ID: id, Payload: payload})
+	return id
+}
+
+// OnMessage implements amp.Component.
+func (b *BestEffort) OnMessage(_ amp.Context, _ int, msg amp.Message) {
+	m, ok := msg.(bcMsg)
+	if !ok || b.seen[m.ID] {
+		return
+	}
+	b.seen[m.ID] = true
+	b.deliver(m.ID, m.Payload)
+}
+
+// OnTimer implements amp.Component.
+func (b *BestEffort) OnTimer(amp.Context, int) {}
+
+// Reliable is crash-tolerant reliable broadcast by eager relay ([30],
+// Hadzilacos–Toueg): on first receipt of a message, a process forwards it
+// to everyone and then delivers it. If ANY correct process delivers m,
+// every correct process does — in particular when the broadcaster crashed
+// after reaching only a subset.
+type Reliable struct {
+	deliver Deliver
+	nextSeq int
+	seen    map[MsgID]bool
+}
+
+// NewReliable returns a reliable broadcast with the given delivery upcall.
+func NewReliable(deliver Deliver) *Reliable {
+	return &Reliable{deliver: deliver, seen: make(map[MsgID]bool)}
+}
+
+// Init implements amp.Component.
+func (r *Reliable) Init(amp.Context) {}
+
+// Broadcast reliably broadcasts payload.
+func (r *Reliable) Broadcast(ctx amp.Context, payload any) MsgID {
+	id := MsgID{Sender: ctx.ID(), Seq: r.nextSeq}
+	r.nextSeq++
+	ctx.Broadcast(bcMsg{ID: id, Payload: payload})
+	return id
+}
+
+// OnMessage implements amp.Component.
+func (r *Reliable) OnMessage(ctx amp.Context, _ int, msg amp.Message) {
+	m, ok := msg.(bcMsg)
+	if !ok || r.seen[m.ID] {
+		return
+	}
+	r.seen[m.ID] = true
+	// Relay before delivering: once anyone delivers, everyone correct has
+	// already been sent a copy.
+	ctx.Broadcast(m)
+	r.deliver(m.ID, m.Payload)
+}
+
+// OnTimer implements amp.Component.
+func (r *Reliable) OnTimer(amp.Context, int) {}
+
+// Uniform is uniform reliable broadcast (t < n/2): a message is delivered
+// only after a majority of processes have relayed it, so even a process
+// that delivers and then crashes delivers a subset of what the correct
+// processes deliver — the "uniformity" of §5.1's definition.
+type Uniform struct {
+	n       int
+	deliver Deliver
+	nextSeq int
+
+	relayed   map[MsgID]bool
+	acks      map[MsgID]map[int]bool
+	payloads  map[MsgID]any
+	delivered map[MsgID]bool
+}
+
+// NewUniform returns a uniform reliable broadcast for n processes.
+func NewUniform(n int, deliver Deliver) *Uniform {
+	return &Uniform{
+		n:         n,
+		deliver:   deliver,
+		relayed:   make(map[MsgID]bool),
+		acks:      make(map[MsgID]map[int]bool),
+		payloads:  make(map[MsgID]any),
+		delivered: make(map[MsgID]bool),
+	}
+}
+
+// Init implements amp.Component.
+func (u *Uniform) Init(amp.Context) {}
+
+// Broadcast uniformly broadcasts payload.
+func (u *Uniform) Broadcast(ctx amp.Context, payload any) MsgID {
+	id := MsgID{Sender: ctx.ID(), Seq: u.nextSeq}
+	u.nextSeq++
+	ctx.Broadcast(bcMsg{ID: id, Payload: payload})
+	return id
+}
+
+// OnMessage implements amp.Component.
+func (u *Uniform) OnMessage(ctx amp.Context, from int, msg amp.Message) {
+	m, ok := msg.(bcMsg)
+	if !ok {
+		return
+	}
+	u.payloads[m.ID] = m.Payload
+	if u.acks[m.ID] == nil {
+		u.acks[m.ID] = make(map[int]bool)
+	}
+	if m.Echo {
+		u.acks[m.ID][from] = true
+	}
+	if !u.relayed[m.ID] {
+		u.relayed[m.ID] = true
+		u.acks[m.ID][ctx.ID()] = true
+		ctx.Broadcast(bcMsg{ID: m.ID, Payload: m.Payload, Echo: true})
+	}
+	if !u.delivered[m.ID] && len(u.acks[m.ID]) > u.n/2 {
+		u.delivered[m.ID] = true
+		u.deliver(m.ID, u.payloads[m.ID])
+	}
+}
+
+// OnTimer implements amp.Component.
+func (u *Uniform) OnTimer(amp.Context, int) {}
+
+// FIFO layers per-sender FIFO order over Reliable: messages from the same
+// sender are delivered in their broadcast order (a holdback queue fills
+// gaps).
+type FIFO struct {
+	inner   *Reliable
+	deliver Deliver
+	next    map[int]int         // per-sender next expected seq
+	held    map[int]map[int]any // sender -> seq -> payload
+}
+
+// NewFIFO returns a FIFO-ordered reliable broadcast.
+func NewFIFO(deliver Deliver) *FIFO {
+	f := &FIFO{
+		deliver: deliver,
+		next:    make(map[int]int),
+		held:    make(map[int]map[int]any),
+	}
+	f.inner = NewReliable(f.onRaw)
+	return f
+}
+
+// Init implements amp.Component.
+func (f *FIFO) Init(amp.Context) {}
+
+// Broadcast FIFO-broadcasts payload.
+func (f *FIFO) Broadcast(ctx amp.Context, payload any) MsgID {
+	return f.inner.Broadcast(ctx, payload)
+}
+
+// OnMessage implements amp.Component.
+func (f *FIFO) OnMessage(ctx amp.Context, from int, msg amp.Message) {
+	f.inner.OnMessage(ctx, from, msg)
+}
+
+// OnTimer implements amp.Component.
+func (f *FIFO) OnTimer(amp.Context, int) {}
+
+func (f *FIFO) onRaw(id MsgID, payload any) {
+	if f.held[id.Sender] == nil {
+		f.held[id.Sender] = make(map[int]any)
+	}
+	f.held[id.Sender][id.Seq] = payload
+	for {
+		seq := f.next[id.Sender]
+		p, ok := f.held[id.Sender][seq]
+		if !ok {
+			return
+		}
+		delete(f.held[id.Sender], seq)
+		f.next[id.Sender]++
+		f.deliver(MsgID{Sender: id.Sender, Seq: seq}, p)
+	}
+}
+
+// String renders a MsgID for debugging.
+func (id MsgID) String() string { return fmt.Sprintf("%d#%d", id.Sender, id.Seq) }

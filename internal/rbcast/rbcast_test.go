@@ -1,0 +1,213 @@
+package rbcast
+
+import (
+	"testing"
+
+	"distbasics/internal/amp"
+)
+
+// harness wires one broadcast component per process into amp.Stack hosts
+// and records deliveries.
+type harness struct {
+	sim       *amp.Sim
+	stacks    []*amp.Stack
+	delivered [][]MsgID // per process, in delivery order
+	payloads  []map[MsgID]any
+}
+
+// buildHarness constructs n processes hosting the component returned by mk
+// (which receives the process index and its Deliver upcall).
+func buildHarness(n int, mk func(i int, d Deliver) amp.Component, opts ...amp.SimOption) *harness {
+	h := &harness{
+		delivered: make([][]MsgID, n),
+		payloads:  make([]map[MsgID]any, n),
+	}
+	procs := make([]amp.Process, n)
+	h.stacks = make([]*amp.Stack, n)
+	for i := 0; i < n; i++ {
+		i := i
+		h.payloads[i] = make(map[MsgID]any)
+		d := func(id MsgID, payload any) {
+			h.delivered[i] = append(h.delivered[i], id)
+			h.payloads[i][id] = payload
+		}
+		h.stacks[i] = amp.NewStack(mk(i, d))
+		procs[i] = h.stacks[i]
+	}
+	h.sim = amp.NewSim(procs, opts...)
+	return h
+}
+
+func (h *harness) comp(i int) amp.Component { return h.stacks[i].Component(0) }
+
+func TestBestEffortLosesOnCrash(t *testing.T) {
+	// Crash the broadcaster after 2 sends: only a prefix receives, and
+	// best-effort does nothing about it — the §5.1 motivation.
+	n := 5
+	h := buildHarness(n, func(_ int, d Deliver) amp.Component { return NewBestEffort(d) })
+	be := h.comp(0).(*BestEffort)
+	h.sim.CrashAfterSends(0, 2)
+	h.sim.Schedule(1, func() { be.Broadcast(h.ctx(0), "m") })
+	h.sim.Run(0)
+	total := 0
+	for i := 1; i < n; i++ {
+		total += len(h.delivered[i])
+	}
+	if total >= n-1 {
+		t.Fatalf("best-effort delivered to %d despite crash (want a strict subset)", total)
+	}
+	if total == 0 {
+		t.Fatal("expected the 2-send prefix to reach someone")
+	}
+}
+
+// ctx exposes a process's context for Schedule-driven invocations.
+func (h *harness) ctx(i int) amp.Context { return h.stacks[i].Ctx(0) }
+
+func TestReliableAllOrNoneUnderSenderCrash(t *testing.T) {
+	// E8's core claim: for EVERY send-prefix k, after a sender crash all
+	// correct processes deliver the same set — either nobody or everybody.
+	n := 5
+	for k := 0; k <= 2*n; k++ {
+		h := buildHarness(n, func(_ int, d Deliver) amp.Component { return NewReliable(d) })
+		rb := h.comp(0).(*Reliable)
+		h.sim.CrashAfterSends(0, k)
+		h.sim.Schedule(1, func() { rb.Broadcast(h.ctx(0), "payload") })
+		h.sim.Run(0)
+		counts := make([]int, 0, n-1)
+		for i := 1; i < n; i++ {
+			counts = append(counts, len(h.delivered[i]))
+		}
+		for _, c := range counts[1:] {
+			if c != counts[0] {
+				t.Fatalf("k=%d: all-or-none violated among correct processes: %v", k, counts)
+			}
+		}
+		if counts[0] > 1 {
+			t.Fatalf("k=%d: duplicate deliveries: %v", k, counts)
+		}
+	}
+}
+
+func TestReliableDeliversWithoutCrash(t *testing.T) {
+	n := 4
+	h := buildHarness(n, func(_ int, d Deliver) amp.Component { return NewReliable(d) })
+	rb := h.comp(2).(*Reliable)
+	h.sim.Schedule(1, func() { rb.Broadcast(h.ctx(2), 42) })
+	h.sim.Run(0)
+	for i := 0; i < n; i++ {
+		if len(h.delivered[i]) != 1 {
+			t.Fatalf("process %d delivered %d messages, want 1", i, len(h.delivered[i]))
+		}
+		if h.payloads[i][h.delivered[i][0]] != 42 {
+			t.Fatalf("process %d wrong payload", i)
+		}
+	}
+}
+
+func TestReliableValidityOwnMessages(t *testing.T) {
+	// A correct broadcaster delivers its own message.
+	n := 3
+	h := buildHarness(n, func(_ int, d Deliver) amp.Component { return NewReliable(d) })
+	rb := h.comp(0).(*Reliable)
+	h.sim.Schedule(1, func() { rb.Broadcast(h.ctx(0), "self") })
+	h.sim.Run(0)
+	if len(h.delivered[0]) != 1 {
+		t.Fatal("broadcaster did not deliver its own message")
+	}
+}
+
+func TestUniformMajorityGate(t *testing.T) {
+	// Uniform delivery requires a majority of relays: with 3 of 5
+	// processes crashed from the start, nobody delivers... but with only 2
+	// crashed (t < n/2), everyone correct delivers.
+	n := 5
+	build := func(crashes int) int {
+		h := buildHarness(n, func(_ int, d Deliver) amp.Component { return NewUniform(n, d) })
+		ub := h.comp(0).(*Uniform)
+		for c := 0; c < crashes; c++ {
+			h.sim.CrashAt(n-1-c, 0)
+		}
+		h.sim.Schedule(1, func() { ub.Broadcast(h.ctx(0), "u") })
+		h.sim.Run(0)
+		total := 0
+		for i := 0; i < n-crashes; i++ {
+			total += len(h.delivered[i])
+		}
+		return total
+	}
+	if got := build(2); got != 3 {
+		t.Fatalf("2 crashes: %d deliveries among correct, want 3", got)
+	}
+	if got := build(3); got != 0 {
+		t.Fatalf("3 crashes (t >= n/2): %d deliveries, want 0 (liveness lost, uniformity kept)", got)
+	}
+}
+
+func TestFIFOOrderPerSender(t *testing.T) {
+	// Sender broadcasts 1..5 with randomized delays: every process must
+	// deliver them in FIFO order.
+	n := 4
+	for seed := int64(0); seed < 10; seed++ {
+		h := buildHarness(n, func(_ int, d Deliver) amp.Component { return NewFIFO(d) },
+			amp.WithSeed(seed), amp.WithDelay(amp.UniformDelay{Min: 1, Max: 20}))
+		f := h.comp(1).(*FIFO)
+		h.sim.Schedule(1, func() {
+			for v := 1; v <= 5; v++ {
+				f.Broadcast(h.ctx(1), v)
+			}
+		})
+		h.sim.Run(0)
+		for i := 0; i < n; i++ {
+			if len(h.delivered[i]) != 5 {
+				t.Fatalf("seed %d: process %d delivered %d, want 5", seed, i, len(h.delivered[i]))
+			}
+			for j, id := range h.delivered[i] {
+				if id.Seq != j {
+					t.Fatalf("seed %d: process %d out of FIFO order: %v", seed, i, h.delivered[i])
+				}
+				if h.payloads[i][id] != j+1 {
+					t.Fatalf("seed %d: payload mismatch at %d", seed, j)
+				}
+			}
+		}
+	}
+}
+
+func TestFIFOInterleavedSenders(t *testing.T) {
+	// Two senders interleaved: FIFO is per-sender only.
+	n := 3
+	h := buildHarness(n, func(_ int, d Deliver) amp.Component { return NewFIFO(d) },
+		amp.WithDelay(amp.UniformDelay{Min: 1, Max: 15}), amp.WithSeed(3))
+	f0 := h.comp(0).(*FIFO)
+	f1 := h.comp(1).(*FIFO)
+	h.sim.Schedule(1, func() {
+		f0.Broadcast(h.ctx(0), "a0")
+		f1.Broadcast(h.ctx(1), "b0")
+		f0.Broadcast(h.ctx(0), "a1")
+		f1.Broadcast(h.ctx(1), "b1")
+	})
+	h.sim.Run(0)
+	for i := 0; i < n; i++ {
+		perSender := map[int][]int{}
+		for _, id := range h.delivered[i] {
+			perSender[id.Sender] = append(perSender[id.Sender], id.Seq)
+		}
+		for s, seqs := range perSender {
+			for j, sq := range seqs {
+				if sq != j {
+					t.Fatalf("process %d sender %d seqs %v not FIFO", i, s, seqs)
+				}
+			}
+		}
+		if len(h.delivered[i]) != 4 {
+			t.Fatalf("process %d delivered %d, want 4", i, len(h.delivered[i]))
+		}
+	}
+}
+
+func TestMsgIDString(t *testing.T) {
+	if s := (MsgID{Sender: 3, Seq: 7}).String(); s != "3#7" {
+		t.Fatalf("String = %q", s)
+	}
+}

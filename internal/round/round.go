@@ -1,0 +1,251 @@
+// Package round implements the synchronous lock-step computation model of
+// §3.1 of the paper (often called the LOCAL model): n reliable processes on
+// a connected graph execute a sequence of rounds, each made of a send
+// phase, a receive phase, and a local computation phase. The fundamental
+// synchrony property — a message sent in round r is received in round r —
+// is provided by construction.
+//
+// A pluggable Adversary decides, every round, which messages are delivered
+// (§3.3's message adversaries); see package madv for the TREE and TOUR
+// adversaries and others.
+package round
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+
+	"distbasics/internal/graph"
+)
+
+// Message is an opaque round-message payload. Algorithms define their own
+// concrete types; the engine never inspects payloads.
+type Message any
+
+// Outbox maps a destination process id to the message sent to it during the
+// send phase. Destinations that are not neighbors in the base graph are
+// ignored by the engine (a process can only talk to its neighbors).
+type Outbox map[int]Message
+
+// Inbox maps a sender process id to the message received from it during the
+// receive phase, after adversary filtering.
+type Inbox map[int]Message
+
+// Env describes a process's static local environment: its identity, the
+// total number of processes, and its neighborhood in the base graph. Per the
+// model, a process initially knows only this plus its own input.
+type Env struct {
+	ID        int
+	N         int
+	Neighbors []int
+}
+
+// Process is a synchronous algorithm run at one vertex.
+//
+// The engine calls Init once, then for each round r = 1, 2, ... calls Send
+// then Compute. A process that returns true from Compute has halted: it
+// takes no further part in the computation (it sends no messages and
+// receives none) and its Output is final.
+type Process interface {
+	Init(env Env)
+	Send(r int) Outbox
+	Compute(r int, in Inbox) (halt bool)
+	Output() any
+}
+
+// Adversary produces the directed communication graph G_r of each round: an
+// arc u->v means the message sent by u to v in round r (if any) is
+// delivered. Per §3.3 the adversary may read process states at the start of
+// the round, so it receives the live process slice (it must not mutate it).
+type Adversary interface {
+	Graph(r int, base *graph.Graph, procs []Process) *graph.Digraph
+}
+
+// AdversaryFunc adapts a function to the Adversary interface.
+type AdversaryFunc func(r int, base *graph.Graph, procs []Process) *graph.Digraph
+
+// Graph implements Adversary.
+func (f AdversaryFunc) Graph(r int, base *graph.Graph, procs []Process) *graph.Digraph {
+	return f(r, base, procs)
+}
+
+// None is the empty adversary adv:∅ of §3.3 — it suppresses no message, so
+// G_r is the full symmetric digraph of the base graph, every round. With
+// None the system is the most powerful synchronous model SMPn[adv:∅].
+type None struct{}
+
+// Graph implements Adversary.
+func (None) Graph(_ int, base *graph.Graph, _ []Process) *graph.Digraph {
+	return graph.DigraphFromGraph(base)
+}
+
+// Result reports the outcome of a synchronous execution.
+type Result struct {
+	// Rounds is the number of rounds executed (the model's time complexity
+	// measure, §3.2).
+	Rounds int
+	// AllHalted reports whether every process halted before MaxRounds.
+	AllHalted bool
+	// Outputs holds each process's Output() at the end of the run.
+	Outputs []any
+	// HaltRound[i] is the round at which process i halted, or 0 if it never
+	// halted.
+	HaltRound []int
+	// MessagesSent counts messages passed to the engine over all rounds
+	// (before adversary suppression); MessagesDelivered counts those
+	// actually delivered.
+	MessagesSent      int
+	MessagesDelivered int
+}
+
+// Option configures a System.
+type Option func(*System)
+
+// WithAdversary installs a message adversary. The default is None (adv:∅).
+func WithAdversary(a Adversary) Option {
+	return func(s *System) { s.adv = a }
+}
+
+// WithParallelCompute runs each round's Compute phase concurrently, one
+// goroutine per process, with a barrier between rounds. Results are
+// identical to sequential execution because a process only touches its own
+// state; this exists to exercise the algorithms under real concurrency.
+func WithParallelCompute() Option {
+	return func(s *System) { s.parallel = true }
+}
+
+// WithTrace installs a per-round callback invoked after each round's
+// delivery with the round number and the adversary graph used.
+func WithTrace(fn func(r int, g *graph.Digraph)) Option {
+	return func(s *System) { s.trace = fn }
+}
+
+// System is a synchronous system SMPn[adv:AD]: a base graph, one Process
+// per vertex, and a message adversary.
+type System struct {
+	base     *graph.Graph
+	procs    []Process
+	adv      Adversary
+	parallel bool
+	trace    func(r int, g *graph.Digraph)
+}
+
+// ErrSize is returned when the process slice does not match the graph.
+var ErrSize = errors.New("round: len(procs) must equal base.N()")
+
+// NewSystem builds a synchronous system over base with the given processes
+// (procs[i] runs at vertex i).
+func NewSystem(base *graph.Graph, procs []Process, opts ...Option) (*System, error) {
+	if base == nil || len(procs) != base.N() {
+		return nil, fmt.Errorf("%w: %d procs, %d vertices", ErrSize, len(procs), base.N())
+	}
+	s := &System{base: base, procs: procs, adv: None{}}
+	for _, o := range opts {
+		o(s)
+	}
+	return s, nil
+}
+
+// Run executes rounds 1..maxRounds, or fewer if every process halts first.
+// Init is called on every process before round 1.
+func (s *System) Run(maxRounds int) (*Result, error) {
+	if maxRounds < 0 {
+		return nil, fmt.Errorf("round: maxRounds must be >= 0, got %d", maxRounds)
+	}
+	n := s.base.N()
+	for i, p := range s.procs {
+		p.Init(Env{ID: i, N: n, Neighbors: s.base.Neighbors(i)})
+	}
+	res := &Result{
+		Outputs:   make([]any, n),
+		HaltRound: make([]int, n),
+	}
+	halted := make([]bool, n)
+	haltedCount := 0
+
+	for r := 1; r <= maxRounds && haltedCount < n; r++ {
+		res.Rounds = r
+
+		// Send phase: collect outboxes from live processes, restricted to
+		// base-graph neighbors.
+		outs := make([]Outbox, n)
+		for i, p := range s.procs {
+			if halted[i] {
+				continue
+			}
+			out := p.Send(r)
+			filtered := make(Outbox, len(out))
+			for dst, m := range out {
+				if s.base.HasEdge(i, dst) {
+					filtered[dst] = m
+					res.MessagesSent++
+				}
+			}
+			outs[i] = filtered
+		}
+
+		// Adversary chooses G_r; arcs not in G_r are suppressed.
+		gr := s.adv.Graph(r, s.base, s.procs)
+		if s.trace != nil {
+			s.trace(r, gr)
+		}
+
+		// Receive phase: build inboxes.
+		ins := make([]Inbox, n)
+		for i := range ins {
+			ins[i] = make(Inbox)
+		}
+		for src, out := range outs {
+			for dst, m := range out {
+				if halted[dst] {
+					continue
+				}
+				if gr == nil || gr.HasArc(src, dst) {
+					ins[dst][src] = m
+					res.MessagesDelivered++
+				}
+			}
+		}
+
+		// Local computation phase.
+		if s.parallel {
+			var wg sync.WaitGroup
+			haltFlags := make([]bool, n)
+			for i := range s.procs {
+				if halted[i] {
+					continue
+				}
+				wg.Add(1)
+				go func(i int) {
+					defer wg.Done()
+					haltFlags[i] = s.procs[i].Compute(r, ins[i])
+				}(i)
+			}
+			wg.Wait()
+			for i, h := range haltFlags {
+				if h && !halted[i] {
+					halted[i] = true
+					res.HaltRound[i] = r
+					haltedCount++
+				}
+			}
+		} else {
+			for i, p := range s.procs {
+				if halted[i] {
+					continue
+				}
+				if p.Compute(r, ins[i]) {
+					halted[i] = true
+					res.HaltRound[i] = r
+					haltedCount++
+				}
+			}
+		}
+	}
+
+	res.AllHalted = haltedCount == n
+	for i, p := range s.procs {
+		res.Outputs[i] = p.Output()
+	}
+	return res, nil
+}

@@ -1,0 +1,249 @@
+package round
+
+import (
+	"testing"
+
+	"distbasics/internal/graph"
+)
+
+// echoProc sends its id to all neighbors each round and records what it
+// receives; halts after HaltAfter rounds.
+type echoProc struct {
+	HaltAfter int
+	env       Env
+	received  map[int]int // sender -> count
+}
+
+func (p *echoProc) Init(env Env) {
+	p.env = env
+	p.received = make(map[int]int)
+}
+
+func (p *echoProc) Send(_ int) Outbox {
+	out := make(Outbox)
+	for _, nb := range p.env.Neighbors {
+		out[nb] = p.env.ID
+	}
+	return out
+}
+
+func (p *echoProc) Compute(r int, in Inbox) bool {
+	for src := range in {
+		p.received[src]++
+	}
+	return r >= p.HaltAfter
+}
+
+func (p *echoProc) Output() any { return p.received }
+
+func newEchoSystem(t *testing.T, g *graph.Graph, haltAfter int, opts ...Option) (*System, []*echoProc) {
+	t.Helper()
+	procs := make([]Process, g.N())
+	eps := make([]*echoProc, g.N())
+	for i := range procs {
+		ep := &echoProc{HaltAfter: haltAfter}
+		procs[i] = ep
+		eps[i] = ep
+	}
+	sys, err := NewSystem(g, procs, opts...)
+	if err != nil {
+		t.Fatalf("NewSystem: %v", err)
+	}
+	return sys, eps
+}
+
+func TestNewSystemSizeMismatch(t *testing.T) {
+	g := graph.Ring(4)
+	if _, err := NewSystem(g, make([]Process, 3)); err == nil {
+		t.Fatal("expected size mismatch error")
+	}
+}
+
+func TestRunNegativeRounds(t *testing.T) {
+	g := graph.Ring(3)
+	sys, _ := newEchoSystem(t, g, 1)
+	if _, err := sys.Run(-1); err == nil {
+		t.Fatal("expected error on negative maxRounds")
+	}
+}
+
+func TestSynchronyProperty(t *testing.T) {
+	// On a ring with no adversary, after 1 round each process has received
+	// exactly one message from each of its two neighbors.
+	g := graph.Ring(5)
+	sys, eps := newEchoSystem(t, g, 1)
+	res, err := sys.Run(10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Rounds != 1 || !res.AllHalted {
+		t.Fatalf("Rounds=%d AllHalted=%v, want 1/true", res.Rounds, res.AllHalted)
+	}
+	for i, ep := range eps {
+		if len(ep.received) != 2 {
+			t.Errorf("process %d received from %d senders, want 2", i, len(ep.received))
+		}
+		for src, cnt := range ep.received {
+			if !g.HasEdge(i, src) {
+				t.Errorf("process %d received from non-neighbor %d", i, src)
+			}
+			if cnt != 1 {
+				t.Errorf("process %d received %d messages from %d, want 1", i, cnt, src)
+			}
+		}
+	}
+	if res.MessagesSent != 10 || res.MessagesDelivered != 10 {
+		t.Errorf("sent=%d delivered=%d, want 10/10", res.MessagesSent, res.MessagesDelivered)
+	}
+}
+
+func TestNonNeighborSendsDropped(t *testing.T) {
+	// A process that addresses a non-neighbor: the engine must ignore it.
+	g := graph.Path(3) // 0-1-2; 0 and 2 are not adjacent
+	bad := &spamProc{target: 2}
+	procs := []Process{bad, &spamProc{target: -1}, &sinkProc{}}
+	sys, err := NewSystem(g, procs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := sys.Run(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.MessagesSent != 0 {
+		t.Fatalf("MessagesSent = %d, want 0 (non-neighbor sends dropped)", res.MessagesSent)
+	}
+	if got := procs[2].(*sinkProc).count; got != 0 {
+		t.Fatalf("sink received %d messages, want 0", got)
+	}
+}
+
+type spamProc struct{ target int }
+
+func (p *spamProc) Init(Env)                    {}
+func (p *spamProc) Send(int) Outbox             { return Outbox{p.target: "x"} }
+func (p *spamProc) Compute(r int, _ Inbox) bool { return r >= 1 }
+func (p *spamProc) Output() any                 { return nil }
+
+type sinkProc struct{ count int }
+
+func (p *sinkProc) Init(Env)        {}
+func (p *sinkProc) Send(int) Outbox { return nil }
+func (p *sinkProc) Compute(_ int, in Inbox) bool {
+	p.count += len(in)
+	return true
+}
+func (p *sinkProc) Output() any { return p.count }
+
+func TestHaltedProcessesStopParticipating(t *testing.T) {
+	// Process 0 halts after round 1; processes 1 and 2 run 3 rounds.
+	g := graph.Complete(3)
+	p0 := &echoProc{HaltAfter: 1}
+	p1 := &echoProc{HaltAfter: 3}
+	p2 := &echoProc{HaltAfter: 3}
+	sys, err := NewSystem(g, []Process{p0, p1, p2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := sys.Run(10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Rounds != 3 || !res.AllHalted {
+		t.Fatalf("Rounds=%d AllHalted=%v", res.Rounds, res.AllHalted)
+	}
+	// p1 heard from p0 only in round 1.
+	if p1.received[0] != 1 {
+		t.Errorf("p1 received %d messages from p0, want 1", p1.received[0])
+	}
+	// p1 heard from p2 every round.
+	if p1.received[2] != 3 {
+		t.Errorf("p1 received %d messages from p2, want 3", p1.received[2])
+	}
+	// Halt rounds recorded.
+	if res.HaltRound[0] != 1 || res.HaltRound[1] != 3 {
+		t.Errorf("HaltRound = %v", res.HaltRound)
+	}
+}
+
+func TestMaxRoundsExhaustion(t *testing.T) {
+	g := graph.Ring(3)
+	sys, _ := newEchoSystem(t, g, 100)
+	res, err := sys.Run(5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.AllHalted {
+		t.Fatal("AllHalted true despite exhausting maxRounds")
+	}
+	if res.Rounds != 5 {
+		t.Fatalf("Rounds = %d, want 5", res.Rounds)
+	}
+	if res.HaltRound[0] != 0 {
+		t.Fatalf("HaltRound[0] = %d, want 0 (never halted)", res.HaltRound[0])
+	}
+}
+
+func TestFullAdversarySuppressesEverything(t *testing.T) {
+	g := graph.Complete(4)
+	suppressAll := AdversaryFunc(func(_ int, base *graph.Graph, _ []Process) *graph.Digraph {
+		return graph.NewDigraph(base.N())
+	})
+	sys, eps := newEchoSystem(t, g, 2, WithAdversary(suppressAll))
+	res, err := sys.Run(5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.MessagesDelivered != 0 {
+		t.Fatalf("MessagesDelivered = %d, want 0", res.MessagesDelivered)
+	}
+	if res.MessagesSent == 0 {
+		t.Fatal("MessagesSent = 0, want > 0 (sends attempted)")
+	}
+	for i, ep := range eps {
+		if len(ep.received) != 0 {
+			t.Errorf("process %d received messages under adv:∞", i)
+		}
+	}
+}
+
+func TestParallelComputeMatchesSequential(t *testing.T) {
+	g := graph.Complete(6)
+	seqSys, seqProcs := newEchoSystem(t, g, 4)
+	parSys, parProcs := newEchoSystem(t, g, 4, WithParallelCompute())
+	seqRes, err := seqSys.Run(10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	parRes, err := parSys.Run(10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if seqRes.Rounds != parRes.Rounds || seqRes.MessagesDelivered != parRes.MessagesDelivered {
+		t.Fatalf("sequential %+v vs parallel %+v", seqRes, parRes)
+	}
+	for i := range seqProcs {
+		for src, cnt := range seqProcs[i].received {
+			if parProcs[i].received[src] != cnt {
+				t.Fatalf("process %d: parallel received %v, sequential %v", i, parProcs[i].received, seqProcs[i].received)
+			}
+		}
+	}
+}
+
+func TestTraceCallback(t *testing.T) {
+	g := graph.Ring(3)
+	var rounds []int
+	sys, _ := newEchoSystem(t, g, 3, WithTrace(func(r int, d *graph.Digraph) {
+		rounds = append(rounds, r)
+		if d == nil || !d.IsSymmetric() {
+			t.Errorf("round %d: adversary graph not symmetric under None", r)
+		}
+	}))
+	if _, err := sys.Run(10); err != nil {
+		t.Fatal(err)
+	}
+	if len(rounds) != 3 || rounds[0] != 1 || rounds[2] != 3 {
+		t.Fatalf("trace rounds = %v", rounds)
+	}
+}

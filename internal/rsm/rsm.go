@@ -1,0 +1,243 @@
+// Package rsm implements universality in AMPn,t[t < n/2] (§5.1 of the
+// paper): total-order (TO) reliable broadcast built on consensus, and a
+// replicated state machine (Lamport's "how to duplicate a state machine",
+// [41]) on top of it. All replicas apply the same operation sequence to
+// their local copies, ensuring mutual consistency — and since TO-broadcast
+// requires consensus, it inherits consensus's impossibility in
+// AMPn,t[t > 0] without an oracle; here the oracle is Ω.
+package rsm
+
+import (
+	"sort"
+
+	"distbasics/internal/amp"
+	"distbasics/internal/fd"
+	"distbasics/internal/mpcons"
+	"distbasics/internal/rbcast"
+)
+
+// Entry is one totally-ordered application message.
+type Entry struct {
+	ID      rbcast.MsgID
+	Payload any
+}
+
+// batch is the value agreed per consensus slot: a sorted set of entries.
+type batch []Entry
+
+// DeliverFn is the total-order delivery upcall: invoked exactly once per
+// message, in the same order at every replica.
+type DeliverFn func(e Entry, at amp.Time)
+
+// TOBroadcast is the total-order reliable broadcast coordinator. It is an
+// amp.Component designed to share a Stack with an fd.Detector and MaxSlots
+// mpcons.Synod instances; use NewNode to wire the whole stack.
+type TOBroadcast struct {
+	omega     *fd.Detector
+	onDeliver DeliverFn
+
+	nextSeq   int
+	pending   map[rbcast.MsgID]any
+	delivered map[rbcast.MsgID]bool
+	relayed   map[rbcast.MsgID]bool
+
+	decided     map[int]batch
+	nextDecide  int // first undecided slot (gates synod s)
+	nextDeliver int // first undelivered slot
+}
+
+// toPayload disseminates an application message to all replicas' pending
+// sets (eager reliable broadcast).
+type toPayload struct {
+	ID      rbcast.MsgID
+	Payload any
+}
+
+// newTOBroadcast is internal; NewNode wires it with its synods.
+func newTOBroadcast(omega *fd.Detector, onDeliver DeliverFn) *TOBroadcast {
+	return &TOBroadcast{
+		omega:     omega,
+		onDeliver: onDeliver,
+		pending:   make(map[rbcast.MsgID]any),
+		delivered: make(map[rbcast.MsgID]bool),
+		relayed:   make(map[rbcast.MsgID]bool),
+		decided:   make(map[int]batch),
+	}
+}
+
+// Init implements amp.Component.
+func (tb *TOBroadcast) Init(amp.Context) {}
+
+// Broadcast TO-broadcasts payload: it will be delivered at every correct
+// replica, in the same total order.
+func (tb *TOBroadcast) Broadcast(ctx amp.Context, payload any) rbcast.MsgID {
+	id := rbcast.MsgID{Sender: ctx.ID(), Seq: tb.nextSeq}
+	tb.nextSeq++
+	tb.pending[id] = payload
+	tb.relayed[id] = true
+	ctx.Broadcast(toPayload{ID: id, Payload: payload})
+	return id
+}
+
+// OnMessage implements amp.Component (payload dissemination only; slot
+// agreement arrives via synod decision callbacks).
+func (tb *TOBroadcast) OnMessage(ctx amp.Context, _ int, msg amp.Message) {
+	m, ok := msg.(toPayload)
+	if !ok {
+		return
+	}
+	if !tb.relayed[m.ID] {
+		tb.relayed[m.ID] = true
+		ctx.Broadcast(m) // eager relay: reliable dissemination
+	}
+	if !tb.delivered[m.ID] {
+		tb.pending[m.ID] = m.Payload
+	}
+}
+
+// OnTimer implements amp.Component.
+func (tb *TOBroadcast) OnTimer(amp.Context, int) {}
+
+// proposal builds the batch for the next slot: all known-undelivered
+// messages, in deterministic (MsgID) order.
+func (tb *TOBroadcast) proposal() any {
+	b := make(batch, 0, len(tb.pending))
+	for id, p := range tb.pending {
+		b = append(b, Entry{ID: id, Payload: p})
+	}
+	sort.Slice(b, func(i, j int) bool {
+		if b[i].ID.Sender != b[j].ID.Sender {
+			return b[i].ID.Sender < b[j].ID.Sender
+		}
+		return b[i].ID.Seq < b[j].ID.Seq
+	})
+	return b
+}
+
+// hasPending reports whether there is anything to order.
+func (tb *TOBroadcast) hasPending() bool { return len(tb.pending) > 0 }
+
+// onSlotDecide records slot s's batch and delivers ready slots in order.
+func (tb *TOBroadcast) onSlotDecide(s int, v any, at amp.Time) {
+	b, ok := v.(batch)
+	if !ok {
+		b = nil
+	}
+	if _, dup := tb.decided[s]; !dup {
+		tb.decided[s] = b
+	}
+	if s == tb.nextDecide {
+		for {
+			if _, ok := tb.decided[tb.nextDecide]; !ok {
+				break
+			}
+			tb.nextDecide++
+		}
+	}
+	for {
+		db, ok := tb.decided[tb.nextDeliver]
+		if !ok {
+			return
+		}
+		for _, e := range db {
+			if tb.delivered[e.ID] {
+				continue
+			}
+			tb.delivered[e.ID] = true
+			delete(tb.pending, e.ID)
+			if tb.onDeliver != nil {
+				tb.onDeliver(e, at)
+			}
+		}
+		tb.nextDeliver++
+	}
+}
+
+// Node is one replica of a replicated state machine: a KV store whose
+// commands arrive via TO-broadcast.
+type Node struct {
+	Stack *amp.Stack
+	TO    *TOBroadcast
+	Omega *fd.Detector
+
+	state   map[string]any
+	applied []Entry
+}
+
+// Command is a state-machine command.
+type Command struct {
+	Op  string // "put" or "del"
+	Key string
+	Val any
+}
+
+// DefaultMaxSlots is the number of pre-wired consensus slots per node.
+const DefaultMaxSlots = 64
+
+// NewNode wires a replica: an Ω detector, a TO-broadcast coordinator, and
+// maxSlots (0 = DefaultMaxSlots) chained Synod instances, all in one
+// Stack. The returned Stack is the amp.Process to install in the
+// simulator at index == its process id.
+func NewNode(n int, maxSlots int) *Node {
+	if maxSlots <= 0 {
+		maxSlots = DefaultMaxSlots
+	}
+	node := &Node{state: make(map[string]any)}
+	det := fd.NewDetector(n)
+	tb := newTOBroadcast(det, func(e Entry, at amp.Time) { node.apply(e, at) })
+	comps := []amp.Component{det, tb}
+	for s := 0; s < maxSlots; s++ {
+		s := s
+		syn := mpcons.NewSynod(nil, det, func(v any, at amp.Time) {
+			tb.onSlotDecide(s, v, at)
+		})
+		syn.InputFn = tb.proposal
+		syn.Enabled = func() bool {
+			// Run slots in order, and only when there is work.
+			return tb.nextDecide == s && tb.hasPending()
+		}
+		comps = append(comps, syn)
+	}
+	node.Stack = amp.NewStack(comps...)
+	node.TO = tb
+	node.Omega = det
+	return node
+}
+
+// Submit TO-broadcasts a command from this replica. Must be called inside
+// the event loop (e.g. via Sim.Schedule).
+func (nd *Node) Submit(ctx amp.Context, cmd Command) rbcast.MsgID {
+	return nd.TO.Broadcast(ctx, cmd)
+}
+
+// Ctx returns the TO component's context (for Schedule-driven Submits).
+func (nd *Node) Ctx() amp.Context { return nd.Stack.Ctx(1) }
+
+// apply executes one delivered command on the local state.
+func (nd *Node) apply(e Entry, _ amp.Time) {
+	nd.applied = append(nd.applied, e)
+	cmd, ok := e.Payload.(Command)
+	if !ok {
+		return
+	}
+	switch cmd.Op {
+	case "put":
+		nd.state[cmd.Key] = cmd.Val
+	case "del":
+		delete(nd.state, cmd.Key)
+	}
+}
+
+// Applied returns the replica's applied sequence (mutual-consistency
+// checks compare these across replicas).
+func (nd *Node) Applied() []Entry {
+	out := make([]Entry, len(nd.applied))
+	copy(out, nd.applied)
+	return out
+}
+
+// Get reads a key from the replica's local state.
+func (nd *Node) Get(key string) any { return nd.state[key] }
+
+// Len returns the number of applied commands.
+func (nd *Node) Len() int { return len(nd.applied) }

@@ -1,0 +1,117 @@
+package shm
+
+// Exhaustive interleaving exploration. Wait-free correctness claims (§4.2)
+// are universally quantified over schedules and crash patterns; for small
+// programs this explorer checks them by enumerating EVERY schedule (and,
+// optionally, every crash pattern), re-executing the program from scratch
+// along each branch. This is how the consensus-hierarchy table (E4) is
+// validated rather than asserted.
+
+// ExploreOpts configures an exhaustive exploration.
+type ExploreOpts struct {
+	// Factory builds a fresh program (fresh shared objects, fresh bodies).
+	// Called once per explored execution, so bodies must be deterministic.
+	Factory func() *Run
+	// MaxCrashes enables crash branching: at every decision point, in
+	// addition to stepping each enabled process, the explorer also tries
+	// crashing each enabled process, while fewer than MaxCrashes processes
+	// have crashed. In the wait-free model ASMn,n-1[∅] set it to n-1.
+	MaxCrashes int
+	// MaxSteps bounds each execution's total step count (0 means
+	// DefaultExploreSteps). Executions that hit the bound are reported to
+	// Check with Cutoff=true (e.g. livelocked obstruction-free runs).
+	MaxSteps int
+	// Check inspects each completed execution and returns "" if it is
+	// correct, or a description of the violation (which aborts the
+	// exploration).
+	Check func(out *Outcome) string
+	// MaxExecutions caps the number of executions explored (0 = unlimited).
+	MaxExecutions int
+}
+
+// DefaultExploreSteps bounds per-execution steps during exploration.
+const DefaultExploreSteps = 10_000
+
+// ExploreResult summarizes an exploration.
+type ExploreResult struct {
+	// Executions is the number of complete executions checked.
+	Executions int
+	// Violation describes the first violating execution ("" if none).
+	Violation string
+	// Schedule is the decision sequence of the violating execution.
+	Schedule []Decision
+	// Truncated reports that MaxExecutions stopped the search early.
+	Truncated bool
+}
+
+// Explore exhaustively enumerates schedules (DFS over the decision tree)
+// and checks every complete execution.
+func Explore(opts ExploreOpts) *ExploreResult {
+	res := &ExploreResult{}
+	maxSteps := opts.MaxSteps
+	if maxSteps <= 0 {
+		maxSteps = DefaultExploreSteps
+	}
+	e := &explorer{opts: opts, maxSteps: maxSteps, res: res}
+	e.dfs(nil, 0)
+	return res
+}
+
+type explorer struct {
+	opts     ExploreOpts
+	maxSteps int
+	res      *ExploreResult
+	stopped  bool
+}
+
+// dfs explores all extensions of the given schedule prefix. crashes counts
+// CrashProc decisions already in the prefix.
+func (e *explorer) dfs(prefix []Decision, crashes int) {
+	if e.stopped {
+		return
+	}
+	if e.opts.MaxExecutions > 0 && e.res.Executions >= e.opts.MaxExecutions {
+		e.res.Truncated = true
+		e.stopped = true
+		return
+	}
+
+	// Execute the prefix; FixedPolicy issues StopRun at its end, and
+	// executeInternal reports which processes were enabled there.
+	run := e.opts.Factory()
+	sched := make([]Decision, len(prefix))
+	copy(sched, prefix)
+	out, enabled := executeInternal(run, &FixedPolicy{Schedule: sched}, e.maxSteps)
+
+	if enabled == nil {
+		// The run ended within the prefix (all processes finished/crashed,
+		// or the step budget tripped): this is a leaf.
+		e.res.Executions++
+		if reason := e.opts.Check(out); reason != "" {
+			e.res.Violation = reason
+			e.res.Schedule = sched
+			e.stopped = true
+		}
+		return
+	}
+
+	for _, pid := range enabled {
+		e.dfs(append(prefix, Decision{Kind: StepProc, Pid: pid}), crashes)
+		if e.stopped {
+			return
+		}
+		if crashes < e.opts.MaxCrashes {
+			e.dfs(append(prefix, Decision{Kind: CrashProc, Pid: pid}), crashes+1)
+			if e.stopped {
+				return
+			}
+		}
+	}
+}
+
+// ReplayViolation re-executes a violating schedule and returns its outcome
+// (for debugging reports).
+func ReplayViolation(factory func() *Run, schedule []Decision, maxSteps int) *Outcome {
+	out, _ := executeInternal(factory(), &FixedPolicy{Schedule: schedule}, maxSteps)
+	return out
+}

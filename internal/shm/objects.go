@@ -1,0 +1,278 @@
+package shm
+
+// This file implements the atomic base objects of §4 of the paper: the
+// read/write registers of ASMn,t[∅] and the hardware synchronization
+// primitives of Herlihy's hierarchy (§4.2) — Test&Set, Fetch&Add, Swap,
+// Compare&Swap, LL/SC, sticky bit, and atomic queue/stack objects.
+//
+// Every operation takes a *Proc and executes as a single atomic step of
+// that process under the ambient scheduler; objects hold no locks of their
+// own, so atomicity (and the adversary's power over interleavings) is
+// entirely the scheduler's.
+
+// Register is an atomic multi-writer multi-reader read/write register.
+// Its consensus number is 1 (§4.2).
+type Register struct{ v any }
+
+// NewRegister returns a register initialized to init.
+func NewRegister(init any) *Register { return &Register{v: init} }
+
+// Read returns the current value.
+func (r *Register) Read(p *Proc) any {
+	var v any
+	p.atomic(func() { v = r.v })
+	return v
+}
+
+// Write stores v.
+func (r *Register) Write(p *Proc, v any) {
+	p.atomic(func() { r.v = v })
+}
+
+// RegisterArray is a fixed-size array of atomic registers, the usual shape
+// of shared memory in the paper's algorithms (REG[1..m]).
+type RegisterArray struct{ regs []*Register }
+
+// NewRegisterArray returns an array of m registers all initialized to init.
+func NewRegisterArray(m int, init any) *RegisterArray {
+	a := &RegisterArray{regs: make([]*Register, m)}
+	for i := range a.regs {
+		a.regs[i] = NewRegister(init)
+	}
+	return a
+}
+
+// Len returns the number of registers.
+func (a *RegisterArray) Len() int { return len(a.regs) }
+
+// Reg returns the i-th register.
+func (a *RegisterArray) Reg(i int) *Register { return a.regs[i] }
+
+// Collect reads every register one at a time (m separate atomic steps —
+// NOT a snapshot; concurrent writes may interleave, which is exactly the
+// subtlety the paper's algorithms must cope with).
+func (a *RegisterArray) Collect(p *Proc) []any {
+	out := make([]any, len(a.regs))
+	for i, r := range a.regs {
+		out[i] = r.Read(p)
+	}
+	return out
+}
+
+// TestAndSet is an atomic test-and-set bit. Consensus number 2 (§4.2).
+type TestAndSet struct{ set bool }
+
+// NewTestAndSet returns an unset test-and-set object.
+func NewTestAndSet() *TestAndSet { return &TestAndSet{} }
+
+// TestAndSet atomically sets the bit and returns the previous value; the
+// first caller sees false ("winner"), everyone after sees true.
+func (t *TestAndSet) TestAndSet(p *Proc) bool {
+	var old bool
+	p.atomic(func() {
+		old = t.set
+		t.set = true
+	})
+	return old
+}
+
+// Read returns the current bit without modifying it.
+func (t *TestAndSet) Read(p *Proc) bool {
+	var v bool
+	p.atomic(func() { v = t.set })
+	return v
+}
+
+// FetchAndAdd is an atomic counter with fetch&add. Consensus number 2.
+type FetchAndAdd struct{ n int64 }
+
+// NewFetchAndAdd returns a counter initialized to init.
+func NewFetchAndAdd(init int64) *FetchAndAdd { return &FetchAndAdd{n: init} }
+
+// Add atomically adds delta and returns the previous value.
+func (f *FetchAndAdd) Add(p *Proc, delta int64) int64 {
+	var old int64
+	p.atomic(func() {
+		old = f.n
+		f.n += delta
+	})
+	return old
+}
+
+// Read returns the current value.
+func (f *FetchAndAdd) Read(p *Proc) int64 {
+	var v int64
+	p.atomic(func() { v = f.n })
+	return v
+}
+
+// Swap is an atomic swap register. Consensus number 2.
+type Swap struct{ v any }
+
+// NewSwap returns a swap register initialized to init.
+func NewSwap(init any) *Swap { return &Swap{v: init} }
+
+// Swap atomically stores v and returns the previous value.
+func (s *Swap) Swap(p *Proc, v any) any {
+	var old any
+	p.atomic(func() {
+		old = s.v
+		s.v = v
+	})
+	return old
+}
+
+// CompareAndSwap is an atomic compare&swap register. Consensus number ∞
+// (§4.2): it solves consensus for any number of processes.
+type CompareAndSwap struct{ v any }
+
+// NewCompareAndSwap returns a CAS register initialized to init.
+func NewCompareAndSwap(init any) *CompareAndSwap { return &CompareAndSwap{v: init} }
+
+// CompareAndSwap atomically replaces the value with new iff it equals old,
+// reporting success.
+func (c *CompareAndSwap) CompareAndSwap(p *Proc, old, new any) bool {
+	var ok bool
+	p.atomic(func() {
+		if c.v == old {
+			c.v = new
+			ok = true
+		}
+	})
+	return ok
+}
+
+// Read returns the current value.
+func (c *CompareAndSwap) Read(p *Proc) any {
+	var v any
+	p.atomic(func() { v = c.v })
+	return v
+}
+
+// LLSC is a load-linked/store-conditional cell. Consensus number ∞.
+type LLSC struct {
+	v       any
+	version uint64
+	links   map[int]uint64 // pid -> version observed at LL
+}
+
+// NewLLSC returns an LL/SC cell initialized to init.
+func NewLLSC(init any) *LLSC {
+	return &LLSC{v: init, links: make(map[int]uint64)}
+}
+
+// LL load-links the cell for process p and returns the current value.
+func (l *LLSC) LL(p *Proc) any {
+	var v any
+	p.atomic(func() {
+		l.links[p.id] = l.version
+		v = l.v
+	})
+	return v
+}
+
+// SC store-conditionally writes v: it succeeds iff no successful SC
+// occurred since p's last LL.
+func (l *LLSC) SC(p *Proc, v any) bool {
+	var ok bool
+	p.atomic(func() {
+		if linked, has := l.links[p.id]; has && linked == l.version {
+			l.v = v
+			l.version++
+			ok = true
+		}
+		delete(l.links, p.id)
+	})
+	return ok
+}
+
+// StickyBit is a sticky three-state cell: initially unset (-1); the first
+// Set wins and the value sticks forever. Consensus number ∞ (§4.2) — it is
+// essentially a hard-wired binary consensus object.
+type StickyBit struct{ v int }
+
+// NewStickyBit returns an unset sticky bit.
+func NewStickyBit() *StickyBit { return &StickyBit{v: -1} }
+
+// Set proposes b (0 or 1) and returns the stuck value (b if this was the
+// first Set, the earlier value otherwise).
+func (s *StickyBit) Set(p *Proc, b int) int {
+	var v int
+	p.atomic(func() {
+		if s.v == -1 {
+			s.v = b
+		}
+		v = s.v
+	})
+	return v
+}
+
+// Read returns the current value (-1 if unset).
+func (s *StickyBit) Read(p *Proc) int {
+	var v int
+	p.atomic(func() { v = s.v })
+	return v
+}
+
+// Queue is an atomic FIFO queue object (the hardware-queue of Herlihy's
+// hierarchy, consensus number 2 — not a wait-free implemented queue, which
+// is what the universal construction of §4.2 builds from consensus).
+type Queue struct{ items []any }
+
+// NewQueue returns a queue pre-loaded with the given items (front first).
+func NewQueue(items ...any) *Queue {
+	q := &Queue{items: make([]any, len(items))}
+	copy(q.items, items)
+	return q
+}
+
+// Enq atomically appends v.
+func (q *Queue) Enq(p *Proc, v any) {
+	p.atomic(func() { q.items = append(q.items, v) })
+}
+
+// Deq atomically removes and returns the front item; ok is false on empty.
+func (q *Queue) Deq(p *Proc) (v any, ok bool) {
+	p.atomic(func() {
+		if len(q.items) > 0 {
+			v = q.items[0]
+			q.items = q.items[1:]
+			ok = true
+		}
+	})
+	return v, ok
+}
+
+// Len returns the current length (one atomic step).
+func (q *Queue) Len(p *Proc) int {
+	var n int
+	p.atomic(func() { n = len(q.items) })
+	return n
+}
+
+// Stack is an atomic LIFO stack object, consensus number 2.
+type Stack struct{ items []any }
+
+// NewStack returns a stack pre-loaded with items (bottom first).
+func NewStack(items ...any) *Stack {
+	s := &Stack{items: make([]any, len(items))}
+	copy(s.items, items)
+	return s
+}
+
+// Push atomically pushes v.
+func (s *Stack) Push(p *Proc, v any) {
+	p.atomic(func() { s.items = append(s.items, v) })
+}
+
+// Pop atomically removes and returns the top item; ok is false on empty.
+func (s *Stack) Pop(p *Proc) (v any, ok bool) {
+	p.atomic(func() {
+		if n := len(s.items); n > 0 {
+			v = s.items[n-1]
+			s.items = s.items[:n-1]
+			ok = true
+		}
+	})
+	return v, ok
+}

@@ -1,0 +1,244 @@
+package shm
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+// direct returns a Proc whose steps execute immediately (single-threaded
+// unit testing of object semantics).
+func direct() *Proc {
+	return NewDirectProc(0)
+}
+
+func directAs(id int) *Proc {
+	return NewDirectProc(id)
+}
+
+func TestRegisterReadWrite(t *testing.T) {
+	p := direct()
+	r := NewRegister("init")
+	if got := r.Read(p); got != "init" {
+		t.Fatalf("Read = %v", got)
+	}
+	r.Write(p, 7)
+	if got := r.Read(p); got != 7 {
+		t.Fatalf("Read = %v", got)
+	}
+}
+
+func TestRegisterArrayCollect(t *testing.T) {
+	p := direct()
+	a := NewRegisterArray(3, 0)
+	a.Reg(1).Write(p, 11)
+	got := a.Collect(p)
+	if got[0] != 0 || got[1] != 11 || got[2] != 0 {
+		t.Fatalf("Collect = %v", got)
+	}
+	if a.Len() != 3 {
+		t.Fatalf("Len = %d", a.Len())
+	}
+}
+
+func TestTestAndSetFirstWins(t *testing.T) {
+	p := direct()
+	ts := NewTestAndSet()
+	if ts.Read(p) {
+		t.Fatal("initially set")
+	}
+	if ts.TestAndSet(p) {
+		t.Fatal("first TestAndSet returned true")
+	}
+	if !ts.TestAndSet(p) {
+		t.Fatal("second TestAndSet returned false")
+	}
+	if !ts.Read(p) {
+		t.Fatal("bit not set")
+	}
+}
+
+func TestFetchAndAdd(t *testing.T) {
+	p := direct()
+	f := NewFetchAndAdd(10)
+	if old := f.Add(p, 5); old != 10 {
+		t.Fatalf("Add returned %d, want 10", old)
+	}
+	if old := f.Add(p, -3); old != 15 {
+		t.Fatalf("Add returned %d, want 15", old)
+	}
+	if v := f.Read(p); v != 12 {
+		t.Fatalf("Read = %d, want 12", v)
+	}
+}
+
+func TestSwap(t *testing.T) {
+	p := direct()
+	s := NewSwap("a")
+	if old := s.Swap(p, "b"); old != "a" {
+		t.Fatalf("Swap = %v", old)
+	}
+	if old := s.Swap(p, "c"); old != "b" {
+		t.Fatalf("Swap = %v", old)
+	}
+}
+
+func TestCompareAndSwap(t *testing.T) {
+	p := direct()
+	c := NewCompareAndSwap(nil)
+	if !c.CompareAndSwap(p, nil, "x") {
+		t.Fatal("CAS(nil->x) failed")
+	}
+	if c.CompareAndSwap(p, nil, "y") {
+		t.Fatal("CAS(nil->y) succeeded after x installed")
+	}
+	if got := c.Read(p); got != "x" {
+		t.Fatalf("Read = %v", got)
+	}
+	if !c.CompareAndSwap(p, "x", "z") {
+		t.Fatal("CAS(x->z) failed")
+	}
+}
+
+func TestLLSC(t *testing.T) {
+	p0, p1 := directAs(0), directAs(1)
+	l := NewLLSC(0)
+	if v := l.LL(p0); v != 0 {
+		t.Fatalf("LL = %v", v)
+	}
+	// p1 LLs too, then p0 SCs successfully; p1's SC must fail.
+	l.LL(p1)
+	if !l.SC(p0, 1) {
+		t.Fatal("p0 SC failed with no intervening SC")
+	}
+	if l.SC(p1, 2) {
+		t.Fatal("p1 SC succeeded despite p0's intervening SC")
+	}
+	// SC without LL fails.
+	if l.SC(p1, 3) {
+		t.Fatal("SC without LL succeeded")
+	}
+	if v := l.LL(p1); v != 1 {
+		t.Fatalf("value = %v, want 1", v)
+	}
+	if !l.SC(p1, 9) {
+		t.Fatal("fresh LL/SC failed")
+	}
+}
+
+func TestStickyBit(t *testing.T) {
+	p := direct()
+	s := NewStickyBit()
+	if v := s.Read(p); v != -1 {
+		t.Fatalf("initial Read = %d, want -1", v)
+	}
+	if v := s.Set(p, 1); v != 1 {
+		t.Fatalf("first Set = %d, want 1", v)
+	}
+	if v := s.Set(p, 0); v != 1 {
+		t.Fatalf("second Set = %d, want 1 (sticky)", v)
+	}
+	if v := s.Read(p); v != 1 {
+		t.Fatalf("Read = %d, want 1", v)
+	}
+}
+
+func TestQueueFIFO(t *testing.T) {
+	p := direct()
+	q := NewQueue("w", "l")
+	if v, ok := q.Deq(p); !ok || v != "w" {
+		t.Fatalf("Deq = %v %v", v, ok)
+	}
+	q.Enq(p, "x")
+	if v, ok := q.Deq(p); !ok || v != "l" {
+		t.Fatalf("Deq = %v %v", v, ok)
+	}
+	if v, ok := q.Deq(p); !ok || v != "x" {
+		t.Fatalf("Deq = %v %v", v, ok)
+	}
+	if _, ok := q.Deq(p); ok {
+		t.Fatal("Deq on empty returned ok")
+	}
+	if q.Len(p) != 0 {
+		t.Fatal("Len != 0")
+	}
+}
+
+func TestStackLIFO(t *testing.T) {
+	p := direct()
+	s := NewStack()
+	s.Push(p, 1)
+	s.Push(p, 2)
+	if v, ok := s.Pop(p); !ok || v != 2 {
+		t.Fatalf("Pop = %v %v", v, ok)
+	}
+	if v, ok := s.Pop(p); !ok || v != 1 {
+		t.Fatalf("Pop = %v %v", v, ok)
+	}
+	if _, ok := s.Pop(p); ok {
+		t.Fatal("Pop on empty returned ok")
+	}
+}
+
+func TestSnapshotObject(t *testing.T) {
+	p0, p1 := directAs(0), directAs(1)
+	s := NewSnapshotObject(2, 0)
+	s.Update(p0, 10)
+	s.Update(p1, 20)
+	view := s.Scan(p0)
+	if view[0] != 10 || view[1] != 20 {
+		t.Fatalf("Scan = %v", view)
+	}
+}
+
+// Property: under arbitrary seeded schedules, concurrent FetchAndAdd never
+// loses increments (it is atomic), unlike read-then-write registers.
+func TestPropertyFAANeverLosesIncrements(t *testing.T) {
+	f := func(seed int64) bool {
+		faa := NewFetchAndAdd(0)
+		body := func(p *Proc) any {
+			for k := 0; k < 5; k++ {
+				faa.Add(p, 1)
+			}
+			return nil
+		}
+		run := &Run{Bodies: []func(*Proc) any{body, body, body}}
+		Execute(run, NewRandomPolicy(seed), 0)
+		return faa.Read(direct()) == 15
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: TestAndSet elects exactly one winner under any schedule.
+func TestPropertyTASUniqueWinner(t *testing.T) {
+	f := func(seed int64, crash bool) bool {
+		ts := NewTestAndSet()
+		body := func(p *Proc) any { return !ts.TestAndSet(p) } // true = winner
+		run := &Run{Bodies: []func(*Proc) any{body, body, body, body}}
+		pol := NewRandomPolicy(seed)
+		if crash {
+			pol.CrashProb = 0.1
+			pol.MaxCrashes = 3
+		}
+		out := Execute(run, pol, 0)
+		winners := 0
+		for i, o := range out.Outputs {
+			if out.Finished[i] && o == true {
+				winners++
+			}
+		}
+		// At most one winner ever; exactly one if nobody crashed.
+		if winners > 1 {
+			return false
+		}
+		anyCrash := false
+		for _, c := range out.Crashed {
+			anyCrash = anyCrash || c
+		}
+		return anyCrash || winners == 1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 120}); err != nil {
+		t.Fatal(err)
+	}
+}

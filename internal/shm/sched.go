@@ -1,0 +1,437 @@
+// Package shm implements the asynchronous shared-memory models of §4 of
+// the paper, ASMn,t[T]: n asynchronous crash-prone processes communicating
+// through atomic objects (read/write registers and the hardware primitives
+// of Herlihy's hierarchy).
+//
+// Atomicity and asynchrony are realized by routing every object operation
+// through a scheduler. Three schedulers are provided:
+//
+//   - Free: real goroutines; the Go runtime interleaves operations (each
+//     made atomic by a global mutex). Used for race-detector stress tests.
+//   - Controlled: a deterministic step-by-step scheduler driven by a
+//     Policy (seeded random, round-robin, fixed schedule, adversarial),
+//     with crash injection. Wait-freedom and obstruction-freedom are
+//     statements quantified over schedules, and this scheduler is what
+//     lets tests quantify.
+//   - the exhaustive Explorer (explore.go), which enumerates every
+//     interleaving of a small program — how the consensus-hierarchy claims
+//     of §4.2 are checked rather than merely asserted.
+package shm
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+)
+
+// Proc is a process's handle onto the shared-memory system: object
+// operations take a *Proc and become atomic steps of that process.
+//
+// A Proc carries two identities: the algorithm-visible id (returned by ID
+// and used by algorithms to index per-process registers) and the scheduler
+// identity (which process the step is charged to). They coincide except
+// for handles produced by DeriveProc.
+type Proc struct {
+	id   int // algorithm-visible identity
+	sid  int // scheduler identity
+	exec func(pid int, op func())
+}
+
+// ID returns the algorithm-visible process identity (0-based).
+func (p *Proc) ID() int { return p.id }
+
+// DeriveProc returns a handle that schedules as p but reports the given
+// algorithm identity — used when an algorithm re-indexes processes, such
+// as group-local ids inside a partition.
+func DeriveProc(p *Proc, id int) *Proc {
+	return &Proc{id: id, sid: p.sid, exec: p.exec}
+}
+
+// NewDirectProc returns a Proc whose atomic steps execute immediately with
+// no scheduler, for single-threaded unit tests of object semantics.
+func NewDirectProc(id int) *Proc {
+	return &Proc{id: id, sid: id, exec: func(_ int, op func()) { op() }}
+}
+
+// atomic performs op as one atomic step of this process. It may never
+// return: if the scheduler crashes the process, atomic unwinds the
+// process goroutine via a panic that the runtime recovers.
+func (p *Proc) atomic(op func()) { p.exec(p.sid, op) }
+
+// Yield consumes a scheduling step without touching shared memory. Spin
+// loops call it so a controlled scheduler can preempt (and charge) them.
+func (p *Proc) Yield() { p.atomic(func() {}) }
+
+// Atomic executes op as one atomic step of p. It is the extension point
+// for defining additional atomic base objects outside this package (e.g.
+// the k-simultaneous consensus object of package agreement): the entire op
+// body is linearized as a single step, exactly like the built-in objects'
+// operations. Op must not itself invoke object operations.
+func Atomic(p *Proc, op func()) { p.atomic(op) }
+
+// crashSignal unwinds a crashed process's goroutine.
+type crashSignal struct{}
+
+// Outcome reports a completed execution.
+type Outcome struct {
+	// Outputs[i] is the value returned by process i's body (nil if it
+	// crashed or was cut off).
+	Outputs []any
+	// Finished[i] reports whether process i's body ran to completion.
+	Finished []bool
+	// Crashed[i] reports whether process i was crashed by the scheduler.
+	Crashed []bool
+	// Steps is the total number of atomic steps granted.
+	Steps int
+	// Cutoff reports that the run stopped because the step budget was
+	// exhausted while some process was still running (e.g. a livelocked
+	// obstruction-free algorithm under a hostile schedule).
+	Cutoff bool
+	// StepsBy[i] counts atomic steps taken by process i.
+	StepsBy []int
+}
+
+// DecisionKind discriminates scheduler decisions.
+type DecisionKind int
+
+// Decision kinds. Enums start at 1 so the zero Decision is invalid.
+const (
+	// StepProc grants one atomic step to Pid.
+	StepProc DecisionKind = iota + 1
+	// CrashProc crashes Pid (it takes no further steps).
+	CrashProc
+	// StopRun aborts the execution (used by the exhaustive explorer when a
+	// schedule prefix is exhausted).
+	StopRun
+)
+
+// Decision is one scheduling choice.
+type Decision struct {
+	Kind DecisionKind
+	Pid  int
+}
+
+// Policy chooses the next decision given the ids of processes that are
+// enabled (alive and waiting to perform an atomic step). enabled is sorted
+// and non-empty; step is the number of steps granted so far.
+type Policy interface {
+	Next(enabled []int, step int) Decision
+}
+
+// RandomPolicy schedules uniformly among enabled processes and, with
+// probability CrashProb per decision, crashes a random enabled process
+// while fewer than MaxCrashes processes have crashed.
+type RandomPolicy struct {
+	Rng        *rand.Rand
+	CrashProb  float64
+	MaxCrashes int
+
+	crashes int
+}
+
+// NewRandomPolicy returns a crash-free uniform random policy.
+func NewRandomPolicy(seed int64) *RandomPolicy {
+	return &RandomPolicy{Rng: rand.New(rand.NewSource(seed))}
+}
+
+// Next implements Policy.
+func (p *RandomPolicy) Next(enabled []int, _ int) Decision {
+	pid := enabled[p.Rng.Intn(len(enabled))]
+	if p.crashes < p.MaxCrashes && p.Rng.Float64() < p.CrashProb {
+		p.crashes++
+		return Decision{Kind: CrashProc, Pid: pid}
+	}
+	return Decision{Kind: StepProc, Pid: pid}
+}
+
+// RoundRobinPolicy cycles through enabled processes in id order.
+type RoundRobinPolicy struct{ last int }
+
+// Next implements Policy.
+func (p *RoundRobinPolicy) Next(enabled []int, _ int) Decision {
+	for _, pid := range enabled {
+		if pid > p.last {
+			p.last = pid
+			return Decision{Kind: StepProc, Pid: pid}
+		}
+	}
+	p.last = enabled[0]
+	return Decision{Kind: StepProc, Pid: enabled[0]}
+}
+
+// SoloPolicy runs a random schedule for Prefix steps, then schedules only
+// process Solo — the "executes in isolation for a long enough period"
+// premise of obstruction-freedom (§4.3). Once solo, every other process is
+// held (not crashed).
+type SoloPolicy struct {
+	Rng    *rand.Rand
+	Prefix int
+	Solo   int
+}
+
+// Next implements Policy.
+func (p *SoloPolicy) Next(enabled []int, step int) Decision {
+	if step < p.Prefix {
+		return Decision{Kind: StepProc, Pid: enabled[p.Rng.Intn(len(enabled))]}
+	}
+	for _, pid := range enabled {
+		if pid == p.Solo {
+			return Decision{Kind: StepProc, Pid: pid}
+		}
+	}
+	// Solo process finished; let the rest run (round-robin) so the run can
+	// end.
+	return Decision{Kind: StepProc, Pid: enabled[0]}
+}
+
+// FixedPolicy replays an explicit decision sequence, then issues StopRun.
+type FixedPolicy struct {
+	Schedule []Decision
+	next     int
+}
+
+// Next implements Policy.
+func (p *FixedPolicy) Next(enabled []int, _ int) Decision {
+	for p.next < len(p.Schedule) {
+		d := p.Schedule[p.next]
+		p.next++
+		if d.Kind == CrashProc {
+			return d
+		}
+		for _, pid := range enabled {
+			if pid == d.Pid {
+				return d
+			}
+		}
+		// The scheduled process is not enabled (already finished or
+		// crashed); skip the entry.
+	}
+	return Decision{Kind: StopRun}
+}
+
+// PolicyFunc adapts a function to Policy.
+type PolicyFunc func(enabled []int, step int) Decision
+
+// Next implements Policy.
+func (f PolicyFunc) Next(enabled []int, step int) Decision { return f(enabled, step) }
+
+// Run describes a shared-memory program: one body per process. Bodies
+// access shared objects (created by the caller and captured by the
+// closures) exclusively through *Proc-taking operations.
+type Run struct {
+	Bodies []func(p *Proc) any
+}
+
+// request is the handshake a process posts before each atomic step.
+type request struct {
+	pid   int
+	grant chan bool // true: proceed; false: crash
+	done  chan struct{}
+}
+
+type finishMsg struct {
+	pid     int
+	output  any
+	crashed bool
+}
+
+// Execute runs the program under a controlled scheduler: exactly one
+// process executes at a time, chosen by policy; each atomic step runs to
+// completion before the next choice. maxSteps bounds the total number of
+// steps (0 means DefaultMaxSteps). Execute is deterministic for a
+// deterministic policy and deterministic bodies.
+func Execute(run *Run, policy Policy, maxSteps int) *Outcome {
+	out, _ := executeInternal(run, policy, maxSteps)
+	return out
+}
+
+// DefaultMaxSteps bounds controlled executions that pass maxSteps == 0.
+const DefaultMaxSteps = 1 << 20
+
+// executeInternal also returns the ids of processes that were enabled when
+// a StopRun decision cut the run (the exhaustive explorer's branch set).
+func executeInternal(run *Run, policy Policy, maxSteps int) (*Outcome, []int) {
+	n := len(run.Bodies)
+	if maxSteps <= 0 {
+		maxSteps = DefaultMaxSteps
+	}
+	out := &Outcome{
+		Outputs:  make([]any, n),
+		Finished: make([]bool, n),
+		Crashed:  make([]bool, n),
+		StepsBy:  make([]int, n),
+	}
+	if n == 0 {
+		return out, nil
+	}
+
+	reqCh := make(chan *request)
+	finCh := make(chan finishMsg)
+	pending := make(map[int]*request, n)
+	running := make([]bool, n) // body goroutine still alive
+
+	for i := range run.Bodies {
+		running[i] = true
+		body := run.Bodies[i]
+		pid := i
+		p := &Proc{id: pid, sid: pid}
+		p.exec = func(id int, op func()) {
+			r := &request{pid: id, grant: make(chan bool), done: make(chan struct{})}
+			reqCh <- r
+			if !<-r.grant {
+				panic(crashSignal{})
+			}
+			op()
+			close(r.done)
+		}
+		go func() {
+			crashed := false
+			var output any
+			defer func() {
+				if r := recover(); r != nil {
+					if _, ok := r.(crashSignal); ok {
+						crashed = true
+					} else {
+						panic(r) // real bug: propagate
+					}
+				}
+				finCh <- finishMsg{pid: pid, output: output, crashed: crashed}
+			}()
+			output = body(p)
+		}()
+	}
+
+	// Wait for a process to either post a request or finish.
+	awaitOne := func() {
+		select {
+		case r := <-reqCh:
+			pending[r.pid] = r
+		case f := <-finCh:
+			running[f.pid] = false
+			if f.crashed {
+				out.Crashed[f.pid] = true
+			} else {
+				out.Finished[f.pid] = true
+				out.Outputs[f.pid] = f.output
+			}
+		}
+	}
+
+	// Initial quiescence: every process is pending or finished.
+	for i := 0; i < n; i++ {
+		awaitOne()
+	}
+
+	var stoppedEnabled []int
+	for {
+		enabled := make([]int, 0, len(pending))
+		for pid := range pending {
+			enabled = append(enabled, pid)
+		}
+		sortInts(enabled)
+		if len(enabled) == 0 {
+			break
+		}
+		if out.Steps >= maxSteps {
+			out.Cutoff = true
+			crashAllPending(pending, finCh, out)
+			break
+		}
+		d := policy.Next(enabled, out.Steps)
+		switch d.Kind {
+		case StepProc:
+			r, ok := pending[d.Pid]
+			if !ok {
+				panic(fmt.Sprintf("shm: policy chose non-enabled process %d (enabled %v)", d.Pid, enabled))
+			}
+			delete(pending, d.Pid)
+			out.Steps++
+			out.StepsBy[d.Pid]++
+			r.grant <- true
+			<-r.done
+			awaitOne() // the granted process posts again or finishes
+		case CrashProc:
+			r, ok := pending[d.Pid]
+			if !ok {
+				panic(fmt.Sprintf("shm: policy crashed non-enabled process %d", d.Pid))
+			}
+			delete(pending, d.Pid)
+			r.grant <- false
+			awaitOne() // the crash unwind delivers its finish message
+		case StopRun:
+			stoppedEnabled = enabled
+			out.Cutoff = true
+			crashAllPending(pending, finCh, out)
+		default:
+			panic(fmt.Sprintf("shm: invalid policy decision %+v", d))
+		}
+		if stoppedEnabled != nil {
+			break
+		}
+	}
+	return out, stoppedEnabled
+}
+
+// crashAllPending unwinds every still-pending process so no goroutine
+// leaks, recording them as crashed.
+func crashAllPending(pending map[int]*request, finCh chan finishMsg, out *Outcome) {
+	for pid, r := range pending {
+		delete(pending, pid)
+		r.grant <- false
+		f := <-finCh
+		if f.crashed {
+			out.Crashed[f.pid] = true
+		} else {
+			out.Finished[f.pid] = true
+			out.Outputs[f.pid] = f.output
+		}
+	}
+}
+
+func sortInts(s []int) {
+	for i := 1; i < len(s); i++ {
+		for j := i; j > 0 && s[j] < s[j-1]; j-- {
+			s[j], s[j-1] = s[j-1], s[j]
+		}
+	}
+}
+
+// ExecuteFree runs the program with one real goroutine per process; object
+// atomicity comes from a global mutex, and interleaving is whatever the Go
+// scheduler produces. Use under -race for stress testing. Crash injection
+// is not available in free mode.
+func ExecuteFree(run *Run) *Outcome {
+	n := len(run.Bodies)
+	out := &Outcome{
+		Outputs:  make([]any, n),
+		Finished: make([]bool, n),
+		Crashed:  make([]bool, n),
+		StepsBy:  make([]int, n),
+	}
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	stepsBy := make([]int64, n)
+	for i := range run.Bodies {
+		wg.Add(1)
+		pid := i
+		body := run.Bodies[i]
+		p := &Proc{id: pid, sid: pid}
+		p.exec = func(id int, op func()) {
+			mu.Lock()
+			stepsBy[id]++
+			op()
+			mu.Unlock()
+		}
+		go func() {
+			defer wg.Done()
+			out.Outputs[pid] = body(p)
+			out.Finished[pid] = true
+		}()
+	}
+	wg.Wait()
+	for i, s := range stepsBy {
+		out.StepsBy[i] = int(s)
+		out.Steps += int(s)
+	}
+	return out
+}

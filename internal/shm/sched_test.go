@@ -1,0 +1,212 @@
+package shm
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// incBody returns a body that performs reps read-then-write increments on
+// reg (a deliberately non-atomic counter update, racy under interleaving).
+func incBody(reg *Register, reps int) func(p *Proc) any {
+	return func(p *Proc) any {
+		for k := 0; k < reps; k++ {
+			v := reg.Read(p).(int)
+			reg.Write(p, v+1)
+		}
+		return nil
+	}
+}
+
+func TestExecuteRoundRobinDeterministic(t *testing.T) {
+	mk := func() (*Run, *Register) {
+		reg := NewRegister(0)
+		return &Run{Bodies: []func(*Proc) any{incBody(reg, 3), incBody(reg, 3)}}, reg
+	}
+	run1, reg1 := mk()
+	out1 := Execute(run1, &RoundRobinPolicy{}, 0)
+	run2, reg2 := mk()
+	out2 := Execute(run2, &RoundRobinPolicy{}, 0)
+	if out1.Steps != out2.Steps {
+		t.Fatalf("steps differ: %d vs %d", out1.Steps, out2.Steps)
+	}
+	p := NewDirectProc(0)
+	if reg1.Read(p) != reg2.Read(p) {
+		t.Fatal("round-robin execution not deterministic")
+	}
+}
+
+func TestExecuteRandomSeedDeterministic(t *testing.T) {
+	final := func(seed int64) int {
+		reg := NewRegister(0)
+		run := &Run{Bodies: []func(*Proc) any{incBody(reg, 5), incBody(reg, 5), incBody(reg, 5)}}
+		Execute(run, NewRandomPolicy(seed), 0)
+		p := NewDirectProc(0)
+		return reg.Read(p).(int)
+	}
+	if final(42) != final(42) {
+		t.Fatal("same seed produced different executions")
+	}
+}
+
+func TestRandomScheduleFindsLostUpdate(t *testing.T) {
+	// Read-then-write increments lose updates under some interleaving;
+	// across many seeds at least one schedule must exhibit a final value
+	// below 2*reps.
+	lost := false
+	for seed := int64(0); seed < 50 && !lost; seed++ {
+		reg := NewRegister(0)
+		run := &Run{Bodies: []func(*Proc) any{incBody(reg, 4), incBody(reg, 4)}}
+		Execute(run, NewRandomPolicy(seed), 0)
+		p := NewDirectProc(0)
+		if reg.Read(p).(int) < 8 {
+			lost = true
+		}
+	}
+	if !lost {
+		t.Fatal("no schedule exhibited the lost-update race (scheduler not interleaving?)")
+	}
+}
+
+func TestCrashInjection(t *testing.T) {
+	// Crash process 0 after its first step; process 1 must still finish.
+	reg := NewRegister(0)
+	run := &Run{Bodies: []func(*Proc) any{incBody(reg, 10), incBody(reg, 1)}}
+	policy := &FixedPolicy{Schedule: []Decision{
+		{Kind: StepProc, Pid: 0},
+		{Kind: CrashProc, Pid: 0},
+		{Kind: StepProc, Pid: 1},
+		{Kind: StepProc, Pid: 1},
+	}}
+	out, enabled := executeInternal(run, policy, 0)
+	if enabled != nil {
+		t.Fatalf("run should have completed, still enabled: %v", enabled)
+	}
+	if !out.Crashed[0] || out.Finished[0] {
+		t.Fatalf("process 0 should be crashed: %+v", out)
+	}
+	if !out.Finished[1] || out.Crashed[1] {
+		t.Fatalf("process 1 should have finished: %+v", out)
+	}
+	if out.StepsBy[0] != 1 {
+		t.Fatalf("process 0 took %d steps, want 1", out.StepsBy[0])
+	}
+}
+
+func TestOutputsCollected(t *testing.T) {
+	run := &Run{Bodies: []func(*Proc) any{
+		func(p *Proc) any { p.Yield(); return "a" },
+		func(p *Proc) any { return 42 },
+	}}
+	out := Execute(run, &RoundRobinPolicy{}, 0)
+	if out.Outputs[0] != "a" || out.Outputs[1] != 42 {
+		t.Fatalf("outputs = %v", out.Outputs)
+	}
+	if !out.Finished[0] || !out.Finished[1] {
+		t.Fatal("not all finished")
+	}
+}
+
+func TestStepBudgetCutoff(t *testing.T) {
+	reg := NewRegister(0)
+	spin := func(p *Proc) any {
+		for {
+			reg.Read(p)
+		}
+	}
+	run := &Run{Bodies: []func(*Proc) any{spin}}
+	out := Execute(run, &RoundRobinPolicy{}, 100)
+	if !out.Cutoff {
+		t.Fatal("expected cutoff")
+	}
+	if out.Steps != 100 {
+		t.Fatalf("steps = %d, want 100", out.Steps)
+	}
+	if out.Finished[0] {
+		t.Fatal("spinning process cannot have finished")
+	}
+}
+
+func TestSoloPolicyGivesIsolation(t *testing.T) {
+	// An obstruction-free-style retry loop: process 0 keeps retrying while
+	// process 1 interferes; once the schedule goes solo for 0, it finishes.
+	flag := NewRegister(0)
+	count := NewRegister(0)
+	body0 := func(p *Proc) any {
+		for {
+			flag.Write(p, 1)
+			c := count.Read(p).(int)
+			count.Write(p, c+1)
+			if f := flag.Read(p).(int); f == 1 {
+				return "done"
+			}
+		}
+	}
+	body1 := func(p *Proc) any {
+		for k := 0; k < 1000; k++ {
+			flag.Write(p, 2)
+		}
+		return nil
+	}
+	run := &Run{Bodies: []func(*Proc) any{body0, body1}}
+	policy := &SoloPolicy{Rng: rand.New(rand.NewSource(3)), Prefix: 50, Solo: 0}
+	out := Execute(run, policy, 100_000)
+	if !out.Finished[0] {
+		t.Fatalf("solo process did not finish: %+v", out)
+	}
+	if out.Outputs[0] != "done" {
+		t.Fatalf("output = %v", out.Outputs[0])
+	}
+}
+
+func TestExecuteFreeAllFinish(t *testing.T) {
+	faa := NewFetchAndAdd(0)
+	body := func(p *Proc) any {
+		for k := 0; k < 100; k++ {
+			faa.Add(p, 1)
+		}
+		return nil
+	}
+	run := &Run{Bodies: []func(*Proc) any{body, body, body, body}}
+	out := ExecuteFree(run)
+	for i, f := range out.Finished {
+		if !f {
+			t.Fatalf("process %d did not finish", i)
+		}
+	}
+	p := NewDirectProc(0)
+	if got := faa.Read(p); got != 400 {
+		t.Fatalf("FAA total = %d, want 400 (atomicity broken in free mode)", got)
+	}
+	if out.Steps < 400 {
+		t.Fatalf("steps = %d, want >= 400", out.Steps)
+	}
+}
+
+func TestEmptyRun(t *testing.T) {
+	out := Execute(&Run{}, &RoundRobinPolicy{}, 0)
+	if out.Steps != 0 || out.Cutoff {
+		t.Fatalf("empty run outcome: %+v", out)
+	}
+}
+
+func TestFixedPolicySkipsFinishedProcs(t *testing.T) {
+	reg := NewRegister(0)
+	run := &Run{Bodies: []func(*Proc) any{
+		func(p *Proc) any { reg.Write(p, 1); return nil }, // 1 step then done
+		func(p *Proc) any { reg.Write(p, 2); reg.Write(p, 3); return nil },
+	}}
+	// Schedule names process 0 after it finished; FixedPolicy must skip it.
+	policy := &FixedPolicy{Schedule: []Decision{
+		{Kind: StepProc, Pid: 0},
+		{Kind: StepProc, Pid: 0}, // stale: p0 already finished
+		{Kind: StepProc, Pid: 1},
+		{Kind: StepProc, Pid: 1},
+	}}
+	out, enabled := executeInternal(run, policy, 0)
+	if enabled != nil {
+		t.Fatalf("unexpected stop, enabled=%v", enabled)
+	}
+	if !out.Finished[0] || !out.Finished[1] {
+		t.Fatalf("not all finished: %+v", out)
+	}
+}

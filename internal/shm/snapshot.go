@@ -1,0 +1,113 @@
+package shm
+
+// Atomic snapshot objects. The paper's wait-free algorithms (§4) often
+// assume a snapshot of the whole memory; this file provides both an atomic
+// snapshot *base object* (one atomic step, used when the algorithm under
+// study treats snapshot as primitive) and a *wait-free implementation*
+// from single-writer registers (Afek et al.'s helping construction),
+// which is itself a classic product of the wait-free methodology.
+
+// SnapshotObject is an atomic single-writer snapshot base object: Update
+// writes the caller's segment, Scan atomically reads all segments.
+type SnapshotObject struct{ segs []any }
+
+// NewSnapshotObject returns a snapshot object with n segments initialized
+// to init.
+func NewSnapshotObject(n int, init any) *SnapshotObject {
+	s := &SnapshotObject{segs: make([]any, n)}
+	for i := range s.segs {
+		s.segs[i] = init
+	}
+	return s
+}
+
+// Update atomically writes v into the caller's segment.
+func (s *SnapshotObject) Update(p *Proc, v any) {
+	p.atomic(func() { s.segs[p.id] = v })
+}
+
+// Scan atomically reads all segments.
+func (s *SnapshotObject) Scan(p *Proc) []any {
+	out := make([]any, len(s.segs))
+	p.atomic(func() { copy(out, s.segs) })
+	return out
+}
+
+// wfSeg is one single-writer cell of the wait-free snapshot: a value, the
+// writer's sequence number, and the writer's embedded scan (help).
+type wfSeg struct {
+	val  any
+	seq  uint64
+	help []any
+}
+
+// WFSnapshot is the wait-free atomic snapshot of Afek, Attiya, Dolev,
+// Gafni, Merritt and Shavit, built from n single-writer registers: a
+// scanner repeats double collects; if it observes two identical collects
+// it returns them; if it observes some process update twice, it borrows
+// that process's embedded scan. Every Update embeds a Scan. Scan and
+// Update are wait-free: O(n^2) register operations.
+type WFSnapshot struct {
+	n    int
+	regs []*Register // regs[i] holds *wfSeg, written only by process i
+}
+
+// NewWFSnapshot returns a wait-free snapshot for n processes with all
+// segments initialized to init.
+func NewWFSnapshot(n int, init any) *WFSnapshot {
+	s := &WFSnapshot{n: n, regs: make([]*Register, n)}
+	for i := range s.regs {
+		s.regs[i] = NewRegister(&wfSeg{val: init})
+	}
+	return s
+}
+
+func (s *WFSnapshot) collect(p *Proc) []*wfSeg {
+	out := make([]*wfSeg, s.n)
+	for i, r := range s.regs {
+		out[i] = r.Read(p).(*wfSeg)
+	}
+	return out
+}
+
+func vals(segs []*wfSeg) []any {
+	out := make([]any, len(segs))
+	for i, sg := range segs {
+		out[i] = sg.val
+	}
+	return out
+}
+
+// Scan returns an atomic view of all n segments.
+func (s *WFSnapshot) Scan(p *Proc) []any {
+	moved := make([]bool, s.n)
+	prev := s.collect(p)
+	for {
+		cur := s.collect(p)
+		same := true
+		for i := range cur {
+			if cur[i] != prev[i] { // pointer identity: any update replaces the pointer
+				same = false
+				if moved[i] {
+					// Process i moved twice during this scan: its second
+					// write embedded a scan that is linearizable within our
+					// interval; borrow it.
+					return cur[i].help
+				}
+				moved[i] = true
+			}
+		}
+		if same {
+			return vals(cur)
+		}
+		prev = cur
+	}
+}
+
+// Update writes v to the caller's segment, embedding a fresh scan so
+// concurrent scanners can borrow it.
+func (s *WFSnapshot) Update(p *Proc, v any) {
+	help := s.Scan(p)
+	old := s.regs[p.id].Read(p).(*wfSeg)
+	s.regs[p.id].Write(p, &wfSeg{val: v, seq: old.seq + 1, help: help})
+}

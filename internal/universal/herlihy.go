@@ -1,0 +1,156 @@
+package universal
+
+import (
+	"distbasics/internal/agreement"
+	"distbasics/internal/shm"
+)
+
+// Herlihy's universal construction (§4.2 of the paper, [32]): given atomic
+// registers and consensus objects, ANY object with a sequential
+// specification can be implemented wait-free for n processes, despite up
+// to n-1 crashes. This is the paper's "first main result" of the wait-free
+// model: the consensus object is universal.
+//
+// The construction is the classic linked-list one: operations are decided
+// into a single agreed chain, one consensus object per chain cell. Each
+// process replays the chain against a private replica of the sequential
+// object. Wait-freedom comes from helping: before proposing its own
+// pending operation, a process offers priority to the process designated
+// by the current cell index (round-robin), so an announced operation is
+// decided within a bounded number of cells no matter how the scheduler
+// behaves.
+
+// record is one announced operation.
+type record struct {
+	op     any
+	pid    int
+	seq    int           // per-process operation counter
+	result *shm.Register // holds *resultBox once applied
+	next   *cell         // successor chain cell, allocated with the record
+}
+
+// resultBox distinguishes "no result yet" (nil register content) from a
+// legitimately nil response.
+type resultBox struct{ v any }
+
+// cell is one chain position: a consensus object deciding which record
+// occupies it.
+type cell struct {
+	decide *agreement.CASConsensus // decides *record
+}
+
+func newCell() *cell { return &cell{decide: agreement.NewCASConsensus()} }
+
+// Universal is a wait-free linearizable object built from consensus
+// objects and registers per Herlihy's construction.
+type Universal struct {
+	n        int
+	spec     SeqSpec
+	announce *shm.RegisterArray // announce[i] holds process i's pending *record
+	first    *cell
+}
+
+// NewUniversal returns a universal implementation of spec for n processes.
+func NewUniversal(n int, spec SeqSpec) *Universal {
+	return &Universal{
+		n:        n,
+		spec:     spec,
+		announce: shm.NewRegisterArray(n, nil),
+		first:    newCell(),
+	}
+}
+
+// Handle returns process p's access handle, carrying its private replica.
+// A handle must only be used by the process that created it.
+type Handle struct {
+	u       *Universal
+	p       *shm.Proc
+	cur     *cell
+	state   any
+	index   int // chain index of cur
+	opCount int
+	applied int // operations applied to the replica (for tests/benches)
+}
+
+// Handle creates a handle for process p.
+func (u *Universal) Handle(p *shm.Proc) *Handle {
+	return &Handle{u: u, p: p, cur: u.first, state: u.spec.Init()}
+}
+
+// Applied returns the number of chain operations this handle has replayed.
+func (h *Handle) Applied() int { return h.applied }
+
+// Invoke executes op on the shared object and returns its response.
+// Wait-free: the call completes within a bounded number of the calling
+// process's own steps, regardless of the other processes' speeds or
+// crashes.
+func (h *Handle) Invoke(op any) any {
+	p := h.p
+	rec := &record{
+		op:     op,
+		pid:    p.ID(),
+		seq:    h.opCount,
+		result: shm.NewRegister(nil),
+		next:   newCell(),
+	}
+	h.opCount++
+	h.u.announce.Reg(p.ID()).Write(p, rec)
+
+	for {
+		if rb := rec.result.Read(p); rb != nil {
+			// Decided and applied (possibly by a helper). Catch the local
+			// replica up to the decision before returning.
+			h.catchUpTo(rec)
+			return rb.(*resultBox).v
+		}
+		// Helping: the process whose id matches the current chain index
+		// gets priority if it has a pending announced operation.
+		candidate := rec
+		prio := h.index % h.u.n
+		if raw := h.u.announce.Reg(prio).Read(p); raw != nil {
+			pr := raw.(*record)
+			if pr.result.Read(p) == nil {
+				candidate = pr
+			}
+		}
+		winner := h.cur.decide.Propose(p, candidate).(*record)
+		h.applyWinner(winner)
+		if winner == rec {
+			// Returning here (not via the top-of-loop result check) matters:
+			// proposing rec again at a later, still-undecided cell could
+			// make it win twice.
+			return rec.result.Read(p).(*resultBox).v
+		}
+	}
+}
+
+// applyWinner advances the replica over one decided cell.
+func (h *Handle) applyWinner(winner *record) {
+	newState, resp := h.u.spec.Apply(h.state, winner.op)
+	h.state = newState
+	h.applied++
+	// Writing the result before advancing guarantees no record can win two
+	// cells: a process at a later cell has replayed this one and therefore
+	// sees the result as set.
+	if winner.result.Read(h.p) == nil {
+		winner.result.Write(h.p, &resultBox{v: resp})
+	}
+	h.cur = winner.next
+	h.index++
+}
+
+// catchUpTo replays the chain until rec has been applied locally (rec must
+// already have a result, i.e. be decided somewhere in the chain).
+func (h *Handle) catchUpTo(rec *record) {
+	for {
+		winner := h.cur.decide.Propose(h.p, rec).(*record)
+		done := winner == rec
+		h.applyWinner(winner)
+		if done {
+			return
+		}
+	}
+}
+
+// Spec returns the sequential specification.
+func (u *Universal) Spec() SeqSpec { return u.spec }

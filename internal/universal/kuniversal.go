@@ -1,0 +1,221 @@
+package universal
+
+import (
+	"fmt"
+
+	"distbasics/internal/agreement"
+	"distbasics/internal/shm"
+)
+
+// The k-universal construction (§4.2 of the paper): instead of one object,
+// k objects are implemented simultaneously, with the guarantee that at
+// least one of them progresses forever ([26], Gafni–Guerraoui). The
+// (k,ℓ)-universal construction of [62] (Raynal–Stainer–Taubenfeld)
+// strengthens the guarantee to "at least ℓ of the k objects progress
+// forever", using (k,ℓ)-simultaneous consensus objects, which that paper
+// shows are necessary and sufficient.
+//
+// The construction here proceeds in asynchronous rounds. Round r has one
+// (k,ℓ)-simultaneous consensus object; instance j of every round is
+// dedicated to object j. In round r a process:
+//
+//  1. proposes, for every instance j, its resolved log of object j
+//     extended with a pending operation (its own, or — for wait-freedom —
+//     the operation announced by the priority process of the round),
+//  2. Seals the round's object, fixing the per-instance verdicts forever
+//     (a slow proposer arriving later decides nothing),
+//  3. adopts each decided verdict as object j's new resolved log, which is
+//     consistent across processes because all round-r proposals for
+//     instance j extend the same round-(r-1) resolved log and verdicts are
+//     immutable after the first Seal.
+//
+// Every round decides at least ℓ instances (the round's first proposer
+// fills ℓ instances with its own proposals before any Seal can close
+// them), so at least ℓ objects grow without bound — the (k,ℓ) progress
+// guarantee, which the tests and the E6 bench measure.
+
+// KUniversal implements k objects simultaneously with the (k,ℓ) progress
+// guarantee.
+type KUniversal struct {
+	n, k, l  int
+	specs    []SeqSpec
+	announce *shm.RegisterArray // announce[i*k+j]: process i's pending op for object j
+	rounds   *kchain
+}
+
+// kchain hands out the per-round (k,ℓ)-simultaneous consensus objects.
+// Allocation happens inside an atomic step, so all processes see the same
+// object for a given round index.
+type kchain struct {
+	k, l int
+	objs []*agreement.KSimConsensus
+}
+
+func (c *kchain) round(p *shm.Proc, r int) *agreement.KSimConsensus {
+	var obj *agreement.KSimConsensus
+	shm.Atomic(p, func() {
+		for len(c.objs) <= r {
+			// Rotate the arrival->instance map by the round number so a
+			// solo process drives every object over k rounds.
+			c.objs = append(c.objs, agreement.NewKLSimConsensusAt(c.k, c.l, len(c.objs)))
+		}
+		obj = c.objs[r]
+	})
+	return obj
+}
+
+// klog is an object's resolved operation log. Entries are opEntry values.
+type klog []opEntry
+
+// opEntry identifies one applied operation.
+type opEntry struct {
+	pid, seq int
+	op       any
+}
+
+// NewKUniversal returns a (k,ℓ)-universal construction for n processes
+// over the given k object specifications. Use l = 1 for the plain
+// k-universal construction of [26].
+func NewKUniversal(n int, specs []SeqSpec, l int) *KUniversal {
+	k := len(specs)
+	if k < 1 || l < 1 || l > k {
+		panic(fmt.Sprintf("universal: KUniversal requires 1 <= l <= k, got k=%d l=%d", k, l))
+	}
+	return &KUniversal{
+		n:        n,
+		k:        k,
+		l:        l,
+		specs:    specs,
+		announce: shm.NewRegisterArray(n*k, nil),
+		rounds:   &kchain{k: k, l: l},
+	}
+}
+
+// KHandle is a process's view of the k objects.
+type KHandle struct {
+	u       *KUniversal
+	p       *shm.Proc
+	r       int    // next round to execute
+	logs    []klog // resolved log per object
+	opCount int
+	pending []*opEntry // pending own operation per object (nil = none)
+}
+
+// Handle creates process p's handle.
+func (u *KUniversal) Handle(p *shm.Proc) *KHandle {
+	return &KHandle{
+		u:       u,
+		p:       p,
+		logs:    make([]klog, u.k),
+		pending: make([]*opEntry, u.k),
+	}
+}
+
+// Submit announces op for object j (replacing any previous pending op for
+// j). The operation is performed when some round decides it; Steps drives
+// rounds.
+func (h *KHandle) Submit(j int, op any) {
+	e := &opEntry{pid: h.p.ID(), seq: h.opCount, op: op}
+	h.opCount++
+	h.pending[j] = e
+	h.u.announce.Reg(h.p.ID()*h.u.k+j).Write(h.p, e)
+}
+
+// Step executes one round: propose, seal, adopt. It returns the set of
+// object indices whose resolved log grew in this round (from this
+// process's perspective).
+func (h *KHandle) Step() []int {
+	p := h.p
+	obj := h.u.rounds.round(p, h.r)
+
+	// Build proposals: for each instance j, the resolved log extended by a
+	// pending operation — the priority process's announced op if pending,
+	// otherwise our own, otherwise a stutter (no extension).
+	prio := h.r % h.u.n
+	proposals := make([]any, h.u.k)
+	for j := 0; j < h.u.k; j++ {
+		ext := h.extensionFor(j, prio)
+		proposals[j] = append(append(klog(nil), h.logs[j]...), ext...)
+	}
+	obj.Propose(p, proposals)
+
+	// Seal: the round's verdicts are now immutable and identical for
+	// every process.
+	verdicts := obj.Seal(p)
+	grew := make([]int, 0, h.u.k)
+	for j, v := range verdicts {
+		if v == nil {
+			continue
+		}
+		decided := v.(klog)
+		if len(decided) > len(h.logs[j]) {
+			h.logs[j] = decided
+			grew = append(grew, j)
+		}
+		// Clear own pending op if it got decided.
+		if pe := h.pending[j]; pe != nil && logContains(decided, pe) {
+			h.pending[j] = nil
+			h.u.announce.Reg(p.ID()*h.u.k+j).Write(p, nil)
+		}
+	}
+	h.r++
+	return grew
+}
+
+// extensionFor picks the operation to append to object j's proposal.
+func (h *KHandle) extensionFor(j, prio int) klog {
+	if raw := h.u.announce.Reg(prio*h.u.k + j).Read(h.p); raw != nil {
+		e := raw.(*opEntry)
+		if !logContains(h.logs[j], e) {
+			return klog{*e}
+		}
+	}
+	if pe := h.pending[j]; pe != nil && !logContains(h.logs[j], pe) {
+		return klog{*pe}
+	}
+	return nil
+}
+
+func logContains(l klog, e *opEntry) bool {
+	for _, x := range l {
+		if x.pid == e.pid && x.seq == e.seq {
+			return true
+		}
+	}
+	return false
+}
+
+// Log returns the resolved log of object j as seen by this handle.
+func (h *KHandle) Log(j int) []opEntry {
+	out := make([]opEntry, len(h.logs[j]))
+	copy(out, h.logs[j])
+	return out
+}
+
+// State replays object j's resolved log and returns the resulting state.
+func (h *KHandle) State(j int) any {
+	st := h.u.specs[j].Init()
+	for _, e := range h.logs[j] {
+		st, _ = h.u.specs[j].Apply(st, e.op)
+	}
+	return st
+}
+
+// Done reports whether the process's operation submitted for object j has
+// been decided (no longer pending).
+func (h *KHandle) Done(j int) bool { return h.pending[j] == nil }
+
+// PrefixConsistent checks that a is a prefix of b or b a prefix of a —
+// the consistency invariant for resolved logs across processes.
+func PrefixConsistent(a, b []opEntry) bool {
+	short, long := a, b
+	if len(a) > len(b) {
+		short, long = b, a
+	}
+	for i := range short {
+		if short[i].pid != long[i].pid || short[i].seq != long[i].seq {
+			return false
+		}
+	}
+	return true
+}

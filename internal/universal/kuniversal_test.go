@@ -1,0 +1,249 @@
+package universal
+
+import (
+	"testing"
+
+	"distbasics/internal/shm"
+)
+
+func kSpecs(k int) []SeqSpec {
+	specs := make([]SeqSpec, k)
+	for i := range specs {
+		specs[i] = CounterSpec{}
+	}
+	return specs
+}
+
+func TestKUniversalPanicsOnBadParams(t *testing.T) {
+	for _, bad := range []struct{ k, l int }{{0, 1}, {2, 0}, {2, 3}} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("k=%d l=%d: expected panic", bad.k, bad.l)
+				}
+			}()
+			NewKUniversal(2, kSpecs(bad.k), bad.l)
+		}()
+	}
+}
+
+func TestKUniversalSingleProcessAllObjectsProgress(t *testing.T) {
+	// Solo, every submitted op lands (the solo process drives all k).
+	// With width 1 a solo process decides exactly one instance per round;
+	// the rotation offset cycles it through all k objects, so over 9
+	// rounds each of the 3 objects advances 3 times.
+	k, rounds := 3, 9
+	u := NewKUniversal(1, kSpecs(k), 1)
+	body := func(p *shm.Proc) any {
+		h := u.Handle(p)
+		for round := 0; round < rounds; round++ {
+			for j := 0; j < k; j++ {
+				if h.Done(j) {
+					h.Submit(j, AddOp{Delta: 1})
+				}
+			}
+			h.Step()
+		}
+		states := make([]any, k)
+		for j := 0; j < k; j++ {
+			states[j] = h.State(j)
+		}
+		return states
+	}
+	out := shm.Execute(&shm.Run{Bodies: []func(*shm.Proc) any{body}}, &shm.RoundRobinPolicy{}, 0)
+	states := out.Outputs[0].([]any)
+	for j, st := range states {
+		if st.(int) != rounds/k {
+			t.Fatalf("object %d state %v, want %d (solo progress with rotation)", j, st, rounds/k)
+		}
+	}
+}
+
+// runKUniversal drives n processes for rounds rounds, returning their
+// final handles' logs for consistency checks and the per-object total
+// growth.
+func runKUniversal(t *testing.T, n, k, l int, rounds int, seed int64) ([][][]opEntry, []int) {
+	t.Helper()
+	u := NewKUniversal(n, kSpecs(k), l)
+	logs := make([][][]opEntry, n)
+	bodies := make([]func(*shm.Proc) any, n)
+	for i := range bodies {
+		i := i
+		bodies[i] = func(p *shm.Proc) any {
+			h := u.Handle(p)
+			for r := 0; r < rounds; r++ {
+				for j := 0; j < k; j++ {
+					if h.Done(j) {
+						h.Submit(j, AddOp{Delta: 1})
+					}
+				}
+				h.Step()
+			}
+			ls := make([][]opEntry, k)
+			for j := 0; j < k; j++ {
+				ls[j] = h.Log(j)
+			}
+			logs[i] = ls
+			return nil
+		}
+	}
+	out := shm.Execute(&shm.Run{Bodies: bodies}, shm.NewRandomPolicy(seed), 5_000_000)
+	for i := range out.Finished {
+		if !out.Finished[i] {
+			t.Fatalf("process %d did not finish its %d rounds", i, rounds)
+		}
+	}
+	growth := make([]int, k)
+	for j := 0; j < k; j++ {
+		maxLen := 0
+		for i := range logs {
+			if len(logs[i][j]) > maxLen {
+				maxLen = len(logs[i][j])
+			}
+		}
+		growth[j] = maxLen
+	}
+	return logs, growth
+}
+
+func TestKUniversalLogsPrefixConsistent(t *testing.T) {
+	// The fundamental consistency invariant: for each object, the resolved
+	// logs held by different processes are prefix-comparable.
+	for seed := int64(0); seed < 15; seed++ {
+		logs, _ := runKUniversal(t, 3, 3, 1, 12, seed)
+		for j := 0; j < 3; j++ {
+			for a := 0; a < len(logs); a++ {
+				for b := a + 1; b < len(logs); b++ {
+					if !PrefixConsistent(logs[a][j], logs[b][j]) {
+						t.Fatalf("seed %d object %d: logs of p%d and p%d fork", seed, j, a, b)
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestKUniversalNoDuplicateOps(t *testing.T) {
+	// No operation entry may appear twice in a resolved log.
+	for seed := int64(0); seed < 15; seed++ {
+		logs, _ := runKUniversal(t, 3, 2, 1, 15, seed)
+		for i := range logs {
+			for j := range logs[i] {
+				seen := map[[2]int]bool{}
+				for _, e := range logs[i][j] {
+					key := [2]int{e.pid, e.seq}
+					if seen[key] {
+						t.Fatalf("seed %d: duplicate op %v in object %d log of p%d", seed, key, j, i)
+					}
+					seen[key] = true
+				}
+			}
+		}
+	}
+}
+
+func TestKUniversalAtLeastOneObjectProgresses(t *testing.T) {
+	// The k-universal guarantee ([26]): >= 1 object grows, under every
+	// seed tried.
+	rounds := 10
+	for seed := int64(0); seed < 20; seed++ {
+		_, growth := runKUniversal(t, 4, 4, 1, rounds, seed)
+		// Progress bar: at least rounds/k decided entries on some object
+		// (each round decides >= 1 instance; rotation spreads them).
+		bar := rounds / 4
+		progressed := 0
+		total := 0
+		for _, g := range growth {
+			total += g
+			if g >= bar {
+				progressed++
+			}
+		}
+		if progressed < 1 {
+			t.Fatalf("seed %d: no object progressed (growth %v)", seed, growth)
+		}
+		if total < rounds {
+			t.Fatalf("seed %d: only %d total decisions over %d rounds (some round decided nothing)", seed, total, rounds)
+		}
+	}
+}
+
+func TestKLUniversalAtLeastLObjectsProgress(t *testing.T) {
+	// The (k,l)-universal guarantee ([62]): >= l objects grow.
+	rounds := 12
+	for _, tc := range []struct{ k, l int }{{4, 2}, {4, 4}, {3, 2}} {
+		for seed := int64(0); seed < 10; seed++ {
+			_, growth := runKUniversal(t, 3, tc.k, tc.l, rounds, seed)
+			bar := rounds / tc.k
+			progressed := 0
+			for _, g := range growth {
+				if g >= bar {
+					progressed++
+				}
+			}
+			if progressed < tc.l {
+				t.Fatalf("k=%d l=%d seed %d: only %d objects progressed (growth %v)", tc.k, tc.l, seed, progressed, growth)
+			}
+		}
+	}
+}
+
+func TestKUniversalWaitFreedomViaHelping(t *testing.T) {
+	// A starved process's announced op is eventually decided thanks to the
+	// rotating-priority helping: every process proposes the priority
+	// process's announced op.
+	n, k := 3, 2
+	u := NewKUniversal(n, kSpecs(k), 1)
+	// Process 2 submits one op and takes only a handful of rounds; the
+	// others run many rounds. The starved op must end up in their logs.
+	fast := func(p *shm.Proc) any {
+		h := u.Handle(p)
+		for r := 0; r < 20; r++ {
+			if h.Done(0) {
+				h.Submit(0, AddOp{Delta: 1})
+			}
+			h.Step()
+		}
+		return h.Log(0)
+	}
+	slow := func(p *shm.Proc) any {
+		h := u.Handle(p)
+		h.Submit(0, AddOp{Delta: 100})
+		h.Step() // announce reaches shared memory; one round only
+		return nil
+	}
+	tick := 0
+	policy := shm.PolicyFunc(func(enabled []int, _ int) shm.Decision {
+		tick++
+		want := tick % 12
+		target := 0
+		switch {
+		case want == 0:
+			target = 2
+		case want < 6:
+			target = 0
+		default:
+			target = 1
+		}
+		for _, pid := range enabled {
+			if pid == target {
+				return shm.Decision{Kind: shm.StepProc, Pid: pid}
+			}
+		}
+		return shm.Decision{Kind: shm.StepProc, Pid: enabled[0]}
+	})
+	out := shm.Execute(&shm.Run{Bodies: []func(*shm.Proc) any{fast, fast, slow}}, policy, 5_000_000)
+	if !out.Finished[0] || !out.Finished[1] {
+		t.Fatal("fast processes did not finish")
+	}
+	log0 := out.Outputs[0].([]opEntry)
+	found := false
+	for _, e := range log0 {
+		if e.pid == 2 {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("starved process's op never decided despite helping")
+	}
+}

@@ -1,0 +1,149 @@
+package universal
+
+import "fmt"
+
+// The paper defines SeqSpec as "the set of objects that can be defined
+// by a sequential specification (e.g., stacks, queues, sets, graphs)"
+// (§4.2). Stack and queue live in seqspec.go; this file completes the
+// paper's own example list with the set and the graph.
+
+// SetSpec is a mathematical set of comparable values: AddElemOp,
+// RemoveElemOp, ContainsOp.
+type SetSpec struct{}
+
+// AddElemOp inserts V; the response is true if V was absent.
+type AddElemOp struct{ V any }
+
+// RemoveElemOp removes V; the response is true if V was present.
+type RemoveElemOp struct{ V any }
+
+// ContainsOp queries membership of V.
+type ContainsOp struct{ V any }
+
+// setState is an immutable persistent set representation: a sorted-free
+// slice of members. States must not be mutated in place (SeqSpec
+// contract), so operations copy.
+type setState []any
+
+// Name implements SeqSpec.
+func (SetSpec) Name() string { return "set" }
+
+// Init implements SeqSpec.
+func (SetSpec) Init() any { return setState(nil) }
+
+// Apply implements SeqSpec.
+func (SetSpec) Apply(state, op any) (any, any) {
+	s := state.(setState)
+	idx := func(v any) int {
+		for i, x := range s {
+			if x == v {
+				return i
+			}
+		}
+		return -1
+	}
+	switch o := op.(type) {
+	case AddElemOp:
+		if idx(o.V) >= 0 {
+			return s, false
+		}
+		next := make(setState, len(s)+1)
+		copy(next, s)
+		next[len(s)] = o.V
+		return next, true
+	case RemoveElemOp:
+		i := idx(o.V)
+		if i < 0 {
+			return s, false
+		}
+		next := make(setState, 0, len(s)-1)
+		next = append(next, s[:i]...)
+		next = append(next, s[i+1:]...)
+		return next, true
+	case ContainsOp:
+		return s, idx(o.V) >= 0
+	default:
+		panic(fmt.Sprintf("universal: SetSpec cannot apply %T", op))
+	}
+}
+
+// GraphSpec is a directed graph on integer vertices: AddVertexOp,
+// AddEdgeOp, HasEdgeOp, DegreeOp. Edges require both endpoints to
+// exist.
+type GraphSpec struct{}
+
+// AddVertexOp adds vertex V; response true if it was new.
+type AddVertexOp struct{ V int }
+
+// AddEdgeOp adds edge From→To; response true on success, false if an
+// endpoint is missing or the edge exists.
+type AddEdgeOp struct{ From, To int }
+
+// HasEdgeOp queries edge From→To.
+type HasEdgeOp struct{ From, To int }
+
+// DegreeOp queries the out-degree of V (response -1 if V is missing).
+type DegreeOp struct{ V int }
+
+// graphState is an immutable adjacency representation.
+type graphState struct {
+	Verts map[int]bool
+	Edges map[[2]int]bool
+}
+
+func (g graphState) clone() graphState {
+	nv := make(map[int]bool, len(g.Verts)+1)
+	for k, v := range g.Verts {
+		nv[k] = v
+	}
+	ne := make(map[[2]int]bool, len(g.Edges)+1)
+	for k, v := range g.Edges {
+		ne[k] = v
+	}
+	return graphState{Verts: nv, Edges: ne}
+}
+
+// Name implements SeqSpec.
+func (GraphSpec) Name() string { return "graph" }
+
+// Init implements SeqSpec.
+func (GraphSpec) Init() any {
+	return graphState{Verts: map[int]bool{}, Edges: map[[2]int]bool{}}
+}
+
+// Apply implements SeqSpec.
+func (GraphSpec) Apply(state, op any) (any, any) {
+	g := state.(graphState)
+	switch o := op.(type) {
+	case AddVertexOp:
+		if g.Verts[o.V] {
+			return g, false
+		}
+		next := g.clone()
+		next.Verts[o.V] = true
+		return next, true
+	case AddEdgeOp:
+		key := [2]int{o.From, o.To}
+		if !g.Verts[o.From] || !g.Verts[o.To] || g.Edges[key] {
+			return g, false
+		}
+		next := g.clone()
+		next.Edges[key] = true
+		return next, true
+	case HasEdgeOp:
+		return g, g.Edges[[2]int{o.From, o.To}]
+	case DegreeOp:
+		if !g.Verts[o.V] {
+			return g, -1
+		}
+		deg := 0
+		for e := range g.Edges {
+			if e[0] == o.V {
+				deg++
+			}
+		}
+		return g, deg
+	default:
+		panic(fmt.Sprintf("universal: GraphSpec cannot apply %T", op))
+	}
+}

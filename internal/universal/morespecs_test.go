@@ -1,0 +1,182 @@
+package universal
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"distbasics/internal/shm"
+)
+
+func TestSetSpecSequential(t *testing.T) {
+	spec := SetSpec{}
+	st := spec.Init()
+	st, r := spec.Apply(st, AddElemOp{V: "a"})
+	if r != true {
+		t.Fatalf("first add = %v", r)
+	}
+	st, r = spec.Apply(st, AddElemOp{V: "a"})
+	if r != false {
+		t.Fatalf("duplicate add = %v", r)
+	}
+	st, r = spec.Apply(st, ContainsOp{V: "a"})
+	if r != true {
+		t.Fatalf("contains = %v", r)
+	}
+	st, r = spec.Apply(st, RemoveElemOp{V: "a"})
+	if r != true {
+		t.Fatalf("remove = %v", r)
+	}
+	st, r = spec.Apply(st, RemoveElemOp{V: "a"})
+	if r != false {
+		t.Fatalf("double remove = %v", r)
+	}
+	if _, r = spec.Apply(st, ContainsOp{V: "a"}); r != false {
+		t.Fatalf("contains after remove = %v", r)
+	}
+}
+
+// Property: SetSpec agrees with a reference map implementation on
+// random operation sequences, and never mutates prior states.
+func TestSetSpecAgainstModelProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		spec := SetSpec{}
+		st := spec.Init()
+		ref := map[int]bool{}
+		prev := st
+		prevLen := len(prev.(setState))
+		for i := 0; i < 40; i++ {
+			v := rng.Intn(6)
+			var r any
+			switch rng.Intn(3) {
+			case 0:
+				st, r = spec.Apply(st, AddElemOp{V: v})
+				if r.(bool) != !ref[v] {
+					return false
+				}
+				ref[v] = true
+			case 1:
+				st, r = spec.Apply(st, RemoveElemOp{V: v})
+				if r.(bool) != ref[v] {
+					return false
+				}
+				delete(ref, v)
+			default:
+				st, r = spec.Apply(st, ContainsOp{V: v})
+				if r.(bool) != ref[v] {
+					return false
+				}
+			}
+			if len(prev.(setState)) != prevLen {
+				return false // an earlier state was mutated
+			}
+			prev, prevLen = st, len(st.(setState))
+		}
+		return len(st.(setState)) == len(ref)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 120}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestGraphSpecSequential(t *testing.T) {
+	spec := GraphSpec{}
+	st := spec.Init()
+	st, r := spec.Apply(st, AddVertexOp{V: 1})
+	if r != true {
+		t.Fatalf("add vertex = %v", r)
+	}
+	st, r = spec.Apply(st, AddEdgeOp{From: 1, To: 2})
+	if r != false {
+		t.Fatalf("edge to missing vertex = %v", r)
+	}
+	st, _ = spec.Apply(st, AddVertexOp{V: 2})
+	st, r = spec.Apply(st, AddEdgeOp{From: 1, To: 2})
+	if r != true {
+		t.Fatalf("edge add = %v", r)
+	}
+	st, r = spec.Apply(st, HasEdgeOp{From: 1, To: 2})
+	if r != true {
+		t.Fatalf("has edge = %v", r)
+	}
+	st, r = spec.Apply(st, HasEdgeOp{From: 2, To: 1})
+	if r != false {
+		t.Fatalf("directed edge reversed = %v", r)
+	}
+	st, r = spec.Apply(st, DegreeOp{V: 1})
+	if r != 1 {
+		t.Fatalf("degree = %v", r)
+	}
+	if _, r = spec.Apply(st, DegreeOp{V: 9}); r != -1 {
+		t.Fatalf("degree of missing vertex = %v", r)
+	}
+}
+
+// TestGraphViaUniversalConstruction builds the paper's "graphs" example
+// through Herlihy's universal construction under a hostile schedule:
+// concurrent vertex/edge insertions linearize to a consistent graph.
+func TestGraphViaUniversalConstruction(t *testing.T) {
+	for seed := int64(0); seed < 10; seed++ {
+		u := NewUniversal(3, GraphSpec{})
+		bodies := make([]func(*shm.Proc) any, 3)
+		for i := 0; i < 3; i++ {
+			i := i
+			bodies[i] = func(p *shm.Proc) any {
+				h := u.Handle(p)
+				h.Invoke(AddVertexOp{V: i})
+				h.Invoke(AddVertexOp{V: (i + 1) % 3})
+				return h.Invoke(AddEdgeOp{From: i, To: (i + 1) % 3})
+			}
+		}
+		out := shm.Execute(&shm.Run{Bodies: bodies}, shm.NewRandomPolicy(seed), 0)
+		for i := 0; i < 3; i++ {
+			if !out.Finished[i] {
+				t.Fatalf("seed %d: process %d did not finish", seed, i)
+			}
+			// Every edge add must succeed: both endpoints were inserted
+			// (idempotently) before the edge in program order.
+			if out.Outputs[i] != true {
+				t.Fatalf("seed %d: edge add %d returned %v", seed, i, out.Outputs[i])
+			}
+		}
+		// Read the final graph: the 3-cycle must be present.
+		probe := func(p *shm.Proc) any {
+			h := u.Handle(p)
+			for i := 0; i < 3; i++ {
+				if h.Invoke(HasEdgeOp{From: i, To: (i + 1) % 3}) != true {
+					return false
+				}
+			}
+			return true
+		}
+		o2 := shm.Execute(&shm.Run{Bodies: []func(*shm.Proc) any{probe}}, &shm.RoundRobinPolicy{}, 0)
+		if o2.Outputs[0] != true {
+			t.Fatalf("seed %d: final graph is missing cycle edges", seed)
+		}
+	}
+}
+
+// TestSetViaUniversalConstruction: concurrent adds of the same element
+// — exactly one process wins (the response linearizes the contention).
+func TestSetViaUniversalConstruction(t *testing.T) {
+	for seed := int64(0); seed < 10; seed++ {
+		u := NewUniversal(3, SetSpec{})
+		bodies := make([]func(*shm.Proc) any, 3)
+		for i := 0; i < 3; i++ {
+			bodies[i] = func(p *shm.Proc) any {
+				return u.Handle(p).Invoke(AddElemOp{V: "token"})
+			}
+		}
+		out := shm.Execute(&shm.Run{Bodies: bodies}, shm.NewRandomPolicy(seed), 0)
+		winners := 0
+		for i := 0; i < 3; i++ {
+			if out.Outputs[i] == true {
+				winners++
+			}
+		}
+		if winners != 1 {
+			t.Fatalf("seed %d: %d processes won the add, want exactly 1", seed, winners)
+		}
+	}
+}

@@ -1,0 +1,159 @@
+// Package universal implements the universality results of §4.2 of the
+// paper: Herlihy's wait-free universal construction (any object with a
+// sequential specification, built from registers and consensus objects),
+// and the k-universal / (k,ℓ)-universal constructions of [26] and [62]
+// built from (k,ℓ)-simultaneous consensus objects.
+package universal
+
+import "fmt"
+
+// SeqSpec is a deterministic sequential object specification — the
+// paper's SeqSpec class (§4.2): "the set of objects that can be defined by
+// a sequential specification (e.g., stacks, queues, sets, graphs)".
+// Implementations must be side-effect free: Apply returns the new state
+// rather than mutating the old one (states may share structure as long as
+// earlier states remain valid).
+type SeqSpec interface {
+	// Name identifies the object type (for reports).
+	Name() string
+	// Init returns the initial state.
+	Init() any
+	// Apply executes op on state, returning the new state and the
+	// operation response.
+	Apply(state any, op any) (newState any, resp any)
+}
+
+// QueueSpec is a FIFO queue: ops are EnqOp{V} and DeqOp{}; Deq returns
+// DeqEmpty when the queue is empty.
+type QueueSpec struct{}
+
+// EnqOp enqueues V.
+type EnqOp struct{ V any }
+
+// DeqOp dequeues the front element.
+type DeqOp struct{}
+
+// DeqEmpty is Deq's response on an empty queue.
+type DeqEmpty struct{}
+
+// Name implements SeqSpec.
+func (QueueSpec) Name() string { return "queue" }
+
+// Init implements SeqSpec.
+func (QueueSpec) Init() any { return []any(nil) }
+
+// Apply implements SeqSpec.
+func (QueueSpec) Apply(state, op any) (any, any) {
+	items := state.([]any)
+	switch o := op.(type) {
+	case EnqOp:
+		next := make([]any, len(items)+1)
+		copy(next, items)
+		next[len(items)] = o.V
+		return next, len(next)
+	case DeqOp:
+		if len(items) == 0 {
+			return items, DeqEmpty{}
+		}
+		return items[1:], items[0]
+	default:
+		panic(fmt.Sprintf("universal: QueueSpec cannot apply %T", op))
+	}
+}
+
+// StackSpec is a LIFO stack: ops are PushOp{V} and PopOp{}; Pop returns
+// PopEmpty on an empty stack.
+type StackSpec struct{}
+
+// PushOp pushes V.
+type PushOp struct{ V any }
+
+// PopOp pops the top element.
+type PopOp struct{}
+
+// PopEmpty is Pop's response on an empty stack.
+type PopEmpty struct{}
+
+// Name implements SeqSpec.
+func (StackSpec) Name() string { return "stack" }
+
+// Init implements SeqSpec.
+func (StackSpec) Init() any { return []any(nil) }
+
+// Apply implements SeqSpec.
+func (StackSpec) Apply(state, op any) (any, any) {
+	items := state.([]any)
+	switch o := op.(type) {
+	case PushOp:
+		next := make([]any, len(items)+1)
+		copy(next, items)
+		next[len(items)] = o.V
+		return next, len(next)
+	case PopOp:
+		if len(items) == 0 {
+			return items, PopEmpty{}
+		}
+		return items[:len(items)-1], items[len(items)-1]
+	default:
+		panic(fmt.Sprintf("universal: StackSpec cannot apply %T", op))
+	}
+}
+
+// CounterSpec is a counter with AddOp and a read via AddOp{0}.
+type CounterSpec struct{}
+
+// AddOp adds Delta and returns the new value.
+type AddOp struct{ Delta int }
+
+// Name implements SeqSpec.
+func (CounterSpec) Name() string { return "counter" }
+
+// Init implements SeqSpec.
+func (CounterSpec) Init() any { return 0 }
+
+// Apply implements SeqSpec.
+func (CounterSpec) Apply(state, op any) (any, any) {
+	o, ok := op.(AddOp)
+	if !ok {
+		panic(fmt.Sprintf("universal: CounterSpec cannot apply %T", op))
+	}
+	next := state.(int) + o.Delta
+	return next, next
+}
+
+// KVSpec is a string-keyed map: ops are PutOp and GetOp.
+type KVSpec struct{}
+
+// PutOp stores V under K, returning the previous value (nil if none).
+type PutOp struct {
+	K string
+	V any
+}
+
+// GetOp reads K (nil if absent).
+type GetOp struct{ K string }
+
+// Name implements SeqSpec.
+func (KVSpec) Name() string { return "kvstore" }
+
+// Init implements SeqSpec.
+func (KVSpec) Init() any { return map[string]any{} }
+
+// Apply implements SeqSpec.
+func (KVSpec) Apply(state, op any) (any, any) {
+	m := state.(map[string]any)
+	switch o := op.(type) {
+	case PutOp:
+		next := make(map[string]any, len(m)+1)
+		for k, v := range m {
+			next[k] = v
+		}
+		prev := next[o.K]
+		next[o.K] = o.V
+		return next, prev
+	case GetOp:
+		return m, m[o.K]
+	default:
+		panic(fmt.Sprintf("universal: KVSpec cannot apply %T", op))
+	}
+}

@@ -1,0 +1,320 @@
+package universal
+
+import (
+	"fmt"
+	"testing"
+
+	"distbasics/internal/shm"
+)
+
+func TestSpecsSequential(t *testing.T) {
+	t.Run("queue", func(t *testing.T) {
+		spec := QueueSpec{}
+		st := spec.Init()
+		st, _ = spec.Apply(st, EnqOp{V: "a"})
+		st, _ = spec.Apply(st, EnqOp{V: "b"})
+		st, resp := spec.Apply(st, DeqOp{})
+		if resp != "a" {
+			t.Fatalf("Deq = %v, want a", resp)
+		}
+		st, resp = spec.Apply(st, DeqOp{})
+		if resp != "b" {
+			t.Fatalf("Deq = %v, want b", resp)
+		}
+		if _, resp = spec.Apply(st, DeqOp{}); resp != (DeqEmpty{}) {
+			t.Fatalf("Deq on empty = %v", resp)
+		}
+	})
+	t.Run("stack", func(t *testing.T) {
+		spec := StackSpec{}
+		st := spec.Init()
+		st, _ = spec.Apply(st, PushOp{V: 1})
+		st, _ = spec.Apply(st, PushOp{V: 2})
+		st, resp := spec.Apply(st, PopOp{})
+		if resp != 2 {
+			t.Fatalf("Pop = %v, want 2", resp)
+		}
+		st, resp = spec.Apply(st, PopOp{})
+		if resp != 1 {
+			t.Fatalf("Pop = %v, want 1", resp)
+		}
+		if _, resp = spec.Apply(st, PopOp{}); resp != (PopEmpty{}) {
+			t.Fatalf("Pop on empty = %v", resp)
+		}
+	})
+	t.Run("counter", func(t *testing.T) {
+		spec := CounterSpec{}
+		st := spec.Init()
+		st, resp := spec.Apply(st, AddOp{Delta: 5})
+		if resp != 5 {
+			t.Fatalf("Add = %v", resp)
+		}
+		if _, resp = spec.Apply(st, AddOp{Delta: -2}); resp != 3 {
+			t.Fatalf("Add = %v", resp)
+		}
+	})
+	t.Run("kv", func(t *testing.T) {
+		spec := KVSpec{}
+		st := spec.Init()
+		st, prev := spec.Apply(st, PutOp{K: "x", V: 1})
+		if prev != nil {
+			t.Fatalf("Put prev = %v", prev)
+		}
+		st, prev = spec.Apply(st, PutOp{K: "x", V: 2})
+		if prev != 1 {
+			t.Fatalf("Put prev = %v", prev)
+		}
+		if _, got := spec.Apply(st, GetOp{K: "x"}); got != 2 {
+			t.Fatalf("Get = %v", got)
+		}
+	})
+}
+
+func TestUniversalCounterSingleProcess(t *testing.T) {
+	u := NewUniversal(1, CounterSpec{})
+	body := func(p *shm.Proc) any {
+		h := u.Handle(p)
+		var last any
+		for i := 0; i < 5; i++ {
+			last = h.Invoke(AddOp{Delta: 2})
+		}
+		return last
+	}
+	out := shm.Execute(&shm.Run{Bodies: []func(*shm.Proc) any{body}}, &shm.RoundRobinPolicy{}, 0)
+	if out.Outputs[0] != 10 {
+		t.Fatalf("counter = %v, want 10", out.Outputs[0])
+	}
+}
+
+func TestUniversalCounterConcurrentTotals(t *testing.T) {
+	// n processes x m increments each: final total must be exactly n*m in
+	// every random schedule; every response is a distinct value in [1, n*m]
+	// (linearizable counter).
+	for seed := int64(0); seed < 25; seed++ {
+		n, m := 4, 5
+		u := NewUniversal(n, CounterSpec{})
+		bodies := make([]func(*shm.Proc) any, n)
+		for i := range bodies {
+			bodies[i] = func(p *shm.Proc) any {
+				h := u.Handle(p)
+				resps := make([]int, 0, m)
+				for k := 0; k < m; k++ {
+					resps = append(resps, h.Invoke(AddOp{Delta: 1}).(int))
+				}
+				return resps
+			}
+		}
+		out := shm.Execute(&shm.Run{Bodies: bodies}, shm.NewRandomPolicy(seed), 0)
+		seen := map[int]bool{}
+		for i := range out.Outputs {
+			if !out.Finished[i] {
+				t.Fatalf("seed %d: process %d did not finish (not wait-free)", seed, i)
+			}
+			prev := 0
+			for _, r := range out.Outputs[i].([]int) {
+				if r < 1 || r > n*m {
+					t.Fatalf("seed %d: response %d out of range", seed, r)
+				}
+				if seen[r] {
+					t.Fatalf("seed %d: duplicate counter response %d", seed, r)
+				}
+				if r <= prev {
+					t.Fatalf("seed %d: per-process responses not increasing: %v", seed, out.Outputs[i])
+				}
+				seen[r] = true
+				prev = r
+			}
+		}
+		if len(seen) != n*m {
+			t.Fatalf("seed %d: %d distinct responses, want %d", seed, len(seen), n*m)
+		}
+	}
+}
+
+func TestUniversalQueueFIFOAcrossProcesses(t *testing.T) {
+	// One producer enqueues 1..8; one consumer dequeues; dequeued values
+	// must come out in FIFO order (subsequence of enqueue order).
+	for seed := int64(0); seed < 25; seed++ {
+		u := NewUniversal(2, QueueSpec{})
+		producer := func(p *shm.Proc) any {
+			h := u.Handle(p)
+			for i := 1; i <= 8; i++ {
+				h.Invoke(EnqOp{V: i})
+			}
+			return nil
+		}
+		consumer := func(p *shm.Proc) any {
+			h := u.Handle(p)
+			var got []int
+			for len(got) < 8 {
+				resp := h.Invoke(DeqOp{})
+				if v, ok := resp.(int); ok {
+					got = append(got, v)
+				}
+			}
+			return got
+		}
+		out := shm.Execute(&shm.Run{Bodies: []func(*shm.Proc) any{producer, consumer}}, shm.NewRandomPolicy(seed), 1_000_000)
+		if !out.Finished[1] {
+			t.Fatalf("seed %d: consumer did not finish", seed)
+		}
+		got := out.Outputs[1].([]int)
+		for i, v := range got {
+			if v != i+1 {
+				t.Fatalf("seed %d: FIFO order broken: %v", seed, got)
+			}
+		}
+	}
+}
+
+func TestUniversalExhaustiveTwoIncrements(t *testing.T) {
+	// Bounded-exhaustive check with crashes: two processes, one increment
+	// each (an Invoke is ~10 atomic steps, so the full tree is millions of
+	// schedules; the cap keeps a prefix of it). Among finishers, responses
+	// must be distinct values in {1, 2}, and if both finish the responses
+	// are exactly {1, 2}.
+	res := shm.Explore(shm.ExploreOpts{
+		Factory: func() *shm.Run {
+			u := NewUniversal(2, CounterSpec{})
+			body := func(p *shm.Proc) any {
+				return u.Handle(p).Invoke(AddOp{Delta: 1})
+			}
+			return &shm.Run{Bodies: []func(*shm.Proc) any{body, body}}
+		},
+		MaxCrashes:    1,
+		MaxSteps:      4000,
+		MaxExecutions: 15_000,
+		Check: func(out *shm.Outcome) string {
+			if out.Cutoff {
+				return "not wait-free: step budget exhausted"
+			}
+			var resps []int
+			for i := range out.Outputs {
+				if out.Finished[i] {
+					resps = append(resps, out.Outputs[i].(int))
+				}
+			}
+			switch len(resps) {
+			case 2:
+				if !(resps[0] == 1 && resps[1] == 2 || resps[0] == 2 && resps[1] == 1) {
+					return fmt.Sprintf("responses %v, want {1,2}", resps)
+				}
+			case 1:
+				if resps[0] != 1 && resps[0] != 2 {
+					return fmt.Sprintf("lone response %d", resps[0])
+				}
+			}
+			return ""
+		},
+	})
+	if res.Violation != "" {
+		t.Fatalf("universal construction: %s (schedule %v)", res.Violation, res.Schedule)
+	}
+	t.Logf("exhaustive: %d executions", res.Executions)
+}
+
+func TestUniversalWaitFreeUnderStarvation(t *testing.T) {
+	// Adversarial schedule: process 1 gets one step out of 10. Its Invoke
+	// must still complete in a bounded number of ITS OWN steps (helping).
+	u := NewUniversal(2, CounterSpec{})
+	spinner := func(p *shm.Proc) any {
+		h := u.Handle(p)
+		for i := 0; i < 300; i++ {
+			h.Invoke(AddOp{Delta: 1})
+		}
+		return nil
+	}
+	starved := func(p *shm.Proc) any {
+		h := u.Handle(p)
+		return h.Invoke(AddOp{Delta: 1000})
+	}
+	tick := 0
+	policy := shm.PolicyFunc(func(enabled []int, _ int) shm.Decision {
+		tick++
+		want := 0
+		if tick%10 == 0 {
+			want = 1
+		}
+		for _, pid := range enabled {
+			if pid == want {
+				return shm.Decision{Kind: shm.StepProc, Pid: pid}
+			}
+		}
+		return shm.Decision{Kind: shm.StepProc, Pid: enabled[0]}
+	})
+	out := shm.Execute(&shm.Run{Bodies: []func(*shm.Proc) any{spinner, starved}}, policy, 2_000_000)
+	if !out.Finished[1] {
+		t.Fatal("starved process never completed its operation (wait-freedom broken)")
+	}
+	// Helping should complete the starved op well within a small multiple
+	// of n cells of its own steps.
+	if out.StepsBy[1] > 2000 {
+		t.Fatalf("starved process needed %d own steps (helping ineffective)", out.StepsBy[1])
+	}
+}
+
+func TestUniversalSurvivesCrashes(t *testing.T) {
+	// Crash two of four processes mid-operation; survivors keep completing
+	// operations and the final total reflects every response handed out.
+	for seed := int64(0); seed < 20; seed++ {
+		n := 4
+		u := NewUniversal(n, CounterSpec{})
+		bodies := make([]func(*shm.Proc) any, n)
+		for i := range bodies {
+			bodies[i] = func(p *shm.Proc) any {
+				h := u.Handle(p)
+				var resps []int
+				for k := 0; k < 4; k++ {
+					resps = append(resps, h.Invoke(AddOp{Delta: 1}).(int))
+				}
+				return resps
+			}
+		}
+		pol := shm.NewRandomPolicy(seed)
+		pol.CrashProb = 0.03
+		pol.MaxCrashes = 2
+		out := shm.Execute(&shm.Run{Bodies: bodies}, pol, 0)
+		seen := map[int]bool{}
+		for i := range out.Outputs {
+			if !out.Finished[i] {
+				continue
+			}
+			for _, r := range out.Outputs[i].([]int) {
+				if seen[r] {
+					t.Fatalf("seed %d: duplicate response %d", seed, r)
+				}
+				seen[r] = true
+			}
+		}
+	}
+}
+
+func TestUniversalFreeModeStress(t *testing.T) {
+	// Real goroutines; run under -race in CI.
+	n := 6
+	u := NewUniversal(n, CounterSpec{})
+	bodies := make([]func(*shm.Proc) any, n)
+	for i := range bodies {
+		bodies[i] = func(p *shm.Proc) any {
+			h := u.Handle(p)
+			var last any
+			for k := 0; k < 20; k++ {
+				last = h.Invoke(AddOp{Delta: 1})
+			}
+			return last
+		}
+	}
+	out := shm.ExecuteFree(&shm.Run{Bodies: bodies})
+	maxResp := 0
+	for i := range out.Outputs {
+		if !out.Finished[i] {
+			t.Fatalf("process %d did not finish", i)
+		}
+		if v := out.Outputs[i].(int); v > maxResp {
+			maxResp = v
+		}
+	}
+	if maxResp != n*20 {
+		t.Fatalf("max response = %d, want %d", maxResp, n*20)
+	}
+}
