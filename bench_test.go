@@ -37,6 +37,7 @@ import (
 func BenchmarkE1ColeVishkin(b *testing.B) {
 	for _, n := range []int{1 << 10, 1 << 14, 1 << 18} {
 		b.Run(fmt.Sprintf("ring-n=%d", n), func(b *testing.B) {
+			b.ReportAllocs()
 			var rounds int
 			for i := 0; i < b.N; i++ {
 				procs := local.NewColeVishkinRing(n)
@@ -61,6 +62,7 @@ func BenchmarkE1ColeVishkin(b *testing.B) {
 func BenchmarkE2TreeBroadcast(b *testing.B) {
 	for _, n := range []int{16, 64, 256} {
 		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			b.ReportAllocs()
 			var worst int
 			for i := 0; i < b.N; i++ {
 				inputs := make([]any, n)
@@ -94,6 +96,7 @@ func BenchmarkE2TreeBroadcast(b *testing.B) {
 // that finds a consensus violation (the SMPn[TOUR] ≃T wait-free R/W
 // separation); the metric counts explored executions.
 func BenchmarkE3TourSeparation(b *testing.B) {
+	b.ReportAllocs()
 	inputs := []int{1, 0}
 	var execs int
 	for i := 0; i < b.N; i++ {

@@ -8,4 +8,18 @@
 // the public surface is the examples/ programs, the cmd/basicsbench
 // claim-vs-measured harness, and the repository-level benchmarks in
 // bench_test.go, one per experiment E1–E16.
+//
+// # The synchronous round engine
+//
+// The synchronous experiments (E1–E3 and the LOCAL-model examples) run on
+// internal/round, an engine rebuilt for scale: pooled slice-backed
+// mailboxes reused across rounds (with a compatibility shim for map-based
+// processes), per-System cached adversary digraphs (the adv:∅ fast path
+// never builds a graph at all, and the madv adversaries refill one scratch
+// digraph per round), a persistent GOMAXPROCS-sized worker pool instead of
+// goroutine-per-process fan-out, and a quiescent-round skip. See the
+// internal/round package documentation for the architecture and for how to
+// run the E1–E16 benchmarks; differential tests in that package hold the
+// engine's three execution paths (sequential, worker-pool parallel, legacy
+// map mailboxes) to byte-identical Results.
 package distbasics

@@ -1,0 +1,3 @@
+module distbasics
+
+go 1.22

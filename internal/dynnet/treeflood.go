@@ -6,6 +6,7 @@
 package dynnet
 
 import (
+	"distbasics/internal/knowset"
 	"distbasics/internal/round"
 )
 
@@ -19,6 +20,10 @@ import (
 // Processes do not halt early: they run for exactly Rounds rounds so the
 // partition argument's premise (everybody keeps forwarding) holds, and
 // they record the first round at which they knew all inputs.
+//
+// Knowledge lives in a knowset.Set, whose shared-prefix payloads make a
+// round's sends allocation-free; TreeFlood implements round.DenseProcess
+// to use the engine's slice mailboxes directly.
 type TreeFlood struct {
 	// Input is this process's initial value v_i.
 	Input any
@@ -28,27 +33,24 @@ type TreeFlood struct {
 
 	id, n     int
 	neighbors []int
-	known     map[int]any
+	known     knowset.Set
 	knewAllAt int
 }
 
-var _ round.Process = (*TreeFlood)(nil)
+var _ round.DenseProcess = (*TreeFlood)(nil)
 
 // Init implements round.Process.
 func (p *TreeFlood) Init(env round.Env) {
 	p.id = env.ID
 	p.n = env.N
 	p.neighbors = env.Neighbors
-	p.known = map[int]any{p.id: p.Input}
+	p.known.Reset(p.n, p.id, p.Input)
 	p.knewAllAt = 0
 }
 
-// Send implements round.Process.
+// Send implements round.Process (the map-mailbox path).
 func (p *TreeFlood) Send(_ int) round.Outbox {
-	payload := make(map[int]any, len(p.known))
-	for k, v := range p.known {
-		payload[k] = v
-	}
+	payload := p.known.Payload()
 	out := make(round.Outbox, len(p.neighbors))
 	for _, nb := range p.neighbors {
 		out[nb] = payload
@@ -56,18 +58,35 @@ func (p *TreeFlood) Send(_ int) round.Outbox {
 	return out
 }
 
-// Compute implements round.Process.
+// Compute implements round.Process (the map-mailbox path).
 func (p *TreeFlood) Compute(r int, in round.Inbox) bool {
 	for _, m := range in {
-		if pairs, ok := m.(map[int]any); ok {
-			for k, v := range pairs {
-				if _, seen := p.known[k]; !seen {
-					p.known[k] = v
-				}
+		if pairs, ok := m.([]knowset.Pair); ok {
+			p.known.Merge(pairs)
+		}
+	}
+	return p.afterRound(r)
+}
+
+// DenseSend implements round.DenseProcess.
+func (p *TreeFlood) DenseSend(_ int, out round.DenseOutbox) {
+	out.Broadcast(p.known.Payload())
+}
+
+// DenseCompute implements round.DenseProcess.
+func (p *TreeFlood) DenseCompute(r int, in round.DenseInbox) bool {
+	for k := 0; k < in.Deg(); k++ {
+		if m := in.At(k); m != nil {
+			if pairs, ok := m.([]knowset.Pair); ok {
+				p.known.Merge(pairs)
 			}
 		}
 	}
-	if p.knewAllAt == 0 && len(p.known) == p.n {
+	return p.afterRound(r)
+}
+
+func (p *TreeFlood) afterRound(r int) bool {
+	if p.knewAllAt == 0 && p.known.Complete() {
 		p.knewAllAt = r
 	}
 	return r >= p.Rounds
@@ -76,12 +95,9 @@ func (p *TreeFlood) Compute(r int, in round.Inbox) bool {
 // Output implements round.Process: the gathered input vector (nil if
 // incomplete), plus dissemination metadata via KnewAllAt.
 func (p *TreeFlood) Output() any {
-	if len(p.known) != p.n {
+	vec := p.known.Vector()
+	if vec == nil {
 		return nil
-	}
-	vec := make([]any, p.n)
-	for i := 0; i < p.n; i++ {
-		vec[i] = p.known[i]
 	}
 	return vec
 }
@@ -110,7 +126,7 @@ func DisseminationTime(procs []round.Process) (rounds int, complete bool) {
 		if !ok {
 			return 0, false
 		}
-		if p.Output() == nil {
+		if !p.known.Complete() {
 			complete = false
 			continue
 		}

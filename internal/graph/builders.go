@@ -90,13 +90,24 @@ func RandomTree(n int, rng *rand.Rand) *Graph {
 // out of range (programmer error, per the style guide's "don't panic" rule
 // this is restricted to invariant violations).
 func TreeFromPrufer(n int, prufer []int) *Graph {
+	g := New(n)
+	EachPruferEdge(n, prufer, func(u, v int) { g.AddEdge(u, v) })
+	return g
+}
+
+// EachPruferEdge streams the n-1 edges of the tree encoded by a Prüfer
+// sequence without building a Graph: at each step the smallest-index leaf is
+// joined to the next sequence entry. The decode is O(n) via the classic
+// moving-pointer technique (the pointer only ever advances; a vertex that
+// becomes a leaf below the pointer is consumed immediately). Panics on
+// malformed input like TreeFromPrufer.
+func EachPruferEdge(n int, prufer []int, fn func(u, v int)) {
 	if n < 2 {
 		panic(fmt.Sprintf("graph: TreeFromPrufer needs n >= 2, got %d", n))
 	}
 	if len(prufer) != n-2 {
 		panic(fmt.Sprintf("graph: Prüfer sequence for n=%d must have length %d, got %d", n, n-2, len(prufer)))
 	}
-	g := New(n)
 	degree := make([]int, n)
 	for i := range degree {
 		degree[i] = 1
@@ -107,28 +118,34 @@ func TreeFromPrufer(n int, prufer []int) *Graph {
 		}
 		degree[v]++
 	}
+	ptr := 0
+	for degree[ptr] != 1 {
+		ptr++
+	}
+	leaf := ptr
 	for _, v := range prufer {
-		for u := 0; u < n; u++ {
-			if degree[u] == 1 {
-				g.AddEdge(u, v)
-				degree[u]--
-				degree[v]--
-				break
+		fn(leaf, v)
+		degree[leaf]--
+		degree[v]--
+		if degree[v] == 1 && v < ptr {
+			leaf = v
+		} else {
+			ptr++
+			for degree[ptr] != 1 {
+				ptr++
 			}
+			leaf = ptr
 		}
 	}
-	u, v := -1, -1
-	for i := 0; i < n; i++ {
+	// Exactly two degree-1 vertices remain; leaf is the smaller.
+	other := -1
+	for i := leaf + 1; i < n; i++ {
 		if degree[i] == 1 {
-			if u == -1 {
-				u = i
-			} else {
-				v = i
-			}
+			other = i
+			break
 		}
 	}
-	g.AddEdge(u, v)
-	return g
+	fn(leaf, other)
 }
 
 // RandomConnected returns a connected Erdős–Rényi-style graph: a random
@@ -143,139 +160,4 @@ func RandomConnected(n int, p float64, rng *rand.Rand) *Graph {
 		}
 	}
 	return g
-}
-
-// Digraph is a directed graph on vertices 0..N-1, used for the per-round
-// communication graphs G_r that a message adversary produces (§3.3): an edge
-// u->v means the message sent by u to v in that round is delivered.
-type Digraph struct {
-	n   int
-	out [][]int
-	set []map[int]struct{}
-}
-
-// NewDigraph returns an empty digraph with n vertices.
-func NewDigraph(n int) *Digraph {
-	if n < 0 {
-		n = 0
-	}
-	d := &Digraph{
-		n:   n,
-		out: make([][]int, n),
-		set: make([]map[int]struct{}, n),
-	}
-	for i := range d.set {
-		d.set[i] = make(map[int]struct{})
-	}
-	return d
-}
-
-// N returns the number of vertices.
-func (d *Digraph) N() int { return d.n }
-
-// AddArc inserts the directed edge u->v, ignoring self-loops and duplicates,
-// and reports whether it was newly added.
-func (d *Digraph) AddArc(u, v int) bool {
-	if u == v || u < 0 || v < 0 || u >= d.n || v >= d.n {
-		return false
-	}
-	if _, ok := d.set[u][v]; ok {
-		return false
-	}
-	d.set[u][v] = struct{}{}
-	d.out[u] = insertSorted(d.out[u], v)
-	return true
-}
-
-// HasArc reports whether the directed edge u->v is present.
-func (d *Digraph) HasArc(u, v int) bool {
-	if u < 0 || v < 0 || u >= d.n || v >= d.n {
-		return false
-	}
-	_, ok := d.set[u][v]
-	return ok
-}
-
-// Out returns a copy of the sorted out-neighbor list of u.
-func (d *Digraph) Out(u int) []int {
-	if u < 0 || u >= d.n {
-		return nil
-	}
-	out := make([]int, len(d.out[u]))
-	copy(out, d.out[u])
-	return out
-}
-
-// ArcCount returns the number of directed edges.
-func (d *Digraph) ArcCount() int {
-	total := 0
-	for _, o := range d.out {
-		total += len(o)
-	}
-	return total
-}
-
-// Undirected returns the undirected graph obtained by forgetting arc
-// directions (used to check the TREE adversary's spanning-tree constraint,
-// which requires both directions of each tree edge).
-func (d *Digraph) Undirected() *Graph {
-	g := New(d.n)
-	for u := 0; u < d.n; u++ {
-		for _, v := range d.out[u] {
-			g.AddEdge(u, v)
-		}
-	}
-	return g
-}
-
-// IsSymmetric reports whether every arc u->v has the reverse arc v->u.
-func (d *Digraph) IsSymmetric() bool {
-	for u := 0; u < d.n; u++ {
-		for _, v := range d.out[u] {
-			if !d.HasArc(v, u) {
-				return false
-			}
-		}
-	}
-	return true
-}
-
-// IsTournamentComplete reports whether, for every ordered pair (u,v) of
-// distinct vertices, at least one of u->v and v->u is present. This is the
-// TOUR adversary's guarantee (§3.3): the adversary may suppress one message
-// per channel per round, but never both.
-func (d *Digraph) IsTournamentComplete() bool {
-	for u := 0; u < d.n; u++ {
-		for v := u + 1; v < d.n; v++ {
-			if !d.HasArc(u, v) && !d.HasArc(v, u) {
-				return false
-			}
-		}
-	}
-	return true
-}
-
-// CompleteDigraph returns the digraph with all n(n-1) arcs (the adv:∅
-// communication graph on a complete network).
-func CompleteDigraph(n int) *Digraph {
-	d := NewDigraph(n)
-	for u := 0; u < n; u++ {
-		for v := 0; v < n; v++ {
-			if u != v {
-				d.AddArc(u, v)
-			}
-		}
-	}
-	return d
-}
-
-// DigraphFromGraph returns the symmetric digraph with both arcs for each
-// undirected edge of g.
-func DigraphFromGraph(g *Graph) *Digraph {
-	d := NewDigraph(g.N())
-	for _, e := range g.Edges() {
-		d.AddArc(e[0], e[1])
-		d.AddArc(e[1], e[0])
-	}
-	return d
 }

@@ -1,0 +1,214 @@
+package graph
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// TestDigraphReset checks that a reused digraph behaves exactly like a
+// fresh one after Reset (the reuse pattern of package madv's adversaries).
+func TestDigraphReset(t *testing.T) {
+	d := NewDigraph(5)
+	d.AddArc(0, 1)
+	d.AddArc(1, 2)
+	d.AddArc(4, 0)
+	if d.ArcCount() != 3 {
+		t.Fatalf("ArcCount = %d, want 3", d.ArcCount())
+	}
+	d.Reset()
+	if d.ArcCount() != 0 {
+		t.Fatalf("ArcCount after Reset = %d, want 0", d.ArcCount())
+	}
+	for u := 0; u < 5; u++ {
+		for v := 0; v < 5; v++ {
+			if d.HasArc(u, v) {
+				t.Fatalf("HasArc(%d,%d) true after Reset", u, v)
+			}
+		}
+	}
+	if !d.AddArc(0, 1) {
+		t.Fatal("AddArc(0,1) after Reset reported duplicate")
+	}
+	if d.AddArc(0, 1) {
+		t.Fatal("duplicate AddArc(0,1) reported newly added")
+	}
+	if !d.HasArc(0, 1) || d.HasArc(1, 2) || d.ArcCount() != 1 {
+		t.Fatalf("post-Reset state wrong: arcs=%d", d.ArcCount())
+	}
+}
+
+// TestDigraphLargeSliceRepresentation exercises the slice-only path used
+// past the bitset size bound, comparing against a map oracle.
+func TestDigraphLargeSliceRepresentation(t *testing.T) {
+	n := bitsetMaxN + 10
+	d := NewDigraph(n)
+	if d.bits != nil {
+		t.Fatal("bitset allocated above bitsetMaxN")
+	}
+	rng := rand.New(rand.NewSource(42))
+	oracle := map[[2]int]bool{}
+	for i := 0; i < 2000; i++ {
+		u, v := rng.Intn(n), rng.Intn(n)
+		want := u != v && !oracle[[2]int{u, v}]
+		if got := d.AddArc(u, v); got != want {
+			t.Fatalf("AddArc(%d,%d) = %v, want %v", u, v, got, want)
+		}
+		if u != v {
+			oracle[[2]int{u, v}] = true
+		}
+	}
+	if d.ArcCount() != len(oracle) {
+		t.Fatalf("ArcCount = %d, want %d", d.ArcCount(), len(oracle))
+	}
+	for i := 0; i < 2000; i++ {
+		u, v := rng.Intn(n), rng.Intn(n)
+		if d.HasArc(u, v) != oracle[[2]int{u, v}] {
+			t.Fatalf("HasArc(%d,%d) = %v, oracle says %v", u, v, d.HasArc(u, v), oracle[[2]int{u, v}])
+		}
+	}
+}
+
+// TestDigraphBitsetMatchesSlice cross-checks the two representations on
+// the same random arc set.
+func TestDigraphBitsetMatchesSlice(t *testing.T) {
+	f := func(seed int64, sz uint8) bool {
+		n := int(sz%30) + 2
+		rng := rand.New(rand.NewSource(seed))
+		d := NewDigraph(n) // small: bitset-backed
+		oracle := map[[2]int]bool{}
+		for i := 0; i < 3*n; i++ {
+			u, v := rng.Intn(n), rng.Intn(n)
+			d.AddArc(u, v)
+			if u != v {
+				oracle[[2]int{u, v}] = true
+			}
+		}
+		for u := 0; u < n; u++ {
+			for v := 0; v < n; v++ {
+				if d.HasArc(u, v) != oracle[[2]int{u, v}] {
+					return false
+				}
+			}
+			if len(d.Out(u)) != d.OutDegree(u) {
+				return false
+			}
+		}
+		return d.ArcCount() == len(oracle)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestFillFromGraphMatchesDigraphFromGraph checks the in-place fill against
+// the allocating constructor, including refill of a dirty scratch.
+func TestFillFromGraphMatchesDigraphFromGraph(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	scratch := NewDigraph(24)
+	scratch.AddArc(3, 9) // pre-dirty
+	for trial := 0; trial < 20; trial++ {
+		g := RandomConnected(24, 0.2, rng)
+		want := DigraphFromGraph(g)
+		scratch.FillFromGraph(g)
+		if scratch.ArcCount() != want.ArcCount() {
+			t.Fatalf("trial %d: ArcCount %d, want %d", trial, scratch.ArcCount(), want.ArcCount())
+		}
+		for u := 0; u < 24; u++ {
+			for v := 0; v < 24; v++ {
+				if scratch.HasArc(u, v) != want.HasArc(u, v) {
+					t.Fatalf("trial %d: HasArc(%d,%d) mismatch", trial, u, v)
+				}
+			}
+		}
+	}
+}
+
+// TestEachPruferEdgeMatchesNaiveDecode compares the O(n) moving-pointer
+// decode against a direct transcription of the O(n^2) textbook decode.
+func TestEachPruferEdgeMatchesNaiveDecode(t *testing.T) {
+	naive := func(n int, prufer []int) map[[2]int]bool {
+		degree := make([]int, n)
+		for i := range degree {
+			degree[i] = 1
+		}
+		for _, v := range prufer {
+			degree[v]++
+		}
+		edges := map[[2]int]bool{}
+		add := func(u, v int) {
+			if u > v {
+				u, v = v, u
+			}
+			edges[[2]int{u, v}] = true
+		}
+		for _, v := range prufer {
+			for u := 0; u < n; u++ {
+				if degree[u] == 1 {
+					add(u, v)
+					degree[u]--
+					degree[v]--
+					break
+				}
+			}
+		}
+		u, v := -1, -1
+		for i := 0; i < n; i++ {
+			if degree[i] == 1 {
+				if u == -1 {
+					u = i
+				} else {
+					v = i
+				}
+			}
+		}
+		add(u, v)
+		return edges
+	}
+	f := func(seed int64, sz uint8) bool {
+		n := int(sz%60) + 3
+		rng := rand.New(rand.NewSource(seed))
+		prufer := make([]int, n-2)
+		for i := range prufer {
+			prufer[i] = rng.Intn(n)
+		}
+		want := naive(n, prufer)
+		got := map[[2]int]bool{}
+		EachPruferEdge(n, prufer, func(u, v int) {
+			if u > v {
+				u, v = v, u
+			}
+			got[[2]int{u, v}] = true
+		})
+		if len(got) != len(want) {
+			return false
+		}
+		for e := range want {
+			if !got[e] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestEachEdgeOrderMatchesEdges pins the iteration order adversary RNG
+// streams depend on.
+func TestEachEdgeOrderMatchesEdges(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	g := RandomConnected(30, 0.3, rng)
+	want := g.Edges()
+	var got [][2]int
+	g.EachEdge(func(u, v int) { got = append(got, [2]int{u, v}) })
+	if len(got) != len(want) {
+		t.Fatalf("EachEdge yielded %d edges, Edges %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("edge %d: EachEdge %v, Edges %v", i, got[i], want[i])
+		}
+	}
+}

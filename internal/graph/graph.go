@@ -3,6 +3,13 @@
 // connected graphs G = (V, E) whose vertices are processes and whose edges
 // are reliable bidirectional channels, plus the per-round directed graphs
 // G_r produced by message adversaries.
+//
+// Both Graph and Digraph are backed by sorted adjacency slices (no per-vertex
+// maps): membership tests are binary searches, neighbor iteration is a dense
+// scan, and construction allocates O(n + m) rather than O(n) map headers.
+// This matters because the round engine builds rings and complete graphs with
+// hundreds of thousands of vertices per benchmark iteration, and message
+// adversaries emit a fresh Digraph every round.
 package graph
 
 import (
@@ -18,8 +25,7 @@ import (
 // edges model reliable bidirectional channels (§3.1 of the paper).
 type Graph struct {
 	n   int
-	adj [][]int            // adjacency lists, kept sorted
-	set []map[int]struct{} // membership index for O(1) HasEdge
+	adj [][]int // adjacency lists, kept sorted
 }
 
 // New returns an empty graph with n vertices and no edges.
@@ -27,15 +33,7 @@ func New(n int) *Graph {
 	if n < 0 {
 		n = 0
 	}
-	g := &Graph{
-		n:   n,
-		adj: make([][]int, n),
-		set: make([]map[int]struct{}, n),
-	}
-	for i := range g.set {
-		g.set[i] = make(map[int]struct{})
-	}
-	return g
+	return &Graph{n: n, adj: make([][]int, n)}
 }
 
 // N returns the number of vertices.
@@ -56,12 +54,11 @@ func (g *Graph) AddEdge(u, v int) bool {
 	if u == v || u < 0 || v < 0 || u >= g.n || v >= g.n {
 		return false
 	}
-	if _, ok := g.set[u][v]; ok {
+	i := sort.SearchInts(g.adj[u], v)
+	if i < len(g.adj[u]) && g.adj[u][i] == v {
 		return false
 	}
-	g.set[u][v] = struct{}{}
-	g.set[v][u] = struct{}{}
-	g.adj[u] = insertSorted(g.adj[u], v)
+	g.adj[u] = insertAt(g.adj[u], i, v)
 	g.adj[v] = insertSorted(g.adj[v], u)
 	return true
 }
@@ -69,15 +66,14 @@ func (g *Graph) AddEdge(u, v int) bool {
 // RemoveEdge deletes the undirected edge {u, v} if present and reports
 // whether it was removed.
 func (g *Graph) RemoveEdge(u, v int) bool {
-	if u < 0 || v < 0 || u >= g.n || v >= g.n {
+	if u == v || u < 0 || v < 0 || u >= g.n || v >= g.n {
 		return false
 	}
-	if _, ok := g.set[u][v]; !ok {
+	i := sort.SearchInts(g.adj[u], v)
+	if i >= len(g.adj[u]) || g.adj[u][i] != v {
 		return false
 	}
-	delete(g.set[u], v)
-	delete(g.set[v], u)
-	g.adj[u] = removeSorted(g.adj[u], v)
+	g.adj[u] = append(g.adj[u][:i], g.adj[u][i+1:]...)
 	g.adj[v] = removeSorted(g.adj[v], u)
 	return true
 }
@@ -87,8 +83,9 @@ func (g *Graph) HasEdge(u, v int) bool {
 	if u < 0 || v < 0 || u >= g.n || v >= g.n {
 		return false
 	}
-	_, ok := g.set[u][v]
-	return ok
+	a := g.adj[u]
+	i := sort.SearchInts(a, v)
+	return i < len(a) && a[i] == v
 }
 
 // Neighbors returns the sorted neighbor list of u. The returned slice is a
@@ -100,6 +97,17 @@ func (g *Graph) Neighbors(u int) []int {
 	out := make([]int, len(g.adj[u]))
 	copy(out, g.adj[u])
 	return out
+}
+
+// NeighborsView returns the engine-internal sorted neighbor list of u without
+// copying. The caller must treat it as read-only and must not retain it
+// across a mutation of g. The round engine uses it to lay out its dense
+// mailboxes without an O(m) copy per system.
+func (g *Graph) NeighborsView(u int) []int {
+	if u < 0 || u >= g.n {
+		return nil
+	}
+	return g.adj[u]
 }
 
 // Degree returns the degree of vertex u.
@@ -124,26 +132,32 @@ func (g *Graph) MaxDegree() int {
 // Edges returns every undirected edge once, as ordered pairs (u < v),
 // sorted lexicographically.
 func (g *Graph) Edges() [][2]int {
-	var out [][2]int
+	out := make([][2]int, 0, g.M())
+	g.EachEdge(func(u, v int) {
+		out = append(out, [2]int{u, v})
+	})
+	return out
+}
+
+// EachEdge calls fn once per undirected edge, as ordered pairs (u < v) in
+// lexicographic order — the same order as Edges, without allocating. Message
+// adversaries iterate the base graph's edges every round; their RNG streams
+// depend on this order being stable.
+func (g *Graph) EachEdge(fn func(u, v int)) {
 	for u := 0; u < g.n; u++ {
 		for _, v := range g.adj[u] {
 			if u < v {
-				out = append(out, [2]int{u, v})
+				fn(u, v)
 			}
 		}
 	}
-	return out
 }
 
 // Clone returns a deep copy of g.
 func (g *Graph) Clone() *Graph {
 	c := New(g.n)
 	for u := 0; u < g.n; u++ {
-		for _, v := range g.adj[u] {
-			if u < v {
-				c.AddEdge(u, v)
-			}
-		}
+		c.adj[u] = append([]int(nil), g.adj[u]...)
 	}
 	return c
 }
@@ -152,22 +166,27 @@ func (g *Graph) Clone() *Graph {
 func (g *Graph) String() string {
 	var b strings.Builder
 	fmt.Fprintf(&b, "n=%d edges=[", g.n)
-	for i, e := range g.Edges() {
-		if i > 0 {
+	first := true
+	g.EachEdge(func(u, v int) {
+		if !first {
 			b.WriteByte(' ')
 		}
-		fmt.Fprintf(&b, "(%d,%d)", e[0], e[1])
-	}
+		first = false
+		fmt.Fprintf(&b, "(%d,%d)", u, v)
+	})
 	b.WriteByte(']')
 	return b.String()
 }
 
-func insertSorted(s []int, v int) []int {
-	i := sort.SearchInts(s, v)
+func insertAt(s []int, i, v int) []int {
 	s = append(s, 0)
 	copy(s[i+1:], s[i:])
 	s[i] = v
 	return s
+}
+
+func insertSorted(s []int, v int) []int {
+	return insertAt(s, sort.SearchInts(s, v), v)
 }
 
 func removeSorted(s []int, v int) []int {

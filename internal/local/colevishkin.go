@@ -25,9 +25,14 @@ type ColeVishkin struct {
 	cvRounds   int // iterations of the bit-trick phase
 	done       bool
 	rounds     int // rounds actually executed (for reporting)
+
+	// Mailbox slot indices of succ/pred in Env.Neighbors order, -1 when the
+	// vertex is not actually adjacent (then the engine drops the send, as
+	// the map path would).
+	succSlot, predSlot int
 }
 
-var _ round.Process = (*ColeVishkin)(nil)
+var _ round.DenseProcess = (*ColeVishkin)(nil)
 
 // Init implements round.Process.
 func (p *ColeVishkin) Init(env round.Env) {
@@ -39,6 +44,15 @@ func (p *ColeVishkin) Init(env round.Env) {
 	p.cvRounds = CVIterations(env.N)
 	p.done = false
 	p.rounds = 0
+	p.succSlot, p.predSlot = -1, -1
+	for k, nb := range env.Neighbors {
+		if nb == p.succ {
+			p.succSlot = k
+		}
+		if nb == p.pred {
+			p.predSlot = k
+		}
+	}
 }
 
 // Send implements round.Process. During the bit-trick phase a process sends
@@ -71,6 +85,54 @@ func (p *ColeVishkin) Compute(r int, in round.Inbox) bool {
 		used := make(map[int]bool, 2)
 		for _, m := range in {
 			used[m.(int)] = true
+		}
+		for c := 0; c < 3; c++ {
+			if !used[c] {
+				p.color = c
+				break
+			}
+		}
+	}
+	return r == p.cvRounds+3
+}
+
+// DenseSend implements round.DenseProcess; it mirrors Send on the engine's
+// slice mailboxes, boxing the color once per round.
+func (p *ColeVishkin) DenseSend(r int, out round.DenseOutbox) {
+	m := round.Message(p.color)
+	if p.succSlot >= 0 {
+		out.Put(p.succSlot, m)
+	}
+	if r > p.cvRounds && p.predSlot >= 0 {
+		out.Put(p.predSlot, m)
+	}
+}
+
+// DenseCompute implements round.DenseProcess; it mirrors Compute.
+func (p *ColeVishkin) DenseCompute(r int, in round.DenseInbox) bool {
+	p.rounds = r
+	if r <= p.cvRounds {
+		if p.predSlot < 0 {
+			return false
+		}
+		prevRaw := in.At(p.predSlot)
+		if prevRaw == nil {
+			// Adversary-free model: this cannot happen on a ring; keep the
+			// color unchanged to stay safe if it does.
+			return false
+		}
+		p.color = cvStep(p.color, prevRaw.(int))
+		return false
+	}
+	target := 5 - (r - p.cvRounds - 1)
+	if p.color == target {
+		var used [3]bool
+		for k := 0; k < in.Deg(); k++ {
+			if m := in.At(k); m != nil {
+				if c := m.(int); c < 3 {
+					used[c] = true
+				}
+			}
 		}
 		for c := 0; c < 3; c++ {
 			if !used[c] {

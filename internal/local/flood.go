@@ -3,6 +3,7 @@ package local
 import (
 	"sort"
 
+	"distbasics/internal/knowset"
 	"distbasics/internal/round"
 )
 
@@ -16,6 +17,10 @@ import (
 // diameter, or n-1 as a universal upper bound) and applies Fn to the
 // gathered input vector to produce its output. A nil Fn returns the vector
 // itself.
+//
+// Knowledge lives in a knowset.Set, whose shared-prefix payloads make a
+// round's sends allocation-free; Flood implements round.DenseProcess to use
+// the engine's slice mailboxes directly.
 type Flood struct {
 	// Input is this process's private input in_i.
 	Input any
@@ -28,28 +33,25 @@ type Flood struct {
 
 	id, n     int
 	neighbors []int
-	known     map[int]any
+	known     knowset.Set
 	knewAllAt int // first round at which known covered all n processes; 0 if never
 }
 
-var _ round.Process = (*Flood)(nil)
+var _ round.DenseProcess = (*Flood)(nil)
 
 // Init implements round.Process.
 func (p *Flood) Init(env round.Env) {
 	p.id = env.ID
 	p.n = env.N
 	p.neighbors = env.Neighbors
-	p.known = map[int]any{p.id: p.Input}
+	p.known.Reset(p.n, p.id, p.Input)
 	p.knewAllAt = 0
 }
 
 // Send implements round.Process: forward all known pairs to every neighbor.
 func (p *Flood) Send(_ int) round.Outbox {
-	payload := make(map[int]any, len(p.known))
-	for k, v := range p.known {
-		payload[k] = v
-	}
-	out := make(round.Outbox)
+	payload := p.known.Payload()
+	out := make(round.Outbox, len(p.neighbors))
 	for _, nb := range p.neighbors {
 		out[nb] = payload
 	}
@@ -59,17 +61,32 @@ func (p *Flood) Send(_ int) round.Outbox {
 // Compute implements round.Process.
 func (p *Flood) Compute(r int, in round.Inbox) bool {
 	for _, m := range in {
-		pairs, ok := m.(map[int]any)
-		if !ok {
-			continue
+		if pairs, ok := m.([]knowset.Pair); ok {
+			p.known.Merge(pairs)
 		}
-		for k, v := range pairs {
-			if _, seen := p.known[k]; !seen {
-				p.known[k] = v
+	}
+	return p.afterRound(r)
+}
+
+// DenseSend implements round.DenseProcess.
+func (p *Flood) DenseSend(_ int, out round.DenseOutbox) {
+	out.Broadcast(p.known.Payload())
+}
+
+// DenseCompute implements round.DenseProcess.
+func (p *Flood) DenseCompute(r int, in round.DenseInbox) bool {
+	for k := 0; k < in.Deg(); k++ {
+		if m := in.At(k); m != nil {
+			if pairs, ok := m.([]knowset.Pair); ok {
+				p.known.Merge(pairs)
 			}
 		}
 	}
-	if p.knewAllAt == 0 && len(p.known) == p.n {
+	return p.afterRound(r)
+}
+
+func (p *Flood) afterRound(r int) bool {
+	if p.knewAllAt == 0 && p.known.Complete() {
 		p.knewAllAt = r
 	}
 	return r >= p.HaltAfter
@@ -79,12 +96,9 @@ func (p *Flood) Compute(r int, in round.Inbox) bool {
 // it returns Fn(vector) (or the vector when Fn is nil); otherwise it
 // returns nil, signalling incomplete knowledge.
 func (p *Flood) Output() any {
-	if len(p.known) != p.n {
+	vec := p.known.Vector()
+	if vec == nil {
 		return nil
-	}
-	vec := make([]any, p.n)
-	for i := 0; i < p.n; i++ {
-		vec[i] = p.known[i]
 	}
 	if p.Fn == nil {
 		return vec
@@ -99,10 +113,7 @@ func (p *Flood) KnewAllAt() int { return p.knewAllAt }
 // Known returns a sorted snapshot of the ids whose inputs this process has
 // learned. Exposed for dissemination-progress assertions in tests.
 func (p *Flood) Known() []int {
-	ids := make([]int, 0, len(p.known))
-	for k := range p.known {
-		ids = append(ids, k)
-	}
+	ids := p.known.IDs(make([]int, 0, p.known.Size()))
 	sort.Ints(ids)
 	return ids
 }

@@ -4,6 +4,12 @@
 // message to v survives. SMPn[adv:∅] (no suppression) is the strongest
 // model, SMPn[adv:∞] (suppress everything) the weakest, and the TREE and
 // TOUR adversaries sit in between.
+//
+// Per the round.Adversary contract, the digraph returned by Graph is only
+// valid until the adversary's next Graph call: the randomized adversaries
+// here (SpanningTree, Tournament, Drop) refill one reused scratch digraph
+// per round instead of allocating a fresh one, which keeps the per-round
+// adversary cost at O(arcs) with zero steady-state allocations.
 package madv
 
 import (
@@ -24,6 +30,17 @@ func (Full) Graph(_ int, base *graph.Graph, _ []round.Process) *graph.Digraph {
 	return graph.NewDigraph(base.N())
 }
 
+// scratchDigraph returns *d reset to an empty digraph on base's vertex
+// count, allocating only when the size changes.
+func scratchDigraph(d **graph.Digraph, base *graph.Graph) *graph.Digraph {
+	if *d == nil || (*d).N() != base.N() {
+		*d = graph.NewDigraph(base.N())
+	} else {
+		(*d).Reset()
+	}
+	return *d
+}
+
 // SpanningTree is the TREE adversary of §3.3: every round it chooses an
 // undirected spanning tree of the base graph and suppresses every message
 // not on a tree edge; both directions of each tree edge are delivered.
@@ -34,8 +51,10 @@ func (Full) Graph(_ int, base *graph.Graph, _ []round.Process) *graph.Digraph {
 // SpanningTree is safe for concurrent use by a parallel engine because its
 // RNG access is serialized.
 type SpanningTree struct {
-	mu  sync.Mutex
-	rng *rand.Rand
+	mu      sync.Mutex
+	rng     *rand.Rand
+	scratch *graph.Digraph
+	prufer  []int
 }
 
 // NewSpanningTree returns a TREE adversary drawing trees from the given
@@ -50,17 +69,40 @@ func (a *SpanningTree) Graph(_ int, base *graph.Graph, _ []round.Process) *graph
 	a.mu.Lock()
 	defer a.mu.Unlock()
 	n := base.N()
-	var tree *graph.Graph
+	d := scratchDigraph(&a.scratch, base)
 	if base.M() == n*(n-1)/2 {
-		tree = graph.RandomTree(n, a.rng)
-	} else {
-		tree = RandomSpanningTree(base, a.rng)
+		// Complete base: a uniform tree straight from a Prüfer sequence,
+		// decoded into arcs with no intermediate Graph. The rng.Intn draws
+		// match graph.RandomTree exactly, so a seed produces the same tree
+		// sequence either way.
+		switch {
+		case n <= 1:
+			return d
+		case n == 2:
+			d.AddArc(0, 1)
+			d.AddArc(1, 0)
+			return d
+		}
+		if cap(a.prufer) < n-2 {
+			a.prufer = make([]int, n-2)
+		}
+		a.prufer = a.prufer[:n-2]
+		for i := range a.prufer {
+			a.prufer[i] = a.rng.Intn(n)
+		}
+		graph.EachPruferEdge(n, a.prufer, func(u, v int) {
+			d.AddArc(u, v)
+			d.AddArc(v, u)
+		})
+		return d
 	}
+	tree := RandomSpanningTree(base, a.rng)
 	if tree == nil {
 		// Disconnected base: no spanning tree exists; deliver nothing.
-		return graph.NewDigraph(n)
+		return d
 	}
-	return graph.DigraphFromGraph(tree)
+	d.FillFromGraph(tree)
+	return d
 }
 
 // RandomSpanningTree returns a random spanning tree of g (randomized
@@ -117,6 +159,7 @@ type Tournament struct {
 	mu       sync.Mutex
 	rng      *rand.Rand
 	bothProb float64
+	scratch  *graph.Digraph
 }
 
 // NewTournament returns a TOUR adversary. bothProb in [0,1] is the
@@ -136,9 +179,8 @@ func NewTournament(seed int64, bothProb float64) *Tournament {
 func (a *Tournament) Graph(_ int, base *graph.Graph, _ []round.Process) *graph.Digraph {
 	a.mu.Lock()
 	defer a.mu.Unlock()
-	d := graph.NewDigraph(base.N())
-	for _, e := range base.Edges() {
-		u, v := e[0], e[1]
+	d := scratchDigraph(&a.scratch, base)
+	base.EachEdge(func(u, v int) {
 		switch {
 		case a.rng.Float64() < a.bothProb:
 			d.AddArc(u, v)
@@ -148,7 +190,7 @@ func (a *Tournament) Graph(_ int, base *graph.Graph, _ []round.Process) *graph.D
 		default:
 			d.AddArc(v, u)
 		}
-	}
+	})
 	return d
 }
 
@@ -157,9 +199,10 @@ func (a *Tournament) Graph(_ int, base *graph.Graph, _ []round.Process) *graph.D
 // sense). It makes no connectivity promise, so computability results under
 // it are probabilistic only.
 type Drop struct {
-	mu  sync.Mutex
-	rng *rand.Rand
-	p   float64
+	mu      sync.Mutex
+	rng     *rand.Rand
+	p       float64
+	scratch *graph.Digraph
 }
 
 // NewDrop returns a Drop adversary with per-arc drop probability p.
@@ -177,15 +220,15 @@ func NewDrop(seed int64, p float64) *Drop {
 func (a *Drop) Graph(_ int, base *graph.Graph, _ []round.Process) *graph.Digraph {
 	a.mu.Lock()
 	defer a.mu.Unlock()
-	d := graph.NewDigraph(base.N())
-	for _, e := range base.Edges() {
+	d := scratchDigraph(&a.scratch, base)
+	base.EachEdge(func(u, v int) {
 		if a.rng.Float64() >= a.p {
-			d.AddArc(e[0], e[1])
+			d.AddArc(u, v)
 		}
 		if a.rng.Float64() >= a.p {
-			d.AddArc(e[1], e[0])
+			d.AddArc(v, u)
 		}
-	}
+	})
 	return d
 }
 

@@ -8,12 +8,56 @@
 // A pluggable Adversary decides, every round, which messages are delivered
 // (§3.3's message adversaries); see package madv for the TREE and TOUR
 // adversaries and others.
+//
+// # Engine architecture
+//
+// The engine is built so that a round costs O(mailbox slots) — one slot per
+// (process, neighbor) pair, i.e. O(n + m) — with zero allocations on its
+// hot path, instead of the original engine's per-round map, goroutine, and
+// digraph churn:
+//
+//   - Pooled dense mailboxes. All outboxes (and all inboxes) live in one
+//     flat []Message buffer with a slot per (process, neighbor) pair,
+//     allocated once per System and memclr'd between rounds. Processes that
+//     implement DenseProcess read and write slots directly; plain Process
+//     implementations are bridged by a shim that translates their Outbox
+//     maps into slots and materializes pooled, reused Inbox maps at compute
+//     time. An Inbox (or DenseInbox) is only valid for the duration of the
+//     Compute call that receives it.
+//
+//   - Cached adversary digraphs. Under the default None adversary the
+//     engine skips graph construction and arc checks entirely (the full
+//     symmetric digraph is built at most once, for tracing). Other
+//     adversaries are consulted every round; package madv's adversaries
+//     reuse a scratch Digraph (see graph.Digraph.Reset) instead of
+//     reallocating one.
+//
+//   - Worker-pool compute. WithParallelCompute runs the send, receive, and
+//     compute phases on a persistent pool of GOMAXPROCS goroutines
+//     processing contiguous vertex chunks, with a barrier between phases —
+//     not the goroutine-per-process fan-out of the original engine.
+//
+//   - Quiescent-round skip. A round in which no live process sent anything
+//     skips the receive phase and buffer clearing entirely (the adversary
+//     is still consulted so that seeded adversaries consume the same
+//     random stream regardless of traffic).
+//
+// # Running the experiment benchmarks
+//
+// The repository-level bench_test.go drives this engine for experiments E1
+// (Cole–Vishkin ring coloring), E2 (TREE-adversary dissemination) and E3
+// (TOUR separation):
+//
+//	go test -bench 'BenchmarkE[123]' -benchmem .
+//
+// and cmd/basicsbench re-derives the paper's claims from the same engine
+// (go run ./cmd/basicsbench -run E1,E2,E3; add -json BENCH_round.json for a
+// machine-readable metrics dump).
 package round
 
 import (
 	"errors"
 	"fmt"
-	"sync"
 
 	"distbasics/internal/graph"
 )
@@ -28,12 +72,16 @@ type Message any
 type Outbox map[int]Message
 
 // Inbox maps a sender process id to the message received from it during the
-// receive phase, after adversary filtering.
+// receive phase, after adversary filtering. The engine reuses Inbox maps
+// across rounds: an Inbox is only valid until the Compute call it was passed
+// to returns, and must not be retained.
 type Inbox map[int]Message
 
 // Env describes a process's static local environment: its identity, the
 // total number of processes, and its neighborhood in the base graph. Per the
-// model, a process initially knows only this plus its own input.
+// model, a process initially knows only this plus its own input. Neighbors
+// is sorted ascending; its order defines the slot layout seen by
+// DenseProcess implementations.
 type Env struct {
 	ID        int
 	N         int
@@ -57,6 +105,8 @@ type Process interface {
 // arc u->v means the message sent by u to v in round r (if any) is
 // delivered. Per §3.3 the adversary may read process states at the start of
 // the round, so it receives the live process slice (it must not mutate it).
+// The returned digraph is only read until the end of the round, so an
+// adversary may reuse one scratch digraph across calls.
 type Adversary interface {
 	Graph(r int, base *graph.Graph, procs []Process) *graph.Digraph
 }
@@ -71,7 +121,8 @@ func (f AdversaryFunc) Graph(r int, base *graph.Graph, procs []Process) *graph.D
 
 // None is the empty adversary adv:∅ of §3.3 — it suppresses no message, so
 // G_r is the full symmetric digraph of the base graph, every round. With
-// None the system is the most powerful synchronous model SMPn[adv:∅].
+// None the system is the most powerful synchronous model SMPn[adv:∅]. The
+// engine special-cases None: no digraph is built and no arc is checked.
 type None struct{}
 
 // Graph implements Adversary.
@@ -93,7 +144,9 @@ type Result struct {
 	HaltRound []int
 	// MessagesSent counts messages passed to the engine over all rounds
 	// (before adversary suppression); MessagesDelivered counts those
-	// actually delivered.
+	// actually delivered. A message addressed to a non-neighbor is not
+	// counted at all; a message addressed to a halted neighbor counts as
+	// sent but is never delivered.
 	MessagesSent      int
 	MessagesDelivered int
 }
@@ -106,16 +159,37 @@ func WithAdversary(a Adversary) Option {
 	return func(s *System) { s.adv = a }
 }
 
-// WithParallelCompute runs each round's Compute phase concurrently, one
-// goroutine per process, with a barrier between rounds. Results are
-// identical to sequential execution because a process only touches its own
-// state; this exists to exercise the algorithms under real concurrency.
+// WithParallelCompute runs each round's send, receive, and compute phases on
+// a persistent worker pool (one worker per CPU, contiguous vertex chunks,
+// barrier between phases). Results are identical to sequential execution
+// because a process only touches its own state and its own mailbox slots;
+// this exists both to exercise the algorithms under real concurrency and to
+// scale the big LOCAL-model experiments.
 func WithParallelCompute() Option {
 	return func(s *System) { s.parallel = true }
 }
 
+// WithWorkers sets the worker-pool size used by WithParallelCompute
+// (default: GOMAXPROCS). Values below 1 are ignored.
+func WithWorkers(k int) Option {
+	return func(s *System) {
+		if k >= 1 {
+			s.workers = k
+		}
+	}
+}
+
+// WithMapMailboxes forces every process — including DenseProcess
+// implementations — through the legacy map-based Outbox/Inbox shim. This
+// exists for differential testing of the two mailbox paths; it is never
+// faster.
+func WithMapMailboxes() Option {
+	return func(s *System) { s.forceMap = true }
+}
+
 // WithTrace installs a per-round callback invoked after each round's
-// delivery with the round number and the adversary graph used.
+// delivery with the round number and the adversary graph used. The digraph
+// is only valid during the callback (adversaries may reuse it).
 func WithTrace(fn func(r int, g *graph.Digraph)) Option {
 	return func(s *System) { s.trace = fn }
 }
@@ -127,21 +201,53 @@ type System struct {
 	procs    []Process
 	adv      Adversary
 	parallel bool
+	workers  int
+	forceMap bool
 	trace    func(r int, g *graph.Digraph)
+
+	// Engine state. The topology is recomputed at the start of every Run
+	// (the base graph may change between Runs) but all slices below are
+	// allocated once and reused, so repeated Runs — and every round within
+	// one — allocate nothing here.
+	topo     *topology
+	dense    []DenseProcess // dense[i] non-nil iff procs[i] takes the fast path
+	outBuf   []Message      // flat outgoing slots, indexed by topo layout
+	inBuf    []Message      // flat incoming slots
+	legacyIn []Inbox        // pooled inbox maps for shim processes
+	halted   []bool
+	haltNow  []bool
+	fullG    *graph.Digraph // cached adv:∅ digraph, built only when traced
 }
 
 // ErrSize is returned when the process slice does not match the graph.
 var ErrSize = errors.New("round: len(procs) must equal base.N()")
 
+// parallelMinN is the smallest system for which the worker pool is engaged;
+// below it, dispatch overhead exceeds the whole round's work.
+const parallelMinN = 64
+
 // NewSystem builds a synchronous system over base with the given processes
-// (procs[i] runs at vertex i).
+// (procs[i] runs at vertex i). The base graph must not be mutated while a
+// Run is in progress.
 func NewSystem(base *graph.Graph, procs []Process, opts ...Option) (*System, error) {
 	if base == nil || len(procs) != base.N() {
-		return nil, fmt.Errorf("%w: %d procs, %d vertices", ErrSize, len(procs), base.N())
+		n := 0
+		if base != nil {
+			n = base.N()
+		}
+		return nil, fmt.Errorf("%w: %d procs, %d vertices", ErrSize, len(procs), n)
 	}
-	s := &System{base: base, procs: procs, adv: None{}}
+	s := &System{base: base, procs: procs, adv: None{}, workers: defaultWorkers()}
 	for _, o := range opts {
 		o(s)
+	}
+	s.dense = make([]DenseProcess, len(procs))
+	if !s.forceMap {
+		for i, p := range procs {
+			if dp, ok := p.(DenseProcess); ok {
+				s.dense[i] = dp
+			}
+		}
 	}
 	return s, nil
 }
@@ -153,6 +259,7 @@ func (s *System) Run(maxRounds int) (*Result, error) {
 		return nil, fmt.Errorf("round: maxRounds must be >= 0, got %d", maxRounds)
 	}
 	n := s.base.N()
+	s.prepare(n)
 	for i, p := range s.procs {
 		p.Init(Env{ID: i, N: n, Neighbors: s.base.Neighbors(i)})
 	}
@@ -160,86 +267,91 @@ func (s *System) Run(maxRounds int) (*Result, error) {
 		Outputs:   make([]any, n),
 		HaltRound: make([]int, n),
 	}
-	halted := make([]bool, n)
 	haltedCount := 0
+	_, advIsNone := s.adv.(None)
+
+	var pool *workerPool
+	var sentBy, delivBy []int
+	if s.parallel && n >= parallelMinN {
+		pool = newWorkerPool(s.workers)
+		defer pool.close()
+		sentBy = make([]int, pool.Chunks())
+		delivBy = make([]int, pool.Chunks())
+	}
 
 	for r := 1; r <= maxRounds && haltedCount < n; r++ {
 		res.Rounds = r
 
-		// Send phase: collect outboxes from live processes, restricted to
-		// base-graph neighbors.
-		outs := make([]Outbox, n)
-		for i, p := range s.procs {
-			if halted[i] {
-				continue
+		// Send phase: live processes fill their outgoing slots, restricted
+		// to base-graph neighbors.
+		sent := 0
+		if pool != nil {
+			clear(sentBy)
+			pool.run(n, func(lo, hi, c int) { sentBy[c] += s.sendRange(r, lo, hi) })
+			for _, c := range sentBy {
+				sent += c
 			}
-			out := p.Send(r)
-			filtered := make(Outbox, len(out))
-			for dst, m := range out {
-				if s.base.HasEdge(i, dst) {
-					filtered[dst] = m
-					res.MessagesSent++
-				}
-			}
-			outs[i] = filtered
+		} else {
+			sent = s.sendRange(r, 0, n)
 		}
+		res.MessagesSent += sent
 
-		// Adversary chooses G_r; arcs not in G_r are suppressed.
-		gr := s.adv.Graph(r, s.base, s.procs)
+		// Adversary chooses G_r; arcs not in G_r are suppressed. Under the
+		// built-in None adversary no graph is needed (full delivery);
+		// otherwise the adversary runs every round — even quiescent ones —
+		// so seeded adversaries consume a traffic-independent random
+		// stream.
+		var gr *graph.Digraph
+		full := advIsNone
+		if advIsNone {
+			if s.trace != nil {
+				if s.fullG == nil {
+					s.fullG = graph.DigraphFromGraph(s.base)
+				}
+				gr = s.fullG
+			}
+		} else {
+			gr = s.adv.Graph(r, s.base, s.procs)
+			full = gr == nil
+		}
 		if s.trace != nil {
 			s.trace(r, gr)
 		}
 
-		// Receive phase: build inboxes.
-		ins := make([]Inbox, n)
-		for i := range ins {
-			ins[i] = make(Inbox)
-		}
-		for src, out := range outs {
-			for dst, m := range out {
-				if halted[dst] {
-					continue
+		// Receive phase: deliver surviving messages into incoming slots.
+		// A quiescent round (nothing sent) skips delivery and clearing.
+		if sent > 0 {
+			delivered := 0
+			if pool != nil {
+				clear(delivBy)
+				pool.run(n, func(lo, hi, c int) { delivBy[c] += s.recvRange(gr, full, lo, hi) })
+				for _, c := range delivBy {
+					delivered += c
 				}
-				if gr == nil || gr.HasArc(src, dst) {
-					ins[dst][src] = m
-					res.MessagesDelivered++
-				}
+			} else {
+				delivered = s.recvRange(gr, full, 0, n)
 			}
+			res.MessagesDelivered += delivered
 		}
 
 		// Local computation phase.
-		if s.parallel {
-			var wg sync.WaitGroup
-			haltFlags := make([]bool, n)
-			for i := range s.procs {
-				if halted[i] {
-					continue
-				}
-				wg.Add(1)
-				go func(i int) {
-					defer wg.Done()
-					haltFlags[i] = s.procs[i].Compute(r, ins[i])
-				}(i)
-			}
-			wg.Wait()
-			for i, h := range haltFlags {
-				if h && !halted[i] {
-					halted[i] = true
-					res.HaltRound[i] = r
-					haltedCount++
-				}
-			}
+		if pool != nil {
+			pool.run(n, func(lo, hi, _ int) { s.computeRange(r, lo, hi) })
 		} else {
-			for i, p := range s.procs {
-				if halted[i] {
-					continue
-				}
-				if p.Compute(r, ins[i]) {
-					halted[i] = true
-					res.HaltRound[i] = r
-					haltedCount++
-				}
+			s.computeRange(r, 0, n)
+		}
+		for i, h := range s.haltNow {
+			if h {
+				s.haltNow[i] = false
+				s.halted[i] = true
+				res.HaltRound[i] = r
+				haltedCount++
 			}
+		}
+
+		if sent > 0 {
+			clear(s.outBuf)
+			clear(s.inBuf)
 		}
 	}
 
@@ -248,4 +360,125 @@ func (s *System) Run(maxRounds int) (*Result, error) {
 		res.Outputs[i] = p.Output()
 	}
 	return res, nil
+}
+
+// prepare (re)builds the flattened topology and clears the pooled engine
+// buffers, reusing prior allocations when their sizes still fit.
+func (s *System) prepare(n int) {
+	s.topo = buildTopology(s.base.NeighborsView, n, s.topo)
+	total := int(s.topo.off[n])
+	if cap(s.outBuf) < total {
+		s.outBuf = make([]Message, total)
+		s.inBuf = make([]Message, total)
+	} else {
+		s.outBuf = s.outBuf[:total]
+		s.inBuf = s.inBuf[:total]
+		clear(s.outBuf)
+		clear(s.inBuf)
+	}
+	if len(s.halted) != n {
+		s.halted = make([]bool, n)
+		s.haltNow = make([]bool, n)
+		s.legacyIn = make([]Inbox, n)
+	} else {
+		clear(s.halted)
+		clear(s.haltNow)
+	}
+	s.fullG = nil
+}
+
+// sendRange runs the send phase for vertices [lo, hi) and returns the number
+// of messages accepted (addressed to base-graph neighbors).
+func (s *System) sendRange(r, lo, hi int) int {
+	t := s.topo
+	sent := 0
+	for i := lo; i < hi; i++ {
+		if s.halted[i] {
+			continue
+		}
+		if dp := s.dense[i]; dp != nil {
+			slots := s.outBuf[t.off[i]:t.off[i+1]]
+			dp.DenseSend(r, DenseOutbox{slots: slots})
+			for _, m := range slots {
+				if m != nil {
+					sent++
+				}
+			}
+			continue
+		}
+		out := s.procs[i].Send(r)
+		for dst, m := range out {
+			if dst < 0 || dst >= t.n {
+				continue
+			}
+			slot := t.slotOf(i, dst)
+			if slot < 0 {
+				continue
+			}
+			if m == nil {
+				m = nilMessage
+			}
+			s.outBuf[slot] = m
+			sent++
+		}
+	}
+	return sent
+}
+
+// recvRange runs the receive phase for receivers [lo, hi): for each live
+// receiver it scans its neighbors' reverse slots and copies messages whose
+// arc survived the adversary. It returns the number of deliveries.
+func (s *System) recvRange(gr *graph.Digraph, full bool, lo, hi int) int {
+	t := s.topo
+	delivered := 0
+	for i := lo; i < hi; i++ {
+		if s.halted[i] {
+			continue
+		}
+		for slot := t.off[i]; slot < t.off[i+1]; slot++ {
+			src := t.nbrs[slot]
+			m := s.outBuf[t.off[src]+t.rev[slot]]
+			if m == nil {
+				continue
+			}
+			if full || gr.HasArc(int(src), i) {
+				s.inBuf[slot] = m
+				delivered++
+			}
+		}
+	}
+	return delivered
+}
+
+// computeRange runs the compute phase for vertices [lo, hi), recording halt
+// decisions in s.haltNow (bookkeeping is applied after the phase barrier).
+func (s *System) computeRange(r, lo, hi int) {
+	t := s.topo
+	for i := lo; i < hi; i++ {
+		if s.halted[i] {
+			continue
+		}
+		slots := s.inBuf[t.off[i]:t.off[i+1]]
+		if dp := s.dense[i]; dp != nil {
+			s.haltNow[i] = dp.DenseCompute(r, DenseInbox{slots: slots, nbrs: t.nbrs[t.off[i]:t.off[i+1]]})
+			continue
+		}
+		in := s.legacyIn[i]
+		if in == nil {
+			in = make(Inbox, len(slots))
+			s.legacyIn[i] = in
+		} else {
+			clear(in)
+		}
+		for k, m := range slots {
+			if m == nil {
+				continue
+			}
+			if m == nilMessage {
+				m = nil
+			}
+			in[int(t.nbrs[t.off[i]+int32(k)])] = m
+		}
+		s.haltNow[i] = s.procs[i].Compute(r, in)
+	}
 }
