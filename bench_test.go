@@ -293,11 +293,12 @@ func BenchmarkE8ReliableBroadcast(b *testing.B) {
 	b.ReportMetric(float64(msgs), "msgs")
 }
 
-// BenchmarkE9ABD measures the ABD register's operation latencies in Δ.
+// BenchmarkE9ABD measures the ABD register's operation latencies in Δ at
+// the paper's toy size, then drives whole read/write workloads at sizes
+// up to n=2048 — the calendar-queue simulator's scale target.
 func BenchmarkE9ABD(b *testing.B) {
-	const n = 5
 	const delta = 10
-	mk := func(fast bool) (*amp.Sim, []*abd.Register, []*amp.Stack) {
+	mk := func(n int, fast bool) (*amp.Sim, []*abd.Register, []*amp.Stack) {
 		regs := make([]*abd.Register, n)
 		stacks := make([]*amp.Stack, n)
 		procs := make([]amp.Process, n)
@@ -311,18 +312,20 @@ func BenchmarkE9ABD(b *testing.B) {
 		return amp.NewSim(procs, amp.WithDelay(amp.FixedDelay{D: delta})), regs, stacks
 	}
 	b.Run("write", func(b *testing.B) {
+		b.ReportAllocs()
 		var lat amp.Time
 		for i := 0; i < b.N; i++ {
-			sim, regs, stacks := mk(false)
+			sim, regs, stacks := mk(5, false)
 			sim.Schedule(1, func() { regs[0].Write(stacks[0].Ctx(0), i, func(l amp.Time) { lat = l }) })
 			sim.Run(0)
 		}
 		b.ReportMetric(float64(lat)/delta, "Δ")
 	})
 	b.Run("read-classic", func(b *testing.B) {
+		b.ReportAllocs()
 		var lat amp.Time
 		for i := 0; i < b.N; i++ {
-			sim, regs, stacks := mk(false)
+			sim, regs, stacks := mk(5, false)
 			sim.Schedule(1, func() { regs[0].Write(stacks[0].Ctx(0), i, nil) })
 			sim.Schedule(1000, func() { regs[3].Read(stacks[3].Ctx(0), func(_ any, l amp.Time) { lat = l }) })
 			sim.Run(0)
@@ -330,21 +333,63 @@ func BenchmarkE9ABD(b *testing.B) {
 		b.ReportMetric(float64(lat)/delta, "Δ")
 	})
 	b.Run("read-fast", func(b *testing.B) {
+		b.ReportAllocs()
 		var lat amp.Time
 		for i := 0; i < b.N; i++ {
-			sim, regs, stacks := mk(true)
+			sim, regs, stacks := mk(5, true)
 			sim.Schedule(1, func() { regs[0].Write(stacks[0].Ctx(0), i, nil) })
 			sim.Schedule(1000, func() { regs[3].Read(stacks[3].Ctx(0), func(_ any, l amp.Time) { lat = l }) })
 			sim.Run(0)
 		}
 		b.ReportMetric(float64(lat)/delta, "Δ")
 	})
+	for _, n := range []int{256, 2048} {
+		n := n
+		b.Run(fmt.Sprintf("scale-n=%d", n), func(b *testing.B) {
+			b.ReportAllocs()
+			var events int
+			for i := 0; i < b.N; i++ {
+				sim, regs, stacks := mk(n, false)
+				ops := 0
+				var chain func()
+				chain = func() {
+					if ops >= 4 {
+						return
+					}
+					ops++
+					regs[0].Write(stacks[0].Ctx(0), ops, func(l amp.Time) {
+						if l != 2*delta {
+							b.Errorf("write latency %dΔ, want 2Δ", l/delta)
+						}
+						reader := 1 + ops%n
+						regs[reader].Read(stacks[reader].Ctx(0), func(_ any, l amp.Time) {
+							if l != 4*delta {
+								b.Errorf("read latency %dΔ, want 4Δ", l/delta)
+							}
+							chain()
+						})
+					})
+				}
+				sim.Schedule(1, chain)
+				events = sim.Run(0)
+			}
+			b.ReportMetric(float64(events), "events")
+		})
+	}
 }
 
 // BenchmarkE10RSM sequences commands through the replicated state
-// machine at n=5 with one crash; the metric is commands applied.
+// machine at n=5 with one crash (the metric is commands applied), then at
+// n=256 replicas over a short horizon — the all-to-all heartbeat storms
+// make this the simulator's densest per-tick delivery batches.
 func BenchmarkE10RSM(b *testing.B) {
+	b.Run("n=5", benchRSMSmall)
+	b.Run("scale-n=256", benchRSMScale)
+}
+
+func benchRSMSmall(b *testing.B) {
 	const n = 5
+	b.ReportAllocs()
 	var applied int
 	for i := 0; i < b.N; i++ {
 		nodes := make([]*rsm.Node, n)
@@ -378,6 +423,37 @@ func BenchmarkE10RSM(b *testing.B) {
 		}
 	}
 	b.ReportMetric(float64(applied), "cmds")
+}
+
+func benchRSMScale(b *testing.B) {
+	const n = 256
+	b.ReportAllocs()
+	var events int
+	for i := 0; i < b.N; i++ {
+		nodes := make([]*rsm.Node, n)
+		procs := make([]amp.Process, n)
+		for j := 0; j < n; j++ {
+			nodes[j] = rsm.NewNode(n, 4)
+			nodes[j].Omega.Period = 32
+			procs[j] = nodes[j].Stack
+		}
+		sim := amp.NewSim(procs, amp.WithDelay(amp.FixedDelay{D: 1}))
+		sim.Schedule(1, func() {
+			nodes[1].Submit(nodes[1].Ctx(), rsm.Command{Op: "put", Key: "x", Val: i})
+		})
+		events = sim.Run(150)
+		ref := nodes[0].Applied()
+		if len(ref) != 1 {
+			b.Fatalf("replica 0 applied %d commands, want 1", len(ref))
+		}
+		for j := 1; j < n; j++ {
+			log := nodes[j].Applied()
+			if len(log) != 1 || log[0].ID != ref[0].ID {
+				b.Fatalf("replica %d diverges", j)
+			}
+		}
+	}
+	b.ReportMetric(float64(events), "events")
 }
 
 // BenchmarkE11BenOr reports the mean decision round of Ben-Or's

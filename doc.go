@@ -22,4 +22,21 @@
 // run the E1–E16 benchmarks; differential tests in that package hold the
 // engine's three execution paths (sequential, worker-pool parallel, legacy
 // map mailboxes) to byte-identical Results.
+//
+// # The asynchronous simulator
+//
+// The asynchronous experiments (E8–E16) run on internal/amp's virtual-time
+// simulator, rebuilt the same way: a calendar queue with pooled event
+// records replaces the per-message binary heap (same-timestamp deliveries
+// drain as batches; steady-state simulation allocates nothing per
+// message), and a pluggable Adversary interface (message drop, partition
+// with heal, crash-recovery, timing skew) replaces ad-hoc fault hooks.
+// That is what lets E9 run ABD registers at n=2048 and E10 the replicated
+// state machine at n=1024. The rewrite is fenced three ways: a legacy-heap
+// shim held to identical delivery orders over hundreds of seeded
+// adversarial scenarios, schedule-fuzzed ABD histories checked by
+// internal/check's linearizability checker, and termination/agreement
+// property tests for Ben-Or and indulgent consensus under drop
+// adversaries. See the internal/amp package documentation for the
+// architecture and the E8–E13 mapping.
 package distbasics

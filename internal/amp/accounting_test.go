@@ -1,0 +1,209 @@
+package amp
+
+import "testing"
+
+// These tests pin the simulator's message-accounting semantics (the amp
+// mirror of internal/round/accounting_test.go). MessagesSent counts send
+// attempts by live processes (a send truncated by an exhausted
+// CrashAfterSends budget is not an attempt — the process crashed
+// instead); MessagesDropped counts adversary drops at send time plus
+// deliveries discarded because the destination was crashed or halted; and
+// at quiescence sent == delivered + dropped.
+
+// sink records received payloads.
+type sink struct{ got []Message }
+
+func (s *sink) Init(Context)                          {}
+func (s *sink) OnMessage(_ Context, _ int, m Message) { s.got = append(s.got, m) }
+func (s *sink) OnTimer(Context, int)                  {}
+
+func newSinkSim(n int, opts ...SimOption) (*Sim, []*sink) {
+	sinks := make([]*sink, n)
+	procs := make([]Process, n)
+	for i := range procs {
+		sinks[i] = &sink{}
+		procs[i] = sinks[i]
+	}
+	return NewSim(procs, opts...), sinks
+}
+
+func checkStats(t *testing.T, sim *Sim, sent, delivered, dropped int) {
+	t.Helper()
+	if sim.MessagesSent() != sent || sim.MessagesDelivered() != delivered || sim.MessagesDropped() != dropped {
+		t.Errorf("sent/delivered/dropped = %d/%d/%d, want %d/%d/%d",
+			sim.MessagesSent(), sim.MessagesDelivered(), sim.MessagesDropped(),
+			sent, delivered, dropped)
+	}
+	if sim.QueuedEvents() == 0 && sim.MessagesSent() != sim.MessagesDelivered()+sim.MessagesDropped() {
+		t.Errorf("quiescent invariant violated: sent %d != delivered %d + dropped %d",
+			sim.MessagesSent(), sim.MessagesDelivered(), sim.MessagesDropped())
+	}
+}
+
+func TestAccountingPartitionWindow(t *testing.T) {
+	// Partition {0,1} | {2,3} during [0, 50): cross-island messages count
+	// as sent and dropped; intra-island ones deliver; after the heal at 50
+	// everything delivers again.
+	sim, sinks := newSinkSim(4,
+		WithDelay(FixedDelay{D: 5}),
+		WithAdversary(Partition(0, 50, []int{0, 1})))
+	ctx0, ctx2 := sim.ctxs[0], sim.ctxs[2]
+	sim.Schedule(1, func() {
+		ctx0.Send(1, "intra") // delivers
+		ctx0.Send(2, "cross") // dropped at send
+		ctx2.Send(3, "intra") // delivers (implicit island)
+	})
+	sim.Schedule(60, func() {
+		ctx0.Send(2, "healed") // delivers
+	})
+	sim.Run(0)
+	checkStats(t, sim, 4, 3, 1)
+	if len(sinks[2].got) != 1 || sinks[2].got[0] != "healed" {
+		t.Errorf("p2 got %v, want [healed]", sinks[2].got)
+	}
+}
+
+func TestAccountingCrashRecovery(t *testing.T) {
+	// p1 is down during [10, 30): a message arriving at t=15 is dropped at
+	// delivery, one arriving at t=35 is delivered, and p1's own send
+	// attempt while crashed is not counted at all.
+	sim, sinks := newSinkSim(2,
+		WithDelay(FixedDelay{D: 5}),
+		WithAdversary(CrashRecovery(1, 10, 30)))
+	ctx0, ctx1 := sim.ctxs[0], sim.ctxs[1]
+	sim.Schedule(10, func() { ctx0.Send(1, "lost") })     // arrives 15: dropped
+	sim.Schedule(15, func() { ctx1.Send(0, "silenced") }) // p1 crashed: no send
+	sim.Schedule(30, func() { ctx0.Send(1, "kept") })     // arrives 35: delivered
+	sim.Run(0)
+	checkStats(t, sim, 2, 1, 1)
+	if sim.Crashed(1) {
+		t.Fatal("p1 must be recovered")
+	}
+	if len(sinks[1].got) != 1 || sinks[1].got[0] != "kept" {
+		t.Errorf("p1 got %v, want [kept]", sinks[1].got)
+	}
+	if len(sinks[0].got) != 0 {
+		t.Errorf("p0 got %v, want none (p1 was crashed when it tried to send)", sinks[0].got)
+	}
+}
+
+func TestAccountingDropAdversary(t *testing.T) {
+	// p = 1.0 drops every message: all sent, none delivered.
+	sim, _ := newSinkSim(3, WithAdversary(NewDrop(9, 1.0)))
+	ctx0 := sim.ctxs[0]
+	sim.Schedule(1, func() { ctx0.Broadcast("x") })
+	sim.Run(0)
+	checkStats(t, sim, 3, 0, 3)
+}
+
+func TestAccountingHaltedReceiver(t *testing.T) {
+	// A message arriving after the destination halted counts as dropped.
+	sim, sinks := newSinkSim(2, WithDelay(FixedDelay{D: 5}))
+	ctx0, ctx1 := sim.ctxs[0], sim.ctxs[1]
+	sim.Schedule(1, func() { ctx1.Send(0, "before") }) // arrives 6
+	sim.Schedule(8, func() { ctx0.Halt() })
+	sim.Schedule(9, func() { ctx1.Send(0, "after") }) // arrives 14: dropped
+	sim.Run(0)
+	checkStats(t, sim, 2, 1, 1)
+	if len(sinks[0].got) != 1 {
+		t.Errorf("p0 got %v, want [before]", sinks[0].got)
+	}
+}
+
+func TestAccountingSendBudgetTruncation(t *testing.T) {
+	// CrashAfterSends(0, 2): of a 4-way broadcast only the first two sends
+	// (to p0 itself and to p1) count; the third attempt crashes the sender,
+	// so the in-flight self-delivery finds p0 crashed and is dropped, and
+	// the remaining destinations see nothing.
+	sim, _ := newSinkSim(4)
+	ctx0 := sim.ctxs[0]
+	sim.CrashAfterSends(0, 2)
+	sim.Schedule(1, func() { ctx0.Broadcast("m") })
+	sim.Run(0)
+	checkStats(t, sim, 2, 1, 1)
+	if !sim.Crashed(0) {
+		t.Fatal("sender must crash at the third send attempt")
+	}
+}
+
+func TestAccountingSkewDelaysDelivery(t *testing.T) {
+	// SkewLinks adds to the model delay without affecting counts.
+	sim, sinks := newSinkSim(2,
+		WithDelay(FixedDelay{D: 2}),
+		WithAdversary(SkewLinks(3, nil)))
+	ctx0 := sim.ctxs[0]
+	sim.Schedule(1, func() { ctx0.Send(1, "slow") })
+	sim.Run(0)
+	checkStats(t, sim, 1, 1, 0)
+	if sim.Now() != 6 {
+		t.Errorf("delivery at t=%d, want 6 (send at 1, delay 2, skew 3)", sim.Now())
+	}
+	if len(sinks[1].got) != 1 {
+		t.Errorf("p1 got %v", sinks[1].got)
+	}
+}
+
+func TestAccountingIsolateCutsBothDirections(t *testing.T) {
+	// Isolate(1): messages to and from p1 drop, including p1→p1; the other
+	// processes communicate normally.
+	sim, sinks := newSinkSim(3, WithAdversary(Isolate(0, 0, 1)))
+	ctx0, ctx1 := sim.ctxs[0], sim.ctxs[1]
+	sim.Schedule(1, func() {
+		ctx0.Send(1, "in")   // dropped
+		ctx1.Send(0, "out")  // dropped
+		ctx1.Send(1, "self") // dropped
+		ctx0.Send(2, "ok")   // delivered
+	})
+	sim.Run(0)
+	checkStats(t, sim, 4, 1, 3)
+	if len(sinks[2].got) != 1 || len(sinks[0].got) != 0 || len(sinks[1].got) != 0 {
+		t.Errorf("deliveries wrong: p0=%v p1=%v p2=%v", sinks[0].got, sinks[1].got, sinks[2].got)
+	}
+}
+
+// recoverable counts OnRecover upcalls.
+type recoverable struct {
+	sink
+	recovered []Time
+}
+
+func (r *recoverable) OnRecover(ctx Context) { r.recovered = append(r.recovered, ctx.Now()) }
+
+func TestRecoverAtSemantics(t *testing.T) {
+	r := &recoverable{}
+	sim := NewSim([]Process{r, &sink{}}, WithDelay(FixedDelay{D: 1}))
+	ctx1 := sim.ctxs[1]
+	sim.CrashAt(0, 5)
+	sim.RecoverAt(0, 20)
+	sim.RecoverAt(1, 20) // not crashed: no-op, no upcall
+	sim.Schedule(10, func() { ctx1.Send(0, "lost") })
+	sim.Schedule(25, func() { ctx1.Send(0, "kept") })
+	sim.Run(0)
+	if sim.Crashed(0) {
+		t.Fatal("p0 must be recovered")
+	}
+	if len(r.recovered) != 1 || r.recovered[0] != 20 {
+		t.Fatalf("OnRecover fired %v, want exactly once at t=20", r.recovered)
+	}
+	if len(r.got) != 1 || r.got[0] != "kept" {
+		t.Fatalf("p0 got %v, want [kept]", r.got)
+	}
+	checkStats(t, sim, 2, 1, 1)
+}
+
+func TestCrashAfterSendsThenRecover(t *testing.T) {
+	// A budget-crash followed by recovery resets the budget to unlimited.
+	sim, sinks := newSinkSim(3)
+	ctx0 := sim.ctxs[0]
+	sim.CrashAfterSends(0, 1)
+	sim.RecoverAt(0, 10)
+	sim.Schedule(1, func() { ctx0.Broadcast("a") })  // 1 send (to self), then crash
+	sim.Schedule(20, func() { ctx0.Broadcast("b") }) // recovered: all 3 sends
+	sim.Run(0)
+	// "a"'s self-send is dropped at delivery (p0 crashed meanwhile); "b"'s
+	// three sends all deliver.
+	checkStats(t, sim, 4, 3, 1)
+	if got := len(sinks[1].got) + len(sinks[2].got); got != 2 {
+		t.Errorf("p1+p2 deliveries = %d, want 2 (one truncated, one full broadcast)", got)
+	}
+}

@@ -13,6 +13,49 @@
 //     4Δ; the fast-read variant's 2Δ) exactly.
 //   - Live: one goroutine per process over real channels, for integration
 //     tests under the race detector.
+//
+// # The calendar-queue event engine
+//
+// Sim's event queue is a calendar queue (calqueue.go): events due within
+// the next calWidth virtual-time units sit in a ring of per-tick buckets,
+// so scheduling is an append and dequeuing is an array read, with all
+// deliveries that share a timestamp draining from one bucket as a batch;
+// only far-future events (pre-GST "arbitrary" delays, long retry timers)
+// take the O(log n) overflow-heap path. Event records are pooled and
+// reused across deliveries, and per-process rand sources materialize
+// lazily from pre-drawn seeds, which together make steady-state
+// simulation allocation-free — the difference between E9/E10 at n=5 and
+// at n in the thousands. The pre-rewrite binary-heap loop survives behind
+// WithHeapEvents; equivalence_test.go holds both engines to identical
+// delivery orders and process states across hundreds of seeded
+// adversarial scenarios.
+//
+// # Adversaries
+//
+// Faults are injected through the Adversary interface (adversary.go):
+// WithAdversary composes message-drop (NewDrop, NewDropWindow), partition
+// with heal (Partition, Isolate), crash-recovery (CrashRecovery, via
+// Sim.RecoverAt and the optional Recoverer upcall), and timing-skew
+// (SkewLinks) adversaries, each carrying its own seeded randomness so
+// installing one never perturbs delay or coin-flip streams. Sent,
+// delivered, and dropped message counts are tracked per simulation
+// (accounting_test.go pins the semantics).
+//
+// # How E8–E13 map onto the simulator
+//
+//   - E8 (reliable broadcast): CrashAfterSends truncates a broadcast
+//     mid-send; the all-or-none sweep runs one Sim per crash prefix.
+//   - E9 (ABD): FixedDelay Δ gives the 2Δ/4Δ latencies; WithDropRule or
+//     Partition realizes the t >= n/2 liveness loss and the
+//     partition+heal scenarios; the scale row drives n=2048 registers.
+//   - E10 (TO-broadcast/RSM): rsm.Node stacks (Ω + TO + Synod slots) run
+//     at n=5 with a crash and at n=1024 under stretched heartbeats.
+//   - E11 (Ben-Or): per-process Rand supplies the coin; Isolate bounds
+//     the loss to at most t processes for termination-under-drops tests.
+//   - E12 (Ω): GSTDelay models partial synchrony; Partition+heal forces
+//     re-election and restoration.
+//   - E13 (indulgent consensus): Synod over Ω decides after GST — or
+//     after a NewDropWindow closes — and stays safe under permanent loss.
 package amp
 
 import (

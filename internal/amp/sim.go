@@ -9,22 +9,43 @@ import (
 // Sim is the deterministic virtual-time simulator of AMPn,t[∅]. All state
 // changes happen inside Run's event loop; the test driver injects work via
 // Schedule closures (virtual "clients") and inspects processes afterwards.
+//
+// The event queue is a calendar queue (see calQueue): near-future events
+// live in per-tick ring buckets and far-future events in a small overflow
+// heap, so the hot path — deliveries a few Δ ahead — costs an append and
+// an array read instead of two O(log n) heap fix-ups, and all deliveries
+// sharing a timestamp drain from one bucket as a batch. Event records are
+// pooled and reused across deliveries, so a quiescent-state simulation
+// allocates nothing per message. The legacy binary-heap event loop is
+// kept behind WithHeapEvents for differential testing; both engines yield
+// the identical (time, sequence-number) event order.
+//
+// Network and process faults are injected through the Adversary interface
+// (message drops, partitions with heal, crash-recovery, timing skew — see
+// adversary.go) plus the CrashAt/CrashAfterSends/RecoverAt scheduling
+// calls.
 type Sim struct {
-	n      int
-	procs  []Process
-	ctxs   []*simCtx
-	delay  DelayModel
-	rng    *rand.Rand
-	events eventHeap
-	seq    uint64
-	now    Time
+	n     int
+	procs []Process
+	ctxs  []*simCtx
+	delay DelayModel
+	rng   *rand.Rand
+	seq   uint64
+	now   Time
+
+	q      calQueue
+	events eventHeap // legacy engine (WithHeapEvents)
+	legacy bool
+	pool   []*event
+
+	advs []Adversary
 
 	crashed    []bool
 	halted     []bool
 	sendBudget []int // -1 = unlimited; otherwise remaining sends before crash
 	delivered  int
 	sent       int
-	dropFn     func(src, dst int, at Time) bool
+	dropped    int
 	inited     bool
 }
 
@@ -39,15 +60,26 @@ func WithDelay(d DelayModel) SimOption {
 // WithSeed seeds the simulator's deterministic randomness (delays and
 // per-process Rand sources derive from it). Default seed 1.
 func WithSeed(seed int64) SimOption {
-	return func(s *Sim) { s.rng = rand.New(rand.NewSource(seed)) }
+	return func(s *Sim) { s.rng = newRand(seed) }
 }
 
 // WithDropRule installs a message filter: messages for which fn returns
 // true are silently dropped (network partitions for liveness experiments;
 // note AMPn,t[∅] channels are reliable, so protocols relying on that must
 // only face drops in "what if" liveness probes like E9's t >= n/2 case).
+// It is a convenience wrapper over WithAdversary.
 func WithDropRule(fn func(src, dst int, at Time) bool) SimOption {
-	return func(s *Sim) { s.dropFn = fn }
+	return WithAdversary(AdversaryFunc(func(src, dst int, at Time) Verdict {
+		return Verdict{Drop: fn(src, dst, at)}
+	}))
+}
+
+// WithHeapEvents selects the legacy binary-heap event queue the simulator
+// used before the calendar-queue rewrite. It exists so differential tests
+// can hold both engines to identical delivery orders; there is no reason
+// to use it otherwise.
+func WithHeapEvents() SimOption {
+	return func(s *Sim) { s.legacy = true }
 }
 
 // NewSim builds a simulator over the given processes (procs[i] is process
@@ -58,7 +90,7 @@ func NewSim(procs []Process, opts ...SimOption) *Sim {
 		n:          n,
 		procs:      procs,
 		delay:      FixedDelay{D: 1},
-		rng:        rand.New(rand.NewSource(1)),
+		rng:        newRand(1),
 		crashed:    make([]bool, n),
 		halted:     make([]bool, n),
 		sendBudget: make([]int, n),
@@ -69,9 +101,17 @@ func NewSim(procs []Process, opts ...SimOption) *Sim {
 	for _, o := range opts {
 		o(s)
 	}
+	s.q.init()
 	s.ctxs = make([]*simCtx, n)
+	block := make([]simCtx, n)
 	for i := 0; i < n; i++ {
-		s.ctxs[i] = &simCtx{sim: s, id: i, rng: rand.New(rand.NewSource(s.rng.Int63()))}
+		// The per-process rand seed is drawn eagerly (so the root stream is
+		// consumed identically whether or not a process ever calls Rand) but
+		// the ~5KB rand.Rand itself is built lazily on first use: most
+		// protocols never touch it, and at n in the thousands the eager
+		// sources were the dominant allocation.
+		block[i] = simCtx{sim: s, id: i, seed: s.rng.Int63()}
+		s.ctxs[i] = &block[i]
 	}
 	return s
 }
@@ -80,12 +120,18 @@ func NewSim(procs []Process, opts ...SimOption) *Sim {
 // first event is processed. Deferring Init to Run (rather than NewSim)
 // lets crash injection configured between NewSim and Run — in particular
 // CrashAfterSends(pid, 0), "crash before sending anything" — truncate
-// Init-time broadcasts.
+// Init-time broadcasts. Adversaries implementing Installer get their
+// Install hook here, before any process runs.
 func (s *Sim) initOnce() {
 	if s.inited {
 		return
 	}
 	s.inited = true
+	for _, a := range s.advs {
+		if in, ok := a.(Installer); ok {
+			in.Install(s)
+		}
+	}
 	for i, p := range s.procs {
 		if !s.crashed[i] {
 			p.Init(s.ctxs[i])
@@ -101,6 +147,7 @@ const (
 	evTimer
 	evClosure
 	evCrash
+	evRecover
 )
 
 type event struct {
@@ -134,10 +181,46 @@ func (h *eventHeap) Pop() any {
 	return e
 }
 
+// newEvent takes a record from the pool (or allocates one) — the pool is
+// what keeps steady-state simulation allocation-free.
+func (s *Sim) newEvent() *event {
+	if n := len(s.pool); n > 0 {
+		e := s.pool[n-1]
+		s.pool = s.pool[:n-1]
+		return e
+	}
+	return &event{}
+}
+
+// freeEvent clears payload references and returns the record to the pool.
+func (s *Sim) freeEvent(e *event) {
+	*e = event{}
+	s.pool = append(s.pool, e)
+}
+
 func (s *Sim) push(e *event) {
 	e.seq = s.seq
 	s.seq++
-	heap.Push(&s.events, e)
+	if s.legacy {
+		heap.Push(&s.events, e)
+		return
+	}
+	s.q.push(e)
+}
+
+// popNext dequeues the earliest event, honoring the until bound (0 = no
+// bound); it returns nil when the run should stop.
+func (s *Sim) popNext(until Time) *event {
+	if s.legacy {
+		if len(s.events) == 0 {
+			return nil
+		}
+		if until > 0 && s.events[0].at > until {
+			return nil
+		}
+		return heap.Pop(&s.events).(*event)
+	}
+	return s.q.pop(until)
 }
 
 // Now returns the current virtual time.
@@ -152,6 +235,22 @@ func (s *Sim) MessagesSent() int { return s.sent }
 // MessagesDelivered reports how many messages reached a live process.
 func (s *Sim) MessagesDelivered() int { return s.delivered }
 
+// MessagesDropped reports how many sent messages were lost: dropped by an
+// adversary (or drop rule) at send time, or discarded at delivery because
+// the destination was crashed or halted. At quiescence,
+// sent == delivered + dropped; during a bounded Run the difference is the
+// in-flight count.
+func (s *Sim) MessagesDropped() int { return s.dropped }
+
+// QueuedEvents reports how many events are pending (in-flight messages,
+// armed timers, scheduled closures and crash/recovery injections).
+func (s *Sim) QueuedEvents() int {
+	if s.legacy {
+		return len(s.events)
+	}
+	return s.q.len()
+}
+
 // Schedule runs fn at virtual time at (>= now) inside the event loop —
 // the mechanism for test drivers ("clients") to invoke protocol
 // operations at chosen times.
@@ -159,7 +258,9 @@ func (s *Sim) Schedule(at Time, fn func()) {
 	if at < s.now {
 		at = s.now
 	}
-	s.push(&event{at: at, kind: evClosure, fn: fn})
+	e := s.newEvent()
+	e.at, e.kind, e.fn = at, evClosure, fn
+	s.push(e)
 }
 
 // CrashAt schedules a crash of pid at virtual time at: from then on it
@@ -167,7 +268,28 @@ func (s *Sim) Schedule(at Time, fn func()) {
 // delivery). Crash failures are premature halts, per §2.4.
 func (s *Sim) CrashAt(pid int, at Time) {
 	validatePID(pid, s.n)
-	s.push(&event{at: at, kind: evCrash, to: pid})
+	if at < s.now {
+		at = s.now
+	}
+	e := s.newEvent()
+	e.at, e.kind, e.to = at, evCrash, pid
+	s.push(e)
+}
+
+// RecoverAt schedules a recovery of pid at virtual time at: if it is
+// crashed then, it resumes sending and receiving (messages dropped while
+// it was down stay lost — the crash-recovery model with volatile channel
+// state). A send budget exhausted by CrashAfterSends is reset to
+// unlimited. If the process implements Recoverer, OnRecover runs inside
+// the event loop at recovery time.
+func (s *Sim) RecoverAt(pid int, at Time) {
+	validatePID(pid, s.n)
+	if at < s.now {
+		at = s.now
+	}
+	e := s.newEvent()
+	e.at, e.kind, e.to = at, evRecover, pid
+	s.push(e)
 }
 
 // CrashAfterSends lets pid send k more messages and then crashes it at the
@@ -191,33 +313,43 @@ func (s *Sim) Crashed(pid int) bool {
 func (s *Sim) Run(until Time) int {
 	s.initOnce()
 	processed := 0
-	for s.events.Len() > 0 {
-		e := s.events[0]
-		if until > 0 && e.at > until {
+	for {
+		e := s.popNext(until)
+		if e == nil {
 			break
 		}
-		heap.Pop(&s.events)
 		s.now = e.at
 		processed++
 		switch e.kind {
 		case evDeliver:
 			if s.crashed[e.to] || s.halted[e.to] {
-				continue
+				s.dropped++
+			} else {
+				s.delivered++
+				s.procs[e.to].OnMessage(s.ctxs[e.to], e.from, e.msg)
 			}
-			s.delivered++
-			s.procs[e.to].OnMessage(s.ctxs[e.to], e.from, e.msg)
 		case evTimer:
-			if s.crashed[e.to] || s.halted[e.to] {
-				continue
+			if !s.crashed[e.to] && !s.halted[e.to] {
+				s.procs[e.to].OnTimer(s.ctxs[e.to], e.tid)
 			}
-			s.procs[e.to].OnTimer(s.ctxs[e.to], e.tid)
 		case evClosure:
 			e.fn()
 		case evCrash:
 			s.crashed[e.to] = true
+		case evRecover:
+			if s.crashed[e.to] {
+				s.crashed[e.to] = false
+				if s.sendBudget[e.to] == 0 {
+					s.sendBudget[e.to] = -1
+				}
+				if r, ok := s.procs[e.to].(Recoverer); ok {
+					r.OnRecover(s.ctxs[e.to])
+				}
+			}
 		default:
 			panic(fmt.Sprintf("amp: unknown event kind %d", e.kind))
 		}
+		s.freeEvent(e)
 	}
 	return processed
 }
@@ -237,28 +369,47 @@ func (s *Sim) send(src, dst int, msg Message) {
 		s.sendBudget[src]--
 	}
 	s.sent++
-	if s.dropFn != nil && s.dropFn(src, dst, s.now) {
-		return
+	var skew Time
+	for _, a := range s.advs {
+		v := a.Judge(src, dst, s.now)
+		if v.Drop {
+			s.dropped++
+			return
+		}
+		skew += v.Skew
 	}
 	d := s.delay.Delay(src, dst, s.now, s.rng)
 	if d < 1 {
 		d = 1
 	}
-	s.push(&event{at: s.now + d, kind: evDeliver, to: dst, from: src, msg: msg})
+	if d += skew; d < 1 {
+		d = 1
+	}
+	e := s.newEvent()
+	e.at, e.kind, e.to, e.from, e.msg = s.now+d, evDeliver, dst, src, msg
+	s.push(e)
 }
 
 // simCtx implements Context for one process.
 type simCtx struct {
-	sim *Sim
-	id  int
-	rng *rand.Rand
+	sim  *Sim
+	id   int
+	seed int64
+	rng  *rand.Rand
 }
 
-func (c *simCtx) ID() int          { return c.id }
-func (c *simCtx) N() int           { return c.sim.n }
-func (c *simCtx) Now() Time        { return c.sim.now }
-func (c *simCtx) Rand() *rand.Rand { return c.rng }
-func (c *simCtx) Halt()            { c.sim.halted[c.id] = true }
+func (c *simCtx) ID() int   { return c.id }
+func (c *simCtx) N() int    { return c.sim.n }
+func (c *simCtx) Now() Time { return c.sim.now }
+
+func (c *simCtx) Rand() *rand.Rand {
+	if c.rng == nil {
+		c.rng = newRand(c.seed)
+	}
+	return c.rng
+}
+
+func (c *simCtx) Halt() { c.sim.halted[c.id] = true }
 
 func (c *simCtx) Send(to int, msg Message) { c.sim.send(c.id, to, msg) }
 
@@ -272,5 +423,7 @@ func (c *simCtx) SetTimer(d Time, id int) {
 	if d < 1 {
 		d = 1
 	}
-	c.sim.push(&event{at: c.sim.now + d, kind: evTimer, to: c.id, tid: id})
+	e := c.sim.newEvent()
+	e.at, e.kind, e.to, e.tid = c.sim.now+d, evTimer, c.id, id
+	c.sim.push(e)
 }

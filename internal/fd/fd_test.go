@@ -155,3 +155,31 @@ func TestChangesHistoryRecorded(t *testing.T) {
 		t.Fatalf("final change leader = %d, want 1", ch[len(ch)-1].Leader)
 	}
 }
+
+// TestOmegaPartitionHealReelection ports Ω onto the partition adversary:
+// isolating the incumbent leader behind a partition must elect the next
+// process, and healing the partition must restore the original leader at
+// every correct process — leadership tracks connectivity, not just
+// crashes.
+func TestOmegaPartitionHealReelection(t *testing.T) {
+	c := newFDCluster(4,
+		amp.WithDelay(amp.FixedDelay{D: 2}),
+		amp.WithAdversary(amp.Partition(200, 1200, []int{0})))
+
+	c.sim.Run(1000) // mid-partition sample
+	for i := 1; i < 4; i++ {
+		if got := c.dets[i].Leader(); got != 1 {
+			t.Fatalf("mid-partition: process %d leader = %d, want 1", i, got)
+		}
+	}
+	if got := c.dets[0].Leader(); got != 0 {
+		t.Fatalf("mid-partition: isolated process leader = %d, want itself (0)", got)
+	}
+
+	c.sim.Run(3000) // well past the heal at 1200
+	for i := 0; i < 4; i++ {
+		if got := c.dets[i].Leader(); got != 0 {
+			t.Fatalf("post-heal: process %d leader = %d, want 0 restored", i, got)
+		}
+	}
+}

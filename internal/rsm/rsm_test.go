@@ -249,3 +249,41 @@ func TestRSMDeleteSemantics(t *testing.T) {
 		}
 	}
 }
+
+// TestRSMPartitionHealPrefixConsistency ports the replica machine onto
+// the simulator's partition adversary: a minority island {3,4} is cut off
+// during [30, 2000) while the majority keeps sequencing commands, and
+// after the heal a further command is agreed. Mutual consistency must
+// hold throughout as prefix consistency: every replica's applied sequence
+// is a prefix of the majority's (the minority misses slots whose decide
+// messages fell inside the window — TO-broadcast has no retransmission —
+// but never applies anything divergent).
+func TestRSMPartitionHealPrefixConsistency(t *testing.T) {
+	c := newRSMCluster(5, 8,
+		amp.WithDelay(amp.FixedDelay{D: 2}),
+		amp.WithAdversary(amp.Partition(30, 2000, []int{3, 4})))
+	cmds := []Command{
+		{Op: "put", Key: "a", Val: 1}, // before the partition: applies everywhere
+		{Op: "put", Key: "b", Val: 2}, // during: applies at the majority only
+		{Op: "put", Key: "c", Val: 3}, // after the heal
+	}
+	c.sim.Schedule(10, func() { c.nodes[1].Submit(c.nodes[1].Ctx(), cmds[0]) })
+	c.sim.Schedule(100, func() { c.nodes[1].Submit(c.nodes[1].Ctx(), cmds[1]) })
+	c.sim.Schedule(2500, func() { c.nodes[2].Submit(c.nodes[2].Ctx(), cmds[2]) })
+	c.sim.Run(20_000)
+
+	for i := 0; i < 3; i++ {
+		if got := c.nodes[i].Len(); got != len(cmds) {
+			t.Fatalf("majority replica %d applied %d commands, want %d", i, got, len(cmds))
+		}
+		if v := c.nodes[i].Get("c"); v != 3 {
+			t.Fatalf("majority replica %d: c = %v, want 3", i, v)
+		}
+	}
+	checkMutualConsistency(t, c.nodes, nil)
+	for i := 3; i < 5; i++ {
+		if got := c.nodes[i].Len(); got < 1 || got > len(cmds) {
+			t.Fatalf("minority replica %d applied %d commands, want within [1, %d]", i, got, len(cmds))
+		}
+	}
+}
