@@ -128,6 +128,7 @@ func BenchmarkE4Hierarchy(b *testing.B) {
 			continue
 		}
 		b.Run(e.Object, func(b *testing.B) {
+			b.ReportAllocs()
 			var execs int
 			for i := 0; i < b.N; i++ {
 				res := shm.Explore(shm.ExploreOpts{
@@ -157,34 +158,42 @@ func BenchmarkE4Hierarchy(b *testing.B) {
 
 // BenchmarkE5Universal drives Herlihy's universal construction: n
 // processes × ops increments on a constructed counter under a random
-// schedule.
+// schedule, at the paper's toy size and at the rebuilt engine's scale
+// target (n=8 × 64 ops).
 func BenchmarkE5Universal(b *testing.B) {
-	const n, ops = 3, 8
-	for i := 0; i < b.N; i++ {
-		u := universal.NewUniversal(n, universal.CounterSpec{})
-		bodies := make([]func(*shm.Proc) any, n)
-		for j := 0; j < n; j++ {
-			bodies[j] = func(p *shm.Proc) any {
-				h := u.Handle(p)
-				for k := 0; k < ops; k++ {
-					h.Invoke(universal.AddOp{Delta: 1})
+	for _, cfg := range []struct{ n, ops int }{{3, 8}, {8, 64}} {
+		cfg := cfg
+		b.Run(fmt.Sprintf("n=%d,ops=%d", cfg.n, cfg.ops), func(b *testing.B) {
+			b.ReportAllocs()
+			n, ops := cfg.n, cfg.ops
+			for i := 0; i < b.N; i++ {
+				u := universal.NewUniversal(n, universal.CounterSpec{})
+				bodies := make([]func(*shm.Proc) any, n)
+				for j := 0; j < n; j++ {
+					bodies[j] = func(p *shm.Proc) any {
+						h := u.Handle(p)
+						for k := 0; k < ops; k++ {
+							h.Invoke(universal.AddOp{Delta: 1})
+						}
+						return nil
+					}
 				}
-				return nil
+				out := shm.Execute(&shm.Run{Bodies: bodies}, shm.NewRandomPolicy(int64(i)), 20_000_000)
+				for j := 0; j < n; j++ {
+					if !out.Finished[j] {
+						b.Fatal("wait-freedom violated")
+					}
+				}
 			}
-		}
-		out := shm.Execute(&shm.Run{Bodies: bodies}, shm.NewRandomPolicy(int64(i)), 0)
-		for j := 0; j < n; j++ {
-			if !out.Finished[j] {
-				b.Fatal("wait-freedom violated")
-			}
-		}
+			b.ReportMetric(float64(n*ops), "ops/run")
+		})
 	}
-	b.ReportMetric(float64(n*ops), "ops/run")
 }
 
 // BenchmarkE6KUniversal drives the (k,ℓ)-universal construction and
 // reports how many of the k objects progressed.
 func BenchmarkE6KUniversal(b *testing.B) {
+	b.ReportAllocs()
 	const k, l, n, rounds = 4, 2, 3, 10
 	var progressed int
 	for i := 0; i < b.N; i++ {
@@ -233,11 +242,13 @@ func BenchmarkE6KUniversal(b *testing.B) {
 }
 
 // BenchmarkE7KSet runs the obstruction-free k-set agreement to solo
-// termination and reports the register count (n−k+1).
+// termination and reports the register count (n−k+1). The n=64 entry is
+// the rebuilt engine's scale target.
 func BenchmarkE7KSet(b *testing.B) {
-	for _, nk := range [][2]int{{8, 3}, {16, 5}} {
+	for _, nk := range [][2]int{{8, 3}, {16, 5}, {64, 9}} {
 		n, k := nk[0], nk[1]
 		b.Run(fmt.Sprintf("n=%d,k=%d", n, k), func(b *testing.B) {
+			b.ReportAllocs()
 			var regs int
 			for i := 0; i < b.N; i++ {
 				o := agreement.NewOFKSet(n, k)
@@ -248,7 +259,7 @@ func BenchmarkE7KSet(b *testing.B) {
 					bodies[j] = func(p *shm.Proc) any { return o.Propose(p, j) }
 				}
 				pol := &shm.SoloPolicy{Rng: rand.New(rand.NewSource(int64(i))), Prefix: 30, Solo: i % n}
-				out := shm.Execute(&shm.Run{Bodies: bodies}, pol, 500_000)
+				out := shm.Execute(&shm.Run{Bodies: bodies}, pol, 5_000_000)
 				if !out.Finished[i%n] {
 					b.Fatal("solo process did not terminate")
 				}

@@ -6,6 +6,7 @@ package main
 import (
 	"fmt"
 	"math/rand"
+	"runtime"
 
 	"distbasics/internal/agreement"
 	"distbasics/internal/check"
@@ -28,7 +29,9 @@ func runE4() []row {
 		}
 
 		if e.ConsensusNumber == 1 && e.Factory != nil {
-			// Registers only: exhaustive search must FIND a violation.
+			// Registers only: exhaustive search must FIND a violation. The
+			// search runs uncapped (the seed capped it at 300k executions)
+			// and fans out across the cores.
 			res := shm.Explore(shm.ExploreOpts{
 				Factory: func() *shm.Run {
 					c := e.Factory(2)
@@ -38,14 +41,14 @@ func runE4() []row {
 					}}
 				},
 				MaxCrashes: 1,
+				Workers:    runtime.GOMAXPROCS(0),
 				Check: func(out *shm.Outcome) string {
 					return agreement.CheckConsensusOutcome(out, []any{0, 1})
 				},
-				MaxExecutions: 300_000,
 			})
 			rows = append(rows, row{
 				claim:    fmt.Sprintf("cons#(%s) = %s: registers cannot solve 2-consensus (§4.2, [23,32,44])", e.Object, cn),
-				measured: fmt.Sprintf("exhaustive n=2 (%d executions): violation found: %v (%s)", res.Executions, res.Violation != "", firstWords(res.Violation, 8)),
+				measured: fmt.Sprintf("exhaustive n=2 uncapped (%d executions): violation found: %v (%s)", res.Executions, res.Violation != "", firstWords(res.Violation, 8)),
 				ok:       res.Violation != "",
 			})
 			continue
@@ -64,6 +67,7 @@ func runE4() []row {
 				}}
 			},
 			MaxCrashes: 1,
+			Workers:    runtime.GOMAXPROCS(0),
 			Check: func(out *shm.Outcome) string {
 				return agreement.CheckConsensusOutcome(out, []any{0, 1})
 			},
@@ -74,6 +78,28 @@ func runE4() []row {
 		okAll := ok2
 
 		if e.ConsensusNumber == agreement.Infinity {
+			// Exhaustive verification at n=3 with up to two crashes — the
+			// scale the leaf-only explorer buys over the seed's n=2.
+			res3 := shm.Explore(shm.ExploreOpts{
+				Factory: func() *shm.Run {
+					c := e.Factory(3)
+					bodies := make([]func(*shm.Proc) any, 3)
+					for i := 0; i < 3; i++ {
+						i := i
+						bodies[i] = func(p *shm.Proc) any { return c.Propose(p, i%2) }
+					}
+					return &shm.Run{Bodies: bodies}
+				},
+				MaxCrashes: 2,
+				Workers:    runtime.GOMAXPROCS(0),
+				Check: func(out *shm.Outcome) string {
+					return agreement.CheckConsensusOutcome(out, []any{0, 1, 0})
+				},
+			})
+			ok3 := res3.Violation == "" && !res3.Truncated
+			measured += fmt.Sprintf("; n=3 exhaustive (%d executions w/ ≤2 crashes): correct: %v", res3.Executions, ok3)
+			okAll = okAll && ok3
+
 			// Stress at n=4 with crashes: consensus must still hold.
 			okStress := true
 			for seed := int64(0); seed < 40; seed++ {
@@ -132,11 +158,13 @@ func runE4() []row {
 // queue survive hostile schedules and crashes, every survivor's
 // operations complete (wait-freedom), and recorded histories linearize.
 func runE5() []row {
-	const n, perProc = 3, 4
+	// The rebuilt engine runs the universal construction at n=8 with 64
+	// ops per process (the seed exercised n=3 × 4 ops).
+	const n, perProc = 8, 64
 
 	// Counter with crash injection: final value must equal applied ops.
 	okCount := true
-	for seed := int64(0); seed < 30; seed++ {
+	for seed := int64(0); seed < 10; seed++ {
 		u := universal.NewUniversal(n, universal.CounterSpec{})
 		bodies := make([]func(*shm.Proc) any, n)
 		for i := 0; i < n; i++ {
@@ -148,8 +176,8 @@ func runE5() []row {
 				return nil
 			}
 		}
-		pol := &shm.RandomPolicy{Rng: rand.New(rand.NewSource(seed)), CrashProb: 0.005, MaxCrashes: n - 1}
-		out := shm.Execute(&shm.Run{Bodies: bodies}, pol, 2_000_000)
+		pol := &shm.RandomPolicy{Rng: rand.New(rand.NewSource(seed)), CrashProb: 0.0005, MaxCrashes: n - 1}
+		out := shm.Execute(&shm.Run{Bodies: bodies}, pol, 20_000_000)
 		if out.Cutoff {
 			okCount = false // a survivor failed to finish: not wait-free
 		}
@@ -203,7 +231,7 @@ func runE5() []row {
 	return []row{
 		{
 			claim:    "wait-free counter from registers+consensus; survivors always finish (§4.2, [32])",
-			measured: fmt.Sprintf("n=%d ×30 seeds, crashes ≤ %d: wait-freedom + exact counts: %v", n, n-1, okCount),
+			measured: fmt.Sprintf("n=%d × %d ops ×10 seeds, crashes ≤ %d: wait-freedom + exact counts: %v", n, perProc, n-1, okCount),
 			ok:       okCount,
 		},
 		{
@@ -305,13 +333,13 @@ func runE7() []row {
 	var rows []row
 	okRegs := true
 	regDetail := ""
-	for _, nk := range [][2]int{{4, 1}, {8, 3}, {16, 5}} {
+	for _, nk := range [][2]int{{4, 1}, {8, 3}, {16, 5}, {64, 9}} {
 		n, k := nk[0], nk[1]
 		o := agreement.NewOFKSet(n, k)
 		if o.RegisterCount() != n-k+1 {
 			okRegs = false
 		}
-		regDetail = fmt.Sprintf("n=16,k=5 uses %d registers (n−k+1=%d)", agreement.NewOFKSet(16, 5).RegisterCount(), 16-5+1)
+		regDetail = fmt.Sprintf("n=64,k=9 uses %d registers (n−k+1=%d)", agreement.NewOFKSet(64, 9).RegisterCount(), 64-9+1)
 	}
 	rows = append(rows, row{
 		claim:    "(n−k+1) MWMR registers suffice, which is optimal (§4.3, [9])",
@@ -364,6 +392,48 @@ func runE7() []row {
 		claim:    "safety unconditionally: at most k distinct decided values",
 		measured: fmt.Sprintf("25 schedules: k-agreement never violated: %v", okAgree),
 		ok:       okAgree,
+	})
+
+	// The scale dividend: the same obstruction-freedom and safety claims
+	// at n=64 (the seed topped out at n=5 here).
+	nBig, kBig := 64, 9
+	okBig := true
+	for seed := int64(0); seed < 5; seed++ {
+		o := agreement.NewOFKSet(nBig, kBig)
+		decided := make([]int, nBig)
+		for i := range decided {
+			decided[i] = -1
+		}
+		bodies := make([]func(*shm.Proc) any, nBig)
+		for i := 0; i < nBig; i++ {
+			i := i
+			bodies[i] = func(p *shm.Proc) any {
+				v := o.Propose(p, i+10)
+				decided[i] = v
+				return v
+			}
+		}
+		solo := int(seed*13) % nBig
+		pol := &shm.SoloPolicy{Rng: rand.New(rand.NewSource(seed)), Prefix: 200, Solo: solo}
+		out := shm.Execute(&shm.Run{Bodies: bodies}, pol, 5_000_000)
+		if !out.Finished[solo] {
+			okBig = false
+		}
+		var got, prop []int
+		for i := 0; i < nBig; i++ {
+			prop = append(prop, i+10)
+			if decided[i] >= 0 {
+				got = append(got, decided[i])
+			}
+		}
+		if msg := agreement.CheckKAgreement(got, prop, kBig); msg != "" {
+			okBig = false
+		}
+	}
+	rows = append(rows, row{
+		claim:    "obstruction-freedom and k-agreement hold at scale (n=64)",
+		measured: fmt.Sprintf("5 solo schedules (n=%d,k=%d): solo decided + ≤k values: %v", nBig, kBig, okBig),
+		ok:       okBig,
 	})
 	return rows
 }

@@ -39,4 +39,26 @@
 // property tests for Ben-Or and indulgent consensus under drop
 // adversaries. See the internal/amp package documentation for the
 // architecture and the E8–E13 mapping.
+//
+// # The shared-memory scheduler and exhaustive explorer
+//
+// The asynchronous shared-memory experiments (E4–E7) run on internal/shm,
+// whose controlled scheduler was rebuilt as a persistent coroutine arena:
+// one coroutine per process reused across executions, a handshake of
+// plain per-process slot fields plus a single coroutine switch per
+// decision (batched grants run consecutive same-process steps with no
+// handshake at all), and a bitset enabled set with a lazily rebuilt
+// sorted view. The exhaustive explorer — the machinery behind the
+// consensus-hierarchy table of E4 — executes once per complete schedule,
+// recording the enabled set at every decision point so sibling branches
+// are enumerated without re-executing interior tree nodes, and can fan
+// the top-level decision frontier out across parallel workers while
+// still reporting the first violation in depth-first order. The seed
+// engine and explorer survive behind shm.ExecuteLegacy and
+// shm.ExploreOpts.Legacy; differential tests hold the rebuilt paths to
+// identical outcomes, execution counts, and violation schedules. The
+// speedup (more than an order of magnitude per explored execution in E4)
+// is spent on scale: uncapped register-violation search, exhaustive n=3
+// hierarchy entries with two crashes, the universal construction at n=8
+// with 64 ops per process, and obstruction-free k-set agreement at n=64.
 package distbasics

@@ -150,9 +150,16 @@ func CheckConsensusOutcome(out *shm.Outcome, proposals []any) string {
 	if out.Cutoff {
 		return "termination violated: step budget exhausted (not wait-free)"
 	}
-	proposed := make(map[any]bool, len(proposals))
-	for _, v := range proposals {
-		proposed[v] = true
+	// Linear scan rather than a set: proposal lists are tiny and this
+	// runs once per explored execution, so staying allocation-free keeps
+	// the explorer's leaf cost down.
+	proposed := func(v any) bool {
+		for _, p := range proposals {
+			if p == v {
+				return true
+			}
+		}
+		return false
 	}
 	var decided any
 	for i := range out.Outputs {
@@ -163,7 +170,7 @@ func CheckConsensusOutcome(out *shm.Outcome, proposals []any) string {
 			return fmt.Sprintf("termination violated: process %d neither finished nor crashed", i)
 		}
 		v := out.Outputs[i]
-		if !proposed[v] {
+		if !proposed(v) {
 			return fmt.Sprintf("validity violated: process %d decided %v, never proposed", i, v)
 		}
 		if decided == nil {

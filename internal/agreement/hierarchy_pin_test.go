@@ -1,0 +1,165 @@
+package agreement
+
+// Pins the E4 consensus-hierarchy exploration workloads across explorer
+// engines: for every hierarchy row the rebuilt leaf-only explorer (serial
+// and parallel) must report byte-identical execution counts, violations,
+// and violation schedules to the seed-era explorer, and the absolute
+// counts are pinned as goldens so a both-engines-wrong regression cannot
+// slip through the differential check.
+
+import (
+	"reflect"
+	"testing"
+
+	"distbasics/internal/shm"
+)
+
+// e4Opts is the exact exploration each hierarchy row runs in E4 (two
+// processes proposing 0 and 1, up to one crash).
+func e4Opts(factory func(n int) Consensus) shm.ExploreOpts {
+	return shm.ExploreOpts{
+		Factory: func() *shm.Run {
+			c := factory(2)
+			return &shm.Run{Bodies: []func(*shm.Proc) any{
+				func(p *shm.Proc) any { return c.Propose(p, 0) },
+				func(p *shm.Proc) any { return c.Propose(p, 1) },
+			}}
+		},
+		MaxCrashes: 1,
+		Check: func(out *shm.Outcome) string {
+			return CheckConsensusOutcome(out, []any{0, 1})
+		},
+	}
+}
+
+// goldenE4Executions pins each row's leaf count (or, for the violating
+// register row, the leaf at which the violation is found).
+var goldenE4Executions = map[string]int{
+	"read/write register": 20,
+	"Test&Set":            30,
+	"Swap":                30,
+	"Fetch&Add":           30,
+	"queue":               30,
+	"Compare&Swap":        24,
+	"LL/SC":               26,
+	"sticky bit":          6,
+}
+
+func TestHierarchyExplorationPinnedAcrossEngines(t *testing.T) {
+	for _, e := range Hierarchy() {
+		e := e
+		if e.Factory == nil {
+			continue
+		}
+		t.Run(e.Object, func(t *testing.T) {
+			opts := e4Opts(e.Factory)
+			serial := shm.Explore(opts)
+
+			legacyOpts := opts
+			legacyOpts.Legacy = true
+			legacy := shm.Explore(legacyOpts)
+
+			parOpts := opts
+			parOpts.Workers = 4
+			parallel := shm.Explore(parOpts)
+
+			for label, got := range map[string]*shm.ExploreResult{"serial": serial, "parallel": parallel} {
+				if got.Executions != legacy.Executions {
+					t.Errorf("%s executions = %d, legacy %d", label, got.Executions, legacy.Executions)
+				}
+				if got.Violation != legacy.Violation {
+					t.Errorf("%s violation = %q, legacy %q", label, got.Violation, legacy.Violation)
+				}
+				if !reflect.DeepEqual(got.Schedule, legacy.Schedule) {
+					t.Errorf("%s schedule diverges from legacy:\n%v\n%v", label, got.Schedule, legacy.Schedule)
+				}
+			}
+
+			if want := goldenE4Executions[e.Object]; serial.Executions != want {
+				t.Errorf("executions = %d, golden %d", serial.Executions, want)
+			}
+			wantViolation := e.ConsensusNumber == 1
+			if (serial.Violation != "") != wantViolation {
+				t.Errorf("violation %q, wantViolation %v", serial.Violation, wantViolation)
+			}
+			if wantViolation {
+				// The violating schedule must replay to the same violation.
+				out := shm.ReplayViolation(opts.Factory, serial.Schedule, opts.MaxSteps)
+				if msg := CheckConsensusOutcome(out, []any{0, 1}); msg == "" {
+					t.Error("pinned violation schedule no longer reproduces a violation")
+				}
+			}
+		})
+	}
+}
+
+func TestMultivaluedExplorationPinnedAcrossEngines(t *testing.T) {
+	mk := func() shm.ExploreOpts {
+		return shm.ExploreOpts{
+			Factory: func() *shm.Run {
+				c := NewMVConsensus(2, func() Consensus { return NewStickyConsensus() })
+				return &shm.Run{Bodies: []func(*shm.Proc) any{
+					func(p *shm.Proc) any { return c.Propose(p, "apple") },
+					func(p *shm.Proc) any { return c.Propose(p, "pear") },
+				}}
+			},
+			MaxCrashes: 1,
+			Check: func(out *shm.Outcome) string {
+				return CheckConsensusOutcome(out, []any{"apple", "pear"})
+			},
+		}
+	}
+	opts := mk()
+	serial := shm.Explore(opts)
+	legacyOpts := mk()
+	legacyOpts.Legacy = true
+	legacy := shm.Explore(legacyOpts)
+	if serial.Executions != legacy.Executions || serial.Violation != legacy.Violation {
+		t.Fatalf("multivalued exploration diverges: %d/%q vs legacy %d/%q",
+			serial.Executions, serial.Violation, legacy.Executions, legacy.Violation)
+	}
+	if serial.Violation != "" {
+		t.Fatalf("unexpected violation: %s", serial.Violation)
+	}
+}
+
+// TestHierarchyThreeProcessConsensus is the scale dividend of the rebuilt
+// explorer: infinite-consensus-number objects verified exhaustively at
+// n=3 with up to two crashes — a tree far beyond what the seed explorer
+// covered in E4.
+func TestHierarchyThreeProcessConsensus(t *testing.T) {
+	if testing.Short() {
+		t.Skip("exhaustive n=3 exploration")
+	}
+	for _, e := range Hierarchy() {
+		e := e
+		if e.ConsensusNumber != Infinity || e.Factory == nil {
+			continue
+		}
+		t.Run(e.Object, func(t *testing.T) {
+			res := shm.Explore(shm.ExploreOpts{
+				Factory: func() *shm.Run {
+					c := e.Factory(3)
+					bodies := make([]func(*shm.Proc) any, 3)
+					for i := 0; i < 3; i++ {
+						i := i
+						bodies[i] = func(p *shm.Proc) any { return c.Propose(p, i%2) }
+					}
+					return &shm.Run{Bodies: bodies}
+				},
+				MaxCrashes: 2,
+				Workers:    4,
+				Check: func(out *shm.Outcome) string {
+					return CheckConsensusOutcome(out, []any{0, 1, 0})
+				},
+			})
+			if res.Violation != "" {
+				t.Fatalf("consensus violated at n=3: %s (schedule %v)", res.Violation, res.Schedule)
+			}
+			if res.Executions == 0 {
+				t.Fatal("no executions explored")
+			}
+			t.Logf("%s: %d executions, no violation", e.Object, res.Executions)
+		})
+	}
+}

@@ -1,0 +1,199 @@
+package shm
+
+// Accounting regression tests: whatever happens to an execution — crash
+// injection, budget cutoff, StopRun unwinding, free-mode scheduling —
+// the outcome's books must balance: Steps equals the sum of StepsBy,
+// every process is exactly one of finished/crashed/never-ran, and steps
+// are charged to the process that took them.
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// checkBooks asserts the invariants every completed Outcome must satisfy.
+// exhaustive asserts that every process is either finished or crashed
+// (true for any run that ended with all processes resolved — normal
+// completion, cutoff, and stop all unwind survivors).
+func checkBooks(t *testing.T, out *Outcome, exhaustive bool) {
+	t.Helper()
+	sum := 0
+	for i, s := range out.StepsBy {
+		if s < 0 {
+			t.Fatalf("process %d has negative step count %d", i, s)
+		}
+		sum += s
+	}
+	if sum != out.Steps {
+		t.Fatalf("Steps = %d but sum(StepsBy) = %d", out.Steps, sum)
+	}
+	for i := range out.Finished {
+		if out.Finished[i] && out.Crashed[i] {
+			t.Fatalf("process %d both finished and crashed", i)
+		}
+		if exhaustive && !out.Finished[i] && !out.Crashed[i] {
+			t.Fatalf("process %d neither finished nor crashed: %+v", i, out)
+		}
+		if out.Crashed[i] && out.Outputs[i] != nil {
+			t.Fatalf("crashed process %d has output %v", i, out.Outputs[i])
+		}
+	}
+	if out.Cutoff && out.Stopped {
+		t.Fatal("Cutoff and Stopped both set")
+	}
+}
+
+func TestAccountingUnderCrashInjection(t *testing.T) {
+	for seed := int64(0); seed < 50; seed++ {
+		reg := NewRegister(0)
+		run := &Run{Bodies: []func(*Proc) any{
+			incBody(reg, 5), incBody(reg, 5), incBody(reg, 5), incBody(reg, 5),
+		}}
+		pol := &RandomPolicy{Rng: rand.New(rand.NewSource(seed)), CrashProb: 0.2, MaxCrashes: 3}
+		out := Execute(run, pol, 0)
+		checkBooks(t, out, true)
+		if out.Cutoff || out.Stopped {
+			t.Fatalf("bounded bodies should complete: %+v", out)
+		}
+	}
+}
+
+func TestAccountingAttributionUnderFixedSchedule(t *testing.T) {
+	reg := NewRegister(0)
+	run := &Run{Bodies: []func(*Proc) any{incBody(reg, 10), incBody(reg, 10)}}
+	policy := &FixedPolicy{Schedule: []Decision{
+		{Kind: StepProc, Pid: 0},
+		{Kind: StepProc, Pid: 0},
+		{Kind: StepProc, Pid: 1},
+		{Kind: CrashProc, Pid: 0},
+		{Kind: StepProc, Pid: 1},
+	}}
+	out := Execute(run, policy, 0)
+	checkBooks(t, out, true)
+	if out.StepsBy[0] != 2 {
+		t.Fatalf("process 0 charged %d steps, want 2", out.StepsBy[0])
+	}
+	if out.StepsBy[1] != 2 {
+		t.Fatalf("process 1 charged %d steps, want 2", out.StepsBy[1])
+	}
+	if !out.Crashed[0] || !out.Crashed[1] {
+		// p0 crashed by decision; p1 unwound when the schedule ran out.
+		t.Fatalf("crash bookkeeping wrong: %+v", out)
+	}
+	if !out.Stopped {
+		t.Fatal("exhausted FixedPolicy must report Stopped")
+	}
+}
+
+func TestAccountingUnderBudgetCutoff(t *testing.T) {
+	reg := NewRegister(0)
+	spin := func(p *Proc) any {
+		for {
+			reg.Read(p)
+		}
+	}
+	done := func(p *Proc) any { reg.Write(p, 1); return "done" }
+	run := &Run{Bodies: []func(*Proc) any{spin, done, spin}}
+	out := Execute(run, &RoundRobinPolicy{}, 90)
+	checkBooks(t, out, true)
+	if !out.Cutoff {
+		t.Fatal("expected budget cutoff")
+	}
+	if out.Stopped {
+		t.Fatal("budget cutoff must not report Stopped")
+	}
+	if out.Steps != 90 {
+		t.Fatalf("Steps = %d, want exactly the budget 90", out.Steps)
+	}
+	if !out.Finished[1] || out.Outputs[1] != "done" {
+		t.Fatalf("short process should have finished: %+v", out)
+	}
+	if !out.Crashed[0] || !out.Crashed[2] {
+		t.Fatalf("cutoff must unwind spinners as crashed: %+v", out)
+	}
+}
+
+func TestAccountingUnderStopRunUnwinding(t *testing.T) {
+	// StopRun mid-run: all still-running processes are unwound and the
+	// outcome reports Stopped, with steps still balanced.
+	reg := NewRegister(0)
+	run := &Run{Bodies: []func(*Proc) any{incBody(reg, 4), incBody(reg, 4), incBody(reg, 4)}}
+	stopAfter := 5
+	policy := PolicyFunc(func(enabled []int, step int) Decision {
+		if step >= stopAfter {
+			return Decision{Kind: StopRun}
+		}
+		return Decision{Kind: StepProc, Pid: enabled[step%len(enabled)]}
+	})
+	out, enabled := executeInternal(run, policy, 0)
+	checkBooks(t, out, true)
+	if !out.Stopped || out.Cutoff {
+		t.Fatalf("want Stopped-only outcome, got %+v", out)
+	}
+	if out.Steps != stopAfter {
+		t.Fatalf("Steps = %d, want %d", out.Steps, stopAfter)
+	}
+	if len(enabled) == 0 {
+		t.Fatal("StopRun should report the enabled set it interrupted")
+	}
+}
+
+func TestAccountingExecuteFree(t *testing.T) {
+	faa := NewFetchAndAdd(0)
+	body := func(p *Proc) any {
+		for k := 0; k < 50; k++ {
+			faa.Add(p, 1)
+		}
+		return faa.Read(p)
+	}
+	run := &Run{Bodies: []func(*Proc) any{body, body, body, body}}
+	out := ExecuteFree(run)
+	checkBooks(t, out, true)
+	if out.Steps < 4*51 {
+		t.Fatalf("Steps = %d, want >= %d", out.Steps, 4*51)
+	}
+	for i, s := range out.StepsBy {
+		if s != 51 { // 50 adds + 1 read
+			t.Fatalf("process %d charged %d steps, want 51", i, s)
+		}
+	}
+}
+
+// TestExecuteFreeStress is the -race workhorse: many goroutines hammering
+// every object type through the free scheduler.
+func TestExecuteFreeStress(t *testing.T) {
+	const n = 32
+	faa := NewFetchAndAdd(0)
+	tas := NewTestAndSet()
+	cas := NewCompareAndSwap(0)
+	llsc := NewLLSC(0)
+	q := NewQueue()
+	st := NewStack()
+	regs := NewRegisterArray(n, 0)
+	bodies := make([]func(*Proc) any, n)
+	for i := range bodies {
+		i := i
+		bodies[i] = func(p *Proc) any {
+			for k := 0; k < 20; k++ {
+				faa.Add(p, 1)
+				tas.TestAndSet(p)
+				cas.CompareAndSwap(p, k, k+1)
+				v := llsc.LL(p)
+				llsc.SC(p, v)
+				q.Enq(p, i)
+				q.Deq(p)
+				st.Push(p, i)
+				st.Pop(p)
+				regs.Reg(i).Write(p, k)
+				regs.Collect(p)
+			}
+			return nil
+		}
+	}
+	out := ExecuteFree(&Run{Bodies: bodies})
+	checkBooks(t, out, true)
+	p := NewDirectProc(0)
+	if got := faa.Read(p); got != n*20 {
+		t.Fatalf("FAA total = %d, want %d (atomicity broken)", got, n*20)
+	}
+}

@@ -3,14 +3,31 @@ package shm
 // Exhaustive interleaving exploration. Wait-free correctness claims (§4.2)
 // are universally quantified over schedules and crash patterns; for small
 // programs this explorer checks them by enumerating EVERY schedule (and,
-// optionally, every crash pattern), re-executing the program from scratch
-// along each branch. This is how the consensus-hierarchy table (E4) is
-// validated rather than asserted.
+// optionally, every crash pattern). This is how the consensus-hierarchy
+// table (E4) is validated rather than asserted.
+//
+// The explorer executes the program once per COMPLETE schedule (one leaf
+// of the decision tree): each instrumented execution records the enabled
+// set at every decision point, so the DFS enumerates sibling branches
+// from the recording instead of re-executing the program at interior
+// nodes the way the seed explorer did (ExploreOpts.Legacy). All
+// executions of a search share one coroutine arena (engine.go), and the
+// top-level decision frontier can be fanned out across parallel workers
+// (ExploreOpts.Workers) with the reported violation still the first one
+// in depth-first order.
+
+import (
+	"math/bits"
+	"sync"
+	"sync/atomic"
+)
 
 // ExploreOpts configures an exhaustive exploration.
 type ExploreOpts struct {
 	// Factory builds a fresh program (fresh shared objects, fresh bodies).
-	// Called once per explored execution, so bodies must be deterministic.
+	// Called once per explored execution — plus a few extra times to size
+	// the engine and, with Workers > 1, to partition the frontier — so
+	// bodies must be deterministic and construction side-effect free.
 	Factory func() *Run
 	// MaxCrashes enables crash branching: at every decision point, in
 	// addition to stepping each enabled process, the explorer also tries
@@ -23,10 +40,21 @@ type ExploreOpts struct {
 	MaxSteps int
 	// Check inspects each completed execution and returns "" if it is
 	// correct, or a description of the violation (which aborts the
-	// exploration).
+	// exploration). The Outcome is reused across executions: it is valid
+	// only for the duration of the call.
 	Check func(out *Outcome) string
-	// MaxExecutions caps the number of executions explored (0 = unlimited).
+	// MaxExecutions caps the number of executions explored (0 =
+	// unlimited). A non-zero cap forces serial exploration.
 	MaxExecutions int
+	// Workers > 1 splits the top-level decision frontier across that many
+	// parallel workers. The result is deterministic — Executions,
+	// Violation, and Schedule match a serial run — but Factory and Check
+	// must be safe for concurrent use.
+	Workers int
+	// Legacy runs the seed-era explorer (an execution per tree node on
+	// the goroutine-per-process engine), the differential-testing fence
+	// for the leaf-only explorer.
+	Legacy bool
 }
 
 // DefaultExploreSteps bounds per-execution steps during exploration.
@@ -44,69 +72,291 @@ type ExploreResult struct {
 	Truncated bool
 }
 
-// Explore exhaustively enumerates schedules (DFS over the decision tree)
-// and checks every complete execution.
+// Explore exhaustively enumerates schedules (depth-first over the
+// decision tree) and checks every complete execution. Programs of up to
+// 64 processes are supported (an exhaustive search beyond that is
+// intractable anyway).
 func Explore(opts ExploreOpts) *ExploreResult {
-	res := &ExploreResult{}
+	if opts.Legacy {
+		return exploreLegacy(opts)
+	}
 	maxSteps := opts.MaxSteps
 	if maxSteps <= 0 {
 		maxSteps = DefaultExploreSteps
 	}
-	e := &explorer{opts: opts, maxSteps: maxSteps, res: res}
-	e.dfs(nil, 0)
+	first := opts.Factory()
+	n := len(first.Bodies)
+	if n > 64 {
+		panic("shm: Explore supports at most 64 processes")
+	}
+	if opts.Workers > 1 && opts.MaxExecutions == 0 && n > 0 {
+		return exploreParallel(&opts, n, maxSteps, first)
+	}
+
+	res := &ExploreResult{}
+	withEngine(n, func(eng *engine) {
+		sub := newSubExplorer(eng, &opts, maxSteps, n)
+		sub.explore(first, nil, 0, func() bool {
+			if opts.MaxExecutions > 0 && sub.executions >= opts.MaxExecutions {
+				res.Truncated = true
+				return false
+			}
+			return true
+		})
+		res.Executions = sub.executions
+		res.Violation = sub.violation
+		res.Schedule = sub.schedule
+	})
 	return res
 }
 
-type explorer struct {
-	opts     ExploreOpts
-	maxSteps int
-	res      *ExploreResult
-	stopped  bool
+// exLevel is one decision point on the DFS stack: the enabled set
+// recorded there, and which of its children is being explored. Children
+// are ordered exactly as in the seed explorer — for each enabled id in
+// ascending order, first stepping it, then (crash budget permitting)
+// crashing it — so leaves are visited in the same depth-first order.
+type exLevel struct {
+	word    uint64 // enabled set at this decision point
+	child   int    // index of the child currently being explored
+	nchild  int    // total children of this node
+	crashes int    // CrashProc decisions in the schedule before this point
 }
 
-// dfs explores all extensions of the given schedule prefix. crashes counts
-// CrashProc decisions already in the prefix.
-func (e *explorer) dfs(prefix []Decision, crashes int) {
-	if e.stopped {
-		return
-	}
-	if e.opts.MaxExecutions > 0 && e.res.Executions >= e.opts.MaxExecutions {
-		e.res.Truncated = true
-		e.stopped = true
-		return
-	}
-
-	// Execute the prefix; FixedPolicy issues StopRun at its end, and
-	// executeInternal reports which processes were enabled there.
-	run := e.opts.Factory()
-	sched := make([]Decision, len(prefix))
-	copy(sched, prefix)
-	out, enabled := executeInternal(run, &FixedPolicy{Schedule: sched}, e.maxSteps)
-
-	if enabled == nil {
-		// The run ended within the prefix (all processes finished/crashed,
-		// or the step budget tripped): this is a leaf.
-		e.res.Executions++
-		if reason := e.opts.Check(out); reason != "" {
-			e.res.Violation = reason
-			e.res.Schedule = sched
-			e.stopped = true
+// childDecision maps a child index to its scheduling decision.
+func childDecision(word uint64, idx int, canCrash bool) Decision {
+	kind := StepProc
+	if canCrash {
+		if idx&1 == 1 {
+			kind = CrashProc
 		}
-		return
+		idx >>= 1
 	}
+	w := word
+	for ; idx > 0; idx-- {
+		w &= w - 1
+	}
+	return Decision{Kind: kind, Pid: bits.TrailingZeros64(w)}
+}
 
-	for _, pid := range enabled {
-		e.dfs(append(prefix, Decision{Kind: StepProc, Pid: pid}), crashes)
-		if e.stopped {
+// subExplorer runs the leaf-only DFS over one subtree of the decision
+// tree, reusing a single engine, outcome, and recording buffer across
+// all of the subtree's executions.
+type subExplorer struct {
+	eng      *engine
+	opts     *ExploreOpts
+	maxSteps int
+	out      *Outcome
+	rec      []uint64
+	prefix   []Decision
+	stack    []exLevel
+
+	executions int
+	violation  string
+	schedule   []Decision
+}
+
+func newSubExplorer(eng *engine, opts *ExploreOpts, maxSteps, n int) *subExplorer {
+	return &subExplorer{eng: eng, opts: opts, maxSteps: maxSteps, out: newOutcome(n)}
+}
+
+// explore runs the DFS over all extensions of base (a schedule prefix
+// containing baseCrashes crashes), accumulating into s.executions and
+// stopping at the subtree's first violation. cont is polled between
+// leaves; returning false stops the search. If first is non-nil it is
+// used as the program for the initial execution in place of a Factory
+// call.
+func (s *subExplorer) explore(first *Run, base []Decision, baseCrashes int, cont func() bool) {
+	s.prefix = append(s.prefix[:0], base...)
+	s.stack = s.stack[:0]
+	crashes := baseCrashes
+	for {
+		run := first
+		if run == nil {
+			run = s.opts.Factory()
+		}
+		first = nil
+		s.rec = s.eng.runExplore(run.Bodies, s.prefix, s.maxSteps, s.out, s.rec[:0])
+		s.executions++
+		if reason := s.opts.Check(s.out); reason != "" {
+			s.violation = reason
+			sched := make([]Decision, 0, len(s.prefix)+len(s.rec))
+			sched = append(sched, s.prefix...)
+			for _, w := range s.rec {
+				sched = append(sched, Decision{Kind: StepProc, Pid: bits.TrailingZeros64(w)})
+			}
+			s.schedule = sched
 			return
 		}
-		if crashes < e.opts.MaxCrashes {
-			e.dfs(append(prefix, Decision{Kind: CrashProc, Pid: pid}), crashes+1)
-			if e.stopped {
-				return
+		// The executed tail's decision points become stack levels; the
+		// tail took child 0 (step the lowest enabled id) at each.
+		for _, w := range s.rec {
+			nc := bits.OnesCount64(w)
+			if crashes < s.opts.MaxCrashes {
+				nc *= 2
 			}
+			s.stack = append(s.stack, exLevel{word: w, nchild: nc, crashes: crashes})
+			s.prefix = append(s.prefix, Decision{Kind: StepProc, Pid: bits.TrailingZeros64(w)})
+		}
+		// Backtrack to the deepest decision point with an unexplored
+		// child and descend into it.
+		for {
+			if len(s.stack) == 0 {
+				return // subtree exhausted
+			}
+			top := &s.stack[len(s.stack)-1]
+			top.child++
+			if top.child < top.nchild {
+				d := childDecision(top.word, top.child, top.crashes < s.opts.MaxCrashes)
+				s.prefix = s.prefix[:len(base)+len(s.stack)]
+				s.prefix[len(s.prefix)-1] = d
+				crashes = top.crashes
+				if d.Kind == CrashProc {
+					crashes++
+				}
+				break
+			}
+			s.stack = s.stack[:len(s.stack)-1]
+		}
+		if !cont() {
+			return
 		}
 	}
+}
+
+// exploreParallel fans the exploration out over the top-level decision
+// frontier: the tree is expanded breadth-first (order-preserving) until
+// it is wider than the worker count, then workers claim subtrees in
+// depth-first order. The first violation in global DFS order wins, and
+// the execution count matches a serial run: completed subtrees after the
+// winning one are discarded.
+func exploreParallel(opts *ExploreOpts, n, maxSteps int, first *Run) *ExploreResult {
+	type frontierNode struct {
+		prefix  []Decision
+		crashes int
+		leaf    bool
+	}
+
+	target := opts.Workers * 4
+	frontier := []frontierNode{{}}
+	withEngine(n, func(eng *engine) {
+		scratch := newOutcome(n)
+		for len(frontier) < target {
+			expanded := false
+			next := make([]frontierNode, 0, 2*len(frontier))
+			for _, nd := range frontier {
+				if nd.leaf {
+					next = append(next, nd)
+					continue
+				}
+				run := first
+				if run == nil {
+					run = opts.Factory()
+				}
+				first = nil
+				w, ok := eng.probe(run.Bodies, nd.prefix, maxSteps, scratch)
+				if !ok {
+					nd.leaf = true
+					next = append(next, nd)
+					continue
+				}
+				expanded = true
+				canCrash := nd.crashes < opts.MaxCrashes
+				nc := bits.OnesCount64(w)
+				if canCrash {
+					nc *= 2
+				}
+				for c := 0; c < nc; c++ {
+					d := childDecision(w, c, canCrash)
+					child := frontierNode{
+						prefix:  append(append(make([]Decision, 0, len(nd.prefix)+1), nd.prefix...), d),
+						crashes: nd.crashes,
+					}
+					if d.Kind == CrashProc {
+						child.crashes++
+					}
+					next = append(next, child)
+				}
+			}
+			widened := len(next) > len(frontier)
+			frontier = next
+			// Stop when nothing expanded (all leaves) or when a pass added
+			// no width — a chain-shaped tree top would otherwise make each
+			// pass replay an ever-longer prefix for no extra parallelism.
+			if !expanded || !widened {
+				break
+			}
+		}
+	})
+
+	type rootResult struct {
+		executions int
+		violation  string
+		schedule   []Decision
+	}
+	results := make([]rootResult, len(frontier))
+	var nextRoot atomic.Int64
+	var minViol atomic.Int64
+	minViol.Store(int64(len(frontier))) // sentinel: no violation yet
+	var wg sync.WaitGroup
+	for wk := 0; wk < opts.Workers; wk++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			withEngine(n, func(weng *engine) {
+				sub := newSubExplorer(weng, opts, maxSteps, n)
+				for {
+					r := int(nextRoot.Add(1) - 1)
+					if r >= len(frontier) {
+						return
+					}
+					if int64(r) > minViol.Load() {
+						continue // beaten by an earlier subtree's violation
+					}
+					nd := frontier[r]
+					sub.executions, sub.violation, sub.schedule = 0, "", nil
+					aborted := false
+					sub.explore(nil, nd.prefix, nd.crashes, func() bool {
+						if int64(r) > minViol.Load() {
+							aborted = true
+							return false
+						}
+						return true
+					})
+					if aborted {
+						continue
+					}
+					results[r] = rootResult{sub.executions, sub.violation, sub.schedule}
+					if sub.violation != "" {
+						for {
+							cur := minViol.Load()
+							if int64(r) >= cur || minViol.CompareAndSwap(cur, int64(r)) {
+								break
+							}
+						}
+					}
+				}
+			})
+		}()
+	}
+	wg.Wait()
+
+	res := &ExploreResult{}
+	rmin := int(minViol.Load())
+	if rmin < len(frontier) {
+		// Serial DFS would have fully explored every subtree before the
+		// winning one and stopped inside it; later subtrees never ran.
+		for r := 0; r < rmin; r++ {
+			res.Executions += results[r].executions
+		}
+		res.Executions += results[rmin].executions
+		res.Violation = results[rmin].violation
+		res.Schedule = results[rmin].schedule
+	} else {
+		for r := range results {
+			res.Executions += results[r].executions
+		}
+	}
+	return res
 }
 
 // ReplayViolation re-executes a violating schedule and returns its outcome

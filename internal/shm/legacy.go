@@ -1,0 +1,257 @@
+package shm
+
+// The seed-era scheduler and explorer, kept as an opt-in reference
+// implementation: ExecuteLegacy and ExploreOpts.Legacy run the exact
+// goroutine-per-process, channel-handshake engine and the
+// execution-per-tree-node DFS that shipped with the seed. The rebuilt
+// engine (engine.go) and leaf-only explorer (explore.go) are fenced
+// against them by differential tests: same Outcomes under seeded random
+// policies, and byte-identical execution counts and violation schedules
+// over the consensus-hierarchy workloads.
+//
+// The only deliberate divergence from the seed is the Outcome.Stopped /
+// Outcome.Cutoff split (the seed reported StopRun aborts as Cutoff),
+// applied to both engines so their outcomes stay comparable.
+
+import "fmt"
+
+// request is the per-step handshake a legacy process posts: a freshly
+// allocated struct and two fresh channels per atomic step.
+type request struct {
+	pid   int
+	grant chan bool // true: proceed; false: crash
+	done  chan struct{}
+}
+
+type finishMsg struct {
+	pid     int
+	output  any
+	crashed bool
+}
+
+// legacySched is the seed engine's process-side backend: every atomic
+// step posts a fresh request and round-trips two channel handshakes.
+type legacySched struct {
+	reqCh chan *request
+}
+
+func (l *legacySched) step(sid int, op func()) {
+	r := &request{pid: sid, grant: make(chan bool), done: make(chan struct{})}
+	l.reqCh <- r
+	if !<-r.grant {
+		panic(crashSignal{})
+	}
+	op()
+	close(r.done)
+}
+
+// ExecuteLegacy runs the program on the seed-era scheduler: one goroutine
+// per process, a fresh request handshake per atomic step, and a
+// map-backed enabled set re-sorted every decision. Semantics are
+// identical to Execute; it exists so differential tests can hold the
+// rebuilt engine to the seed's outcomes.
+func ExecuteLegacy(run *Run, policy Policy, maxSteps int) *Outcome {
+	out, _ := executeLegacy(run, policy, maxSteps)
+	return out
+}
+
+// executeLegacy also returns the ids of processes that were enabled when
+// a StopRun decision cut the run (the legacy explorer's branch set).
+func executeLegacy(run *Run, policy Policy, maxSteps int) (*Outcome, []int) {
+	n := len(run.Bodies)
+	if maxSteps <= 0 {
+		maxSteps = DefaultMaxSteps
+	}
+	out := newOutcome(n)
+	if n == 0 {
+		return out, nil
+	}
+
+	reqCh := make(chan *request)
+	finCh := make(chan finishMsg)
+	pending := make(map[int]*request, n)
+	running := make([]bool, n) // body goroutine still alive
+	l := &legacySched{reqCh: reqCh}
+
+	for i := range run.Bodies {
+		running[i] = true
+		body := run.Bodies[i]
+		pid := i
+		p := &Proc{id: pid, sid: pid, leg: l}
+		go func() {
+			crashed := false
+			var output any
+			defer func() {
+				if r := recover(); r != nil {
+					if _, ok := r.(crashSignal); ok {
+						crashed = true
+					} else {
+						panic(r) // real bug: propagate
+					}
+				}
+				finCh <- finishMsg{pid: pid, output: output, crashed: crashed}
+			}()
+			output = body(p)
+		}()
+	}
+
+	// Wait for a process to either post a request or finish.
+	awaitOne := func() {
+		select {
+		case r := <-reqCh:
+			pending[r.pid] = r
+		case f := <-finCh:
+			running[f.pid] = false
+			if f.crashed {
+				out.Crashed[f.pid] = true
+			} else {
+				out.Finished[f.pid] = true
+				out.Outputs[f.pid] = f.output
+			}
+		}
+	}
+
+	// Initial quiescence: every process is pending or finished.
+	for i := 0; i < n; i++ {
+		awaitOne()
+	}
+
+	var stoppedEnabled []int
+	for {
+		enabled := make([]int, 0, len(pending))
+		for pid := range pending {
+			enabled = append(enabled, pid)
+		}
+		sortInts(enabled)
+		if len(enabled) == 0 {
+			break
+		}
+		if out.Steps >= maxSteps {
+			out.Cutoff = true
+			crashAllPending(pending, finCh, out)
+			break
+		}
+		d := policy.Next(enabled, out.Steps)
+		switch d.Kind {
+		case StepProc:
+			r, ok := pending[d.Pid]
+			if !ok {
+				panic(fmt.Sprintf("shm: policy chose non-enabled process %d (enabled %v)", d.Pid, enabled))
+			}
+			delete(pending, d.Pid)
+			out.Steps++
+			out.StepsBy[d.Pid]++
+			r.grant <- true
+			<-r.done
+			awaitOne() // the granted process posts again or finishes
+		case CrashProc:
+			r, ok := pending[d.Pid]
+			if !ok {
+				panic(fmt.Sprintf("shm: policy crashed non-enabled process %d", d.Pid))
+			}
+			delete(pending, d.Pid)
+			r.grant <- false
+			awaitOne() // the crash unwind delivers its finish message
+		case StopRun:
+			stoppedEnabled = enabled
+			out.Stopped = true
+			crashAllPending(pending, finCh, out)
+		default:
+			panic(fmt.Sprintf("shm: invalid policy decision %+v", d))
+		}
+		if stoppedEnabled != nil {
+			break
+		}
+	}
+	return out, stoppedEnabled
+}
+
+// crashAllPending unwinds every still-pending process so no goroutine
+// leaks, recording them as crashed.
+func crashAllPending(pending map[int]*request, finCh chan finishMsg, out *Outcome) {
+	for pid, r := range pending {
+		delete(pending, pid)
+		r.grant <- false
+		f := <-finCh
+		if f.crashed {
+			out.Crashed[f.pid] = true
+		} else {
+			out.Finished[f.pid] = true
+			out.Outputs[f.pid] = f.output
+		}
+	}
+}
+
+func sortInts(s []int) {
+	for i := 1; i < len(s); i++ {
+		for j := i; j > 0 && s[j] < s[j-1]; j-- {
+			s[j], s[j-1] = s[j-1], s[j]
+		}
+	}
+}
+
+// exploreLegacy is the seed explorer: a DFS that re-executes the program
+// from scratch — spawning fresh goroutines — at every interior node of
+// the decision tree just to learn the enabled set there.
+func exploreLegacy(opts ExploreOpts) *ExploreResult {
+	res := &ExploreResult{}
+	maxSteps := opts.MaxSteps
+	if maxSteps <= 0 {
+		maxSteps = DefaultExploreSteps
+	}
+	e := &legacyExplorer{opts: opts, maxSteps: maxSteps, res: res}
+	e.dfs(nil, 0)
+	return res
+}
+
+type legacyExplorer struct {
+	opts     ExploreOpts
+	maxSteps int
+	res      *ExploreResult
+	stopped  bool
+}
+
+// dfs explores all extensions of the given schedule prefix. crashes
+// counts CrashProc decisions already in the prefix.
+func (e *legacyExplorer) dfs(prefix []Decision, crashes int) {
+	if e.stopped {
+		return
+	}
+	if e.opts.MaxExecutions > 0 && e.res.Executions >= e.opts.MaxExecutions {
+		e.res.Truncated = true
+		e.stopped = true
+		return
+	}
+
+	// Execute the prefix; FixedPolicy issues StopRun at its end, and
+	// executeLegacy reports which processes were enabled there.
+	run := e.opts.Factory()
+	sched := make([]Decision, len(prefix))
+	copy(sched, prefix)
+	out, enabled := executeLegacy(run, &FixedPolicy{Schedule: sched}, e.maxSteps)
+
+	if enabled == nil {
+		// The run ended within the prefix (all processes finished/crashed,
+		// or the step budget tripped): this is a leaf.
+		e.res.Executions++
+		if reason := e.opts.Check(out); reason != "" {
+			e.res.Violation = reason
+			e.res.Schedule = sched
+			e.stopped = true
+		}
+		return
+	}
+
+	for _, pid := range enabled {
+		e.dfs(append(prefix, Decision{Kind: StepProc, Pid: pid}), crashes)
+		if e.stopped {
+			return
+		}
+		if crashes < e.opts.MaxCrashes {
+			e.dfs(append(prefix, Decision{Kind: CrashProc, Pid: pid}), crashes+1)
+			if e.stopped {
+				return
+			}
+		}
+	}
+}

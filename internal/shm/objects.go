@@ -30,14 +30,16 @@ func (r *Register) Write(p *Proc, v any) {
 }
 
 // RegisterArray is a fixed-size array of atomic registers, the usual shape
-// of shared memory in the paper's algorithms (REG[1..m]).
-type RegisterArray struct{ regs []*Register }
+// of shared memory in the paper's algorithms (REG[1..m]). The registers
+// are stored contiguously: one allocation regardless of m, which matters
+// to the exhaustive explorer's per-execution object construction.
+type RegisterArray struct{ regs []Register }
 
 // NewRegisterArray returns an array of m registers all initialized to init.
 func NewRegisterArray(m int, init any) *RegisterArray {
-	a := &RegisterArray{regs: make([]*Register, m)}
+	a := &RegisterArray{regs: make([]Register, m)}
 	for i := range a.regs {
-		a.regs[i] = NewRegister(init)
+		a.regs[i].v = init
 	}
 	return a
 }
@@ -46,15 +48,15 @@ func NewRegisterArray(m int, init any) *RegisterArray {
 func (a *RegisterArray) Len() int { return len(a.regs) }
 
 // Reg returns the i-th register.
-func (a *RegisterArray) Reg(i int) *Register { return a.regs[i] }
+func (a *RegisterArray) Reg(i int) *Register { return &a.regs[i] }
 
 // Collect reads every register one at a time (m separate atomic steps —
 // NOT a snapshot; concurrent writes may interleave, which is exactly the
 // subtlety the paper's algorithms must cope with).
 func (a *RegisterArray) Collect(p *Proc) []any {
 	out := make([]any, len(a.regs))
-	for i, r := range a.regs {
-		out[i] = r.Read(p)
+	for i := range a.regs {
+		out[i] = a.regs[i].Read(p)
 	}
 	return out
 }
@@ -153,19 +155,24 @@ func (c *CompareAndSwap) Read(p *Proc) any {
 type LLSC struct {
 	v       any
 	version uint64
-	links   map[int]uint64 // pid -> version observed at LL
+	links   []uint64 // links[pid] = version observed at LL, plus one; 0 = no link
 }
 
 // NewLLSC returns an LL/SC cell initialized to init.
 func NewLLSC(init any) *LLSC {
-	return &LLSC{v: init, links: make(map[int]uint64)}
+	return &LLSC{v: init}
 }
 
 // LL load-links the cell for process p and returns the current value.
 func (l *LLSC) LL(p *Proc) any {
 	var v any
 	p.atomic(func() {
-		l.links[p.id] = l.version
+		if p.id >= len(l.links) {
+			grown := make([]uint64, p.id+1)
+			copy(grown, l.links)
+			l.links = grown
+		}
+		l.links[p.id] = l.version + 1
 		v = l.v
 	})
 	return v
@@ -176,12 +183,14 @@ func (l *LLSC) LL(p *Proc) any {
 func (l *LLSC) SC(p *Proc, v any) bool {
 	var ok bool
 	p.atomic(func() {
-		if linked, has := l.links[p.id]; has && linked == l.version {
+		if p.id < len(l.links) && l.links[p.id] == l.version+1 {
 			l.v = v
 			l.version++
 			ok = true
 		}
-		delete(l.links, p.id)
+		if p.id < len(l.links) {
+			l.links[p.id] = 0
+		}
 	})
 	return ok
 }

@@ -16,10 +16,26 @@
 //   - the exhaustive Explorer (explore.go), which enumerates every
 //     interleaving of a small program — how the consensus-hierarchy claims
 //     of §4.2 are checked rather than merely asserted.
+//
+// # Engine architecture
+//
+// Controlled execution runs on a reusable coroutine arena (engine.go):
+// one persistent coroutine per process, with a scheduler handshake made
+// of plain per-process slot fields plus a single coroutine switch — no
+// channels, no per-step allocation, no goroutine spawns per execution.
+// The enabled set is a bitset with a lazily rebuilt sorted-slice view,
+// and step grants carry a quota so runs of consecutive steps to the same
+// process cost one switch total. The exhaustive explorer (explore.go)
+// executes once per complete schedule — recording the enabled set at
+// every decision point, so sibling branches are enumerated without
+// re-executing interior tree nodes — optionally fanning the top-level
+// decision frontier out across parallel workers, and reuses one arena
+// across the millions of executions of a search. The seed-era engine and
+// explorer remain available behind ExecuteLegacy and ExploreOpts.Legacy
+// (legacy.go); differential tests pin the rebuilt paths to them.
 package shm
 
 import (
-	"fmt"
 	"math/rand"
 	"sync"
 )
@@ -31,10 +47,18 @@ import (
 // and used by algorithms to index per-process registers) and the scheduler
 // identity (which process the step is charged to). They coincide except
 // for handles produced by DeriveProc.
+//
+// The scheduler backend is a concrete field rather than a function value
+// so that the op closures built by object operations provably do not
+// escape — an atomic step allocates nothing.
 type Proc struct {
-	id   int // algorithm-visible identity
-	sid  int // scheduler identity
-	exec func(pid int, op func())
+	id  int // algorithm-visible identity
+	sid int // scheduler identity
+
+	eng *engine      // controlled coroutine engine (Execute, Explore)
+	fre *freeSched   // ExecuteFree's mutex scheduler
+	leg *legacySched // seed-era channel engine (ExecuteLegacy)
+	// all nil: direct mode — ops execute immediately (NewDirectProc)
 }
 
 // ID returns the algorithm-visible process identity (0-based).
@@ -44,19 +68,33 @@ func (p *Proc) ID() int { return p.id }
 // algorithm identity — used when an algorithm re-indexes processes, such
 // as group-local ids inside a partition.
 func DeriveProc(p *Proc, id int) *Proc {
-	return &Proc{id: id, sid: p.sid, exec: p.exec}
+	q := *p
+	q.id = id
+	return &q
 }
 
 // NewDirectProc returns a Proc whose atomic steps execute immediately with
 // no scheduler, for single-threaded unit tests of object semantics.
 func NewDirectProc(id int) *Proc {
-	return &Proc{id: id, sid: id, exec: func(_ int, op func()) { op() }}
+	return &Proc{id: id, sid: id}
 }
 
 // atomic performs op as one atomic step of this process. It may never
 // return: if the scheduler crashes the process, atomic unwinds the
-// process goroutine via a panic that the runtime recovers.
-func (p *Proc) atomic(op func()) { p.exec(p.sid, op) }
+// process via a panic that the scheduler recovers. Bodies must let that
+// panic pass (do not recover values of unexported types).
+func (p *Proc) atomic(op func()) {
+	switch {
+	case p.eng != nil:
+		p.eng.step(p.sid, op)
+	case p.fre != nil:
+		p.fre.step(p.sid, op)
+	case p.leg != nil:
+		p.leg.step(p.sid, op)
+	default:
+		op()
+	}
+}
 
 // Yield consumes a scheduling step without touching shared memory. Spin
 // loops call it so a controlled scheduler can preempt (and charge) them.
@@ -69,7 +107,7 @@ func (p *Proc) Yield() { p.atomic(func() {}) }
 // operations. Op must not itself invoke object operations.
 func Atomic(p *Proc, op func()) { p.atomic(op) }
 
-// crashSignal unwinds a crashed process's goroutine.
+// crashSignal unwinds a crashed process's body.
 type crashSignal struct{}
 
 // Outcome reports a completed execution.
@@ -79,7 +117,8 @@ type Outcome struct {
 	Outputs []any
 	// Finished[i] reports whether process i's body ran to completion.
 	Finished []bool
-	// Crashed[i] reports whether process i was crashed by the scheduler.
+	// Crashed[i] reports whether process i was crashed by the scheduler
+	// (including processes unwound when a run was cut off or stopped).
 	Crashed []bool
 	// Steps is the total number of atomic steps granted.
 	Steps int
@@ -87,8 +126,27 @@ type Outcome struct {
 	// exhausted while some process was still running (e.g. a livelocked
 	// obstruction-free algorithm under a hostile schedule).
 	Cutoff bool
+	// Stopped reports that the run was aborted by a StopRun decision
+	// while some process was still running (e.g. a FixedPolicy whose
+	// schedule ran out). Distinct from Cutoff, which is budget-only.
+	Stopped bool
 	// StepsBy[i] counts atomic steps taken by process i.
 	StepsBy []int
+}
+
+// reset clears the outcome in place for reuse by a new execution. Every
+// Outcome field must be covered here: the explorer reuses one outcome
+// across all executions of a search.
+func (out *Outcome) reset() {
+	out.Steps = 0
+	out.Cutoff = false
+	out.Stopped = false
+	for i := range out.Outputs {
+		out.Outputs[i] = nil
+		out.Finished[i] = false
+		out.Crashed[i] = false
+		out.StepsBy[i] = 0
+	}
 }
 
 // DecisionKind discriminates scheduler decisions.
@@ -100,8 +158,8 @@ const (
 	StepProc DecisionKind = iota + 1
 	// CrashProc crashes Pid (it takes no further steps).
 	CrashProc
-	// StopRun aborts the execution (used by the exhaustive explorer when a
-	// schedule prefix is exhausted).
+	// StopRun aborts the execution (used by FixedPolicy when its
+	// schedule is exhausted).
 	StopRun
 )
 
@@ -112,8 +170,9 @@ type Decision struct {
 }
 
 // Policy chooses the next decision given the ids of processes that are
-// enabled (alive and waiting to perform an atomic step). enabled is sorted
-// and non-empty; step is the number of steps granted so far.
+// enabled (alive and waiting to perform an atomic step). enabled is
+// sorted and non-empty; it must be neither modified nor retained across
+// calls. step is the number of steps granted so far.
 type Policy interface {
 	Next(enabled []int, step int) Decision
 }
@@ -222,19 +281,6 @@ type Run struct {
 	Bodies []func(p *Proc) any
 }
 
-// request is the handshake a process posts before each atomic step.
-type request struct {
-	pid   int
-	grant chan bool // true: proceed; false: crash
-	done  chan struct{}
-}
-
-type finishMsg struct {
-	pid     int
-	output  any
-	crashed bool
-}
-
 // Execute runs the program under a controlled scheduler: exactly one
 // process executes at a time, chosen by policy; each atomic step runs to
 // completion before the next choice. maxSteps bounds the total number of
@@ -249,151 +295,35 @@ func Execute(run *Run, policy Policy, maxSteps int) *Outcome {
 const DefaultMaxSteps = 1 << 20
 
 // executeInternal also returns the ids of processes that were enabled when
-// a StopRun decision cut the run (the exhaustive explorer's branch set).
+// a StopRun decision cut the run.
 func executeInternal(run *Run, policy Policy, maxSteps int) (*Outcome, []int) {
 	n := len(run.Bodies)
 	if maxSteps <= 0 {
 		maxSteps = DefaultMaxSteps
 	}
-	out := &Outcome{
-		Outputs:  make([]any, n),
-		Finished: make([]bool, n),
-		Crashed:  make([]bool, n),
-		StepsBy:  make([]int, n),
-	}
+	out := newOutcome(n)
 	if n == 0 {
 		return out, nil
 	}
-
-	reqCh := make(chan *request)
-	finCh := make(chan finishMsg)
-	pending := make(map[int]*request, n)
-	running := make([]bool, n) // body goroutine still alive
-
-	for i := range run.Bodies {
-		running[i] = true
-		body := run.Bodies[i]
-		pid := i
-		p := &Proc{id: pid, sid: pid}
-		p.exec = func(id int, op func()) {
-			r := &request{pid: id, grant: make(chan bool), done: make(chan struct{})}
-			reqCh <- r
-			if !<-r.grant {
-				panic(crashSignal{})
-			}
-			op()
-			close(r.done)
-		}
-		go func() {
-			crashed := false
-			var output any
-			defer func() {
-				if r := recover(); r != nil {
-					if _, ok := r.(crashSignal); ok {
-						crashed = true
-					} else {
-						panic(r) // real bug: propagate
-					}
-				}
-				finCh <- finishMsg{pid: pid, output: output, crashed: crashed}
-			}()
-			output = body(p)
-		}()
-	}
-
-	// Wait for a process to either post a request or finish.
-	awaitOne := func() {
-		select {
-		case r := <-reqCh:
-			pending[r.pid] = r
-		case f := <-finCh:
-			running[f.pid] = false
-			if f.crashed {
-				out.Crashed[f.pid] = true
-			} else {
-				out.Finished[f.pid] = true
-				out.Outputs[f.pid] = f.output
-			}
-		}
-	}
-
-	// Initial quiescence: every process is pending or finished.
-	for i := 0; i < n; i++ {
-		awaitOne()
-	}
-
-	var stoppedEnabled []int
-	for {
-		enabled := make([]int, 0, len(pending))
-		for pid := range pending {
-			enabled = append(enabled, pid)
-		}
-		sortInts(enabled)
-		if len(enabled) == 0 {
-			break
-		}
-		if out.Steps >= maxSteps {
-			out.Cutoff = true
-			crashAllPending(pending, finCh, out)
-			break
-		}
-		d := policy.Next(enabled, out.Steps)
-		switch d.Kind {
-		case StepProc:
-			r, ok := pending[d.Pid]
-			if !ok {
-				panic(fmt.Sprintf("shm: policy chose non-enabled process %d (enabled %v)", d.Pid, enabled))
-			}
-			delete(pending, d.Pid)
-			out.Steps++
-			out.StepsBy[d.Pid]++
-			r.grant <- true
-			<-r.done
-			awaitOne() // the granted process posts again or finishes
-		case CrashProc:
-			r, ok := pending[d.Pid]
-			if !ok {
-				panic(fmt.Sprintf("shm: policy crashed non-enabled process %d", d.Pid))
-			}
-			delete(pending, d.Pid)
-			r.grant <- false
-			awaitOne() // the crash unwind delivers its finish message
-		case StopRun:
-			stoppedEnabled = enabled
-			out.Cutoff = true
-			crashAllPending(pending, finCh, out)
-		default:
-			panic(fmt.Sprintf("shm: invalid policy decision %+v", d))
-		}
-		if stoppedEnabled != nil {
-			break
-		}
-	}
-	return out, stoppedEnabled
+	var stopped []int
+	withEngine(n, func(e *engine) {
+		stopped = e.run(run.Bodies, policy, maxSteps, out)
+	})
+	return out, stopped
 }
 
-// crashAllPending unwinds every still-pending process so no goroutine
-// leaks, recording them as crashed.
-func crashAllPending(pending map[int]*request, finCh chan finishMsg, out *Outcome) {
-	for pid, r := range pending {
-		delete(pending, pid)
-		r.grant <- false
-		f := <-finCh
-		if f.crashed {
-			out.Crashed[f.pid] = true
-		} else {
-			out.Finished[f.pid] = true
-			out.Outputs[f.pid] = f.output
-		}
-	}
+// freeSched is ExecuteFree's backend: a global mutex makes each op atomic
+// while the Go runtime chooses the interleaving.
+type freeSched struct {
+	mu      sync.Mutex
+	stepsBy []int64
 }
 
-func sortInts(s []int) {
-	for i := 1; i < len(s); i++ {
-		for j := i; j > 0 && s[j] < s[j-1]; j-- {
-			s[j], s[j-1] = s[j-1], s[j]
-		}
-	}
+func (f *freeSched) step(sid int, op func()) {
+	f.mu.Lock()
+	f.stepsBy[sid]++
+	op()
+	f.mu.Unlock()
 }
 
 // ExecuteFree runs the program with one real goroutine per process; object
@@ -402,26 +332,14 @@ func sortInts(s []int) {
 // is not available in free mode.
 func ExecuteFree(run *Run) *Outcome {
 	n := len(run.Bodies)
-	out := &Outcome{
-		Outputs:  make([]any, n),
-		Finished: make([]bool, n),
-		Crashed:  make([]bool, n),
-		StepsBy:  make([]int, n),
-	}
-	var mu sync.Mutex
+	out := newOutcome(n)
 	var wg sync.WaitGroup
-	stepsBy := make([]int64, n)
+	f := &freeSched{stepsBy: make([]int64, n)}
 	for i := range run.Bodies {
 		wg.Add(1)
 		pid := i
 		body := run.Bodies[i]
-		p := &Proc{id: pid, sid: pid}
-		p.exec = func(id int, op func()) {
-			mu.Lock()
-			stepsBy[id]++
-			op()
-			mu.Unlock()
-		}
+		p := &Proc{id: pid, sid: pid, fre: f}
 		go func() {
 			defer wg.Done()
 			out.Outputs[pid] = body(p)
@@ -429,7 +347,7 @@ func ExecuteFree(run *Run) *Outcome {
 		}()
 	}
 	wg.Wait()
-	for i, s := range stepsBy {
+	for i, s := range f.stepsBy {
 		out.StepsBy[i] = int(s)
 		out.Steps += int(s)
 	}
