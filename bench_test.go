@@ -587,6 +587,7 @@ func BenchmarkE14Condition(b *testing.B) {
 	if !mpcons.SatisfiesCondition(inputs, (n-1)/2) {
 		b.Fatal("test vector must satisfy C")
 	}
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		decided := 0
 		procs := make([]amp.Process, n)
@@ -607,6 +608,7 @@ func BenchmarkE14Condition(b *testing.B) {
 func BenchmarkE15ProcessAdversary(b *testing.B) {
 	adv := procadv.PaperExample()
 	n := adv.N()
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		for live := procadv.Set(1); live <= procadv.FullSet(n); live++ {
 			gs := make([]*procadv.Gatherer, n)
@@ -642,6 +644,7 @@ func BenchmarkE15ProcessAdversary(b *testing.B) {
 // wait-majority protocol at n=3 under one crash and reports the size of
 // the configuration space backing the valence classification.
 func BenchmarkE16FLPBivalence(b *testing.B) {
+	b.ReportAllocs()
 	var configs int
 	for i := 0; i < b.N; i++ {
 		rep := flp.Explore(flp.WaitMajority{Procs: 3}, []int{0, 1, 1}, flp.Options{MaxCrashes: 1})
@@ -651,6 +654,32 @@ func BenchmarkE16FLPBivalence(b *testing.B) {
 		configs = rep.Configs
 	}
 	b.ReportMetric(float64(configs), "configs")
+}
+
+// BenchmarkE16FLPBivalenceLarge is the rebuilt explorer's scale target:
+// wait-majority at n=4 under one crash — a configuration space two
+// orders of magnitude beyond the seed entry — explored serially and
+// with the top-level frontier fanned across workers.
+func BenchmarkE16FLPBivalenceLarge(b *testing.B) {
+	for _, workers := range []int{1, 4} {
+		workers := workers
+		b.Run(fmt.Sprintf("n=4,workers=%d", workers), func(b *testing.B) {
+			b.ReportAllocs()
+			var configs int
+			for i := 0; i < b.N; i++ {
+				rep := flp.Explore(flp.WaitMajority{Procs: 4}, []int{0, 1, 1, 1},
+					flp.Options{MaxCrashes: 1, MaxConfigs: 50_000_000, Workers: workers})
+				if rep.Valence() != flp.Bivalent {
+					b.Fatal("expected a bivalent initial configuration")
+				}
+				if rep.Truncated {
+					b.Fatal("exploration truncated")
+				}
+				configs = rep.Configs
+			}
+			b.ReportMetric(float64(configs), "configs")
+		})
+	}
 }
 
 // ---------------------------------------------------------------------------
@@ -674,6 +703,7 @@ func BenchmarkAblationBroadcastCost(b *testing.B) {
 	for _, v := range variants {
 		v := v
 		b.Run(v.name, func(b *testing.B) {
+			b.ReportAllocs()
 			var msgs int
 			for i := 0; i < b.N; i++ {
 				delivered := 0
@@ -769,35 +799,42 @@ func BenchmarkAblationCausalVsFIFO(b *testing.B) {
 			}
 		}
 	}
-	b.Run("fifo", func(b *testing.B) { run(b, false) })
-	b.Run("causal", func(b *testing.B) { run(b, true) })
+	b.Run("fifo", func(b *testing.B) { b.ReportAllocs(); run(b, false) })
+	b.Run("causal", func(b *testing.B) { b.ReportAllocs(); run(b, true) })
+}
+
+// mkContendedHistory builds a maximally-overlapping register history:
+// w(1) spans k reads (the BenchmarkAblationLinearizabilityMemo input).
+func mkContendedHistory(k int) check.History {
+	h := check.History{{Proc: 0, Arg: check.WriteOp{V: 1}, Call: 1, Return: int64(10*k + 10)}}
+	for i := 0; i < k; i++ {
+		out := 0
+		if i >= k/2 {
+			out = 1
+		}
+		h = append(h, check.Op{
+			Proc: i + 1, Arg: check.ReadOp{}, Out: out,
+			Call: int64(10*i + 2), Return: int64(10*i + 5),
+		})
+	}
+	return h
 }
 
 // BenchmarkAblationLinearizabilityMemo reports the search-state count
 // of the Wing–Gong checker on a contended history — the work the
-// memoization bound (Lowe's refinement) keeps polynomial-ish.
+// memoization bound (Lowe's refinement) keeps polynomial-ish. The
+// history is built outside the timed loop so the metric is the checker
+// itself; the reads=12-legacy entry runs the preserved seed checker on
+// the identical input for an in-repo before/after.
 func BenchmarkAblationLinearizabilityMemo(b *testing.B) {
-	// A maximally-overlapping register history: w(1) spans k reads.
-	mkHist := func(k int) check.History {
-		h := check.History{{Proc: 0, Arg: check.WriteOp{V: 1}, Call: 1, Return: int64(10*k + 10)}}
-		for i := 0; i < k; i++ {
-			out := 0
-			if i >= k/2 {
-				out = 1
-			}
-			h = append(h, check.Op{
-				Proc: i + 1, Arg: check.ReadOp{}, Out: out,
-				Call: int64(10*i + 2), Return: int64(10*i + 5),
-			})
-		}
-		return h
-	}
 	for _, k := range []int{4, 8, 12} {
 		k := k
+		h := mkContendedHistory(k)
 		b.Run(fmt.Sprintf("reads=%d", k), func(b *testing.B) {
+			b.ReportAllocs()
 			var explored int
 			for i := 0; i < b.N; i++ {
-				r, err := check.Linearizable(check.RegisterSpec{Init0: 0}, mkHist(k))
+				r, err := check.Linearizable(check.RegisterSpec{Init0: 0}, h)
 				if err != nil || !r.OK {
 					b.Fatalf("history must linearize: %v %v", r.OK, err)
 				}
@@ -806,4 +843,44 @@ func BenchmarkAblationLinearizabilityMemo(b *testing.B) {
 			b.ReportMetric(float64(explored), "states")
 		})
 	}
+	hLegacy := mkContendedHistory(12)
+	b.Run("reads=12-legacy", func(b *testing.B) {
+		b.ReportAllocs()
+		var explored int
+		for i := 0; i < b.N; i++ {
+			r, err := check.LinearizableLegacy(check.RegisterSpec{Init0: 0}, hLegacy)
+			if err != nil || !r.OK {
+				b.Fatalf("history must linearize: %v %v", r.OK, err)
+			}
+			explored = r.Explored
+		}
+		b.ReportMetric(float64(explored), "states")
+	})
+	// Partitioned scale entry: 8 independent contended registers checked
+	// as one 104-op history across the worker pool.
+	var hPart check.History
+	for reg := 0; reg < 8; reg++ {
+		base := int64(reg * 1000)
+		for _, op := range mkContendedHistory(12) {
+			op.Arg = check.KeyedOp{Key: reg, Op: op.Arg}
+			op.Call += base
+			op.Return += base
+			hPart = append(hPart, op)
+		}
+	}
+	for i := range hPart {
+		hPart[i].Proc = i // distinct procs keep per-process sequentiality
+	}
+	b.Run("partitioned-8x13", func(b *testing.B) {
+		b.ReportAllocs()
+		var explored int
+		for i := 0; i < b.N; i++ {
+			r, err := check.Linearizable(check.RegisterArraySpec{Init0: 0}, hPart)
+			if err != nil || !r.OK {
+				b.Fatalf("history must linearize: %v %v", r.OK, err)
+			}
+			explored = r.Explored
+		}
+		b.ReportMetric(float64(explored), "states")
+	})
 }

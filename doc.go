@@ -61,4 +61,30 @@
 // is spent on scale: uncapped register-violation search, exhaustive n=3
 // hierarchy entries with two crashes, the universal construction at n=8
 // with 64 ops per process, and obstruction-free k-set agreement at n=64.
+//
+// # The verification engines
+//
+// Two engines verify the engines above rather than execute anything
+// themselves, and both were rebuilt for scale. internal/check's
+// Wing–Gong/Lowe linearizability checker — the correctness condition of
+// §4's atomic objects — precomputes per-operation predecessor bitmasks
+// (O(1) minimality tests), memoizes (mask, state) search nodes through
+// tiered equality (maphash over spec-provided canonical fingerprints,
+// an open-addressing table for directly comparable states, reflect as
+// the legacy fallback), runs an explicit-stack DFS over pooled engines,
+// and — via optional Partitioner specs — splits multi-key histories
+// into independent per-key sub-checks across a worker pool, lifting the
+// 63-operation cap to 63 per partition. internal/flp's exhaustive
+// explorer — the FLP impossibility of §2.4/§5.1 made executable —
+// identifies configurations by canonical binary encodings over interned
+// states, explores copy-on-write with undo instead of cloning, and fans
+// its top-level frontier across Options.Workers. Both seed engines
+// survive (check.LinearizableLegacy, flp.Options.Legacy) as oracles for
+// randomized equivalence property tests: identical verdicts, witness
+// orders, explored-state and configuration counts. Every linearization
+// witness the suite produces replays through check.ValidateOrder. The
+// speedup funds the fences: schedule-fuzzed multi-register ABD and RSM
+// histories and universal-construction KV histories of 200+ operations
+// check per key, and E16 classifies wait-majority valences at n=4
+// (a configuration space two orders beyond the seed's n=3 entry).
 package distbasics

@@ -142,6 +142,13 @@ func runFuzzSeed(t *testing.T, seed int64) {
 		t.Fatalf("seed %d: degenerate history size %d", seed, len(h))
 	}
 	res := check.MustLinearizable(check.RegisterSpec{}, h)
+	if res.OK {
+		// Every witness the checker emits must replay: the shared
+		// validator catches a checker that fabricates orders.
+		if err := check.ValidateOrder(check.RegisterSpec{}, h, res.Order); err != nil {
+			t.Fatalf("seed %d: witness invalid: %v", seed, err)
+		}
+	}
 	if !res.OK {
 		completed, pending := 0, 0
 		for _, op := range h {

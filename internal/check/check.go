@@ -17,12 +17,51 @@
 // before the crash (the checker may linearize it anywhere after its
 // call) or did not (the checker may drop it), per the standard
 // completion rule.
+//
+// # Architecture
+//
+// The search hot path is built around three ideas:
+//
+//   - Predecessor bitmasks. Each operation's real-time predecessors are
+//     precomputed as a bitmask, so the Wing–Gong minimality test ("no
+//     unlinearized operation returned before this one was called")
+//     collapses to mask&pred[i] == pred[i] — O(1) per candidate instead
+//     of a rescan of the whole history per DFS node.
+//
+//   - Tiered (mask, state) memoization. Search states are memoized by
+//     the pair of the linearized-set bitmask and the abstract object
+//     state. If the Spec implements Fingerprinter, states are hashed
+//     with hash/maphash over their canonical encoding and compared
+//     byte-wise. Otherwise states of directly comparable dynamic type
+//     use a plain Go map keyed by (mask, state). Legacy specs fall back
+//     to per-mask buckets compared with Equaler.StateEquals or
+//     reflect.DeepEqual. No path renders states through fmt.
+//
+//   - An explicit-stack DFS over pooled engines. The recursion of the
+//     seed checker is an iterative loop over reusable frames; engines
+//     (stack, memo tables, scratch buffers) are recycled through a
+//     sync.Pool across calls and across partitions.
+//
+// On top of the single-object search, a Spec that implements
+// Partitioner is checked Porcupine-style: the history splits into
+// independent per-key sub-histories (per register, per map key, …),
+// each checked in its own engine across a worker pool. The MaxOps cap
+// applies per partition, so partitioned histories of hundreds of
+// operations check in milliseconds. The per-partition witnesses are
+// merged into one global linearization order — always possible, by the
+// locality property of linearizability (Herlihy & Wing).
+//
+// The seed checker is preserved verbatim as LinearizableLegacy and
+// fenced against the rebuilt engine by randomized equivalence property
+// tests.
 package check
 
 import (
+	"bytes"
 	"fmt"
+	"hash/maphash"
 	"reflect"
-	"sort"
+	"runtime"
 	"sync"
 )
 
@@ -34,6 +73,38 @@ type Spec interface {
 	// Apply applies op to state, returning the new state and the
 	// operation's return value. It must be a pure function.
 	Apply(state, op any) (newState, ret any)
+}
+
+// Fingerprinter is an optional Spec refinement for fast memoization:
+// AppendFingerprint appends a canonical binary encoding of state to dst
+// and returns the extended slice. Two states must produce equal
+// encodings if and only if they are semantically equal — the checker
+// hashes the encoding with hash/maphash and uses byte equality to
+// resolve collisions, so a non-canonical encoding makes the check
+// unsound (a search branch can be wrongly pruned).
+type Fingerprinter interface {
+	AppendFingerprint(dst []byte, state any) []byte
+}
+
+// Equaler is an optional Spec refinement supplying state equality for
+// memoization when states are not directly comparable and no
+// Fingerprinter is available. Without it the checker falls back to
+// reflect.DeepEqual.
+type Equaler interface {
+	StateEquals(a, b any) bool
+}
+
+// Partitioner is an optional Spec refinement declaring that operations
+// on distinct keys are independent (the spec is a product of per-key
+// objects, like a register array or a map). Linearizable then checks
+// each key's sub-history separately — linearizability is local (Herlihy
+// & Wing), so the history linearizes iff every sub-history does — and
+// the MaxOps cap applies per partition rather than to the whole
+// history. Keys must be valid Go map keys.
+type Partitioner interface {
+	// PartitionKey returns the key of the independent sub-object that
+	// op addresses.
+	PartitionKey(op any) any
 }
 
 // Pending marks the Return time of an operation that never returned.
@@ -64,28 +135,35 @@ func (o Op) precedes(p Op) bool {
 type History []Op
 
 // Validate checks well-formedness: Call < Return for completed ops, and
-// per-process sequentiality (no overlapping ops by one process).
+// per-process sequentiality (no overlapping ops by one process). It is
+// allocation-free: histories are at most MaxOps per partition, so the
+// pairwise scan is cheaper than building per-process indexes.
 func (h History) Validate() error {
-	byProc := make(map[int][]Op)
 	for i, o := range h {
 		if o.Return != Pending && o.Return <= o.Call {
 			return fmt.Errorf("check: op %d returns at %d not after call at %d", i, o.Return, o.Call)
 		}
-		byProc[o.Proc] = append(byProc[o.Proc], o)
 	}
-	for pid, ops := range byProc {
-		sort.Slice(ops, func(i, j int) bool { return ops[i].Call < ops[j].Call })
-		for i := 1; i < len(ops); i++ {
-			prev := ops[i-1]
-			if prev.Return == Pending || prev.Return > ops[i].Call {
-				return fmt.Errorf("check: process %d has overlapping operations", pid)
+	for i := range h {
+		pi, ci, ri := h[i].Proc, h[i].Call, h[i].Return
+		for j := i + 1; j < len(h); j++ {
+			if h[j].Proc != pi {
+				continue
+			}
+			// One op must return no later than the other's call.
+			iBefore := ri != Pending && ri <= h[j].Call
+			jBefore := h[j].Return != Pending && h[j].Return <= ci
+			if !iBefore && !jBefore {
+				return fmt.Errorf("check: process %d has overlapping operations", pi)
 			}
 		}
 	}
 	return nil
 }
 
-// MaxOps bounds the history size the exhaustive search accepts.
+// MaxOps bounds the history size the exhaustive search accepts — per
+// partition when the Spec implements Partitioner, for the whole history
+// otherwise.
 const MaxOps = 63
 
 // Result reports the outcome of a linearizability check.
@@ -95,87 +173,156 @@ type Result struct {
 	// Order, when OK, lists indices into the history in linearization
 	// order (dropped pending operations are absent).
 	Order []int
-	// Explored counts search states visited, a work measure for benches.
+	// Explored counts search states visited, a work measure for benches
+	// (summed over partitions for a partitioned check).
 	Explored int
+	// Partitions counts the independent sub-checks the history was
+	// split into (1 when the spec is not a Partitioner; 0 from
+	// LinearizableLegacy, which never partitions).
+	Partitions int
 }
 
 // Linearizable searches for a linearization of h against spec. It
-// returns an error for malformed or oversized histories.
+// returns an error for malformed or oversized histories. When spec
+// implements Partitioner the history is split into independent per-key
+// sub-histories checked across a worker pool, and MaxOps bounds each
+// partition instead of the whole history.
 func Linearizable(spec Spec, h History) (Result, error) {
-	if len(h) > MaxOps {
-		return Result{}, fmt.Errorf("check: history has %d ops, max %d", len(h), MaxOps)
-	}
 	if err := h.Validate(); err != nil {
 		return Result{}, err
 	}
-
-	type frame struct {
-		mask  uint64
-		state any
+	part, ok := spec.(Partitioner)
+	if !ok {
+		if len(h) > MaxOps {
+			return Result{}, fmt.Errorf("check: history has %d ops, max %d", len(h), MaxOps)
+		}
+		res := runEngine(spec, h)
+		res.Partitions = 1
+		return res, nil
 	}
-	var res Result
-	memo := make(map[string]bool)
 
-	// completedMask marks ops that must be linearized.
-	var completedMask uint64
+	// Group operation indices by partition key, in first-appearance
+	// order for determinism.
+	keyIdx := make(map[any]int)
+	var parts [][]int
 	for i, o := range h {
-		if o.Return != Pending {
-			completedMask |= 1 << uint(i)
+		k := part.PartitionKey(o.Arg)
+		pi, seen := keyIdx[k]
+		if !seen {
+			pi = len(parts)
+			keyIdx[k] = pi
+			parts = append(parts, nil)
+		}
+		parts[pi] = append(parts[pi], i)
+	}
+	for pi, idxs := range parts {
+		if len(idxs) > MaxOps {
+			return Result{}, fmt.Errorf("check: partition %d has %d ops, max %d per partition", pi, len(idxs), MaxOps)
 		}
 	}
 
-	var order []int
-	var dfs func(f frame) bool
-	dfs = func(f frame) bool {
-		res.Explored++
-		if f.mask&completedMask == completedMask {
-			return true // all completed ops linearized; pendings dropped
+	results := make([]Result, len(parts))
+	runPart := func(pi int) {
+		idxs := parts[pi]
+		sub := make(History, len(idxs))
+		for j, gi := range idxs {
+			sub[j] = h[gi]
 		}
-		key := fmt.Sprintf("%d|%#v", f.mask, f.state)
-		if memo[key] {
-			return false
+		r := runEngine(spec, sub)
+		for j, li := range r.Order {
+			r.Order[j] = idxs[li] // map sub-history indices back to h
 		}
-
-		// minimal ops: not yet linearized, and no other unlinearized op
-		// returned before their call.
-		for i, o := range h {
-			bit := uint64(1) << uint(i)
-			if f.mask&bit != 0 {
-				continue
-			}
-			minimal := true
-			for j, p := range h {
-				jbit := uint64(1) << uint(j)
-				if i == j || f.mask&jbit != 0 {
-					continue
+		results[pi] = r
+	}
+	workers := runtime.GOMAXPROCS(0)
+	if workers > len(parts) {
+		workers = len(parts)
+	}
+	if len(h) < 128 {
+		workers = 1 // goroutine fan-out costs more than tiny sub-checks
+	}
+	if workers <= 1 {
+		for pi := range parts {
+			runPart(pi)
+		}
+	} else {
+		var wg sync.WaitGroup
+		ch := make(chan int)
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for pi := range ch {
+					runPart(pi)
 				}
-				if p.precedes(o) {
-					minimal = false
+			}()
+		}
+		for pi := range parts {
+			ch <- pi
+		}
+		close(ch)
+		wg.Wait()
+	}
+
+	agg := Result{OK: true, Partitions: len(parts)}
+	orders := make([][]int, len(parts))
+	for pi, r := range results {
+		agg.Explored += r.Explored
+		orders[pi] = r.Order
+		if !r.OK {
+			agg.OK = false
+		}
+	}
+	if agg.OK {
+		merged, err := mergeOrders(h, orders)
+		if err != nil {
+			return Result{}, err
+		}
+		agg.Order = merged
+	}
+	return agg, nil
+}
+
+// mergeOrders interleaves per-partition linearizations into one global
+// order respecting real-time precedence across partitions. By the
+// locality property of linearizability the union of the real-time
+// partial order with the per-partition total orders is acyclic, so the
+// greedy topological merge below always makes progress.
+func mergeOrders(h History, orders [][]int) ([]int, error) {
+	total := 0
+	for _, o := range orders {
+		total += len(o)
+	}
+	merged := make([]int, 0, total)
+	emitted := make([]bool, len(h))
+	ptr := make([]int, len(orders))
+	ready := func(g int) bool {
+		for j := range h {
+			if !emitted[j] && h[j].precedes(h[g]) {
+				return false
+			}
+		}
+		return true
+	}
+	for len(merged) < total {
+		progress := false
+		for pi := range orders {
+			for ptr[pi] < len(orders[pi]) {
+				g := orders[pi][ptr[pi]]
+				if !ready(g) {
 					break
 				}
+				emitted[g] = true
+				merged = append(merged, g)
+				ptr[pi]++
+				progress = true
 			}
-			if !minimal {
-				continue
-			}
-			next, ret := spec.Apply(f.state, o.Arg)
-			if o.Return != Pending && !reflect.DeepEqual(ret, o.Out) {
-				continue // spec's return disagrees with observed return
-			}
-			order = append(order, i)
-			if dfs(frame{mask: f.mask | bit, state: next}) {
-				return true
-			}
-			order = order[:len(order)-1]
 		}
-		memo[key] = true
-		return false
+		if !progress {
+			return nil, fmt.Errorf("check: partition linearizations do not merge; partitions are not independent")
+		}
 	}
-
-	if dfs(frame{mask: 0, state: spec.Init()}) {
-		res.OK = true
-		res.Order = append([]int(nil), order...)
-	}
-	return res, nil
+	return merged, nil
 }
 
 // MustLinearizable is Linearizable for tests that treat errors as
@@ -187,6 +334,396 @@ func MustLinearizable(spec Spec, h History) Result {
 	}
 	return r
 }
+
+// ---------------------------------------------------------------------------
+// The search engine.
+// ---------------------------------------------------------------------------
+
+// frame is one explicit-stack DFS node: the set of linearized ops, the
+// abstract state reached, and the next candidate index to try when the
+// node is resumed after a child backtracks.
+type frame struct {
+	mask  uint64
+	state any
+	next  int
+}
+
+// fpEntry is one memo record on the Fingerprinter path.
+type fpEntry struct {
+	mask uint64
+	enc  []byte
+}
+
+// cmpTable is an open-addressing memo table for the comparable-state
+// fast path. Slots hash on the mask alone (a cheap multiply instead of
+// the runtime's AES interface hashing) and resolve collisions — both
+// probe collisions and several states sharing one mask — by linear
+// probing with direct interface equality.
+type cmpTable struct {
+	slots []cmpSlot
+	count int
+}
+
+type cmpSlot struct {
+	used  bool
+	mask  uint64
+	state any
+}
+
+func maskHash(mask uint64) uint64 {
+	h := mask * 0x9e3779b97f4a7c15
+	return h ^ (h >> 29)
+}
+
+func (t *cmpTable) lookup(mask uint64, state any) bool {
+	if len(t.slots) == 0 {
+		return false
+	}
+	m := uint64(len(t.slots) - 1)
+	for i := maskHash(mask) & m; ; i = (i + 1) & m {
+		s := &t.slots[i]
+		if !s.used {
+			return false
+		}
+		if s.mask == mask && s.state == state {
+			return true
+		}
+	}
+}
+
+func (t *cmpTable) insert(mask uint64, state any) {
+	if len(t.slots) == 0 || t.count*2 >= len(t.slots) {
+		t.grow()
+	}
+	m := uint64(len(t.slots) - 1)
+	for i := maskHash(mask) & m; ; i = (i + 1) & m {
+		s := &t.slots[i]
+		if !s.used {
+			*s = cmpSlot{used: true, mask: mask, state: state}
+			t.count++
+			return
+		}
+	}
+}
+
+func (t *cmpTable) grow() {
+	old := t.slots
+	size := 64
+	if len(old) > 0 {
+		size = len(old) * 2
+	}
+	t.slots = make([]cmpSlot, size)
+	t.count = 0
+	for i := range old {
+		if old[i].used {
+			t.insert(old[i].mask, old[i].state)
+		}
+	}
+}
+
+// release empties the table, dropping state references so pooled
+// engines don't retain caller data (a range clear compiles to memclr).
+func (t *cmpTable) release() {
+	for i := range t.slots {
+		t.slots[i] = cmpSlot{}
+	}
+	t.count = 0
+}
+
+// engine holds all per-check scratch state; engines are pooled across
+// Linearizable calls and across partitions.
+type engine struct {
+	spec      Spec
+	h         History
+	n         int
+	completed uint64
+	pred      []uint64
+	outMode   []uint8
+
+	fp   Fingerprinter
+	eqFn func(a, b any) bool
+
+	seed    maphash.Seed
+	seeded  bool
+	fpMemo  map[uint64][]fpEntry
+	cmpMemo cmpTable
+	dyMemo  map[uint64][]any // per-mask buckets for Equaler/DeepEqual states
+	lastT   reflect.Type     // one-entry comparability cache
+	lastOK  bool
+
+	encBuf   []byte
+	stack    []frame
+	order    []int
+	explored int
+}
+
+var enginePool = sync.Pool{New: func() any { return &engine{} }}
+
+func runEngine(spec Spec, h History) Result {
+	e := enginePool.Get().(*engine)
+	e.init(spec, h)
+	ok := e.search()
+	res := Result{OK: ok, Explored: e.explored}
+	if ok {
+		res.Order = append([]int(nil), e.order...)
+	}
+	e.release()
+	enginePool.Put(e)
+	return res
+}
+
+func (e *engine) init(spec Spec, h History) {
+	e.spec, e.h, e.n = spec, h, len(h)
+	e.fp, _ = spec.(Fingerprinter)
+	if eq, ok := spec.(Equaler); ok {
+		e.eqFn = eq.StateEquals
+	} else {
+		e.eqFn = reflect.DeepEqual
+	}
+	if !e.seeded {
+		e.seed = maphash.MakeSeed()
+		e.seeded = true
+	}
+	e.explored = 0
+	e.completed = 0
+	if cap(e.pred) < len(h) {
+		e.pred = make([]uint64, len(h))
+	}
+	e.pred = e.pred[:len(h)]
+	for i := range h {
+		if h[i].Return != Pending {
+			e.completed |= 1 << uint(i)
+		}
+	}
+	for i := range h {
+		ci := h[i].Call
+		var p uint64
+		for j := range h {
+			if j != i && h[j].Return != Pending && h[j].Return < ci {
+				p |= 1 << uint(j)
+			}
+		}
+		e.pred[i] = p
+	}
+	// Classify each op's return comparison once so the candidate loop
+	// avoids per-visit reflection.
+	if cap(e.outMode) < len(h) {
+		e.outMode = make([]uint8, len(h))
+	}
+	e.outMode = e.outMode[:len(h)]
+	for i := range h {
+		switch {
+		case h[i].Return == Pending:
+			e.outMode[i] = outAny
+		case h[i].Out == nil:
+			e.outMode[i] = outNil
+		case eqMatchesDeepEqual(reflect.TypeOf(h[i].Out).Kind()):
+			e.outMode[i] = outFast
+		default:
+			e.outMode[i] = outDeep
+		}
+	}
+}
+
+// Return-comparison modes, precomputed per op by init.
+const (
+	outAny  uint8 = iota // pending: any return accepted
+	outNil               // observed nil
+	outFast              // basic comparable kind: direct ==
+	outDeep              // reflect.DeepEqual
+)
+
+// release drops references to caller data so pooled engines don't
+// retain histories and states between checks.
+func (e *engine) release() {
+	clear(e.fpMemo)
+	e.cmpMemo.release()
+	clear(e.dyMemo)
+	e.stack = e.stack[:cap(e.stack)]
+	for i := range e.stack {
+		e.stack[i] = frame{}
+	}
+	e.stack = e.stack[:0]
+	e.spec, e.h = nil, nil
+	e.fp, e.eqFn = nil, nil
+	e.lastT, e.lastOK = nil, false
+}
+
+// search runs the iterative Wing–Gong/Lowe DFS. It mirrors the legacy
+// recursion exactly — same candidate order, same memo-insertion timing —
+// so Explored counts are byte-identical to LinearizableLegacy on
+// unpartitioned histories.
+func (e *engine) search() bool {
+	e.stack = append(e.stack[:0], frame{state: e.spec.Init()})
+	e.order = e.order[:0]
+	for len(e.stack) > 0 {
+		f := &e.stack[len(e.stack)-1]
+		if f.next == 0 {
+			// First entry into this node.
+			e.explored++
+			if f.mask&e.completed == e.completed {
+				return true // all completed ops linearized; pendings dropped
+			}
+			if e.memoSeen(f.mask, f.state) {
+				e.pop()
+				continue
+			}
+		}
+		pushed := false
+		for i := f.next; i < e.n; i++ {
+			bit := uint64(1) << uint(i)
+			if f.mask&bit != 0 || f.mask&e.pred[i] != e.pred[i] {
+				continue // linearized already, or a predecessor is not
+			}
+			o := &e.h[i]
+			next, ret := e.spec.Apply(f.state, o.Arg)
+			// Spec's return must agree with the observed return.
+			switch e.outMode[i] {
+			case outNil:
+				if ret != nil {
+					continue
+				}
+			case outFast:
+				if ret != o.Out {
+					continue
+				}
+			case outDeep:
+				if !reflect.DeepEqual(ret, o.Out) {
+					continue
+				}
+			}
+			f.next = i + 1
+			e.order = append(e.order, i)
+			e.stack = append(e.stack, frame{mask: f.mask | bit, state: next})
+			pushed = true
+			break
+		}
+		if pushed {
+			continue
+		}
+		e.memoAdd(f.mask, f.state)
+		e.pop()
+	}
+	return false
+}
+
+func (e *engine) pop() {
+	e.stack[len(e.stack)-1] = frame{}
+	e.stack = e.stack[:len(e.stack)-1]
+	if len(e.stack) > 0 {
+		e.order = e.order[:len(e.order)-1]
+	}
+}
+
+// memoSeen reports whether the (mask, state) pair was already explored
+// and exhausted, choosing the fastest equality tier available.
+func (e *engine) memoSeen(mask uint64, state any) bool {
+	switch {
+	case e.fp != nil:
+		e.encBuf = e.fp.AppendFingerprint(e.encBuf[:0], state)
+		h := e.fpHash(mask, e.encBuf)
+		for _, en := range e.fpMemo[h] {
+			if en.mask == mask && bytes.Equal(en.enc, e.encBuf) {
+				return true
+			}
+		}
+		return false
+	case e.fastComparable(state):
+		return e.cmpMemo.lookup(mask, state)
+	default:
+		for _, s := range e.dyMemo[mask] {
+			if e.eqFn(s, state) {
+				return true
+			}
+		}
+		return false
+	}
+}
+
+// memoAdd records an exhausted (mask, state) search node.
+func (e *engine) memoAdd(mask uint64, state any) {
+	switch {
+	case e.fp != nil:
+		e.encBuf = e.fp.AppendFingerprint(e.encBuf[:0], state)
+		h := e.fpHash(mask, e.encBuf)
+		if e.fpMemo == nil {
+			e.fpMemo = make(map[uint64][]fpEntry)
+		}
+		e.fpMemo[h] = append(e.fpMemo[h], fpEntry{mask: mask, enc: append([]byte(nil), e.encBuf...)})
+	case e.fastComparable(state):
+		e.cmpMemo.insert(mask, state)
+	default:
+		if e.dyMemo == nil {
+			e.dyMemo = make(map[uint64][]any)
+		}
+		e.dyMemo[mask] = append(e.dyMemo[mask], state)
+	}
+}
+
+func (e *engine) fpHash(mask uint64, enc []byte) uint64 {
+	return maphash.Bytes(e.seed, enc) ^ (mask * 0x9e3779b97f4a7c15)
+}
+
+// fastComparable reports whether state can serve as (part of) a Go map
+// key without any risk of a runtime panic: nil, or a dynamic type of a
+// basic comparable kind. Struct/array/interface kinds are excluded even
+// when reflect reports them comparable, because their fields may hold
+// uncomparable dynamic values. A one-entry cache covers the common case
+// of every state sharing one concrete type.
+func (e *engine) fastComparable(state any) bool {
+	if state == nil {
+		return true
+	}
+	t := reflect.TypeOf(state)
+	if t == e.lastT {
+		return e.lastOK
+	}
+	ok := fastComparableKind(t.Kind())
+	e.lastT, e.lastOK = t, ok
+	return ok
+}
+
+func fastComparableKind(k reflect.Kind) bool {
+	switch k {
+	case reflect.Bool,
+		reflect.Int, reflect.Int8, reflect.Int16, reflect.Int32, reflect.Int64,
+		reflect.Uint, reflect.Uint8, reflect.Uint16, reflect.Uint32, reflect.Uint64, reflect.Uintptr,
+		reflect.Float32, reflect.Float64, reflect.Complex64, reflect.Complex128,
+		reflect.String, reflect.Pointer, reflect.Chan, reflect.UnsafePointer:
+		return true
+	}
+	return false
+}
+
+// eqMatchesDeepEqual reports the kinds where == agrees with
+// reflect.DeepEqual: fastComparableKind minus Pointer, because
+// DeepEqual also calls distinct pointers equal when they point to
+// deeply equal values.
+func eqMatchesDeepEqual(k reflect.Kind) bool {
+	return k != reflect.Pointer && fastComparableKind(k)
+}
+
+// valuesEqual compares two values with reflect.DeepEqual semantics and
+// a panic-free fast path for the kinds where == coincides with
+// DeepEqual. Unlike a naked == on interfaces it never panics on
+// uncomparable dynamic types.
+func valuesEqual(a, b any) bool {
+	if a == nil || b == nil {
+		return a == b
+	}
+	ta := reflect.TypeOf(a)
+	if ta != reflect.TypeOf(b) {
+		return false
+	}
+	if eqMatchesDeepEqual(ta.Kind()) {
+		return a == b
+	}
+	return reflect.DeepEqual(a, b)
+}
+
+// ---------------------------------------------------------------------------
+// History recording.
+// ---------------------------------------------------------------------------
 
 // Recorder builds histories from live executions. Call/Return pairs get
 // timestamps from a global logical clock; the recorder is safe for

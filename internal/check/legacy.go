@@ -1,0 +1,94 @@
+package check
+
+// The seed checker, preserved verbatim: recursive Wing–Gong/Lowe DFS
+// with fmt.Sprintf("%d|%#v") string memoization, reflect.DeepEqual
+// return comparison, and a per-node minimality rescan. It exists as the
+// oracle for the equivalence property tests that fence the rebuilt
+// engine in check.go; new code should call Linearizable.
+
+import (
+	"fmt"
+	"reflect"
+)
+
+// LinearizableLegacy is the seed implementation of Linearizable. It
+// never partitions (MaxOps bounds the whole history) and leaves
+// Result.Partitions zero. On any unpartitioned history it returns the
+// same OK verdict, the same witness Order, and the same Explored count
+// as Linearizable — a property test asserts exactly that.
+func LinearizableLegacy(spec Spec, h History) (Result, error) {
+	if len(h) > MaxOps {
+		return Result{}, fmt.Errorf("check: history has %d ops, max %d", len(h), MaxOps)
+	}
+	if err := h.Validate(); err != nil {
+		return Result{}, err
+	}
+
+	type frame struct {
+		mask  uint64
+		state any
+	}
+	var res Result
+	memo := make(map[string]bool)
+
+	// completedMask marks ops that must be linearized.
+	var completedMask uint64
+	for i, o := range h {
+		if o.Return != Pending {
+			completedMask |= 1 << uint(i)
+		}
+	}
+
+	var order []int
+	var dfs func(f frame) bool
+	dfs = func(f frame) bool {
+		res.Explored++
+		if f.mask&completedMask == completedMask {
+			return true // all completed ops linearized; pendings dropped
+		}
+		key := fmt.Sprintf("%d|%#v", f.mask, f.state)
+		if memo[key] {
+			return false
+		}
+
+		// minimal ops: not yet linearized, and no other unlinearized op
+		// returned before their call.
+		for i, o := range h {
+			bit := uint64(1) << uint(i)
+			if f.mask&bit != 0 {
+				continue
+			}
+			minimal := true
+			for j, p := range h {
+				jbit := uint64(1) << uint(j)
+				if i == j || f.mask&jbit != 0 {
+					continue
+				}
+				if p.precedes(o) {
+					minimal = false
+					break
+				}
+			}
+			if !minimal {
+				continue
+			}
+			next, ret := spec.Apply(f.state, o.Arg)
+			if o.Return != Pending && !reflect.DeepEqual(ret, o.Out) {
+				continue // spec's return disagrees with observed return
+			}
+			order = append(order, i)
+			if dfs(frame{mask: f.mask | bit, state: next}) {
+				return true
+			}
+			order = order[:len(order)-1]
+		}
+		memo[key] = true
+		return false
+	}
+
+	if dfs(frame{mask: 0, state: spec.Init()}) {
+		res.OK = true
+		res.Order = append([]int(nil), order...)
+	}
+	return res, nil
+}

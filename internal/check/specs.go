@@ -12,7 +12,11 @@ type ReadOp struct{}
 type WriteOp struct{ V any }
 
 // CASOp is a compare-and-swap: if the register holds Old, store New and
-// return true, else return false.
+// return true, else return false. Old is compared with the current
+// state by value with reflect.DeepEqual semantics (fast path for basic
+// comparable kinds); the comparison never panics, so a register holding
+// a value of uncomparable dynamic type simply makes every CAS against
+// it fail unless the values are deeply equal.
 type CASOp struct{ Old, New any }
 
 // RegisterSpec is an atomic read/write register initialized to Init0,
@@ -30,7 +34,7 @@ func (s RegisterSpec) Apply(state, op any) (any, any) {
 	case WriteOp:
 		return o.V, nil
 	case CASOp:
-		if state == o.Old {
+		if valuesEqual(state, o.Old) {
 			return o.New, true
 		}
 		return state, false
@@ -55,4 +59,66 @@ func (TestAndSetSpec) Apply(state, op any) (any, any) {
 		panic("check: TestAndSetSpec got unknown op")
 	}
 	return true, state
+}
+
+// KeyedOp addresses Op to the independent register named Key in a
+// RegisterArraySpec history.
+type KeyedOp struct{ Key, Op any }
+
+// RegisterArraySpec is an array of independent atomic registers, each
+// initialized to Init0 and addressed through KeyedOp. It implements
+// Partitioner, so Linearizable splits a multi-register history into one
+// sub-check per register — this is how the schedule-fuzz suites check
+// histories of hundreds of operations against the 63-op-per-partition
+// engine. Keys must be valid Go map keys.
+type RegisterArraySpec struct{ Init0 any }
+
+// Init implements Spec. The state maps keys to register values; absent
+// keys hold Init0.
+func (s RegisterArraySpec) Init() any { return map[any]any(nil) }
+
+// Apply implements Spec.
+func (s RegisterArraySpec) Apply(state, op any) (any, any) {
+	ko, ok := op.(KeyedOp)
+	if !ok {
+		panic("check: RegisterArraySpec ops must be KeyedOp")
+	}
+	m, _ := state.(map[any]any)
+	cur, present := m[ko.Key]
+	if !present {
+		cur = s.Init0
+	}
+	next, ret := RegisterSpec{Init0: s.Init0}.Apply(cur, ko.Op)
+	nm := make(map[any]any, len(m)+1)
+	for k, v := range m {
+		nm[k] = v
+	}
+	nm[ko.Key] = next
+	return nm, ret
+}
+
+// PartitionKey implements Partitioner: operations on distinct registers
+// are independent.
+func (RegisterArraySpec) PartitionKey(op any) any {
+	return op.(KeyedOp).Key
+}
+
+// StateEquals implements Equaler: two register-array states are equal
+// when they map the same keys to equal values. This keeps the memo
+// tier panic-free and cheap for the single-key states a partitioned
+// sub-check produces, without requiring a canonical encoding of
+// arbitrary keys.
+func (s RegisterArraySpec) StateEquals(a, b any) bool {
+	ma, _ := a.(map[any]any)
+	mb, _ := b.(map[any]any)
+	if len(ma) != len(mb) {
+		return false
+	}
+	for k, va := range ma {
+		vb, ok := mb[k]
+		if !ok || !valuesEqual(va, vb) {
+			return false
+		}
+	}
+	return true
 }

@@ -1,0 +1,47 @@
+package check
+
+import "fmt"
+
+// ValidateOrder checks that order is a genuine linearization witness
+// for h against spec: indices are in range and distinct, every
+// completed operation appears (only pending operations may be dropped),
+// no operation is placed before one that precedes it in real time, and
+// replaying the order through the spec from Init reproduces every
+// completed operation's observed return value.
+//
+// The test suite runs every Result.Order the checker emits through this
+// validator, so a checker bug that fabricates witnesses — rather than
+// merely misjudging OK — cannot hide.
+func ValidateOrder(spec Spec, h History, order []int) error {
+	inOrder := make([]bool, len(h))
+	for pos, idx := range order {
+		if idx < 0 || idx >= len(h) {
+			return fmt.Errorf("check: witness position %d references op %d, history has %d ops", pos, idx, len(h))
+		}
+		if inOrder[idx] {
+			return fmt.Errorf("check: witness lists op %d twice", idx)
+		}
+		inOrder[idx] = true
+	}
+	for i, o := range h {
+		if o.Return != Pending && !inOrder[i] {
+			return fmt.Errorf("check: witness drops completed op %d", i)
+		}
+	}
+	for a := 0; a < len(order); a++ {
+		for b := a + 1; b < len(order); b++ {
+			if h[order[b]].precedes(h[order[a]]) {
+				return fmt.Errorf("check: witness places op %d before op %d, which completed before it was called", order[a], order[b])
+			}
+		}
+	}
+	state := spec.Init()
+	for _, idx := range order {
+		var ret any
+		state, ret = spec.Apply(state, h[idx].Arg)
+		if h[idx].Return != Pending && !valuesEqual(ret, h[idx].Out) {
+			return fmt.Errorf("check: replaying op %d yields %v, history observed %v", idx, ret, h[idx].Out)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,281 @@
+package flp
+
+// Equivalence fencing for the rebuilt explorer: across both shipped
+// protocols and a family of seeded randomized (but deterministic)
+// protocols, the new serial engine must report the same Decided set,
+// valence, violation classification, and Configs count as the preserved
+// seed engine behind Options.Legacy; the parallel frontier shares one
+// deduplication table with globally consistent interning, so it must
+// match serial on everything, Configs included (untruncated).
+
+import (
+	"fmt"
+	"testing"
+)
+
+// splitmix is a tiny deterministic mixer for lotteryProto decisions.
+func splitmix(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+// lotteryProto is a seeded family of deterministic flooding protocols:
+// each process floods its input, then decides once it has heard from
+// threshold processes, on a value drawn deterministically from the seed
+// and the multiset of heard values. Different seeds give protocols with
+// different valence and violation profiles — richer equivalence fodder
+// than the two shipped candidates.
+type lotteryProto struct {
+	procs     int
+	threshold int
+	seed      uint64
+}
+
+// lotState mirrors waState: heard/value bitmasks plus the decision.
+type lotState struct {
+	Heard   int
+	Vals    int
+	Decided int
+}
+
+func (p lotteryProto) N() int { return p.procs }
+
+func (p lotteryProto) Initial(pid int, input int) (State, []Outgoing) {
+	s := lotState{Heard: 1 << uint(pid), Vals: input << uint(pid), Decided: -1}
+	outs := make([]Outgoing, 0, p.procs-1)
+	for i := 0; i < p.procs; i++ {
+		if i != pid {
+			outs = append(outs, Outgoing{To: i, Body: input})
+		}
+	}
+	return p.maybeDecide(s), outs
+}
+
+func (p lotteryProto) Deliver(_ int, st State, from int, body any) (State, []Outgoing) {
+	s := st.(lotState)
+	if s.Decided >= 0 {
+		return s, nil
+	}
+	s.Heard |= 1 << uint(from)
+	if body.(int) == 1 {
+		s.Vals |= 1 << uint(from)
+	}
+	return p.maybeDecide(s), nil
+}
+
+func (p lotteryProto) maybeDecide(s lotState) lotState {
+	if s.Decided < 0 && heardCount(s.Heard) >= p.threshold {
+		s.Decided = int(splitmix(p.seed^uint64(s.Heard)<<20^uint64(s.Vals)) & 1)
+	}
+	return s
+}
+
+func (p lotteryProto) Decision(st State) (int, bool) {
+	s := st.(lotState)
+	return s.Decided, s.Decided >= 0
+}
+
+// reportsEquivalent asserts full serial equivalence (Configs included).
+func reportsEquivalent(t *testing.T, label string, legacy, got Report) {
+	t.Helper()
+	if got.Configs != legacy.Configs {
+		t.Errorf("%s: Configs %d, legacy %d", label, got.Configs, legacy.Configs)
+	}
+	reportsClassEquivalent(t, label, legacy, got)
+}
+
+// reportsClassEquivalent asserts everything except Configs.
+func reportsClassEquivalent(t *testing.T, label string, legacy, got Report) {
+	t.Helper()
+	for v := 0; v <= 1; v++ {
+		if got.Decided[v] != legacy.Decided[v] {
+			t.Errorf("%s: Decided[%d]=%v, legacy %v", label, v, got.Decided[v], legacy.Decided[v])
+		}
+	}
+	if got.Valence() != legacy.Valence() {
+		t.Errorf("%s: valence %v, legacy %v", label, got.Valence(), legacy.Valence())
+	}
+	if (got.AgreementViolation != "") != (legacy.AgreementViolation != "") {
+		t.Errorf("%s: agreement violation %q, legacy %q", label, got.AgreementViolation, legacy.AgreementViolation)
+	}
+	if (got.TerminationViolation != "") != (legacy.TerminationViolation != "") {
+		t.Errorf("%s: termination violation %q, legacy %q", label, got.TerminationViolation, legacy.TerminationViolation)
+	}
+	if got.Truncated != legacy.Truncated {
+		t.Errorf("%s: Truncated=%v, legacy %v", label, got.Truncated, legacy.Truncated)
+	}
+}
+
+// allInputs enumerates every binary input vector of length n.
+func allInputs(n int) [][]int {
+	var out [][]int
+	for bits := 0; bits < 1<<uint(n); bits++ {
+		inputs := make([]int, n)
+		for i := range inputs {
+			inputs[i] = (bits >> uint(i)) & 1
+		}
+		out = append(out, inputs)
+	}
+	return out
+}
+
+func TestExploreMatchesLegacyOnShippedProtocols(t *testing.T) {
+	for _, n := range []int{2, 3} {
+		for _, proto := range []Protocol{WaitAll{Procs: n}, WaitMajority{Procs: n}} {
+			for _, crashes := range []int{0, 1} {
+				for _, inputs := range allInputs(n) {
+					opts := Options{MaxCrashes: crashes}
+					legacy := Explore(proto, inputs, Options{MaxCrashes: crashes, Legacy: true})
+					got := Explore(proto, inputs, opts)
+					label := fmt.Sprintf("%T n=%d crashes=%d inputs=%v", proto, n, crashes, inputs)
+					reportsEquivalent(t, label, legacy, got)
+				}
+			}
+		}
+	}
+}
+
+func TestExploreMatchesLegacyOnRandomProtocols(t *testing.T) {
+	for _, n := range []int{2, 3} {
+		for threshold := 1; threshold <= n; threshold++ {
+			for seed := uint64(1); seed <= 6; seed++ {
+				proto := lotteryProto{procs: n, threshold: threshold, seed: seed}
+				for _, crashes := range []int{0, 1} {
+					inputs := allInputs(n)[int(seed)%(1<<uint(n))]
+					legacy := Explore(proto, inputs, Options{MaxCrashes: crashes, Legacy: true})
+					got := Explore(proto, inputs, Options{MaxCrashes: crashes})
+					label := fmt.Sprintf("lottery n=%d thr=%d seed=%d crashes=%d", n, threshold, seed, crashes)
+					reportsEquivalent(t, label, legacy, got)
+				}
+			}
+		}
+	}
+}
+
+func TestExploreParallelMatchesSerial(t *testing.T) {
+	protos := []Protocol{
+		WaitAll{Procs: 3},
+		WaitMajority{Procs: 3},
+		lotteryProto{procs: 3, threshold: 2, seed: 11},
+	}
+	for _, proto := range protos {
+		for _, inputs := range [][]int{{0, 1, 1}, {1, 0, 1}, {0, 0, 0}} {
+			serial := Explore(proto, inputs, Options{MaxCrashes: 1})
+			par := Explore(proto, inputs, Options{MaxCrashes: 1, Workers: 4})
+			label := fmt.Sprintf("%T inputs=%v", proto, inputs)
+			reportsClassEquivalent(t, label, serial, par)
+			if par.Configs != serial.Configs {
+				t.Errorf("%s: parallel Configs %d, serial %d (shared dedup must make them equal)", label, par.Configs, serial.Configs)
+			}
+		}
+	}
+}
+
+// TestExploreLegacyTruncation pins the truncation contract on both
+// engines (counts under truncation are engine-specific, the flag isn't).
+func TestExploreTruncationBothEngines(t *testing.T) {
+	for _, legacy := range []bool{false, true} {
+		rep := Explore(WaitMajority{Procs: 3}, []int{0, 1, 1}, Options{MaxCrashes: 1, MaxConfigs: 3, Legacy: legacy})
+		if !rep.Truncated {
+			t.Errorf("legacy=%v: MaxConfigs=3 must truncate", legacy)
+		}
+	}
+}
+
+// sliceBodyProto wraps WaitAll but ships every body as an uncomparable
+// []int — the seed engine's Sprintf keys handled such protocols, so the
+// rebuilt interning must too (via its rendered-identity fallback).
+type sliceBodyProto struct{ inner WaitAll }
+
+func (p sliceBodyProto) N() int { return p.inner.N() }
+
+func (p sliceBodyProto) Initial(pid, input int) (State, []Outgoing) {
+	s, outs := p.inner.Initial(pid, input)
+	for i := range outs {
+		outs[i].Body = []int{outs[i].Body.(int)}
+	}
+	return s, outs
+}
+
+func (p sliceBodyProto) Deliver(pid int, st State, from int, body any) (State, []Outgoing) {
+	s, outs := p.inner.Deliver(pid, st, from, body.([]int)[0])
+	for i := range outs {
+		outs[i].Body = []int{outs[i].Body.(int)}
+	}
+	return s, outs
+}
+
+func (p sliceBodyProto) Decision(st State) (int, bool) { return p.inner.Decision(st) }
+
+// TestUncomparableBodiesMatchLegacy: protocols with slice-valued
+// message bodies must not panic on the rebuilt path and must report the
+// same results as the seed engine.
+func TestUncomparableBodiesMatchLegacy(t *testing.T) {
+	proto := sliceBodyProto{inner: WaitAll{Procs: 3}}
+	for _, crashes := range []int{0, 1} {
+		legacy := Explore(proto, []int{0, 1, 1}, Options{MaxCrashes: crashes, Legacy: true})
+		got := Explore(proto, []int{0, 1, 1}, Options{MaxCrashes: crashes})
+		reportsEquivalent(t, fmt.Sprintf("slice bodies crashes=%d", crashes), legacy, got)
+	}
+}
+
+// bigDecisionProto wraps WaitAll but reports decisions shifted far past
+// int8 range — the legacy engine handled arbitrary decision values, so
+// the rebuilt decision cache must too.
+type bigDecisionProto struct{ inner WaitAll }
+
+func (p bigDecisionProto) N() int { return p.inner.N() }
+func (p bigDecisionProto) Initial(pid, input int) (State, []Outgoing) {
+	return p.inner.Initial(pid, input)
+}
+func (p bigDecisionProto) Deliver(pid int, st State, from int, body any) (State, []Outgoing) {
+	return p.inner.Deliver(pid, st, from, body)
+}
+func (p bigDecisionProto) Decision(st State) (int, bool) {
+	v, ok := p.inner.Decision(st)
+	if !ok {
+		return v, ok
+	}
+	return 200 + v, true
+}
+
+func TestLargeDecisionValuesMatchLegacy(t *testing.T) {
+	proto := bigDecisionProto{inner: WaitAll{Procs: 2}}
+	legacy := Explore(proto, []int{1, 1}, Options{Legacy: true})
+	got := Explore(proto, []int{1, 1}, Options{})
+	if !legacy.Decided[201] {
+		t.Fatalf("legacy oracle broken: Decided=%v", legacy.Decided)
+	}
+	if !got.Decided[201] || got.Configs != legacy.Configs ||
+		(got.TerminationViolation != "") != (legacy.TerminationViolation != "") {
+		t.Fatalf("large decisions diverge: legacy Decided=%v configs=%d term=%q; new Decided=%v configs=%d term=%q",
+			legacy.Decided, legacy.Configs, legacy.TerminationViolation,
+			got.Decided, got.Configs, got.TerminationViolation)
+	}
+}
+
+// TestViolationMessagesAreStructured: the satellite — violation notes
+// name processes and values, and never embed a rendered configuration
+// (the seed's %#v keys grew unbounded with n).
+func TestViolationMessagesAreStructured(t *testing.T) {
+	for _, legacy := range []bool{false, true} {
+		rep := Explore(WaitMajority{Procs: 3}, []int{0, 1, 1}, Options{MaxCrashes: 1, Legacy: legacy})
+		if rep.AgreementViolation == "" {
+			t.Fatalf("legacy=%v: expected an agreement violation", legacy)
+		}
+		if len(rep.AgreementViolation) > 160 {
+			t.Errorf("legacy=%v: agreement violation message too long (%d bytes): %q",
+				legacy, len(rep.AgreementViolation), rep.AgreementViolation)
+		}
+		repAll := Explore(WaitAll{Procs: 3}, []int{0, 1, 1}, Options{MaxCrashes: 1, Legacy: legacy})
+		if repAll.TerminationViolation == "" {
+			t.Fatalf("legacy=%v: expected a termination violation", legacy)
+		}
+		if len(repAll.TerminationViolation) > 160 {
+			t.Errorf("legacy=%v: termination violation message too long (%d bytes): %q",
+				legacy, len(repAll.TerminationViolation), repAll.TerminationViolation)
+		}
+	}
+}

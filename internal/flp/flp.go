@@ -14,16 +14,57 @@
 // when no message addressed to a live process remains. Determinism of
 // the protocol is what makes the reachable configuration space finite
 // for bounded protocols, and exhaustive search meaningful.
+//
+// # Architecture
+//
+// The explorer identifies configurations by a canonical binary
+// encoding, not by rendering them with fmt: process states and message
+// bodies are interned to small integer ids (comparable values intern
+// directly; uncomparable ones fall back to a rendered identity), each
+// in-flight message packs to one uint64, and a configuration key is the
+// id vector plus the crashed bitmask plus the sorted message words.
+// Keys live in one hashed memo table; on the fast path nothing is
+// formatted or re-sorted as strings.
+//
+// The search itself never clones a configuration. One mutable
+// configuration is threaded through the depth-first recursion
+// copy-on-write style: delivering a message swaps it out of the buffer,
+// appends its sends, recurses, and undoes both; crashing a process
+// snapshots the buffer once into a pooled scratch slice. Decisions are
+// cached per interned state id, so Protocol.Decision runs once per
+// distinct state rather than once per process per configuration.
+//
+// Options.Workers mirrors shm.ExploreOpts.Workers: the top-level branch
+// frontier (every first delivery or first crash) fans out across
+// parallel workers. Workers keep private mutable configurations but
+// share the id-assignment tables (through per-worker read-through
+// caches) and one sharded deduplication table, so every reachable
+// configuration is explored by exactly one worker: Decided sets,
+// valences, violation classifications, and untruncated Configs counts
+// all match the serial engine. Reports merge deterministically in
+// branch order.
+//
+// The seed explorer is preserved behind Options.Legacy and fenced by
+// equivalence property tests: identical Decided sets, valences,
+// violation classifications, and Configs counts on the serial path.
 package flp
 
 import (
+	"encoding/binary"
 	"fmt"
-	"sort"
+	"hash/maphash"
+	"reflect"
+	"slices"
+	"sync"
+	"sync/atomic"
 )
 
-// State is an opaque per-process protocol state. It is rendered with
-// fmt.Sprintf("%#v") for memoization, so implementations should be plain
-// comparable structs or values.
+// State is an opaque per-process protocol state. States (and message
+// bodies) are interned in Go maps for memoization: comparable values
+// intern directly; values of uncomparable dynamic type (slices, maps)
+// fall back to a rendered identity, like the seed engine's string keys.
+// Comparable-typed values whose fields hold uncomparable dynamic values
+// are not supported.
 type State any
 
 // Outgoing is a message produced by a protocol step.
@@ -47,59 +88,10 @@ type Protocol interface {
 	Decision(s State) (int, bool)
 }
 
-// message is an in-flight message. A wake message (Wake=true) is the
-// explorer-generated initial event of its target: delivering it runs
-// Protocol.Initial, producing the process's first state and sends. This
-// is what makes "crash before taking any step" — the schedule FLP's
-// initial-bivalence argument needs — reachable: crashing a process whose
-// wake is still in the buffer discards its initial sends entirely.
-type message struct {
-	From, To int
-	Body     any
-	Wake     bool
-}
-
 // asleep is the placeholder state of a process whose wake message has
 // not yet been delivered. It holds no protocol state and has decided
 // nothing.
 type asleep struct{ Input int }
-
-// config is an explorer configuration.
-type config struct {
-	states  []State
-	crashed []bool
-	buffer  []message // in-flight, order-insensitive (multiset)
-	crashes int
-}
-
-func (c *config) key() string {
-	msgs := make([]string, 0, len(c.buffer))
-	for _, m := range c.buffer {
-		msgs = append(msgs, fmt.Sprintf("%d>%d:%v:%#v", m.From, m.To, m.Wake, m.Body))
-	}
-	sort.Strings(msgs)
-	return fmt.Sprintf("%#v|%v|%v", c.states, c.crashed, msgs)
-}
-
-func (c *config) clone() *config {
-	d := &config{
-		states:  append([]State(nil), c.states...),
-		crashed: append([]bool(nil), c.crashed...),
-		buffer:  append([]message(nil), c.buffer...),
-		crashes: c.crashes,
-	}
-	return d
-}
-
-// quiescent reports that no message addressed to a live process remains.
-func (c *config) quiescent() bool {
-	for _, m := range c.buffer {
-		if !c.crashed[m.To] {
-			return false
-		}
-	}
-	return true
-}
 
 // Valence classifies a configuration by the set of decision values
 // reachable from it.
@@ -133,17 +125,32 @@ type Report struct {
 	// Decided[v] is true if some execution reaches a configuration where
 	// a correct process decides v.
 	Decided map[int]bool
-	// AgreementViolation is an execution trace note when two correct
+	// AgreementViolation is a short structured note when two correct
 	// processes decide differently in the same execution ("" if none).
 	AgreementViolation string
 	// TerminationViolation is set when some complete execution (with at
 	// most MaxCrashes crashes) ends with a correct, undecided process.
 	TerminationViolation string
-	// Configs counts distinct configurations visited.
+	// Configs counts distinct configurations visited (identical to the
+	// serial count when Workers > 1 and the exploration is not
+	// truncated, since workers share one deduplication table).
 	Configs int
 	// Truncated reports that exploration hit MaxConfigs and results are
 	// a lower bound.
 	Truncated bool
+}
+
+// agreementMsg formats the structured agreement-violation note shared
+// by both engines: it names the two disagreeing processes and sketches
+// the configuration instead of embedding its full rendering.
+func agreementMsg(pid1, v1, pid2, v2, crashes, inflight int) string {
+	return fmt.Sprintf("agreement violation: p%d decided %d while p%d decided %d (crashes=%d, %d messages in flight)",
+		pid1+1, v1, pid2+1, v2, crashes, inflight)
+}
+
+// terminationMsg formats the structured termination-violation note.
+func terminationMsg(crashes, pid int) string {
+	return fmt.Sprintf("termination violation: complete execution (crashes=%d) leaves p%d undecided", crashes, pid+1)
 }
 
 // Valence derives the initial configuration's valence from the report.
@@ -166,134 +173,541 @@ type Options struct {
 	MaxCrashes int
 	// MaxConfigs caps visited configurations (0 = DefaultMaxConfigs).
 	MaxConfigs int
+	// Workers splits the top-level branch frontier across this many
+	// parallel explorers (0 or 1 = serial), mirroring
+	// shm.ExploreOpts.Workers. Workers share one sharded deduplication
+	// table, so each reachable configuration is explored exactly once:
+	// Decided sets, valences, violation classifications, and (untruncated)
+	// Configs counts are identical to the serial engine's. Truncation
+	// under MaxConfigs is approximate because the budget races across
+	// workers, and violation message details may differ run to run.
+	Workers int
+	// Legacy runs the seed explorer (Sprintf keys, full clones) instead
+	// of the rebuilt engine — the oracle for equivalence tests.
+	Legacy bool
 }
 
 // DefaultMaxConfigs bounds exploration when Options.MaxConfigs is 0.
 const DefaultMaxConfigs = 2_000_000
 
+// MaxProcs bounds the number of processes (crash sets are bitmasks).
+const MaxProcs = 64
+
 // Explore exhaustively explores every delivery/crash schedule of proto
 // from the given inputs and reports reachable decisions, agreement
 // violations, and termination violations.
 func Explore(proto Protocol, inputs []int, opts Options) Report {
+	if opts.Legacy {
+		return exploreLegacy(proto, inputs, opts)
+	}
 	n := proto.N()
 	if len(inputs) != n {
 		panic(fmt.Sprintf("flp: %d inputs for %d processes", len(inputs), n))
 	}
-	maxConfigs := opts.MaxConfigs
-	if maxConfigs == 0 {
-		maxConfigs = DefaultMaxConfigs
+	if n > MaxProcs {
+		panic(fmt.Sprintf("flp: %d processes, max %d", n, MaxProcs))
 	}
+	if opts.Workers > 1 {
+		return exploreParallel(proto, inputs, opts)
+	}
+	e := newExplorer(proto, inputs, opts, nil, nil)
+	e.visit()
+	e.rep.Configs = e.configs
+	return *e.rep
+}
 
-	init := &config{
-		states:  make([]State, n),
-		crashed: make([]bool, n),
+// ---------------------------------------------------------------------------
+// The rebuilt engine.
+// ---------------------------------------------------------------------------
+
+// emsg is an in-flight message with its body interned: word packs
+// (from, to, wake, bodyID) into one sortable uint64 for config keys.
+type emsg struct {
+	from, to int32
+	wake     bool
+	body     any
+	word     uint64
+}
+
+func packMsg(from, to int, wake bool, bodyID uint32) uint64 {
+	w := uint64(from)<<45 | uint64(to)<<33 | uint64(bodyID)
+	if wake {
+		w |= 1 << 32
+	}
+	return w
+}
+
+// explorer is the mutable exploration context: one configuration,
+// mutated and undone copy-on-write style around each recursive branch.
+type explorer struct {
+	proto      Protocol
+	n          int
+	maxCrashes int
+	limit      int
+
+	states      []State
+	stateID     []uint32
+	crashedMask uint64
+	asleepMask  uint64
+	crashes     int
+	buf         []emsg
+
+	stateIDs map[any]uint32
+	stateVal []State
+	decKnown []uint8 // per state id: 0 uncached, 1 undecided, 2 decided
+	decVal   []int   // per state id: the decision when decKnown == 2
+	bodyIDs  map[any]uint32
+	skey     internKeyer
+	bkey     internKeyer
+	glob     *internTable // shared id assignment across workers (nil when serial)
+
+	seen    map[string]struct{}
+	keyBuf  []byte
+	msgKeys []uint64
+	scratch [][]emsg // buffer snapshots for crash branches
+
+	configs int
+	shared  *sharedSeen // cross-worker deduplication (nil when serial)
+	rep     *Report
+}
+
+// internTable assigns globally consistent state and body ids across
+// parallel workers, so the same configuration produces the same
+// canonical encoding no matter which worker reaches it. Workers keep
+// read-through caches (explorer.stateIDs / bodyIDs), so the lock is
+// taken only on each worker's first sight of a value.
+type internTable struct {
+	mu       sync.Mutex
+	stateIDs map[any]uint32
+	bodyIDs  map[any]uint32
+}
+
+// rendered is the interning identity of an uncomparable value.
+type rendered string
+
+// internKeyer derives a map-safe interning key: the value itself when
+// its dynamic type is comparable, a rendered identity otherwise. A
+// one-entry type cache covers the common case of a single concrete
+// type.
+type internKeyer struct {
+	lastT  reflect.Type
+	lastOK bool
+}
+
+func (k *internKeyer) key(v any) any {
+	if v == nil {
+		return nil
+	}
+	t := reflect.TypeOf(v)
+	if t != k.lastT {
+		k.lastT, k.lastOK = t, t.Comparable()
+	}
+	if k.lastOK {
+		return v
+	}
+	return rendered(fmt.Sprintf("%T|%#v", v, v))
+}
+
+// sharedSeen is the deduplication table parallel workers share: 64
+// mutex-guarded shards keyed by the canonical config encoding, plus the
+// global config counter that enforces MaxConfigs.
+type sharedSeen struct {
+	shards [64]struct {
+		mu sync.Mutex
+		m  map[string]struct{}
+	}
+	count atomic.Int64
+}
+
+var sharedSeenSeed = maphash.MakeSeed()
+
+// visit records the configuration, returning false if it was already
+// explored (by any worker) or the budget is exhausted.
+func (ss *sharedSeen) visit(key []byte, limit int) (fresh, truncated bool) {
+	sh := &ss.shards[maphash.Bytes(sharedSeenSeed, key)&63]
+	sh.mu.Lock()
+	if sh.m == nil {
+		sh.m = make(map[string]struct{})
+	}
+	_, dup := sh.m[string(key)]
+	if !dup {
+		sh.m[string(key)] = struct{}{}
+	}
+	sh.mu.Unlock()
+	if dup {
+		return false, false
+	}
+	if ss.count.Add(1) > int64(limit) {
+		return false, true
+	}
+	return true, false
+}
+
+func newExplorer(proto Protocol, inputs []int, opts Options, shared *sharedSeen, glob *internTable) *explorer {
+	n := proto.N()
+	limit := opts.MaxConfigs
+	if limit == 0 {
+		limit = DefaultMaxConfigs
+	}
+	e := &explorer{
+		proto:      proto,
+		n:          n,
+		maxCrashes: opts.MaxCrashes,
+		limit:      limit,
+		states:     make([]State, n),
+		stateID:    make([]uint32, n),
+		stateIDs:   make(map[any]uint32),
+		bodyIDs:    make(map[any]uint32),
+		glob:       glob,
+		shared:     shared,
+		rep:        &Report{Decided: make(map[int]bool)},
+	}
+	if shared == nil {
+		e.seen = make(map[string]struct{})
 	}
 	for i := 0; i < n; i++ {
-		init.states[i] = asleep{Input: inputs[i]}
-		init.buffer = append(init.buffer, message{From: i, To: i, Wake: true})
+		e.setState(i, asleep{Input: inputs[i]})
+		e.asleepMask |= 1 << uint(i)
+		e.buf = append(e.buf, e.newMsg(i, i, nil, true))
+	}
+	return e
+}
+
+// internState returns the id of s, assigning one on first sight —
+// locally when serial, from the shared table when parallel.
+func (e *explorer) internState(s State) uint32 {
+	ks := e.skey.key(s)
+	if id, ok := e.stateIDs[ks]; ok {
+		return id
+	}
+	var id uint32
+	if e.glob != nil {
+		e.glob.mu.Lock()
+		gid, ok := e.glob.stateIDs[ks]
+		if !ok {
+			gid = uint32(len(e.glob.stateIDs))
+			e.glob.stateIDs[ks] = gid
+		}
+		e.glob.mu.Unlock()
+		id = gid
+	} else {
+		id = uint32(len(e.stateVal))
+	}
+	e.stateIDs[ks] = id
+	for uint32(len(e.stateVal)) <= id {
+		e.stateVal = append(e.stateVal, nil)
+		e.decKnown = append(e.decKnown, 0)
+		e.decVal = append(e.decVal, 0)
+	}
+	e.stateVal[id] = s
+	return id
+}
+
+// internBody returns the id of a message body, mirroring internState.
+func (e *explorer) internBody(body any) uint32 {
+	kb := e.bkey.key(body)
+	if id, ok := e.bodyIDs[kb]; ok {
+		return id
+	}
+	var id uint32
+	if e.glob != nil {
+		e.glob.mu.Lock()
+		gid, ok := e.glob.bodyIDs[kb]
+		if !ok {
+			gid = uint32(len(e.glob.bodyIDs))
+			e.glob.bodyIDs[kb] = gid
+		}
+		e.glob.mu.Unlock()
+		id = gid
+	} else {
+		id = uint32(len(e.bodyIDs))
+	}
+	e.bodyIDs[kb] = id
+	return id
+}
+
+func (e *explorer) setState(pid int, s State) {
+	e.states[pid] = s
+	e.stateID[pid] = e.internState(s)
+}
+
+// decision returns the cached decision of state id.
+func (e *explorer) decision(id uint32) (int, bool) {
+	if k := e.decKnown[id]; k != 0 {
+		return e.decVal[id], k == 2
+	}
+	v, ok := e.proto.Decision(e.stateVal[id])
+	if ok {
+		e.decKnown[id], e.decVal[id] = 2, v
+	} else {
+		e.decKnown[id] = 1
+	}
+	return v, ok
+}
+
+func (e *explorer) newMsg(from, to int, body any, wake bool) emsg {
+	id := e.internBody(body)
+	return emsg{from: int32(from), to: int32(to), wake: wake, body: body, word: packMsg(from, to, wake, id)}
+}
+
+// configKey appends the canonical binary encoding of the current
+// configuration into the reused key buffer: interned state ids, the
+// crashed bitmask, and the sorted packed message words.
+func (e *explorer) configKey() []byte {
+	b := e.keyBuf[:0]
+	for pid := 0; pid < e.n; pid++ {
+		b = binary.AppendUvarint(b, uint64(e.stateID[pid]))
+	}
+	b = binary.AppendUvarint(b, e.crashedMask)
+	keys := e.msgKeys[:0]
+	for i := range e.buf {
+		keys = append(keys, e.buf[i].word)
+	}
+	slices.Sort(keys)
+	for _, k := range keys {
+		b = binary.AppendUvarint(b, k)
+	}
+	e.keyBuf, e.msgKeys = b, keys
+	return b
+}
+
+func (e *explorer) visit() {
+	if e.shared != nil {
+		fresh, truncated := e.shared.visit(e.configKey(), e.limit)
+		if truncated {
+			e.rep.Truncated = true
+		}
+		if !fresh {
+			return
+		}
+	} else {
+		if e.configs >= e.limit {
+			e.rep.Truncated = true
+			return
+		}
+		key := e.configKey()
+		if _, dup := e.seen[string(key)]; dup {
+			return
+		}
+		e.seen[string(key)] = struct{}{}
+	}
+	e.configs++
+
+	// Record decisions and check agreement among live, awake processes.
+	firstPid, firstVal := -1, 0
+	quiet := true
+	for i := range e.buf {
+		if e.crashedMask&(1<<uint(e.buf[i].to)) == 0 {
+			quiet = false
+			break
+		}
+	}
+	live := ^(e.crashedMask | e.asleepMask)
+	for pid := 0; pid < e.n; pid++ {
+		if live&(1<<uint(pid)) == 0 {
+			continue
+		}
+		if d, ok := e.decision(e.stateID[pid]); ok {
+			e.rep.Decided[d] = true
+			if firstPid < 0 {
+				firstPid, firstVal = pid, d
+			} else if d != firstVal && e.rep.AgreementViolation == "" {
+				e.rep.AgreementViolation = agreementMsg(firstPid, firstVal, pid, d, e.crashes, len(e.buf))
+			}
+		}
 	}
 
+	if quiet {
+		// Complete execution: every correct process must have decided.
+		if e.rep.TerminationViolation == "" {
+			for pid := 0; pid < e.n; pid++ {
+				bit := uint64(1) << uint(pid)
+				if e.crashedMask&bit != 0 {
+					continue
+				}
+				undecided := e.asleepMask&bit != 0
+				if !undecided {
+					_, decided := e.decision(e.stateID[pid])
+					undecided = !decided
+				}
+				if undecided {
+					e.rep.TerminationViolation = terminationMsg(e.crashes, pid)
+					break
+				}
+			}
+		}
+		return
+	}
+
+	// Branch on every deliverable message.
+	for i := 0; i < len(e.buf); i++ {
+		to := int(e.buf[i].to)
+		bit := uint64(1) << uint(to)
+		if e.crashedMask&bit != 0 {
+			continue
+		}
+		if e.asleepMask&bit != 0 && !e.buf[i].wake {
+			continue // protocol messages wait until the target wakes
+		}
+		e.deliverAt(i)
+	}
+
+	// Branch on crashing each live process (budget permitting).
+	if e.crashes < e.maxCrashes {
+		for pid := 0; pid < e.n; pid++ {
+			if e.crashedMask&(1<<uint(pid)) != 0 {
+				continue
+			}
+			e.crashBranch(pid)
+		}
+	}
+}
+
+// deliverAt delivers buffer message i, recurses, and restores the
+// configuration exactly — no clone.
+func (e *explorer) deliverAt(i int) {
+	m := e.buf[i]
+	last := len(e.buf) - 1
+	e.buf[i] = e.buf[last]
+	e.buf = e.buf[:last]
+
+	to := int(m.to)
+	oldState, oldID := e.states[to], e.stateID[to]
+	wasAsleep := e.asleepMask&(1<<uint(to)) != 0
+
+	var s State
+	var outs []Outgoing
+	if m.wake {
+		s, outs = e.proto.Initial(to, oldState.(asleep).Input)
+		e.asleepMask &^= 1 << uint(to)
+	} else {
+		s, outs = e.proto.Deliver(to, oldState, int(m.from), m.body)
+	}
+	e.setState(to, s)
+	for _, o := range outs {
+		e.buf = append(e.buf, e.newMsg(to, o.To, o.Body, false))
+	}
+
+	e.visit()
+
+	// Undo: drop the sends, put m back where it was.
+	e.buf = e.buf[:last+1]
+	e.buf[last] = e.buf[i]
+	e.buf[i] = m
+	e.states[to], e.stateID[to] = oldState, oldID
+	if wasAsleep {
+		e.asleepMask |= 1 << uint(to)
+	}
+}
+
+// crashBranch crashes pid (discarding its pending messages), recurses,
+// and restores the configuration from a pooled snapshot.
+func (e *explorer) crashBranch(pid int) {
+	var save []emsg
+	if k := len(e.scratch); k > 0 {
+		save, e.scratch = e.scratch[k-1][:0], e.scratch[:k-1]
+	}
+	save = append(save, e.buf...)
+
+	kept := e.buf[:0]
+	for i := range save {
+		if int(save[i].to) != pid {
+			kept = append(kept, save[i])
+		}
+	}
+	e.buf = kept
+	e.crashedMask |= 1 << uint(pid)
+	e.crashes++
+
+	e.visit()
+
+	e.crashes--
+	e.crashedMask &^= 1 << uint(pid)
+	e.buf = append(e.buf[:0], save...)
+	e.scratch = append(e.scratch, save)
+}
+
+// ---------------------------------------------------------------------------
+// Parallel frontier fan-out.
+// ---------------------------------------------------------------------------
+
+// branch is one top-level successor of the initial configuration.
+type branch struct {
+	deliver int // buffer index, or -1
+	crash   int // pid, or -1
+}
+
+// exploreParallel charges the root configuration, then fans its
+// successor branches out across opts.Workers goroutines. Workers keep
+// private mutable configurations and interning but share the sharded
+// deduplication table, so every reachable configuration is explored by
+// exactly one worker and the union of their reports matches the serial
+// engine's. Reports merge in branch order.
+func exploreParallel(proto Protocol, inputs []int, opts Options) Report {
+	shared := &sharedSeen{}
+	glob := &internTable{stateIDs: make(map[any]uint32), bodyIDs: make(map[any]uint32)}
+	root := newExplorer(proto, inputs, opts, shared, glob)
 	rep := Report{Decided: make(map[int]bool)}
-	seen := make(map[string]bool)
+	limit := root.limit
+	shared.visit(root.configKey(), limit) // the root; all asleep, no decisions
 
-	var visit func(c *config)
-	visit = func(c *config) {
-		if rep.Configs >= maxConfigs {
-			rep.Truncated = true
-			return
-		}
-		key := c.key()
-		if seen[key] {
-			return
-		}
-		seen[key] = true
-		rep.Configs++
-
-		// Record decisions and check agreement among live processes.
-		decidedVals := make(map[int]bool)
-		for pid, s := range c.states {
-			if c.crashed[pid] {
-				continue
-			}
-			if _, sleeping := s.(asleep); sleeping {
-				continue
-			}
-			if v, ok := proto.Decision(s); ok {
-				rep.Decided[v] = true
-				decidedVals[v] = true
-			}
-		}
-		if len(decidedVals) > 1 && rep.AgreementViolation == "" {
-			rep.AgreementViolation = fmt.Sprintf("config %s has two decided values", key)
-		}
-
-		if c.quiescent() {
-			for pid, s := range c.states {
-				if c.crashed[pid] {
-					continue
-				}
-				undecided := false
-				if _, sleeping := s.(asleep); sleeping {
-					undecided = true
-				} else if _, ok := proto.Decision(s); !ok {
-					undecided = true
-				}
-				if undecided && rep.TerminationViolation == "" {
-					rep.TerminationViolation = fmt.Sprintf(
-						"complete execution (crashes=%d) leaves p%d undecided", c.crashes, pid+1)
-				}
-			}
-			return
-		}
-
-		// Branch on every deliverable message.
-		for i, m := range c.buffer {
-			if c.crashed[m.To] {
-				continue
-			}
-			if _, sleeping := c.states[m.To].(asleep); sleeping && !m.Wake {
-				continue // protocol messages wait until the target wakes
-			}
-			d := c.clone()
-			d.buffer = append(d.buffer[:i:i], d.buffer[i+1:]...)
-			var s State
-			var outs []Outgoing
-			if m.Wake {
-				s, outs = proto.Initial(m.To, d.states[m.To].(asleep).Input)
-			} else {
-				s, outs = proto.Deliver(m.To, d.states[m.To], m.From, m.Body)
-			}
-			d.states[m.To] = s
-			for _, o := range outs {
-				d.buffer = append(d.buffer, message{From: m.To, To: o.To, Body: o.Body})
-			}
-			visit(d)
-		}
-
-		// Branch on crashing each live process (budget permitting).
-		if c.crashes < opts.MaxCrashes {
-			for pid := 0; pid < n; pid++ {
-				if c.crashed[pid] {
-					continue
-				}
-				d := c.clone()
-				d.crashed[pid] = true
-				d.crashes++
-				// Messages to the crashed process are moot; drop them so
-				// quiescence is detected.
-				kept := d.buffer[:0]
-				for _, m := range d.buffer {
-					if m.To != pid {
-						kept = append(kept, m)
-					}
-				}
-				d.buffer = kept
-				visit(d)
-			}
+	// Enumerate root branches exactly as visit would: the root is never
+	// quiescent (every wake is addressed to a live process) unless n=0.
+	var branches []branch
+	for i := 0; i < len(root.buf); i++ {
+		branches = append(branches, branch{deliver: i, crash: -1})
+	}
+	if root.crashes < opts.MaxCrashes {
+		for pid := 0; pid < root.n; pid++ {
+			branches = append(branches, branch{deliver: -1, crash: pid})
 		}
 	}
+	if len(branches) == 0 {
+		rep.Configs = int(shared.count.Load())
+		return rep
+	}
 
-	visit(init)
+	workers := opts.Workers
+	if workers > len(branches) {
+		workers = len(branches)
+	}
+	subs := make([]*explorer, len(branches))
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				bi := int(next.Add(1)) - 1
+				if bi >= len(branches) {
+					return
+				}
+				sub := newExplorer(proto, inputs, opts, shared, glob)
+				subs[bi] = sub
+				if br := branches[bi]; br.deliver >= 0 {
+					sub.deliverAt(br.deliver)
+				} else {
+					sub.crashBranch(br.crash)
+				}
+			}
+		}()
+	}
+	wg.Wait()
+
+	rep.Configs = int(shared.count.Load())
+	for _, sub := range subs {
+		for v := range sub.rep.Decided {
+			rep.Decided[v] = true
+		}
+		if rep.AgreementViolation == "" {
+			rep.AgreementViolation = sub.rep.AgreementViolation
+		}
+		if rep.TerminationViolation == "" {
+			rep.TerminationViolation = sub.rep.TerminationViolation
+		}
+		rep.Truncated = rep.Truncated || sub.rep.Truncated
+	}
 	return rep
 }
 

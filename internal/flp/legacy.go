@@ -1,0 +1,186 @@
+package flp
+
+// The seed explorer, preserved behind Options.Legacy: Sprintf("%#v")
+// configuration keys sorted with sort.Strings, and a full configuration
+// clone at every branch. It is the oracle for the equivalence property
+// tests that fence the rebuilt engine in flp.go; its Reports carry the
+// same Decided sets, valences, violation classifications, and Configs
+// counts as the new serial engine.
+
+import (
+	"fmt"
+	"sort"
+)
+
+// message is an in-flight message. A wake message (Wake=true) is the
+// explorer-generated initial event of its target: delivering it runs
+// Protocol.Initial, producing the process's first state and sends. This
+// is what makes "crash before taking any step" — the schedule FLP's
+// initial-bivalence argument needs — reachable: crashing a process whose
+// wake is still in the buffer discards its initial sends entirely.
+type message struct {
+	From, To int
+	Body     any
+	Wake     bool
+}
+
+// config is a legacy explorer configuration.
+type config struct {
+	states  []State
+	crashed []bool
+	buffer  []message // in-flight, order-insensitive (multiset)
+	crashes int
+}
+
+func (c *config) key() string {
+	msgs := make([]string, 0, len(c.buffer))
+	for _, m := range c.buffer {
+		msgs = append(msgs, fmt.Sprintf("%d>%d:%v:%#v", m.From, m.To, m.Wake, m.Body))
+	}
+	sort.Strings(msgs)
+	return fmt.Sprintf("%#v|%v|%v", c.states, c.crashed, msgs)
+}
+
+func (c *config) clone() *config {
+	d := &config{
+		states:  append([]State(nil), c.states...),
+		crashed: append([]bool(nil), c.crashed...),
+		buffer:  append([]message(nil), c.buffer...),
+		crashes: c.crashes,
+	}
+	return d
+}
+
+// quiescent reports that no message addressed to a live process remains.
+func (c *config) quiescent() bool {
+	for _, m := range c.buffer {
+		if !c.crashed[m.To] {
+			return false
+		}
+	}
+	return true
+}
+
+// exploreLegacy is the seed implementation of Explore.
+func exploreLegacy(proto Protocol, inputs []int, opts Options) Report {
+	n := proto.N()
+	if len(inputs) != n {
+		panic(fmt.Sprintf("flp: %d inputs for %d processes", len(inputs), n))
+	}
+	maxConfigs := opts.MaxConfigs
+	if maxConfigs == 0 {
+		maxConfigs = DefaultMaxConfigs
+	}
+
+	init := &config{
+		states:  make([]State, n),
+		crashed: make([]bool, n),
+	}
+	for i := 0; i < n; i++ {
+		init.states[i] = asleep{Input: inputs[i]}
+		init.buffer = append(init.buffer, message{From: i, To: i, Wake: true})
+	}
+
+	rep := Report{Decided: make(map[int]bool)}
+	seen := make(map[string]bool)
+
+	var visit func(c *config)
+	visit = func(c *config) {
+		if rep.Configs >= maxConfigs {
+			rep.Truncated = true
+			return
+		}
+		key := c.key()
+		if seen[key] {
+			return
+		}
+		seen[key] = true
+		rep.Configs++
+
+		// Record decisions and check agreement among live processes.
+		firstPid, firstVal := -1, 0
+		for pid, s := range c.states {
+			if c.crashed[pid] {
+				continue
+			}
+			if _, sleeping := s.(asleep); sleeping {
+				continue
+			}
+			if v, ok := proto.Decision(s); ok {
+				rep.Decided[v] = true
+				if firstPid < 0 {
+					firstPid, firstVal = pid, v
+				} else if v != firstVal && rep.AgreementViolation == "" {
+					rep.AgreementViolation = agreementMsg(firstPid, firstVal, pid, v, c.crashes, len(c.buffer))
+				}
+			}
+		}
+
+		if c.quiescent() {
+			for pid, s := range c.states {
+				if c.crashed[pid] {
+					continue
+				}
+				undecided := false
+				if _, sleeping := s.(asleep); sleeping {
+					undecided = true
+				} else if _, ok := proto.Decision(s); !ok {
+					undecided = true
+				}
+				if undecided && rep.TerminationViolation == "" {
+					rep.TerminationViolation = terminationMsg(c.crashes, pid)
+				}
+			}
+			return
+		}
+
+		// Branch on every deliverable message.
+		for i, m := range c.buffer {
+			if c.crashed[m.To] {
+				continue
+			}
+			if _, sleeping := c.states[m.To].(asleep); sleeping && !m.Wake {
+				continue // protocol messages wait until the target wakes
+			}
+			d := c.clone()
+			d.buffer = append(d.buffer[:i:i], d.buffer[i+1:]...)
+			var s State
+			var outs []Outgoing
+			if m.Wake {
+				s, outs = proto.Initial(m.To, d.states[m.To].(asleep).Input)
+			} else {
+				s, outs = proto.Deliver(m.To, d.states[m.To], m.From, m.Body)
+			}
+			d.states[m.To] = s
+			for _, o := range outs {
+				d.buffer = append(d.buffer, message{From: m.To, To: o.To, Body: o.Body})
+			}
+			visit(d)
+		}
+
+		// Branch on crashing each live process (budget permitting).
+		if c.crashes < opts.MaxCrashes {
+			for pid := 0; pid < n; pid++ {
+				if c.crashed[pid] {
+					continue
+				}
+				d := c.clone()
+				d.crashed[pid] = true
+				d.crashes++
+				// Messages to the crashed process are moot; drop them so
+				// quiescence is detected.
+				kept := d.buffer[:0]
+				for _, m := range d.buffer {
+					if m.To != pid {
+						kept = append(kept, m)
+					}
+				}
+				d.buffer = kept
+				visit(d)
+			}
+		}
+	}
+
+	visit(init)
+	return rep
+}

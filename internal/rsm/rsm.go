@@ -160,6 +160,11 @@ type Node struct {
 	TO    *TOBroadcast
 	Omega *fd.Detector
 
+	// OnApply, when set, is invoked after each entry is applied to the
+	// local state — the observation point the linearizability fuzz
+	// tests use as a command's completion at its submitting replica.
+	OnApply func(e Entry, at amp.Time)
+
 	state   map[string]any
 	applied []Entry
 }
@@ -214,17 +219,19 @@ func (nd *Node) Submit(ctx amp.Context, cmd Command) rbcast.MsgID {
 func (nd *Node) Ctx() amp.Context { return nd.Stack.Ctx(1) }
 
 // apply executes one delivered command on the local state.
-func (nd *Node) apply(e Entry, _ amp.Time) {
+func (nd *Node) apply(e Entry, at amp.Time) {
 	nd.applied = append(nd.applied, e)
 	cmd, ok := e.Payload.(Command)
-	if !ok {
-		return
+	if ok {
+		switch cmd.Op {
+		case "put":
+			nd.state[cmd.Key] = cmd.Val
+		case "del":
+			delete(nd.state, cmd.Key)
+		}
 	}
-	switch cmd.Op {
-	case "put":
-		nd.state[cmd.Key] = cmd.Val
-	case "del":
-		delete(nd.state, cmd.Key)
+	if nd.OnApply != nil {
+		nd.OnApply(e, at)
 	}
 }
 

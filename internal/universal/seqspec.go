@@ -5,7 +5,43 @@
 // built from (k,ℓ)-simultaneous consensus objects.
 package universal
 
-import "fmt"
+import (
+	"encoding/binary"
+	"fmt"
+	"sort"
+)
+
+// appendFPValue appends a self-delimiting canonical encoding of one
+// element value for the AppendFingerprint methods below: distinct
+// values of the common scalar types encode distinctly, and anything
+// else falls back to a length-prefixed %T/%#v rendering. The encodings
+// feed internal/check's hashed memoization (structurally, via its
+// Fingerprinter interface), where a collision between semantically
+// distinct states would unsoundly prune the search — hence the tags and
+// length prefixes.
+func appendFPValue(dst []byte, v any) []byte {
+	switch x := v.(type) {
+	case nil:
+		return append(dst, 'n')
+	case int:
+		dst = append(dst, 'i')
+		return binary.AppendVarint(dst, int64(x))
+	case bool:
+		if x {
+			return append(dst, 'T')
+		}
+		return append(dst, 'F')
+	case string:
+		dst = append(dst, 's')
+		dst = binary.AppendUvarint(dst, uint64(len(x)))
+		return append(dst, x...)
+	default:
+		s := fmt.Sprintf("%T|%#v", v, v)
+		dst = append(dst, '?')
+		dst = binary.AppendUvarint(dst, uint64(len(s)))
+		return append(dst, s...)
+	}
+}
 
 // SeqSpec is a deterministic sequential object specification — the
 // paper's SeqSpec class (§4.2): "the set of objects that can be defined by
@@ -61,6 +97,18 @@ func (QueueSpec) Apply(state, op any) (any, any) {
 	}
 }
 
+// AppendFingerprint provides a canonical state encoding for
+// internal/check's hashed memoization (its Fingerprinter interface,
+// satisfied structurally).
+func (QueueSpec) AppendFingerprint(dst []byte, state any) []byte {
+	items := state.([]any)
+	dst = binary.AppendUvarint(dst, uint64(len(items)))
+	for _, it := range items {
+		dst = appendFPValue(dst, it)
+	}
+	return dst
+}
+
 // StackSpec is a LIFO stack: ops are PushOp{V} and PopOp{}; Pop returns
 // PopEmpty on an empty stack.
 type StackSpec struct{}
@@ -99,6 +147,17 @@ func (StackSpec) Apply(state, op any) (any, any) {
 	}
 }
 
+// AppendFingerprint provides a canonical state encoding for
+// internal/check's hashed memoization.
+func (StackSpec) AppendFingerprint(dst []byte, state any) []byte {
+	items := state.([]any)
+	dst = binary.AppendUvarint(dst, uint64(len(items)))
+	for _, it := range items {
+		dst = appendFPValue(dst, it)
+	}
+	return dst
+}
+
 // CounterSpec is a counter with AddOp and a read via AddOp{0}.
 type CounterSpec struct{}
 
@@ -119,6 +178,12 @@ func (CounterSpec) Apply(state, op any) (any, any) {
 	}
 	next := state.(int) + o.Delta
 	return next, next
+}
+
+// AppendFingerprint provides a canonical state encoding for
+// internal/check's hashed memoization.
+func (CounterSpec) AppendFingerprint(dst []byte, state any) []byte {
+	return binary.AppendVarint(dst, int64(state.(int)))
 }
 
 // KVSpec is a string-keyed map: ops are PutOp and GetOp.
@@ -156,4 +221,36 @@ func (KVSpec) Apply(state, op any) (any, any) {
 	default:
 		panic(fmt.Sprintf("universal: KVSpec cannot apply %T", op))
 	}
+}
+
+// PartitionKey declares per-key independence for internal/check's
+// partitioned checking (its Partitioner interface, satisfied
+// structurally): operations on distinct keys commute, so a multi-key
+// history splits into one sub-check per key.
+func (KVSpec) PartitionKey(op any) any {
+	switch o := op.(type) {
+	case PutOp:
+		return o.K
+	case GetOp:
+		return o.K
+	default:
+		panic(fmt.Sprintf("universal: KVSpec cannot partition %T", op))
+	}
+}
+
+// AppendFingerprint provides a canonical state encoding for
+// internal/check's hashed memoization (keys sorted for canonicality).
+func (KVSpec) AppendFingerprint(dst []byte, state any) []byte {
+	m := state.(map[string]any)
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	dst = binary.AppendUvarint(dst, uint64(len(keys)))
+	for _, k := range keys {
+		dst = appendFPValue(dst, k)
+		dst = appendFPValue(dst, m[k])
+	}
+	return dst
 }
