@@ -1,0 +1,165 @@
+// Command basicsfuzz runs seed-deterministic fuzz campaigns over the
+// scenario harness's models (internal/scenario/models) and replays
+// reported failures.
+//
+// Campaign mode (the default) runs a seed range per model, shrinks any
+// failure to a minimal reproducer, and writes reproducers to -out:
+//
+//	basicsfuzz -models=all -seeds=200
+//	basicsfuzz -models=abd,benor -seeds=5000 -out=cmd/basicsfuzz/testdata
+//
+// Replay mode re-runs one scenario — the invocation every harness
+// failure message prints:
+//
+//	basicsfuzz -model=abd -seed=1234 -v
+//	basicsfuzz -replay=cmd/basicsfuzz/testdata/abd-seed1234.scenario -v
+//
+// The exit status is non-zero iff any run failed its oracle.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"distbasics/internal/scenario"
+	"distbasics/internal/scenario/models"
+)
+
+func main() {
+	var (
+		modelsFlag   = flag.String("models", "all", "comma-separated model names for campaign mode (\"all\" = every model)")
+		modelFlag    = flag.String("model", "", "model name for single-seed replay mode (with -seed)")
+		seedFlag     = flag.Uint64("seed", 0, "seed to replay (with -model)")
+		replayFlag   = flag.String("replay", "", "encoded scenario file to replay")
+		seedsFlag    = flag.Uint64("seeds", 25, "seeds per model in campaign mode")
+		startFlag    = flag.Uint64("start", 1, "first seed in campaign mode")
+		shrinkFlag   = flag.Bool("shrink", true, "shrink failures to minimal reproducers")
+		shrinkBudget = flag.Int("shrink-budget", 2000, "max runs the shrinker may spend per failure")
+		outFlag      = flag.String("out", "", "directory to write found-crasher reproducers (empty = don't write)")
+		verbose      = flag.Bool("v", false, "print run traces")
+	)
+	flag.Parse()
+
+	switch {
+	case *replayFlag != "":
+		os.Exit(replayFile(*replayFlag, *verbose))
+	case *modelFlag != "":
+		os.Exit(replaySeed(*modelFlag, *seedFlag, *verbose))
+	default:
+		os.Exit(campaign(*modelsFlag, *startFlag, *seedsFlag, *shrinkFlag, *shrinkBudget, *outFlag, *verbose))
+	}
+}
+
+// printResult renders one run's outcome.
+func printResult(sc *scenario.Scenario, res *scenario.Result, verbose bool) {
+	fmt.Printf("scenario: %s\n", sc.Summary())
+	if verbose {
+		for _, line := range res.Trace {
+			fmt.Printf("  | %s\n", line)
+		}
+	}
+	if res.Failed {
+		fmt.Printf("FAIL: %s\n", res.Reason)
+	} else {
+		fmt.Printf("ok: %d completed, %d pending\n", res.Completed, res.Pending)
+	}
+}
+
+func replaySeed(name string, seed uint64, verbose bool) int {
+	m, err := models.ByName(name)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 2
+	}
+	sc := m.Generate(seed)
+	res := m.Run(sc)
+	printResult(sc, res, verbose)
+	if res.Failed {
+		return 1
+	}
+	return 0
+}
+
+func replayFile(path string, verbose bool) int {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 2
+	}
+	sc, err := scenario.Decode(data)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 2
+	}
+	m, err := models.ByName(sc.Model)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 2
+	}
+	res := m.Run(sc)
+	printResult(sc, res, verbose)
+	if res.Failed {
+		return 1
+	}
+	return 0
+}
+
+func campaign(names string, start, seeds uint64, shrink bool, shrinkBudget int, out string, verbose bool) int {
+	var selected []scenario.Model
+	if names == "all" {
+		selected = models.All()
+	} else {
+		for _, name := range strings.Split(names, ",") {
+			m, err := models.ByName(strings.TrimSpace(name))
+			if err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				return 2
+			}
+			selected = append(selected, m)
+		}
+	}
+	exit := 0
+	for _, m := range selected {
+		c := &scenario.Campaign{
+			Model: m, Start: start, Count: seeds,
+			Shrink: shrink, MaxShrinkRuns: shrinkBudget,
+			Log: func(format string, args ...any) { fmt.Printf(format+"\n", args...) },
+		}
+		failures, stats := c.Run()
+		fmt.Printf("%s: %d seeds, %d failures, %d completed + %d pending ops\n",
+			m.Name(), stats.Seeds, stats.Failures, stats.Completed, stats.Pending)
+		if stats.ShrinkRuns > 0 {
+			fmt.Printf("  (shrinking spent %d runs)\n", stats.ShrinkRuns)
+		}
+		for _, f := range failures {
+			exit = 1
+			repro := f.Scenario
+			if f.Shrunk != nil {
+				repro = f.Shrunk
+			}
+			fmt.Printf("  seed %d: %s\n  minimal reproducer: %s\n  replay: %s\n",
+				f.Seed, f.Result.Reason, repro.Summary(), scenario.ReplayCommand(m.Name(), f.Seed))
+			if verbose {
+				for _, line := range f.Result.Trace {
+					fmt.Printf("  | %s\n", line)
+				}
+			}
+			if out != "" {
+				if err := os.MkdirAll(out, 0o755); err != nil {
+					fmt.Fprintln(os.Stderr, err)
+					return 2
+				}
+				path := filepath.Join(out, fmt.Sprintf("%s-seed%d.scenario", m.Name(), f.Seed))
+				if err := os.WriteFile(path, repro.Encode(), 0o644); err != nil {
+					fmt.Fprintln(os.Stderr, err)
+					return 2
+				}
+				fmt.Printf("  reproducer written to %s\n", path)
+			}
+		}
+	}
+	return exit
+}

@@ -87,4 +87,45 @@
 // histories and universal-construction KV histories of 200+ operations
 // check per key, and E16 classifies wait-majority valences at n=4
 // (a configuration space two orders beyond the seed's n=3 entry).
+//
+// # The scenario harness
+//
+// All of the fences above run on one engine: internal/scenario, a
+// seed-deterministic scenario DSL that generates adversarial runs
+// (crashes and recoveries, partitions and heals, message loss, timing
+// skew, explicit schedule choices) from a single uint64 seed and drives
+// any execution model through small adapters (internal/scenario/models:
+// abd, abdmulti, rsm, benor, universal, ampequiv, shmequiv, shmexplore,
+// roundequiv, check, flp, dynnet, madv). Each adapter checks an oracle —
+// linearizability via internal/check, agreement/validity predicates, or
+// golden equivalence against a preserved legacy engine — and replay is
+// byte-stable: the same scenario always produces the identical trace
+// and verdict, which determinism tests assert per adapter. The harness
+// is mutation-verified: deliberately weakened algorithms (an ABD read
+// quorum below majority, a Ben-Or coin that ignores phase-2 reports)
+// are caught by the oracles and shrunk to pinned minimal reproducers.
+//
+// # Reproducing a failure
+//
+// Every randomized-test failure reports through scenario.Reportf, which
+// prints the exact replay invocation:
+//
+//	go run ./cmd/basicsfuzz -model=abd -seed=1234 -v
+//
+// That regenerates the scenario from the seed and re-runs it verbosely.
+// To minimize a failure, basicsfuzz shrinks it by delta debugging —
+// removing operations, fault events, and schedule entries while the
+// oracle keeps failing — and writes the result as an encoded scenario
+// file replayable with -replay=FILE and pinnable as a Go literal
+// (Scenario.GoLiteral). Longer campaigns run via
+//
+//	go run ./cmd/basicsfuzz -models=all -seeds=500 -out=repro/
+//
+// and the native Go fuzz targets (FuzzCheckerEquivalence in
+// internal/check, FuzzEngineEquivalence in internal/amp,
+// FuzzExecuteEquivalence in internal/shm) expose the same properties to
+// `go test -fuzz`, with seed corpora under each package's
+// testdata/fuzz. CI runs a short smoke of each target on every PR and a
+// nightly large-budget campaign across all models, uploading any found
+// reproducers as artifacts.
 package distbasics

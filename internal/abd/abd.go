@@ -55,6 +55,14 @@ type Register struct {
 	// carry the same timestamp, the write-back phase is skipped (every
 	// majority already stores the value, so atomicity is preserved).
 	FastRead bool
+	// ReadQuorum, when > 0, overrides the majority reply threshold for
+	// the read's first phase. Any value below the majority breaks the
+	// quorum-intersection argument and therefore atomicity. It exists
+	// solely as a fault-injection knob for the scenario harness's
+	// mutation tests (internal/scenario), which verify that the fuzz
+	// oracle catches — and shrinks — the resulting linearizability
+	// violations. It must never be set in production code.
+	ReadQuorum int
 
 	local tagged // replica state
 
@@ -151,7 +159,11 @@ func (r *Register) OnMessage(ctx amp.Context, from int, msg amp.Message) {
 		if m.TV.newer(st.best) {
 			st.best = m.TV
 		}
-		if st.replies > r.n/2 {
+		quorum := r.n/2 + 1
+		if r.ReadQuorum > 0 {
+			quorum = r.ReadQuorum
+		}
+		if st.replies >= quorum {
 			if r.FastRead && st.unanimous {
 				// Good circumstances: a majority already stores this exact
 				// timestamp, so the write-back is unnecessary.

@@ -1,190 +1,50 @@
 package abd_test
 
-// Schedule-fuzz linearizability: drive ABD reads and writes under random
-// partition + crash-recovery + message-loss adversary schedules and
-// require every resulting history to pass the Wing–Gong checker against
-// the sequential register spec. ABD guarantees atomicity whenever quorums
-// intersect, no matter what the network does — operations whose quorum
-// messages were lost simply never return and enter the history as
-// pending, which the checker may linearize or drop. A violation prints
-// the failing seed for replay.
+// Schedule-fuzz linearizability for ABD, running on the shared scenario
+// harness (internal/scenario): the "abd" model generates write/read
+// chains under random partition + crash-recovery + message-loss fault
+// schedules from a single seed, drives them through the amp simulator,
+// and checks every resulting history against the Wing–Gong checker.
+// The generator, fault plumbing, replay, and failure reporting all live
+// in the harness; a failure prints the exact basicsfuzz invocation that
+// reproduces it, and cmd/basicsfuzz can shrink it to a minimal
+// reproducer.
 
 import (
 	"fmt"
-	"math/rand"
 	"testing"
 
-	"distbasics/internal/abd"
-	"distbasics/internal/amp"
-	"distbasics/internal/check"
+	"distbasics/internal/scenario"
+	"distbasics/internal/scenario/models"
 )
 
-// fuzzCluster is one seeded ABD system with recording clients.
-type fuzzCluster struct {
-	sim    *amp.Sim
-	regs   []*abd.Register
-	stacks []*amp.Stack
-	ops    []check.Op
-}
-
-// call opens a history slot and returns its index.
-func (c *fuzzCluster) call(proc int, arg any) int {
-	c.ops = append(c.ops, check.Op{
-		Proc: proc, Arg: arg, Call: int64(c.sim.Now()), Return: check.Pending,
-	})
-	return len(c.ops) - 1
-}
-
-func (c *fuzzCluster) ret(idx int, out any) {
-	c.ops[idx].Out = out
-	c.ops[idx].Return = int64(c.sim.Now())
-}
-
-// chainWrites issues writes of 1..count from the writer, each started a
-// random think-time after the previous completes (per-process
-// sequentiality for free).
-func (c *fuzzCluster) chainWrites(rng *rand.Rand, writer, count int) {
-	var issue func(k int)
-	issue = func(k int) {
-		if k > count {
-			return
-		}
-		idx := c.call(writer, check.WriteOp{V: k})
-		c.regs[writer].Write(c.stacks[writer].Ctx(0), k, func(amp.Time) {
-			c.ret(idx, nil)
-			c.sim.Schedule(c.sim.Now()+amp.Time(1+rng.Int63n(300)), func() { issue(k + 1) })
-		})
-	}
-	c.sim.Schedule(amp.Time(1+rng.Int63n(200)), func() { issue(1) })
-}
-
-// chainReads issues count reads from proc, chained like chainWrites.
-func (c *fuzzCluster) chainReads(rng *rand.Rand, proc, count int) {
-	var issue func(k int)
-	issue = func(k int) {
-		if k > count {
-			return
-		}
-		idx := c.call(proc, check.ReadOp{})
-		c.regs[proc].Read(c.stacks[proc].Ctx(0), func(val any, _ amp.Time) {
-			c.ret(idx, val)
-			c.sim.Schedule(c.sim.Now()+amp.Time(1+rng.Int63n(300)), func() { issue(k + 1) })
-		})
-	}
-	c.sim.Schedule(amp.Time(1+rng.Int63n(400)), func() { issue(1) })
-}
-
-// fuzzAdversaries builds a random fault schedule: up to two partition
-// windows (sometimes a clean minority split, sometimes an even split that
-// blocks every quorum), up to two crash-recovery injections, and
-// sometimes a lossy window.
-func fuzzAdversaries(rng *rand.Rand, n int) []amp.Adversary {
-	var advs []amp.Adversary
-	for w := 0; w < 1+rng.Intn(2); w++ {
-		from := amp.Time(rng.Int63n(1500))
-		until := from + amp.Time(100+rng.Int63n(800))
-		k := 1 + rng.Intn(n/2) // island size; k <= n/2 may still block quorums when k == n/2
-		island := rng.Perm(n)[:k]
-		advs = append(advs, amp.Partition(from, until, island))
-	}
-	for c := 0; c < rng.Intn(3); c++ {
-		pid := rng.Intn(n)
-		at := amp.Time(rng.Int63n(1500))
-		rec := at + amp.Time(50+rng.Int63n(700))
-		advs = append(advs, amp.CrashRecovery(pid, at, rec))
-	}
-	if rng.Intn(3) == 0 {
-		from := amp.Time(rng.Int63n(1000))
-		advs = append(advs, amp.NewDropWindow(rng.Int63(), 0.2, from, from+300))
-	}
-	return advs
-}
-
-// buildFuzzHistory runs one seeded schedule-fuzz scenario and returns
-// its recorded history.
-func buildFuzzHistory(seed int64) (check.History, int) {
-	rng := rand.New(rand.NewSource(seed))
-	n := 4 + rng.Intn(4) // 4..7 replicas
-	const writer = 0
-
-	c := &fuzzCluster{}
-	procs := make([]amp.Process, n)
-	c.regs = make([]*abd.Register, n)
-	c.stacks = make([]*amp.Stack, n)
-	for i := 0; i < n; i++ {
-		r := abd.NewRegister(n, writer)
-		r.FastRead = rng.Intn(2) == 0
-		c.regs[i] = r
-		c.stacks[i] = amp.NewStack(r)
-		procs[i] = c.stacks[i]
-	}
-	delay := amp.DelayModel(amp.UniformDelay{Min: 1, Max: amp.Time(2 + rng.Int63n(12))})
-	if rng.Intn(3) == 0 {
-		delay = amp.FixedDelay{D: amp.Time(1 + rng.Int63n(8))}
-	}
-	c.sim = amp.NewSim(procs,
-		amp.WithSeed(rng.Int63()),
-		amp.WithDelay(delay),
-		amp.WithAdversary(fuzzAdversaries(rng, n)...))
-
-	c.chainWrites(rng, writer, 5)
-	readers := 2 + rng.Intn(2)
-	for r := 1; r <= readers && r < n; r++ {
-		c.chainReads(rng, r, 4)
-	}
-	c.sim.Run(30_000)
-	return check.History(c.ops), n
-}
-
-func runFuzzSeed(t *testing.T, seed int64) {
-	h, n := buildFuzzHistory(seed)
-	if len(h) == 0 || len(h) > check.MaxOps {
-		t.Fatalf("seed %d: degenerate history size %d", seed, len(h))
-	}
-	res := check.MustLinearizable(check.RegisterSpec{}, h)
-	if res.OK {
-		// Every witness the checker emits must replay: the shared
-		// validator catches a checker that fabricates orders.
-		if err := check.ValidateOrder(check.RegisterSpec{}, h, res.Order); err != nil {
-			t.Fatalf("seed %d: witness invalid: %v", seed, err)
-		}
-	}
-	if !res.OK {
-		completed, pending := 0, 0
-		for _, op := range h {
-			if op.Return == check.Pending {
-				pending++
-			} else {
-				completed++
-			}
-		}
-		t.Errorf("LINEARIZABILITY VIOLATION at seed %d: n=%d, %d completed + %d pending ops, %d states explored — rerun with this seed to reproduce",
-			seed, n, completed, pending, res.Explored)
-	}
-}
-
 func TestABDLinearizableUnderScheduleFuzz(t *testing.T) {
-	for seed := int64(1); seed <= 35; seed++ {
-		runFuzzSeed(t, seed)
+	m := &models.ABD{}
+	for seed := uint64(1); seed <= 35; seed++ {
+		res := m.Run(m.Generate(seed))
+		if res.Failed {
+			scenario.Reportf(t, m.Name(), seed, "LINEARIZABILITY VIOLATION: %s", res.Reason)
+		}
 	}
 }
 
-// TestABDFuzzHistoriesAreInteresting guards the fuzzer itself: across the
-// seeds, some operations must complete (the adversary doesn't block
-// everything) and some must stay pending (it blocks something), otherwise
-// the linearizability assertion is exercising trivial histories.
+// TestABDFuzzHistoriesAreInteresting guards the fuzzer itself: across
+// the seeds, some operations must complete (the fault schedules don't
+// block everything) and some must stay pending (they block something),
+// otherwise the linearizability assertion is exercising trivial
+// histories.
 func TestABDFuzzHistoriesAreInteresting(t *testing.T) {
-	totalCompleted, totalPending, distinctReads := 0, 0, map[any]bool{}
-	for seed := int64(1); seed <= 35; seed++ {
-		h, _ := buildFuzzHistory(seed)
-		for _, op := range h {
-			if op.Return == check.Pending {
-				totalPending++
-				continue
-			}
-			totalCompleted++
-			if _, isRead := op.Arg.(check.ReadOp); isRead {
-				distinctReads[fmt.Sprint(op.Out)] = true
+	m := &models.ABD{}
+	totalCompleted, totalPending, distinctReads := 0, 0, map[string]bool{}
+	for seed := uint64(1); seed <= 35; seed++ {
+		res := m.Run(m.Generate(seed))
+		totalCompleted += res.Completed
+		totalPending += res.Pending
+		for _, line := range res.Trace {
+			var proc int
+			var out string
+			if n, _ := fmt.Sscanf(line, "p%d read -> %s", &proc, &out); n == 2 {
+				distinctReads[out] = true
 			}
 		}
 	}

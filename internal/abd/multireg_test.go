@@ -1,181 +1,54 @@
 package abd_test
 
 // Multi-register schedule-fuzz linearizability at the rebuilt checker's
-// scale: several independent single-writer ABD registers share one
-// simulated system (one component per register on every replica's
-// stack) under random partition + crash-recovery + loss schedules. The
-// combined history — KeyedOp-tagged, hundreds of operations, far past
-// the checker's former 63-op global cap — is checked per register via
-// RegisterArraySpec's Partitioner and replay-validated through the
-// shared witness validator.
+// scale, running on the shared scenario harness: the "abdmulti" model
+// drives several independent single-writer ABD registers sharing one
+// simulated system, records a KeyedOp-tagged history of hundreds of
+// operations, and checks it per register via RegisterArraySpec's
+// Partitioner plus the shared witness validator. Even seeds are benign
+// (every chain completes, ≥ 200 ops); odd seeds add the full fault
+// schedule, leaving pending operations.
 
 import (
-	"math/rand"
 	"testing"
 
-	"distbasics/internal/abd"
-	"distbasics/internal/amp"
-	"distbasics/internal/check"
+	"distbasics/internal/scenario"
+	"distbasics/internal/scenario/models"
 )
-
-// multiCluster is one seeded multi-register ABD system with recording
-// clients. Ops are recorded as KeyedOp{Key: register, Op: ...} under
-// one logical checker process per (register, role) chain.
-type multiCluster struct {
-	sim    *amp.Sim
-	regs   [][]*abd.Register // regs[r][i]: register r's component at replica i
-	stacks []*amp.Stack
-	ops    []check.Op
-}
-
-func (c *multiCluster) call(proc, reg int, op any) int {
-	c.ops = append(c.ops, check.Op{
-		Proc: proc, Arg: check.KeyedOp{Key: reg, Op: op},
-		Call: int64(c.sim.Now()), Return: check.Pending,
-	})
-	return len(c.ops) - 1
-}
-
-func (c *multiCluster) ret(idx int, out any) {
-	c.ops[idx].Out = out
-	c.ops[idx].Return = int64(c.sim.Now())
-}
-
-// chainWrites drives register reg's writer through count writes, each a
-// random think-time after the previous completes.
-func (c *multiCluster) chainWrites(rng *rand.Rand, proc, reg, writer, count int) {
-	var issue func(k int)
-	issue = func(k int) {
-		if k > count {
-			return
-		}
-		idx := c.call(proc, reg, check.WriteOp{V: k})
-		c.regs[reg][writer].Write(c.stacks[writer].Ctx(reg), k, func(amp.Time) {
-			c.ret(idx, nil)
-			c.sim.Schedule(c.sim.Now()+amp.Time(1+rng.Int63n(250)), func() { issue(k + 1) })
-		})
-	}
-	c.sim.Schedule(amp.Time(1+rng.Int63n(150)), func() { issue(1) })
-}
-
-// chainReads drives count reads of register reg issued at replica at.
-func (c *multiCluster) chainReads(rng *rand.Rand, proc, reg, at, count int) {
-	var issue func(k int)
-	issue = func(k int) {
-		if k > count {
-			return
-		}
-		idx := c.call(proc, reg, check.ReadOp{})
-		c.regs[reg][at].Read(c.stacks[at].Ctx(reg), func(val any, _ amp.Time) {
-			c.ret(idx, val)
-			c.sim.Schedule(c.sim.Now()+amp.Time(1+rng.Int63n(250)), func() { issue(k + 1) })
-		})
-	}
-	c.sim.Schedule(amp.Time(1+rng.Int63n(300)), func() { issue(1) })
-}
-
-// buildMultiRegHistory runs one seeded scenario: 6 registers × (12
-// writes + 2 reader chains × 11 reads) = 204 recorded operations when
-// every chain completes; adversary schedules leave some pending.
-func buildMultiRegHistory(seed int64, adversarial bool) (check.History, int) {
-	const nRegs, writes, readChains, reads = 6, 12, 2, 11
-	rng := rand.New(rand.NewSource(seed))
-	n := 5 + rng.Intn(3) // 5..7 replicas
-
-	c := &multiCluster{}
-	c.regs = make([][]*abd.Register, nRegs)
-	comps := make([][]amp.Component, n)
-	for r := 0; r < nRegs; r++ {
-		writer := r % n
-		c.regs[r] = make([]*abd.Register, n)
-		for i := 0; i < n; i++ {
-			reg := abd.NewRegister(n, writer)
-			reg.FastRead = rng.Intn(2) == 0
-			c.regs[r][i] = reg
-			comps[i] = append(comps[i], reg)
-		}
-	}
-	procs := make([]amp.Process, n)
-	c.stacks = make([]*amp.Stack, n)
-	for i := 0; i < n; i++ {
-		c.stacks[i] = amp.NewStack(comps[i]...)
-		procs[i] = c.stacks[i]
-	}
-	var advs []amp.Adversary
-	if adversarial {
-		advs = fuzzAdversaries(rng, n)
-	}
-	c.sim = amp.NewSim(procs,
-		amp.WithSeed(rng.Int63()),
-		amp.WithDelay(amp.UniformDelay{Min: 1, Max: amp.Time(2 + rng.Int63n(10))}),
-		amp.WithAdversary(advs...))
-
-	proc := 0
-	for r := 0; r < nRegs; r++ {
-		c.chainWrites(rng, proc, r, r%n, writes)
-		proc++
-		for rd := 0; rd < readChains; rd++ {
-			c.chainReads(rng, proc, r, (r+1+rd)%n, reads)
-			proc++
-		}
-	}
-	c.sim.Run(60_000)
-	return check.History(c.ops), n
-}
-
-func checkMultiRegSeed(t *testing.T, seed int64, adversarial bool) check.History {
-	t.Helper()
-	h, n := buildMultiRegHistory(seed, adversarial)
-	spec := check.RegisterArraySpec{}
-	res, err := check.Linearizable(spec, h)
-	if err != nil {
-		t.Fatalf("seed %d: %v", seed, err)
-	}
-	if !res.OK {
-		completed, pending := 0, 0
-		for _, op := range h {
-			if op.Return == check.Pending {
-				pending++
-			} else {
-				completed++
-			}
-		}
-		t.Errorf("LINEARIZABILITY VIOLATION at seed %d (adversarial=%v): n=%d, %d completed + %d pending ops over %d partitions, %d states explored — rerun with this seed to reproduce",
-			seed, adversarial, n, completed, pending, res.Partitions, res.Explored)
-		return h
-	}
-	if err := check.ValidateOrder(spec, h, res.Order); err != nil {
-		t.Errorf("seed %d: witness invalid: %v", seed, err)
-	}
-	return h
-}
 
 // TestABDMultiRegisterPartitioned200Ops: under benign (loss-free)
 // random delay schedules every chain completes, so each seed checks a
 // full partitioned history of at least 200 operations.
 func TestABDMultiRegisterPartitioned200Ops(t *testing.T) {
-	for seed := int64(1); seed <= 8; seed++ {
-		h := checkMultiRegSeed(t, seed, false)
-		if len(h) < 200 {
-			t.Fatalf("seed %d: history has %d ops, want >= 200", seed, len(h))
+	m := &models.ABDMulti{}
+	for seed := uint64(2); seed <= 16; seed += 2 {
+		res := m.Run(m.Generate(seed))
+		if res.Failed {
+			scenario.Reportf(t, m.Name(), seed, "LINEARIZABILITY VIOLATION: %s", res.Reason)
+			continue
+		}
+		if res.Completed+res.Pending < 200 {
+			scenario.Reportf(t, m.Name(), seed, "history has %d ops, want >= 200 (chains stalled?)",
+				res.Completed+res.Pending)
 		}
 	}
 }
 
-// TestABDMultiRegisterUnderScheduleFuzz adds the full adversary suite
+// TestABDMultiRegisterUnderScheduleFuzz adds the full fault schedule
 // (partitions, crash-recovery, loss windows); blocked quorums leave
 // pending operations, which the partitioned checker may linearize or
 // drop.
 func TestABDMultiRegisterUnderScheduleFuzz(t *testing.T) {
+	m := &models.ABDMulti{}
 	totalOps, totalPending := 0, 0
-	for seed := int64(1); seed <= 12; seed++ {
-		h := checkMultiRegSeed(t, seed, true)
-		totalOps += len(h)
-		for _, op := range h {
-			if op.Return == check.Pending {
-				totalPending++
-			}
+	for seed := uint64(1); seed <= 23; seed += 2 {
+		res := m.Run(m.Generate(seed))
+		if res.Failed {
+			scenario.Reportf(t, m.Name(), seed, "LINEARIZABILITY VIOLATION: %s", res.Reason)
+			continue
 		}
+		totalOps += res.Completed + res.Pending
+		totalPending += res.Pending
 	}
 	if totalOps < 1200 {
 		t.Errorf("only %d ops recorded across seeds; fuzz schedules block too much", totalOps)

@@ -1,215 +1,56 @@
 package amp
 
-// Differential tests of the simulator's two event engines: the calendar
-// queue (default) and the legacy binary heap (WithHeapEvents) must
-// produce identical delivery orders and identical process states for the
-// same seeded scenario, across random process counts, delay models,
-// adversaries, and crash schedules — the amp mirror of
-// internal/round/equivalence_test.go.
+// Same-tick differential pin for the simulator's two event engines. The
+// seeded random equivalence sweep lives on the scenario harness (the
+// "ampequiv" model, driven from engine_fuzz_test.go and fuzz-fenced by
+// FuzzEngineEquivalence); this in-package test keeps the one case that
+// needs simulator internals: both engines must agree when events
+// interleave closures, crashes, recoveries, and same-tick deliveries at
+// one timestamp (the seq tie-break path).
 
 import (
-	"math/rand"
 	"reflect"
 	"testing"
 )
 
-// traceEntry is one observable handler invocation.
-type traceEntry struct {
+// tickEntry is one observable handler invocation.
+type tickEntry struct {
 	At      Time
 	Proc    int
 	From    int // -1 for timer firings
 	Payload int
 }
 
-// chatterProc generates deterministic random traffic from its per-process
-// Rand: on each of a bounded number of timer firings it broadcasts,
-// unicasts, or bursts; every received message is logged; payloads
-// divisible by 5 trigger one reply (which cannot cascade). All activity
-// is finite, so every scenario quiesces.
-type chatterProc struct {
-	budget int
-	trace  *[]traceEntry
+// tickProc logs deliveries and replies once to payloads divisible by 5.
+type tickProc struct {
+	trace *[]tickEntry
 }
 
-func (c *chatterProc) Init(ctx Context) {
+func (c *tickProc) Init(ctx Context) {
 	ctx.SetTimer(Time(1+ctx.Rand().Int63n(9)), 0)
 }
 
-func (c *chatterProc) OnMessage(ctx Context, from int, msg Message) {
+func (c *tickProc) OnMessage(ctx Context, from int, msg Message) {
 	v := msg.(int)
-	*c.trace = append(*c.trace, traceEntry{At: ctx.Now(), Proc: ctx.ID(), From: from, Payload: v})
+	*c.trace = append(*c.trace, tickEntry{At: ctx.Now(), Proc: ctx.ID(), From: from, Payload: v})
 	if v > 0 && v%5 == 0 {
 		ctx.Send(from, v-1)
 	}
 }
 
-func (c *chatterProc) OnTimer(ctx Context, id int) {
-	*c.trace = append(*c.trace, traceEntry{At: ctx.Now(), Proc: ctx.ID(), From: -1})
-	if c.budget <= 0 {
-		return
-	}
-	c.budget--
-	r := ctx.Rand()
-	switch r.Intn(4) {
-	case 0:
-		ctx.Broadcast(int(r.Int63n(100)))
-	case 1:
-		ctx.Send(int(r.Int63n(int64(ctx.N()))), int(r.Int63n(100)))
-	case 2:
-		for i := 0; i < 3; i++ {
-			ctx.Send(int(r.Int63n(int64(ctx.N()))), int(r.Int63n(100)))
-		}
-	case 3:
-		if r.Intn(8) == 0 {
-			ctx.Halt()
-			return
-		}
-		ctx.Send(ctx.ID(), int(r.Int63n(100)))
-	}
-	ctx.SetTimer(Time(1+r.Int63n(19)), 0)
+func (c *tickProc) OnTimer(ctx Context, id int) {
+	*c.trace = append(*c.trace, tickEntry{At: ctx.Now(), Proc: ctx.ID(), From: -1})
 }
 
-// chatterScenario derives a full simulator configuration from one seed.
-type chatterScenario struct {
-	seed    int64
-	n       int
-	budget  int
-	delay   func() DelayModel
-	advs    func() []Adversary
-	crashAt [][2]int // (pid, time)
-	budgets [][2]int // (pid, sends) for CrashAfterSends
-	until   Time
-}
-
-func newChatterScenario(seed int64) chatterScenario {
-	rng := rand.New(rand.NewSource(seed))
-	sc := chatterScenario{seed: seed, n: 3 + rng.Intn(8), budget: 3 + rng.Intn(5)}
-
-	switch rng.Intn(3) {
-	case 0:
-		d := Time(1 + rng.Int63n(4))
-		sc.delay = func() DelayModel { return FixedDelay{D: d} }
-	case 1:
-		hi := Time(2 + rng.Int63n(12))
-		sc.delay = func() DelayModel { return UniformDelay{Min: 1, Max: hi} }
-	default:
-		gst := Time(10 + rng.Int63n(40))
-		sc.delay = func() DelayModel {
-			return GSTDelay{GST: gst, BeforeMin: 1, BeforeMax: 60, AfterMin: 1, AfterMax: 4}
-		}
-	}
-
-	// Adversary mix: each run gets an independent subset. Constructors run
-	// per engine so stateful adversaries (drop rng) start fresh.
-	advSeed := rng.Int63()
-	wantDrop := rng.Intn(2) == 0
-	wantPart := rng.Intn(2) == 0
-	wantCR := rng.Intn(2) == 0
-	wantSkew := rng.Intn(3) == 0
-	island := make([]int, 0, sc.n/2)
-	for p := 0; p < sc.n/2; p++ {
-		if rng.Intn(2) == 0 {
-			island = append(island, p)
-		}
-	}
-	partFrom, partUntil := Time(rng.Int63n(30)), Time(30+rng.Int63n(60))
-	crPid, crAt, crRec := rng.Intn(sc.n), Time(5+rng.Int63n(30)), Time(40+rng.Int63n(40))
-	sc.advs = func() []Adversary {
-		var advs []Adversary
-		if wantDrop {
-			advs = append(advs, NewDropWindow(advSeed, 0.3, 0, 40))
-		}
-		if wantPart && len(island) > 0 {
-			advs = append(advs, Partition(partFrom, partUntil, island))
-		}
-		if wantCR {
-			advs = append(advs, CrashRecovery(crPid, crAt, crRec))
-		}
-		if wantSkew {
-			advs = append(advs, SkewLinks(2, func(src, _ int) bool { return src%2 == 0 }))
-		}
-		return advs
-	}
-
-	if rng.Intn(2) == 0 {
-		sc.crashAt = append(sc.crashAt, [2]int{rng.Intn(sc.n), 10 + rng.Intn(50)})
-	}
-	if rng.Intn(3) == 0 {
-		sc.budgets = append(sc.budgets, [2]int{rng.Intn(sc.n), rng.Intn(6)})
-	}
-	if rng.Intn(4) == 0 {
-		sc.until = Time(20 + rng.Int63n(60)) // exercise the bounded-Run path
-	}
-	return sc
-}
-
-// runChatter executes the scenario on one engine and returns the global
-// delivery/timer trace plus a state snapshot.
-func runChatter(sc chatterScenario, legacy bool) ([]traceEntry, [4]int, []bool, Time) {
-	var trace []traceEntry
-	procs := make([]Process, sc.n)
-	for i := range procs {
-		procs[i] = &chatterProc{budget: sc.budget, trace: &trace}
-	}
-	opts := []SimOption{WithSeed(sc.seed), WithDelay(sc.delay())}
-	if advs := sc.advs(); len(advs) > 0 {
-		opts = append(opts, WithAdversary(advs...))
-	}
-	if legacy {
-		opts = append(opts, WithHeapEvents())
-	}
-	sim := NewSim(procs, opts...)
-	for _, c := range sc.crashAt {
-		sim.CrashAt(c[0], Time(c[1]))
-	}
-	for _, b := range sc.budgets {
-		sim.CrashAfterSends(b[0], b[1])
-	}
-	if sc.until > 0 {
-		sim.Run(sc.until) // split the run to cross the bounded-Run boundary
-	}
-	sim.Run(0)
-	crashed := make([]bool, sc.n)
-	for i := range crashed {
-		crashed[i] = sim.Crashed(i)
-	}
-	stats := [4]int{sim.MessagesSent(), sim.MessagesDelivered(), sim.MessagesDropped(), sim.QueuedEvents()}
-	return trace, stats, crashed, sim.Now()
-}
-
-// TestEngineEquivalence drives 220 random seeded scenarios through both
-// engines and requires identical traces and state.
-func TestEngineEquivalence(t *testing.T) {
-	for seed := int64(1); seed <= 220; seed++ {
-		sc := newChatterScenario(seed)
-		trace, stats, crashed, now := runChatter(sc, false)
-		ltrace, lstats, lcrashed, lnow := runChatter(sc, true)
-		if !reflect.DeepEqual(trace, ltrace) {
-			t.Fatalf("seed %d (n=%d): delivery traces diverge: calendar %d entries, heap %d entries",
-				seed, sc.n, len(trace), len(ltrace))
-		}
-		if stats != lstats {
-			t.Fatalf("seed %d: stats diverge: calendar sent/delivered/dropped/queued=%v, heap %v",
-				seed, stats, lstats)
-		}
-		if !reflect.DeepEqual(crashed, lcrashed) {
-			t.Fatalf("seed %d: crash vectors diverge: %v vs %v", seed, crashed, lcrashed)
-		}
-		if now != lnow {
-			t.Fatalf("seed %d: final virtual times diverge: %d vs %d", seed, now, lnow)
-		}
-	}
-}
-
-// TestEngineEquivalenceSameTick pins that both engines agree when events
-// interleave closures, crashes, recoveries, and same-tick deliveries at
-// one timestamp (the seq tie-break path).
+// TestEngineEquivalenceSameTick pins that both engines agree when
+// events interleave closures, crashes, recoveries, and same-tick
+// deliveries at one timestamp.
 func TestEngineEquivalenceSameTick(t *testing.T) {
-	run := func(legacy bool) ([]traceEntry, int) {
-		var trace []traceEntry
+	run := func(legacy bool) ([]tickEntry, int) {
+		var trace []tickEntry
 		procs := make([]Process, 3)
 		for i := range procs {
-			procs[i] = &chatterProc{budget: 0, trace: &trace}
+			procs[i] = &tickProc{trace: &trace}
 		}
 		opts := []SimOption{WithDelay(FixedDelay{D: 1})}
 		if legacy {

@@ -1,452 +1,57 @@
-package check
+package check_test
 
-// Equivalence fencing for the rebuilt checker: on randomized histories,
-// Linearizable must return the same OK verdict, the same witness Order,
-// and the same Explored count as the preserved seed implementation
-// LinearizableLegacy, every emitted witness must replay through
-// ValidateOrder, and the memoization tiers (fingerprint, comparable,
-// dynamic equality) must agree with each other.
+// Equivalence fencing for the rebuilt checker, running on the shared
+// scenario harness: the "check" model generates random register, queue
+// (uncomparable-state), and keyed multi-register histories from each
+// seed and requires Linearizable to match the preserved seed
+// implementation LinearizableLegacy on verdicts, witness orders, and
+// explored counts, across every memoization tier, with every witness
+// replayed through ValidateOrder. The generators live in
+// internal/scenario/models so the native fuzz target, basicsfuzz, and
+// these fences all replay identical histories for a given seed.
 
 import (
-	"encoding/binary"
 	"math/rand"
 	"testing"
+
+	"distbasics/internal/check"
+	"distbasics/internal/scenario"
+	"distbasics/internal/scenario/models"
 )
 
-// genRegisterHistory builds a random register history: ops start and
-// finish in a random interleaving over a few processes, and each
-// completed op's output is either taken from a consistent witness run
-// (making many histories linearizable) or corrupted (making many not).
-func genRegisterHistory(rng *rand.Rand, nOps int) History {
-	type open struct {
-		idx   int
-		state int // register value at issue time, for plausible outs
-	}
-	var h History
-	var opens []open
-	clock := int64(0)
-	procBusy := map[int]bool{}
-	procOf := map[int]int{}
-	reg := 0
-	for started, finished := 0, 0; finished < nOps; {
-		startable := started < nOps && len(opens) < 4
-		if startable && (len(opens) == 0 || rng.Intn(2) == 0) {
-			// Start a new op on an idle process.
-			proc := rng.Intn(4)
-			for procBusy[proc] {
-				proc = (proc + 1) % 4
-			}
-			procBusy[proc] = true
-			var arg any
-			switch rng.Intn(3) {
-			case 0:
-				arg = ReadOp{}
-			case 1:
-				arg = WriteOp{V: rng.Intn(3)}
-			default:
-				arg = CASOp{Old: rng.Intn(3), New: rng.Intn(3)}
-			}
-			clock++
-			h = append(h, Op{Proc: proc, Arg: arg, Call: clock, Return: Pending})
-			procOf[len(h)-1] = proc
-			opens = append(opens, open{idx: len(h) - 1, state: reg})
-			started++
-		} else {
-			// Finish a random open op, computing its out against the
-			// register as if it took effect now.
-			k := rng.Intn(len(opens))
-			op := opens[k]
-			opens = append(opens[:k], opens[k+1:]...)
-			var out any
-			switch a := h[op.idx].Arg.(type) {
-			case ReadOp:
-				out = reg
-			case WriteOp:
-				reg = a.V.(int)
-				out = nil
-			case CASOp:
-				if reg == a.Old.(int) {
-					reg = a.New.(int)
-					out = true
-				} else {
-					out = false
-				}
-			}
-			if rng.Intn(5) == 0 {
-				out = rng.Intn(4) // corrupt: often makes it non-linearizable
-			}
-			clock++
-			h[op.idx].Out = out
-			h[op.idx].Return = clock
-			procBusy[procOf[op.idx]] = false
-			finished++
-		}
-	}
-	// Ops still open at the end stay pending in the history.
-	return h
-}
-
-func TestLinearizableMatchesLegacyOnRegisterHistories(t *testing.T) {
-	for seed := int64(1); seed <= 400; seed++ {
-		rng := rand.New(rand.NewSource(seed))
-		h := genRegisterHistory(rng, 4+rng.Intn(8))
-		spec := RegisterSpec{Init0: 0}
-		want, errL := LinearizableLegacy(spec, h)
-		got, errN := Linearizable(spec, h)
-		if (errL == nil) != (errN == nil) {
-			t.Fatalf("seed %d: error mismatch: legacy=%v new=%v", seed, errL, errN)
-		}
-		if errL != nil {
-			continue
-		}
-		if got.OK != want.OK {
-			t.Fatalf("seed %d: OK mismatch: legacy=%v new=%v\nhistory: %+v", seed, want.OK, got.OK, h)
-		}
-		if got.Explored != want.Explored {
-			t.Fatalf("seed %d: Explored mismatch: legacy=%d new=%d", seed, want.Explored, got.Explored)
-		}
-		if want.OK {
-			if len(got.Order) != len(want.Order) {
-				t.Fatalf("seed %d: Order length mismatch: legacy=%v new=%v", seed, want.Order, got.Order)
-			}
-			for i := range got.Order {
-				if got.Order[i] != want.Order[i] {
-					t.Fatalf("seed %d: Order mismatch: legacy=%v new=%v", seed, want.Order, got.Order)
-				}
-			}
-			if err := ValidateOrder(spec, h, got.Order); err != nil {
-				t.Fatalf("seed %d: witness invalid: %v", seed, err)
-			}
+// TestLinearizableMatchesLegacy sweeps the full seed band the
+// pre-harness fences used (register: 400, queue: 200, keyed: 250 —
+// each seed now exercises all three families).
+func TestLinearizableMatchesLegacy(t *testing.T) {
+	m := &models.Check{}
+	for seed := uint64(1); seed <= 400; seed++ {
+		res := m.Run(m.Generate(seed))
+		if res.Failed {
+			scenario.Reportf(t, m.Name(), seed, "checker equivalence broken: %s", res.Reason)
 		}
 	}
 }
 
-// listSpec is a queue-like spec with uncomparable ([]any) states: it
-// exercises the dynamic-equality memo tier against legacy's string memo.
-type listSpec struct{}
-
-func (listSpec) Init() any { return []any(nil) }
-
-func (listSpec) Apply(state, op any) (any, any) {
-	items := state.([]any)
-	switch o := op.(type) {
-	case WriteOp: // enqueue
-		next := make([]any, len(items)+1)
-		copy(next, items)
-		next[len(items)] = o.V
-		return next, len(next)
-	case ReadOp: // dequeue
-		if len(items) == 0 {
-			return items, nil
-		}
-		return items[1:], items[0]
-	default:
-		panic("listSpec: unknown op")
-	}
-}
-
-// fpListSpec is listSpec plus a canonical fingerprint, exercising the
-// maphash memo tier on the same histories.
-type fpListSpec struct{ listSpec }
-
-func (fpListSpec) AppendFingerprint(dst []byte, state any) []byte {
-	items := state.([]any)
-	dst = binary.AppendUvarint(dst, uint64(len(items)))
-	for _, it := range items {
-		dst = binary.AppendVarint(dst, int64(it.(int)))
-	}
-	return dst
-}
-
-func genListHistory(rng *rand.Rand, nOps int) History {
-	var h History
-	clock := int64(0)
-	q := []int{}
-	for i := 0; i < nOps; i++ {
-		proc := i % 3
-		var arg, out any
-		if rng.Intn(2) == 0 {
-			v := rng.Intn(3)
-			arg = WriteOp{V: v}
-			q = append(q, v)
-			out = len(q)
-		} else {
-			arg = ReadOp{}
-			if len(q) == 0 {
-				out = nil
-			} else {
-				out = q[0]
-				q = q[1:]
-			}
-		}
-		if rng.Intn(6) == 0 {
-			out = rng.Intn(4)
-		}
-		clock++
-		call := clock
-		// Overlap with the next op half the time by extending Return.
-		clock++
-		h = append(h, Op{Proc: proc, Arg: arg, Out: out, Call: call, Return: clock})
-	}
-	// Introduce overlap: randomly stretch some returns past the next call.
-	for i := 0; i+1 < len(h); i++ {
-		if h[i].Proc != h[i+1].Proc && rng.Intn(3) == 0 {
-			h[i].Return = h[i+1].Call + 1
-			if h[i+1].Return <= h[i].Return {
-				h[i+1].Return = h[i].Return + 1
-			}
-		}
-	}
-	return h
-}
-
-func TestLinearizableMatchesLegacyOnUncomparableStates(t *testing.T) {
-	for seed := int64(1); seed <= 200; seed++ {
-		rng := rand.New(rand.NewSource(seed))
-		h := genListHistory(rng, 3+rng.Intn(7))
-		if err := h.Validate(); err != nil {
-			continue
-		}
-		want, err := LinearizableLegacy(listSpec{}, h)
-		if err != nil {
-			t.Fatal(err)
-		}
-		gotDyn := MustLinearizable(listSpec{}, h)
-		gotFP := MustLinearizable(fpListSpec{}, h)
-		if gotDyn.OK != want.OK || gotDyn.Explored != want.Explored {
-			t.Fatalf("seed %d: dynamic tier mismatch: legacy=(%v,%d) new=(%v,%d)",
-				seed, want.OK, want.Explored, gotDyn.OK, gotDyn.Explored)
-		}
-		if gotFP.OK != want.OK || gotFP.Explored != want.Explored {
-			t.Fatalf("seed %d: fingerprint tier mismatch: legacy=(%v,%d) new=(%v,%d)",
-				seed, want.OK, want.Explored, gotFP.OK, gotFP.Explored)
-		}
-		if want.OK {
-			if err := ValidateOrder(listSpec{}, h, gotDyn.Order); err != nil {
-				t.Fatalf("seed %d: dynamic witness invalid: %v", seed, err)
-			}
-			if err := ValidateOrder(listSpec{}, h, gotFP.Order); err != nil {
-				t.Fatalf("seed %d: fingerprint witness invalid: %v", seed, err)
-			}
-		}
-	}
-}
-
-// genKeyedHistory wraps register histories over several keys, giving
-// partitioned multi-register histories that still fit legacy's 63-op
-// global cap so both paths can run.
-func genKeyedHistory(rng *rand.Rand, keys, nOps int) History {
-	h := genRegisterHistory(rng, nOps)
-	for i := range h {
-		h[i].Arg = KeyedOp{Key: rng.Intn(keys), Op: h[i].Arg}
-	}
-	return h
-}
-
-// TestPartitionedMatchesLegacy cross-checks the partitioned engine
-// against the seed checker on whole multi-register histories. Outs were
-// generated against a single shared register, so keyed histories are
-// frequently non-linearizable — both verdicts must still agree.
-func TestPartitionedMatchesLegacy(t *testing.T) {
+// TestCheckGeneratorsNotDegenerate guards the shared generators: the
+// seed band must produce both linearizable and non-linearizable
+// histories in quantity, or the equivalence sweep is exercising a
+// trivial distribution.
+func TestCheckGeneratorsNotDegenerate(t *testing.T) {
 	okSeen, badSeen := 0, 0
 	for seed := int64(1); seed <= 250; seed++ {
 		rng := rand.New(rand.NewSource(seed))
-		spec := RegisterArraySpec{Init0: 0}
-		h := genKeyedHistory(rng, 1+rng.Intn(3), 4+rng.Intn(8))
-		want, errL := LinearizableLegacy(spec, h)
-		got, errN := Linearizable(spec, h)
-		if (errL == nil) != (errN == nil) {
-			t.Fatalf("seed %d: error mismatch: legacy=%v new=%v", seed, errL, errN)
-		}
-		if errL != nil {
+		h := models.GenKeyedHistory(rng, 1+rng.Intn(3), 4+rng.Intn(8))
+		res, err := check.Linearizable(check.RegisterArraySpec{Init0: 0}, h)
+		if err != nil {
 			continue
 		}
-		if got.OK != want.OK {
-			t.Fatalf("seed %d: OK mismatch: legacy=%v partitioned=%v\nhistory: %+v", seed, want.OK, got.OK, h)
-		}
-		if want.OK {
+		if res.OK {
 			okSeen++
-			if err := ValidateOrder(spec, h, got.Order); err != nil {
-				t.Fatalf("seed %d: merged witness invalid: %v\norder=%v", seed, err, got.Order)
-			}
-			if got.Partitions < 1 {
-				t.Fatalf("seed %d: Partitions=%d", seed, got.Partitions)
-			}
 		} else {
 			badSeen++
 		}
 	}
 	if okSeen < 20 || badSeen < 20 {
 		t.Fatalf("generator degenerate: %d linearizable, %d not", okSeen, badSeen)
-	}
-}
-
-// TestPartitionedLiftsGlobalCap: a multi-register history beyond the
-// 63-op global cap checks fine when each partition stays within it.
-func TestPartitionedLiftsGlobalCap(t *testing.T) {
-	const keys, perKey = 5, 40 // 200 ops total
-	var h History
-	clock := int64(0)
-	for k := 0; k < keys; k++ {
-		for i := 0; i < perKey; i++ {
-			clock++
-			call := clock
-			clock++
-			var arg, out any
-			if i%2 == 0 {
-				arg = KeyedOp{Key: k, Op: WriteOp{V: i}}
-				out = nil
-			} else {
-				arg = KeyedOp{Key: k, Op: ReadOp{}}
-				out = i - 1
-			}
-			h = append(h, Op{Proc: k, Arg: arg, Out: out, Call: call, Return: clock})
-		}
-	}
-	spec := RegisterArraySpec{Init0: 0}
-	if _, err := LinearizableLegacy(spec, h); err == nil {
-		t.Fatal("legacy must reject a 200-op history")
-	}
-	r := MustLinearizable(spec, h)
-	if !r.OK {
-		t.Fatal("partitioned 200-op history must linearize")
-	}
-	if r.Partitions != keys {
-		t.Fatalf("Partitions = %d, want %d", r.Partitions, keys)
-	}
-	if len(r.Order) != len(h) {
-		t.Fatalf("merged order has %d ops, want %d", len(r.Order), len(h))
-	}
-	if err := ValidateOrder(spec, h, r.Order); err != nil {
-		t.Fatalf("merged witness invalid: %v", err)
-	}
-}
-
-// TestPartitionRejectsOversizedPartition: the per-partition cap is
-// still enforced.
-func TestPartitionRejectsOversizedPartition(t *testing.T) {
-	var h History
-	clock := int64(0)
-	for i := 0; i <= MaxOps; i++ {
-		clock++
-		call := clock
-		clock++
-		h = append(h, Op{Proc: 0, Arg: KeyedOp{Key: "x", Op: WriteOp{V: i}}, Call: call, Return: clock})
-	}
-	if _, err := Linearizable(RegisterArraySpec{}, h); err == nil {
-		t.Fatal("oversized partition must be rejected")
-	}
-}
-
-// TestCASUncomparableValuesDoNotPanic: the satellite guard — CAS
-// against a register holding (or comparing against) an uncomparable
-// value must fail cleanly rather than panic on ==.
-func TestCASUncomparableValuesDoNotPanic(t *testing.T) {
-	spec := RegisterSpec{Init0: 0}
-	// Uncomparable Old against comparable state: no match.
-	if st, ret := spec.Apply(0, CASOp{Old: []int{0}, New: 1}); ret != false || st != 0 {
-		t.Fatalf("CAS with slice Old: got (%v, %v), want (0, false)", st, ret)
-	}
-	// Uncomparable state via a prior write; CAS with equal slice Old
-	// matches under DeepEqual semantics.
-	st, _ := spec.Apply(0, WriteOp{V: []int{1, 2}})
-	if st2, ret := spec.Apply(st, CASOp{Old: []int{1, 2}, New: 7}); ret != true || st2 != 7 {
-		t.Fatalf("CAS deep-equal slices: got (%v, %v), want (7, true)", st2, ret)
-	}
-	if _, ret := spec.Apply(st, CASOp{Old: []int{1, 3}, New: 7}); ret != false {
-		t.Fatalf("CAS unequal slices: got %v, want false", ret)
-	}
-	// A whole checked history with uncomparable register contents.
-	h := History{
-		{Proc: 0, Arg: WriteOp{V: []int{5}}, Call: 1, Return: 2},
-		{Proc: 1, Arg: CASOp{Old: []int{5}, New: 9}, Out: true, Call: 3, Return: 4},
-		{Proc: 2, Arg: ReadOp{}, Out: 9, Call: 5, Return: 6},
-	}
-	if !MustLinearizable(RegisterSpec{Init0: 0}, h).OK {
-		t.Fatal("uncomparable-value CAS history must linearize")
-	}
-}
-
-// ptrSpec is a register whose reads return a fresh pointer to the
-// value: it pins the DeepEqual-vs-== divergence for pointer kinds
-// (DeepEqual follows pointees; a naive == fast path would not).
-type ptrSpec struct{}
-
-func (ptrSpec) Init() any { return 0 }
-
-func (ptrSpec) Apply(state, op any) (any, any) {
-	switch o := op.(type) {
-	case WriteOp:
-		return o.V, nil
-	case ReadOp:
-		v := state.(int)
-		return state, &v
-	default:
-		panic("ptrSpec: unknown op")
-	}
-}
-
-// TestPointerReturnsMatchLegacy: return values of pointer kind compare
-// by pointee (reflect.DeepEqual semantics), matching the legacy
-// checker's verdicts.
-func TestPointerReturnsMatchLegacy(t *testing.T) {
-	five, six := 5, 6
-	h := History{
-		{Proc: 0, Arg: WriteOp{V: 5}, Call: 1, Return: 2},
-		{Proc: 1, Arg: ReadOp{}, Out: &five, Call: 3, Return: 4},
-	}
-	want, err := LinearizableLegacy(ptrSpec{}, h)
-	if err != nil {
-		t.Fatal(err)
-	}
-	got := MustLinearizable(ptrSpec{}, h)
-	if !want.OK || got.OK != want.OK || got.Explored != want.Explored {
-		t.Fatalf("pointer-return history: legacy=(%v,%d) new=(%v,%d), want both OK",
-			want.OK, want.Explored, got.OK, got.Explored)
-	}
-	bad := History{
-		{Proc: 0, Arg: WriteOp{V: 5}, Call: 1, Return: 2},
-		{Proc: 1, Arg: ReadOp{}, Out: &six, Call: 3, Return: 4},
-	}
-	if MustLinearizable(ptrSpec{}, bad).OK {
-		t.Fatal("read of *6 after write of 5 must not linearize")
-	}
-	// CAS with distinct pointers to deeply equal values matches, per the
-	// documented DeepEqual semantics.
-	p1, p2 := &five, &five
-	if st, ret := (RegisterSpec{}).Apply(p1, CASOp{Old: p2, New: 9}); ret != true || st != 9 {
-		t.Fatalf("CAS on deeply equal pointers: got (%v, %v), want (9, true)", st, ret)
-	}
-}
-
-// TestValidateOrderRejectsBadWitnesses exercises every rejection arm of
-// the witness validator.
-func TestValidateOrderRejectsBadWitnesses(t *testing.T) {
-	spec := RegisterSpec{Init0: 0}
-	h := History{
-		{Proc: 0, Arg: WriteOp{V: 1}, Call: 1, Return: 2},
-		{Proc: 1, Arg: ReadOp{}, Out: 1, Call: 3, Return: 4},
-	}
-	if err := ValidateOrder(spec, h, []int{0, 1}); err != nil {
-		t.Fatalf("valid witness rejected: %v", err)
-	}
-	cases := map[string][]int{
-		"out of range":       {0, 2},
-		"duplicate":          {0, 0},
-		"drops completed":    {0},
-		"real-time inverted": {1, 0},
-	}
-	for name, order := range cases {
-		if err := ValidateOrder(spec, h, order); err == nil {
-			t.Errorf("%s witness accepted", name)
-		}
-	}
-	// Replay mismatch: read of 2 never happens.
-	bad := History{
-		{Proc: 0, Arg: WriteOp{V: 1}, Call: 1, Return: 2},
-		{Proc: 1, Arg: ReadOp{}, Out: 2, Call: 3, Return: 4},
-	}
-	if err := ValidateOrder(spec, bad, []int{0, 1}); err == nil {
-		t.Error("replay-mismatch witness accepted")
 	}
 }

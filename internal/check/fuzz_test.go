@@ -1,0 +1,30 @@
+package check_test
+
+// Native Go fuzz target for the checker equivalence property: any
+// uint64 becomes a seed for the harness's "check" model (register +
+// queue + keyed histories, rebuilt engine vs. preserved legacy engine,
+// all memo tiers, witness replay). Run with
+//
+//	go test -fuzz=FuzzCheckerEquivalence ./internal/check
+//
+// The seed corpus lives under testdata/fuzz/FuzzCheckerEquivalence.
+
+import (
+	"testing"
+
+	"distbasics/internal/scenario"
+	"distbasics/internal/scenario/models"
+)
+
+func FuzzCheckerEquivalence(f *testing.F) {
+	for _, seed := range []uint64{1, 11, 42, 400, 31337} {
+		f.Add(seed)
+	}
+	m := &models.Check{}
+	f.Fuzz(func(t *testing.T, seed uint64) {
+		res := m.Run(m.Generate(seed))
+		if res.Failed {
+			scenario.Reportf(t, m.Name(), seed, "checker equivalence broken: %s", res.Reason)
+		}
+	})
+}

@@ -1,0 +1,52 @@
+package dynnet_test
+
+// Adversarial fuzz for the dynamic-network protocols, via the scenario
+// harness's "dynnet" model: each seed is a random dynamic graph (one
+// arbitrary digraph per round, encoded in the scenario's schedule), and
+// TreeFlood / FloodMin must match an exact reference simulation of
+// knowledge and min propagation — complementing the exhaustive Explorer,
+// which enumerates structured adversaries on tiny systems only. A
+// failing seed prints the exact basicsfuzz replay invocation, and the
+// digraph schedule is exactly what basicsfuzz shrinks.
+
+import (
+	"strings"
+	"testing"
+
+	"distbasics/internal/scenario"
+	"distbasics/internal/scenario/models"
+)
+
+func TestDynamicGraphFuzzMatchesReference(t *testing.T) {
+	m := &models.DynNet{}
+	for seed := uint64(1); seed <= 120; seed++ {
+		res := m.Run(m.Generate(seed))
+		if res.Failed {
+			scenario.Reportf(t, m.Name(), seed, "protocol diverges from reference propagation: %s", res.Reason)
+		}
+	}
+}
+
+// TestDynamicGraphFuzzIsInteresting guards the generator: across the
+// seed band, some runs must disseminate completely and some must not
+// (sparse rounds genuinely cut the network), or the reference oracle is
+// only exercising one side.
+func TestDynamicGraphFuzzIsInteresting(t *testing.T) {
+	m := &models.DynNet{}
+	complete, incomplete := 0, 0
+	for seed := uint64(1); seed <= 120; seed++ {
+		res := m.Run(m.Generate(seed))
+		for _, line := range res.Trace {
+			if strings.HasPrefix(line, "treeflood") {
+				if strings.Contains(line, "complete=true") {
+					complete++
+				} else if strings.Contains(line, "complete=false") {
+					incomplete++
+				}
+			}
+		}
+	}
+	if complete < 20 || incomplete < 20 {
+		t.Errorf("degenerate dynamic graphs: %d complete vs %d incomplete treeflood runs", complete, incomplete)
+	}
+}

@@ -1,93 +1,27 @@
-package flp
+package flp_test
 
-// Equivalence fencing for the rebuilt explorer: across both shipped
-// protocols and a family of seeded randomized (but deterministic)
-// protocols, the new serial engine must report the same Decided set,
-// valence, violation classification, and Configs count as the preserved
-// seed engine behind Options.Legacy; the parallel frontier shares one
-// deduplication table with globally consistent interning, so it must
-// match serial on everything, Configs included (untruncated).
+// Equivalence fencing for the rebuilt explorer, running on the shared
+// scenario harness: the "flp" model draws a protocol (shipped wait-all
+// / wait-majority or a seeded lottery protocol — models.LotteryProto),
+// inputs, and a crash budget from each seed and requires the rebuilt
+// serial engine and the parallel frontier to match the preserved seed
+// engine (Options.Legacy) on Decided sets, valence, violation
+// classification, and Configs counts. The deterministic exhaustive pins
+// (every input vector of the shipped protocols, truncation,
+// uncomparable message bodies, large decision values, structured
+// violation messages) stay explicit below.
 
 import (
 	"fmt"
 	"testing"
+
+	"distbasics/internal/flp"
+	"distbasics/internal/scenario"
+	"distbasics/internal/scenario/models"
 )
 
-// splitmix is a tiny deterministic mixer for lotteryProto decisions.
-func splitmix(x uint64) uint64 {
-	x += 0x9e3779b97f4a7c15
-	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
-	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
-	return x ^ (x >> 31)
-}
-
-// lotteryProto is a seeded family of deterministic flooding protocols:
-// each process floods its input, then decides once it has heard from
-// threshold processes, on a value drawn deterministically from the seed
-// and the multiset of heard values. Different seeds give protocols with
-// different valence and violation profiles — richer equivalence fodder
-// than the two shipped candidates.
-type lotteryProto struct {
-	procs     int
-	threshold int
-	seed      uint64
-}
-
-// lotState mirrors waState: heard/value bitmasks plus the decision.
-type lotState struct {
-	Heard   int
-	Vals    int
-	Decided int
-}
-
-func (p lotteryProto) N() int { return p.procs }
-
-func (p lotteryProto) Initial(pid int, input int) (State, []Outgoing) {
-	s := lotState{Heard: 1 << uint(pid), Vals: input << uint(pid), Decided: -1}
-	outs := make([]Outgoing, 0, p.procs-1)
-	for i := 0; i < p.procs; i++ {
-		if i != pid {
-			outs = append(outs, Outgoing{To: i, Body: input})
-		}
-	}
-	return p.maybeDecide(s), outs
-}
-
-func (p lotteryProto) Deliver(_ int, st State, from int, body any) (State, []Outgoing) {
-	s := st.(lotState)
-	if s.Decided >= 0 {
-		return s, nil
-	}
-	s.Heard |= 1 << uint(from)
-	if body.(int) == 1 {
-		s.Vals |= 1 << uint(from)
-	}
-	return p.maybeDecide(s), nil
-}
-
-func (p lotteryProto) maybeDecide(s lotState) lotState {
-	if s.Decided < 0 && heardCount(s.Heard) >= p.threshold {
-		s.Decided = int(splitmix(p.seed^uint64(s.Heard)<<20^uint64(s.Vals)) & 1)
-	}
-	return s
-}
-
-func (p lotteryProto) Decision(st State) (int, bool) {
-	s := st.(lotState)
-	return s.Decided, s.Decided >= 0
-}
-
 // reportsEquivalent asserts full serial equivalence (Configs included).
-func reportsEquivalent(t *testing.T, label string, legacy, got Report) {
-	t.Helper()
-	if got.Configs != legacy.Configs {
-		t.Errorf("%s: Configs %d, legacy %d", label, got.Configs, legacy.Configs)
-	}
-	reportsClassEquivalent(t, label, legacy, got)
-}
-
-// reportsClassEquivalent asserts everything except Configs.
-func reportsClassEquivalent(t *testing.T, label string, legacy, got Report) {
+func reportsEquivalent(t *testing.T, label string, legacy, got flp.Report) {
 	t.Helper()
 	for v := 0; v <= 1; v++ {
 		if got.Decided[v] != legacy.Decided[v] {
@@ -106,6 +40,9 @@ func reportsClassEquivalent(t *testing.T, label string, legacy, got Report) {
 	if got.Truncated != legacy.Truncated {
 		t.Errorf("%s: Truncated=%v, legacy %v", label, got.Truncated, legacy.Truncated)
 	}
+	if got.Configs != legacy.Configs {
+		t.Errorf("%s: Configs %d, legacy %d", label, got.Configs, legacy.Configs)
+	}
 }
 
 // allInputs enumerates every binary input vector of length n.
@@ -121,14 +58,16 @@ func allInputs(n int) [][]int {
 	return out
 }
 
+// TestExploreMatchesLegacyOnShippedProtocols keeps the exhaustive
+// deterministic pin: every input vector, both shipped candidates, with
+// and without crashes.
 func TestExploreMatchesLegacyOnShippedProtocols(t *testing.T) {
 	for _, n := range []int{2, 3} {
-		for _, proto := range []Protocol{WaitAll{Procs: n}, WaitMajority{Procs: n}} {
+		for _, proto := range []flp.Protocol{flp.WaitAll{Procs: n}, flp.WaitMajority{Procs: n}} {
 			for _, crashes := range []int{0, 1} {
 				for _, inputs := range allInputs(n) {
-					opts := Options{MaxCrashes: crashes}
-					legacy := Explore(proto, inputs, Options{MaxCrashes: crashes, Legacy: true})
-					got := Explore(proto, inputs, opts)
+					legacy := flp.Explore(proto, inputs, flp.Options{MaxCrashes: crashes, Legacy: true})
+					got := flp.Explore(proto, inputs, flp.Options{MaxCrashes: crashes})
 					label := fmt.Sprintf("%T n=%d crashes=%d inputs=%v", proto, n, crashes, inputs)
 					reportsEquivalent(t, label, legacy, got)
 				}
@@ -137,47 +76,26 @@ func TestExploreMatchesLegacyOnShippedProtocols(t *testing.T) {
 	}
 }
 
-func TestExploreMatchesLegacyOnRandomProtocols(t *testing.T) {
-	for _, n := range []int{2, 3} {
-		for threshold := 1; threshold <= n; threshold++ {
-			for seed := uint64(1); seed <= 6; seed++ {
-				proto := lotteryProto{procs: n, threshold: threshold, seed: seed}
-				for _, crashes := range []int{0, 1} {
-					inputs := allInputs(n)[int(seed)%(1<<uint(n))]
-					legacy := Explore(proto, inputs, Options{MaxCrashes: crashes, Legacy: true})
-					got := Explore(proto, inputs, Options{MaxCrashes: crashes})
-					label := fmt.Sprintf("lottery n=%d thr=%d seed=%d crashes=%d", n, threshold, seed, crashes)
-					reportsEquivalent(t, label, legacy, got)
-				}
-			}
+// TestExploreMatchesLegacyOnSeededScenarios is the randomized sweep on
+// the harness: legacy vs. serial vs. parallel (shared-dedup Configs
+// equality included) per seed, with the exact replay invocation on
+// failure. It subsumes the pre-harness lottery-protocol and
+// parallel-vs-serial sweeps.
+func TestExploreMatchesLegacyOnSeededScenarios(t *testing.T) {
+	m := &models.FLP{}
+	for seed := uint64(1); seed <= 60; seed++ {
+		res := m.Run(m.Generate(seed))
+		if res.Failed {
+			scenario.Reportf(t, m.Name(), seed, "explorer equivalence broken: %s", res.Reason)
 		}
 	}
 }
 
-func TestExploreParallelMatchesSerial(t *testing.T) {
-	protos := []Protocol{
-		WaitAll{Procs: 3},
-		WaitMajority{Procs: 3},
-		lotteryProto{procs: 3, threshold: 2, seed: 11},
-	}
-	for _, proto := range protos {
-		for _, inputs := range [][]int{{0, 1, 1}, {1, 0, 1}, {0, 0, 0}} {
-			serial := Explore(proto, inputs, Options{MaxCrashes: 1})
-			par := Explore(proto, inputs, Options{MaxCrashes: 1, Workers: 4})
-			label := fmt.Sprintf("%T inputs=%v", proto, inputs)
-			reportsClassEquivalent(t, label, serial, par)
-			if par.Configs != serial.Configs {
-				t.Errorf("%s: parallel Configs %d, serial %d (shared dedup must make them equal)", label, par.Configs, serial.Configs)
-			}
-		}
-	}
-}
-
-// TestExploreLegacyTruncation pins the truncation contract on both
+// TestExploreTruncationBothEngines pins the truncation contract on both
 // engines (counts under truncation are engine-specific, the flag isn't).
 func TestExploreTruncationBothEngines(t *testing.T) {
 	for _, legacy := range []bool{false, true} {
-		rep := Explore(WaitMajority{Procs: 3}, []int{0, 1, 1}, Options{MaxCrashes: 1, MaxConfigs: 3, Legacy: legacy})
+		rep := flp.Explore(flp.WaitMajority{Procs: 3}, []int{0, 1, 1}, flp.Options{MaxCrashes: 1, MaxConfigs: 3, Legacy: legacy})
 		if !rep.Truncated {
 			t.Errorf("legacy=%v: MaxConfigs=3 must truncate", legacy)
 		}
@@ -187,11 +105,11 @@ func TestExploreTruncationBothEngines(t *testing.T) {
 // sliceBodyProto wraps WaitAll but ships every body as an uncomparable
 // []int — the seed engine's Sprintf keys handled such protocols, so the
 // rebuilt interning must too (via its rendered-identity fallback).
-type sliceBodyProto struct{ inner WaitAll }
+type sliceBodyProto struct{ inner flp.WaitAll }
 
 func (p sliceBodyProto) N() int { return p.inner.N() }
 
-func (p sliceBodyProto) Initial(pid, input int) (State, []Outgoing) {
+func (p sliceBodyProto) Initial(pid, input int) (flp.State, []flp.Outgoing) {
 	s, outs := p.inner.Initial(pid, input)
 	for i := range outs {
 		outs[i].Body = []int{outs[i].Body.(int)}
@@ -199,7 +117,7 @@ func (p sliceBodyProto) Initial(pid, input int) (State, []Outgoing) {
 	return s, outs
 }
 
-func (p sliceBodyProto) Deliver(pid int, st State, from int, body any) (State, []Outgoing) {
+func (p sliceBodyProto) Deliver(pid int, st flp.State, from int, body any) (flp.State, []flp.Outgoing) {
 	s, outs := p.inner.Deliver(pid, st, from, body.([]int)[0])
 	for i := range outs {
 		outs[i].Body = []int{outs[i].Body.(int)}
@@ -207,16 +125,16 @@ func (p sliceBodyProto) Deliver(pid int, st State, from int, body any) (State, [
 	return s, outs
 }
 
-func (p sliceBodyProto) Decision(st State) (int, bool) { return p.inner.Decision(st) }
+func (p sliceBodyProto) Decision(st flp.State) (int, bool) { return p.inner.Decision(st) }
 
 // TestUncomparableBodiesMatchLegacy: protocols with slice-valued
 // message bodies must not panic on the rebuilt path and must report the
 // same results as the seed engine.
 func TestUncomparableBodiesMatchLegacy(t *testing.T) {
-	proto := sliceBodyProto{inner: WaitAll{Procs: 3}}
+	proto := sliceBodyProto{inner: flp.WaitAll{Procs: 3}}
 	for _, crashes := range []int{0, 1} {
-		legacy := Explore(proto, []int{0, 1, 1}, Options{MaxCrashes: crashes, Legacy: true})
-		got := Explore(proto, []int{0, 1, 1}, Options{MaxCrashes: crashes})
+		legacy := flp.Explore(proto, []int{0, 1, 1}, flp.Options{MaxCrashes: crashes, Legacy: true})
+		got := flp.Explore(proto, []int{0, 1, 1}, flp.Options{MaxCrashes: crashes})
 		reportsEquivalent(t, fmt.Sprintf("slice bodies crashes=%d", crashes), legacy, got)
 	}
 }
@@ -224,16 +142,16 @@ func TestUncomparableBodiesMatchLegacy(t *testing.T) {
 // bigDecisionProto wraps WaitAll but reports decisions shifted far past
 // int8 range — the legacy engine handled arbitrary decision values, so
 // the rebuilt decision cache must too.
-type bigDecisionProto struct{ inner WaitAll }
+type bigDecisionProto struct{ inner flp.WaitAll }
 
 func (p bigDecisionProto) N() int { return p.inner.N() }
-func (p bigDecisionProto) Initial(pid, input int) (State, []Outgoing) {
+func (p bigDecisionProto) Initial(pid, input int) (flp.State, []flp.Outgoing) {
 	return p.inner.Initial(pid, input)
 }
-func (p bigDecisionProto) Deliver(pid int, st State, from int, body any) (State, []Outgoing) {
+func (p bigDecisionProto) Deliver(pid int, st flp.State, from int, body any) (flp.State, []flp.Outgoing) {
 	return p.inner.Deliver(pid, st, from, body)
 }
-func (p bigDecisionProto) Decision(st State) (int, bool) {
+func (p bigDecisionProto) Decision(st flp.State) (int, bool) {
 	v, ok := p.inner.Decision(st)
 	if !ok {
 		return v, ok
@@ -242,9 +160,9 @@ func (p bigDecisionProto) Decision(st State) (int, bool) {
 }
 
 func TestLargeDecisionValuesMatchLegacy(t *testing.T) {
-	proto := bigDecisionProto{inner: WaitAll{Procs: 2}}
-	legacy := Explore(proto, []int{1, 1}, Options{Legacy: true})
-	got := Explore(proto, []int{1, 1}, Options{})
+	proto := bigDecisionProto{inner: flp.WaitAll{Procs: 2}}
+	legacy := flp.Explore(proto, []int{1, 1}, flp.Options{Legacy: true})
+	got := flp.Explore(proto, []int{1, 1}, flp.Options{})
 	if !legacy.Decided[201] {
 		t.Fatalf("legacy oracle broken: Decided=%v", legacy.Decided)
 	}
@@ -256,12 +174,12 @@ func TestLargeDecisionValuesMatchLegacy(t *testing.T) {
 	}
 }
 
-// TestViolationMessagesAreStructured: the satellite — violation notes
-// name processes and values, and never embed a rendered configuration
-// (the seed's %#v keys grew unbounded with n).
+// TestViolationMessagesAreStructured: violation notes name processes
+// and values, and never embed a rendered configuration (the seed's %#v
+// keys grew unbounded with n).
 func TestViolationMessagesAreStructured(t *testing.T) {
 	for _, legacy := range []bool{false, true} {
-		rep := Explore(WaitMajority{Procs: 3}, []int{0, 1, 1}, Options{MaxCrashes: 1, Legacy: legacy})
+		rep := flp.Explore(flp.WaitMajority{Procs: 3}, []int{0, 1, 1}, flp.Options{MaxCrashes: 1, Legacy: legacy})
 		if rep.AgreementViolation == "" {
 			t.Fatalf("legacy=%v: expected an agreement violation", legacy)
 		}
@@ -269,7 +187,7 @@ func TestViolationMessagesAreStructured(t *testing.T) {
 			t.Errorf("legacy=%v: agreement violation message too long (%d bytes): %q",
 				legacy, len(rep.AgreementViolation), rep.AgreementViolation)
 		}
-		repAll := Explore(WaitAll{Procs: 3}, []int{0, 1, 1}, Options{MaxCrashes: 1, Legacy: legacy})
+		repAll := flp.Explore(flp.WaitAll{Procs: 3}, []int{0, 1, 1}, flp.Options{MaxCrashes: 1, Legacy: legacy})
 		if repAll.TerminationViolation == "" {
 			t.Fatalf("legacy=%v: expected a termination violation", legacy)
 		}

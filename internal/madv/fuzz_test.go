@@ -1,0 +1,27 @@
+package madv_test
+
+// Adversarial fuzz for the message-adversary lattice, via the scenario
+// harness's "madv" model: seeded random TREE / TOUR / Drop adversary
+// instances must satisfy the structural invariants (every TREE graph is
+// a symmetric spanning tree, every TOUR graph keeps one direction per
+// pair), the §3.3 dissemination bound (TREE floods in ≤ n−1 rounds),
+// the Drop adversary's monotone-containment continuum, and the lattice
+// ends (adv:∅ floods in one round, adv:∞ never delivers). A failing
+// seed prints the exact basicsfuzz replay invocation.
+
+import (
+	"testing"
+
+	"distbasics/internal/scenario"
+	"distbasics/internal/scenario/models"
+)
+
+func TestMessageAdversaryLatticeFuzz(t *testing.T) {
+	m := &models.MAdv{}
+	for seed := uint64(1); seed <= 150; seed++ {
+		res := m.Run(m.Generate(seed))
+		if res.Failed {
+			scenario.Reportf(t, m.Name(), seed, "lattice invariant broken: %s", res.Reason)
+		}
+	}
+}

@@ -53,6 +53,15 @@ type BenOr struct {
 	T int
 	// OnDecide fires on decision.
 	OnDecide DecideFn
+	// CoinBias, when non-zero, replaces the round-end estimate rule with
+	// a constant coin: +1 forces every new estimate to 1, -1 forces 0 —
+	// in both cases ignoring the values reported in phase 2, which is
+	// exactly the step the safety proof leans on (a decided value must be
+	// adopted by every survivor). It exists solely as a fault-injection
+	// knob for the scenario harness's mutation tests (internal/scenario),
+	// which verify that the agreement oracle catches — and shrinks — the
+	// resulting violations. It must never be set in production code.
+	CoinBias int
 
 	n       int
 	round   int
@@ -161,6 +170,10 @@ func (b *BenOr) advance(ctx amp.Context) {
 			b.decide(ctx, 0)
 		case valCount[1] > b.T:
 			b.decide(ctx, 1)
+		case b.CoinBias > 0: // mutation knob: unsound constant coin
+			b.est = 1
+		case b.CoinBias < 0: // mutation knob: unsound constant coin
+			b.est = 0
 		case valCount[0] > 0:
 			b.est = 0
 		case valCount[1] > 0:

@@ -1,15 +1,15 @@
 package round_test
 
-// Differential tests of the engine's execution paths: the dense slice
-// mailboxes (sequential and worker-pool parallel) and the legacy map
-// mailbox shim must produce byte-identical Results for the same seeded
-// scenario. A second set of tests pins Result fields captured on the
-// original map-churning engine (pre-rewrite), so the rewrite provably
-// changed no observable behavior.
+// Differential tests of the engine's execution paths, running on the
+// shared scenario harness: the "roundequiv" model executes each seeded
+// workload (Cole–Vishkin ring, TreeFlood under TREE and Drop
+// adversaries, Flood grid) on the dense sequential path, the
+// worker-pool parallel paths, and the legacy map-mailbox shim, and
+// requires byte-identical Results. A second set of tests pins Result
+// fields captured on the original map-churning engine (pre-rewrite), so
+// the rewrite provably changed no observable behavior.
 
 import (
-	"math/rand"
-	"reflect"
 	"testing"
 
 	"distbasics/internal/dynnet"
@@ -17,120 +17,20 @@ import (
 	"distbasics/internal/local"
 	"distbasics/internal/madv"
 	"distbasics/internal/round"
+	"distbasics/internal/scenario"
+	"distbasics/internal/scenario/models"
 )
 
-// scenario is one seeded system construction: fresh processes, a base
-// graph, a fresh adversary, and a round budget.
-type scenario struct {
-	name   string
-	base   func() *graph.Graph
-	procs  func() []round.Process
-	adv    func() round.Adversary
-	rounds int
-}
-
-func scenarios(seed int64) []scenario {
-	rng := rand.New(rand.NewSource(seed))
-	nRing := 64 + rng.Intn(512)
-	nTree := 8 + rng.Intn(120)
-	nDrop := 4 + rng.Intn(60)
-	advSeed := rng.Int63()
-	inputs := func(n int) []any {
-		in := make([]any, n)
-		for i := range in {
-			in[i] = i * 7
-		}
-		return in
-	}
-	return []scenario{
-		{
-			name:   "cole-vishkin-ring",
-			base:   func() *graph.Graph { return graph.Ring(nRing) },
-			procs:  func() []round.Process { return local.NewColeVishkinRing(nRing) },
-			adv:    nil,
-			rounds: local.CVIterations(nRing) + 8,
-		},
-		{
-			name:   "treeflood-spanning-tree",
-			base:   func() *graph.Graph { return graph.Complete(nTree) },
-			procs:  func() []round.Process { return dynnet.NewTreeFlood(inputs(nTree), nTree-1) },
-			adv:    func() round.Adversary { return madv.NewSpanningTree(advSeed) },
-			rounds: nTree - 1,
-		},
-		{
-			name:   "treeflood-drop",
-			base:   func() *graph.Graph { return graph.Complete(nDrop) },
-			procs:  func() []round.Process { return dynnet.NewTreeFlood(inputs(nDrop), 3*nDrop) },
-			adv:    func() round.Adversary { return madv.NewDrop(advSeed, 0.4) },
-			rounds: 3 * nDrop,
-		},
-		{
-			name: "flood-grid",
-			base: func() *graph.Graph { return graph.Grid(9, 9) },
-			procs: func() []round.Process {
-				return local.NewFlood(inputs(81), graph.Grid(9, 9).Diameter(), nil)
-			},
-			adv:    nil,
-			rounds: graph.Grid(9, 9).Diameter(),
-		},
-	}
-}
-
-// runScenario executes one scenario under the given engine options (a fresh
-// process slice and a fresh, identically-seeded adversary every time).
-func runScenario(t *testing.T, sc scenario, opts ...round.Option) *round.Result {
-	t.Helper()
-	if sc.adv != nil {
-		opts = append(opts, round.WithAdversary(sc.adv()))
-	}
-	sys, err := round.NewSystem(sc.base(), sc.procs(), opts...)
-	if err != nil {
-		t.Fatalf("%s: NewSystem: %v", sc.name, err)
-	}
-	res, err := sys.Run(sc.rounds)
-	if err != nil {
-		t.Fatalf("%s: Run: %v", sc.name, err)
-	}
-	return res
-}
-
-func diffResults(t *testing.T, name, variant string, want, got *round.Result) {
-	t.Helper()
-	if want.Rounds != got.Rounds || want.AllHalted != got.AllHalted ||
-		want.MessagesSent != got.MessagesSent || want.MessagesDelivered != got.MessagesDelivered {
-		t.Errorf("%s/%s: scalar fields differ: want {r=%d halted=%v sent=%d del=%d}, got {r=%d halted=%v sent=%d del=%d}",
-			name, variant,
-			want.Rounds, want.AllHalted, want.MessagesSent, want.MessagesDelivered,
-			got.Rounds, got.AllHalted, got.MessagesSent, got.MessagesDelivered)
-	}
-	if !reflect.DeepEqual(want.HaltRound, got.HaltRound) {
-		t.Errorf("%s/%s: HaltRound differs", name, variant)
-	}
-	if !reflect.DeepEqual(want.Outputs, got.Outputs) {
-		t.Errorf("%s/%s: Outputs differ", name, variant)
-	}
-}
-
-// TestEngineEquivalence is the seeded property test: for each scenario the
-// dense sequential path, the worker-pool parallel path (two pool sizes),
-// and the legacy map-mailbox shim must agree on every Result field.
+// TestEngineEquivalence is the seeded property test: for each workload
+// the dense sequential path, the worker-pool parallel path (two pool
+// sizes), and the legacy map-mailbox shim must agree on every Result
+// field. Failures print the exact basicsfuzz replay invocation.
 func TestEngineEquivalence(t *testing.T) {
-	for seed := int64(1); seed <= 6; seed++ {
-		for _, sc := range scenarios(seed) {
-			ref := runScenario(t, sc)
-			variants := []struct {
-				name string
-				opts []round.Option
-			}{
-				{"parallel", []round.Option{round.WithParallelCompute()}},
-				{"parallel-2workers", []round.Option{round.WithParallelCompute(), round.WithWorkers(2)}},
-				{"map-mailboxes", []round.Option{round.WithMapMailboxes()}},
-				{"map-parallel", []round.Option{round.WithMapMailboxes(), round.WithParallelCompute()}},
-			}
-			for _, v := range variants {
-				got := runScenario(t, sc, v.opts...)
-				diffResults(t, sc.name, v.name, ref, got)
-			}
+	m := &models.RoundEquiv{}
+	for seed := uint64(1); seed <= 6; seed++ {
+		res := m.Run(m.Generate(seed))
+		if res.Failed {
+			scenario.Reportf(t, m.Name(), seed, "engine paths diverge: %s", res.Reason)
 		}
 	}
 }

@@ -1,134 +1,21 @@
 package rsm_test
 
-// Schedule-fuzz linearizability for the replicated state machine: each
-// of several client replicas owns one key and chains put commands
-// through TO-broadcast, treating a command as returned when its own
-// replica applies it (Node.OnApply), and reading its key's local state
-// at that point — a valid linearization read, because the client's
-// prior puts are exactly the completed ops on that key. The combined
-// multi-key history is checked per key via RegisterArraySpec's
-// Partitioner. Under benign random-delay schedules every chain
-// completes, giving partitioned histories of 200+ operations; under
-// partition/heal + crash-recovery adversaries some commands stall into
-// pending operations, which the checker may linearize or drop.
+// Schedule-fuzz linearizability for the replicated state machine,
+// running on the shared scenario harness: the "rsm" model chains put
+// commands from client replicas through TO-broadcast (with apply-point
+// reads) and checks the combined multi-key history per key via
+// RegisterArraySpec's Partitioner. Even seeds run benign random-delay
+// schedules (every chain completes, 210-op histories); odd seeds add
+// bounded partition/heal + crash-recovery faults, under which stalled
+// commands stay pending. Generator, fault plumbing, and replay live in
+// the harness; failures print the exact basicsfuzz invocation.
 
 import (
-	"fmt"
-	"math/rand"
 	"testing"
 
-	"distbasics/internal/amp"
-	"distbasics/internal/check"
-	"distbasics/internal/rbcast"
-	"distbasics/internal/rsm"
+	"distbasics/internal/scenario"
+	"distbasics/internal/scenario/models"
 )
-
-const (
-	rsmReplicas = 6
-	rsmClients  = 5 // replicas 0..4 each own one key; replica 5 is a bystander
-	rsmPuts     = 21
-)
-
-// rsmFuzz builds one seeded RSM system and records each client's
-// put/read chain on its own key.
-func rsmFuzz(t *testing.T, seed int64, adversarial bool) check.History {
-	t.Helper()
-	rng := rand.New(rand.NewSource(seed))
-	rec := check.NewRecorder()
-
-	nodes := make([]*rsm.Node, rsmReplicas)
-	procs := make([]amp.Process, rsmReplicas)
-	for j := 0; j < rsmReplicas; j++ {
-		nodes[j] = rsm.NewNode(rsmReplicas, 2*rsmClients*rsmPuts)
-		nodes[j].Omega.Period = 16
-		procs[j] = nodes[j].Stack
-	}
-
-	var advs []amp.Adversary
-	if adversarial {
-		// Bounded faults that always heal: one minority partition
-		// window, one crash-recovery of the bystander replica, and an
-		// early lossy window.
-		from := amp.Time(200 + rng.Int63n(800))
-		island := []int{rng.Intn(rsmReplicas)}
-		advs = append(advs, amp.Partition(from, from+amp.Time(200+rng.Int63n(600)), island))
-		at := amp.Time(rng.Int63n(1200))
-		advs = append(advs, amp.CrashRecovery(rsmClients, at, at+amp.Time(100+rng.Int63n(500))))
-		if rng.Intn(2) == 0 {
-			lf := amp.Time(rng.Int63n(600))
-			advs = append(advs, amp.NewDropWindow(rng.Int63(), 0.15, lf, lf+200))
-		}
-	}
-	sim := amp.NewSim(procs,
-		amp.WithSeed(rng.Int63()),
-		amp.WithDelay(amp.UniformDelay{Min: 1, Max: amp.Time(2 + rng.Int63n(6))}),
-		amp.WithAdversary(advs...))
-
-	type clientState struct {
-		next    int
-		waitID  rbcast.MsgID
-		waiting bool
-		invIdx  *check.Invocation
-	}
-	clients := make([]*clientState, rsmClients)
-	for c := 0; c < rsmClients; c++ {
-		clients[c] = &clientState{next: 1}
-	}
-
-	var submit func(c int)
-	submit = func(c int) {
-		cs := clients[c]
-		if cs.next > rsmPuts {
-			return
-		}
-		key := fmt.Sprintf("k%d", c)
-		val := cs.next
-		cs.invIdx = rec.Call(c, check.KeyedOp{Key: key, Op: check.WriteOp{V: val}})
-		cs.waiting = true
-		cs.waitID = nodes[c].Submit(nodes[c].Ctx(), rsm.Command{Op: "put", Key: key, Val: val})
-	}
-	for c := 0; c < rsmClients; c++ {
-		c := c
-		nodes[c].OnApply = func(e rsm.Entry, _ amp.Time) {
-			cs := clients[c]
-			if !cs.waiting || e.ID != cs.waitID {
-				return
-			}
-			cs.waiting = false
-			cs.invIdx.Return(nil)
-			// Read the key at the apply point: state reflects exactly
-			// the totally-ordered prefix including this put.
-			key := fmt.Sprintf("k%d", c)
-			inv := rec.Call(c, check.KeyedOp{Key: key, Op: check.ReadOp{}})
-			inv.Return(nodes[c].Get(key))
-			cs.next++
-			sim.Schedule(sim.Now()+amp.Time(1+rng.Int63n(120)), func() { submit(c) })
-		}
-		sim.Schedule(amp.Time(1+rng.Int63n(100)), func() { submit(c) })
-	}
-
-	sim.Run(400_000)
-	return rec.History()
-}
-
-func checkRSMSeed(t *testing.T, seed int64, adversarial bool) check.History {
-	t.Helper()
-	h := rsmFuzz(t, seed, adversarial)
-	spec := check.RegisterArraySpec{}
-	res, err := check.Linearizable(spec, h)
-	if err != nil {
-		t.Fatalf("seed %d: %v", seed, err)
-	}
-	if !res.OK {
-		t.Errorf("LINEARIZABILITY VIOLATION at seed %d (adversarial=%v): %d ops over %d partitions — rerun with this seed to reproduce",
-			seed, adversarial, len(h), res.Partitions)
-		return h
-	}
-	if err := check.ValidateOrder(spec, h, res.Order); err != nil {
-		t.Errorf("seed %d: witness invalid: %v", seed, err)
-	}
-	return h
-}
 
 // TestRSMPartitioned200Ops: benign schedules complete every chain, so
 // each seed checks a full partitioned history of ≥ 200 operations
@@ -137,10 +24,16 @@ func TestRSMPartitioned200Ops(t *testing.T) {
 	if testing.Short() {
 		t.Skip("RSM fuzz is seconds-long")
 	}
-	for seed := int64(1); seed <= 3; seed++ {
-		h := checkRSMSeed(t, seed, false)
-		if len(h) < 200 {
-			t.Fatalf("seed %d: history has %d ops, want >= 200 (chains stalled?)", seed, len(h))
+	m := &models.RSM{}
+	for seed := uint64(2); seed <= 6; seed += 2 {
+		res := m.Run(m.Generate(seed))
+		if res.Failed {
+			scenario.Reportf(t, m.Name(), seed, "LINEARIZABILITY VIOLATION: %s", res.Reason)
+			continue
+		}
+		if res.Completed+res.Pending < 200 {
+			scenario.Reportf(t, m.Name(), seed, "history has %d ops, want >= 200 (chains stalled?)",
+				res.Completed+res.Pending)
 		}
 	}
 }
@@ -151,14 +44,15 @@ func TestRSMLinearizableUnderScheduleFuzz(t *testing.T) {
 	if testing.Short() {
 		t.Skip("RSM fuzz is seconds-long")
 	}
+	m := &models.RSM{}
 	totalCompleted := 0
-	for seed := int64(1); seed <= 4; seed++ {
-		h := checkRSMSeed(t, seed, true)
-		for _, op := range h {
-			if op.Return != check.Pending {
-				totalCompleted++
-			}
+	for seed := uint64(1); seed <= 7; seed += 2 {
+		res := m.Run(m.Generate(seed))
+		if res.Failed {
+			scenario.Reportf(t, m.Name(), seed, "LINEARIZABILITY VIOLATION: %s", res.Reason)
+			continue
 		}
+		totalCompleted += res.Completed
 	}
 	if totalCompleted < 200 {
 		t.Errorf("only %d completed ops across adversarial seeds; schedules block too much", totalCompleted)

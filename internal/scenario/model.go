@@ -1,0 +1,129 @@
+package scenario
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Result is the outcome of running one scenario. Results must be a
+// deterministic function of the scenario: the determinism tests replay
+// every adapter and require byte-identical Results.
+type Result struct {
+	// Failed reports that the oracle rejected the run.
+	Failed bool
+	// Reason describes the violation ("" when !Failed).
+	Reason string
+	// Trace is the run's deterministic observable trace — compact lines
+	// sufficient to diff two replays byte-for-byte.
+	Trace []string
+	// Completed and Pending count client operations that returned /
+	// never returned (0/0 for models without client operations).
+	Completed, Pending int
+}
+
+// Tracef appends a formatted line to the result's trace.
+func (r *Result) Tracef(format string, args ...any) {
+	r.Trace = append(r.Trace, fmt.Sprintf(format, args...))
+}
+
+// Failf marks the result failed with a formatted reason (the first
+// failure wins; later calls append to the trace only).
+func (r *Result) Failf(format string, args ...any) {
+	msg := fmt.Sprintf(format, args...)
+	if !r.Failed {
+		r.Failed = true
+		r.Reason = msg
+	}
+	r.Trace = append(r.Trace, "FAIL: "+msg)
+}
+
+// TraceString returns the trace as one newline-joined string.
+func (r *Result) TraceString() string { return strings.Join(r.Trace, "\n") }
+
+// Model adapts one execution model to the harness. Implementations live
+// in internal/scenario/models; each wires a Scenario's ops, faults, and
+// schedule choices into its engine's native adversary/policy interfaces
+// and checks the model's oracle.
+type Model interface {
+	// Name is the model's registry name (basicsfuzz -model).
+	Name() string
+	// Generate derives a complete scenario from the seed. It must be
+	// deterministic and must set Scenario.Model to Name() and
+	// Scenario.Seed to seed, so a reported seed is a full reproducer.
+	Generate(seed uint64) *Scenario
+	// Run executes the scenario and checks the oracle. It must be
+	// deterministic and must tolerate shrunk scenarios (subsets of the
+	// generated ops/faults/sched lists).
+	Run(sc *Scenario) *Result
+}
+
+// Campaign runs a model over a contiguous seed range, shrinking any
+// failure found, and returns the failures. It is the engine behind
+// cmd/basicsfuzz and the package-level fuzz fences.
+type Campaign struct {
+	Model Model
+	// Start is the first seed; Count the number of seeds to run.
+	Start, Count uint64
+	// Shrink enables delta-debugging of failures (default budget when
+	// MaxShrinkRuns is 0: 2000 runs).
+	Shrink        bool
+	MaxShrinkRuns int
+	// Log, when non-nil, receives progress lines.
+	Log func(format string, args ...any)
+}
+
+// Failure is one found crasher: the scenario as generated, its result,
+// and (when shrinking was enabled) the minimized reproducer.
+type Failure struct {
+	Seed     uint64
+	Scenario *Scenario
+	Result   *Result
+	Shrunk   *Scenario
+	// ShrunkResult is the shrunk scenario's (still failing) result.
+	ShrunkResult *Result
+}
+
+// Stats aggregates a campaign.
+type Stats struct {
+	Seeds, Failures    int
+	Completed, Pending int
+	// ShrinkRuns counts Model.Run calls spent shrinking failures (for
+	// tuning MaxShrinkRuns).
+	ShrinkRuns int
+}
+
+// Run executes the campaign.
+func (c *Campaign) Run() ([]Failure, Stats) {
+	var failures []Failure
+	var stats Stats
+	logf := c.Log
+	if logf == nil {
+		logf = func(string, ...any) {}
+	}
+	for seed := c.Start; seed < c.Start+c.Count; seed++ {
+		sc := c.Model.Generate(seed)
+		res := c.Model.Run(sc)
+		stats.Seeds++
+		stats.Completed += res.Completed
+		stats.Pending += res.Pending
+		if !res.Failed {
+			continue
+		}
+		stats.Failures++
+		f := Failure{Seed: seed, Scenario: sc, Result: res}
+		logf("%s: FAILURE at seed %d: %s", c.Model.Name(), seed, res.Reason)
+		if c.Shrink {
+			budget := c.MaxShrinkRuns
+			if budget <= 0 {
+				budget = 2000
+			}
+			shrunk, runs := Shrink(c.Model, sc, budget)
+			stats.ShrinkRuns += runs
+			f.Shrunk = shrunk
+			f.ShrunkResult = c.Model.Run(shrunk)
+			logf("%s: shrunk seed %d to %s in %d runs", c.Model.Name(), seed, shrunk.Summary(), runs)
+		}
+		failures = append(failures, f)
+	}
+	return failures, stats
+}

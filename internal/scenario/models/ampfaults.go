@@ -1,0 +1,75 @@
+package models
+
+import (
+	"distbasics/internal/amp"
+	"distbasics/internal/scenario"
+)
+
+// This file is the shared bridge between the scenario DSL's fault
+// vocabulary and the amp simulator's composable Adversary interface,
+// used by every amp-backed model (abd, rsm, benor). Fault generation
+// and fault wiring live here once, instead of once per package as in
+// the pre-harness fuzz fences.
+
+// ampAdversaries maps scenario faults onto amp adversaries, in list
+// order (the Sim consults adversaries in installation order).
+func ampAdversaries(faults []scenario.Fault) []amp.Adversary {
+	var advs []amp.Adversary
+	for _, f := range faults {
+		switch f.Kind {
+		case scenario.FaultPartition:
+			advs = append(advs, amp.Partition(amp.Time(f.From), amp.Time(f.Until), f.Group))
+		case scenario.FaultCrash:
+			advs = append(advs, amp.CrashRecovery(f.Proc, amp.Time(f.From), amp.Time(f.Until)))
+		case scenario.FaultDrop:
+			advs = append(advs, amp.NewDropWindow(f.Sub, float64(f.Pct)/100, amp.Time(f.From), amp.Time(f.Until)))
+		case scenario.FaultIsolate:
+			advs = append(advs, amp.Isolate(amp.Time(f.From), amp.Time(f.Until), f.Group...))
+		case scenario.FaultSkew:
+			advs = append(advs, amp.SkewLinks(amp.Time(f.Pct), func(src, _ int) bool { return src%2 == 0 }))
+		}
+	}
+	return advs
+}
+
+// genAmpFaults draws a random fault schedule for an n-process amp
+// system over the given virtual-time horizon: up to two partition
+// windows (sometimes a clean minority split, sometimes an even split
+// that blocks every quorum), up to two crash-recovery injections, and
+// sometimes a lossy window.
+func genAmpFaults(rng *scenario.Rand, n int, horizon int64) []scenario.Fault {
+	var faults []scenario.Fault
+	for w := 0; w < 1+rng.Intn(2); w++ {
+		from := rng.Int63n(horizon)
+		k := 1 + rng.Intn(n/2) // island size; k == n/2 may block every quorum
+		faults = append(faults, scenario.Fault{
+			Kind: scenario.FaultPartition,
+			From: from, Until: from + 100 + rng.Int63n(horizon/2),
+			Group: scenario.SortGroup(rng.Perm(n)[:k]),
+		})
+	}
+	for c := 0; c < rng.Intn(3); c++ {
+		at := rng.Int63n(horizon)
+		faults = append(faults, scenario.Fault{
+			Kind: scenario.FaultCrash, Proc: rng.Intn(n),
+			From: at, Until: at + 50 + rng.Int63n(horizon/2),
+		})
+	}
+	if rng.Intn(3) == 0 {
+		from := rng.Int63n(2 * horizon / 3)
+		faults = append(faults, scenario.Fault{
+			Kind: scenario.FaultDrop, Pct: 20,
+			From: from, Until: from + horizon/5, Sub: rng.Int63(),
+		})
+	}
+	return faults
+}
+
+// ampDelay picks the run's delay model from the scenario's private
+// config stream (a function of the seed only, so it survives shrinking).
+func ampDelay(rng *scenario.Rand) amp.DelayModel {
+	if rng.Intn(3) == 0 {
+		return amp.FixedDelay{D: amp.Time(1 + rng.Int63n(8))}
+	}
+	return amp.UniformDelay{Min: 1, Max: amp.Time(2 + rng.Int63n(12))}
+}

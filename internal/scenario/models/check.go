@@ -1,0 +1,293 @@
+package models
+
+import (
+	"encoding/binary"
+	"math/rand"
+
+	"distbasics/internal/check"
+	"distbasics/internal/scenario"
+)
+
+// Check is the differential model for the linearizability checker: on
+// seeded random histories, the rebuilt engine (check.Linearizable) must
+// return the same verdict, witness order, and explored count as the
+// preserved seed implementation (check.LinearizableLegacy), every
+// emitted witness must replay through ValidateOrder, and the
+// memoization tiers (fingerprint, comparable, dynamic equality) must
+// agree. One scenario covers all three history families the in-package
+// fences use: plain register histories, uncomparable-state queue
+// histories, and keyed multi-register histories for the partitioned
+// engine.
+type Check struct{}
+
+// Name implements scenario.Model.
+func (*Check) Name() string { return "check" }
+
+// Generate implements scenario.Model (seed-only: histories are derived
+// in Run via the shared generators below).
+func (*Check) Generate(seed uint64) *scenario.Scenario {
+	return &scenario.Scenario{Model: "check", Seed: seed}
+}
+
+// GenRegisterHistory builds a random register history: ops start and
+// finish in a random interleaving over a few processes, and each
+// completed op's output is either taken from a consistent witness run
+// (making many histories linearizable) or corrupted (making many not).
+// Exported so the in-package equivalence fences and the native fuzz
+// targets generate exactly the histories a reported seed replays.
+func GenRegisterHistory(rng *rand.Rand, nOps int) check.History {
+	type open struct {
+		idx   int
+		state int
+	}
+	var h check.History
+	var opens []open
+	clock := int64(0)
+	procBusy := map[int]bool{}
+	procOf := map[int]int{}
+	reg := 0
+	for started, finished := 0, 0; finished < nOps; {
+		startable := started < nOps && len(opens) < 4
+		if startable && (len(opens) == 0 || rng.Intn(2) == 0) {
+			proc := rng.Intn(4)
+			for procBusy[proc] {
+				proc = (proc + 1) % 4
+			}
+			procBusy[proc] = true
+			var arg any
+			switch rng.Intn(3) {
+			case 0:
+				arg = check.ReadOp{}
+			case 1:
+				arg = check.WriteOp{V: rng.Intn(3)}
+			default:
+				arg = check.CASOp{Old: rng.Intn(3), New: rng.Intn(3)}
+			}
+			clock++
+			h = append(h, check.Op{Proc: proc, Arg: arg, Call: clock, Return: check.Pending})
+			procOf[len(h)-1] = proc
+			opens = append(opens, open{idx: len(h) - 1, state: reg})
+			started++
+		} else {
+			k := rng.Intn(len(opens))
+			op := opens[k]
+			opens = append(opens[:k], opens[k+1:]...)
+			var out any
+			switch a := h[op.idx].Arg.(type) {
+			case check.ReadOp:
+				out = reg
+			case check.WriteOp:
+				reg = a.V.(int)
+				out = nil
+			case check.CASOp:
+				if reg == a.Old.(int) {
+					reg = a.New.(int)
+					out = true
+				} else {
+					out = false
+				}
+			}
+			if rng.Intn(5) == 0 {
+				out = rng.Intn(4) // corrupt: often makes it non-linearizable
+			}
+			clock++
+			h[op.idx].Out = out
+			h[op.idx].Return = clock
+			procBusy[procOf[op.idx]] = false
+			finished++
+		}
+	}
+	// Ops still open at the end stay pending in the history.
+	return h
+}
+
+// QueueSpec is a queue-like spec with uncomparable ([]any) states; it
+// exercises the dynamic-equality memo tier against legacy's string
+// memo.
+type QueueSpec struct{}
+
+// Init implements check.Spec.
+func (QueueSpec) Init() any { return []any(nil) }
+
+// Apply implements check.Spec.
+func (QueueSpec) Apply(state, op any) (any, any) {
+	items := state.([]any)
+	switch o := op.(type) {
+	case check.WriteOp: // enqueue
+		next := make([]any, len(items)+1)
+		copy(next, items)
+		next[len(items)] = o.V
+		return next, len(next)
+	case check.ReadOp: // dequeue
+		if len(items) == 0 {
+			return items, nil
+		}
+		return items[1:], items[0]
+	default:
+		panic("QueueSpec: unknown op")
+	}
+}
+
+// FPQueueSpec is QueueSpec plus a canonical fingerprint, exercising the
+// maphash memo tier on the same histories.
+type FPQueueSpec struct{ QueueSpec }
+
+// AppendFingerprint implements check.Fingerprinter.
+func (FPQueueSpec) AppendFingerprint(dst []byte, state any) []byte {
+	items := state.([]any)
+	dst = binary.AppendUvarint(dst, uint64(len(items)))
+	for _, it := range items {
+		dst = binary.AppendVarint(dst, int64(it.(int)))
+	}
+	return dst
+}
+
+// GenQueueHistory builds a random queue history with frequent overlap
+// and occasional corrupted outputs.
+func GenQueueHistory(rng *rand.Rand, nOps int) check.History {
+	var h check.History
+	clock := int64(0)
+	q := []int{}
+	for i := 0; i < nOps; i++ {
+		proc := i % 3
+		var arg, out any
+		if rng.Intn(2) == 0 {
+			v := rng.Intn(3)
+			arg = check.WriteOp{V: v}
+			q = append(q, v)
+			out = len(q)
+		} else {
+			arg = check.ReadOp{}
+			if len(q) == 0 {
+				out = nil
+			} else {
+				out = q[0]
+				q = q[1:]
+			}
+		}
+		if rng.Intn(6) == 0 {
+			out = rng.Intn(4)
+		}
+		clock++
+		call := clock
+		clock++
+		h = append(h, check.Op{Proc: proc, Arg: arg, Out: out, Call: call, Return: clock})
+	}
+	// Introduce overlap: randomly stretch some returns past the next call.
+	for i := 0; i+1 < len(h); i++ {
+		if h[i].Proc != h[i+1].Proc && rng.Intn(3) == 0 {
+			h[i].Return = h[i+1].Call + 1
+			if h[i+1].Return <= h[i].Return {
+				h[i+1].Return = h[i].Return + 1
+			}
+		}
+	}
+	return h
+}
+
+// GenKeyedHistory wraps register histories over several keys, giving
+// partitioned multi-register histories that still fit legacy's 63-op
+// global cap so both paths can run.
+func GenKeyedHistory(rng *rand.Rand, keys, nOps int) check.History {
+	h := GenRegisterHistory(rng, nOps)
+	for i := range h {
+		h[i].Arg = check.KeyedOp{Key: rng.Intn(keys), Op: h[i].Arg}
+	}
+	return h
+}
+
+// Run implements scenario.Model.
+func (*Check) Run(sc *scenario.Scenario) *scenario.Result {
+	res := &scenario.Result{}
+
+	// Register histories: full legacy equivalence (verdict, explored
+	// count, witness order) + witness replay.
+	rng := rand.New(rand.NewSource(int64(sc.Seed)))
+	h := GenRegisterHistory(rng, 4+rng.Intn(8))
+	spec := check.RegisterSpec{Init0: 0}
+	want, errL := check.LinearizableLegacy(spec, h)
+	got, errN := check.Linearizable(spec, h)
+	res.Tracef("register: %d ops", len(h))
+	switch {
+	case (errL == nil) != (errN == nil):
+		res.Failf("register: error mismatch: legacy=%v new=%v", errL, errN)
+	case errL == nil:
+		res.Tracef("register: ok=%v explored=%d order=%v", got.OK, got.Explored, got.Order)
+		if got.OK != want.OK {
+			res.Failf("register: OK mismatch: legacy=%v new=%v", want.OK, got.OK)
+		} else if got.Explored != want.Explored {
+			res.Failf("register: Explored mismatch: legacy=%d new=%d", want.Explored, got.Explored)
+		} else if want.OK {
+			if len(got.Order) != len(want.Order) {
+				res.Failf("register: Order length mismatch: legacy=%v new=%v", want.Order, got.Order)
+			} else {
+				for i := range got.Order {
+					if got.Order[i] != want.Order[i] {
+						res.Failf("register: Order mismatch at %d: legacy=%v new=%v", i, want.Order, got.Order)
+						break
+					}
+				}
+			}
+			if err := check.ValidateOrder(spec, h, got.Order); err != nil {
+				res.Failf("register: witness invalid: %v", err)
+			}
+		}
+	}
+
+	// Queue histories with uncomparable states: the dynamic and
+	// fingerprint memo tiers must both match legacy.
+	qh := GenQueueHistory(rng, 3+rng.Intn(7))
+	if err := qh.Validate(); err == nil {
+		lw, err := check.LinearizableLegacy(QueueSpec{}, qh)
+		if err != nil {
+			res.Failf("queue: legacy error: %v", err)
+		} else {
+			gotDyn := check.MustLinearizable(QueueSpec{}, qh)
+			gotFP := check.MustLinearizable(FPQueueSpec{}, qh)
+			res.Tracef("queue: %d ops ok=%v explored=%d", len(qh), gotDyn.OK, gotDyn.Explored)
+			if gotDyn.OK != lw.OK || gotDyn.Explored != lw.Explored {
+				res.Failf("queue: dynamic tier mismatch: legacy=(%v,%d) new=(%v,%d)",
+					lw.OK, lw.Explored, gotDyn.OK, gotDyn.Explored)
+			}
+			if gotFP.OK != lw.OK || gotFP.Explored != lw.Explored {
+				res.Failf("queue: fingerprint tier mismatch: legacy=(%v,%d) new=(%v,%d)",
+					lw.OK, lw.Explored, gotFP.OK, gotFP.Explored)
+			}
+			if lw.OK {
+				if err := check.ValidateOrder(QueueSpec{}, qh, gotDyn.Order); err != nil {
+					res.Failf("queue: dynamic witness invalid: %v", err)
+				}
+				if err := check.ValidateOrder(QueueSpec{}, qh, gotFP.Order); err != nil {
+					res.Failf("queue: fingerprint witness invalid: %v", err)
+				}
+			}
+		}
+	} else {
+		res.Tracef("queue: history invalid (%v), skipped", err)
+	}
+
+	// Keyed histories: the partitioned engine must agree with legacy's
+	// whole-history verdict, and merged witnesses must replay.
+	aspec := check.RegisterArraySpec{Init0: 0}
+	kh := GenKeyedHistory(rng, 1+rng.Intn(3), 4+rng.Intn(8))
+	kwant, kerrL := check.LinearizableLegacy(aspec, kh)
+	kgot, kerrN := check.Linearizable(aspec, kh)
+	switch {
+	case (kerrL == nil) != (kerrN == nil):
+		res.Failf("keyed: error mismatch: legacy=%v new=%v", kerrL, kerrN)
+	case kerrL == nil:
+		res.Tracef("keyed: %d ops ok=%v partitions=%d", len(kh), kgot.OK, kgot.Partitions)
+		if kgot.OK != kwant.OK {
+			res.Failf("keyed: OK mismatch: legacy=%v partitioned=%v", kwant.OK, kgot.OK)
+		} else if kwant.OK {
+			if err := check.ValidateOrder(aspec, kh, kgot.Order); err != nil {
+				res.Failf("keyed: merged witness invalid: %v (order %v)", err, kgot.Order)
+			}
+			if kgot.Partitions < 1 {
+				res.Failf("keyed: Partitions=%d", kgot.Partitions)
+			}
+		}
+	}
+	res.Completed = len(h) + len(qh) + len(kh)
+	return res
+}

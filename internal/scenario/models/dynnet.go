@@ -1,0 +1,183 @@
+package models
+
+import (
+	"distbasics/internal/dynnet"
+	"distbasics/internal/graph"
+	"distbasics/internal/madv"
+	"distbasics/internal/round"
+	"distbasics/internal/scenario"
+)
+
+// DynNet is the adversarial fuzz model for the dynamic-network
+// protocols: each scenario is a random dynamic graph — one arbitrary
+// communication digraph per round, encoded as an arc bitmask in
+// Scenario.Sched — and the oracle is an exact reference simulation of
+// knowledge/min propagation:
+//
+//   - TreeFlood's knowledge sets must equal the transitive knowledge
+//     closure of the delivered arcs, round by round (in particular, if
+//     the closure says dissemination completed, TreeFlood must report
+//     complete, and at the same round).
+//   - FloodMin's decisions must equal the reference min-propagation.
+//
+// This extends the exhaustive Explorer (which enumerates every choice
+// of a structured adversary on tiny systems) with seed-replayable
+// random dynamic graphs, and the schedule (the digraph sequence) is
+// exactly what the shrinker truncates and thins.
+type DynNet struct{}
+
+// Name implements scenario.Model.
+func (*DynNet) Name() string { return "dynnet" }
+
+// arcBit numbers the ordered pairs (u,v), u != v, of an n-vertex
+// digraph; a round's digraph is the set of pairs whose bit is set.
+func arcBit(n, u, v int) uint {
+	idx := u*(n-1) + v
+	if v > u {
+		idx--
+	}
+	return uint(idx)
+}
+
+// decodeRound fills d with the arcs encoded in mask.
+func decodeRound(n int, mask int64) *graph.Digraph {
+	d := graph.NewDigraph(n)
+	for u := 0; u < n; u++ {
+		for v := 0; v < n; v++ {
+			if u != v && mask&(1<<arcBit(n, u, v)) != 0 {
+				d.AddArc(u, v)
+			}
+		}
+	}
+	return d
+}
+
+// Generate implements scenario.Model: 3..5 processes, 2..2n rounds,
+// each round an independent random digraph whose density varies from
+// sparse (isolating) to nearly complete.
+func (*DynNet) Generate(seed uint64) *scenario.Scenario {
+	rng := scenario.NewRand(seed)
+	n := 3 + rng.Intn(3)
+	sc := &scenario.Scenario{Model: "dynnet", Seed: seed, Procs: n}
+	rounds := 2 + rng.Intn(2*n)
+	for r := 0; r < rounds; r++ {
+		keep := 20 + rng.Intn(75) // per-arc survival percentage this round
+		var mask int64
+		for u := 0; u < n; u++ {
+			for v := 0; v < n; v++ {
+				if u != v && rng.Intn(100) < keep {
+					mask |= 1 << arcBit(n, u, v)
+				}
+			}
+		}
+		sc.Sched = append(sc.Sched, mask)
+	}
+	return sc
+}
+
+// Run implements scenario.Model.
+func (*DynNet) Run(sc *scenario.Scenario) *scenario.Result {
+	res := &scenario.Result{}
+	n := sc.Procs
+	rounds := len(sc.Sched)
+	if n < 2 || rounds == 0 {
+		res.Tracef("degenerate: n=%d rounds=%d", n, rounds)
+		return res
+	}
+	seq := make([]*graph.Digraph, rounds)
+	for r, mask := range sc.Sched {
+		seq[r] = decodeRound(n, mask)
+		res.Tracef("round %d: %d arcs (mask %d)", r+1, seq[r].ArcCount(), mask)
+	}
+
+	// Reference knowledge closure: known[v] is the set of inputs v holds;
+	// an arc u->v delivered in round r merges u's round-(r-1) knowledge
+	// into v. knewAll[v] is the first round v held every input.
+	known := make([]uint64, n)
+	knewAll := make([]int, n)
+	refMin := make([]int, n)
+	for v := 0; v < n; v++ {
+		known[v] = 1 << uint(v)
+		refMin[v] = v // FloodMin inputs are the process ids
+	}
+	full := uint64(1)<<uint(n) - 1
+	if n == 1 {
+		full = 1
+	}
+	for r := 1; r <= rounds; r++ {
+		prevK := append([]uint64(nil), known...)
+		prevM := append([]int(nil), refMin...)
+		for u := 0; u < n; u++ {
+			for _, v := range seq[r-1].Out(u) {
+				known[v] |= prevK[u]
+				if prevM[u] < refMin[v] {
+					refMin[v] = prevM[u]
+				}
+			}
+		}
+		for v := 0; v < n; v++ {
+			if knewAll[v] == 0 && known[v] == full {
+				knewAll[v] = r
+			}
+		}
+	}
+
+	// TreeFlood under the replayed digraph sequence.
+	inputs := make([]any, n)
+	fmInputs := make([]int, n)
+	for i := range inputs {
+		inputs[i] = i
+		fmInputs[i] = i
+	}
+	tfProcs := dynnet.NewTreeFlood(inputs, rounds)
+	sys, err := round.NewSystem(graph.Complete(n), tfProcs, round.WithAdversary(&madv.Replay{Seq: seq}))
+	if err != nil {
+		res.Failf("treeflood NewSystem: %v", err)
+		return res
+	}
+	if _, err := sys.Run(rounds); err != nil {
+		res.Failf("treeflood Run: %v", err)
+		return res
+	}
+	for v, rp := range tfProcs {
+		tf := rp.(*dynnet.TreeFlood)
+		wantComplete := known[v] == full
+		gotComplete := tf.Output() != nil
+		if gotComplete != wantComplete {
+			res.Failf("treeflood p%d: complete=%v, reference closure says %v", v, gotComplete, wantComplete)
+		}
+		if wantComplete && tf.KnewAllAt() != knewAll[v] {
+			res.Failf("treeflood p%d: knew all at round %d, reference says %d", v, tf.KnewAllAt(), knewAll[v])
+		}
+		res.Tracef("treeflood p%d: complete=%v knewAllAt=%d (ref %d)", v, gotComplete, tf.KnewAllAt(), knewAll[v])
+	}
+
+	// FloodMin under the same sequence: outputs must equal the reference
+	// min propagation (consensus may legitimately fail under a random
+	// adversary — the oracle is exactness, not agreement).
+	fmFactory := dynnet.NewFloodMin(fmInputs, rounds)
+	fmProcs := fmFactory()
+	sys2, err := round.NewSystem(graph.Complete(n), fmProcs, round.WithAdversary(&madv.Replay{Seq: seq}))
+	if err != nil {
+		res.Failf("floodmin NewSystem: %v", err)
+		return res
+	}
+	fmRes, err := sys2.Run(rounds)
+	if err != nil {
+		res.Failf("floodmin Run: %v", err)
+		return res
+	}
+	for v, out := range fmRes.Outputs {
+		got, ok := out.(int)
+		if !ok {
+			res.Failf("floodmin p%d: non-int output %v", v, out)
+			continue
+		}
+		if got != refMin[v] {
+			res.Failf("floodmin p%d: decided %d, reference min is %d", v, got, refMin[v])
+		}
+		res.Tracef("floodmin p%d: %d (ref %d)", v, got, refMin[v])
+	}
+	res.Completed = 2 * n
+	return res
+}

@@ -1,0 +1,150 @@
+package models
+
+import (
+	"math/bits"
+
+	"distbasics/internal/flp"
+	"distbasics/internal/scenario"
+)
+
+// FLP is the differential model for the FLP-style exhaustive explorer:
+// for a seeded family of deterministic "lottery" flooding protocols
+// (and the shipped wait-all/wait-majority candidates on some seeds),
+// the rebuilt serial engine must report the same Decided set, valence,
+// violation classification, and Configs count as the preserved seed
+// engine behind Options.Legacy, and the parallel frontier must match
+// serial on everything, Configs included.
+type FLP struct{}
+
+// Name implements scenario.Model.
+func (*FLP) Name() string { return "flp" }
+
+// LotteryProto is a seeded family of deterministic flooding protocols:
+// each process floods its input, then decides once it has heard from
+// Threshold processes, on a value drawn deterministically from the seed
+// and the multiset of heard values. Different seeds give protocols with
+// different valence and violation profiles — richer equivalence fodder
+// than the two shipped candidates. Exported so the flp package's
+// equivalence fences and this model replay the same protocols.
+type LotteryProto struct {
+	Procs     int
+	Threshold int
+	Seed      uint64
+}
+
+// lotState mirrors the shipped protocols' state shape: heard/value
+// bitmasks plus the decision.
+type lotState struct {
+	Heard   int
+	Vals    int
+	Decided int
+}
+
+func lotterySplitmix(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+// N implements flp.Protocol.
+func (p LotteryProto) N() int { return p.Procs }
+
+// Initial implements flp.Protocol.
+func (p LotteryProto) Initial(pid int, input int) (flp.State, []flp.Outgoing) {
+	s := lotState{Heard: 1 << uint(pid), Vals: input << uint(pid), Decided: -1}
+	outs := make([]flp.Outgoing, 0, p.Procs-1)
+	for i := 0; i < p.Procs; i++ {
+		if i != pid {
+			outs = append(outs, flp.Outgoing{To: i, Body: input})
+		}
+	}
+	return p.maybeDecide(s), outs
+}
+
+// Deliver implements flp.Protocol.
+func (p LotteryProto) Deliver(_ int, st flp.State, from int, body any) (flp.State, []flp.Outgoing) {
+	s := st.(lotState)
+	if s.Decided >= 0 {
+		return s, nil
+	}
+	s.Heard |= 1 << uint(from)
+	if body.(int) == 1 {
+		s.Vals |= 1 << uint(from)
+	}
+	return p.maybeDecide(s), nil
+}
+
+func (p LotteryProto) maybeDecide(s lotState) lotState {
+	if s.Decided < 0 && bits.OnesCount(uint(s.Heard)) >= p.Threshold {
+		s.Decided = int(lotterySplitmix(p.Seed^uint64(s.Heard)<<20^uint64(s.Vals)) & 1)
+	}
+	return s
+}
+
+// Decision implements flp.Protocol.
+func (p LotteryProto) Decision(st flp.State) (int, bool) {
+	s := st.(lotState)
+	return s.Decided, s.Decided >= 0
+}
+
+// flpReportDigest renders the Report fields the equivalence compares.
+func flpReportDigest(r flp.Report) string {
+	return "decided=" + boolString(r.Decided[0]) + boolString(r.Decided[1]) +
+		" valence=" + r.Valence().String() +
+		" agreementViolated=" + boolString(r.AgreementViolation != "") +
+		" terminationViolated=" + boolString(r.TerminationViolation != "") +
+		" truncated=" + boolString(r.Truncated)
+}
+
+func boolString(b bool) string {
+	if b {
+		return "1"
+	}
+	return "0"
+}
+
+// Generate implements scenario.Model (seed-only: the protocol, inputs,
+// and crash budget derive from the seed in Run).
+func (*FLP) Generate(seed uint64) *scenario.Scenario {
+	return &scenario.Scenario{Model: "flp", Seed: seed}
+}
+
+// Run implements scenario.Model.
+func (*FLP) Run(sc *scenario.Scenario) *scenario.Result {
+	res := &scenario.Result{}
+	cfg := scenario.NewRand(sc.Seed).Derive(100)
+	n := 2 + cfg.Intn(2)
+	var proto flp.Protocol
+	switch cfg.Intn(4) {
+	case 0:
+		proto = flp.WaitAll{Procs: n}
+	case 1:
+		proto = flp.WaitMajority{Procs: n}
+	default:
+		proto = LotteryProto{Procs: n, Threshold: 1 + cfg.Intn(n), Seed: cfg.Uint64()}
+	}
+	inputs := make([]int, n)
+	for i := range inputs {
+		inputs[i] = cfg.Intn(2)
+	}
+	crashes := cfg.Intn(2)
+
+	legacy := flp.Explore(proto, inputs, flp.Options{MaxCrashes: crashes, Legacy: true})
+	serial := flp.Explore(proto, inputs, flp.Options{MaxCrashes: crashes})
+	par := flp.Explore(proto, inputs, flp.Options{MaxCrashes: crashes, Workers: 4})
+	res.Tracef("proto=%T n=%d inputs=%v crashes=%d", proto, n, inputs, crashes)
+	res.Tracef("legacy: %s configs=%d", flpReportDigest(legacy), legacy.Configs)
+	res.Tracef("serial: %s configs=%d", flpReportDigest(serial), serial.Configs)
+	res.Tracef("parallel: %s configs=%d", flpReportDigest(par), par.Configs)
+	if d := flpReportDigest(serial); d != flpReportDigest(legacy) || serial.Configs != legacy.Configs {
+		res.Failf("serial explorer diverges from legacy: %s configs=%d vs %s configs=%d",
+			d, serial.Configs, flpReportDigest(legacy), legacy.Configs)
+	}
+	if d := flpReportDigest(par); d != flpReportDigest(serial) || par.Configs != serial.Configs {
+		res.Failf("parallel explorer diverges from serial: %s configs=%d vs %s configs=%d",
+			d, par.Configs, flpReportDigest(serial), serial.Configs)
+	}
+	res.Completed = serial.Configs
+	return res
+}

@@ -1,0 +1,141 @@
+package models
+
+import (
+	"distbasics/internal/graph"
+	"distbasics/internal/madv"
+	"distbasics/internal/round"
+	"distbasics/internal/scenario"
+)
+
+// MAdv is the adversarial fuzz model for the message-adversary lattice
+// of §3.3: each scenario draws seeded random adversary instances (TREE,
+// TOUR, Drop) and checks the structural and power-lattice invariants
+// that the hand-picked lattice tests assert only pointwise:
+//
+//   - every graph a TREE adversary emits is a symmetric spanning tree
+//     (madv.CheckTree), and full-information flooding under the
+//     sequence completes within n-1 rounds — the §3.3 bound;
+//   - every graph a TOUR adversary emits keeps at least one direction
+//     of every pair (madv.CheckTournament);
+//   - Drop adversaries with increasing probabilities on the same seed
+//     deliver nested arc sets round by round (the lattice's continuum:
+//     more suppression can only remove arcs);
+//   - dissemination time is monotone along the lattice on this seed:
+//     adv:∅ (1 round) <= TREE (<= n-1) and adv:∞ never completes.
+type MAdv struct{}
+
+// Name implements scenario.Model.
+func (*MAdv) Name() string { return "madv" }
+
+// Generate implements scenario.Model. The adversary draws are derived
+// entirely from the seed; the scenario carries no op/fault lists.
+func (*MAdv) Generate(seed uint64) *scenario.Scenario {
+	rng := scenario.NewRand(seed)
+	return &scenario.Scenario{Model: "madv", Seed: seed, Procs: 4 + rng.Intn(5)}
+}
+
+// Run implements scenario.Model.
+func (m *MAdv) Run(sc *scenario.Scenario) *scenario.Result {
+	res := &scenario.Result{}
+	n := sc.Procs
+	cfg := scenario.NewRand(sc.Seed).Derive(100)
+	base := graph.Complete(n)
+	treeSeed := cfg.Int63()
+	tourSeed := cfg.Int63()
+	dropSeed := cfg.Int63()
+
+	// TREE: structural legality of every emitted graph, and the n-1
+	// dissemination bound via the shared reference closure.
+	tree := madv.NewSpanningTree(treeSeed)
+	known := make([]uint64, n)
+	for v := range known {
+		known[v] = 1 << uint(v)
+	}
+	full := uint64(1)<<uint(n) - 1
+	for r := 1; r <= n-1; r++ {
+		g := tree.Graph(r, base, nil)
+		if !madv.CheckTree(g) {
+			res.Failf("TREE round %d: emitted graph is not a symmetric spanning tree", r)
+			return res
+		}
+		prev := append([]uint64(nil), known...)
+		for u := 0; u < n; u++ {
+			for _, v := range g.Out(u) {
+				known[v] |= prev[u]
+			}
+		}
+		res.Tracef("TREE round %d: %d arcs", r, g.ArcCount())
+	}
+	for v := range known {
+		if known[v] != full {
+			res.Failf("TREE: process %d incomplete after n-1=%d rounds (mask %b) — §3.3 bound violated", v, n-1, known[v])
+		}
+	}
+
+	// TOUR: every pair keeps at least one direction, every round.
+	tour := madv.NewTournament(tourSeed, cfg.Float64()/2)
+	for r := 1; r <= n; r++ {
+		g := tour.Graph(r, base, nil)
+		if !madv.CheckTournament(g) {
+			res.Failf("TOUR round %d: emitted graph drops both directions of some pair", r)
+			return res
+		}
+		res.Tracef("TOUR round %d: %d arcs", r, g.ArcCount())
+	}
+
+	// Drop: per-round arc sets are nested as p grows, on the same seed.
+	ps := []float64{0.2, 0.5, 0.8}
+	drops := make([]*madv.Drop, len(ps))
+	for i, p := range ps {
+		drops[i] = madv.NewDrop(dropSeed, p)
+	}
+	for r := 1; r <= 3; r++ {
+		var arcSets []map[[2]int]bool
+		for _, d := range drops {
+			g := d.Graph(r, base, nil)
+			set := map[[2]int]bool{}
+			for u := 0; u < n; u++ {
+				for _, v := range g.Out(u) {
+					set[[2]int{u, v}] = true
+				}
+			}
+			arcSets = append(arcSets, set)
+		}
+		for i := 1; i < len(arcSets); i++ {
+			for arc := range arcSets[i] {
+				if !arcSets[i-1][arc] {
+					res.Failf("Drop round %d: arc %v survives p=%.1f but not p=%.1f — suppression is not monotone",
+						r, arc, ps[i], ps[i-1])
+				}
+			}
+		}
+		res.Tracef("Drop round %d: |arcs| %d >= %d >= %d", r, len(arcSets[0]), len(arcSets[1]), len(arcSets[2]))
+	}
+
+	// Lattice ends: adv:∅ disseminates in one round on the complete
+	// graph; adv:∞ never does.
+	noneKnown := make([]uint64, n)
+	for v := range noneKnown {
+		noneKnown[v] = 1 << uint(v)
+	}
+	g := round.None{}.Graph(1, base, nil)
+	prev := append([]uint64(nil), noneKnown...)
+	for u := 0; u < n; u++ {
+		for _, v := range g.Out(u) {
+			noneKnown[v] |= prev[u]
+		}
+	}
+	for v := range noneKnown {
+		if noneKnown[v] != full {
+			res.Failf("adv:∅: process %d incomplete after one round on the complete graph", v)
+		}
+	}
+	if fullG := (madv.Full{}).Graph(1, base, nil); fullG.ArcCount() != 0 {
+		res.Failf("adv:∞ delivered %d arcs; it must suppress everything", fullG.ArcCount())
+	}
+	if !res.Failed {
+		res.Tracef("lattice invariants hold for n=%d", n)
+	}
+	res.Completed = n
+	return res
+}

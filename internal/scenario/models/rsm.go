@@ -1,0 +1,156 @@
+package models
+
+import (
+	"fmt"
+
+	"distbasics/internal/amp"
+	"distbasics/internal/check"
+	"distbasics/internal/rsm"
+	"distbasics/internal/scenario"
+)
+
+// RSM is the schedule-fuzz linearizability model for the replicated
+// state machine: several client replicas each own one key and chain put
+// commands through TO-broadcast, treating a command as returned when its
+// own replica applies it (Node.OnApply) and reading the key's local
+// state at that point — a valid linearization read, because the client's
+// prior puts are exactly the completed ops on that key. The combined
+// multi-key history is checked per key via RegisterArraySpec's
+// Partitioner. Even seeds run benign schedules (every chain completes);
+// odd seeds add a bounded fault schedule that always heals, under which
+// stalled commands stay pending.
+type RSM struct{}
+
+// rsmReplicas/rsmClients/rsmPuts fix the cluster shape: replicas 0..4
+// each own one key, replica 5 is a bystander (and the fault schedule's
+// crash victim).
+const (
+	rsmReplicas = 6
+	rsmClients  = 5
+	rsmPuts     = 21
+)
+
+// Name implements scenario.Model.
+func (*RSM) Name() string { return "rsm" }
+
+// Generate implements scenario.Model.
+func (*RSM) Generate(seed uint64) *scenario.Scenario {
+	rng := scenario.NewRand(seed)
+	sc := &scenario.Scenario{Model: "rsm", Seed: seed, Procs: rsmReplicas}
+	for c := 0; c < rsmClients; c++ {
+		for k := 1; k <= rsmPuts; k++ {
+			sc.Ops = append(sc.Ops, scenario.Op{Proc: c, Kind: scenario.OpPut, Key: c, Val: k})
+		}
+	}
+	if seed%2 == 1 {
+		// Bounded faults that always heal: one minority partition window,
+		// one crash-recovery of the bystander replica, and sometimes an
+		// early lossy window.
+		from := 200 + rng.Int63n(800)
+		sc.Faults = append(sc.Faults, scenario.Fault{
+			Kind: scenario.FaultPartition,
+			From: from, Until: from + 200 + rng.Int63n(600),
+			Group: []int{rng.Intn(rsmReplicas)},
+		})
+		at := rng.Int63n(1200)
+		sc.Faults = append(sc.Faults, scenario.Fault{
+			Kind: scenario.FaultCrash, Proc: rsmClients,
+			From: at, Until: at + 100 + rng.Int63n(500),
+		})
+		if rng.Intn(2) == 0 {
+			lf := rng.Int63n(600)
+			sc.Faults = append(sc.Faults, scenario.Fault{
+				Kind: scenario.FaultDrop, Pct: 15, From: lf, Until: lf + 200, Sub: rng.Int63(),
+			})
+		}
+	}
+	return sc
+}
+
+// Run implements scenario.Model.
+func (*RSM) Run(sc *scenario.Scenario) *scenario.Result {
+	res := &scenario.Result{}
+	cfg := scenario.NewRand(sc.Seed).Derive(100)
+	rec := check.NewRecorder()
+
+	nodes := make([]*rsm.Node, rsmReplicas)
+	procs := make([]amp.Process, rsmReplicas)
+	for j := 0; j < rsmReplicas; j++ {
+		nodes[j] = rsm.NewNode(rsmReplicas, 2*rsmClients*rsmPuts)
+		nodes[j].Omega.Period = 16
+		procs[j] = nodes[j].Stack
+	}
+	sim := amp.NewSim(procs,
+		amp.WithSeed(cfg.Int63()),
+		amp.WithDelay(amp.UniformDelay{Min: 1, Max: amp.Time(2 + cfg.Int63n(6))}),
+		amp.WithAdversary(ampAdversaries(sc.Faults)...))
+
+	for c := 0; c < rsmClients; c++ {
+		c := c
+		chain := sc.OpsFor(c)
+		if len(chain) == 0 {
+			continue
+		}
+		think := scenario.NewRand(sc.Seed).Derive(uint64(200 + c))
+		next := 0
+		var waitID any
+		var inv *check.Invocation
+		var submit func()
+		submit = func() {
+			if next >= len(chain) {
+				return
+			}
+			op := chain[next]
+			key := fmt.Sprintf("k%d", op.Key)
+			inv = rec.Call(c, check.KeyedOp{Key: key, Op: check.WriteOp{V: op.Val}})
+			waitID = nodes[c].Submit(nodes[c].Ctx(), rsm.Command{Op: "put", Key: key, Val: op.Val})
+		}
+		nodes[c].OnApply = func(e rsm.Entry, _ amp.Time) {
+			if inv == nil || e.ID != waitID {
+				return
+			}
+			op := chain[next]
+			key := fmt.Sprintf("k%d", op.Key)
+			inv.Return(nil)
+			inv = nil
+			// Read the key at the apply point: state reflects exactly the
+			// totally-ordered prefix including this put.
+			rinv := rec.Call(c, check.KeyedOp{Key: key, Op: check.ReadOp{}})
+			rinv.Return(nodes[c].Get(key))
+			next++
+			sim.Schedule(sim.Now()+amp.Time(1+think.Int63n(120)), submit)
+		}
+		sim.Schedule(amp.Time(1+think.Int63n(100)), submit)
+	}
+	sim.Run(400_000)
+
+	h := rec.History()
+	for _, op := range h {
+		if op.Return == check.Pending {
+			res.Pending++
+		} else {
+			res.Completed++
+		}
+		res.Tracef("p%d %v @[%d,%d] -> %v", op.Proc, op.Arg, op.Call, op.Return, op.Out)
+	}
+	if len(h) == 0 {
+		res.Tracef("empty history")
+		return res
+	}
+	spec := check.RegisterArraySpec{}
+	lin, err := check.Linearizable(spec, h)
+	if err != nil {
+		res.Failf("checker error: %v", err)
+		return res
+	}
+	if !lin.OK {
+		res.Failf("linearizability violation: %d ops over %d partitions", len(h), lin.Partitions)
+		return res
+	}
+	if err := check.ValidateOrder(spec, h, lin.Order); err != nil {
+		res.Failf("witness invalid: %v", err)
+		return res
+	}
+	res.Tracef("linearizable: %d ops over %d partitions", len(h), lin.Partitions)
+	return res
+}

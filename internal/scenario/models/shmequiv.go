@@ -1,0 +1,152 @@
+package models
+
+import (
+	"fmt"
+	"math/rand"
+	"reflect"
+
+	"distbasics/internal/scenario"
+	"distbasics/internal/shm"
+)
+
+// ShmEquiv is the differential model for the shared-memory engines: the
+// rebuilt coroutine-arena engine (shm.Execute) must produce outcomes
+// identical to the seed-era channel engine (shm.ExecuteLegacy) for the
+// same program under the same policy, across racy bodies, crashes,
+// cutoffs, and solo schedules. The scenario's Ops carry one process
+// body descriptor each (Key = body shape, Val = repetitions), so the
+// shrinker can peel processes off a divergence.
+type ShmEquiv struct{}
+
+// Name implements scenario.Model.
+func (*ShmEquiv) Name() string { return "shmequiv" }
+
+// shmBodyKinds is the number of body shapes in buildShmRun.
+const shmBodyKinds = 5
+
+// Generate implements scenario.Model.
+func (*ShmEquiv) Generate(seed uint64) *scenario.Scenario {
+	rng := scenario.NewRand(seed)
+	n := 1 + rng.Intn(4)
+	sc := &scenario.Scenario{Model: "shmequiv", Seed: seed, Procs: n}
+	for i := 0; i < n; i++ {
+		sc.Ops = append(sc.Ops, scenario.Op{
+			Proc: i, Kind: scenario.OpBody,
+			Key: rng.Intn(shmBodyKinds), Val: 1 + rng.Intn(4),
+		})
+	}
+	return sc
+}
+
+// buildShmRun materializes the scenario's body descriptors into a fresh
+// program over fresh shared objects: racy read-modify-write chains,
+// value-dependent branching, bounded spins, atomless bodies, and flag
+// setters — schedule-sensitive in outputs, step counts, and
+// termination.
+func buildShmRun(sc *scenario.Scenario) *shm.Run {
+	regs := shm.NewRegisterArray(3, 0)
+	faa := shm.NewFetchAndAdd(0)
+	tas := shm.NewTestAndSet()
+	bodies := make([]func(*shm.Proc) any, len(sc.Ops))
+	for b, op := range sc.Ops {
+		reps := op.Val
+		i := op.Proc
+		switch op.Key % shmBodyKinds {
+		case 0: // racy read-then-write chain
+			bodies[b] = func(p *shm.Proc) any {
+				tot := 0
+				for k := 0; k < reps; k++ {
+					v := regs.Reg(k % 3).Read(p).(int)
+					regs.Reg((k+1)%3).Write(p, v+1)
+					tot += v
+				}
+				return tot
+			}
+		case 1: // control flow depends on observed shared state
+			bodies[b] = func(p *shm.Proc) any {
+				if !tas.TestAndSet(p) {
+					faa.Add(p, 2)
+					return "winner"
+				}
+				v := faa.Read(p)
+				if v%2 == 0 {
+					regs.Reg(0).Write(p, int(v))
+				} else {
+					p.Yield()
+					regs.Reg(1).Write(p, int(v))
+				}
+				return v
+			}
+		case 2: // bounded spin on a flag (long runs, cutoff fodder)
+			bodies[b] = func(p *shm.Proc) any {
+				for j := 0; j < 30; j++ {
+					if regs.Reg(2).Read(p).(int) != 0 {
+						return j
+					}
+				}
+				return -1
+			}
+		case 3: // no atomic steps at all
+			bodies[b] = func(p *shm.Proc) any { return i * 100 }
+		default: // flag setter
+			bodies[b] = func(p *shm.Proc) any {
+				faa.Add(p, 1)
+				regs.Reg(2).Write(p, 1)
+				return nil
+			}
+		}
+	}
+	return &shm.Run{Bodies: bodies}
+}
+
+// shmPolicyFor builds matching policy instances (fresh internal state,
+// same seed) and the step budget for one equivalence scenario.
+func shmPolicyFor(sc *scenario.Scenario) (func() shm.Policy, int) {
+	cfg := scenario.NewRand(sc.Seed).Derive(100)
+	polSeed := cfg.Int63()
+	budgets := []int{0, 7, 25, 200}
+	maxSteps := budgets[cfg.Intn(len(budgets))]
+	var mk func() shm.Policy
+	switch cfg.Intn(4) {
+	case 0:
+		mk = func() shm.Policy { return &shm.RoundRobinPolicy{} }
+	case 1:
+		mk = func() shm.Policy {
+			return &shm.RandomPolicy{Rng: rand.New(rand.NewSource(polSeed)), CrashProb: 0.15, MaxCrashes: 2}
+		}
+	case 2:
+		mk = func() shm.Policy { return shm.NewRandomPolicy(polSeed) }
+	default:
+		mk = func() shm.Policy {
+			return &shm.SoloPolicy{Rng: rand.New(rand.NewSource(polSeed)), Prefix: 5, Solo: 0}
+		}
+	}
+	return mk, maxSteps
+}
+
+// Run implements scenario.Model.
+func (*ShmEquiv) Run(sc *scenario.Scenario) *scenario.Result {
+	res := &scenario.Result{}
+	if len(sc.Ops) == 0 {
+		res.Tracef("degenerate: no bodies")
+		return res
+	}
+	mkPolicy, maxSteps := shmPolicyFor(sc)
+	got := shm.Execute(buildShmRun(sc), mkPolicy(), maxSteps)
+	want := shm.ExecuteLegacy(buildShmRun(sc), mkPolicy(), maxSteps)
+	res.Tracef("bodies=%d maxSteps=%d", len(sc.Ops), maxSteps)
+	res.Tracef("new:    %s", outcomeString(got))
+	res.Tracef("legacy: %s", outcomeString(want))
+	if !reflect.DeepEqual(got, want) {
+		res.Failf("engine outcomes diverge: new %s, legacy %s", outcomeString(got), outcomeString(want))
+		return res
+	}
+	res.Completed = got.Steps
+	return res
+}
+
+// outcomeString renders an Outcome deterministically.
+func outcomeString(o *shm.Outcome) string {
+	return fmt.Sprintf("outputs=%v finished=%v crashed=%v steps=%d stepsBy=%v cutoff=%v stopped=%v",
+		o.Outputs, o.Finished, o.Crashed, o.Steps, o.StepsBy, o.Cutoff, o.Stopped)
+}

@@ -1,0 +1,37 @@
+package scenario
+
+import "fmt"
+
+// TB is the subset of *testing.T the reporter needs (also satisfied by
+// *testing.F and *testing.B).
+type TB interface {
+	Helper()
+	Errorf(format string, args ...any)
+}
+
+// ReplayCommand returns the exact basicsfuzz invocation that replays the
+// given model seed.
+func ReplayCommand(model string, seed uint64) string {
+	return fmt.Sprintf("go run ./cmd/basicsfuzz -model=%s -seed=%d -v", model, seed)
+}
+
+// Reportf is the one failure-reporting channel for every randomized test
+// in the repository: it fails t with the message and appends the exact
+// basicsfuzz invocation that replays the failing seed. Tests must route
+// seeded failures through it (rather than hand-rolling seed printing)
+// so every failure is replayable the same way.
+func Reportf(t TB, model string, seed uint64, format string, args ...any) {
+	t.Helper()
+	t.Errorf("%s\n  replay: %s", fmt.Sprintf(format, args...), ReplayCommand(model, seed))
+}
+
+// ReportScenariof is Reportf for an explicit (possibly shrunk) scenario:
+// besides the seed replay command it prints the scenario's encoded form,
+// which basicsfuzz -replay accepts from a file, and its Go literal for
+// pinning as a regression test.
+func ReportScenariof(t TB, sc *Scenario, format string, args ...any) {
+	t.Helper()
+	t.Errorf("%s\n  scenario: %s\n  replay: %s\n  encoded reproducer (save to a file, then `go run ./cmd/basicsfuzz -replay=FILE -v`):\n%s\n  pinned literal:\n%s",
+		fmt.Sprintf(format, args...), sc.Summary(), ReplayCommand(sc.Model, sc.Seed),
+		string(sc.Encode()), sc.GoLiteral())
+}

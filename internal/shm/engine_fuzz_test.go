@@ -1,0 +1,53 @@
+package shm_test
+
+// Seeded differential sweep of the controlled-execution engines on the
+// scenario harness: the "shmequiv" model runs the same random program —
+// racy bodies, crashes, cutoffs, solo schedules — through the rebuilt
+// coroutine engine and the seed-era channel engine and requires
+// identical outcomes. FuzzExecuteEquivalence exposes the same property
+// as a native Go fuzz target (`go test -fuzz`), with a seed corpus
+// under testdata/fuzz.
+
+import (
+	"testing"
+
+	"distbasics/internal/scenario"
+	"distbasics/internal/scenario/models"
+)
+
+func TestExecuteMatchesLegacy(t *testing.T) {
+	m := &models.ShmEquiv{}
+	for seed := uint64(0); seed < 120; seed++ {
+		res := m.Run(m.Generate(seed))
+		if res.Failed {
+			scenario.Reportf(t, m.Name(), seed, "engines diverge: %s", res.Reason)
+		}
+	}
+}
+
+// TestExploreMatchesLegacy sweeps the "shmexplore" model: on seeded
+// random small programs, the rebuilt leaf-only explorer (serial and
+// parallel) must report byte-identical execution counts, violations,
+// schedules, and truncation to the seed-era DFS, across crash budgets.
+func TestExploreMatchesLegacy(t *testing.T) {
+	m := &models.ShmExplore{}
+	for seed := uint64(0); seed < 60; seed++ {
+		res := m.Run(m.Generate(seed))
+		if res.Failed {
+			scenario.Reportf(t, m.Name(), seed, "explorers diverge: %s", res.Reason)
+		}
+	}
+}
+
+func FuzzExecuteEquivalence(f *testing.F) {
+	for _, seed := range []uint64{0, 3, 17, 256, 88888} {
+		f.Add(seed)
+	}
+	m := &models.ShmEquiv{}
+	f.Fuzz(func(t *testing.T, seed uint64) {
+		res := m.Run(m.Generate(seed))
+		if res.Failed {
+			scenario.Reportf(t, m.Name(), seed, "engines diverge: %s", res.Reason)
+		}
+	})
+}

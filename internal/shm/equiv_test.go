@@ -5,32 +5,31 @@ package shm
 // (ExecuteLegacy) under seeded policies with crashes and cutoffs, and the
 // leaf-only explorer — serial and parallel — must report byte-identical
 // execution counts, violations, and violation schedules to the seed DFS.
+//
+// The seeded random-program Execute sweep lives on the scenario harness
+// (the "shmequiv" model, driven from engine_fuzz_test.go and fuzz-fenced
+// by FuzzExecuteEquivalence); this in-package file keeps the explorer
+// differentials and the StopRun test, which reach engine internals.
 
 import (
-	"fmt"
 	"math/rand"
 	"reflect"
 	"testing"
 )
 
-// randomProgramFactory returns a factory for a deterministic program of
-// 1..4 processes whose bodies mix racy read-modify-writes, value-dependent
-// branching, bounded spin loops, atomless bodies, and flag setters —
-// schedule-sensitive in outputs, step counts, and termination.
-func randomProgramFactory(seed int64) func() *Run {
+// stopRunProgramFactory builds a small racy program for the StopRun
+// differential (the harness's shmequiv model owns the full random
+// program family).
+func stopRunProgramFactory(seed int64) func() *Run {
 	return func() *Run {
 		rng := rand.New(rand.NewSource(seed))
 		n := 1 + rng.Intn(4)
 		regs := NewRegisterArray(3, 0)
-		faa := NewFetchAndAdd(0)
-		tas := NewTestAndSet()
 		bodies := make([]func(*Proc) any, n)
 		for i := range bodies {
-			kind := rng.Intn(5)
 			reps := 1 + rng.Intn(4)
 			i := i
-			switch kind {
-			case 0: // racy read-then-write chain
+			if i%2 == 0 {
 				bodies[i] = func(p *Proc) any {
 					tot := 0
 					for k := 0; k < reps; k++ {
@@ -40,74 +39,11 @@ func randomProgramFactory(seed int64) func() *Run {
 					}
 					return tot
 				}
-			case 1: // control flow depends on observed shared state
-				bodies[i] = func(p *Proc) any {
-					if !tas.TestAndSet(p) {
-						faa.Add(p, 2)
-						return "winner"
-					}
-					v := faa.Read(p)
-					if v%2 == 0 {
-						regs.Reg(0).Write(p, int(v))
-					} else {
-						p.Yield()
-						regs.Reg(1).Write(p, int(v))
-					}
-					return v
-				}
-			case 2: // bounded spin on a flag (long runs, cutoff fodder)
-				bodies[i] = func(p *Proc) any {
-					for j := 0; j < 30; j++ {
-						if regs.Reg(2).Read(p).(int) != 0 {
-							return j
-						}
-					}
-					return -1
-				}
-			case 3: // no atomic steps at all
+			} else {
 				bodies[i] = func(p *Proc) any { return i * 100 }
-			default: // flag setter
-				bodies[i] = func(p *Proc) any {
-					faa.Add(p, 1)
-					regs.Reg(2).Write(p, 1)
-					return nil
-				}
 			}
 		}
 		return &Run{Bodies: bodies}
-	}
-}
-
-// policyFor builds matching policy instances (fresh internal state, same
-// seed) for one equivalence scenario.
-func policyFor(scenario int, seed int64) func() Policy {
-	switch scenario % 4 {
-	case 0:
-		return func() Policy { return &RoundRobinPolicy{} }
-	case 1:
-		return func() Policy {
-			return &RandomPolicy{Rng: rand.New(rand.NewSource(seed)), CrashProb: 0.15, MaxCrashes: 2}
-		}
-	case 2:
-		return func() Policy { return NewRandomPolicy(seed) }
-	default:
-		return func() Policy {
-			return &SoloPolicy{Rng: rand.New(rand.NewSource(seed)), Prefix: 5, Solo: 0}
-		}
-	}
-}
-
-func TestExecuteMatchesLegacy(t *testing.T) {
-	budgets := []int{0, 7, 25, 200}
-	for seed := int64(0); seed < 120; seed++ {
-		factory := randomProgramFactory(seed)
-		mkPolicy := policyFor(int(seed), seed*31+7)
-		maxSteps := budgets[int(seed)%len(budgets)]
-		got := Execute(factory(), mkPolicy(), maxSteps)
-		want := ExecuteLegacy(factory(), mkPolicy(), maxSteps)
-		if !reflect.DeepEqual(got, want) {
-			t.Fatalf("seed %d: engine outcomes diverge\nnew:    %+v\nlegacy: %+v", seed, got, want)
-		}
 	}
 }
 
@@ -115,7 +51,7 @@ func TestExecuteStopRunMatchesLegacy(t *testing.T) {
 	// A FixedPolicy whose schedule runs out mid-execution must stop the
 	// run identically on both engines, reporting Stopped (not Cutoff).
 	for seed := int64(0); seed < 40; seed++ {
-		factory := randomProgramFactory(seed)
+		factory := stopRunProgramFactory(seed)
 		sched := []Decision{{Kind: StepProc, Pid: 0}, {Kind: StepProc, Pid: 0}}
 		got, gotEnabled := executeInternal(factory(), &FixedPolicy{Schedule: sched}, 0)
 		want, wantEnabled := executeLegacy(factory(), &FixedPolicy{Schedule: sched}, 0)
@@ -128,44 +64,6 @@ func TestExecuteStopRunMatchesLegacy(t *testing.T) {
 		if got.Stopped && got.Cutoff {
 			t.Fatalf("seed %d: Stopped and Cutoff both set", seed)
 		}
-	}
-}
-
-// exploreProgramFactory builds small programs (n <= 3, short bodies) so
-// exhaustive trees stay tractable.
-func exploreProgramFactory(seed int64) func() *Run {
-	return func() *Run {
-		rng := rand.New(rand.NewSource(seed))
-		n := 1 + rng.Intn(3)
-		reg := NewRegister(0)
-		faa := NewFetchAndAdd(0)
-		bodies := make([]func(*Proc) any, n)
-		for i := range bodies {
-			kind := rng.Intn(3)
-			reps := 1 + rng.Intn(2)
-			i := i
-			switch kind {
-			case 0:
-				bodies[i] = func(p *Proc) any {
-					for k := 0; k < reps; k++ {
-						v := reg.Read(p).(int)
-						reg.Write(p, v+1)
-					}
-					return reg.Read(p)
-				}
-			case 1:
-				bodies[i] = func(p *Proc) any {
-					old := faa.Add(p, 1)
-					if old == 0 {
-						reg.Write(p, 10+i)
-					}
-					return old
-				}
-			default:
-				bodies[i] = func(p *Proc) any { return i }
-			}
-		}
-		return &Run{Bodies: bodies}
 	}
 }
 
@@ -185,38 +83,10 @@ func exploreResultsEqual(t *testing.T, label string, got, want *ExploreResult) {
 	}
 }
 
-func TestExploreMatchesLegacy(t *testing.T) {
-	for seed := int64(0); seed < 60; seed++ {
-		factory := exploreProgramFactory(seed)
-		for _, maxCrashes := range []int{0, 1, 2} {
-			// A check that flags some executions as violations so violation
-			// schedules are exercised, not just counts.
-			check := func(out *Outcome) string {
-				survivors := 0
-				for i := range out.Finished {
-					if out.Finished[i] {
-						survivors++
-					}
-				}
-				if survivors == 0 && len(out.Finished) > 1 {
-					return fmt.Sprintf("everyone dead: %+v", out.Crashed)
-				}
-				return ""
-			}
-			opts := ExploreOpts{
-				Factory:       factory,
-				MaxCrashes:    maxCrashes,
-				MaxExecutions: 4000,
-				Check:         check,
-			}
-			got := Explore(opts)
-			legacy := opts
-			legacy.Legacy = true
-			want := Explore(legacy)
-			exploreResultsEqual(t, fmt.Sprintf("seed %d crashes %d", seed, maxCrashes), got, want)
-		}
-	}
-}
+// The seeded random explorer differential sweep (legacy vs rebuilt vs
+// parallel) lives on the scenario harness — the "shmexplore" model,
+// driven from engine_fuzz_test.go. The tests below keep the fixed
+// deterministic pins.
 
 func TestExploreCutoffLeavesMatchLegacy(t *testing.T) {
 	// Unbounded spinners force every branch to the per-execution step
@@ -256,23 +126,6 @@ func TestExploreCutoffLeavesMatchLegacy(t *testing.T) {
 	legacy.Legacy = true
 	want := Explore(legacy)
 	exploreResultsEqual(t, "cutoff tree", got, want)
-}
-
-func TestExploreParallelMatchesSerial(t *testing.T) {
-	for seed := int64(0); seed < 30; seed++ {
-		factory := exploreProgramFactory(seed)
-		check := func(out *Outcome) string {
-			for i := range out.Outputs {
-				if v, ok := out.Outputs[i].(int); ok && v >= 3 {
-					return fmt.Sprintf("process %d saw %d", i, v)
-				}
-			}
-			return ""
-		}
-		serial := Explore(ExploreOpts{Factory: factory, MaxCrashes: 1, Check: check})
-		parallel := Explore(ExploreOpts{Factory: factory, MaxCrashes: 1, Check: check, Workers: 4})
-		exploreResultsEqual(t, fmt.Sprintf("seed %d", seed), parallel, serial)
-	}
 }
 
 func TestReplayViolationMatchesLegacyReplay(t *testing.T) {

@@ -1,99 +1,46 @@
 package universal_test
 
-// Schedule-fuzz linearizability for the universal construction at the
-// rebuilt checker's scale: n processes drive a constructed KV object
-// through hundreds of operations under seeded random schedules (with
-// and without crash injection), and the recorded multi-key history —
-// far beyond the checker's 63-op-per-partition cap as a whole — is
-// checked per key via KVSpec's Partitioner and replay-validated through
-// the shared witness validator.
+// Schedule-fuzz linearizability for the universal construction, running
+// on the shared scenario harness: the "universal" model drives a
+// constructed KV object through hundreds of operations under seeded
+// random shared-memory schedules — with scenario-scheduled crashes on
+// odd seeds — and checks the recorded multi-key history per key via
+// KVSpec's Partitioner plus the shared witness validator. Generator,
+// crash plumbing, and replay live in the harness; failures print the
+// exact basicsfuzz invocation.
 
 import (
-	"fmt"
 	"testing"
 
-	"distbasics/internal/check"
-	"distbasics/internal/shm"
-	"distbasics/internal/universal"
+	"distbasics/internal/scenario"
+	"distbasics/internal/scenario/models"
 )
 
-// runKVFuzz executes one seeded schedule and returns the recorded
-// history. With crashProb > 0 some processes may crash mid-run, leaving
-// pending operations.
-func runKVFuzz(t *testing.T, seed int64, crashProb float64) check.History {
-	t.Helper()
-	const n, perProc, keys = 4, 60, 8
-	u := universal.NewUniversal(n, universal.KVSpec{})
-	rec := check.NewRecorder()
-	bodies := make([]func(*shm.Proc) any, n)
-	for i := 0; i < n; i++ {
-		i := i
-		bodies[i] = func(p *shm.Proc) any {
-			h := u.Handle(p)
-			for j := 0; j < perProc; j++ {
-				key := fmt.Sprintf("k%d", (i*perProc+j)%keys)
-				var op any
-				if (i+j)%3 == 0 {
-					op = universal.GetOp{K: key}
-				} else {
-					op = universal.PutOp{K: key, V: i*1000 + j}
-				}
-				inv := rec.Call(i, op)
-				inv.Return(h.Invoke(op))
-			}
-			return nil
-		}
-	}
-	pol := shm.NewRandomPolicy(seed)
-	if crashProb > 0 {
-		pol.CrashProb = crashProb
-		pol.MaxCrashes = n - 1
-	}
-	shm.Execute(&shm.Run{Bodies: bodies}, pol, 50_000_000)
-	return rec.History()
-}
-
 func TestUniversalKVPartitionedLinearizable(t *testing.T) {
-	for seed := int64(1); seed <= 6; seed++ {
-		h := runKVFuzz(t, seed, 0)
-		if len(h) < 200 {
-			t.Fatalf("seed %d: history has %d ops, want >= 200", seed, len(h))
+	m := &models.Universal{}
+	for seed := uint64(2); seed <= 12; seed += 2 { // even seeds: crash-free
+		res := m.Run(m.Generate(seed))
+		if res.Failed {
+			scenario.Reportf(t, m.Name(), seed, "KV history not linearizable: %s", res.Reason)
+			continue
 		}
-		res, err := check.Linearizable(universal.KVSpec{}, h)
-		if err != nil {
-			t.Fatalf("seed %d: %v", seed, err)
-		}
-		if !res.OK {
-			t.Fatalf("seed %d: %d-op KV history not linearizable (%d states explored over %d partitions)",
-				seed, len(h), res.Explored, res.Partitions)
-		}
-		if res.Partitions != 8 {
-			t.Fatalf("seed %d: %d partitions, want 8", seed, res.Partitions)
-		}
-		if err := check.ValidateOrder(universal.KVSpec{}, h, res.Order); err != nil {
-			t.Fatalf("seed %d: witness invalid: %v", seed, err)
+		if res.Completed < 200 {
+			scenario.Reportf(t, m.Name(), seed, "history has %d completed ops, want >= 200", res.Completed)
 		}
 	}
 }
 
 func TestUniversalKVPartitionedLinearizableUnderCrashes(t *testing.T) {
+	m := &models.Universal{}
 	sawPending := false
-	for seed := int64(1); seed <= 6; seed++ {
-		h := runKVFuzz(t, seed, 0.001)
-		for _, op := range h {
-			if op.Return == check.Pending {
-				sawPending = true
-			}
+	for seed := uint64(1); seed <= 11; seed += 2 { // odd seeds: scheduled crashes
+		res := m.Run(m.Generate(seed))
+		if res.Failed {
+			scenario.Reportf(t, m.Name(), seed, "crashy KV history not linearizable: %s", res.Reason)
+			continue
 		}
-		res, err := check.Linearizable(universal.KVSpec{}, h)
-		if err != nil {
-			t.Fatalf("seed %d: %v", seed, err)
-		}
-		if !res.OK {
-			t.Fatalf("seed %d: crashy KV history not linearizable", seed)
-		}
-		if err := check.ValidateOrder(universal.KVSpec{}, h, res.Order); err != nil {
-			t.Fatalf("seed %d: witness invalid: %v", seed, err)
+		if res.Pending > 0 {
+			sawPending = true
 		}
 	}
 	if !sawPending {
