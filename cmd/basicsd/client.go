@@ -1,0 +1,119 @@
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"net"
+	"time"
+)
+
+// rpcClient is one connection to a node's client port. It is not safe
+// for concurrent use: one client is one logical history process, so its
+// operations are sequential by construction.
+type rpcClient struct {
+	addr string
+	conn net.Conn
+	dec  *json.Decoder
+	enc  *json.Encoder
+}
+
+func newRPCClient(addr string) *rpcClient { return &rpcClient{addr: addr} }
+
+func (c *rpcClient) connect() error {
+	conn, err := net.DialTimeout("tcp", c.addr, 2*time.Second)
+	if err != nil {
+		return err
+	}
+	c.conn = conn
+	c.dec = json.NewDecoder(bufio.NewReader(conn))
+	c.enc = json.NewEncoder(conn)
+	return nil
+}
+
+func (c *rpcClient) close() {
+	if c.conn != nil {
+		c.conn.Close()
+		c.conn = nil
+	}
+}
+
+// errNeverSent marks a request that failed before any byte reached the
+// node: the operation definitely did not take effect, so the driver may
+// record it as a clean failure rather than an ambiguous pending op.
+type errNeverSent struct{ err error }
+
+func (e errNeverSent) Error() string { return fmt.Sprintf("never sent: %v", e.err) }
+
+// call sends one request and waits for its reply, with an overall
+// deadline. A dial failure is unambiguous (errNeverSent); any error
+// after the request was written is ambiguous — the op may or may not
+// apply — and the caller must treat it as pending. The connection is
+// dropped on any error so the next call re-dials (a killed node's
+// restart rebinds the same address).
+func (c *rpcClient) call(req rpcRequest, deadline time.Duration) (rpcResponse, error) {
+	if c.conn == nil {
+		if err := c.connect(); err != nil {
+			return rpcResponse{}, errNeverSent{err}
+		}
+	}
+	c.conn.SetDeadline(time.Now().Add(deadline))
+	if err := c.enc.Encode(req); err != nil {
+		c.close()
+		// The encoder may have flushed part of the request; ambiguous.
+		return rpcResponse{}, fmt.Errorf("send %s: %w", req.Op, err)
+	}
+	var resp rpcResponse
+	if err := c.dec.Decode(&resp); err != nil {
+		c.close()
+		return rpcResponse{}, fmt.Errorf("recv %s: %w", req.Op, err)
+	}
+	if !resp.OK {
+		return resp, fmt.Errorf("node error: %s", resp.Err)
+	}
+	return resp, nil
+}
+
+// put / get / uid / order are thin typed wrappers.
+
+func (c *rpcClient) put(key string, val int, d time.Duration) error {
+	_, err := c.call(rpcRequest{Op: "put", Key: key, Val: val}, d)
+	return err
+}
+
+func (c *rpcClient) get(key string, d time.Duration) (any, error) {
+	resp, err := c.call(rpcRequest{Op: "get", Key: key}, d)
+	if err != nil {
+		return nil, err
+	}
+	return jsonVal(resp.Val), nil
+}
+
+func (c *rpcClient) bcast(tag string, d time.Duration) error {
+	_, err := c.call(rpcRequest{Op: "bcast", Key: tag}, d)
+	return err
+}
+
+func (c *rpcClient) uid(d time.Duration) (string, error) {
+	resp, err := c.call(rpcRequest{Op: "uid"}, d)
+	if err != nil {
+		return "", err
+	}
+	return resp.ID, nil
+}
+
+func (c *rpcClient) order(d time.Duration) ([]string, error) {
+	resp, err := c.call(rpcRequest{Op: "order"}, d)
+	if err != nil {
+		return nil, err
+	}
+	return resp.Order, nil
+}
+
+func (c *rpcClient) stat(d time.Duration) (int, error) {
+	resp, err := c.call(rpcRequest{Op: "stat"}, d)
+	if err != nil {
+		return 0, err
+	}
+	return resp.Applied, nil
+}

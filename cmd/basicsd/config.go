@@ -1,0 +1,139 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"net"
+	"os"
+	"time"
+
+	"distbasics/internal/amp"
+	"distbasics/internal/transport"
+)
+
+// Config is the cluster description shared by every node and the
+// workload driver: one entry per node in each list, all indexed by node
+// id. The e2e orchestrator writes it once and passes the same file to
+// every process.
+type Config struct {
+	// Peers are the transport (node-to-node) listen addresses.
+	Peers []string `json:"peers"`
+	// Clients are the client-RPC listen addresses.
+	Clients []string `json:"clients"`
+	// Journals are the per-node journal file paths ("" disables
+	// persistence, losing kill -9 survival).
+	Journals []string `json:"journals"`
+	// Chaos is the fault schedule every node injects on its outbound
+	// links (windows are in clock ticks since that node's boot).
+	Chaos []ChaosConfig `json:"chaos,omitempty"`
+	// UnitMS is the clock tick length in milliseconds (default 2).
+	UnitMS int `json:"unit_ms,omitempty"`
+	// MaxSlots caps consensus slots per node (default 1024).
+	MaxSlots int `json:"max_slots,omitempty"`
+}
+
+// ChaosConfig is one transport.ChaosRule in JSON form.
+type ChaosConfig struct {
+	Kind  string `json:"kind"` // drop, partition, isolate, delay, duplicate
+	From  int64  `json:"from,omitempty"`
+	Until int64  `json:"until,omitempty"`
+	Pct   int    `json:"pct,omitempty"`
+	Group []int  `json:"group,omitempty"`
+	Seed  int64  `json:"seed,omitempty"`
+}
+
+var chaosKinds = map[string]transport.ChaosKind{
+	"drop":      transport.ChaosDrop,
+	"partition": transport.ChaosPartition,
+	"isolate":   transport.ChaosIsolate,
+	"delay":     transport.ChaosDelay,
+	"duplicate": transport.ChaosDuplicate,
+}
+
+// LoadConfig reads and validates a config file.
+func LoadConfig(path string) (*Config, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var cfg Config
+	if err := json.Unmarshal(data, &cfg); err != nil {
+		return nil, fmt.Errorf("basicsd: parse %s: %w", path, err)
+	}
+	n := len(cfg.Peers)
+	if n == 0 {
+		return nil, fmt.Errorf("basicsd: %s: no peers", path)
+	}
+	if len(cfg.Clients) != n || len(cfg.Journals) != n {
+		return nil, fmt.Errorf("basicsd: %s: peers/clients/journals lengths differ (%d/%d/%d)",
+			path, n, len(cfg.Clients), len(cfg.Journals))
+	}
+	for _, cc := range cfg.Chaos {
+		if _, ok := chaosKinds[cc.Kind]; !ok {
+			return nil, fmt.Errorf("basicsd: %s: unknown chaos kind %q", path, cc.Kind)
+		}
+	}
+	return &cfg, nil
+}
+
+// Write stores the config as JSON.
+func (c *Config) Write(path string) error {
+	data, err := json.MarshalIndent(c, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+// Unit returns the configured clock tick duration.
+func (c *Config) Unit() time.Duration {
+	if c.UnitMS <= 0 {
+		return transport.DefaultUnit
+	}
+	return time.Duration(c.UnitMS) * time.Millisecond
+}
+
+// Slots returns the configured consensus slot cap.
+func (c *Config) Slots() int {
+	if c.MaxSlots <= 0 {
+		return 1024
+	}
+	return c.MaxSlots
+}
+
+// chaosRules converts the schedule for one sending node, giving each
+// rule a per-sender stream so the cluster's faults decorrelate.
+func (c *Config) chaosRules(sender int) []transport.ChaosRule {
+	var rules []transport.ChaosRule
+	for _, cc := range c.Chaos {
+		rules = append(rules, transport.ChaosRule{
+			Kind: chaosKinds[cc.Kind],
+			From: amp.Time(cc.From), Until: amp.Time(cc.Until),
+			Pct: cc.Pct, Group: append([]int(nil), cc.Group...),
+			Seed: cc.Seed ^ int64(sender+1)<<8,
+		})
+	}
+	return rules
+}
+
+// allocAddrs reserves n distinct localhost TCP addresses by binding
+// ephemeral ports and releasing them. The usual small race (another
+// process grabbing a released port) is acceptable for the e2e harness.
+func allocAddrs(n int) ([]string, error) {
+	addrs := make([]string, 0, n)
+	lns := make([]net.Listener, 0, n)
+	defer func() {
+		for _, ln := range lns {
+			ln.Close()
+		}
+	}()
+	for i := 0; i < n; i++ {
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			return nil, err
+		}
+		lns = append(lns, ln)
+		addrs = append(addrs, ln.Addr().String())
+	}
+	return addrs, nil
+}

@@ -1,0 +1,69 @@
+package main
+
+import (
+	"path/filepath"
+	"testing"
+	"time"
+
+	"distbasics/internal/transport"
+)
+
+func TestConfigRoundTrip(t *testing.T) {
+	cfg := &Config{
+		Peers:    []string{"127.0.0.1:1", "127.0.0.1:2", "127.0.0.1:3"},
+		Clients:  []string{"127.0.0.1:4", "127.0.0.1:5", "127.0.0.1:6"},
+		Journals: []string{"a.j", "b.j", ""},
+		Chaos: []ChaosConfig{
+			{Kind: "drop", Pct: 10, From: 100, Until: 200, Seed: 7},
+			{Kind: "partition", Group: []int{2}},
+		},
+		UnitMS:   5,
+		MaxSlots: 128,
+	}
+	path := filepath.Join(t.TempDir(), "cluster.json")
+	if err := cfg.Write(path); err != nil {
+		t.Fatal(err)
+	}
+	got, err := LoadConfig(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Peers) != 3 || got.Peers[1] != "127.0.0.1:2" || got.UnitMS != 5 || got.Slots() != 128 {
+		t.Fatalf("round trip mangled config: %+v", got)
+	}
+	if got.Unit() != 5*time.Millisecond {
+		t.Fatalf("unit = %v", got.Unit())
+	}
+
+	// Per-sender chaos streams must differ (decorrelated faults) while
+	// everything else is preserved.
+	r0, r1 := got.chaosRules(0), got.chaosRules(1)
+	if len(r0) != 2 || r0[0].Kind != transport.ChaosDrop || r0[0].Pct != 10 {
+		t.Fatalf("rules for sender 0: %+v", r0)
+	}
+	if r0[0].Seed == r1[0].Seed {
+		t.Fatal("chaos seeds must differ per sender")
+	}
+	if r0[1].Kind != transport.ChaosPartition || len(r0[1].Group) != 1 || r0[1].Group[0] != 2 {
+		t.Fatalf("partition rule: %+v", r0[1])
+	}
+}
+
+func TestLoadConfigRejectsBadInput(t *testing.T) {
+	dir := t.TempDir()
+	cases := map[string]*Config{
+		"lengths.json": {Peers: []string{"a", "b"}, Clients: []string{"c"}, Journals: []string{"", ""}},
+		"kind.json": {Peers: []string{"a"}, Clients: []string{"b"}, Journals: []string{""},
+			Chaos: []ChaosConfig{{Kind: "meteor"}}},
+		"empty.json": {},
+	}
+	for name, cfg := range cases {
+		path := filepath.Join(dir, name)
+		if err := cfg.Write(path); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := LoadConfig(path); err == nil {
+			t.Errorf("%s: want validation error", name)
+		}
+	}
+}

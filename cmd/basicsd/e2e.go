@@ -1,0 +1,468 @@
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"sync"
+	"sync/atomic"
+	"syscall"
+	"time"
+
+	"distbasics/internal/check"
+)
+
+// e2eOptions parameterize the kill -9 survival demo.
+type e2eOptions struct {
+	Bin     string // basicsd binary for serve subprocesses ("" = self)
+	Dir     string // journal + artifact directory ("" = temp dir)
+	Nodes   int    // cluster size (default 5)
+	Clients int    // concurrent KV clients (default 3)
+	OpsPer  int    // KV ops per client (default 24; <= check.MaxOps per key)
+	Kill    int    // nodes to SIGKILL mid-run (default 2; must stay a minority)
+	Chaos   bool   // inject drop/delay chaos on every node's links
+	Keep    bool   // keep artifacts even on success
+}
+
+func (o e2eOptions) withDefaults() (e2eOptions, error) {
+	if o.Bin == "" {
+		self, err := os.Executable()
+		if err != nil {
+			return o, fmt.Errorf("basicsd: resolve self: %w", err)
+		}
+		o.Bin = self
+	}
+	if o.Nodes <= 0 {
+		o.Nodes = 5
+	}
+	if o.Clients <= 0 {
+		o.Clients = 3
+	}
+	if o.OpsPer <= 0 {
+		o.OpsPer = 24
+	}
+	if o.OpsPer > check.MaxOps {
+		return o, fmt.Errorf("basicsd: %d ops per client exceeds checker bound %d", o.OpsPer, check.MaxOps)
+	}
+	if o.Kill < 0 || 2*o.Kill >= o.Nodes {
+		return o, fmt.Errorf("basicsd: killing %d of %d nodes loses the majority", o.Kill, o.Nodes)
+	}
+	if o.Dir == "" {
+		dir, err := os.MkdirTemp("", "basicsd-e2e-")
+		if err != nil {
+			return o, err
+		}
+		o.Dir = dir
+	} else if err := os.MkdirAll(o.Dir, 0o755); err != nil {
+		return o, err
+	}
+	return o, nil
+}
+
+// cluster manages the serve subprocesses.
+type cluster struct {
+	opt     e2eOptions
+	cfgPath string
+	cfg     *Config
+
+	mu    sync.Mutex
+	procs []*exec.Cmd
+}
+
+// startNode (re)spawns node i with its stdout/stderr appended to the
+// node's log artifact.
+func (c *cluster) startNode(i int) error {
+	logf, err := os.OpenFile(filepath.Join(c.opt.Dir, fmt.Sprintf("node%d.log", i)),
+		os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return err
+	}
+	cmd := exec.Command(c.opt.Bin, "serve", "-config", c.cfgPath, "-id", fmt.Sprint(i))
+	cmd.Stdout = logf
+	cmd.Stderr = logf
+	if err := cmd.Start(); err != nil {
+		logf.Close()
+		return fmt.Errorf("basicsd: start node %d: %w", i, err)
+	}
+	go func() { cmd.Wait(); logf.Close() }()
+	c.mu.Lock()
+	c.procs[i] = cmd
+	c.mu.Unlock()
+	return nil
+}
+
+// kill9 sends SIGKILL to node i — the real thing, not a graceful stop.
+func (c *cluster) kill9(i int) {
+	c.mu.Lock()
+	cmd := c.procs[i]
+	c.mu.Unlock()
+	if cmd != nil && cmd.Process != nil {
+		cmd.Process.Signal(syscall.SIGKILL)
+	}
+}
+
+func (c *cluster) stopAll() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for _, cmd := range c.procs {
+		if cmd != nil && cmd.Process != nil {
+			cmd.Process.Signal(syscall.SIGKILL)
+		}
+	}
+}
+
+// waitReady blocks until node i answers a stat RPC (or the deadline
+// passes).
+func (c *cluster) waitReady(i int, deadline time.Duration) error {
+	cl := newRPCClient(c.cfg.Clients[i])
+	defer cl.close()
+	end := time.Now().Add(deadline)
+	for time.Now().Before(end) {
+		if _, err := cl.stat(2 * time.Second); err == nil {
+			return nil
+		}
+		cl.close()
+		time.Sleep(100 * time.Millisecond)
+	}
+	return fmt.Errorf("basicsd: node %d not ready after %s", i, deadline)
+}
+
+// runE2E is the headline demo: an n-node TCP cluster under chaos runs
+// linearizable-KV, total-order broadcast, and unique-ID workloads;
+// mid-campaign a minority of nodes is killed with SIGKILL and later
+// restarted from their journals; afterwards the histories must
+// linearize, the replicas' applied orders must agree (with every entry
+// exactly once), and every issued ID must be unique.
+func runE2E(opt e2eOptions) (err error) {
+	opt, err = opt.withDefaults()
+	if err != nil {
+		return err
+	}
+	log.Printf("e2e: %d nodes, %d clients x %d ops, kill %d, chaos=%v, dir=%s",
+		opt.Nodes, opt.Clients, opt.OpsPer, opt.Kill, opt.Chaos, opt.Dir)
+
+	peers, err := allocAddrs(opt.Nodes)
+	if err != nil {
+		return err
+	}
+	clientAddrs, err := allocAddrs(opt.Nodes)
+	if err != nil {
+		return err
+	}
+	cfg := &Config{Peers: peers, Clients: clientAddrs, Journals: make([]string, opt.Nodes)}
+	for i := range cfg.Journals {
+		cfg.Journals[i] = filepath.Join(opt.Dir, fmt.Sprintf("node%d.journal", i))
+	}
+	if opt.Chaos {
+		// Mild, permanent background chaos on every link: enough to
+		// exercise retry/backoff continuously without starving progress.
+		cfg.Chaos = []ChaosConfig{
+			{Kind: "drop", Pct: 10, Seed: 1},
+			{Kind: "delay", Pct: 10, Seed: 2},
+			{Kind: "duplicate", Pct: 5, Seed: 3},
+		}
+	}
+	cl := &cluster{opt: opt, cfg: cfg, cfgPath: filepath.Join(opt.Dir, "cluster.json"), procs: make([]*exec.Cmd, opt.Nodes)}
+	if err := cfg.Write(cl.cfgPath); err != nil {
+		return err
+	}
+	defer cl.stopAll()
+
+	for i := 0; i < opt.Nodes; i++ {
+		if err := cl.startNode(i); err != nil {
+			return err
+		}
+	}
+	for i := 0; i < opt.Nodes; i++ {
+		if err := cl.waitReady(i, 10*time.Second); err != nil {
+			return err
+		}
+	}
+	log.Printf("e2e: cluster up")
+
+	// --- workloads -------------------------------------------------------
+	rec := check.NewRecorder()
+	var completed atomic.Int64 // completed KV ops, drives the kill schedule
+	var kvWG sync.WaitGroup
+	kvDone := make(chan struct{})
+
+	for ci := 0; ci < opt.Clients; ci++ {
+		ci := ci
+		kvWG.Add(1)
+		go func() {
+			defer kvWG.Done()
+			key := fmt.Sprintf("k%d", ci)
+			node := ci % opt.Nodes
+			if ci == opt.Clients-1 && opt.Kill > 0 {
+				// One client submits to a kill victim, so client-visible
+				// recovery (timeout -> pending -> reconnect to the
+				// restarted process) is part of the demo.
+				node = opt.Nodes - 1
+			}
+			rpc := newRPCClient(cfg.Clients[node])
+			defer rpc.close()
+			// gen is bumped after every failed op: the op stays pending
+			// (it may or may not have taken effect — either is consistent
+			// with a pending op), and since a history process may not
+			// invoke past a pending op, the client continues under a
+			// fresh process id.
+			gen := 0
+			for op := 0; op < opt.OpsPer; op++ {
+				proc := ci + opt.Clients*gen
+				var err error
+				if op%3 == 2 {
+					inv := rec.Call(proc, check.KeyedOp{Key: key, Op: check.ReadOp{}})
+					var v any
+					if v, err = rpc.get(key, rpcTimeout); err == nil {
+						inv.Return(v)
+					}
+				} else {
+					val := 1 + op + ci*1000
+					inv := rec.Call(proc, check.KeyedOp{Key: key, Op: check.WriteOp{V: val}})
+					if err = rpc.put(key, val, rpcTimeout); err == nil {
+						inv.Return(nil)
+					}
+				}
+				if err == nil {
+					completed.Add(1)
+				} else {
+					gen++
+				}
+				time.Sleep(time.Duration(10+ci*7) * time.Millisecond)
+			}
+		}()
+	}
+
+	// Unique-ID workload: hammer every node for IDs concurrently with
+	// the KV traffic; errors are skipped (uniqueness, not liveness, is
+	// the property under test).
+	uids := make(map[string]int)
+	var uidMu sync.Mutex
+	var uidWG sync.WaitGroup
+	for i := 0; i < opt.Nodes; i++ {
+		i := i
+		uidWG.Add(1)
+		go func() {
+			defer uidWG.Done()
+			rpc := newRPCClient(cfg.Clients[i])
+			defer rpc.close()
+			for {
+				select {
+				case <-kvDone:
+					return
+				default:
+				}
+				if id, err := rpc.uid(2 * time.Second); err == nil {
+					uidMu.Lock()
+					uids[id]++
+					uidMu.Unlock()
+				} else {
+					rpc.close()
+				}
+				time.Sleep(20 * time.Millisecond)
+			}
+		}()
+	}
+
+	// Broadcast workload: every node TO-broadcasts a few order-only
+	// messages concurrently with the KV traffic. Completion means the
+	// message sits in the issuing replica's applied sequence; the
+	// post-run order checks then prove it sits in *every* replica's
+	// sequence, exactly once, at the same position.
+	var bcastOK atomic.Int64
+	var bcastWG sync.WaitGroup
+	const bcastPer = 4
+	for i := 0; i < opt.Nodes; i++ {
+		i := i
+		bcastWG.Add(1)
+		go func() {
+			defer bcastWG.Done()
+			rpc := newRPCClient(cfg.Clients[i])
+			defer rpc.close()
+			for b := 0; b < bcastPer; b++ {
+				if err := rpc.bcast(fmt.Sprintf("n%d-m%d", i, b), rpcTimeout); err == nil {
+					bcastOK.Add(1)
+				} else {
+					rpc.close()
+				}
+				time.Sleep(150 * time.Millisecond)
+			}
+		}()
+	}
+
+	// --- the kill -9 schedule -------------------------------------------
+	// Victims are the highest-numbered nodes (no client submits there
+	// by construction when Clients <= Nodes-Kill, but their loss still
+	// removes acceptors from every quorum).
+	total := int64(opt.Clients * opt.OpsPer)
+	victims := make([]int, 0, opt.Kill)
+	for k := 0; k < opt.Kill; k++ {
+		victims = append(victims, opt.Nodes-1-k)
+	}
+	killErr := make(chan error, 1)
+	go func() {
+		waitFor := func(threshold int64) bool {
+			for completed.Load() < threshold {
+				select {
+				case <-kvDone:
+					return false
+				default:
+					time.Sleep(25 * time.Millisecond)
+				}
+			}
+			return true
+		}
+		if opt.Kill == 0 {
+			killErr <- nil
+			return
+		}
+		waitFor(total / 3)
+		for _, v := range victims {
+			log.Printf("e2e: kill -9 node %d", v)
+			cl.kill9(v)
+		}
+		// Let the survivors make progress without the victims, then
+		// restart from the journals.
+		if waitFor(2 * total / 3) {
+			time.Sleep(500 * time.Millisecond)
+		}
+		for _, v := range victims {
+			log.Printf("e2e: restart node %d", v)
+			if err := cl.startNode(v); err != nil {
+				killErr <- err
+				return
+			}
+		}
+		for _, v := range victims {
+			if err := cl.waitReady(v, 15*time.Second); err != nil {
+				killErr <- err
+				return
+			}
+		}
+		killErr <- nil
+	}()
+
+	kvWG.Wait()
+	close(kvDone)
+	uidWG.Wait()
+	bcastWG.Wait()
+	if err := <-killErr; err != nil {
+		return dumpArtifacts(opt, rec, nil, err)
+	}
+	log.Printf("e2e: workload done: %d/%d kv ops completed, %d/%d broadcasts delivered, %d uids issued",
+		completed.Load(), total, bcastOK.Load(), opt.Nodes*bcastPer, len(uids))
+
+	// --- verification ----------------------------------------------------
+	// 1. Every node converges to the same applied count (the restarted
+	//    victims catch up via anti-entropy).
+	orders, err := collectOrders(cfg, opt)
+	if err != nil {
+		return dumpArtifacts(opt, rec, orders, err)
+	}
+	// 2. Total order safety: all applied orders agree prefix-wise.
+	for i := 1; i < len(orders); i++ {
+		m := min(len(orders[0]), len(orders[i]))
+		for j := 0; j < m; j++ {
+			if orders[0][j] != orders[i][j] {
+				return dumpArtifacts(opt, rec, orders,
+					fmt.Errorf("nodes 0 and %d diverge at applied index %d: %s vs %s",
+						i, j, orders[0][j], orders[i][j]))
+			}
+		}
+	}
+	// 3. Broadcast exactly-once: no entry (KV command or broadcast
+	//    message) appears twice in the applied sequence — retries and
+	//    chaos duplicates must be absorbed by idempotent apply.
+	seen := make(map[string]bool, len(orders[0]))
+	for _, id := range orders[0] {
+		if seen[id] {
+			return dumpArtifacts(opt, rec, orders,
+				fmt.Errorf("entry %s applied twice (broadcast exactly-once violated)", id))
+		}
+		seen[id] = true
+	}
+	// 4. Unique IDs really are unique.
+	for id, n := range uids {
+		if n > 1 {
+			return dumpArtifacts(opt, rec, orders, fmt.Errorf("uid %q issued %d times", id, n))
+		}
+	}
+	// 5. The KV history linearizes (per-key partitions).
+	h := rec.History()
+	spec := check.RegisterArraySpec{}
+	lin, err := check.Linearizable(spec, h)
+	if err != nil {
+		return dumpArtifacts(opt, rec, orders, fmt.Errorf("checker: %w", err))
+	}
+	if !lin.OK {
+		return dumpArtifacts(opt, rec, orders,
+			fmt.Errorf("history of %d ops is NOT linearizable", len(h)))
+	}
+	if err := check.ValidateOrder(spec, h, lin.Order); err != nil {
+		return dumpArtifacts(opt, rec, orders, fmt.Errorf("witness invalid: %w", err))
+	}
+	log.Printf("e2e: PASS — %d ops linearizable over %d partitions, %d nodes agree on %d applied entries, %d unique ids",
+		len(h), lin.Partitions, opt.Nodes, len(orders[0]), len(uids))
+	if !opt.Keep {
+		os.RemoveAll(opt.Dir)
+	}
+	return nil
+}
+
+// collectOrders polls every node until all report the same applied
+// count (quiesced + caught up), then returns the orders.
+func collectOrders(cfg *Config, opt e2eOptions) ([][]string, error) {
+	deadline := time.Now().Add(30 * time.Second)
+	for {
+		orders := make([][]string, opt.Nodes)
+		ok := true
+		for i := 0; i < opt.Nodes; i++ {
+			rpc := newRPCClient(cfg.Clients[i])
+			o, err := rpc.order(5 * time.Second)
+			rpc.close()
+			if err != nil {
+				ok = false
+				break
+			}
+			orders[i] = o
+		}
+		if ok {
+			same := true
+			for i := 1; i < opt.Nodes; i++ {
+				if len(orders[i]) != len(orders[0]) {
+					same = false
+					break
+				}
+			}
+			if same {
+				return orders, nil
+			}
+		}
+		if time.Now().After(deadline) {
+			if !ok {
+				return nil, fmt.Errorf("basicsd: nodes unreachable while collecting applied orders")
+			}
+			return orders, fmt.Errorf("basicsd: applied counts did not converge within 30s")
+		}
+		time.Sleep(250 * time.Millisecond)
+	}
+}
+
+// dumpArtifacts writes the recorded history and applied orders next to
+// the node logs and journals so a failure is diagnosable, then returns
+// the original error annotated with the artifact path.
+func dumpArtifacts(opt e2eOptions, rec *check.Recorder, orders [][]string, cause error) error {
+	var sb []byte
+	for _, op := range rec.History() {
+		sb = append(sb, fmt.Sprintf("p%d %v @[%d,%d] -> %v\n", op.Proc, op.Arg, op.Call, op.Return, op.Out)...)
+	}
+	os.WriteFile(filepath.Join(opt.Dir, "history.log"), sb, 0o644)
+	var ob []byte
+	for i, o := range orders {
+		ob = append(ob, fmt.Sprintf("node%d (%d): %v\n", i, len(o), o)...)
+	}
+	os.WriteFile(filepath.Join(opt.Dir, "orders.log"), ob, 0o644)
+	return fmt.Errorf("%w (artifacts in %s)", cause, opt.Dir)
+}

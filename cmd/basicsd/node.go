@@ -1,0 +1,276 @@
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"log"
+	"net"
+	"sync/atomic"
+	"time"
+
+	"distbasics/internal/amp"
+	"distbasics/internal/rbcast"
+	"distbasics/internal/rsm"
+	"distbasics/internal/transport"
+)
+
+// tcpPolicy is the retry policy tuned to localhost TCP under the
+// default 2ms tick: the socket RTT is sub-tick, so a 25-tick (50ms)
+// send timeout is already many RTTs out, and retries back off from
+// 20ms to a 500ms cap. (Compare tpPolicy in internal/scenario/models:
+// policies are tuned to the transport's RTT, not fixed constants.)
+func tcpPolicy(id int) transport.Policy {
+	return transport.Policy{SendTimeout: 25, RetryBase: 10, RetryCap: 250, Seed: int64(id + 1)}
+}
+
+// hbPeriod is the runtime heartbeat period in ticks. The
+// simulation-scale default (8) outruns a chaos-degraded link's service
+// rate (one in-flight frame per link); real clusters heartbeat at a
+// rate the links sustain.
+const hbPeriod = 40
+
+// server is one running basicsd node: the full
+// TCP(+Chaos)→Resilient→Runtime stack under an rsm replica, plus the
+// line-JSON client RPC listener.
+type server struct {
+	id      int
+	cfg     *Config
+	node    *rsm.Node
+	rt      *transport.Runtime
+	tcp     *transport.TCP
+	journal *rsm.FileJournal
+	clock   *transport.RealClock
+
+	clientLn net.Listener
+	boot     int64 // uid epoch: distinguishes restarts of the same id
+	uidSeq   atomic.Int64
+
+	// waiters maps a submitted command to its completion channel. It is
+	// only touched inside the runtime's event loop (rt.Do and OnApply
+	// both run under the actor mutex), so it needs no lock of its own.
+	waiters map[rbcast.MsgID]chan any
+}
+
+// runServe is the `basicsd serve` entrypoint: bring up node `id` of the
+// cluster described by the config file and serve client RPCs until
+// killed. There is no graceful shutdown path on purpose — the process
+// model is crash-stop (kill -9), and the journal plus the peers'
+// anti-entropy carry it through restart.
+func runServe(cfgPath string, id int) error {
+	cfg, err := LoadConfig(cfgPath)
+	if err != nil {
+		return err
+	}
+	if id < 0 || id >= len(cfg.Peers) {
+		return fmt.Errorf("basicsd: node id %d out of range [0,%d)", id, len(cfg.Peers))
+	}
+	s, err := startServer(cfg, id)
+	if err != nil {
+		return err
+	}
+	log.Printf("basicsd: node %d up: peers=%s clients=%s journal=%s",
+		id, s.tcp.Addr(), s.clientLn.Addr(), cfg.Journals[id])
+	select {} // crash-stop: run until killed
+}
+
+// startServer builds and starts the node stack and its RPC listener.
+func startServer(cfg *Config, id int) (*server, error) {
+	amp.RegisterWire(transport.Register)
+	rsm.RegisterWire(transport.Register)
+
+	s := &server{
+		id:      id,
+		cfg:     cfg,
+		boot:    time.Now().UnixNano(),
+		waiters: make(map[rbcast.MsgID]chan any),
+	}
+
+	opts := []rsm.NodeOption{}
+	if path := cfg.Journals[id]; path != "" {
+		j, rec, err := rsm.OpenFileJournal(path)
+		if err != nil {
+			return nil, err
+		}
+		s.journal = j
+		opts = append(opts, rsm.WithJournal(j))
+		if rec.NextSeq > 0 || len(rec.Accepts) > 0 || len(rec.Decides) > 0 {
+			opts = append(opts, rsm.WithRecovery(rec))
+		}
+	}
+	s.node = rsm.NewNode(len(cfg.Peers), cfg.Slots(), opts...)
+	s.node.Omega.Period = hbPeriod
+	s.node.OnApply = s.onApply
+
+	s.clock = transport.NewRealClock(cfg.Unit())
+	tcp, err := transport.NewTCP(id, cfg.Peers, transport.TCPOptions{})
+	if err != nil {
+		return nil, err
+	}
+	s.tcp = tcp
+	var tr transport.Transport = tcp
+	if rules := cfg.chaosRules(id); len(rules) > 0 {
+		tr = transport.NewChaos(tr, s.clock, rules...)
+	}
+	res := transport.NewResilient(tr, s.clock, tcpPolicy(id))
+	s.rt = transport.NewRuntime(res, s.clock, s.node.Stack,
+		transport.WithRuntimeSeed(int64(id+1)),
+		transport.WithSuspectSource(s.node.Omega.Suspects),
+		transport.WithSuspectKick(res.Kick),
+	)
+	res.SetSuspected(s.rt.Suspected)
+	s.rt.Start()
+
+	ln, err := net.Listen("tcp", cfg.Clients[id])
+	if err != nil {
+		tcp.Close()
+		return nil, fmt.Errorf("basicsd: client listen %s: %w", cfg.Clients[id], err)
+	}
+	s.clientLn = ln
+	go s.acceptClients()
+	return s, nil
+}
+
+// onApply runs inside the event loop after every applied entry and
+// completes any RPC waiting on it. Reads of the local state here are
+// at the entry's linearization point, which is what makes a "get"
+// no-op command a linearizable read.
+func (s *server) onApply(e rsm.Entry, _ amp.Time) {
+	ch, ok := s.waiters[e.ID]
+	if !ok {
+		return
+	}
+	delete(s.waiters, e.ID)
+	var out any
+	if cmd, ok := e.Payload.(rsm.Command); ok && cmd.Op == "get" {
+		out = s.node.Get(cmd.Key)
+	}
+	select {
+	case ch <- out:
+	default:
+	}
+}
+
+// submit runs cmd through consensus and waits for its local apply.
+func (s *server) submit(cmd rsm.Command, timeout time.Duration) (any, error) {
+	ch := make(chan any, 1)
+	s.rt.Do(func(amp.Context) {
+		id := s.node.Submit(s.node.Ctx(), cmd)
+		s.waiters[id] = ch
+	})
+	select {
+	case out := <-ch:
+		return out, nil
+	case <-time.After(timeout):
+		return nil, fmt.Errorf("timeout after %s (op may still apply)", timeout)
+	}
+}
+
+// rpcRequest is one line-JSON client request.
+type rpcRequest struct {
+	Op  string `json:"op"` // put, get, del, uid, order, stat
+	Key string `json:"key,omitempty"`
+	Val any    `json:"val,omitempty"`
+}
+
+// rpcResponse is the matching reply line.
+type rpcResponse struct {
+	OK      bool     `json:"ok"`
+	Val     any      `json:"val,omitempty"`
+	Err     string   `json:"err,omitempty"`
+	Applied int      `json:"applied,omitempty"`
+	Order   []string `json:"order,omitempty"`
+	ID      string   `json:"id,omitempty"`
+}
+
+// rpcTimeout bounds one consensus round-trip from the client's side.
+// Long enough to ride out a chaos window plus leader re-election, short
+// enough that the e2e driver can mark the op pending and move on.
+const rpcTimeout = 15 * time.Second
+
+func (s *server) acceptClients() {
+	for {
+		conn, err := s.clientLn.Accept()
+		if err != nil {
+			return
+		}
+		go s.serveClient(conn)
+	}
+}
+
+// serveClient answers line-JSON requests until the connection drops.
+// Requests on one connection are served sequentially (a client is one
+// logical process; its history must be sequential anyway).
+func (s *server) serveClient(conn net.Conn) {
+	defer conn.Close()
+	dec := json.NewDecoder(bufio.NewReader(conn))
+	enc := json.NewEncoder(conn)
+	for {
+		var req rpcRequest
+		if err := dec.Decode(&req); err != nil {
+			return
+		}
+		resp := s.handle(req)
+		if err := enc.Encode(resp); err != nil {
+			return
+		}
+	}
+}
+
+func (s *server) handle(req rpcRequest) rpcResponse {
+	switch req.Op {
+	case "put", "del":
+		cmd := rsm.Command{Op: req.Op, Key: req.Key, Val: jsonVal(req.Val)}
+		if _, err := s.submit(cmd, rpcTimeout); err != nil {
+			return rpcResponse{Err: err.Error()}
+		}
+		return rpcResponse{OK: true}
+	case "bcast":
+		// Total-order broadcast of an order-only message: the command
+		// touches no KV state but lands in every replica's applied
+		// sequence exactly once, in the same position.
+		if _, err := s.submit(rsm.Command{Op: "bcast", Key: req.Key}, rpcTimeout); err != nil {
+			return rpcResponse{Err: err.Error()}
+		}
+		return rpcResponse{OK: true}
+	case "get":
+		// A "get" rides through consensus as a no-op command; its apply
+		// point at this replica is the read's linearization point.
+		out, err := s.submit(rsm.Command{Op: "get", Key: req.Key}, rpcTimeout)
+		if err != nil {
+			return rpcResponse{Err: err.Error()}
+		}
+		return rpcResponse{OK: true, Val: out}
+	case "uid":
+		// Unique IDs need no consensus: node id + boot epoch + local
+		// counter is collision-free across nodes and restarts (§2 of the
+		// paper: some problems are sub-consensus).
+		n := s.uidSeq.Add(1)
+		return rpcResponse{OK: true, ID: fmt.Sprintf("%d-%x-%d", s.id, s.boot, n)}
+	case "order":
+		// Applied order snapshot, read inside the event loop.
+		var ids []string
+		s.rt.Do(func(amp.Context) {
+			for _, e := range s.node.Applied() {
+				ids = append(ids, e.ID.String())
+			}
+		})
+		return rpcResponse{OK: true, Order: ids, Applied: len(ids)}
+	case "stat":
+		var n int
+		s.rt.Do(func(amp.Context) { n = s.node.Len() })
+		return rpcResponse{OK: true, Applied: n}
+	default:
+		return rpcResponse{Err: fmt.Sprintf("unknown op %q", req.Op)}
+	}
+}
+
+// jsonVal normalizes decoded JSON values for the state machine:
+// integral float64s (the only JSON number form) become ints so values
+// compare equal across put/get round trips and the gob wire.
+func jsonVal(v any) any {
+	if f, ok := v.(float64); ok && f == float64(int64(f)) {
+		return int(f)
+	}
+	return v
+}

@@ -123,9 +123,49 @@
 //
 // and the native Go fuzz targets (FuzzCheckerEquivalence in
 // internal/check, FuzzEngineEquivalence in internal/amp,
-// FuzzExecuteEquivalence in internal/shm) expose the same properties to
-// `go test -fuzz`, with seed corpora under each package's
-// testdata/fuzz. CI runs a short smoke of each target on every PR and a
-// nightly large-budget campaign across all models, uploading any found
-// reproducers as artifacts.
+// FuzzExecuteEquivalence in internal/shm, FuzzCodecRoundTrip in
+// internal/transport) expose the same properties to `go test -fuzz`,
+// with seed corpora under each package's testdata/fuzz. CI runs a short
+// smoke of each target on every PR and a nightly large-budget campaign
+// across all models, uploading any found reproducers as artifacts.
+//
+// # Running a real cluster
+//
+// Everything above runs in virtual time; internal/transport and
+// cmd/basicsd take the same protocol stacks onto real sockets. A
+// transport.Runtime adapts any Transport backend — deterministic
+// in-process Loopback, length-prefixed TCP, or a fault-injecting Chaos
+// wrapper — to amp.Context, so the abd/rbcast/mpcons/rsm processes run
+// unmodified over real concurrency. The shared Resilient layer adds the
+// robustness contract (per-link send timeouts, bounded retry with
+// exponential backoff and jitter, heartbeat-driven degradation to a
+// bounded shed queue when internal/fd suspects a peer; see the
+// internal/transport package docs for the precise guarantees).
+//
+// To run a node of a real cluster, write a JSON config listing every
+// node's transport address, client-RPC address, and journal path, then
+// start one process per id:
+//
+//	basicsd serve -config cluster.json -id 0
+//
+// Clients speak line-delimited JSON on the node's client port:
+// {"op":"put","key":"x","val":1}, {"op":"get","key":"x"} (a
+// linearizable read: the get rides through consensus and is answered at
+// its apply point), {"op":"uid"} (consensus-free unique IDs),
+// {"op":"order"} (the replica's applied sequence). The journal makes a
+// node safe to kill -9: on restart it replays its Paxos acceptor state
+// and decided slots, then catches up on missed decisions via the
+// TO-broadcast anti-entropy fetch. The whole lifecycle is packaged as a
+// self-contained demo —
+//
+//	basicsd e2e -nodes 5 -clients 3 -kill 2 -chaos=true
+//
+// — which spawns a local 5-node TCP cluster, runs linearizable-KV and
+// unique-ID workloads under link chaos, SIGKILLs a minority
+// mid-campaign, restarts it from the journals, and verifies that the
+// histories linearize (internal/check), the replicas agree on one
+// applied order, and every issued ID is unique. CI runs it on every PR.
+// The same stack minus the sockets is fuzzed deterministically by the
+// scenario harness's transport model (seeded chaos schedules plus
+// crash/restart faults over Loopback).
 package distbasics

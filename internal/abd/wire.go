@@ -1,0 +1,12 @@
+package abd
+
+// RegisterWire registers the ABD quorum message types with reg (see
+// internal/transport).
+func RegisterWire(reg func(any)) {
+	reg(readQuery{})
+	reg(readReply{})
+	reg(writeBack{})
+	reg(writeQuery{})
+	reg(ack{})
+	reg(tagged{})
+}

@@ -1,0 +1,9 @@
+package amp
+
+// RegisterWire registers the package's wire message types with reg
+// (typically transport.Register, i.e. gob registration) so Stack
+// envelopes survive a real byte-encoding transport. Protocol packages
+// follow the same convention; see internal/transport.
+func RegisterWire(reg func(any)) {
+	reg(compMsg{})
+}

@@ -146,6 +146,15 @@ func (d *Detector) refreshLeader(ctx amp.Context) {
 // Leader returns the Ω output: the current leader estimate.
 func (d *Detector) Leader() int { return d.leader }
 
+// IsSuspected reports whether peer i is currently suspected. Out-of-range
+// ids (and calls before Init) report false.
+func (d *Detector) IsSuspected(i int) bool {
+	if i < 0 || i >= len(d.suspected) {
+		return false
+	}
+	return d.suspected[i]
+}
+
 // Suspects returns a copy of the current suspicion vector.
 func (d *Detector) Suspects() []bool {
 	out := make([]bool, d.n)

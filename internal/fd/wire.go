@@ -1,0 +1,7 @@
+package fd
+
+// RegisterWire registers the detector's wire message types with reg
+// (see internal/transport).
+func RegisterWire(reg func(any)) {
+	reg(heartbeat{})
+}

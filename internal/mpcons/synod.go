@@ -25,10 +25,21 @@ type Synod struct {
 	// Omega supplies the leader estimate (same Stack, separate slot).
 	Omega *fd.Detector
 	// RetryPeriod is how often an undecided leader re-attempts a ballot
-	// (default 40 virtual units).
+	// (default 40 virtual units). Consecutive retries that abandon a
+	// still-inflight ballot back the period off exponentially (capped at
+	// 16x): restarting ballots faster than replies return only floods the
+	// leader's inbound links with stale promises, which delays replies
+	// further — a self-sustaining retry storm under lossy transports.
 	RetryPeriod amp.Time
 	// OnDecide fires on decision.
 	OnDecide DecideFn
+	// OnAcceptorChange, if set, fires synchronously whenever the acceptor
+	// triple (promised, acceptedBal, acceptedVal) changes — BEFORE the
+	// corresponding promise/accepted reply is sent. Persisting the triple
+	// at this point is what keeps Paxos safe across a crash-restart: an
+	// acceptor that forgets a promise or an accepted value can let two
+	// ballots choose different values. See rsm.Journal.
+	OnAcceptorChange func(promised, acceptedBal int, acceptedVal any)
 
 	n  int
 	id int
@@ -45,6 +56,8 @@ type Synod struct {
 	promises  map[int]promise
 	accepteds map[int]bool
 	propVal   any
+
+	stalls int // consecutive retries that found a ballot still inflight
 
 	decided    bool
 	decidedVal any
@@ -82,6 +95,30 @@ func NewSynod(input any, omega *fd.Detector, onDecide DecideFn) *Synod {
 // Decided reports the decision state.
 func (s *Synod) Decided() (any, bool) { return s.decidedVal, s.decided }
 
+// RestoreAcceptor reinstates journaled acceptor state after a restart.
+// Must be called before the runtime starts delivering messages.
+func (s *Synod) RestoreAcceptor(promised, acceptedBal int, acceptedVal any) {
+	s.promised = promised
+	s.acceptedBal = acceptedBal
+	s.acceptedVal = acceptedVal
+}
+
+// MarkDecided reinstates a journaled decision after a restart: the
+// instance stops initiating ballots and ignores further decide
+// messages. OnDecide is NOT re-invoked (the caller replays the
+// decision's effects itself).
+func (s *Synod) MarkDecided(v any) {
+	s.decided = true
+	s.decidedVal = v
+}
+
+// acceptorChanged persists the acceptor triple via the hook, if any.
+func (s *Synod) acceptorChanged() {
+	if s.OnAcceptorChange != nil {
+		s.OnAcceptorChange(s.promised, s.acceptedBal, s.acceptedVal)
+	}
+}
+
 // Init implements amp.Component.
 func (s *Synod) Init(ctx amp.Context) {
 	s.n = ctx.N()
@@ -99,12 +136,18 @@ func (s *Synod) OnTimer(ctx amp.Context, id int) {
 	}
 	if !s.decided && s.Omega != nil && s.Omega.Leader() == s.id &&
 		(s.Enabled == nil || s.Enabled()) {
+		if s.inBallot && s.stalls < synodMaxStalls {
+			s.stalls++ // the previous ballot never completed: back off
+		}
 		s.startBallot(ctx)
 	}
 	if !s.decided {
-		ctx.SetTimer(s.RetryPeriod, synodRetryTimer)
+		ctx.SetTimer(s.RetryPeriod<<s.stalls, synodRetryTimer)
 	}
 }
+
+// synodMaxStalls caps the retry backoff at RetryPeriod << 4 = 16x.
+const synodMaxStalls = 4
 
 func (s *Synod) startBallot(ctx amp.Context) {
 	// Ballots are id+1 mod n classes, strictly increasing.
@@ -132,6 +175,7 @@ func (s *Synod) OnMessage(ctx amp.Context, from int, msg amp.Message) {
 	case synPrepare:
 		if m.Bal > s.promised {
 			s.promised = m.Bal
+			s.acceptorChanged()
 			ctx.Send(from, synPromise{Bal: m.Bal, AcceptedBal: s.acceptedBal, AcceptedVal: s.acceptedVal})
 		} else {
 			ctx.Send(from, synReject{Promised: s.promised})
@@ -155,6 +199,7 @@ func (s *Synod) OnMessage(ctx amp.Context, from int, msg amp.Message) {
 				}
 			}
 			s.phase = 2
+			s.stalls = 0 // round trips are completing again
 			ctx.Broadcast(synAccept{Bal: s.ballot, Val: s.propVal})
 		}
 	case synAccept:
@@ -162,6 +207,7 @@ func (s *Synod) OnMessage(ctx amp.Context, from int, msg amp.Message) {
 			s.promised = m.Bal
 			s.acceptedBal = m.Bal
 			s.acceptedVal = m.Val
+			s.acceptorChanged()
 			ctx.Send(from, synAccepted{Bal: m.Bal})
 		} else {
 			ctx.Send(from, synReject{Promised: s.promised})

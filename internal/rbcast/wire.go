@@ -1,0 +1,8 @@
+package rbcast
+
+// RegisterWire registers the broadcast wire message types with reg
+// (see internal/transport).
+func RegisterWire(reg func(any)) {
+	reg(bcMsg{})
+	reg(MsgID{})
+}

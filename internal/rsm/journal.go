@@ -1,0 +1,249 @@
+package rsm
+
+import (
+	"bytes"
+	"encoding/binary"
+	"encoding/gob"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"sync"
+
+	"distbasics/internal/fd"
+	"distbasics/internal/mpcons"
+	"distbasics/internal/rbcast"
+)
+
+// Crash-recovery for a replica (the "kill -9 survival" half of the
+// real-transport runtime): the three pieces of state that must outlive
+// a process are journaled synchronously as they change, and a restarted
+// node replays them before rejoining.
+//
+//   - The per-slot Paxos acceptor triple (promised, acceptedBal,
+//     acceptedVal). Forgetting it is a SAFETY bug: a restarted acceptor
+//     could promise/accept in ways that let two ballots choose different
+//     values for the same slot.
+//   - Decided slots. Forgetting them only costs re-learning, but
+//     replaying them locally rebuilds the KV state and keeps the
+//     replica's applied sequence consistent with its own history.
+//   - The next TO-broadcast sequence number. Reusing a (sender, seq)
+//     MsgID after restart would collide with a pre-crash command.
+
+// Acceptor is the journaled Paxos acceptor triple for one slot.
+type Acceptor struct {
+	Promised    int
+	AcceptedBal int
+	AcceptedVal any
+}
+
+// Journal receives replica persistence events. Implementations must
+// complete each Save before returning (write-ahead discipline: the
+// reply that depends on the state must not be sent first).
+type Journal interface {
+	// SaveSeq records the next TO-broadcast sequence number.
+	SaveSeq(next int)
+	// SaveAccept records slot's acceptor triple.
+	SaveAccept(slot int, a Acceptor)
+	// SaveDecide records slot's decided batch.
+	SaveDecide(slot int, b []Entry)
+}
+
+// Recovery is the replayable snapshot a Journal reconstructs.
+type Recovery struct {
+	NextSeq int
+	Accepts map[int]Acceptor
+	Decides map[int][]Entry
+}
+
+// slots returns the decided slot numbers in order.
+func (rec *Recovery) slots() []int {
+	out := make([]int, 0, len(rec.Decides))
+	for s := range rec.Decides {
+		out = append(out, s)
+	}
+	sort.Ints(out)
+	return out
+}
+
+// MemJournal is an in-memory Journal for deterministic in-harness
+// restarts (the scenario models) and tests.
+type MemJournal struct {
+	mu  sync.Mutex
+	rec Recovery
+}
+
+// NewMemJournal returns an empty in-memory journal.
+func NewMemJournal() *MemJournal {
+	return &MemJournal{rec: Recovery{Accepts: map[int]Acceptor{}, Decides: map[int][]Entry{}}}
+}
+
+// SaveSeq implements Journal.
+func (m *MemJournal) SaveSeq(next int) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.rec.NextSeq = next
+}
+
+// SaveAccept implements Journal.
+func (m *MemJournal) SaveAccept(slot int, a Acceptor) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.rec.Accepts[slot] = a
+}
+
+// SaveDecide implements Journal.
+func (m *MemJournal) SaveDecide(slot int, b []Entry) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.rec.Decides[slot] = append([]Entry(nil), b...)
+}
+
+// Recovery returns a deep-enough snapshot to seed a restarted node.
+func (m *MemJournal) Recovery() *Recovery {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	rec := &Recovery{
+		NextSeq: m.rec.NextSeq,
+		Accepts: make(map[int]Acceptor, len(m.rec.Accepts)),
+		Decides: make(map[int][]Entry, len(m.rec.Decides)),
+	}
+	for s, a := range m.rec.Accepts {
+		rec.Accepts[s] = a
+	}
+	for s, b := range m.rec.Decides {
+		rec.Decides[s] = append([]Entry(nil), b...)
+	}
+	return rec
+}
+
+// journalRec is one record of the on-disk journal stream.
+type journalRec struct {
+	Kind  uint8 // 1 = seq, 2 = accept, 3 = decide
+	Slot  int
+	Seq   int
+	Acc   Acceptor
+	Batch []Entry
+}
+
+// FileJournal is an append-only Journal backed by one file. Each
+// record is a length-prefixed, self-contained gob stream ([u32 BE
+// len][gob bytes]) — independently decodable, so a reopened journal
+// can append without colliding with the previous writer's gob type
+// state, and a SIGKILL loses at most the record being written;
+// OpenFileJournal tolerates that truncated tail by dropping everything
+// from the first short or undecodable record on. It deliberately does
+// not fsync: kill -9 leaves OS-buffered writes intact, and the e2e
+// harness only needs process-crash (not power-loss) durability.
+type FileJournal struct {
+	mu sync.Mutex
+	f  *os.File
+}
+
+// OpenFileJournal opens (creating if needed) the journal at path,
+// replays its records into a Recovery, and returns the journal
+// positioned for appending.
+func OpenFileJournal(path string) (*FileJournal, *Recovery, error) {
+	RegisterWire(gob.Register) // journal payloads ride through `any` fields
+	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
+	if err != nil {
+		return nil, nil, fmt.Errorf("rsm: open journal %s: %w", path, err)
+	}
+	rec := &Recovery{Accepts: map[int]Acceptor{}, Decides: map[int][]Entry{}}
+	valid := int64(0)
+	var hdr [4]byte
+	for {
+		if _, err := io.ReadFull(f, hdr[:]); err != nil {
+			break // clean EOF or torn length prefix
+		}
+		n := binary.BigEndian.Uint32(hdr[:])
+		if n == 0 || n > journalMaxRec {
+			break // corrupt length
+		}
+		buf := make([]byte, n)
+		if _, err := io.ReadFull(f, buf); err != nil {
+			break // torn record body
+		}
+		var r journalRec
+		if err := gob.NewDecoder(bytes.NewReader(buf)).Decode(&r); err != nil {
+			break // corrupt record body
+		}
+		valid += 4 + int64(n)
+		switch r.Kind {
+		case 1:
+			rec.NextSeq = r.Seq
+		case 2:
+			rec.Accepts[r.Slot] = r.Acc
+		case 3:
+			rec.Decides[r.Slot] = r.Batch
+		}
+	}
+	// Drop any torn/corrupt tail so appends start at a record boundary.
+	if err := f.Truncate(valid); err != nil {
+		f.Close()
+		return nil, nil, fmt.Errorf("rsm: truncate journal %s: %w", path, err)
+	}
+	if _, err := f.Seek(valid, io.SeekStart); err != nil {
+		f.Close()
+		return nil, nil, fmt.Errorf("rsm: seek journal %s: %w", path, err)
+	}
+	return &FileJournal{f: f}, rec, nil
+}
+
+// journalMaxRec bounds one record (sanity check against corrupt length
+// prefixes; far above any real batch).
+const journalMaxRec = 16 << 20
+
+func (j *FileJournal) append(r journalRec) {
+	var body bytes.Buffer
+	body.Write([]byte{0, 0, 0, 0}) // length placeholder
+	if err := gob.NewEncoder(&body).Encode(&r); err != nil {
+		return
+	}
+	buf := body.Bytes()
+	binary.BigEndian.PutUint32(buf[:4], uint32(len(buf)-4))
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	// A write error (disk full, closed file) cannot be surfaced through
+	// the Journal interface mid-protocol; the replica keeps running on its
+	// in-memory state and the loss shows up, at worst, as a failed
+	// recovery later.
+	_, _ = j.f.Write(buf)
+}
+
+// SaveSeq implements Journal.
+func (j *FileJournal) SaveSeq(next int) { j.append(journalRec{Kind: 1, Seq: next}) }
+
+// SaveAccept implements Journal.
+func (j *FileJournal) SaveAccept(slot int, a Acceptor) {
+	j.append(journalRec{Kind: 2, Slot: slot, Acc: a})
+}
+
+// SaveDecide implements Journal.
+func (j *FileJournal) SaveDecide(slot int, b []Entry) {
+	j.append(journalRec{Kind: 3, Slot: slot, Batch: b})
+}
+
+// Close closes the underlying file.
+func (j *FileJournal) Close() error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.f.Close()
+}
+
+// RegisterWire registers every type an rsm replica stack can put on the
+// wire (or in a journal) with reg: its own dissemination and batch
+// types plus those of the composed fd, mpcons, and rbcast layers.
+// Callers also need amp.RegisterWire for the Stack envelope.
+func RegisterWire(reg func(any)) {
+	reg(toPayload{})
+	reg(tbFetch{})
+	reg(tbDecided{})
+	reg(batch{})
+	reg(Entry{})
+	reg(Command{})
+	reg(rbcast.MsgID{})
+	fd.RegisterWire(reg)
+	mpcons.RegisterWire(reg)
+	rbcast.RegisterWire(reg)
+}

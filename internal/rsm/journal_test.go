@@ -1,0 +1,225 @@
+package rsm
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"distbasics/internal/amp"
+	"distbasics/internal/rbcast"
+)
+
+// TestApplyIdempotent replays a TO delivery twice — the duplicate a
+// retransmitted decide can produce over an at-least-once transport —
+// and checks the command is applied exactly once.
+func TestApplyIdempotent(t *testing.T) {
+	nd := NewNode(3, 4)
+	e := Entry{ID: rbcast.MsgID{Sender: 1, Seq: 0}, Payload: Command{Op: "put", Key: "x", Val: 1}}
+	nd.apply(e, 5)
+	nd.apply(e, 6) // duplicate delivery
+	if got := nd.Len(); got != 1 {
+		t.Fatalf("duplicate delivery applied twice: %d applied entries, want 1", got)
+	}
+	if v := nd.Get("x"); v != 1 {
+		t.Fatalf("Get(x) = %v, want 1", v)
+	}
+	// A different entry still applies.
+	nd.apply(Entry{ID: rbcast.MsgID{Sender: 1, Seq: 1}, Payload: Command{Op: "put", Key: "x", Val: 2}}, 7)
+	if got := nd.Len(); got != 2 {
+		t.Fatalf("fresh entry after duplicate: %d applied entries, want 2", got)
+	}
+}
+
+// TestDuplicateSlotDecide feeds the same slot decision to the TO layer
+// twice (a relayed synDecide arriving after the first) and checks the
+// delivery is not duplicated.
+func TestDuplicateSlotDecide(t *testing.T) {
+	nd := NewNode(3, 4)
+	b := batch{{ID: rbcast.MsgID{Sender: 0, Seq: 0}, Payload: Command{Op: "put", Key: "k", Val: "v"}}}
+	nd.TO.onSlotDecide(0, b, 10)
+	nd.TO.onSlotDecide(0, b, 11) // duplicate decision
+	if got := nd.Len(); got != 1 {
+		t.Fatalf("duplicate slot decide applied %d entries, want 1", got)
+	}
+}
+
+// TestMemJournalRecovery runs a cluster with journaling on node 0,
+// "kills" it (drops the node), rebuilds from the journal snapshot, and
+// checks state and sequence numbers survive.
+func TestMemJournalRecovery(t *testing.T) {
+	const n = 3
+	j := NewMemJournal()
+	procs := make([]amp.Process, n)
+	nodes := make([]*Node, n)
+	for i := 0; i < n; i++ {
+		var opts []NodeOption
+		if i == 0 {
+			opts = append(opts, WithJournal(j))
+		}
+		nodes[i] = NewNode(n, 8, opts...)
+		procs[i] = nodes[i].Stack
+	}
+	sim := amp.NewSim(procs, amp.WithDelay(amp.FixedDelay{D: 2}))
+	sim.Schedule(10, func() {
+		nodes[0].Submit(nodes[0].Ctx(), Command{Op: "put", Key: "a", Val: 1})
+	})
+	sim.Schedule(500, func() {
+		nodes[0].Submit(nodes[0].Ctx(), Command{Op: "put", Key: "b", Val: 2})
+	})
+	sim.Run(20_000)
+	if nodes[0].Len() != 2 {
+		t.Fatalf("pre-crash node applied %d entries, want 2", nodes[0].Len())
+	}
+
+	rec := j.Recovery()
+	if rec.NextSeq != 2 {
+		t.Fatalf("journaled NextSeq = %d, want 2", rec.NextSeq)
+	}
+	if len(rec.Decides) == 0 {
+		t.Fatal("journal recorded no decided slots")
+	}
+
+	restarted := NewNode(n, 8, WithJournal(j), WithRecovery(rec))
+	if restarted.Len() != 2 {
+		t.Fatalf("restarted node replayed %d entries, want 2", restarted.Len())
+	}
+	if got := restarted.Get("a"); got != 1 {
+		t.Fatalf("restarted Get(a) = %v, want 1", got)
+	}
+	if got := restarted.Get("b"); got != 2 {
+		t.Fatalf("restarted Get(b) = %v, want 2", got)
+	}
+	if restarted.TO.nextSeq != 2 {
+		t.Fatalf("restarted nextSeq = %d, want 2 (MsgID reuse!)", restarted.TO.nextSeq)
+	}
+	// Applied sequences must match the pre-crash replica exactly.
+	pre, post := nodes[0].Applied(), restarted.Applied()
+	for i := range pre {
+		if pre[i].ID != post[i].ID {
+			t.Fatalf("replayed order diverges at %d: %v vs %v", i, pre[i].ID, post[i].ID)
+		}
+	}
+}
+
+// TestAcceptorJournaling checks the write-ahead acceptor persistence:
+// every promise/accept lands in the journal before the reply leaves.
+func TestAcceptorJournaling(t *testing.T) {
+	const n = 3
+	journals := make([]*MemJournal, n)
+	procs := make([]amp.Process, n)
+	nodes := make([]*Node, n)
+	for i := 0; i < n; i++ {
+		journals[i] = NewMemJournal()
+		nodes[i] = NewNode(n, 8, WithJournal(journals[i]))
+		procs[i] = nodes[i].Stack
+	}
+	sim := amp.NewSim(procs, amp.WithDelay(amp.FixedDelay{D: 2}))
+	sim.Schedule(10, func() {
+		nodes[1].Submit(nodes[1].Ctx(), Command{Op: "put", Key: "x", Val: 9})
+	})
+	sim.Run(20_000)
+	for i := 0; i < n; i++ {
+		rec := journals[i].Recovery()
+		a, ok := rec.Accepts[0]
+		if !ok {
+			t.Fatalf("node %d journaled no acceptor state for slot 0", i)
+		}
+		if a.Promised == 0 && a.AcceptedBal == 0 {
+			t.Fatalf("node %d journaled empty acceptor triple", i)
+		}
+	}
+}
+
+// TestFileJournalRoundTrip appends through a FileJournal, reopens it,
+// and checks the replayed Recovery — including after a torn tail write
+// (the kill -9 case).
+func TestFileJournalRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "node0.journal")
+	j, rec, err := OpenFileJournal(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rec.NextSeq != 0 || len(rec.Accepts) != 0 || len(rec.Decides) != 0 {
+		t.Fatalf("fresh journal not empty: %+v", rec)
+	}
+	j.SaveSeq(3)
+	j.SaveAccept(0, Acceptor{Promised: 5, AcceptedBal: 5, AcceptedVal: batch{{ID: rbcast.MsgID{Sender: 2, Seq: 0}, Payload: Command{Op: "put", Key: "k", Val: "v"}}}})
+	j.SaveDecide(0, []Entry{{ID: rbcast.MsgID{Sender: 2, Seq: 0}, Payload: Command{Op: "put", Key: "k", Val: "v"}}})
+	j.SaveAccept(1, Acceptor{Promised: 2})
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	j2, rec2, err := OpenFileJournal(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer j2.Close()
+	if rec2.NextSeq != 3 {
+		t.Fatalf("NextSeq = %d, want 3", rec2.NextSeq)
+	}
+	if a := rec2.Accepts[0]; a.Promised != 5 || a.AcceptedBal != 5 {
+		t.Fatalf("slot 0 acceptor = %+v", a)
+	}
+	if a := rec2.Accepts[1]; a.Promised != 2 {
+		t.Fatalf("slot 1 acceptor = %+v", a)
+	}
+	b := rec2.Decides[0]
+	if len(b) != 1 || b[0].ID != (rbcast.MsgID{Sender: 2, Seq: 0}) {
+		t.Fatalf("slot 0 decide = %+v", b)
+	}
+	cmd, ok := b[0].Payload.(Command)
+	if !ok || cmd.Key != "k" || cmd.Val != "v" {
+		t.Fatalf("decide payload = %#v", b[0].Payload)
+	}
+
+	// A restarted node rebuilt from the file journal applies the decide.
+	restarted := NewNode(3, 8, WithRecovery(rec2))
+	if restarted.Get("k") != "v" {
+		t.Fatalf("restarted Get(k) = %v, want v", restarted.Get("k"))
+	}
+}
+
+// TestFileJournalTornTail truncates the journal mid-record (as a
+// SIGKILL during a write would) and checks the prefix still replays.
+func TestFileJournalTornTail(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "torn.journal")
+	j, _, err := OpenFileJournal(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	j.SaveSeq(1)
+	j.SaveDecide(0, []Entry{{ID: rbcast.MsgID{Sender: 0, Seq: 0}, Payload: Command{Op: "put", Key: "a", Val: 1}}})
+	j.SaveSeq(2)
+	j.Close()
+
+	// Tear the last record.
+	fi, err := os.Stat(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Truncate(path, fi.Size()-3); err != nil {
+		t.Fatal(err)
+	}
+
+	j2, rec, err := OpenFileJournal(path)
+	if err != nil {
+		t.Fatalf("torn journal failed to open: %v", err)
+	}
+	if rec.NextSeq != 1 {
+		t.Fatalf("NextSeq after torn tail = %d, want 1", rec.NextSeq)
+	}
+	if len(rec.Decides[0]) != 1 {
+		t.Fatalf("decide lost to torn tail: %+v", rec.Decides)
+	}
+	// The journal must still be appendable after a tail truncation.
+	j2.SaveSeq(5)
+	j2.Close()
+	_, rec3, err := OpenFileJournal(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rec3.NextSeq != 5 {
+		t.Fatalf("NextSeq after re-append = %d, want 5", rec3.NextSeq)
+	}
+}

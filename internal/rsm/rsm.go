@@ -36,15 +36,38 @@ type TOBroadcast struct {
 	omega     *fd.Detector
 	onDeliver DeliverFn
 
-	nextSeq   int
-	pending   map[rbcast.MsgID]any
-	delivered map[rbcast.MsgID]bool
-	relayed   map[rbcast.MsgID]bool
+	nextSeq    int
+	persistSeq func(next int) // journal hook, may be nil
+	pending    map[rbcast.MsgID]any
+	delivered  map[rbcast.MsgID]bool
+	relayed    map[rbcast.MsgID]bool
 
 	decided     map[int]batch
 	nextDecide  int // first undecided slot (gates synod s)
 	nextDeliver int // first undelivered slot
+	maxSeen     int // highest slot with a known decision
+
+	recovered     bool                    // restarted from a journal: fetch on Init
+	persistDecide func(slot int, b batch) // journal hook, may be nil
 }
+
+// Anti-entropy messages: a replica that is (or may be) behind asks the
+// others for decided slots it is missing, and peers answer slot by
+// slot. This is the catch-up path for a crash-recovered replica — the
+// one-shot synDecide broadcasts it slept through will never repeat, so
+// without a fetch it would wait forever at its first undelivered slot.
+type (
+	tbFetch   struct{ From int }
+	tbDecided struct {
+		Slot  int
+		Batch batch
+	}
+)
+
+const (
+	tbSyncTimer  = 0
+	tbSyncPeriod = 64
+)
 
 // toPayload disseminates an application message to all replicas' pending
 // sets (eager reliable broadcast).
@@ -62,41 +85,77 @@ func newTOBroadcast(omega *fd.Detector, onDeliver DeliverFn) *TOBroadcast {
 		delivered: make(map[rbcast.MsgID]bool),
 		relayed:   make(map[rbcast.MsgID]bool),
 		decided:   make(map[int]batch),
+		maxSeen:   -1,
 	}
 }
 
 // Init implements amp.Component.
-func (tb *TOBroadcast) Init(amp.Context) {}
+func (tb *TOBroadcast) Init(ctx amp.Context) {
+	if tb.recovered {
+		// A restarted replica may have slept through decisions; ask for
+		// everything from its first undelivered slot.
+		ctx.Broadcast(tbFetch{From: tb.nextDeliver})
+	}
+	ctx.SetTimer(tbSyncPeriod, tbSyncTimer)
+}
 
 // Broadcast TO-broadcasts payload: it will be delivered at every correct
 // replica, in the same total order.
 func (tb *TOBroadcast) Broadcast(ctx amp.Context, payload any) rbcast.MsgID {
 	id := rbcast.MsgID{Sender: ctx.ID(), Seq: tb.nextSeq}
 	tb.nextSeq++
+	if tb.persistSeq != nil {
+		tb.persistSeq(tb.nextSeq)
+	}
 	tb.pending[id] = payload
 	tb.relayed[id] = true
 	ctx.Broadcast(toPayload{ID: id, Payload: payload})
 	return id
 }
 
-// OnMessage implements amp.Component (payload dissemination only; slot
-// agreement arrives via synod decision callbacks).
-func (tb *TOBroadcast) OnMessage(ctx amp.Context, _ int, msg amp.Message) {
-	m, ok := msg.(toPayload)
-	if !ok {
-		return
-	}
-	if !tb.relayed[m.ID] {
-		tb.relayed[m.ID] = true
-		ctx.Broadcast(m) // eager relay: reliable dissemination
-	}
-	if !tb.delivered[m.ID] {
-		tb.pending[m.ID] = m.Payload
+// OnMessage implements amp.Component: payload dissemination plus the
+// anti-entropy fetch protocol (slot agreement itself arrives via synod
+// decision callbacks).
+func (tb *TOBroadcast) OnMessage(ctx amp.Context, from int, msg amp.Message) {
+	switch m := msg.(type) {
+	case toPayload:
+		if !tb.relayed[m.ID] {
+			tb.relayed[m.ID] = true
+			ctx.Broadcast(m) // eager relay: reliable dissemination
+		}
+		if !tb.delivered[m.ID] {
+			tb.pending[m.ID] = m.Payload
+		}
+	case tbFetch:
+		for s, b := range tb.decided {
+			if s >= m.From {
+				ctx.Send(from, tbDecided{Slot: s, Batch: b})
+			}
+		}
+	case tbDecided:
+		if _, dup := tb.decided[m.Slot]; dup {
+			return
+		}
+		if tb.persistDecide != nil {
+			tb.persistDecide(m.Slot, m.Batch)
+		}
+		tb.onSlotDecide(m.Slot, m.Batch, ctx.Now())
 	}
 }
 
-// OnTimer implements amp.Component.
-func (tb *TOBroadcast) OnTimer(amp.Context, int) {}
+// OnTimer implements amp.Component: while a decided-but-undeliverable
+// gap exists (a decision this replica missed), keep asking for it.
+func (tb *TOBroadcast) OnTimer(ctx amp.Context, id int) {
+	if id != tbSyncTimer {
+		return
+	}
+	if tb.maxSeen >= tb.nextDeliver {
+		if _, ok := tb.decided[tb.nextDeliver]; !ok {
+			ctx.Broadcast(tbFetch{From: tb.nextDeliver})
+		}
+	}
+	ctx.SetTimer(tbSyncPeriod, tbSyncTimer)
+}
 
 // proposal builds the batch for the next slot: all known-undelivered
 // messages, in deterministic (MsgID) order.
@@ -125,6 +184,9 @@ func (tb *TOBroadcast) onSlotDecide(s int, v any, at amp.Time) {
 	}
 	if _, dup := tb.decided[s]; !dup {
 		tb.decided[s] = b
+	}
+	if s > tb.maxSeen {
+		tb.maxSeen = s
 	}
 	if s == tb.nextDecide {
 		for {
@@ -167,6 +229,7 @@ type Node struct {
 
 	state   map[string]any
 	applied []Entry
+	seen    map[rbcast.MsgID]bool // idempotency: dedup by (proposer, seq)
 }
 
 // Command is a state-machine command.
@@ -179,21 +242,60 @@ type Command struct {
 // DefaultMaxSlots is the number of pre-wired consensus slots per node.
 const DefaultMaxSlots = 64
 
+// NodeOption configures a replica at construction.
+type NodeOption func(*nodeConfig)
+
+type nodeConfig struct {
+	journal  Journal
+	recovery *Recovery
+}
+
+// WithJournal attaches a persistence journal: acceptor-state changes,
+// decided slots, and the TO sequence number are saved synchronously as
+// they change, making the replica safe to kill -9 and restart (rebuild
+// with WithRecovery from the journal's replay).
+func WithJournal(j Journal) NodeOption {
+	return func(c *nodeConfig) { c.journal = j }
+}
+
+// WithRecovery seeds a restarted replica from a journal replay: the TO
+// sequence number resumes past its pre-crash value, each slot's Paxos
+// acceptor triple is reinstated (the crash-safety invariant), and
+// decided slots are re-applied locally in order, rebuilding the KV
+// state. OnApply is not yet set at construction time, so recovery
+// replay does not re-fire client completions.
+func WithRecovery(rec *Recovery) NodeOption {
+	return func(c *nodeConfig) { c.recovery = rec }
+}
+
 // NewNode wires a replica: an Ω detector, a TO-broadcast coordinator, and
 // maxSlots (0 = DefaultMaxSlots) chained Synod instances, all in one
 // Stack. The returned Stack is the amp.Process to install in the
 // simulator at index == its process id.
-func NewNode(n int, maxSlots int) *Node {
+func NewNode(n int, maxSlots int, opts ...NodeOption) *Node {
 	if maxSlots <= 0 {
 		maxSlots = DefaultMaxSlots
 	}
-	node := &Node{state: make(map[string]any)}
+	var cfg nodeConfig
+	for _, o := range opts {
+		o(&cfg)
+	}
+	node := &Node{state: make(map[string]any), seen: make(map[rbcast.MsgID]bool)}
 	det := fd.NewDetector(n)
 	tb := newTOBroadcast(det, func(e Entry, at amp.Time) { node.apply(e, at) })
+	if j := cfg.journal; j != nil {
+		tb.persistSeq = j.SaveSeq
+		tb.persistDecide = func(slot int, b batch) { j.SaveDecide(slot, b) }
+	}
 	comps := []amp.Component{det, tb}
+	synods := make([]*mpcons.Synod, maxSlots)
 	for s := 0; s < maxSlots; s++ {
 		s := s
 		syn := mpcons.NewSynod(nil, det, func(v any, at amp.Time) {
+			if tb.persistDecide != nil {
+				b, _ := v.(batch)
+				tb.persistDecide(s, b) // persist before applying (write-ahead)
+			}
 			tb.onSlotDecide(s, v, at)
 		})
 		syn.InputFn = tb.proposal
@@ -201,7 +303,31 @@ func NewNode(n int, maxSlots int) *Node {
 			// Run slots in order, and only when there is work.
 			return tb.nextDecide == s && tb.hasPending()
 		}
+		if j := cfg.journal; j != nil {
+			syn.OnAcceptorChange = func(promised, acceptedBal int, acceptedVal any) {
+				j.SaveAccept(s, Acceptor{Promised: promised, AcceptedBal: acceptedBal, AcceptedVal: acceptedVal})
+			}
+		}
+		synods[s] = syn
 		comps = append(comps, syn)
+	}
+	if rec := cfg.recovery; rec != nil {
+		tb.recovered = true
+		if rec.NextSeq > tb.nextSeq {
+			tb.nextSeq = rec.NextSeq
+		}
+		for s, a := range rec.Accepts {
+			if s >= 0 && s < maxSlots {
+				synods[s].RestoreAcceptor(a.Promised, a.AcceptedBal, a.AcceptedVal)
+			}
+		}
+		for _, s := range rec.slots() {
+			b := batch(rec.Decides[s])
+			if s >= 0 && s < maxSlots {
+				synods[s].MarkDecided(b)
+			}
+			tb.onSlotDecide(s, b, 0)
+		}
 	}
 	node.Stack = amp.NewStack(comps...)
 	node.TO = tb
@@ -218,8 +344,16 @@ func (nd *Node) Submit(ctx amp.Context, cmd Command) rbcast.MsgID {
 // Ctx returns the TO component's context (for Schedule-driven Submits).
 func (nd *Node) Ctx() amp.Context { return nd.Stack.Ctx(1) }
 
-// apply executes one delivered command on the local state.
+// apply executes one delivered command on the local state. It is
+// idempotent by (proposer, seq): the TO layer already dedups batch
+// entries, but over a real at-least-once transport a retransmitted
+// decide could reach the delivery path twice, and applying a command
+// twice would corrupt the replica (and its linearizability history).
 func (nd *Node) apply(e Entry, at amp.Time) {
+	if nd.seen[e.ID] {
+		return
+	}
+	nd.seen[e.ID] = true
 	nd.applied = append(nd.applied, e)
 	cmd, ok := e.Payload.(Command)
 	if ok {

@@ -20,7 +20,7 @@ import (
 var seedBudget = map[string]uint64{
 	"abd": 6, "abdmulti": 2, "rsm": 2, "benor": 6, "universal": 2, "ampequiv": 8,
 	"shmequiv": 10, "shmexplore": 4, "roundequiv": 1, "check": 15, "flp": 4,
-	"dynnet": 10, "madv": 6,
+	"dynnet": 10, "madv": 6, "transport": 2,
 }
 
 func TestReplayIsByteStablePerAdapter(t *testing.T) {

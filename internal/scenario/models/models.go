@@ -4,6 +4,9 @@
 //   - abd, rsm, benor — asynchronous message passing (amp) systems
 //     under composed amp adversaries, checked for linearizability or
 //     agreement/validity.
+//   - transport — the rsm cluster over the real-transport runtime
+//     (Loopback+Chaos+Resilient), with crash faults rebuilding a
+//     replica from its journal, checked for linearizability.
 //   - universal — the shared-memory universal construction under
 //     scenario-scheduled crashes, checked per key against KVSpec.
 //   - ampequiv, shmequiv, roundequiv, check, flp — golden-equivalence
@@ -31,6 +34,7 @@ func All() []scenario.Model {
 		&ABD{},
 		&ABDMulti{},
 		&RSM{},
+		&Transport{},
 		&BenOr{},
 		&Universal{},
 		&AmpEquiv{},

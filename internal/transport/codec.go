@@ -1,0 +1,117 @@
+package transport
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"io"
+)
+
+// The wire format: every frame is
+//
+//	[magic 0xB5] [version 0x01] [length uint32 BE] [payload] [crc32 uint32 BE]
+//
+// where length counts payload bytes only and the CRC (IEEE) covers the
+// payload. The magic/version pair rejects foreign traffic and stale
+// peers cheaply; the CRC turns line garbage into a typed error instead
+// of a gob panic further up. Decoders validate the declared length
+// against both the configured maximum and the available input before
+// allocating anything, so a hostile length field cannot cause an
+// over-allocation.
+
+const (
+	frameMagic   = 0xB5
+	frameVersion = 0x01
+	// frameHeaderSize is magic + version + length.
+	frameHeaderSize = 6
+	// frameTrailerSize is the payload CRC.
+	frameTrailerSize = 4
+	// FrameOverhead is the fixed per-frame byte overhead.
+	FrameOverhead = frameHeaderSize + frameTrailerSize
+	// DefaultMaxFrame bounds payload size unless a backend overrides
+	// it.
+	DefaultMaxFrame = 1 << 20
+)
+
+// AppendFrame appends the encoding of payload to dst and returns the
+// extended slice. Payloads above max (<= 0 selects DefaultMaxFrame)
+// return ErrFrameTooLarge.
+func AppendFrame(dst, payload []byte, max int) ([]byte, error) {
+	if max <= 0 {
+		max = DefaultMaxFrame
+	}
+	if len(payload) > max {
+		return dst, fmt.Errorf("%w: %d > %d", ErrFrameTooLarge, len(payload), max)
+	}
+	dst = append(dst, frameMagic, frameVersion)
+	dst = binary.BigEndian.AppendUint32(dst, uint32(len(payload)))
+	dst = append(dst, payload...)
+	dst = binary.BigEndian.AppendUint32(dst, crc32.ChecksumIEEE(payload))
+	return dst, nil
+}
+
+// DecodeFrame decodes one frame from the front of buf, returning the
+// payload (aliasing buf — copy before retaining) and the number of
+// bytes consumed. Incomplete input returns ErrTruncatedFrame; a bad
+// magic, version, or checksum returns ErrBadFrame; a declared length
+// above max (<= 0 selects DefaultMaxFrame) returns ErrFrameTooLarge.
+// DecodeFrame never allocates.
+func DecodeFrame(buf []byte, max int) (payload []byte, consumed int, err error) {
+	if max <= 0 {
+		max = DefaultMaxFrame
+	}
+	if len(buf) < frameHeaderSize {
+		return nil, 0, ErrTruncatedFrame
+	}
+	if buf[0] != frameMagic || buf[1] != frameVersion {
+		return nil, 0, fmt.Errorf("%w: bad magic/version %#x %#x", ErrBadFrame, buf[0], buf[1])
+	}
+	n := binary.BigEndian.Uint32(buf[2:6])
+	if n > uint32(max) {
+		return nil, 0, fmt.Errorf("%w: declared %d > %d", ErrFrameTooLarge, n, max)
+	}
+	total := frameHeaderSize + int(n) + frameTrailerSize
+	if len(buf) < total {
+		return nil, 0, ErrTruncatedFrame
+	}
+	payload = buf[frameHeaderSize : frameHeaderSize+int(n)]
+	sum := binary.BigEndian.Uint32(buf[frameHeaderSize+int(n):])
+	if sum != crc32.ChecksumIEEE(payload) {
+		return nil, 0, fmt.Errorf("%w: checksum mismatch", ErrBadFrame)
+	}
+	return payload, total, nil
+}
+
+// ReadFrame reads one frame from r, allocating at most max (<= 0
+// selects DefaultMaxFrame) plus the fixed overhead. It returns the
+// same typed errors as DecodeFrame; a clean EOF before the first
+// header byte returns io.EOF.
+func ReadFrame(r io.Reader, max int) ([]byte, error) {
+	if max <= 0 {
+		max = DefaultMaxFrame
+	}
+	var hdr [frameHeaderSize]byte
+	if _, err := io.ReadFull(r, hdr[:1]); err != nil {
+		return nil, err // io.EOF between frames is a clean close
+	}
+	if _, err := io.ReadFull(r, hdr[1:]); err != nil {
+		return nil, ErrTruncatedFrame
+	}
+	if hdr[0] != frameMagic || hdr[1] != frameVersion {
+		return nil, fmt.Errorf("%w: bad magic/version %#x %#x", ErrBadFrame, hdr[0], hdr[1])
+	}
+	n := binary.BigEndian.Uint32(hdr[2:6])
+	if n > uint32(max) {
+		return nil, fmt.Errorf("%w: declared %d > %d", ErrFrameTooLarge, n, max)
+	}
+	body := make([]byte, int(n)+frameTrailerSize)
+	if _, err := io.ReadFull(r, body); err != nil {
+		return nil, ErrTruncatedFrame
+	}
+	payload := body[:n]
+	sum := binary.BigEndian.Uint32(body[n:])
+	if sum != crc32.ChecksumIEEE(payload) {
+		return nil, fmt.Errorf("%w: checksum mismatch", ErrBadFrame)
+	}
+	return payload, nil
+}

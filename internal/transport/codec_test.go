@@ -1,0 +1,153 @@
+package transport
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"testing"
+)
+
+func TestFrameRoundTrip(t *testing.T) {
+	for _, payload := range [][]byte{
+		nil,
+		{},
+		[]byte("x"),
+		[]byte("hello, world"),
+		bytes.Repeat([]byte{0xAB}, 4096),
+	} {
+		buf, err := AppendFrame(nil, payload, 0)
+		if err != nil {
+			t.Fatalf("AppendFrame(%d bytes): %v", len(payload), err)
+		}
+		if len(buf) != len(payload)+FrameOverhead {
+			t.Fatalf("frame size %d, want %d", len(buf), len(payload)+FrameOverhead)
+		}
+		got, consumed, err := DecodeFrame(buf, 0)
+		if err != nil {
+			t.Fatalf("DecodeFrame: %v", err)
+		}
+		if consumed != len(buf) || !bytes.Equal(got, payload) {
+			t.Fatalf("round trip: consumed %d/%d, payload %q vs %q", consumed, len(buf), got, payload)
+		}
+		got2, err := ReadFrame(bytes.NewReader(buf), 0)
+		if err != nil {
+			t.Fatalf("ReadFrame: %v", err)
+		}
+		if !bytes.Equal(got2, payload) {
+			t.Fatalf("ReadFrame payload %q, want %q", got2, payload)
+		}
+	}
+}
+
+func TestFrameMultipleOnStream(t *testing.T) {
+	var stream []byte
+	var err error
+	payloads := [][]byte{[]byte("a"), []byte("bb"), []byte("ccc")}
+	for _, p := range payloads {
+		stream, err = AppendFrame(stream, p, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	r := bytes.NewReader(stream)
+	for i, want := range payloads {
+		got, err := ReadFrame(r, 0)
+		if err != nil {
+			t.Fatalf("frame %d: %v", i, err)
+		}
+		if !bytes.Equal(got, want) {
+			t.Fatalf("frame %d: %q, want %q", i, got, want)
+		}
+	}
+	if _, err := ReadFrame(r, 0); err != io.EOF {
+		t.Fatalf("after last frame: %v, want io.EOF", err)
+	}
+}
+
+func TestFrameTooLarge(t *testing.T) {
+	if _, err := AppendFrame(nil, make([]byte, 100), 99); !errors.Is(err, ErrFrameTooLarge) {
+		t.Fatalf("AppendFrame over max: %v", err)
+	}
+	buf, _ := AppendFrame(nil, make([]byte, 100), 0)
+	if _, _, err := DecodeFrame(buf, 99); !errors.Is(err, ErrFrameTooLarge) {
+		t.Fatalf("DecodeFrame over max: %v", err)
+	}
+	if _, err := ReadFrame(bytes.NewReader(buf), 99); !errors.Is(err, ErrFrameTooLarge) {
+		t.Fatalf("ReadFrame over max: %v", err)
+	}
+}
+
+func TestFrameTruncated(t *testing.T) {
+	buf, _ := AppendFrame(nil, []byte("payload"), 0)
+	for cut := 1; cut < len(buf); cut++ {
+		if _, _, err := DecodeFrame(buf[:cut], 0); !errors.Is(err, ErrTruncatedFrame) {
+			t.Fatalf("DecodeFrame cut at %d: %v", cut, err)
+		}
+		if _, err := ReadFrame(bytes.NewReader(buf[:cut]), 0); !errors.Is(err, ErrTruncatedFrame) {
+			t.Fatalf("ReadFrame cut at %d: %v", cut, err)
+		}
+	}
+}
+
+func TestFrameGarbage(t *testing.T) {
+	buf, _ := AppendFrame(nil, []byte("payload"), 0)
+	// Bad magic.
+	bad := append([]byte(nil), buf...)
+	bad[0] = 0x00
+	if _, _, err := DecodeFrame(bad, 0); !errors.Is(err, ErrBadFrame) {
+		t.Fatalf("bad magic: %v", err)
+	}
+	// Bad version.
+	bad = append([]byte(nil), buf...)
+	bad[1] = 0x7F
+	if _, _, err := DecodeFrame(bad, 0); !errors.Is(err, ErrBadFrame) {
+		t.Fatalf("bad version: %v", err)
+	}
+	// Flipped payload bit fails the CRC.
+	bad = append([]byte(nil), buf...)
+	bad[frameHeaderSize] ^= 0x01
+	if _, _, err := DecodeFrame(bad, 0); !errors.Is(err, ErrBadFrame) {
+		t.Fatalf("corrupt payload: %v", err)
+	}
+	if _, err := ReadFrame(bytes.NewReader(bad), 0); !errors.Is(err, ErrBadFrame) {
+		t.Fatalf("ReadFrame corrupt payload: %v", err)
+	}
+}
+
+// TestReadFrameHostileLength checks the bounded-allocation promise: a
+// header declaring a huge payload must error before allocating it.
+func TestReadFrameHostileLength(t *testing.T) {
+	hdr := []byte{frameMagic, frameVersion, 0xFF, 0xFF, 0xFF, 0xFF}
+	if _, err := ReadFrame(bytes.NewReader(hdr), 1<<16); !errors.Is(err, ErrFrameTooLarge) {
+		t.Fatalf("hostile length: %v", err)
+	}
+}
+
+func TestCodecMessageRoundTrip(t *testing.T) {
+	type kv struct {
+		K string
+		V int
+	}
+	Register(kv{})
+	var c Codec
+	frame, err := c.Encode(kv{K: "answer", V: 42})
+	if err != nil {
+		t.Fatal(err)
+	}
+	msg, err := c.Decode(frame)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, ok := msg.(kv)
+	if !ok || got.K != "answer" || got.V != 42 {
+		t.Fatalf("decoded %#v", msg)
+	}
+}
+
+func TestCodecUnregistered(t *testing.T) {
+	type unregistered struct{ X int }
+	var c Codec
+	if _, err := c.Encode(unregistered{X: 1}); err == nil {
+		t.Fatal("encoding an unregistered type must error")
+	}
+}

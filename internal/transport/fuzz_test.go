@@ -1,0 +1,65 @@
+package transport
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzCodecRoundTrip fuzzes the frame codec from both directions:
+// arbitrary input bytes are decoded (truncated, oversized, and garbage
+// frames must produce typed errors — never a panic or an allocation
+// beyond the configured max), and whatever input arrives is also
+// treated as a payload, framed, and required to round-trip exactly,
+// including through the incremental stream reader.
+func FuzzCodecRoundTrip(f *testing.F) {
+	seed, _ := AppendFrame(nil, []byte("seed payload"), 0)
+	f.Add(seed)
+	empty, _ := AppendFrame(nil, nil, 0)
+	f.Add(empty)
+	f.Add([]byte{})
+	f.Add([]byte{frameMagic})
+	f.Add([]byte{frameMagic, frameVersion, 0xFF, 0xFF, 0xFF, 0xFF})
+	f.Add([]byte("not a frame at all"))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		const max = 1 << 16
+		// Decode direction: must never panic; on success the consumed
+		// count must be in range and the payload must re-encode to the
+		// consumed prefix.
+		payload, consumed, err := DecodeFrame(data, max)
+		if err == nil {
+			if consumed <= 0 || consumed > len(data) {
+				t.Fatalf("consumed %d of %d", consumed, len(data))
+			}
+			if len(payload) > max {
+				t.Fatalf("payload %d exceeds max %d", len(payload), max)
+			}
+			re, err := AppendFrame(nil, payload, max)
+			if err != nil {
+				t.Fatalf("re-encode: %v", err)
+			}
+			if !bytes.Equal(re, data[:consumed]) {
+				t.Fatal("re-encoded frame differs from consumed input")
+			}
+		}
+		// The stream reader must agree with the in-place decoder on
+		// whether the prefix holds a valid frame.
+		got, rerr := ReadFrame(bytes.NewReader(data), max)
+		if (err == nil) != (rerr == nil) {
+			t.Fatalf("DecodeFrame err=%v but ReadFrame err=%v", err, rerr)
+		}
+		if err == nil && !bytes.Equal(got, payload) {
+			t.Fatal("ReadFrame and DecodeFrame payloads differ")
+		}
+		// Encode direction: any input, viewed as a payload, round-trips.
+		if len(data) <= max {
+			frame, err := AppendFrame(nil, data, max)
+			if err != nil {
+				t.Fatalf("AppendFrame(%d bytes): %v", len(data), err)
+			}
+			back, n, err := DecodeFrame(frame, max)
+			if err != nil || n != len(frame) || !bytes.Equal(back, data) {
+				t.Fatalf("payload round trip failed: n=%d err=%v", n, err)
+			}
+		}
+	})
+}

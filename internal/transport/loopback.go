@@ -1,0 +1,258 @@
+package transport
+
+import (
+	"container/heap"
+	"sync"
+
+	"distbasics/internal/amp"
+)
+
+// Loopback is the in-process deterministic network: n endpoints, a
+// virtual clock, and one event queue ordered by (time, enqueue-seq).
+// Deliveries and timer callbacks fire only inside Run, on the calling
+// goroutine, so a seeded run replays byte-identically — the property
+// the scenario harness and cmd/basicsfuzz build on. SetDown emulates
+// kill -9 deterministically: a down node's sends error, frames
+// addressed to it evaporate, and a restarted node re-installs its
+// handler via Node(i).Handle.
+type Loopback struct {
+	mu    sync.Mutex
+	now   amp.Time
+	seq   int64
+	queue lbQueue
+	nodes []*LoopbackNode
+	delay func(src, dst int, at amp.Time) amp.Time
+	down  []bool
+	stats Stats
+}
+
+// LoopbackOption configures a Loopback.
+type LoopbackOption func(*Loopback)
+
+// WithLoopbackDelay sets the per-link delivery delay function (clamped
+// to >= 1 tick; default constant 1).
+func WithLoopbackDelay(d func(src, dst int, at amp.Time) amp.Time) LoopbackOption {
+	return func(l *Loopback) { l.delay = d }
+}
+
+// NewLoopback returns an n-endpoint in-process network.
+func NewLoopback(n int, opts ...LoopbackOption) *Loopback {
+	l := &Loopback{
+		delay: func(_, _ int, _ amp.Time) amp.Time { return 1 },
+		down:  make([]bool, n),
+	}
+	for _, o := range opts {
+		o(l)
+	}
+	l.nodes = make([]*LoopbackNode, n)
+	for i := 0; i < n; i++ {
+		l.nodes[i] = &LoopbackNode{net: l, id: i}
+	}
+	return l
+}
+
+// Node returns endpoint i's Transport.
+func (l *Loopback) Node(i int) *LoopbackNode {
+	validatePeer(i, len(l.nodes))
+	return l.nodes[i]
+}
+
+// Clock returns the network's virtual clock (shared by all endpoints).
+func (l *Loopback) Clock() Clock { return (*loopbackClock)(l) }
+
+// Stats returns the network's counters.
+func (l *Loopback) Stats() *Stats { return &l.stats }
+
+// SetDown marks endpoint i down (true) or back up (false). While down,
+// its sends return ErrDown and frames addressed to it are discarded at
+// delivery time.
+func (l *Loopback) SetDown(i int, down bool) {
+	validatePeer(i, len(l.nodes))
+	l.mu.Lock()
+	l.down[i] = down
+	l.mu.Unlock()
+}
+
+// Now returns the current virtual time.
+func (l *Loopback) Now() amp.Time {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.now
+}
+
+// Run pumps events in deterministic order until the queue is empty or
+// the next event is due after `until`, then sets the clock to `until`.
+// It returns the number of events fired.
+func (l *Loopback) Run(until amp.Time) int {
+	fired := 0
+	for {
+		l.mu.Lock()
+		if len(l.queue) == 0 || l.queue[0].at > until {
+			if l.now < until {
+				l.now = until
+			}
+			l.mu.Unlock()
+			return fired
+		}
+		ev := heap.Pop(&l.queue).(*lbEvent)
+		if ev.at > l.now {
+			l.now = ev.at
+		}
+		l.mu.Unlock()
+		if !ev.stopped {
+			ev.f()
+			fired++
+		}
+	}
+}
+
+// push enqueues f at time at (callers hold no loopback locks).
+func (l *Loopback) push(at amp.Time, f func()) *lbEvent {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if at < l.now {
+		at = l.now
+	}
+	ev := &lbEvent{at: at, seq: l.seq, f: f}
+	l.seq++
+	heap.Push(&l.queue, ev)
+	return ev
+}
+
+// lbEvent is one queued delivery or timer callback.
+type lbEvent struct {
+	at      amp.Time
+	seq     int64
+	f       func()
+	stopped bool
+	idx     int
+}
+
+// Stop implements Timer.
+func (ev *lbEvent) Stop() bool {
+	if ev.stopped {
+		return false
+	}
+	ev.stopped = true
+	return true
+}
+
+// lbQueue is a (time, seq)-ordered binary heap.
+type lbQueue []*lbEvent
+
+func (q lbQueue) Len() int { return len(q) }
+func (q lbQueue) Less(i, j int) bool {
+	if q[i].at != q[j].at {
+		return q[i].at < q[j].at
+	}
+	return q[i].seq < q[j].seq
+}
+func (q lbQueue) Swap(i, j int) {
+	q[i], q[j] = q[j], q[i]
+	q[i].idx, q[j].idx = i, j
+}
+func (q *lbQueue) Push(x any) {
+	ev := x.(*lbEvent)
+	ev.idx = len(*q)
+	*q = append(*q, ev)
+}
+func (q *lbQueue) Pop() any {
+	old := *q
+	n := len(old)
+	ev := old[n-1]
+	old[n-1] = nil
+	*q = old[:n-1]
+	return ev
+}
+
+// loopbackClock adapts the network's event queue to Clock.
+type loopbackClock Loopback
+
+// Now implements Clock.
+func (c *loopbackClock) Now() amp.Time { return (*Loopback)(c).Now() }
+
+// AfterFunc implements Clock.
+func (c *loopbackClock) AfterFunc(d amp.Time, f func()) Timer {
+	if d < 1 {
+		d = 1
+	}
+	l := (*Loopback)(c)
+	return l.push(l.Now()+d, f)
+}
+
+// LoopbackNode is one endpoint of a Loopback network.
+type LoopbackNode struct {
+	net     *Loopback
+	id      int
+	mu      sync.Mutex
+	handler Handler
+	closed  bool
+}
+
+// Self implements Transport.
+func (n *LoopbackNode) Self() int { return n.id }
+
+// N implements Transport.
+func (n *LoopbackNode) N() int { return len(n.net.nodes) }
+
+// Handle implements Transport.
+func (n *LoopbackNode) Handle(h Handler) {
+	n.mu.Lock()
+	n.handler = h
+	n.closed = false
+	n.mu.Unlock()
+}
+
+// Send implements Transport: the frame is copied and delivered after
+// the network's per-link delay, unless either end is down.
+func (n *LoopbackNode) Send(to int, frame []byte) error {
+	validatePeer(to, n.N())
+	n.mu.Lock()
+	closed := n.closed
+	n.mu.Unlock()
+	if closed {
+		return ErrClosed
+	}
+	l := n.net
+	l.mu.Lock()
+	if l.down[n.id] {
+		l.mu.Unlock()
+		return ErrDown
+	}
+	now := l.now
+	l.mu.Unlock()
+	d := l.delay(n.id, to, now)
+	if d < 1 {
+		d = 1
+	}
+	cp := append([]byte(nil), frame...)
+	from := n.id
+	l.stats.Sent.Add(1)
+	l.push(now+d, func() {
+		dst := l.nodes[to]
+		l.mu.Lock()
+		dstDown := l.down[to]
+		l.mu.Unlock()
+		dst.mu.Lock()
+		h := dst.handler
+		dstClosed := dst.closed
+		dst.mu.Unlock()
+		if dstDown || dstClosed || h == nil {
+			l.stats.Dropped.Add(1)
+			return
+		}
+		l.stats.Delivered.Add(1)
+		h(from, cp)
+	})
+	return nil
+}
+
+// Close implements Transport. Closing an endpoint only detaches it; a
+// later Handle reattaches (restart).
+func (n *LoopbackNode) Close() error {
+	n.mu.Lock()
+	n.closed = true
+	n.handler = nil
+	n.mu.Unlock()
+	return nil
+}

@@ -1,0 +1,218 @@
+package transport
+
+import (
+	"testing"
+
+	"distbasics/internal/amp"
+	"distbasics/internal/rsm"
+)
+
+// lbCluster is an rsm cluster over Loopback + Resilient + Runtime: the
+// full real-transport stack minus the sockets, fully deterministic.
+type lbCluster struct {
+	lb    *Loopback
+	nodes []*rsm.Node
+	rts   []*Runtime
+	res   []*Resilient
+}
+
+func newLBCluster(t *testing.T, n int, chaos []ChaosRule) *lbCluster {
+	t.Helper()
+	amp.RegisterWire(Register)
+	rsm.RegisterWire(Register)
+	c := &lbCluster{lb: NewLoopback(n)}
+	clock := c.lb.Clock()
+	for i := 0; i < n; i++ {
+		var tr Transport = c.lb.Node(i)
+		if len(chaos) > 0 {
+			rules := make([]ChaosRule, len(chaos))
+			copy(rules, chaos)
+			for j := range rules {
+				rules[j].Seed ^= int64(i+1) << 8 // distinct stream per sender
+			}
+			tr = NewChaos(tr, clock, rules...)
+		}
+		// The retry policy must be tuned to the transport: loopback RTT is
+		// ~2 ticks, and with acks also subject to chaos the effective
+		// round-trip loss is ~1-(1-p)^2, so a 40-tick SendTimeout makes
+		// per-link service time exceed the heartbeat rate and the cluster
+		// saturates. Timeout a few RTTs out, retry quickly.
+		res := NewResilient(tr, clock, Policy{
+			SendTimeout: 10, RetryBase: 5, RetryCap: 80, Seed: int64(i + 1),
+		})
+		nd := rsm.NewNode(n, 8)
+		// The simulation-scale heartbeat period (8) outruns the link
+		// service rate under chaos (one in-flight frame per link, plus
+		// retry latency) and the backlog starves consensus traffic.
+		// Real-transport clusters heartbeat at a rate the links sustain.
+		nd.Omega.Period = 40
+		rt := NewRuntime(res, clock, nd.Stack,
+			WithRuntimeSeed(int64(i+1)),
+			WithSuspectSource(nd.Omega.Suspects),
+		)
+		res.SetSuspected(rt.Suspected)
+		rt.Start()
+		c.nodes = append(c.nodes, nd)
+		c.rts = append(c.rts, rt)
+		c.res = append(c.res, res)
+	}
+	return c
+}
+
+// submit runs a Submit inside node i's event loop.
+func (c *lbCluster) submit(i int, cmd rsm.Command) {
+	c.rts[i].Do(func(amp.Context) {
+		c.nodes[i].Submit(c.nodes[i].Ctx(), cmd)
+	})
+}
+
+func TestRuntimeRSMOverLoopback(t *testing.T) {
+	c := newLBCluster(t, 3, nil)
+	c.submit(1, rsm.Command{Op: "put", Key: "x", Val: 42})
+	c.lb.Run(50_000)
+	c.submit(0, rsm.Command{Op: "put", Key: "y", Val: "z"})
+	c.lb.Run(150_000)
+	for i, nd := range c.nodes {
+		if nd.Len() != 2 {
+			t.Fatalf("node %d applied %d entries, want 2", i, nd.Len())
+		}
+		if nd.Get("x") != 42 || nd.Get("y") != "z" {
+			t.Fatalf("node %d state: x=%v y=%v", i, nd.Get("x"), nd.Get("y"))
+		}
+	}
+	// Mutual consistency: identical applied order everywhere.
+	ref := c.nodes[0].Applied()
+	for i := 1; i < len(c.nodes); i++ {
+		got := c.nodes[i].Applied()
+		for j := range ref {
+			if got[j].ID != ref[j].ID {
+				t.Fatalf("nodes 0 and %d diverge at %d", i, j)
+			}
+		}
+	}
+}
+
+func TestRuntimeRSMUnderChaos(t *testing.T) {
+	// 20% drops + delays + duplicates: Resilient retries push the
+	// protocol through, and idempotent apply absorbs the duplicates.
+	c := newLBCluster(t, 3, []ChaosRule{
+		{Kind: ChaosDrop, Pct: 20, Seed: 101},
+		{Kind: ChaosDelay, Pct: 6, Seed: 202},
+		{Kind: ChaosDuplicate, Pct: 20, Seed: 303},
+	})
+	c.submit(2, rsm.Command{Op: "put", Key: "k", Val: 1})
+	c.lb.Run(120_000)
+	for i, nd := range c.nodes {
+		if nd.Len() != 1 {
+			t.Fatalf("node %d applied %d entries under chaos, want 1", i, nd.Len())
+		}
+		if nd.Get("k") != 1 {
+			t.Fatalf("node %d k=%v", i, nd.Get("k"))
+		}
+	}
+}
+
+// TestRuntimeDeterministicReplay runs the identical chaos scenario
+// twice and requires byte-identical applied sequences and stats — the
+// property cmd/basicsfuzz relies on to shrink transport scenarios.
+func TestRuntimeDeterministicReplay(t *testing.T) {
+	run := func() ([]string, uint64) {
+		c := newLBCluster(t, 3, []ChaosRule{
+			{Kind: ChaosDrop, Pct: 25, Seed: 7},
+			{Kind: ChaosDuplicate, Pct: 15, Seed: 8},
+		})
+		c.submit(0, rsm.Command{Op: "put", Key: "a", Val: 1})
+		c.lb.Run(30_000)
+		c.submit(1, rsm.Command{Op: "put", Key: "b", Val: 2})
+		c.lb.Run(180_000)
+		var trace []string
+		for _, nd := range c.nodes {
+			for _, e := range nd.Applied() {
+				trace = append(trace, e.ID.String())
+			}
+		}
+		return trace, c.lb.Stats().Delivered.Load()
+	}
+	t1, d1 := run()
+	t2, d2 := run()
+	if d1 != d2 {
+		t.Fatalf("delivery counts differ: %d vs %d", d1, d2)
+	}
+	if len(t1) != len(t2) {
+		t.Fatalf("trace lengths differ: %d vs %d", len(t1), len(t2))
+	}
+	for i := range t1 {
+		if t1[i] != t2[i] {
+			t.Fatalf("replay diverges at %d: %s vs %s", i, t1[i], t2[i])
+		}
+	}
+	if len(t1) == 0 {
+		t.Fatal("nothing applied")
+	}
+}
+
+// TestRuntimeStopIsRestartable stops a node's runtime (kill), then
+// rebuilds it from a journal and rejoins — the deterministic in-process
+// version of the e2e kill -9 demo.
+func TestRuntimeStopIsRestartable(t *testing.T) {
+	amp.RegisterWire(Register)
+	rsm.RegisterWire(Register)
+	const n = 3
+	lb := NewLoopback(n)
+	clock := lb.Clock()
+	journal := rsm.NewMemJournal()
+	nodes := make([]*rsm.Node, n)
+	rts := make([]*Runtime, n)
+	for i := 0; i < n; i++ {
+		var opts []rsm.NodeOption
+		if i == 2 {
+			opts = append(opts, rsm.WithJournal(journal))
+		}
+		nodes[i] = rsm.NewNode(n, 8, opts...)
+		nodes[i].Omega.Period = 40
+		res := NewResilient(lb.Node(i), clock, Policy{Seed: int64(i + 1)})
+		rts[i] = NewRuntime(res, clock, nodes[i].Stack, WithRuntimeSeed(int64(i+1)))
+		rts[i].Start()
+	}
+	rts[0].Do(func(amp.Context) { nodes[0].Submit(nodes[0].Ctx(), rsm.Command{Op: "put", Key: "pre", Val: 1}) })
+	lb.Run(100_000)
+	if nodes[2].Len() != 1 {
+		t.Fatalf("node 2 applied %d before kill", nodes[2].Len())
+	}
+
+	// kill -9 node 2: runtime stops, endpoint goes down.
+	rts[2].Stop()
+	lb.SetDown(2, true)
+	rts[0].Do(func(amp.Context) { nodes[0].Submit(nodes[0].Ctx(), rsm.Command{Op: "put", Key: "during", Val: 2}) })
+	lb.Run(300_000)
+	if nodes[0].Len() != 2 || nodes[1].Len() != 2 {
+		t.Fatalf("survivors stalled: %d/%d applied", nodes[0].Len(), nodes[1].Len())
+	}
+
+	// Restart node 2 from its journal; it must catch up.
+	lb.SetDown(2, false)
+	restarted := rsm.NewNode(n, 8, rsm.WithJournal(journal), rsm.WithRecovery(journal.Recovery()))
+	restarted.Omega.Period = 40
+	res2 := NewResilient(lb.Node(2), clock, Policy{Seed: 3})
+	rt2 := NewRuntime(res2, clock, restarted.Stack, WithRuntimeSeed(3))
+	rt2.Start()
+	if restarted.Len() != 1 || restarted.Get("pre") != 1 {
+		t.Fatalf("journal replay: %d applied, pre=%v", restarted.Len(), restarted.Get("pre"))
+	}
+	rts[0].Do(func(amp.Context) { nodes[0].Submit(nodes[0].Ctx(), rsm.Command{Op: "put", Key: "post", Val: 3}) })
+	lb.Run(700_000)
+	if restarted.Len() != 3 {
+		t.Fatalf("restarted node applied %d entries, want 3 (pre, during, post)", restarted.Len())
+	}
+	if restarted.Get("during") != 2 || restarted.Get("post") != 3 {
+		t.Fatalf("restarted state: during=%v post=%v", restarted.Get("during"), restarted.Get("post"))
+	}
+	// Its applied order matches the survivors'.
+	ref := nodes[0].Applied()
+	got := restarted.Applied()
+	for i := range ref {
+		if ref[i].ID != got[i].ID {
+			t.Fatalf("restarted order diverges at %d", i)
+		}
+	}
+}

@@ -1,0 +1,199 @@
+// Package transport is the repository's real-network runtime: the same
+// Process code that runs inside internal/amp's virtual-time simulator
+// runs here over actual byte-frame transports — in-process, TCP, or a
+// fault-injecting wrapper — via a thin amp.Context adapter (Runtime).
+// The simulator stays the scenario lab; this package proves the
+// algorithms survive real concurrency, real timeouts, and real crashes
+// (kill -9 a node mid-campaign and restart it).
+//
+// # Architecture
+//
+// A Transport moves opaque byte frames between n fixed peers:
+//
+//   - Loopback (loopback.go): an in-process network with a virtual
+//     clock and a deterministic event queue, usable from tests and the
+//     scenario harness — the same seed always yields the same delivery
+//     order, so transport-level runs are replayable and shrinkable by
+//     cmd/basicsfuzz like every other engine.
+//   - TCP (tcp.go): length-prefixed binary frames (codec.go) over a
+//     per-destination connection pool with dial timeouts and automatic
+//     reconnect. Connections are simplex: each direction dials its own,
+//     which makes reconnect after a peer death a local decision of the
+//     sender.
+//   - Chaos (chaos.go): a wrapping transport that injects drops,
+//     delays, duplication, reordering, and link partitions from a
+//     seeded schedule, mirroring amp.Adversary semantics (first drop
+//     verdict wins; delays accumulate) so the simulator's fault
+//     vocabulary translates one-to-one to real backends.
+//
+// # The robustness contract (Resilient)
+//
+// All backends share one robustness layer, Resilient (resilient.go),
+// which turns a lossy fire-and-forget transport into bounded
+// at-least-once delivery:
+//
+//   - Every data frame carries a per-link sequence number and is
+//     retransmitted until acknowledged, with a per-link send timeout
+//     and exponential backoff plus seeded jitter between attempts
+//     (Policy.RetryBase doubling up to Policy.RetryCap, +/-
+//     Policy.JitterPct percent).
+//   - The retry budget is bounded (Policy.Budget attempts): exhaustion
+//     surfaces a typed *RetryError through OnDrop and the Dropped
+//     counter, and the link moves on to its next queued frame — a dead
+//     peer can delay a link, never wedge it.
+//   - Heartbeat liveness is wired in from internal/fd: when
+//     Policy.Suspected reports a peer suspect, the link stops burning
+//     its retry budget and parks outgoing frames in a bounded queue
+//     (Policy.QueueCap). Beyond the cap frames are shed with a typed
+//     *ShedError and counted — never unbounded growth, never a hang. A
+//     probe timer (and Kick, invoked by the Runtime when a suspicion
+//     retracts) drains the queue once the peer looks alive again.
+//   - Delivery is at-least-once: an ack lost to the network means the
+//     frame is retransmitted and delivered twice. Protocol layers must
+//     be idempotent (rsm.Node dedups applies by message ID).
+//
+// # Running real protocol stacks
+//
+// Runtime (runtime.go) adapts a Transport to amp.Context, so
+// abd/rbcast/mpcons/rsm stacks run unmodified: handlers execute under
+// an actor mutex (one at a time per node, as in the simulator), timers
+// come from the transport's Clock (virtual for Loopback, wall for TCP),
+// and messages are encoded with the gob-based Codec (wire.go) whose
+// concrete types each protocol package registers via its RegisterWire
+// function. cmd/basicsd builds a node binary, workload driver, and
+// kill -9 end-to-end harness on top; internal/scenario/models/transport
+// drives the Loopback+Chaos stack through seeded fault schedules with
+// the linearizable-KV oracle.
+package transport
+
+import (
+	"errors"
+	"fmt"
+	"sync/atomic"
+)
+
+// Handler is the delivery upcall: one inbound frame from peer `from`.
+// Handlers may be invoked concurrently by real backends; the Runtime
+// serializes them per node.
+type Handler func(from int, frame []byte)
+
+// Transport moves opaque byte frames between n fixed peers, identified
+// by ids in [0, n). Send is fire-and-forget at this layer: an error
+// reports a local, synchronous failure (closed transport, unreachable
+// peer, oversized frame); successful return does not imply delivery.
+// Wrap with Resilient for retry/timeout/backoff semantics.
+type Transport interface {
+	// Self returns this endpoint's id.
+	Self() int
+	// N returns the number of peers (including self).
+	N() int
+	// Handle installs the delivery upcall (replacing any previous one).
+	Handle(h Handler)
+	// Send queues frame for delivery to peer `to`. The frame is not
+	// aliased after Send returns.
+	Send(to int, frame []byte) error
+	// Close releases the transport; subsequent Sends return ErrClosed.
+	Close() error
+}
+
+// Typed errors of the transport layer. Resilient wraps them with
+// per-frame context (RetryError, ShedError).
+var (
+	// ErrClosed reports a send on a closed transport.
+	ErrClosed = errors.New("transport: closed")
+	// ErrFrameTooLarge reports a frame above the codec's MaxFrame.
+	ErrFrameTooLarge = errors.New("transport: frame exceeds max size")
+	// ErrTruncatedFrame reports a frame that ends mid-header or
+	// mid-payload.
+	ErrTruncatedFrame = errors.New("transport: truncated frame")
+	// ErrBadFrame reports a frame that fails magic/version/checksum
+	// validation (garbage on the wire).
+	ErrBadFrame = errors.New("transport: malformed frame")
+	// ErrDown reports a send to or from a peer marked down (Loopback's
+	// kill switch).
+	ErrDown = errors.New("transport: peer down")
+)
+
+// RetryError reports that a frame exhausted its retry budget without
+// an acknowledgment. It wraps the last attempt's error (or a timeout).
+type RetryError struct {
+	To       int
+	Seq      uint64
+	Attempts int
+	Last     error
+}
+
+// Error implements error.
+func (e *RetryError) Error() string {
+	return fmt.Sprintf("transport: frame seq %d to peer %d dropped after %d attempts: %v",
+		e.Seq, e.To, e.Attempts, e.Last)
+}
+
+// Unwrap exposes the last attempt's error.
+func (e *RetryError) Unwrap() error { return e.Last }
+
+// ShedError reports that a frame was shed because the link's bounded
+// queue to a suspected or slow peer was full.
+type ShedError struct {
+	To     int
+	Queued int
+}
+
+// Error implements error.
+func (e *ShedError) Error() string {
+	return fmt.Sprintf("transport: frame to peer %d shed (queue at cap %d)", e.To, e.Queued)
+}
+
+// Stats are monotone event counters. All fields are updated atomically
+// and may be read concurrently.
+type Stats struct {
+	// Sent counts frames handed to the underlying transport (including
+	// retransmissions and chaos duplicates).
+	Sent atomic.Uint64
+	// Delivered counts frames handed to the delivery upcall.
+	Delivered atomic.Uint64
+	// Acked counts acknowledged data frames (Resilient only).
+	Acked atomic.Uint64
+	// Retries counts retransmission attempts (Resilient only).
+	Retries atomic.Uint64
+	// Dropped counts frames abandoned after budget exhaustion
+	// (Resilient) or by chaos injection (Chaos).
+	Dropped atomic.Uint64
+	// Shed counts frames rejected at the queue cap (Resilient only).
+	Shed atomic.Uint64
+	// Duplicated counts chaos-injected duplicate deliveries (Chaos
+	// only).
+	Duplicated atomic.Uint64
+}
+
+// Snapshot returns a plain-struct copy for logging and tests.
+func (s *Stats) Snapshot() StatsSnapshot {
+	return StatsSnapshot{
+		Sent:       s.Sent.Load(),
+		Delivered:  s.Delivered.Load(),
+		Acked:      s.Acked.Load(),
+		Retries:    s.Retries.Load(),
+		Dropped:    s.Dropped.Load(),
+		Shed:       s.Shed.Load(),
+		Duplicated: s.Duplicated.Load(),
+	}
+}
+
+// StatsSnapshot is a point-in-time copy of Stats.
+type StatsSnapshot struct {
+	Sent, Delivered, Acked, Retries, Dropped, Shed, Duplicated uint64
+}
+
+// String renders the snapshot compactly for traces.
+func (s StatsSnapshot) String() string {
+	return fmt.Sprintf("sent=%d delivered=%d acked=%d retries=%d dropped=%d shed=%d dup=%d",
+		s.Sent, s.Delivered, s.Acked, s.Retries, s.Dropped, s.Shed, s.Duplicated)
+}
+
+// validatePeer panics on an out-of-range peer id (programming error,
+// matching amp's convention).
+func validatePeer(to, n int) {
+	if to < 0 || to >= n {
+		panic(fmt.Sprintf("transport: peer id %d out of range [0,%d)", to, n))
+	}
+}

@@ -1,0 +1,57 @@
+package transport
+
+import (
+	"bytes"
+	"encoding/gob"
+	"fmt"
+
+	"distbasics/internal/amp"
+)
+
+// The message codec: protocol stacks exchange arbitrary Go values
+// (amp.Message); real transports exchange bytes. Codec bridges them
+// with encoding/gob over a tiny envelope, one self-contained gob
+// stream per frame so frames stay independently decodable under loss,
+// duplication, and reordering.
+//
+// gob needs every concrete message type registered on both ends. Each
+// protocol package exports a RegisterWire(reg func(any)) that
+// registers its wire types; callers pass transport.Register:
+//
+//	amp.RegisterWire(transport.Register)   // Stack envelopes
+//	rsm.RegisterWire(transport.Register)   // rsm + fd + mpcons + rbcast
+//	abd.RegisterWire(transport.Register)   // ABD quorum messages
+//
+// Registration is idempotent; both the node binary and the workload
+// driver call it at startup.
+
+// Register records a concrete message type for wire encoding (a thin
+// wrapper over gob.Register so protocol packages need no direct gob
+// dependency).
+func Register(v any) { gob.Register(v) }
+
+// wireEnvelope is the top-level gob value of every frame. The
+// indirection through a struct field of interface type is what lets
+// gob carry arbitrary registered message types.
+type wireEnvelope struct{ M any }
+
+// Codec encodes amp messages to byte frames and back.
+type Codec struct{}
+
+// Encode renders msg as one self-contained frame payload.
+func (Codec) Encode(msg amp.Message) ([]byte, error) {
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(&wireEnvelope{M: msg}); err != nil {
+		return nil, fmt.Errorf("transport: encode %T: %w (missing RegisterWire?)", msg, err)
+	}
+	return buf.Bytes(), nil
+}
+
+// Decode parses a frame payload back into a message.
+func (Codec) Decode(frame []byte) (amp.Message, error) {
+	var env wireEnvelope
+	if err := gob.NewDecoder(bytes.NewReader(frame)).Decode(&env); err != nil {
+		return nil, fmt.Errorf("transport: decode frame: %w", err)
+	}
+	return env.M, nil
+}
