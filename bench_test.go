@@ -406,7 +406,7 @@ func benchRSMSmall(b *testing.B) {
 		nodes := make([]*rsm.Node, n)
 		procs := make([]amp.Process, n)
 		for j := 0; j < n; j++ {
-			nodes[j] = rsm.NewNode(n, 16)
+			nodes[j] = rsm.NewNode(n)
 			procs[j] = nodes[j].Stack
 		}
 		sim := amp.NewSim(procs, amp.WithSeed(int64(i)), amp.WithDelay(amp.FixedDelay{D: 2}))
@@ -444,7 +444,7 @@ func benchRSMScale(b *testing.B) {
 		nodes := make([]*rsm.Node, n)
 		procs := make([]amp.Process, n)
 		for j := 0; j < n; j++ {
-			nodes[j] = rsm.NewNode(n, 4)
+			nodes[j] = rsm.NewNode(n)
 			nodes[j].Omega.Period = 32
 			procs[j] = nodes[j].Stack
 		}

@@ -251,7 +251,7 @@ func runE10() []row {
 	nodes := make([]*rsm.Node, n)
 	procs := make([]amp.Process, n)
 	for i := 0; i < n; i++ {
-		nodes[i] = rsm.NewNode(n, 16)
+		nodes[i] = rsm.NewNode(n)
 		procs[i] = nodes[i].Stack
 	}
 	sim := amp.NewSim(procs, amp.WithSeed(5), amp.WithDelay(amp.FixedDelay{D: 2}))
@@ -297,7 +297,7 @@ func runE10() []row {
 	nodesB := make([]*rsm.Node, big)
 	procsB := make([]amp.Process, big)
 	for i := 0; i < big; i++ {
-		nodesB[i] = rsm.NewNode(big, 4)
+		nodesB[i] = rsm.NewNode(big)
 		nodesB[i].Omega.Period = 32
 		procsB[i] = nodesB[i].Stack
 	}

@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"distbasics/internal/amp"
+	"distbasics/internal/rsm"
 	"distbasics/internal/transport"
 )
 
@@ -28,8 +29,14 @@ type Config struct {
 	Chaos []ChaosConfig `json:"chaos,omitempty"`
 	// UnitMS is the clock tick length in milliseconds (default 2).
 	UnitMS int `json:"unit_ms,omitempty"`
-	// MaxSlots caps consensus slots per node (default 1024).
-	MaxSlots int `json:"max_slots,omitempty"`
+	// Pipeline is how many consensus slots may run ballots concurrently
+	// per replica group (default rsm.DefaultPipeline). Slots themselves
+	// are unbounded: instances are allocated lazily and GCed once
+	// delivered.
+	Pipeline int `json:"pipeline,omitempty"`
+	// MaxBatch caps commands packed into one consensus slot (default
+	// rsm.DefaultMaxBatch).
+	MaxBatch int `json:"max_batch,omitempty"`
 }
 
 // ChaosConfig is one transport.ChaosRule in JSON form.
@@ -93,12 +100,16 @@ func (c *Config) Unit() time.Duration {
 	return time.Duration(c.UnitMS) * time.Millisecond
 }
 
-// Slots returns the configured consensus slot cap.
-func (c *Config) Slots() int {
-	if c.MaxSlots <= 0 {
-		return 1024
+// rsmOptions returns the replica tuning options this config carries.
+func (c *Config) rsmOptions() []rsm.NodeOption {
+	var opts []rsm.NodeOption
+	if c.Pipeline > 0 {
+		opts = append(opts, rsm.WithPipeline(c.Pipeline))
 	}
-	return c.MaxSlots
+	if c.MaxBatch > 0 {
+		opts = append(opts, rsm.WithMaxBatch(c.MaxBatch))
+	}
+	return opts
 }
 
 // chaosRules converts the schedule for one sending node, giving each

@@ -18,7 +18,7 @@ func TestConfigRoundTrip(t *testing.T) {
 			{Kind: "partition", Group: []int{2}},
 		},
 		UnitMS:   5,
-		MaxSlots: 128,
+		Pipeline: 8,
 	}
 	path := filepath.Join(t.TempDir(), "cluster.json")
 	if err := cfg.Write(path); err != nil {
@@ -28,7 +28,7 @@ func TestConfigRoundTrip(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(got.Peers) != 3 || got.Peers[1] != "127.0.0.1:2" || got.UnitMS != 5 || got.Slots() != 128 {
+	if len(got.Peers) != 3 || got.Peers[1] != "127.0.0.1:2" || got.UnitMS != 5 || got.Pipeline != 8 {
 		t.Fatalf("round trip mangled config: %+v", got)
 	}
 	if got.Unit() != 5*time.Millisecond {

@@ -12,6 +12,7 @@ import (
 	"time"
 
 	"distbasics/internal/check"
+	"distbasics/internal/clientrpc"
 )
 
 // e2eOptions parameterize the kill -9 survival demo.
@@ -116,14 +117,14 @@ func (c *cluster) stopAll() {
 // waitReady blocks until node i answers a stat RPC (or the deadline
 // passes).
 func (c *cluster) waitReady(i int, deadline time.Duration) error {
-	cl := newRPCClient(c.cfg.Clients[i])
-	defer cl.close()
+	cl := clientrpc.NewClient(c.cfg.Clients[i])
+	defer cl.Close()
 	end := time.Now().Add(deadline)
 	for time.Now().Before(end) {
-		if _, err := cl.stat(2 * time.Second); err == nil {
+		if _, err := cl.Stat(2 * time.Second); err == nil {
 			return nil
 		}
-		cl.close()
+		cl.Close()
 		time.Sleep(100 * time.Millisecond)
 	}
 	return fmt.Errorf("basicsd: node %d not ready after %s", i, deadline)
@@ -201,8 +202,8 @@ func runE2E(opt e2eOptions) (err error) {
 				// restarted process) is part of the demo.
 				node = opt.Nodes - 1
 			}
-			rpc := newRPCClient(cfg.Clients[node])
-			defer rpc.close()
+			rpc := clientrpc.NewClient(cfg.Clients[node])
+			defer rpc.Close()
 			// gen is bumped after every failed op: the op stays pending
 			// (it may or may not have taken effect — either is consistent
 			// with a pending op), and since a history process may not
@@ -215,13 +216,13 @@ func runE2E(opt e2eOptions) (err error) {
 				if op%3 == 2 {
 					inv := rec.Call(proc, check.KeyedOp{Key: key, Op: check.ReadOp{}})
 					var v any
-					if v, err = rpc.get(key, rpcTimeout); err == nil {
+					if v, err = rpc.Get(key, rpcTimeout); err == nil {
 						inv.Return(v)
 					}
 				} else {
 					val := 1 + op + ci*1000
 					inv := rec.Call(proc, check.KeyedOp{Key: key, Op: check.WriteOp{V: val}})
-					if err = rpc.put(key, val, rpcTimeout); err == nil {
+					if err = rpc.Put(key, val, rpcTimeout); err == nil {
 						inv.Return(nil)
 					}
 				}
@@ -246,20 +247,20 @@ func runE2E(opt e2eOptions) (err error) {
 		uidWG.Add(1)
 		go func() {
 			defer uidWG.Done()
-			rpc := newRPCClient(cfg.Clients[i])
-			defer rpc.close()
+			rpc := clientrpc.NewClient(cfg.Clients[i])
+			defer rpc.Close()
 			for {
 				select {
 				case <-kvDone:
 					return
 				default:
 				}
-				if id, err := rpc.uid(2 * time.Second); err == nil {
+				if id, err := rpc.UID(2 * time.Second); err == nil {
 					uidMu.Lock()
 					uids[id]++
 					uidMu.Unlock()
 				} else {
-					rpc.close()
+					rpc.Close()
 				}
 				time.Sleep(20 * time.Millisecond)
 			}
@@ -279,13 +280,13 @@ func runE2E(opt e2eOptions) (err error) {
 		bcastWG.Add(1)
 		go func() {
 			defer bcastWG.Done()
-			rpc := newRPCClient(cfg.Clients[i])
-			defer rpc.close()
+			rpc := clientrpc.NewClient(cfg.Clients[i])
+			defer rpc.Close()
 			for b := 0; b < bcastPer; b++ {
-				if err := rpc.bcast(fmt.Sprintf("n%d-m%d", i, b), rpcTimeout); err == nil {
+				if err := rpc.Bcast(fmt.Sprintf("n%d-m%d", i, b), rpcTimeout); err == nil {
 					bcastOK.Add(1)
 				} else {
-					rpc.close()
+					rpc.Close()
 				}
 				time.Sleep(150 * time.Millisecond)
 			}
@@ -419,9 +420,9 @@ func collectOrders(cfg *Config, opt e2eOptions) ([][]string, error) {
 		orders := make([][]string, opt.Nodes)
 		ok := true
 		for i := 0; i < opt.Nodes; i++ {
-			rpc := newRPCClient(cfg.Clients[i])
-			o, err := rpc.order(5 * time.Second)
-			rpc.close()
+			rpc := clientrpc.NewClient(cfg.Clients[i])
+			o, err := rpc.Order(5 * time.Second)
+			rpc.Close()
 			if err != nil {
 				ok = false
 				break

@@ -1,15 +1,13 @@
 package main
 
 import (
-	"bufio"
-	"encoding/json"
 	"fmt"
 	"log"
-	"net"
 	"sync/atomic"
 	"time"
 
 	"distbasics/internal/amp"
+	"distbasics/internal/clientrpc"
 	"distbasics/internal/rbcast"
 	"distbasics/internal/rsm"
 	"distbasics/internal/transport"
@@ -32,7 +30,8 @@ const hbPeriod = 40
 
 // server is one running basicsd node: the full
 // TCP(+Chaos)→Resilient→Runtime stack under an rsm replica, plus the
-// line-JSON client RPC listener.
+// line-JSON client RPC front end (internal/clientrpc's epoll reactor
+// and bounded worker pool — not a goroutine per connection).
 type server struct {
 	id      int
 	cfg     *Config
@@ -42,9 +41,9 @@ type server struct {
 	journal *rsm.FileJournal
 	clock   *transport.RealClock
 
-	clientLn net.Listener
-	boot     int64 // uid epoch: distinguishes restarts of the same id
-	uidSeq   atomic.Int64
+	rpc    *clientrpc.Server
+	boot   int64 // uid epoch: distinguishes restarts of the same id
+	uidSeq atomic.Int64
 
 	// waiters maps a submitted command to its completion channel. It is
 	// only touched inside the runtime's event loop (rt.Do and OnApply
@@ -70,7 +69,7 @@ func runServe(cfgPath string, id int) error {
 		return err
 	}
 	log.Printf("basicsd: node %d up: peers=%s clients=%s journal=%s",
-		id, s.tcp.Addr(), s.clientLn.Addr(), cfg.Journals[id])
+		id, s.tcp.Addr(), s.rpc.Addr(), cfg.Journals[id])
 	select {} // crash-stop: run until killed
 }
 
@@ -98,7 +97,8 @@ func startServer(cfg *Config, id int) (*server, error) {
 			opts = append(opts, rsm.WithRecovery(rec))
 		}
 	}
-	s.node = rsm.NewNode(len(cfg.Peers), cfg.Slots(), opts...)
+	opts = append(opts, cfg.rsmOptions()...)
+	s.node = rsm.NewNode(len(cfg.Peers), opts...)
 	s.node.Omega.Period = hbPeriod
 	s.node.OnApply = s.onApply
 
@@ -121,13 +121,12 @@ func startServer(cfg *Config, id int) (*server, error) {
 	res.SetSuspected(s.rt.Suspected)
 	s.rt.Start()
 
-	ln, err := net.Listen("tcp", cfg.Clients[id])
+	rpcSrv, err := clientrpc.NewServer(cfg.Clients[id], s.handle)
 	if err != nil {
 		tcp.Close()
 		return nil, fmt.Errorf("basicsd: client listen %s: %w", cfg.Clients[id], err)
 	}
-	s.clientLn = ln
-	go s.acceptClients()
+	s.rpc = rpcSrv
 	return s, nil
 }
 
@@ -166,87 +165,47 @@ func (s *server) submit(cmd rsm.Command, timeout time.Duration) (any, error) {
 	}
 }
 
-// rpcRequest is one line-JSON client request.
-type rpcRequest struct {
-	Op  string `json:"op"` // put, get, del, uid, order, stat
-	Key string `json:"key,omitempty"`
-	Val any    `json:"val,omitempty"`
-}
-
-// rpcResponse is the matching reply line.
-type rpcResponse struct {
-	OK      bool     `json:"ok"`
-	Val     any      `json:"val,omitempty"`
-	Err     string   `json:"err,omitempty"`
-	Applied int      `json:"applied,omitempty"`
-	Order   []string `json:"order,omitempty"`
-	ID      string   `json:"id,omitempty"`
-}
-
 // rpcTimeout bounds one consensus round-trip from the client's side.
 // Long enough to ride out a chaos window plus leader re-election, short
 // enough that the e2e driver can mark the op pending and move on.
 const rpcTimeout = 15 * time.Second
 
-func (s *server) acceptClients() {
-	for {
-		conn, err := s.clientLn.Accept()
-		if err != nil {
-			return
-		}
-		go s.serveClient(conn)
-	}
-}
-
-// serveClient answers line-JSON requests until the connection drops.
-// Requests on one connection are served sequentially (a client is one
-// logical process; its history must be sequential anyway).
-func (s *server) serveClient(conn net.Conn) {
-	defer conn.Close()
-	dec := json.NewDecoder(bufio.NewReader(conn))
-	enc := json.NewEncoder(conn)
-	for {
-		var req rpcRequest
-		if err := dec.Decode(&req); err != nil {
-			return
-		}
-		resp := s.handle(req)
-		if err := enc.Encode(resp); err != nil {
-			return
-		}
-	}
-}
-
-func (s *server) handle(req rpcRequest) rpcResponse {
+// handle serves one client request; it runs on a clientrpc pool
+// worker, so blocking on a consensus round-trip here is what the
+// pool's bound admission-controls. Requests on one connection are
+// served sequentially (a client is one logical process; its history
+// must be sequential anyway) — clientrpc guarantees per-connection
+// FIFO.
+func (s *server) handle(req clientrpc.Request) clientrpc.Response {
 	switch req.Op {
 	case "put", "del":
-		cmd := rsm.Command{Op: req.Op, Key: req.Key, Val: jsonVal(req.Val)}
+		cmd := rsm.Command{Op: req.Op, Key: req.Key, Val: clientrpc.NormalizeVal(req.Val)}
 		if _, err := s.submit(cmd, rpcTimeout); err != nil {
-			return rpcResponse{Err: err.Error()}
+			return clientrpc.Response{Err: err.Error()}
 		}
-		return rpcResponse{OK: true}
+		return clientrpc.Response{OK: true}
 	case "bcast":
 		// Total-order broadcast of an order-only message: the command
 		// touches no KV state but lands in every replica's applied
 		// sequence exactly once, in the same position.
 		if _, err := s.submit(rsm.Command{Op: "bcast", Key: req.Key}, rpcTimeout); err != nil {
-			return rpcResponse{Err: err.Error()}
+			return clientrpc.Response{Err: err.Error()}
 		}
-		return rpcResponse{OK: true}
+		return clientrpc.Response{OK: true}
 	case "get":
 		// A "get" rides through consensus as a no-op command; its apply
 		// point at this replica is the read's linearization point.
 		out, err := s.submit(rsm.Command{Op: "get", Key: req.Key}, rpcTimeout)
 		if err != nil {
-			return rpcResponse{Err: err.Error()}
+			return clientrpc.Response{Err: err.Error()}
 		}
-		return rpcResponse{OK: true, Val: out}
+		return clientrpc.Response{OK: true, Val: out}
 	case "uid":
 		// Unique IDs need no consensus: node id + boot epoch + local
 		// counter is collision-free across nodes and restarts (§2 of the
 		// paper: some problems are sub-consensus).
 		n := s.uidSeq.Add(1)
-		return rpcResponse{OK: true, ID: fmt.Sprintf("%d-%x-%d", s.id, s.boot, n)}
+		return clientrpc.Response{OK: true, ID: fmt.Sprintf("%d-%x-%d", s.id, s.boot, n)}
 	case "order":
 		// Applied order snapshot, read inside the event loop.
 		var ids []string
@@ -255,22 +214,12 @@ func (s *server) handle(req rpcRequest) rpcResponse {
 				ids = append(ids, e.ID.String())
 			}
 		})
-		return rpcResponse{OK: true, Order: ids, Applied: len(ids)}
+		return clientrpc.Response{OK: true, Order: ids, Applied: len(ids)}
 	case "stat":
 		var n int
 		s.rt.Do(func(amp.Context) { n = s.node.Len() })
-		return rpcResponse{OK: true, Applied: n}
+		return clientrpc.Response{OK: true, Applied: n}
 	default:
-		return rpcResponse{Err: fmt.Sprintf("unknown op %q", req.Op)}
+		return clientrpc.Response{Err: fmt.Sprintf("unknown op %q", req.Op)}
 	}
-}
-
-// jsonVal normalizes decoded JSON values for the state machine:
-// integral float64s (the only JSON number form) become ints so values
-// compare equal across put/get round trips and the gob wire.
-func jsonVal(v any) any {
-	if f, ok := v.(float64); ok && f == float64(int64(f)) {
-		return int(f)
-	}
-	return v
 }

@@ -1,0 +1,528 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"log"
+	"math/rand"
+	"net"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"syscall"
+	"time"
+
+	"distbasics/internal/check"
+	"distbasics/internal/clientrpc"
+	"distbasics/internal/kv"
+)
+
+type benchOptions struct {
+	Out      string
+	Rows     string
+	Duration time.Duration
+	Workers  int
+	ReadFrac float64
+
+	// Bin is the basicskv binary for the tcp row's serve subprocesses
+	// ("" = self). TCPWorkers bounds that row's client connections.
+	Bin        string
+	TCPWorkers int
+}
+
+// benchRow is one line of BENCH_kv.json.
+type benchRow struct {
+	Name        string  `json:"name"`
+	Transport   string  `json:"transport"`
+	Shards      int     `json:"shards"`
+	Replicas    int     `json:"replicas"`
+	Workers     int     `json:"workers"`
+	ReadFrac    float64 `json:"readFrac"`
+	Seconds     float64 `json:"seconds"`
+	Ops         uint64  `json:"ops"`
+	Errors      uint64  `json:"errors"`
+	OpsPerSec   float64 `json:"opsPerSec"`
+	P50us       float64 `json:"p50_us"`
+	P99us       float64 `json:"p99_us"`
+	LeaseReads  uint64  `json:"leaseReads,omitempty"`
+	QuorumReads uint64  `json:"quorumReads,omitempty"`
+	Writes      uint64  `json:"writes,omitempty"`
+	Slots       int     `json:"slots,omitempty"`
+	Batching    float64 `json:"batching,omitempty"`
+	HistOps     int     `json:"histOps"`
+	HistOK      bool    `json:"histOk"`
+}
+
+// store is the op surface the load generator drives — satisfied by
+// *kv.Engine directly and by rpcStore over a client socket.
+type store interface {
+	Put(key string, val any) error
+	Get(key string) (any, error)
+}
+
+// rpcStore adapts one client connection. Get normalizes JSON numbers
+// back to ints so recorded reads compare equal to written values.
+type rpcStore struct {
+	cl      *clientrpc.Client
+	timeout time.Duration
+}
+
+func (s rpcStore) Put(key string, val any) error { return s.cl.Put(key, val, s.timeout) }
+func (s rpcStore) Get(key string) (any, error) {
+	v, err := s.cl.Get(key, s.timeout)
+	return clientrpc.NormalizeVal(v), err
+}
+
+func runBench(opt benchOptions) error {
+	if opt.Workers <= 0 {
+		opt.Workers = 256
+	}
+	if opt.TCPWorkers <= 0 {
+		opt.TCPWorkers = 24
+	}
+	if opt.ReadFrac < 0 || opt.ReadFrac > 1 {
+		return fmt.Errorf("basicskv: readfrac %v out of [0,1]", opt.ReadFrac)
+	}
+	var rows []benchRow
+	for _, name := range strings.Split(opt.Rows, ",") {
+		var (
+			row benchRow
+			err error
+		)
+		switch strings.TrimSpace(name) {
+		case "1shard":
+			row, err = runLoopbackRow("1shard-loopback", 1, opt)
+		case "8shard":
+			row, err = runLoopbackRow("8shard-loopback", 8, opt)
+		case "tcp":
+			row, err = runTCPRow(opt)
+		case "":
+			continue
+		default:
+			return fmt.Errorf("basicskv: unknown bench row %q", name)
+		}
+		if err != nil {
+			return fmt.Errorf("basicskv: row %s: %w", name, err)
+		}
+		log.Printf("bench: %-16s %9.0f ops/s  p50=%.0fµs p99=%.0fµs  hist=%d ok=%v",
+			row.Name, row.OpsPerSec, row.P50us, row.P99us, row.HistOps, row.HistOK)
+		rows = append(rows, row)
+	}
+	out := struct {
+		Benchmark string     `json:"benchmark"`
+		Rows      []benchRow `json:"rows"`
+	}{Benchmark: "basicskv", Rows: rows}
+	raw, err := json.MarshalIndent(out, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(opt.Out, append(raw, '\n'), 0o644); err != nil {
+		return err
+	}
+	log.Printf("bench: wrote %s", opt.Out)
+	return nil
+}
+
+// ---------------------------------------------------------------------------
+// Load generation (shared by loopback and tcp rows).
+// ---------------------------------------------------------------------------
+
+const (
+	loadKeyCount   = 4096
+	latSampleEvery = 64
+	proberProcs    = 3  // probers per sampled key
+	proberOps      = 18 // ops per prober: 3x18=54 < check.MaxOps per key
+)
+
+// loadKeys spreads keys uniformly over two-hex-digit prefixes, matching
+// kv.UniformHexBounds routing.
+func loadKeys(n int) []string {
+	keys := make([]string, n)
+	for i := range keys {
+		keys[i] = fmt.Sprintf("%02x-load-%d", (i*37)%256, i)
+	}
+	return keys
+}
+
+// probeKeys are the sampled keys whose full histories run through the
+// partitioned linearizability checker. Disjoint from load keys.
+var probeKeys = []string{"08-probe", "48-probe", "88-probe", "c8-probe"}
+
+// driveLoad runs the closed loop: `workers` store connections at the
+// configured read fraction for opt.Duration, with prober goroutines
+// recording sampled-key histories alongside. newStore builds the i-th
+// connection (workers first, then probers).
+func driveLoad(newStore func(i int) (store, func(), error), workers int, keys []string, opt benchOptions) (benchRow, error) {
+	row := benchRow{Workers: workers, ReadFrac: opt.ReadFrac}
+	var stop atomic.Bool
+	counts := make([]uint64, workers)
+	errCounts := make([]uint64, workers)
+	lats := make([][]time.Duration, workers)
+	var wg sync.WaitGroup
+
+	start := time.Now()
+	for w := 0; w < workers; w++ {
+		st, closeStore, err := newStore(w)
+		if err != nil {
+			stop.Store(true)
+			wg.Wait()
+			return row, err
+		}
+		wg.Add(1)
+		go func(w int, st store) {
+			defer wg.Done()
+			defer closeStore()
+			counts[w], errCounts[w], lats[w] = workerLoop(st, keys, opt.ReadFrac, int64(w+1), &stop)
+		}(w, st)
+	}
+
+	// Probers: fixed op budgets paced across the window so their
+	// histories overlap the whole run.
+	rec := check.NewRecorder()
+	gap := opt.Duration / time.Duration(proberOps+1)
+	var probeWG sync.WaitGroup
+	var probeFail atomic.Value
+	for ki, key := range probeKeys {
+		for p := 0; p < proberProcs; p++ {
+			st, closeStore, err := newStore(workers + ki*proberProcs + p)
+			if err != nil {
+				stop.Store(true)
+				wg.Wait()
+				probeWG.Wait()
+				return row, err
+			}
+			probeWG.Add(1)
+			proc := ki*proberProcs + p
+			go func(st store, key string, proc int) {
+				defer probeWG.Done()
+				defer closeStore()
+				prober(st, rec, key, proc, gap, &probeFail)
+			}(st, key, proc)
+		}
+	}
+
+	time.Sleep(opt.Duration)
+	stop.Store(true)
+	wg.Wait()
+	probeWG.Wait()
+	row.Seconds = time.Since(start).Seconds()
+
+	if err, _ := probeFail.Load().(error); err != nil {
+		return row, fmt.Errorf("prober: %w", err)
+	}
+	for w := 0; w < workers; w++ {
+		row.Ops += counts[w]
+		row.Errors += errCounts[w]
+	}
+	row.OpsPerSec = float64(row.Ops) / row.Seconds
+	var all []time.Duration
+	for _, l := range lats {
+		all = append(all, l...)
+	}
+	row.P50us, row.P99us = percentiles(all)
+
+	h := rec.History()
+	res, err := check.Linearizable(check.RegisterArraySpec{}, h)
+	if err != nil {
+		return row, fmt.Errorf("checker: %w", err)
+	}
+	row.HistOps = len(h)
+	row.HistOK = res.OK
+	return row, nil
+}
+
+// workerLoop is one closed-loop connection: pick a key, read or write
+// per the mix, sample latency every latSampleEvery-th op.
+func workerLoop(st store, keys []string, readFrac float64, seed int64, stop *atomic.Bool) (ops, errs uint64, lat []time.Duration) {
+	rng := rand.New(rand.NewSource(seed))
+	for !stop.Load() {
+		k := keys[rng.Intn(len(keys))]
+		sample := ops%latSampleEvery == 0
+		var t0 time.Time
+		if sample {
+			t0 = time.Now()
+		}
+		var err error
+		if rng.Float64() < readFrac {
+			_, err = st.Get(k)
+		} else {
+			err = st.Put(k, int(ops))
+		}
+		if err != nil {
+			errs++
+			continue
+		}
+		if sample {
+			lat = append(lat, time.Since(t0))
+		}
+		ops++
+	}
+	return ops, errs, lat
+}
+
+// prober records one process's paced operations on a sampled key.
+// Values are unique per (key, proc, op) so the checker can match reads
+// to writes exactly.
+func prober(st store, rec *check.Recorder, key string, proc int, gap time.Duration, fail *atomic.Value) {
+	for i := 0; i < proberOps; i++ {
+		if (proc+i)%2 == 0 {
+			v := proc*1000 + i
+			inv := rec.Call(proc, check.KeyedOp{Key: key, Op: check.WriteOp{V: v}})
+			if err := st.Put(key, v); err != nil {
+				fail.CompareAndSwap(nil, err)
+				return
+			}
+			inv.Return(nil)
+		} else {
+			inv := rec.Call(proc, check.KeyedOp{Key: key, Op: check.ReadOp{}})
+			v, err := st.Get(key)
+			if err != nil {
+				fail.CompareAndSwap(nil, err)
+				return
+			}
+			inv.Return(v)
+		}
+		time.Sleep(gap)
+	}
+}
+
+// percentiles returns p50/p99 in microseconds.
+func percentiles(lat []time.Duration) (p50, p99 float64) {
+	if len(lat) == 0 {
+		return 0, 0
+	}
+	sort.Slice(lat, func(i, j int) bool { return lat[i] < lat[j] })
+	at := func(q float64) float64 {
+		i := int(q * float64(len(lat)-1))
+		return float64(lat[i]) / float64(time.Microsecond)
+	}
+	return at(0.50), at(0.99)
+}
+
+// ---------------------------------------------------------------------------
+// Loopback rows: the in-process engine.
+// ---------------------------------------------------------------------------
+
+func runLoopbackRow(name string, shards int, opt benchOptions) (benchRow, error) {
+	e := kv.Open(kv.Options{Shards: shards})
+	defer e.Close()
+	keys := loadKeys(loadKeyCount)
+	engStore := func(int) (store, func(), error) { return e, func() {}, nil }
+	if err := preload(engStore, keys, 8, 32); err != nil {
+		return benchRow{}, err
+	}
+	if err := warmLeases(e, keys, shards); err != nil {
+		return benchRow{}, err
+	}
+	pre := e.Stats()
+	row, err := driveLoad(engStore, opt.Workers, keys, opt)
+	if err != nil {
+		return row, err
+	}
+	st := e.Stats()
+	row.Name, row.Transport = name, "loopback"
+	row.Shards, row.Replicas = shards, 3
+	row.LeaseReads = st.LeaseReads - pre.LeaseReads
+	row.QuorumReads = st.QuorumReads - pre.QuorumReads
+	row.Writes = st.Writes - pre.Writes
+	row.Slots = st.Slots - pre.Slots
+	if row.Slots > 0 {
+		row.Batching = float64(row.Writes) / float64(row.Slots)
+	}
+	return row, nil
+}
+
+// preload writes every stride-th load key so reads during the measured
+// window mostly hit existing values. Each of the conc loaders gets its
+// own store connection (a client connection is not concurrency-safe).
+func preload(newStore func(i int) (store, func(), error), keys []string, stride, conc int) error {
+	stores := make([]store, conc)
+	closers := make([]func(), conc)
+	for w := 0; w < conc; w++ {
+		st, closeStore, err := newStore(w)
+		if err != nil {
+			for j := 0; j < w; j++ {
+				closers[j]()
+			}
+			return err
+		}
+		stores[w], closers[w] = st, closeStore
+	}
+	idx := make(chan int)
+	go func() {
+		for i := 0; i < len(keys); i += stride {
+			idx <- i
+		}
+		close(idx)
+	}()
+	var wg sync.WaitGroup
+	var fail atomic.Value
+	for w := 0; w < conc; w++ {
+		wg.Add(1)
+		go func(st store, closeStore func()) {
+			defer wg.Done()
+			defer closeStore()
+			for i := range idx {
+				if err := st.Put(keys[i], i); err != nil {
+					fail.CompareAndSwap(nil, err)
+				}
+			}
+		}(stores[w], closers[w])
+	}
+	wg.Wait()
+	if err, _ := fail.Load().(error); err != nil {
+		return fmt.Errorf("preload: %w", err)
+	}
+	return nil
+}
+
+// warmLeases blocks until a full sweep of one read per shard is served
+// entirely from leader leases — the steady state the measured window
+// should start in.
+func warmLeases(e *kv.Engine, keys []string, shards int) error {
+	sweep := make([]string, 0, shards)
+	for s := 0; s < shards; s++ {
+		for _, k := range keys {
+			if e.ShardFor(k) == s {
+				sweep = append(sweep, k)
+				break
+			}
+		}
+	}
+	deadline := time.Now().Add(10 * time.Second)
+	for time.Now().Before(deadline) {
+		before := e.Stats().LeaseReads
+		for _, k := range sweep {
+			if _, err := e.Get(k); err != nil {
+				return err
+			}
+		}
+		if e.Stats().LeaseReads-before == uint64(len(sweep)) {
+			return nil
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	return fmt.Errorf("leases not warm after 10s")
+}
+
+// ---------------------------------------------------------------------------
+// TCP row: real serve subprocesses driven over client sockets.
+// ---------------------------------------------------------------------------
+
+const (
+	tcpProcs   = 3
+	tcpShards  = 2
+	tcpTimeout = 15 * time.Second
+)
+
+func runTCPRow(opt benchOptions) (benchRow, error) {
+	bin := opt.Bin
+	if bin == "" {
+		self, err := os.Executable()
+		if err != nil {
+			return benchRow{}, err
+		}
+		bin = self
+	}
+	peers := make([][]string, tcpShards)
+	for s := range peers {
+		addrs, err := allocAddrs(tcpProcs)
+		if err != nil {
+			return benchRow{}, err
+		}
+		peers[s] = addrs
+	}
+	clients, err := allocAddrs(tcpProcs)
+	if err != nil {
+		return benchRow{}, err
+	}
+	dir, err := os.MkdirTemp("", "basicskv-bench-")
+	if err != nil {
+		return benchRow{}, err
+	}
+	defer os.RemoveAll(dir)
+	cfg := Config{Shards: tcpShards, Peers: peers, Clients: clients}
+	raw, _ := json.Marshal(cfg)
+	cfgPath := filepath.Join(dir, "kv.json")
+	if err := os.WriteFile(cfgPath, raw, 0o644); err != nil {
+		return benchRow{}, err
+	}
+
+	procs := make([]*exec.Cmd, tcpProcs)
+	defer func() {
+		for _, p := range procs {
+			if p != nil && p.Process != nil {
+				p.Process.Signal(syscall.SIGKILL)
+			}
+		}
+	}()
+	for i := 0; i < tcpProcs; i++ {
+		logf, err := os.Create(filepath.Join(dir, fmt.Sprintf("proc%d.log", i)))
+		if err != nil {
+			return benchRow{}, err
+		}
+		cmd := exec.Command(bin, "serve", "-config", cfgPath, "-self", fmt.Sprint(i))
+		cmd.Stdout, cmd.Stderr = logf, logf
+		if err := cmd.Start(); err != nil {
+			logf.Close()
+			return benchRow{}, fmt.Errorf("start proc %d: %w", i, err)
+		}
+		p := cmd
+		go func() { p.Wait(); logf.Close() }()
+		procs[i] = cmd
+	}
+	for i := 0; i < tcpProcs; i++ {
+		if err := waitReady(clients[i], 20*time.Second); err != nil {
+			return benchRow{}, err
+		}
+	}
+
+	keys := loadKeys(512)
+	newStore := func(i int) (store, func(), error) {
+		cl := clientrpc.NewClient(clients[i%tcpProcs])
+		return rpcStore{cl: cl, timeout: tcpTimeout}, cl.Close, nil
+	}
+	if err := preload(newStore, keys, 8, 16); err != nil {
+		return benchRow{}, err
+	}
+	row, err := driveLoad(newStore, opt.TCPWorkers, keys, opt)
+	if err != nil {
+		return row, err
+	}
+	row.Name, row.Transport = "3proc-tcp", "tcp"
+	row.Shards, row.Replicas = tcpShards, tcpProcs
+	return row, nil
+}
+
+// waitReady blocks until the process behind addr answers a stat RPC.
+func waitReady(addr string, deadline time.Duration) error {
+	cl := clientrpc.NewClient(addr)
+	defer cl.Close()
+	end := time.Now().Add(deadline)
+	for time.Now().Before(end) {
+		if _, err := cl.Stat(2 * time.Second); err == nil {
+			return nil
+		}
+		cl.Close()
+		time.Sleep(100 * time.Millisecond)
+	}
+	return fmt.Errorf("process at %s not ready after %s", addr, deadline)
+}
+
+// allocAddrs grabs n distinct localhost ports.
+func allocAddrs(n int) ([]string, error) {
+	addrs := make([]string, n)
+	for i := range addrs {
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			return nil, err
+		}
+		addrs[i] = ln.Addr().String()
+		ln.Close()
+	}
+	return addrs, nil
+}

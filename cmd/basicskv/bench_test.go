@@ -1,0 +1,108 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"testing"
+	"time"
+)
+
+// TestBenchLoopbackSmoke runs a miniature loopback row end to end: the
+// closed loop must move ops, the sampled histories must linearize, and
+// writes must batch (fewer slots than writes).
+func TestBenchLoopbackSmoke(t *testing.T) {
+	opt := benchOptions{Duration: 800 * time.Millisecond, Workers: 32, ReadFrac: 0.9}
+	row, err := runLoopbackRow("smoke", 2, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if row.Ops == 0 {
+		t.Fatal("no ops completed")
+	}
+	if row.Errors != 0 {
+		t.Fatalf("%d load errors", row.Errors)
+	}
+	if !row.HistOK {
+		t.Fatalf("sampled history of %d ops does not linearize", row.HistOps)
+	}
+	if row.HistOps != len(probeKeys)*proberProcs*proberOps {
+		t.Fatalf("hist has %d ops, want %d", row.HistOps, len(probeKeys)*proberProcs*proberOps)
+	}
+	if row.Writes > 0 && row.Slots >= int(row.Writes)+row.HistOps {
+		t.Fatalf("%d slots for %d writes: no batching", row.Slots, row.Writes)
+	}
+	if row.LeaseReads == 0 {
+		t.Fatal("no reads took the lease fast path")
+	}
+}
+
+// TestBenchTCPSmoke spawns real serve subprocesses and drives the tcp
+// row at a miniature scale, checking the same invariants over sockets.
+func TestBenchTCPSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns a real multi-process cluster")
+	}
+	bin := filepath.Join(t.TempDir(), "basicskv")
+	build := exec.Command("go", "build", "-o", bin, ".")
+	if out, err := build.CombinedOutput(); err != nil {
+		t.Fatalf("go build: %v\n%s", err, out)
+	}
+	opt := benchOptions{Duration: 1500 * time.Millisecond, ReadFrac: 0.9, Bin: bin, TCPWorkers: 8}
+	row, err := runTCPRow(opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if row.Ops == 0 {
+		t.Fatal("no ops completed")
+	}
+	if !row.HistOK {
+		t.Fatalf("sampled history of %d ops does not linearize", row.HistOps)
+	}
+}
+
+// TestBenchWritesResultFile checks the bench driver's row selection and
+// JSON emission without paying for a full-size run.
+func TestBenchWritesResultFile(t *testing.T) {
+	out := filepath.Join(t.TempDir(), "BENCH_kv.json")
+	opt := benchOptions{Out: out, Rows: "1shard", Duration: 500 * time.Millisecond, Workers: 16, ReadFrac: 0.9}
+	if err := runBench(opt); err != nil {
+		t.Fatal(err)
+	}
+	raw, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got struct {
+		Benchmark string     `json:"benchmark"`
+		Rows      []benchRow `json:"rows"`
+	}
+	if err := json.Unmarshal(raw, &got); err != nil {
+		t.Fatalf("parse %s: %v", out, err)
+	}
+	if got.Benchmark != "basicskv" || len(got.Rows) != 1 || got.Rows[0].Name != "1shard-loopback" {
+		t.Fatalf("unexpected result file: %+v", got)
+	}
+}
+
+// TestConfigValidation guards the serve config loader.
+func TestConfigValidation(t *testing.T) {
+	dir := t.TempDir()
+	write := func(s string) string {
+		p := filepath.Join(dir, "cfg.json")
+		if err := os.WriteFile(p, []byte(s), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return p
+	}
+	if _, err := LoadConfig(write(`{"peers":[["a","b","c"]],"clients":["x","y","z"]}`)); err != nil {
+		t.Fatalf("valid config rejected: %v", err)
+	}
+	if _, err := LoadConfig(write(`{"peers":[["a","b"],["c"]],"clients":["x","y"]}`)); err == nil {
+		t.Fatal("ragged peer rows accepted")
+	}
+	if _, err := LoadConfig(write(`{"peers":[["a","b","c"]],"clients":["x"]}`)); err == nil {
+		t.Fatal("client/replica count mismatch accepted")
+	}
+}

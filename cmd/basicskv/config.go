@@ -1,0 +1,76 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"time"
+
+	"distbasics/internal/amp"
+	"distbasics/internal/kv"
+)
+
+// Config describes a multi-process basicskv cluster. Process i runs
+// replica i of EVERY shard; Peers[s][i] is the transport address
+// replica i uses for shard s, and Clients[i] is where process i serves
+// client RPCs. Shard routing happens server-side (any process answers
+// for any key), so clients need no shard map.
+type Config struct {
+	Shards  int        `json:"shards"`
+	Peers   [][]string `json:"peers"`
+	Clients []string   `json:"clients"`
+
+	// UnitMS is the clock tick in milliseconds (default 2).
+	UnitMS int `json:"unit_ms,omitempty"`
+	// MaxBatch / Pipeline tune the rsm proposer (0 = its defaults).
+	MaxBatch int `json:"max_batch,omitempty"`
+	Pipeline int `json:"pipeline,omitempty"`
+	// LeaseTTL in ticks; 0 = default, negative disables lease reads.
+	LeaseTTL int `json:"lease_ttl,omitempty"`
+}
+
+// LoadConfig reads and validates a cluster config.
+func LoadConfig(path string) (*Config, error) {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var c Config
+	if err := json.Unmarshal(raw, &c); err != nil {
+		return nil, fmt.Errorf("basicskv: parse %s: %w", path, err)
+	}
+	if c.Shards == 0 {
+		c.Shards = len(c.Peers)
+	}
+	if c.Shards != len(c.Peers) || c.Shards == 0 {
+		return nil, fmt.Errorf("basicskv: %d shards but %d peer rows", c.Shards, len(c.Peers))
+	}
+	n := len(c.Peers[0])
+	for s, row := range c.Peers {
+		if len(row) != n {
+			return nil, fmt.Errorf("basicskv: shard %d has %d replicas, shard 0 has %d", s, len(row), n)
+		}
+	}
+	if len(c.Clients) != n {
+		return nil, fmt.Errorf("basicskv: %d client addrs for %d processes", len(c.Clients), n)
+	}
+	return &c, nil
+}
+
+// hostConfig translates the file config into a kv.HostConfig for
+// process self.
+func (c *Config) hostConfig(self int) kv.HostConfig {
+	unit := 2 * time.Millisecond
+	if c.UnitMS > 0 {
+		unit = time.Duration(c.UnitMS) * time.Millisecond
+	}
+	return kv.HostConfig{
+		Shards:   c.Shards,
+		Peers:    c.Peers,
+		Self:     self,
+		Unit:     unit,
+		LeaseTTL: amp.Time(c.LeaseTTL),
+		MaxBatch: c.MaxBatch,
+		Pipeline: c.Pipeline,
+	}
+}

@@ -1,0 +1,35 @@
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"distbasics/internal/clientrpc"
+	"distbasics/internal/kv"
+)
+
+// runServe is the `basicskv serve` entrypoint: start this process's
+// replica of every shard and answer client RPCs until killed. Like
+// basicsd, the process model is crash-stop — there is no graceful
+// shutdown path; replication through the other processes is what
+// carries state across a kill.
+func runServe(cfgPath string, self int) error {
+	cfg, err := LoadConfig(cfgPath)
+	if err != nil {
+		return err
+	}
+	if self >= len(cfg.Clients) {
+		return fmt.Errorf("basicskv: self %d out of range [0,%d)", self, len(cfg.Clients))
+	}
+	host, err := kv.NewHost(cfg.hostConfig(self))
+	if err != nil {
+		return err
+	}
+	rpc, err := clientrpc.NewServer(cfg.Clients[self], host.Handle)
+	if err != nil {
+		host.Close()
+		return fmt.Errorf("basicskv: client listen %s: %w", cfg.Clients[self], err)
+	}
+	log.Printf("basicskv: process %d up: %d shards, clients=%s", self, cfg.Shards, rpc.Addr())
+	select {} // crash-stop: run until killed
+}

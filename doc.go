@@ -168,4 +168,35 @@
 // The same stack minus the sockets is fuzzed deterministically by the
 // scenario harness's transport model (seeded chaos schedules plus
 // crash/restart faults over Loopback).
+//
+// # Serving a KV workload
+//
+// cmd/basicskv and internal/kv turn the universal construction into a
+// production-shaped store: the key space is partitioned by a sorted
+// key-range map into independent shards, each its own 3-replica rsm
+// group, so per-key linearizability composes into a linearizable map
+// while shards scale throughput. Client writes are staged in waves and
+// ride the rsm proposer's batching (up to MaxBatch commands per
+// consensus slot, up to Pipeline slots open concurrently); reads are
+// served locally at a shard's leader while it holds the
+// majority-granted read lease (internal/fd) — acceptors drop rival
+// ballots while a grant is live, so no write can commit that the
+// leaseholder has not applied — and fall back to a consensus no-op
+// read whenever the lease is not live. In-process shards run over the
+// deterministic Loopback network in virtual time, pumped only while
+// client operations are in flight and using the transport's value fast
+// path (no byte codec); a multi-process cluster runs the same engine
+// over TCP:
+//
+//	basicskv serve -config kv.json -self 0
+//	basicskv bench -out BENCH_kv.json
+//
+// The bench drives closed-loop load rows (single shard, 8 shards, and
+// a 3-process TCP cluster), reporting throughput and latency
+// percentiles while sampled per-key prober histories run through the
+// partitioned linearizability checker; see cmd/basicskv's README for
+// the sharding map, batching knobs, lease semantics, and fallback
+// conditions. The batching/pipelining invariants themselves are fuzzed
+// by the scenario harness's kv model (exactly-once apply, identical
+// applied order across replicas, batching evidence on benign seeds).
 package distbasics

@@ -23,7 +23,7 @@ func main() {
 	nodes := make([]*rsm.Node, n)
 	procs := make([]amp.Process, n)
 	for i := 0; i < n; i++ {
-		nodes[i] = rsm.NewNode(n, 16)
+		nodes[i] = rsm.NewNode(n)
 		procs[i] = nodes[i].Stack
 	}
 	sim := amp.NewSim(procs, amp.WithSeed(9), amp.WithDelay(amp.FixedDelay{D: 2}))

@@ -1,0 +1,128 @@
+package clientrpc
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"net"
+	"time"
+)
+
+// Client is one connection to a node's client port. It is not safe
+// for concurrent use: one client is one logical history process, so
+// its operations are sequential by construction.
+type Client struct {
+	addr string
+	conn net.Conn
+	dec  *json.Decoder
+	enc  *json.Encoder
+}
+
+// NewClient returns an unconnected client for addr; the first Call
+// dials.
+func NewClient(addr string) *Client { return &Client{addr: addr} }
+
+// Connect dials the node. Calling it explicitly is optional.
+func (c *Client) Connect() error {
+	conn, err := net.DialTimeout("tcp", c.addr, 2*time.Second)
+	if err != nil {
+		return err
+	}
+	c.conn = conn
+	c.dec = json.NewDecoder(bufio.NewReader(conn))
+	c.enc = json.NewEncoder(conn)
+	return nil
+}
+
+// Close drops the connection; the next Call re-dials.
+func (c *Client) Close() {
+	if c.conn != nil {
+		c.conn.Close()
+		c.conn = nil
+	}
+}
+
+// ErrNeverSent marks a request that failed before any byte reached the
+// node: the operation definitely did not take effect, so the caller may
+// record it as a clean failure rather than an ambiguous pending op.
+type ErrNeverSent struct{ Err error }
+
+func (e ErrNeverSent) Error() string { return fmt.Sprintf("never sent: %v", e.Err) }
+
+// Call sends one request and waits for its reply, with an overall
+// deadline. A dial failure is unambiguous (ErrNeverSent); any error
+// after the request was written is ambiguous — the op may or may not
+// apply — and the caller must treat it as pending. The connection is
+// dropped on any error so the next call re-dials (a killed node's
+// restart rebinds the same address).
+func (c *Client) Call(req Request, deadline time.Duration) (Response, error) {
+	if c.conn == nil {
+		if err := c.Connect(); err != nil {
+			return Response{}, ErrNeverSent{err}
+		}
+	}
+	c.conn.SetDeadline(time.Now().Add(deadline))
+	if err := c.enc.Encode(req); err != nil {
+		c.Close()
+		// The encoder may have flushed part of the request; ambiguous.
+		return Response{}, fmt.Errorf("send %s: %w", req.Op, err)
+	}
+	var resp Response
+	if err := c.dec.Decode(&resp); err != nil {
+		c.Close()
+		return Response{}, fmt.Errorf("recv %s: %w", req.Op, err)
+	}
+	if !resp.OK {
+		return resp, fmt.Errorf("node error: %s", resp.Err)
+	}
+	return resp, nil
+}
+
+// Put / Get / Del / Bcast / UID / Order / Stat are thin typed wrappers.
+
+func (c *Client) Put(key string, val any, d time.Duration) error {
+	_, err := c.Call(Request{Op: "put", Key: key, Val: val}, d)
+	return err
+}
+
+func (c *Client) Get(key string, d time.Duration) (any, error) {
+	resp, err := c.Call(Request{Op: "get", Key: key}, d)
+	if err != nil {
+		return nil, err
+	}
+	return NormalizeVal(resp.Val), nil
+}
+
+func (c *Client) Del(key string, d time.Duration) error {
+	_, err := c.Call(Request{Op: "del", Key: key}, d)
+	return err
+}
+
+func (c *Client) Bcast(tag string, d time.Duration) error {
+	_, err := c.Call(Request{Op: "bcast", Key: tag}, d)
+	return err
+}
+
+func (c *Client) UID(d time.Duration) (string, error) {
+	resp, err := c.Call(Request{Op: "uid"}, d)
+	if err != nil {
+		return "", err
+	}
+	return resp.ID, nil
+}
+
+func (c *Client) Order(d time.Duration) ([]string, error) {
+	resp, err := c.Call(Request{Op: "order"}, d)
+	if err != nil {
+		return nil, err
+	}
+	return resp.Order, nil
+}
+
+func (c *Client) Stat(d time.Duration) (int, error) {
+	resp, err := c.Call(Request{Op: "stat"}, d)
+	if err != nil {
+		return 0, err
+	}
+	return resp.Applied, nil
+}

@@ -1,0 +1,45 @@
+// Package clientrpc is the line-JSON client RPC layer shared by the
+// basicsd and basicskv daemons: one JSON value per line in each
+// direction, requests answered in order per connection.
+//
+// The server side deliberately does NOT use a goroutine per
+// connection. A replicated KV at production client counts holds
+// thousands of mostly-idle connections (closed-loop clients spend
+// their lives waiting on consensus round-trips), and a goroutine per
+// connection prices every idle socket at a stack plus scheduler
+// presence. Instead, on Linux, a single epoll reactor owns every
+// socket and complete request lines are dispatched to a small,
+// bounded, lazily-grown worker pool — idle connections cost one
+// registered file descriptor and nothing else, and the pool bound
+// doubles as the server's concurrency admission control (when every
+// worker is busy the reactor stops reading, and TCP backpressure does
+// the rest). Non-Linux builds fall back to a portable
+// reader-goroutine-per-connection front end feeding the same pool.
+package clientrpc
+
+// Request is one client request line.
+type Request struct {
+	Op  string `json:"op"` // put, del, get, bcast, uid, order, stat
+	Key string `json:"key,omitempty"`
+	Val any    `json:"val,omitempty"`
+}
+
+// Response is the matching reply line.
+type Response struct {
+	OK      bool     `json:"ok"`
+	Val     any      `json:"val,omitempty"`
+	Err     string   `json:"err,omitempty"`
+	Applied int      `json:"applied,omitempty"`
+	Order   []string `json:"order,omitempty"`
+	ID      string   `json:"id,omitempty"`
+}
+
+// NormalizeVal normalizes decoded JSON values for the state machine:
+// integral float64s (the only JSON number form) become ints so values
+// compare equal across put/get round trips and the gob wire.
+func NormalizeVal(v any) any {
+	if f, ok := v.(float64); ok && f == float64(int64(f)) {
+		return int(f)
+	}
+	return v
+}

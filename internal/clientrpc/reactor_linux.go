@@ -1,0 +1,241 @@
+//go:build linux
+
+package clientrpc
+
+import (
+	"fmt"
+	"net"
+	"strconv"
+	"syscall"
+	"time"
+)
+
+// The Linux front end: one reactor goroutine owns the listen socket
+// and every client socket through an epoll instance. Sockets are
+// non-blocking; the reactor accepts, reads, and frames lines, handing
+// complete requests to the shared worker pool (server.go). Response
+// writes happen on worker goroutines directly against the fd —
+// safe because at most one worker is attached per connection and the
+// refcount keeps the fd alive under it.
+//
+// Descriptor lifecycle: the reactor holds the read-side ref. It
+// retires a connection (deregister + unref) on EOF, read error,
+// EPOLLHUP/ERR, or server shutdown. A worker that hits a write error
+// calls hangup (shutdown(2), valid under its ref), which surfaces at
+// the reactor as EPOLLHUP; the actual close(2) runs when the last ref
+// drops, so no goroutine can ever write into a reused descriptor.
+
+type reactor struct {
+	srv   *Server
+	epfd  int
+	lfd   int
+	conns map[int]*conn
+}
+
+// listen binds addr with raw sockets and starts the reactor.
+func (s *Server) listen(addr string) error {
+	ta, err := net.ResolveTCPAddr("tcp", addr)
+	if err != nil {
+		return fmt.Errorf("clientrpc: resolve %s: %w", addr, err)
+	}
+	family, sa, err := sockaddrFor(ta)
+	if err != nil {
+		return err
+	}
+	lfd, err := syscall.Socket(family, syscall.SOCK_STREAM|syscall.SOCK_NONBLOCK|syscall.SOCK_CLOEXEC, 0)
+	if err != nil {
+		return fmt.Errorf("clientrpc: socket: %w", err)
+	}
+	syscall.SetsockoptInt(lfd, syscall.SOL_SOCKET, syscall.SO_REUSEADDR, 1)
+	if err := syscall.Bind(lfd, sa); err != nil {
+		syscall.Close(lfd)
+		return fmt.Errorf("clientrpc: bind %s: %w", addr, err)
+	}
+	if err := syscall.Listen(lfd, 1024); err != nil {
+		syscall.Close(lfd)
+		return fmt.Errorf("clientrpc: listen %s: %w", addr, err)
+	}
+	bound, err := syscall.Getsockname(lfd)
+	if err != nil {
+		syscall.Close(lfd)
+		return fmt.Errorf("clientrpc: getsockname: %w", err)
+	}
+	s.addr = sockaddrString(bound)
+
+	epfd, err := syscall.EpollCreate1(syscall.EPOLL_CLOEXEC)
+	if err != nil {
+		syscall.Close(lfd)
+		return fmt.Errorf("clientrpc: epoll_create: %w", err)
+	}
+	if err := epollAdd(epfd, lfd); err != nil {
+		syscall.Close(lfd)
+		syscall.Close(epfd)
+		return fmt.Errorf("clientrpc: epoll_ctl listen: %w", err)
+	}
+	r := &reactor{srv: s, epfd: epfd, lfd: lfd, conns: make(map[int]*conn)}
+	// Close only flips the flag; the reactor notices within one poll
+	// timeout and tears everything down itself, so descriptor ownership
+	// never leaves this goroutine.
+	s.stop = func() {}
+	go r.run()
+	return nil
+}
+
+func epollAdd(epfd, fd int) error {
+	return syscall.EpollCtl(epfd, syscall.EPOLL_CTL_ADD, fd,
+		&syscall.EpollEvent{Events: syscall.EPOLLIN, Fd: int32(fd)})
+}
+
+func sockaddrFor(ta *net.TCPAddr) (int, syscall.Sockaddr, error) {
+	ip := ta.IP
+	if ip == nil {
+		ip = net.IPv4zero
+	}
+	if ip4 := ip.To4(); ip4 != nil {
+		sa := &syscall.SockaddrInet4{Port: ta.Port}
+		copy(sa.Addr[:], ip4)
+		return syscall.AF_INET, sa, nil
+	}
+	sa := &syscall.SockaddrInet6{Port: ta.Port}
+	copy(sa.Addr[:], ip.To16())
+	return syscall.AF_INET6, sa, nil
+}
+
+func sockaddrString(sa syscall.Sockaddr) string {
+	switch a := sa.(type) {
+	case *syscall.SockaddrInet4:
+		return net.JoinHostPort(net.IP(a.Addr[:]).String(), strconv.Itoa(a.Port))
+	case *syscall.SockaddrInet6:
+		return net.JoinHostPort(net.IP(a.Addr[:]).String(), strconv.Itoa(a.Port))
+	}
+	return ""
+}
+
+// run is the reactor loop. The poll timeout doubles as the shutdown
+// check interval.
+func (r *reactor) run() {
+	events := make([]syscall.EpollEvent, 256)
+	buf := make([]byte, 64<<10)
+	for {
+		n, err := syscall.EpollWait(r.epfd, events, 500)
+		if r.srv.isClosed() {
+			r.shutdown()
+			return
+		}
+		if err != nil {
+			if err == syscall.EINTR {
+				continue
+			}
+			r.shutdown()
+			return
+		}
+		for i := 0; i < n; i++ {
+			fd := int(events[i].Fd)
+			if fd == r.lfd {
+				r.acceptAll()
+				continue
+			}
+			c, ok := r.conns[fd]
+			if !ok {
+				continue // stale event for an already-retired fd
+			}
+			if events[i].Events&(syscall.EPOLLHUP|syscall.EPOLLERR) != 0 {
+				r.retire(fd, c)
+				continue
+			}
+			r.readAll(fd, c, buf)
+		}
+	}
+}
+
+// acceptAll drains the accept queue, registering each new socket.
+func (r *reactor) acceptAll() {
+	for {
+		nfd, _, err := syscall.Accept4(r.lfd, syscall.SOCK_NONBLOCK|syscall.SOCK_CLOEXEC)
+		if err != nil {
+			return // EAGAIN: queue drained; anything else: listener gone
+		}
+		if err := epollAdd(r.epfd, nfd); err != nil {
+			syscall.Close(nfd)
+			continue
+		}
+		fd := nfd
+		c := &conn{srv: r.srv, refs: 1} // reactor's read-side ref
+		c.write = func(p []byte) error { return writeFD(fd, p) }
+		c.hangup = func() { syscall.Shutdown(fd, syscall.SHUT_RDWR) }
+		c.closeIO = func() { syscall.Close(fd) }
+		r.conns[fd] = c
+	}
+}
+
+// readAll drains one socket's readable data into the line framer.
+func (r *reactor) readAll(fd int, c *conn, buf []byte) {
+	for {
+		n, err := syscall.Read(fd, buf)
+		if n > 0 {
+			if !r.srv.ingest(c, buf[:n]) {
+				r.retire(fd, c) // oversized request line
+				return
+			}
+			continue
+		}
+		switch err {
+		case nil: // n == 0: EOF
+			r.retire(fd, c)
+			return
+		case syscall.EAGAIN:
+			return
+		case syscall.EINTR:
+			continue
+		default:
+			r.retire(fd, c)
+			return
+		}
+	}
+}
+
+// retire drops the reactor's interest in and reference to a
+// connection. The fd closes when any attached worker detaches.
+func (r *reactor) retire(fd int, c *conn) {
+	syscall.EpollCtl(r.epfd, syscall.EPOLL_CTL_DEL, fd, nil)
+	delete(r.conns, fd)
+	c.markDead()
+	c.hangup() // unstick a worker blocked writing to a full buffer
+	c.unref()
+}
+
+// shutdown tears down the listener and every connection.
+func (r *reactor) shutdown() {
+	syscall.Close(r.lfd)
+	for fd, c := range r.conns {
+		r.retire(fd, c)
+	}
+	syscall.Close(r.epfd)
+}
+
+// writeFD writes a full response to a non-blocking fd, spinning
+// gently through transient buffer-full conditions.
+func writeFD(fd int, p []byte) error {
+	deadline := time.Now().Add(writeStall)
+	for len(p) > 0 {
+		n, err := syscall.Write(fd, p)
+		if n > 0 {
+			p = p[n:]
+			continue
+		}
+		switch err {
+		case syscall.EAGAIN:
+			if time.Now().After(deadline) {
+				return err
+			}
+			time.Sleep(200 * time.Microsecond)
+		case syscall.EINTR:
+		default:
+			if err == nil {
+				err = syscall.EIO
+			}
+			return err
+		}
+	}
+	return nil
+}

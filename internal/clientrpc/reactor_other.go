@@ -1,0 +1,84 @@
+//go:build !linux
+
+package clientrpc
+
+import (
+	"bufio"
+	"fmt"
+	"net"
+	"sync"
+	"time"
+)
+
+// Portable fallback front end: a net.Listener accept loop with one
+// reader goroutine per connection, feeding the same bounded worker
+// pool as the Linux epoll reactor. Idle connections cost a parked
+// goroutine here — the epoll path is the production shape; this keeps
+// the package building and correct everywhere else.
+
+func (s *Server) listen(addr string) error {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return fmt.Errorf("clientrpc: listen %s: %w", addr, err)
+	}
+	s.addr = ln.Addr().String()
+
+	var mu sync.Mutex
+	conns := make(map[net.Conn]struct{})
+	s.stop = func() {
+		ln.Close()
+		mu.Lock()
+		for nc := range conns {
+			nc.Close()
+		}
+		mu.Unlock()
+	}
+
+	go func() {
+		for {
+			nc, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			mu.Lock()
+			conns[nc] = struct{}{}
+			mu.Unlock()
+			c := &conn{srv: s, refs: 1} // reader goroutine's ref
+			c.write = func(p []byte) error {
+				nc.SetWriteDeadline(time.Now().Add(writeStall))
+				_, err := nc.Write(p)
+				return err
+			}
+			c.hangup = func() { nc.Close() }
+			c.closeIO = func() {
+				nc.Close()
+				mu.Lock()
+				delete(conns, nc)
+				mu.Unlock()
+			}
+			go s.readLoop(nc, c)
+		}
+	}()
+	return nil
+}
+
+// readLoop frames lines off one connection until it drops.
+func (s *Server) readLoop(nc net.Conn, c *conn) {
+	defer func() {
+		c.markDead()
+		c.unref()
+	}()
+	r := bufio.NewReaderSize(nc, 64<<10)
+	buf := make([]byte, 64<<10)
+	for {
+		n, err := r.Read(buf)
+		if n > 0 {
+			if !s.ingest(c, buf[:n]) {
+				return // oversized request line
+			}
+		}
+		if err != nil {
+			return
+		}
+	}
+}

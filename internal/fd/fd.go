@@ -20,8 +20,11 @@ import (
 	"distbasics/internal/amp"
 )
 
-// heartbeat is the ALIVE message.
-type heartbeat struct{}
+// heartbeat is the ALIVE message. Seq identifies the broadcast round so
+// a lease grant elicited by it can be timed from the moment this
+// heartbeat was SENT (see lease.go) — timing from any later local event
+// would over-extend the holder's belief past the granter's promise.
+type heartbeat struct{ Seq int }
 
 const (
 	timerPeriod = 0 // broadcast heartbeat
@@ -41,6 +44,16 @@ type Detector struct {
 	// OnLeaderChange, if set, is invoked whenever Leader() changes, with
 	// the new leader and the time.
 	OnLeaderChange func(leader int, at amp.Time)
+	// LeaseTTL, when > 0, enables the leader read-lease protocol (see
+	// lease.go): followers grant the Ω leader time-bounded leases on its
+	// heartbeats, and HoldsLease reports whether this process currently
+	// holds a majority of them. 0 (the default) disables leasing — no
+	// extra messages, no behavior change.
+	LeaseTTL amp.Time
+	// OnLeaseChange, if set, is invoked when HoldsLease transitions (as
+	// observed at grant arrivals and the periodic suspicion sweep; an
+	// expiry is reported at the sweep after it happens).
+	OnLeaseChange func(held bool, at amp.Time)
 
 	n         int
 	id        int
@@ -49,6 +62,8 @@ type Detector struct {
 	suspected []bool
 	leader    int
 	changes   []LeaderChange
+
+	lease leaseState // leader read-lease machinery (see lease.go)
 }
 
 // LeaderChange records one leader transition (for stabilization-time
@@ -80,31 +95,47 @@ func (d *Detector) Init(ctx amp.Context) {
 		d.lastHeard[i] = ctx.Now()
 	}
 	d.leader = -1
+	d.initLease()
 	d.refreshLeader(ctx)
-	ctx.Broadcast(heartbeat{})
+	d.sendHeartbeat(ctx)
 	ctx.SetTimer(d.Period, timerPeriod)
 	ctx.SetTimer(d.Period, timerCheck)
 }
 
 // OnMessage implements amp.Component.
 func (d *Detector) OnMessage(ctx amp.Context, from int, msg amp.Message) {
-	if _, ok := msg.(heartbeat); !ok {
-		return
+	switch m := msg.(type) {
+	case heartbeat:
+		d.lastHeard[from] = ctx.Now()
+		if d.suspected[from] {
+			// False suspicion: retract and adapt (the ◇P mechanism).
+			d.suspected[from] = false
+			d.timeout[from] += d.TimeoutStep
+			d.refreshLeader(ctx)
+		}
+		d.maybeGrant(ctx, from, m.Seq)
+	case leaseGrant:
+		d.onGrant(ctx, from, m.Seq)
 	}
-	d.lastHeard[from] = ctx.Now()
-	if d.suspected[from] {
-		// False suspicion: retract and adapt (the ◇P mechanism).
-		d.suspected[from] = false
-		d.timeout[from] += d.TimeoutStep
-		d.refreshLeader(ctx)
+}
+
+// sendHeartbeat broadcasts one ALIVE round, recording its send time for
+// lease timing when leasing is enabled.
+func (d *Detector) sendHeartbeat(ctx amp.Context) {
+	seq := d.lease.hbSeq
+	d.lease.hbSeq++
+	if d.LeaseTTL > 0 {
+		d.lease.hbSent[seq] = ctx.Now()
+		delete(d.lease.hbSent, seq-leaseSeqWindow)
 	}
+	ctx.Broadcast(heartbeat{Seq: seq})
 }
 
 // OnTimer implements amp.Component.
 func (d *Detector) OnTimer(ctx amp.Context, id int) {
 	switch id {
 	case timerPeriod:
-		ctx.Broadcast(heartbeat{})
+		d.sendHeartbeat(ctx)
 		ctx.SetTimer(d.Period, timerPeriod)
 	case timerCheck:
 		changed := false
@@ -120,6 +151,7 @@ func (d *Detector) OnTimer(ctx amp.Context, id int) {
 		if changed {
 			d.refreshLeader(ctx)
 		}
+		d.updateLease(ctx)
 		ctx.SetTimer(d.Period, timerCheck)
 	}
 }

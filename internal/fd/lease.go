@@ -1,0 +1,160 @@
+package fd
+
+import (
+	"distbasics/internal/amp"
+)
+
+// Leader read-leases on top of Ω.
+//
+// A lease lets the current leader serve reads from its local state
+// without running consensus for them: while the lease is held, no rival
+// proposer can assemble a quorum, so no write the leader has not seen
+// can commit. The protocol is grant-based and entirely piggybacked on
+// the detector's heartbeats:
+//
+//   - Every heartbeat carries a sequence number, and the sender records
+//     when each was sent.
+//   - A process that receives a heartbeat FROM THE PROCESS IT CURRENTLY
+//     CONSIDERS LEADER replies with a grant echoing the sequence number
+//     — a promise to regard the sender as the exclusive leaseholder for
+//     the next LeaseTTL ticks. Grants are strictly sequential per
+//     granter: a new grant to a DIFFERENT process is withheld until the
+//     previous grant has expired.
+//   - The leader, on receiving a grant, times its validity from the
+//     moment the eliciting heartbeat was SENT (the start of the round
+//     trip). The granter honors it from the later moment the heartbeat
+//     was received, so under rate-synchronized clocks (exact in the
+//     virtual-time harness, tick-length-accurate in the real runtime)
+//     the holder's belief always expires before the granter's promise.
+//   - HoldsLease: the process believes it is leader AND holds unexpired
+//     grants from a majority (itself included). Issuing a grant to
+//     another process renounces any grants held — without that, a
+//     leadership flap could let two processes count overlapping
+//     majorities.
+//
+// Enforcement is the acceptor's job, not the detector's: consensus
+// acceptors consult GrantHolder and ignore ballot messages from any
+// other proposer while a grant is live (see mpcons.Synod.LeaseHolder).
+// Dropping ballots never violates Paxos safety; at worst it delays a
+// rival leader by one TTL. A leader that loses its lease (or never had
+// one) must fall back to ordering reads through consensus.
+
+// leaseGrant is the follower's time-bounded leadership promise; Seq
+// echoes the eliciting heartbeat.
+type leaseGrant struct{ Seq int }
+
+// leaseSeqWindow bounds the heartbeat send-time memory: a grant
+// answering a heartbeat more than this many rounds old is discarded
+// (its remaining validity would be negligible anyway).
+const leaseSeqWindow = 8
+
+// leaseState is the per-detector lease bookkeeping.
+type leaseState struct {
+	hbSeq  int              // next heartbeat sequence number
+	hbSent map[int]amp.Time // send times of recent heartbeats
+
+	grantTo    int      // process we currently have a grant out to (-1 none)
+	grantUntil amp.Time // when that grant expires (granter-side promise)
+
+	grantExp []amp.Time // per-peer expiry of grants received (holder side)
+	held     bool       // last observed HoldsLease, for OnLeaseChange
+}
+
+// initLease is called from Detector.Init.
+func (d *Detector) initLease() {
+	d.lease.hbSent = make(map[int]amp.Time)
+	d.lease.grantTo = -1
+	d.lease.grantExp = make([]amp.Time, d.n)
+}
+
+// maybeGrant issues or refreshes a lease grant for a heartbeat from the
+// process this detector currently follows as leader. Sequential-grant
+// rule: never two live grants to different processes.
+func (d *Detector) maybeGrant(ctx amp.Context, from, seq int) {
+	if d.LeaseTTL <= 0 || from == d.id || from != d.leader {
+		return
+	}
+	now := ctx.Now()
+	if d.lease.grantTo != from && now < d.lease.grantUntil {
+		return // an earlier grant to someone else is still live
+	}
+	if d.lease.grantTo != from {
+		// Granting renounces any lease we hold (or could claim from
+		// grants received while we led).
+		for i := range d.lease.grantExp {
+			d.lease.grantExp[i] = 0
+		}
+	}
+	d.lease.grantTo = from
+	d.lease.grantUntil = now + d.LeaseTTL
+	ctx.Send(from, leaseGrant{Seq: seq})
+	d.updateLease(ctx)
+}
+
+// onGrant records a received grant, timed from the eliciting
+// heartbeat's send.
+func (d *Detector) onGrant(ctx amp.Context, from, seq int) {
+	if d.LeaseTTL <= 0 || from < 0 || from >= d.n {
+		return
+	}
+	sent, ok := d.lease.hbSent[seq]
+	if !ok {
+		return // too old to matter
+	}
+	if exp := sent + d.LeaseTTL; exp > d.lease.grantExp[from] {
+		d.lease.grantExp[from] = exp
+	}
+	d.updateLease(ctx)
+}
+
+// HoldsLease reports whether this process holds the leader read-lease
+// at time now: it believes itself leader and holds unexpired grants
+// from a majority (counting itself). The caller may serve linearizable
+// reads from local state while this is true, PROVIDED acceptors enforce
+// the grants (mpcons.Synod.LeaseHolder); otherwise it is only a
+// bounded-staleness hint.
+func (d *Detector) HoldsLease(now amp.Time) bool {
+	if d.LeaseTTL <= 0 || d.leader != d.id || d.lease.grantExp == nil {
+		return false
+	}
+	cnt := 1 // self
+	for i, exp := range d.lease.grantExp {
+		if i != d.id && exp > now {
+			cnt++
+		}
+	}
+	return cnt > d.n/2
+}
+
+// GrantHolder reports the process this detector is currently bound to
+// honor as leaseholder, if any: the process it granted to (until the
+// grant expires, regardless of later leader changes), or itself while
+// it holds the lease. Acceptors use this to ignore rival ballots.
+func (d *Detector) GrantHolder(now amp.Time) (int, bool) {
+	if d.LeaseTTL <= 0 {
+		return -1, false
+	}
+	if d.HoldsLease(now) {
+		return d.id, true
+	}
+	if d.lease.grantTo >= 0 && now < d.lease.grantUntil {
+		return d.lease.grantTo, true
+	}
+	return -1, false
+}
+
+// updateLease fires OnLeaseChange on HoldsLease transitions. Called at
+// grant issuance/arrival and from the periodic suspicion sweep (which
+// is what eventually observes a passive expiry).
+func (d *Detector) updateLease(ctx amp.Context) {
+	if d.LeaseTTL <= 0 {
+		return
+	}
+	held := d.HoldsLease(ctx.Now())
+	if held != d.lease.held {
+		d.lease.held = held
+		if d.OnLeaseChange != nil {
+			d.OnLeaseChange(held, ctx.Now())
+		}
+	}
+}

@@ -4,4 +4,5 @@ package fd
 // (see internal/transport).
 func RegisterWire(reg func(any)) {
 	reg(heartbeat{})
+	reg(leaseGrant{})
 }

@@ -1,0 +1,181 @@
+package kv
+
+import (
+	"fmt"
+	"time"
+
+	"distbasics/internal/amp"
+	"distbasics/internal/clientrpc"
+	"distbasics/internal/rsm"
+	"distbasics/internal/transport"
+)
+
+// Host is one process's side of a multi-process sharded KV: it runs
+// replica Self of EVERY shard, each shard over its own TCP transport
+// mesh (plus the Resilient retry layer), and answers client RPCs by
+// routing each key to its local replica of the owning shard. A write
+// submitted here disseminates to the other processes' replicas of the
+// same shard; reads take the lease fast path when this process leads
+// that shard, else a consensus no-op.
+type HostConfig struct {
+	// Shards is the shard count; Peers[s][i] is replica i's transport
+	// address for shard s (all rows same length = replica count).
+	Shards int
+	Peers  [][]string
+	// Self is this process's replica index.
+	Self int
+	// Unit is the tick duration for the real clock (default 2ms).
+	Unit time.Duration
+	// LeaseTTL in ticks; 0 = DefaultHostLeaseTTL, negative disables.
+	LeaseTTL amp.Time
+	// MaxBatch / Pipeline pass through to the rsm proposer.
+	MaxBatch, Pipeline int
+	// Timeout bounds one client op's consensus round-trip (default 15s).
+	Timeout time.Duration
+}
+
+const (
+	// DefaultHostLeaseTTL (ticks) is several heartbeat periods: at the
+	// 2ms default unit and hostHeartbeatPeriod=40, a 500-tick lease is
+	// one second, renewed every 80ms.
+	DefaultHostLeaseTTL amp.Time = 500
+	hostHeartbeatPeriod amp.Time = 40
+)
+
+func (c HostConfig) withDefaults() (HostConfig, error) {
+	if c.Shards <= 0 {
+		c.Shards = len(c.Peers)
+	}
+	if c.Shards != len(c.Peers) {
+		return c, fmt.Errorf("kv: %d shards but %d peer rows", c.Shards, len(c.Peers))
+	}
+	for s, row := range c.Peers {
+		if len(row) != len(c.Peers[0]) {
+			return c, fmt.Errorf("kv: shard %d has %d replicas, shard 0 has %d", s, len(row), len(c.Peers[0]))
+		}
+	}
+	if c.Self < 0 || len(c.Peers) == 0 || c.Self >= len(c.Peers[0]) {
+		return c, fmt.Errorf("kv: self %d out of range", c.Self)
+	}
+	if c.Unit <= 0 {
+		c.Unit = 2 * time.Millisecond
+	}
+	if c.LeaseTTL == 0 {
+		c.LeaseTTL = DefaultHostLeaseTTL
+	}
+	if c.Timeout <= 0 {
+		c.Timeout = 15 * time.Second
+	}
+	return c, nil
+}
+
+type hostShard struct {
+	rep *replica
+	tcp *transport.TCP
+}
+
+// Host runs this process's replicas; see HostConfig.
+type Host struct {
+	cfg    HostConfig
+	rmap   RangeMap
+	clock  *transport.RealClock
+	shards []*hostShard
+}
+
+// hostPolicy mirrors basicsd's localhost-TCP retry tuning.
+func hostPolicy(id int) transport.Policy {
+	return transport.Policy{SendTimeout: 25, RetryBase: 10, RetryCap: 250, Seed: int64(id + 1)}
+}
+
+// NewHost starts every local shard replica. On error, transports
+// already opened are closed.
+func NewHost(cfg HostConfig) (*Host, error) {
+	cfg, err := cfg.withDefaults()
+	if err != nil {
+		return nil, err
+	}
+	registerWire()
+	h := &Host{cfg: cfg, rmap: UniformHexBounds(cfg.Shards), clock: transport.NewRealClock(cfg.Unit)}
+	for s := 0; s < cfg.Shards; s++ {
+		hs, err := h.startShard(s)
+		if err != nil {
+			h.Close()
+			return nil, fmt.Errorf("kv: shard %d: %w", s, err)
+		}
+		h.shards = append(h.shards, hs)
+	}
+	return h, nil
+}
+
+func (h *Host) startShard(s int) (*hostShard, error) {
+	cfg := h.cfg
+	n := len(cfg.Peers[s])
+	nodeOpts := []rsm.NodeOption{rsm.WithoutAppliedLog()}
+	if cfg.MaxBatch > 0 {
+		nodeOpts = append(nodeOpts, rsm.WithMaxBatch(cfg.MaxBatch))
+	}
+	if cfg.Pipeline > 0 {
+		nodeOpts = append(nodeOpts, rsm.WithPipeline(cfg.Pipeline))
+	}
+	if cfg.LeaseTTL > 0 {
+		nodeOpts = append(nodeOpts, rsm.WithReadLease(cfg.LeaseTTL))
+	}
+	nd := rsm.NewNode(n, nodeOpts...)
+	nd.Omega.Period = hostHeartbeatPeriod
+
+	tcp, err := transport.NewTCP(cfg.Self, cfg.Peers[s], transport.TCPOptions{})
+	if err != nil {
+		return nil, err
+	}
+	res := transport.NewResilient(tcp, h.clock, hostPolicy(cfg.Self))
+	rt := transport.NewRuntime(res, h.clock, nd.Stack,
+		transport.WithRuntimeSeed(int64(s*n+cfg.Self+1)),
+		transport.WithSuspectSource(nd.Omega.Suspects),
+		transport.WithSuspectKick(res.Kick),
+	)
+	res.SetSuspected(rt.Suspected)
+	rt.Start()
+	return &hostShard{rep: newReplica(nd, rt), tcp: tcp}, nil
+}
+
+// Close stops every shard runtime and transport.
+func (h *Host) Close() {
+	for _, hs := range h.shards {
+		hs.rep.rt.Stop()
+		hs.tcp.Close()
+	}
+}
+
+// Handle serves one client RPC (wire-compatible with basicsd's KV
+// subset); it is the clientrpc.Handler for a serving process.
+func (h *Host) Handle(req clientrpc.Request) clientrpc.Response {
+	switch req.Op {
+	case "put", "del":
+		cmd := rsm.Command{Op: req.Op, Key: req.Key, Val: clientrpc.NormalizeVal(req.Val)}
+		if _, err := h.shardFor(req.Key).rep.submit(cmd, h.cfg.Timeout); err != nil {
+			return clientrpc.Response{Err: err.Error()}
+		}
+		return clientrpc.Response{OK: true}
+	case "get":
+		rep := h.shardFor(req.Key).rep
+		if v, ok := rep.leaseRead(req.Key); ok {
+			return clientrpc.Response{OK: true, Val: v}
+		}
+		out, err := rep.submit(rsm.Command{Op: "get", Key: req.Key}, h.cfg.Timeout)
+		if err != nil {
+			return clientrpc.Response{Err: err.Error()}
+		}
+		return clientrpc.Response{OK: true, Val: out}
+	case "stat":
+		total := 0
+		for _, hs := range h.shards {
+			rep := hs.rep
+			rep.rt.Do(func(amp.Context) { total += rep.node.Len() })
+		}
+		return clientrpc.Response{OK: true, Applied: total}
+	default:
+		return clientrpc.Response{Err: fmt.Sprintf("unknown op %q", req.Op)}
+	}
+}
+
+func (h *Host) shardFor(key string) *hostShard { return h.shards[h.rmap.Shard(key)] }

@@ -1,0 +1,286 @@
+package kv
+
+import (
+	"fmt"
+	"net"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"distbasics/internal/check"
+	"distbasics/internal/clientrpc"
+)
+
+// spreadKey builds a key routed by its two-hex-digit prefix, matching
+// UniformHexBounds.
+func spreadKey(i int, tag string) string {
+	return fmt.Sprintf("%02x-%s-%d", (i*37)%256, tag, i)
+}
+
+func TestRangeMapRouting(t *testing.T) {
+	m := UniformHexBounds(8)
+	if got := m.Shards(); got != 8 {
+		t.Fatalf("Shards() = %d", got)
+	}
+	counts := make([]int, 8)
+	for i := 0; i < 4096; i++ {
+		s := m.Shard(spreadKey(i, "k"))
+		if s < 0 || s >= 8 {
+			t.Fatalf("key routed to shard %d", s)
+		}
+		counts[s]++
+	}
+	for s, c := range counts {
+		if c == 0 {
+			t.Fatalf("shard %d got no keys (bounds %v)", s, m.Bounds)
+		}
+	}
+	// Range semantics: a key below the first bound is shard 0; a key
+	// equal to a bound belongs to the shard above it.
+	if got := m.Shard(""); got != 0 {
+		t.Fatalf("empty key routed to %d", got)
+	}
+	if got := m.Shard(m.Bounds[0]); got != 1 {
+		t.Fatalf("key equal to bound 0 routed to %d, want 1", got)
+	}
+}
+
+func TestEngineRoundTrip(t *testing.T) {
+	e := Open(Options{Shards: 4})
+	defer e.Close()
+	const n = 64
+	for i := 0; i < n; i++ {
+		if err := e.Put(spreadKey(i, "rt"), i); err != nil {
+			t.Fatalf("put %d: %v", i, err)
+		}
+	}
+	for i := 0; i < n; i++ {
+		v, err := e.Get(spreadKey(i, "rt"))
+		if err != nil {
+			t.Fatalf("get %d: %v", i, err)
+		}
+		if v != i {
+			t.Fatalf("get %d = %v", i, v)
+		}
+	}
+	if err := e.Del(spreadKey(0, "rt")); err != nil {
+		t.Fatal(err)
+	}
+	if v, err := e.Get(spreadKey(0, "rt")); err != nil || v != nil {
+		t.Fatalf("after del: v=%v err=%v", v, err)
+	}
+}
+
+// TestEngineLeaseFastPath: with leases on (default), a read-heavy
+// steady state serves most reads locally at the leader, not through
+// consensus.
+func TestEngineLeaseFastPath(t *testing.T) {
+	e := Open(Options{Shards: 1})
+	defer e.Close()
+	if err := e.Put("00-x", 1); err != nil {
+		t.Fatal(err)
+	}
+	// Let the group elect, grant, and stabilize the lease.
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		e.Get("00-x")
+		if e.Stats().LeaseReads > 0 {
+			break
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	if e.Stats().LeaseReads == 0 {
+		t.Fatal("no lease read ever served; fast path dead")
+	}
+	before := e.Stats()
+	for i := 0; i < 200; i++ {
+		if _, err := e.Get("00-x"); err != nil {
+			t.Fatal(err)
+		}
+	}
+	after := e.Stats()
+	if gained := after.LeaseReads - before.LeaseReads; gained < 150 {
+		t.Fatalf("only %d of 200 steady-state reads took the lease path", gained)
+	}
+}
+
+// TestEngineQuorumFallback: with leases disabled every read falls back
+// to the consensus no-op — and still returns correct values.
+func TestEngineQuorumFallback(t *testing.T) {
+	e := Open(Options{Shards: 1, LeaseTTL: -1})
+	defer e.Close()
+	if err := e.Put("00-y", 7); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 10; i++ {
+		v, err := e.Get("00-y")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if v != 7 {
+			t.Fatalf("read %d = %v", i, v)
+		}
+	}
+	st := e.Stats()
+	if st.LeaseReads != 0 {
+		t.Fatalf("%d lease reads with leasing disabled", st.LeaseReads)
+	}
+	if st.QuorumReads < 10 {
+		t.Fatalf("only %d quorum reads recorded", st.QuorumReads)
+	}
+}
+
+// TestEngineBatching: a concurrent write burst must decide far fewer
+// slots than commands.
+func TestEngineBatching(t *testing.T) {
+	e := Open(Options{Shards: 1})
+	defer e.Close()
+	const writers, per = 16, 32
+	var wg sync.WaitGroup
+	var fail atomic.Value
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				if err := e.Put(spreadKey(w*per+i, "b"), i); err != nil {
+					fail.Store(err)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	if err := fail.Load(); err != nil {
+		t.Fatal(err)
+	}
+	st := e.Stats()
+	if st.Writes != writers*per {
+		t.Fatalf("writes = %d, want %d", st.Writes, writers*per)
+	}
+	if st.Slots >= int(st.Writes) {
+		t.Fatalf("%d slots for %d writes: no batching", st.Slots, st.Writes)
+	}
+}
+
+// TestEngineLinearizable runs a concurrent mixed workload against
+// sampled keys and feeds the recorded per-key histories through the
+// partitioned linearizability checker — the same validation the bench
+// applies to its sampled load.
+func TestEngineLinearizable(t *testing.T) {
+	e := Open(Options{Shards: 4})
+	defer e.Close()
+	rec := check.NewRecorder()
+	var seq atomic.Int64
+	keys := []string{"10-lin-a", "58-lin-b", "a0-lin-c", "e8-lin-d"}
+	const procs, opsPer = 8, 14 // 2 procs/key x 14 ops < 63-op cap
+	var wg sync.WaitGroup
+	var fail atomic.Value
+	for p := 0; p < procs; p++ {
+		wg.Add(1)
+		go func(p int) {
+			defer wg.Done()
+			key := keys[p%len(keys)]
+			for i := 0; i < opsPer; i++ {
+				if (p+i)%2 == 0 {
+					v := int(seq.Add(1))
+					inv := rec.Call(p, check.KeyedOp{Key: key, Op: check.WriteOp{V: v}})
+					if err := e.Put(key, v); err != nil {
+						fail.Store(err)
+						return
+					}
+					inv.Return(nil)
+				} else {
+					inv := rec.Call(p, check.KeyedOp{Key: key, Op: check.ReadOp{}})
+					v, err := e.Get(key)
+					if err != nil {
+						fail.Store(err)
+						return
+					}
+					inv.Return(v)
+				}
+			}
+		}(p)
+	}
+	wg.Wait()
+	if err := fail.Load(); err != nil {
+		t.Fatal(err)
+	}
+	h := rec.History()
+	res, err := check.Linearizable(check.RegisterArraySpec{}, h)
+	if err != nil {
+		t.Fatalf("checker: %v", err)
+	}
+	if !res.OK {
+		t.Fatalf("history of %d ops does not linearize", len(h))
+	}
+	if res.Partitions != len(keys) {
+		t.Fatalf("checked %d partitions, want %d", res.Partitions, len(keys))
+	}
+}
+
+// allocAddrs grabs n distinct localhost ports.
+func allocAddrs(t *testing.T, n int) []string {
+	t.Helper()
+	addrs := make([]string, n)
+	for i := range addrs {
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		addrs[i] = ln.Addr().String()
+		ln.Close()
+	}
+	return addrs
+}
+
+// TestHostTCP brings up a 3-replica, 2-shard Host mesh over real TCP
+// (three Hosts in one process — the transport neither knows nor cares)
+// and round-trips operations through each host, exercising
+// cross-process dissemination and the lease/fallback read paths.
+func TestHostTCP(t *testing.T) {
+	if testing.Short() {
+		t.Skip("real TCP mesh")
+	}
+	const replicas, shards = 3, 2
+	peers := make([][]string, shards)
+	for s := range peers {
+		peers[s] = allocAddrs(t, replicas)
+	}
+	hosts := make([]*Host, replicas)
+	for i := range hosts {
+		h, err := NewHost(HostConfig{Shards: shards, Peers: peers, Self: i, Unit: time.Millisecond})
+		if err != nil {
+			t.Fatalf("host %d: %v", i, err)
+		}
+		defer h.Close()
+		hosts[i] = h
+	}
+	for i := 0; i < 16; i++ {
+		key := spreadKey(i, "tcp")
+		resp := hosts[i%replicas].Handle(reqPut(key, i))
+		if !resp.OK {
+			t.Fatalf("put %d via host %d: %s", i, i%replicas, resp.Err)
+		}
+	}
+	for i := 0; i < 16; i++ {
+		key := spreadKey(i, "tcp")
+		// Read through a different host than wrote.
+		resp := hosts[(i+1)%replicas].Handle(reqGet(key))
+		if !resp.OK {
+			t.Fatalf("get %d: %s", i, resp.Err)
+		}
+		if resp.Val != i {
+			t.Fatalf("get %d = %v", i, resp.Val)
+		}
+	}
+}
+
+func reqPut(k string, v any) clientrpc.Request {
+	return clientrpc.Request{Op: "put", Key: k, Val: v}
+}
+
+func reqGet(k string) clientrpc.Request {
+	return clientrpc.Request{Op: "get", Key: k}
+}

@@ -1,0 +1,124 @@
+package kv
+
+import (
+	"sync"
+	"time"
+
+	"distbasics/internal/amp"
+	"distbasics/internal/rbcast"
+	"distbasics/internal/rsm"
+	"distbasics/internal/transport"
+)
+
+// replica drives one rsm replica this process hosts: operation
+// submission with completion at the LOCAL apply, and the leader
+// read-lease fast path.
+//
+// Completing a waiter only at the submitting replica's own apply point
+// (never at a peer's) is a correctness decision, not an optimization:
+// if a write could complete because some other replica applied it, a
+// subsequent lease read at this replica could run before the write
+// reached this replica's state machine and return stale data. With
+// local-apply completion, every operation completed through a replica
+// is in that replica's applied prefix, so a lease read here observes
+// every write it is real-time-ordered after.
+type replica struct {
+	node *rsm.Node
+	rt   *transport.Runtime
+
+	mu      sync.Mutex
+	waiters map[rbcast.MsgID]chan any
+}
+
+// pendingOp is one client operation staged for submission.
+type pendingOp struct {
+	cmd  rsm.Command
+	done chan any // buffered 1; receives the op's return value
+}
+
+func newPendingOp(cmd rsm.Command) *pendingOp {
+	return &pendingOp{cmd: cmd, done: make(chan any, 1)}
+}
+
+func newReplica(node *rsm.Node, rt *transport.Runtime) *replica {
+	r := &replica{node: node, rt: rt, waiters: make(map[rbcast.MsgID]chan any)}
+	node.OnApply = r.onApply
+	return r
+}
+
+// onApply runs inside the event loop after every applied entry and
+// completes a waiting submission. Reads of the local state here are at
+// the entry's linearization point, which is what makes a "get" no-op
+// command a linearizable quorum read.
+func (r *replica) onApply(e rsm.Entry, _ amp.Time) {
+	r.mu.Lock()
+	ch, ok := r.waiters[e.ID]
+	if ok {
+		delete(r.waiters, e.ID)
+	}
+	r.mu.Unlock()
+	if !ok {
+		return
+	}
+	var out any
+	if cmd, isCmd := e.Payload.(rsm.Command); isCmd && cmd.Op == "get" {
+		out = r.node.Get(cmd.Key)
+	}
+	select {
+	case ch <- out:
+	default:
+	}
+}
+
+// submitWave registers and submits a wave of staged operations in one
+// event-loop entry, amortizing the actor-mutex round trip across the
+// whole wave.
+func (r *replica) submitWave(ops []*pendingOp) {
+	r.rt.Do(func(amp.Context) {
+		for _, o := range ops {
+			id := r.node.Submit(r.node.Ctx(), o.cmd)
+			r.mu.Lock()
+			r.waiters[id] = o.done
+			r.mu.Unlock()
+		}
+	})
+}
+
+// submit runs one command through consensus and waits for the local
+// apply, with a deadline (the Host RPC path).
+func (r *replica) submit(cmd rsm.Command, timeout time.Duration) (any, error) {
+	op := newPendingOp(cmd)
+	r.submitWave([]*pendingOp{op})
+	t := time.NewTimer(timeout)
+	defer t.Stop()
+	select {
+	case out := <-op.done:
+		return out, nil
+	case <-t.C:
+		return nil, errTimeout{cmd.Op, timeout}
+	}
+}
+
+// leaseRead serves key locally iff this replica currently holds the
+// read lease (it is the Ω leader and a majority's grants are
+// unexpired). The read runs under the actor mutex, so it observes a
+// consistent applied prefix; the lease guarantees no other replica can
+// commit writes this replica has not seen while the grant set is live.
+func (r *replica) leaseRead(key string) (val any, ok bool) {
+	r.rt.Do(func(ctx amp.Context) {
+		if r.node.HoldsLease(ctx.Now()) {
+			val = r.node.Get(key)
+			ok = true
+		}
+	})
+	return val, ok
+}
+
+type errTimeout struct {
+	op string
+	d  time.Duration
+}
+
+func (e errTimeout) Error() string {
+	return "kv: " + e.op + " timeout after " + e.d.String() + " (op may still apply)"
+}

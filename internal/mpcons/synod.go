@@ -31,8 +31,23 @@ type Synod struct {
 	// leader's inbound links with stale promises, which delays replies
 	// further — a self-sustaining retry storm under lossy transports.
 	RetryPeriod amp.Time
+	// KickoffDelay, when > 0, is the delay before the FIRST ballot
+	// attempt (default RetryPeriod). A slot multiplexer that creates
+	// instances lazily at the moment there is work sets this small so a
+	// fresh slot does not idle a whole retry period before its first
+	// ballot; subsequent retries use RetryPeriod as usual.
+	KickoffDelay amp.Time
 	// OnDecide fires on decision.
 	OnDecide DecideFn
+	// LeaseHolder, if set, reports the read-lease holder this process is
+	// currently bound to honor (see fd.Detector.GrantHolder). While a
+	// holder h is live, the acceptor ignores prepare/accept messages
+	// from every other proposer — that refusal is exactly the promise
+	// that makes h's local reads linearizable, since no rival ballot can
+	// assemble a quorum before the lease expires. Dropping ballots never
+	// violates Paxos safety; at worst it delays a rival leader by one
+	// lease TTL.
+	LeaseHolder func(now amp.Time) (holder int, ok bool)
 	// OnAcceptorChange, if set, fires synchronously whenever the acceptor
 	// triple (promised, acceptedBal, acceptedVal) changes — BEFORE the
 	// corresponding promise/accepted reply is sent. Persisting the triple
@@ -112,6 +127,30 @@ func (s *Synod) MarkDecided(v any) {
 	s.decidedVal = v
 }
 
+// Release drops the proposer-side quorum maps and upcall references so
+// a decided, garbage-collected instance retains no more than its
+// acceptor triple. A released instance must receive no further events
+// (the owning multiplexer stops routing to it).
+func (s *Synod) Release() {
+	s.promises = nil
+	s.accepteds = nil
+	s.InputFn = nil
+	s.Enabled = nil
+	s.LeaseHolder = nil
+	s.OnDecide = nil
+	s.OnAcceptorChange = nil
+}
+
+// leaseBlocks reports whether a live read-lease forbids acting on a
+// ballot message from proposer `from`.
+func (s *Synod) leaseBlocks(ctx amp.Context, from int) bool {
+	if s.LeaseHolder == nil {
+		return false
+	}
+	h, ok := s.LeaseHolder(ctx.Now())
+	return ok && h != from
+}
+
 // acceptorChanged persists the acceptor triple via the hook, if any.
 func (s *Synod) acceptorChanged() {
 	if s.OnAcceptorChange != nil {
@@ -126,7 +165,11 @@ func (s *Synod) Init(ctx amp.Context) {
 	if s.RetryPeriod == 0 {
 		s.RetryPeriod = 40
 	}
-	ctx.SetTimer(s.RetryPeriod, synodRetryTimer)
+	first := s.KickoffDelay
+	if first <= 0 {
+		first = s.RetryPeriod
+	}
+	ctx.SetTimer(first, synodRetryTimer)
 }
 
 // OnTimer implements amp.Component: the leader-retry loop.
@@ -173,6 +216,9 @@ func (s *Synod) startBallot(ctx amp.Context) {
 func (s *Synod) OnMessage(ctx amp.Context, from int, msg amp.Message) {
 	switch m := msg.(type) {
 	case synPrepare:
+		if s.leaseBlocks(ctx, from) {
+			return
+		}
 		if m.Bal > s.promised {
 			s.promised = m.Bal
 			s.acceptorChanged()
@@ -203,6 +249,9 @@ func (s *Synod) OnMessage(ctx amp.Context, from int, msg amp.Message) {
 			ctx.Broadcast(synAccept{Bal: s.ballot, Val: s.propVal})
 		}
 	case synAccept:
+		if s.leaseBlocks(ctx, from) {
+			return
+		}
 		if m.Bal >= s.promised {
 			s.promised = m.Bal
 			s.acceptedBal = m.Bal

@@ -239,6 +239,8 @@ func RegisterWire(reg func(any)) {
 	reg(toPayload{})
 	reg(tbFetch{})
 	reg(tbDecided{})
+	reg(muxMsg{})
+	reg(muxLearn{})
 	reg(batch{})
 	reg(Entry{})
 	reg(Command{})

@@ -13,7 +13,7 @@ import (
 // retransmitted decide can produce over an at-least-once transport —
 // and checks the command is applied exactly once.
 func TestApplyIdempotent(t *testing.T) {
-	nd := NewNode(3, 4)
+	nd := NewNode(3)
 	e := Entry{ID: rbcast.MsgID{Sender: 1, Seq: 0}, Payload: Command{Op: "put", Key: "x", Val: 1}}
 	nd.apply(e, 5)
 	nd.apply(e, 6) // duplicate delivery
@@ -34,7 +34,7 @@ func TestApplyIdempotent(t *testing.T) {
 // twice (a relayed synDecide arriving after the first) and checks the
 // delivery is not duplicated.
 func TestDuplicateSlotDecide(t *testing.T) {
-	nd := NewNode(3, 4)
+	nd := NewNode(3)
 	b := batch{{ID: rbcast.MsgID{Sender: 0, Seq: 0}, Payload: Command{Op: "put", Key: "k", Val: "v"}}}
 	nd.TO.onSlotDecide(0, b, 10)
 	nd.TO.onSlotDecide(0, b, 11) // duplicate decision
@@ -56,7 +56,7 @@ func TestMemJournalRecovery(t *testing.T) {
 		if i == 0 {
 			opts = append(opts, WithJournal(j))
 		}
-		nodes[i] = NewNode(n, 8, opts...)
+		nodes[i] = NewNode(n, opts...)
 		procs[i] = nodes[i].Stack
 	}
 	sim := amp.NewSim(procs, amp.WithDelay(amp.FixedDelay{D: 2}))
@@ -79,7 +79,7 @@ func TestMemJournalRecovery(t *testing.T) {
 		t.Fatal("journal recorded no decided slots")
 	}
 
-	restarted := NewNode(n, 8, WithJournal(j), WithRecovery(rec))
+	restarted := NewNode(n, WithJournal(j), WithRecovery(rec))
 	if restarted.Len() != 2 {
 		t.Fatalf("restarted node replayed %d entries, want 2", restarted.Len())
 	}
@@ -110,7 +110,7 @@ func TestAcceptorJournaling(t *testing.T) {
 	nodes := make([]*Node, n)
 	for i := 0; i < n; i++ {
 		journals[i] = NewMemJournal()
-		nodes[i] = NewNode(n, 8, WithJournal(journals[i]))
+		nodes[i] = NewNode(n, WithJournal(journals[i]))
 		procs[i] = nodes[i].Stack
 	}
 	sim := amp.NewSim(procs, amp.WithDelay(amp.FixedDelay{D: 2}))
@@ -174,7 +174,7 @@ func TestFileJournalRoundTrip(t *testing.T) {
 	}
 
 	// A restarted node rebuilt from the file journal applies the decide.
-	restarted := NewNode(3, 8, WithRecovery(rec2))
+	restarted := NewNode(3, WithRecovery(rec2))
 	if restarted.Get("k") != "v" {
 		t.Fatalf("restarted Get(k) = %v, want v", restarted.Get("k"))
 	}

@@ -5,6 +5,14 @@
 // their local copies, ensuring mutual consistency — and since TO-broadcast
 // requires consensus, it inherits consensus's impossibility in
 // AMPn,t[t > 0] without an oracle; here the oracle is Ω.
+//
+// Consensus slots are allocated lazily and garbage-collected: a replica
+// group runs an unbounded sequence of Synod instances, materializing one
+// only when a slot first sees traffic (a ballot message, or the local
+// proposer opening it) and freeing it once its decision has been
+// delivered. Up to Pipeline slots run ballots concurrently, so slot s+1
+// does not stall on slot s's apply; delivery stays strictly in slot
+// order. The proposer batches up to MaxBatch pending commands per slot.
 package rsm
 
 import (
@@ -12,7 +20,6 @@ import (
 
 	"distbasics/internal/amp"
 	"distbasics/internal/fd"
-	"distbasics/internal/mpcons"
 	"distbasics/internal/rbcast"
 )
 
@@ -30,9 +37,11 @@ type batch []Entry
 type DeliverFn func(e Entry, at amp.Time)
 
 // TOBroadcast is the total-order reliable broadcast coordinator. It is an
-// amp.Component designed to share a Stack with an fd.Detector and MaxSlots
-// mpcons.Synod instances; use NewNode to wire the whole stack.
+// amp.Component designed to share a Stack with an fd.Detector and a
+// synodMux hosting the per-slot consensus instances; use NewNode to wire
+// the whole stack.
 type TOBroadcast struct {
+	n         int
 	omega     *fd.Detector
 	onDeliver DeliverFn
 
@@ -40,14 +49,25 @@ type TOBroadcast struct {
 	persistSeq func(next int) // journal hook, may be nil
 	pending    map[rbcast.MsgID]any
 	delivered  map[rbcast.MsgID]bool
+	dlvLow     []int // per-sender watermark: all Seq < dlvLow[s] delivered
 	relayed    map[rbcast.MsgID]bool
+	scheduled  map[rbcast.MsgID]bool // in a decided-but-undelivered batch
 
-	decided     map[int]batch
-	nextDecide  int // first undecided slot (gates synod s)
-	nextDeliver int // first undelivered slot
-	maxSeen     int // highest slot with a known decision
+	decided      map[int]batch
+	nextDecide   int // first undecided slot (gates ballot initiation)
+	nextDeliver  int // first undelivered slot
+	maxSeen      int // highest slot with a known decision (here or at a peer)
+	compactFloor int // decided batches below this are compacted away
+	retain       int // delivered batches kept for anti-entropy
+	maxBatch     int // proposal size cap
+	unsched      int // pending entries not yet placed in a decided slot
+
+	onNewWork func() // synodMux window poke, set by NewNode
+
+	fetchLast map[int]amp.Time // per-peer last tbFetch answer (rate limit)
 
 	recovered     bool                    // restarted from a journal: fetch on Init
+	fetchPending  bool                    // keep re-fetching until any answer arrives
 	persistDecide func(slot int, b batch) // journal hook, may be nil
 }
 
@@ -61,12 +81,27 @@ type (
 	tbDecided struct {
 		Slot  int
 		Batch batch
+		// MaxSeen piggybacks the answerer's decide frontier, so one
+		// successful answer teaches a behind replica how far behind it
+		// is — the gap-driven periodic re-fetch then runs until the gap
+		// closes, even if most individual answers are lost. Slot -1
+		// carries only the frontier (the answerer had no retained slot
+		// to serve but still acknowledges the fetch).
+		MaxSeen int
 	}
 )
 
 const (
 	tbSyncTimer  = 0
 	tbSyncPeriod = 64
+
+	// tbFetchChunk caps the decided slots one tbFetch answer carries,
+	// and tbFetchMinGap the per-peer answer frequency: a recovering
+	// replica thousands of slots behind re-fetches every tbSyncPeriod
+	// as it advances, so chunked replies still converge, but no peer
+	// can be made to emit an unbounded reply storm from one request.
+	tbFetchChunk  = 64
+	tbFetchMinGap = tbSyncPeriod / 2
 )
 
 // toPayload disseminates an application message to all replicas' pending
@@ -76,15 +111,19 @@ type toPayload struct {
 	Payload any
 }
 
-// newTOBroadcast is internal; NewNode wires it with its synods.
-func newTOBroadcast(omega *fd.Detector, onDeliver DeliverFn) *TOBroadcast {
+// newTOBroadcast is internal; NewNode wires it with its synod mux.
+func newTOBroadcast(n int, omega *fd.Detector, onDeliver DeliverFn) *TOBroadcast {
 	return &TOBroadcast{
+		n:         n,
 		omega:     omega,
 		onDeliver: onDeliver,
 		pending:   make(map[rbcast.MsgID]any),
 		delivered: make(map[rbcast.MsgID]bool),
+		dlvLow:    make([]int, n),
 		relayed:   make(map[rbcast.MsgID]bool),
+		scheduled: make(map[rbcast.MsgID]bool),
 		decided:   make(map[int]batch),
+		fetchLast: make(map[int]amp.Time),
 		maxSeen:   -1,
 	}
 }
@@ -93,7 +132,12 @@ func newTOBroadcast(omega *fd.Detector, onDeliver DeliverFn) *TOBroadcast {
 func (tb *TOBroadcast) Init(ctx amp.Context) {
 	if tb.recovered {
 		// A restarted replica may have slept through decisions; ask for
-		// everything from its first undelivered slot.
+		// everything from its first undelivered slot — and keep asking on
+		// the sync timer until someone answers. The first fetch is sent
+		// into whatever backlog built up toward this node while it was
+		// down, so it (or all its answers) can be lost; a one-shot fetch
+		// here is a liveness hole, not an optimization.
+		tb.fetchPending = true
 		ctx.Broadcast(tbFetch{From: tb.nextDeliver})
 	}
 	ctx.SetTimer(tbSyncPeriod, tbSyncTimer)
@@ -109,32 +153,78 @@ func (tb *TOBroadcast) Broadcast(ctx amp.Context, payload any) rbcast.MsgID {
 	}
 	tb.pending[id] = payload
 	tb.relayed[id] = true
+	tb.unsched++
 	ctx.Broadcast(toPayload{ID: id, Payload: payload})
+	if tb.onNewWork != nil {
+		tb.onNewWork()
+	}
 	return id
+}
+
+// isDelivered reports whether id has already been TO-delivered locally,
+// consulting the per-sender watermark so long-delivered ids need no map
+// entry (the map stays bounded by the out-of-order delivery span).
+func (tb *TOBroadcast) isDelivered(id rbcast.MsgID) bool {
+	if id.Sender >= 0 && id.Sender < tb.n && id.Seq < tb.dlvLow[id.Sender] {
+		return true
+	}
+	return tb.delivered[id]
+}
+
+// markDelivered records delivery of id and advances its sender's
+// watermark over any now-contiguous prefix, dropping the map entries it
+// subsumes.
+func (tb *TOBroadcast) markDelivered(id rbcast.MsgID) {
+	if id.Sender < 0 || id.Sender >= tb.n {
+		tb.delivered[id] = true
+		return
+	}
+	if id.Seq < tb.dlvLow[id.Sender] {
+		return
+	}
+	tb.delivered[id] = true
+	for {
+		probe := rbcast.MsgID{Sender: id.Sender, Seq: tb.dlvLow[id.Sender]}
+		if !tb.delivered[probe] {
+			return
+		}
+		delete(tb.delivered, probe)
+		tb.dlvLow[id.Sender]++
+	}
 }
 
 // OnMessage implements amp.Component: payload dissemination plus the
 // anti-entropy fetch protocol (slot agreement itself arrives via synod
-// decision callbacks).
+// decision callbacks routed through the mux).
 func (tb *TOBroadcast) OnMessage(ctx amp.Context, from int, msg amp.Message) {
 	switch m := msg.(type) {
 	case toPayload:
+		if tb.isDelivered(m.ID) {
+			return // late duplicate of an already-ordered message
+		}
+		if _, ok := tb.pending[m.ID]; !ok && !tb.scheduled[m.ID] {
+			tb.unsched++
+		}
 		if !tb.relayed[m.ID] {
 			tb.relayed[m.ID] = true
 			ctx.Broadcast(m) // eager relay: reliable dissemination
 		}
-		if !tb.delivered[m.ID] {
-			tb.pending[m.ID] = m.Payload
+		tb.pending[m.ID] = m.Payload
+		if tb.onNewWork != nil {
+			tb.onNewWork()
 		}
 	case tbFetch:
-		for s, b := range tb.decided {
-			if s >= m.From {
-				ctx.Send(from, tbDecided{Slot: s, Batch: b})
-			}
+		if from == ctx.ID() {
+			return // our own broadcast looping back
 		}
+		tb.answerFetch(ctx, from, m.From)
 	case tbDecided:
-		if _, dup := tb.decided[m.Slot]; dup {
-			return
+		tb.fetchPending = false
+		if m.MaxSeen > tb.maxSeen {
+			tb.maxSeen = m.MaxSeen // learn how far behind we are
+		}
+		if m.Slot < 0 || tb.isDecided(m.Slot) {
+			return // frontier-only answer, or a duplicate
 		}
 		if tb.persistDecide != nil {
 			tb.persistDecide(m.Slot, m.Batch)
@@ -143,25 +233,70 @@ func (tb *TOBroadcast) OnMessage(ctx amp.Context, from int, msg amp.Message) {
 	}
 }
 
+// answerFetch serves one anti-entropy request, rate-limited per peer
+// and chunked: at most tbFetchChunk retained slots starting at the
+// requester's floor, no more often than every tbFetchMinGap ticks. A
+// request we have nothing for is still acknowledged with a
+// frontier-only answer, so a caught-up (or beyond-retention) fetcher
+// learns it is not being ignored and stops re-asking.
+func (tb *TOBroadcast) answerFetch(ctx amp.Context, from, floor int) {
+	now := ctx.Now()
+	if last, ok := tb.fetchLast[from]; ok && now-last < tbFetchMinGap {
+		return
+	}
+	tb.fetchLast[from] = now
+	slots := make([]int, 0, tbFetchChunk)
+	for s := range tb.decided {
+		if s >= floor {
+			slots = append(slots, s)
+		}
+	}
+	if len(slots) == 0 {
+		ctx.Send(from, tbDecided{Slot: -1, MaxSeen: tb.maxSeen})
+		return
+	}
+	sort.Ints(slots)
+	if len(slots) > tbFetchChunk {
+		slots = slots[:tbFetchChunk]
+	}
+	for _, s := range slots {
+		ctx.Send(from, tbDecided{Slot: s, Batch: tb.decided[s], MaxSeen: tb.maxSeen})
+	}
+}
+
 // OnTimer implements amp.Component: while a decided-but-undeliverable
-// gap exists (a decision this replica missed), keep asking for it.
+// gap exists (a decision this replica missed), or a recovery fetch is
+// still unanswered, keep asking.
 func (tb *TOBroadcast) OnTimer(ctx amp.Context, id int) {
 	if id != tbSyncTimer {
 		return
 	}
+	gap := false
 	if tb.maxSeen >= tb.nextDeliver {
-		if _, ok := tb.decided[tb.nextDeliver]; !ok {
-			ctx.Broadcast(tbFetch{From: tb.nextDeliver})
-		}
+		_, have := tb.decided[tb.nextDeliver]
+		gap = !have
+	}
+	if gap || tb.fetchPending {
+		ctx.Broadcast(tbFetch{From: tb.nextDeliver})
 	}
 	ctx.SetTimer(tbSyncPeriod, tbSyncTimer)
 }
 
-// proposal builds the batch for the next slot: all known-undelivered
-// messages, in deterministic (MsgID) order.
-func (tb *TOBroadcast) proposal() any {
+// proposalFor builds slot's batch: the unscheduled backlog in
+// deterministic (MsgID) order, with concurrent window slots taking
+// disjoint maxBatch-sized portions by their offset from the decide
+// frontier. Slot frontier+k proposing the k'th portion (instead of
+// every slot proposing the same head) is what makes pipelining carry
+// k× the commands rather than decide the same batch k times — the
+// scheduled/delivered dedup keeps overlap safe when frontiers move
+// between ballot start and decision, but disjointness is what makes
+// the extra slots worth their traffic.
+func (tb *TOBroadcast) proposalFor(slot int) any {
 	b := make(batch, 0, len(tb.pending))
 	for id, p := range tb.pending {
+		if tb.scheduled[id] {
+			continue
+		}
 		b = append(b, Entry{ID: id, Payload: p})
 	}
 	sort.Slice(b, func(i, j int) bool {
@@ -170,11 +305,53 @@ func (tb *TOBroadcast) proposal() any {
 		}
 		return b[i].ID.Seq < b[j].ID.Seq
 	})
+	off := 0
+	if slot > tb.nextDecide {
+		if tb.maxBatch <= 0 {
+			return batch{} // unbounded batches: the head slot takes everything
+		}
+		off = (slot - tb.nextDecide) * tb.maxBatch
+	}
+	if off >= len(b) {
+		return batch{} // nothing left for this slot: gap fill
+	}
+	b = b[off:]
+	if tb.maxBatch > 0 && len(b) > tb.maxBatch {
+		b = b[:tb.maxBatch]
+	}
 	return b
 }
 
-// hasPending reports whether there is anything to order.
-func (tb *TOBroadcast) hasPending() bool { return len(tb.pending) > 0 }
+// backlogReaches reports whether the unscheduled backlog is deep enough
+// to give slot a non-empty proposal — the gate that keeps the pipeline
+// window from running k concurrent ballots over the same single
+// command (quadrupling consensus traffic for zero extra throughput,
+// and enough to saturate a stop-and-wait link under fault injection).
+func (tb *TOBroadcast) backlogReaches(slot int) bool {
+	if slot <= tb.nextDecide {
+		return tb.unsched > 0
+	}
+	if tb.maxBatch <= 0 {
+		return false
+	}
+	return tb.unsched > (slot-tb.nextDecide)*tb.maxBatch
+}
+
+// isDecided reports whether slot s has a known decision (including ones
+// compacted away after delivery).
+func (tb *TOBroadcast) isDecided(s int) bool {
+	if s < tb.compactFloor {
+		return true
+	}
+	_, ok := tb.decided[s]
+	return ok
+}
+
+// batchOf returns slot s's decided batch if it is still retained.
+func (tb *TOBroadcast) batchOf(s int) (batch, bool) {
+	b, ok := tb.decided[s]
+	return b, ok
+}
 
 // onSlotDecide records slot s's batch and delivers ready slots in order.
 func (tb *TOBroadcast) onSlotDecide(s int, v any, at amp.Time) {
@@ -182,8 +359,19 @@ func (tb *TOBroadcast) onSlotDecide(s int, v any, at amp.Time) {
 	if !ok {
 		b = nil
 	}
-	if _, dup := tb.decided[s]; !dup {
-		tb.decided[s] = b
+	if tb.isDecided(s) {
+		return
+	}
+	tb.fetchPending = false // decisions are reaching us; no blind re-fetch
+	tb.decided[s] = b
+	for _, e := range b {
+		if tb.isDelivered(e.ID) || tb.scheduled[e.ID] {
+			continue
+		}
+		tb.scheduled[e.ID] = true
+		if _, ok := tb.pending[e.ID]; ok {
+			tb.unsched--
+		}
 	}
 	if s > tb.maxSeen {
 		tb.maxSeen = s
@@ -199,19 +387,38 @@ func (tb *TOBroadcast) onSlotDecide(s int, v any, at amp.Time) {
 	for {
 		db, ok := tb.decided[tb.nextDeliver]
 		if !ok {
-			return
+			break
 		}
 		for _, e := range db {
-			if tb.delivered[e.ID] {
+			if tb.isDelivered(e.ID) {
 				continue
 			}
-			tb.delivered[e.ID] = true
+			tb.markDelivered(e.ID)
 			delete(tb.pending, e.ID)
+			delete(tb.scheduled, e.ID)
+			delete(tb.relayed, e.ID)
 			if tb.onDeliver != nil {
 				tb.onDeliver(e, at)
 			}
 		}
 		tb.nextDeliver++
+	}
+	tb.compact()
+}
+
+// compact drops decided batches more than retain slots behind the
+// delivery frontier. They are no longer needed locally (their entries
+// are applied) and anti-entropy only serves what is retained; a replica
+// further behind than every peer's retention window must be reseeded
+// from its own journal.
+func (tb *TOBroadcast) compact() {
+	if tb.retain <= 0 {
+		return
+	}
+	floor := tb.nextDeliver - tb.retain
+	for tb.compactFloor < floor {
+		delete(tb.decided, tb.compactFloor)
+		tb.compactFloor++
 	}
 }
 
@@ -227,9 +434,13 @@ type Node struct {
 	// tests use as a command's completion at its submitting replica.
 	OnApply func(e Entry, at amp.Time)
 
+	mux     *synodMux
 	state   map[string]any
 	applied []Entry
+	noLog   bool
 	seen    map[rbcast.MsgID]bool // idempotency: dedup by (proposer, seq)
+	seenLow []int                 // per-sender watermark over seen
+	applies int
 }
 
 // Command is a state-machine command.
@@ -239,15 +450,25 @@ type Command struct {
 	Val any
 }
 
-// DefaultMaxSlots is the number of pre-wired consensus slots per node.
-const DefaultMaxSlots = 64
+// Defaults for the tunables below.
+const (
+	DefaultPipeline  = 4
+	DefaultRetention = 1024
+	DefaultMaxBatch  = 1024
+)
 
 // NodeOption configures a replica at construction.
 type NodeOption func(*nodeConfig)
 
 type nodeConfig struct {
-	journal  Journal
-	recovery *Recovery
+	journal     Journal
+	recovery    *Recovery
+	pipeline    int
+	retain      int
+	maxBatch    int
+	retryPeriod amp.Time
+	leaseTTL    amp.Time
+	noLog       bool
 }
 
 // WithJournal attaches a persistence journal: acceptor-state changes,
@@ -268,70 +489,109 @@ func WithRecovery(rec *Recovery) NodeOption {
 	return func(c *nodeConfig) { c.recovery = rec }
 }
 
-// NewNode wires a replica: an Ω detector, a TO-broadcast coordinator, and
-// maxSlots (0 = DefaultMaxSlots) chained Synod instances, all in one
-// Stack. The returned Stack is the amp.Process to install in the
-// simulator at index == its process id.
-func NewNode(n int, maxSlots int, opts ...NodeOption) *Node {
-	if maxSlots <= 0 {
-		maxSlots = DefaultMaxSlots
+// WithPipeline sets how many consensus slots may run ballots
+// concurrently (default DefaultPipeline). Higher values let decisions
+// for slots s+1..s+k proceed without stalling on slot s; delivery order
+// is unaffected.
+func WithPipeline(k int) NodeOption {
+	return func(c *nodeConfig) { c.pipeline = k }
+}
+
+// WithRetention sets how many delivered slots keep their decided batch
+// for anti-entropy catch-up (default DefaultRetention). A replica that
+// falls further behind than every peer's retention window can only
+// recover from its own journal.
+func WithRetention(slots int) NodeOption {
+	return func(c *nodeConfig) { c.retain = slots }
+}
+
+// WithMaxBatch caps the number of commands a proposer packs into one
+// slot (default DefaultMaxBatch).
+func WithMaxBatch(m int) NodeOption {
+	return func(c *nodeConfig) { c.maxBatch = m }
+}
+
+// WithRetryPeriod sets the Synod ballot retry period for this replica's
+// slots (default 40 virtual units; see mpcons.Synod.RetryPeriod).
+func WithRetryPeriod(d amp.Time) NodeOption {
+	return func(c *nodeConfig) { c.retryPeriod = d }
+}
+
+// WithReadLease enables the leader read-lease protocol with the given
+// TTL (in clock ticks): followers grant the Ω leader time-bounded
+// leases on its heartbeats, consensus acceptors refuse rival ballots
+// while a grant is live, and the leader may serve reads from local
+// state whenever HoldsLease reports true. Readers elsewhere (or on a
+// leaseless leader) must order a no-op command through consensus and
+// read after it applies. Every replica in a group must use the same
+// setting. See fd.Detector.HoldsLease for the full semantics.
+func WithReadLease(ttl amp.Time) NodeOption {
+	return func(c *nodeConfig) { c.leaseTTL = ttl }
+}
+
+// WithoutAppliedLog disables retention of the full applied-entry slice
+// (Applied returns nil). Long-running services use it to keep replica
+// memory flat; the per-message dedup watermarks still guarantee
+// exactly-once apply.
+func WithoutAppliedLog() NodeOption {
+	return func(c *nodeConfig) { c.noLog = true }
+}
+
+// NewNode wires a replica: an Ω detector, a TO-broadcast coordinator,
+// and a lazy per-slot consensus multiplexer, all in one Stack. The
+// returned Stack is the amp.Process to install in the simulator at
+// index == its process id. There is no slot cap: instances are
+// materialized on first use and garbage-collected once delivered.
+func NewNode(n int, opts ...NodeOption) *Node {
+	cfg := nodeConfig{
+		pipeline: DefaultPipeline,
+		retain:   DefaultRetention,
+		maxBatch: DefaultMaxBatch,
 	}
-	var cfg nodeConfig
 	for _, o := range opts {
 		o(&cfg)
 	}
-	node := &Node{state: make(map[string]any), seen: make(map[rbcast.MsgID]bool)}
+	if cfg.pipeline < 1 {
+		cfg.pipeline = 1
+	}
+	node := &Node{
+		state:   make(map[string]any),
+		seen:    make(map[rbcast.MsgID]bool),
+		seenLow: make([]int, n),
+		noLog:   cfg.noLog,
+	}
 	det := fd.NewDetector(n)
-	tb := newTOBroadcast(det, func(e Entry, at amp.Time) { node.apply(e, at) })
+	det.LeaseTTL = cfg.leaseTTL
+	tb := newTOBroadcast(n, det, func(e Entry, at amp.Time) { node.apply(e, at) })
+	tb.retain = cfg.retain
+	tb.maxBatch = cfg.maxBatch
 	if j := cfg.journal; j != nil {
 		tb.persistSeq = j.SaveSeq
 		tb.persistDecide = func(slot int, b batch) { j.SaveDecide(slot, b) }
 	}
-	comps := []amp.Component{det, tb}
-	synods := make([]*mpcons.Synod, maxSlots)
-	for s := 0; s < maxSlots; s++ {
-		s := s
-		syn := mpcons.NewSynod(nil, det, func(v any, at amp.Time) {
-			if tb.persistDecide != nil {
-				b, _ := v.(batch)
-				tb.persistDecide(s, b) // persist before applying (write-ahead)
-			}
-			tb.onSlotDecide(s, v, at)
-		})
-		syn.InputFn = tb.proposal
-		syn.Enabled = func() bool {
-			// Run slots in order, and only when there is work.
-			return tb.nextDecide == s && tb.hasPending()
-		}
-		if j := cfg.journal; j != nil {
-			syn.OnAcceptorChange = func(promised, acceptedBal int, acceptedVal any) {
-				j.SaveAccept(s, Acceptor{Promised: promised, AcceptedBal: acceptedBal, AcceptedVal: acceptedVal})
-			}
-		}
-		synods[s] = syn
-		comps = append(comps, syn)
-	}
+	mux := newSynodMux(tb, det, cfg.journal, cfg.pipeline, cfg.retryPeriod)
+	tb.onNewWork = mux.ensureWindow
 	if rec := cfg.recovery; rec != nil {
 		tb.recovered = true
 		if rec.NextSeq > tb.nextSeq {
 			tb.nextSeq = rec.NextSeq
 		}
 		for s, a := range rec.Accepts {
-			if s >= 0 && s < maxSlots {
-				synods[s].RestoreAcceptor(a.Promised, a.AcceptedBal, a.AcceptedVal)
+			if s >= 0 {
+				mux.restoreAcceptor(s, a)
 			}
 		}
 		for _, s := range rec.slots() {
-			b := batch(rec.Decides[s])
-			if s >= 0 && s < maxSlots {
-				synods[s].MarkDecided(b)
+			if s < 0 {
+				continue
 			}
-			tb.onSlotDecide(s, b, 0)
+			tb.onSlotDecide(s, batch(rec.Decides[s]), 0)
 		}
 	}
-	node.Stack = amp.NewStack(comps...)
+	node.Stack = amp.NewStack(det, tb, mux)
 	node.TO = tb
 	node.Omega = det
+	node.mux = mux
 	return node
 }
 
@@ -344,17 +604,49 @@ func (nd *Node) Submit(ctx amp.Context, cmd Command) rbcast.MsgID {
 // Ctx returns the TO component's context (for Schedule-driven Submits).
 func (nd *Node) Ctx() amp.Context { return nd.Stack.Ctx(1) }
 
+// isSeen / markSeen mirror the TO layer's delivery watermarks at the
+// apply level, so the dedup set stays bounded by the out-of-order span
+// instead of growing with the history.
+func (nd *Node) isSeen(id rbcast.MsgID) bool {
+	if id.Sender >= 0 && id.Sender < len(nd.seenLow) && id.Seq < nd.seenLow[id.Sender] {
+		return true
+	}
+	return nd.seen[id]
+}
+
+func (nd *Node) markSeen(id rbcast.MsgID) {
+	if id.Sender < 0 || id.Sender >= len(nd.seenLow) {
+		nd.seen[id] = true
+		return
+	}
+	if id.Seq < nd.seenLow[id.Sender] {
+		return
+	}
+	nd.seen[id] = true
+	for {
+		probe := rbcast.MsgID{Sender: id.Sender, Seq: nd.seenLow[id.Sender]}
+		if !nd.seen[probe] {
+			return
+		}
+		delete(nd.seen, probe)
+		nd.seenLow[id.Sender]++
+	}
+}
+
 // apply executes one delivered command on the local state. It is
 // idempotent by (proposer, seq): the TO layer already dedups batch
 // entries, but over a real at-least-once transport a retransmitted
 // decide could reach the delivery path twice, and applying a command
 // twice would corrupt the replica (and its linearizability history).
 func (nd *Node) apply(e Entry, at amp.Time) {
-	if nd.seen[e.ID] {
+	if nd.isSeen(e.ID) {
 		return
 	}
-	nd.seen[e.ID] = true
-	nd.applied = append(nd.applied, e)
+	nd.markSeen(e.ID)
+	nd.applies++
+	if !nd.noLog {
+		nd.applied = append(nd.applied, e)
+	}
 	cmd, ok := e.Payload.(Command)
 	if ok {
 		switch cmd.Op {
@@ -370,7 +662,7 @@ func (nd *Node) apply(e Entry, at amp.Time) {
 }
 
 // Applied returns the replica's applied sequence (mutual-consistency
-// checks compare these across replicas).
+// checks compare these across replicas). Nil under WithoutAppliedLog.
 func (nd *Node) Applied() []Entry {
 	out := make([]Entry, len(nd.applied))
 	copy(out, nd.applied)
@@ -381,4 +673,22 @@ func (nd *Node) Applied() []Entry {
 func (nd *Node) Get(key string) any { return nd.state[key] }
 
 // Len returns the number of applied commands.
-func (nd *Node) Len() int { return len(nd.applied) }
+func (nd *Node) Len() int { return nd.applies }
+
+// HoldsLease reports whether this replica currently holds the leader
+// read-lease (see WithReadLease): while true, its local state reflects
+// every committed write and Get serves linearizable reads without a
+// consensus round.
+func (nd *Node) HoldsLease(now amp.Time) bool { return nd.Omega.HoldsLease(now) }
+
+// SlotsDelivered returns the number of consensus slots this replica has
+// delivered (the batching ratio is Len()/SlotsDelivered()).
+func (nd *Node) SlotsDelivered() int { return nd.TO.nextDeliver }
+
+// LiveInstances returns the number of materialized consensus instances
+// (test/introspection hook for the slot GC).
+func (nd *Node) LiveInstances() int { return len(nd.mux.insts) }
+
+// RetainedBatches returns the number of decided batches currently held
+// for anti-entropy (bounded by WithRetention plus the undelivered span).
+func (nd *Node) RetainedBatches() int { return len(nd.TO.decided) }

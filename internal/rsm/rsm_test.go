@@ -12,11 +12,11 @@ type rsmCluster struct {
 	nodes []*Node
 }
 
-func newRSMCluster(n, maxSlots int, opts ...amp.SimOption) *rsmCluster {
+func newRSMCluster(n int, opts ...amp.SimOption) *rsmCluster {
 	c := &rsmCluster{}
 	procs := make([]amp.Process, n)
 	for i := 0; i < n; i++ {
-		nd := NewNode(n, maxSlots)
+		nd := NewNode(n)
 		c.nodes = append(c.nodes, nd)
 		procs[i] = nd.Stack
 	}
@@ -53,7 +53,7 @@ func checkMutualConsistency(t *testing.T, nodes []*Node, skip map[int]bool) {
 }
 
 func TestRSMSingleCommand(t *testing.T) {
-	c := newRSMCluster(3, 8, amp.WithDelay(amp.FixedDelay{D: 2}))
+	c := newRSMCluster(3, amp.WithDelay(amp.FixedDelay{D: 2}))
 	c.sim.Schedule(10, func() {
 		c.nodes[1].Submit(c.nodes[1].Ctx(), Command{Op: "put", Key: "x", Val: 7})
 	})
@@ -74,7 +74,7 @@ func TestRSMConcurrentClientsSameOrderEverywhere(t *testing.T) {
 	// every replica, no loss, no duplication.
 	for seed := int64(0); seed < 6; seed++ {
 		n := 3
-		c := newRSMCluster(n, 32, amp.WithSeed(seed), amp.WithDelay(amp.UniformDelay{Min: 1, Max: 8}))
+		c := newRSMCluster(n, amp.WithSeed(seed), amp.WithDelay(amp.UniformDelay{Min: 1, Max: 8}))
 		total := 0
 		for i := 0; i < n; i++ {
 			i := i
@@ -107,7 +107,7 @@ func key(i, k int) string { return string(rune('a'+i)) + string(rune('0'+k)) }
 
 func TestRSMSurvivesReplicaCrash(t *testing.T) {
 	// 5 replicas, crash 2 (t < n/2): survivors keep agreeing and applying.
-	c := newRSMCluster(5, 32, amp.WithDelay(amp.FixedDelay{D: 2}))
+	c := newRSMCluster(5, amp.WithDelay(amp.FixedDelay{D: 2}))
 	c.sim.Schedule(5, func() {
 		c.nodes[1].Submit(c.nodes[1].Ctx(), Command{Op: "put", Key: "a", Val: 1})
 	})
@@ -138,7 +138,7 @@ func TestRSMSurvivesReplicaCrash(t *testing.T) {
 func TestRSMLeaderCrashMidStream(t *testing.T) {
 	// Crash the Ω leader while commands are in flight: the new leader
 	// finishes the ordering; no divergence.
-	c := newRSMCluster(4, 32, amp.WithDelay(amp.FixedDelay{D: 2}))
+	c := newRSMCluster(4, amp.WithDelay(amp.FixedDelay{D: 2}))
 	for k := 0; k < 3; k++ {
 		k := k
 		c.sim.Schedule(amp.Time(5+2*k), func() {
@@ -160,7 +160,7 @@ func TestRSMUnderPartialSynchrony(t *testing.T) {
 	// Chaotic delays before GST; commands still get ordered consistently
 	// and applied after stabilization (indulgence, end to end).
 	for seed := int64(0); seed < 4; seed++ {
-		c := newRSMCluster(3, 32,
+		c := newRSMCluster(3,
 			amp.WithSeed(seed),
 			amp.WithDelay(amp.GSTDelay{GST: 800, BeforeMin: 1, BeforeMax: 60, AfterMin: 1, AfterMax: 3}))
 		c.sim.Schedule(10, func() {
@@ -182,7 +182,7 @@ func TestRSMUnderPartialSynchrony(t *testing.T) {
 // TestRSMTwoCrashesAtN5: t = 2 < n/2 at n = 5 — the replicated machine
 // must keep sequencing with two replicas down.
 func TestRSMTwoCrashesAtN5(t *testing.T) {
-	c := newRSMCluster(5, 16, amp.WithSeed(3), amp.WithDelay(amp.FixedDelay{D: 2}))
+	c := newRSMCluster(5, amp.WithSeed(3), amp.WithDelay(amp.FixedDelay{D: 2}))
 	for i := 0; i < 5; i++ {
 		i := i
 		c.sim.Schedule(amp.Time(10+50*i), func() {
@@ -213,7 +213,7 @@ func TestRSMTwoCrashesAtN5(t *testing.T) {
 func TestRSMManyCommandsManySeeds(t *testing.T) {
 	const n, cmds = 3, 10
 	for seed := int64(0); seed < 5; seed++ {
-		c := newRSMCluster(n, 32, amp.WithSeed(seed), amp.WithDelay(amp.UniformDelay{Min: 1, Max: 6}))
+		c := newRSMCluster(n, amp.WithSeed(seed), amp.WithDelay(amp.UniformDelay{Min: 1, Max: 6}))
 		for i := 0; i < cmds; i++ {
 			i := i
 			c.sim.Schedule(amp.Time(10+30*i), func() {
@@ -234,7 +234,7 @@ func TestRSMManyCommandsManySeeds(t *testing.T) {
 // TestRSMDeleteSemantics: the KV "del" command removes keys in the
 // agreed order at every replica.
 func TestRSMDeleteSemantics(t *testing.T) {
-	c := newRSMCluster(3, 8, amp.WithDelay(amp.FixedDelay{D: 2}))
+	c := newRSMCluster(3, amp.WithDelay(amp.FixedDelay{D: 2}))
 	c.sim.Schedule(10, func() {
 		c.nodes[0].Submit(c.nodes[0].Ctx(), Command{Op: "put", Key: "a", Val: 1})
 	})
@@ -259,7 +259,7 @@ func TestRSMDeleteSemantics(t *testing.T) {
 // messages fell inside the window — TO-broadcast has no retransmission —
 // but never applies anything divergent).
 func TestRSMPartitionHealPrefixConsistency(t *testing.T) {
-	c := newRSMCluster(5, 8,
+	c := newRSMCluster(5,
 		amp.WithDelay(amp.FixedDelay{D: 2}),
 		amp.WithAdversary(amp.Partition(30, 2000, []int{3, 4})))
 	cmds := []Command{

@@ -1,0 +1,184 @@
+package models
+
+import (
+	"fmt"
+
+	"distbasics/internal/amp"
+	"distbasics/internal/rbcast"
+	"distbasics/internal/rsm"
+	"distbasics/internal/scenario"
+)
+
+// KV is the schedule-fuzz model for the batched, pipelined replication
+// pipeline underlying cmd/basicskv: clients submit bursts of commands
+// (several per wave, mirroring the kv engine's staged submission)
+// against replicas configured with a small MaxBatch and a multi-slot
+// Pipeline, so every run forces batch packing and concurrently open
+// consensus slots. The oracle checks the invariants batching and
+// pipelining must not break: exactly-once apply (no entry ID delivered
+// twice at any replica), identical total order (pairwise prefix
+// equality of the applied ID sequences across replicas), and — on
+// benign even seeds — every burst completing with fewer consensus
+// slots than applied commands (batching actually happened). Odd seeds
+// add a bounded fault schedule that always heals: a minority
+// partition, a crash-recovery of the bystander replica, and sometimes
+// a lossy window; under faults stalled bursts stay pending.
+type KV struct{}
+
+// kvReplicas/kvClients fix the cluster shape: replicas 0..2 each run
+// one client chain, replica 3 is a bystander (and the fault schedule's
+// crash victim). kvMaxBatch < kvBurstLen forces every burst across
+// multiple slots; kvPipeline > 1 lets those slots run concurrently.
+const (
+	kvReplicas = 4
+	kvClients  = 3
+	kvBursts   = 6
+	kvBurstLen = 7
+	kvMaxBatch = 4
+	kvPipeline = 3
+)
+
+// Name implements scenario.Model.
+func (*KV) Name() string { return "kv" }
+
+// Generate implements scenario.Model.
+func (*KV) Generate(seed uint64) *scenario.Scenario {
+	rng := scenario.NewRand(seed)
+	sc := &scenario.Scenario{Model: "kv", Seed: seed, Procs: kvReplicas}
+	for c := 0; c < kvClients; c++ {
+		for k := 1; k <= kvBursts*kvBurstLen; k++ {
+			sc.Ops = append(sc.Ops, scenario.Op{Proc: c, Kind: scenario.OpPut, Key: c, Val: k})
+		}
+	}
+	if seed%2 == 1 {
+		from := 200 + rng.Int63n(800)
+		sc.Faults = append(sc.Faults, scenario.Fault{
+			Kind: scenario.FaultPartition,
+			From: from, Until: from + 200 + rng.Int63n(600),
+			Group: []int{rng.Intn(kvReplicas)},
+		})
+		at := rng.Int63n(1200)
+		sc.Faults = append(sc.Faults, scenario.Fault{
+			Kind: scenario.FaultCrash, Proc: kvClients,
+			From: at, Until: at + 100 + rng.Int63n(500),
+		})
+		if rng.Intn(2) == 0 {
+			lf := rng.Int63n(600)
+			sc.Faults = append(sc.Faults, scenario.Fault{
+				Kind: scenario.FaultDrop, Pct: 15, From: lf, Until: lf + 200, Sub: rng.Int63(),
+			})
+		}
+	}
+	return sc
+}
+
+// Run implements scenario.Model.
+func (*KV) Run(sc *scenario.Scenario) *scenario.Result {
+	res := &scenario.Result{}
+	cfg := scenario.NewRand(sc.Seed).Derive(100)
+
+	nodes := make([]*rsm.Node, kvReplicas)
+	procs := make([]amp.Process, kvReplicas)
+	for j := 0; j < kvReplicas; j++ {
+		nodes[j] = rsm.NewNode(kvReplicas,
+			rsm.WithMaxBatch(kvMaxBatch), rsm.WithPipeline(kvPipeline))
+		nodes[j].Omega.Period = 16
+		procs[j] = nodes[j].Stack
+	}
+	sim := amp.NewSim(procs,
+		amp.WithSeed(cfg.Int63()),
+		amp.WithDelay(amp.UniformDelay{Min: 1, Max: amp.Time(2 + cfg.Int63n(6))}),
+		amp.WithAdversary(ampAdversaries(sc.Faults)...))
+
+	// Per-replica applied sequences for the order and exactly-once
+	// oracles; clientCB lets client replicas drive burst submission off
+	// the same OnApply hook.
+	applied := make([][]rbcast.MsgID, kvReplicas)
+	seen := make([]map[rbcast.MsgID]bool, kvReplicas)
+	clientCB := make([]func(e rsm.Entry), kvReplicas)
+	for j := 0; j < kvReplicas; j++ {
+		j := j
+		seen[j] = make(map[rbcast.MsgID]bool)
+		nodes[j].OnApply = func(e rsm.Entry, _ amp.Time) {
+			if seen[j][e.ID] {
+				res.Failf("replica %d applied %v twice", j, e.ID)
+				return
+			}
+			seen[j][e.ID] = true
+			applied[j] = append(applied[j], e.ID)
+			if cb := clientCB[j]; cb != nil {
+				cb(e)
+			}
+		}
+	}
+
+	submitted := 0
+	for c := 0; c < kvClients; c++ {
+		c := c
+		chain := sc.OpsFor(c)
+		if len(chain) == 0 {
+			continue
+		}
+		think := scenario.NewRand(sc.Seed).Derive(uint64(300 + c))
+		next := 0
+		burst := make(map[rbcast.MsgID]bool)
+		var submit func()
+		submit = func() {
+			// Stage a whole burst back-to-back: with kvMaxBatch below the
+			// burst length, the proposer must pack it across several
+			// pipelined slots.
+			for i := 0; i < kvBurstLen && next < len(chain); i++ {
+				op := chain[next]
+				key := fmt.Sprintf("k%d", op.Key)
+				id := nodes[c].Submit(nodes[c].Ctx(), rsm.Command{Op: "put", Key: key, Val: op.Val})
+				burst[id] = true
+				submitted++
+				next++
+			}
+		}
+		clientCB[c] = func(e rsm.Entry) {
+			if !burst[e.ID] {
+				return
+			}
+			delete(burst, e.ID)
+			res.Completed++
+			if len(burst) == 0 && next < len(chain) {
+				sim.Schedule(sim.Now()+amp.Time(1+think.Int63n(120)), submit)
+			}
+		}
+		sim.Schedule(amp.Time(1+think.Int63n(100)), submit)
+	}
+	sim.Run(400_000)
+	res.Pending = submitted - res.Completed
+
+	// Identical total order: every pair of applied sequences must agree
+	// on their common prefix (replicas may lag, never diverge).
+	for j := 1; j < kvReplicas; j++ {
+		n := min(len(applied[0]), len(applied[j]))
+		for i := 0; i < n; i++ {
+			if applied[0][i] != applied[j][i] {
+				res.Failf("order divergence at slot-entry %d: replica 0 %v, replica %d %v",
+					i, applied[0][i], j, applied[j][i])
+				return res
+			}
+		}
+	}
+	slots := nodes[0].SlotsDelivered()
+	for j := 0; j < kvReplicas; j++ {
+		res.Tracef("replica %d applied %d", j, len(applied[j]))
+	}
+	res.Tracef("slots=%d completed=%d pending=%d", slots, res.Completed, res.Pending)
+	if len(sc.Faults) == 0 {
+		// Benign schedule: every burst must complete, and batching must
+		// be evident — strictly fewer slots than applied commands.
+		if res.Pending != 0 {
+			res.Failf("benign run left %d of %d commands pending", res.Pending, submitted)
+			return res
+		}
+		if res.Completed > 0 && slots >= res.Completed {
+			res.Failf("no batching: %d slots for %d commands", slots, res.Completed)
+			return res
+		}
+	}
+	return res
+}

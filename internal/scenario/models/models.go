@@ -34,6 +34,7 @@ func All() []scenario.Model {
 		&ABD{},
 		&ABDMulti{},
 		&RSM{},
+		&KV{},
 		&Transport{},
 		&BenOr{},
 		&Universal{},

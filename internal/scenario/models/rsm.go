@@ -76,7 +76,7 @@ func (*RSM) Run(sc *scenario.Scenario) *scenario.Result {
 	nodes := make([]*rsm.Node, rsmReplicas)
 	procs := make([]amp.Process, rsmReplicas)
 	for j := 0; j < rsmReplicas; j++ {
-		nodes[j] = rsm.NewNode(rsmReplicas, 2*rsmClients*rsmPuts)
+		nodes[j] = rsm.NewNode(rsmReplicas)
 		nodes[j].Omega.Period = 16
 		procs[j] = nodes[j].Stack
 	}

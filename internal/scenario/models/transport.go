@@ -85,7 +85,7 @@ type tpNode struct {
 
 // tpStart builds and starts replica i's runtime over tr.
 func tpStart(i int, tr transport.Transport, clock transport.Clock, opts ...rsm.NodeOption) *tpNode {
-	nd := rsm.NewNode(tpReplicas, 4*tpClients*tpPuts, opts...)
+	nd := rsm.NewNode(tpReplicas, opts...)
 	// Heartbeat at a rate the one-in-flight links sustain under chaos.
 	nd.Omega.Period = 40
 	res := transport.NewResilient(tr, clock, tpPolicy(int64(i+1)))

@@ -182,11 +182,12 @@ func (c *loopbackClock) AfterFunc(d amp.Time, f func()) Timer {
 
 // LoopbackNode is one endpoint of a Loopback network.
 type LoopbackNode struct {
-	net     *Loopback
-	id      int
-	mu      sync.Mutex
-	handler Handler
-	closed  bool
+	net      *Loopback
+	id       int
+	mu       sync.Mutex
+	handler  Handler
+	vhandler ValueHandler
+	closed   bool
 }
 
 // Self implements Transport.
@@ -201,6 +202,59 @@ func (n *LoopbackNode) Handle(h Handler) {
 	n.handler = h
 	n.closed = false
 	n.mu.Unlock()
+}
+
+// HandleValue implements ValueTransport.
+func (n *LoopbackNode) HandleValue(h ValueHandler) {
+	n.mu.Lock()
+	n.vhandler = h
+	n.closed = false
+	n.mu.Unlock()
+}
+
+// SendValue implements ValueTransport: delivery semantics (delay,
+// down/closed drops, stats) match Send exactly, minus the codec — the
+// message value itself crosses, uncopied, so both ends must treat it
+// as immutable.
+func (n *LoopbackNode) SendValue(to int, msg any) error {
+	validatePeer(to, n.N())
+	n.mu.Lock()
+	closed := n.closed
+	n.mu.Unlock()
+	if closed {
+		return ErrClosed
+	}
+	l := n.net
+	l.mu.Lock()
+	if l.down[n.id] {
+		l.mu.Unlock()
+		return ErrDown
+	}
+	now := l.now
+	l.mu.Unlock()
+	d := l.delay(n.id, to, now)
+	if d < 1 {
+		d = 1
+	}
+	from := n.id
+	l.stats.Sent.Add(1)
+	l.push(now+d, func() {
+		dst := l.nodes[to]
+		l.mu.Lock()
+		dstDown := l.down[to]
+		l.mu.Unlock()
+		dst.mu.Lock()
+		h := dst.vhandler
+		dstClosed := dst.closed
+		dst.mu.Unlock()
+		if dstDown || dstClosed || h == nil {
+			l.stats.Dropped.Add(1)
+			return
+		}
+		l.stats.Delivered.Add(1)
+		h(from, msg)
+	})
+	return nil
 }
 
 // Send implements Transport: the frame is copied and delivered after
@@ -253,6 +307,7 @@ func (n *LoopbackNode) Close() error {
 	n.mu.Lock()
 	n.closed = true
 	n.handler = nil
+	n.vhandler = nil
 	n.mu.Unlock()
 	return nil
 }

@@ -24,6 +24,7 @@ import (
 // immediately.
 type Runtime struct {
 	tr    Transport
+	vt    ValueTransport // non-nil when tr offers the value fast path
 	clock Clock
 	codec Codec
 	proc  amp.Process
@@ -88,8 +89,14 @@ func NewRuntime(tr Transport, clock Clock, proc amp.Process, opts ...RuntimeOpti
 }
 
 // Start installs the delivery handler and runs the process's Init.
+// When the transport offers the in-process value fast path, messages
+// skip the byte codec in both directions.
 func (rt *Runtime) Start() {
 	rt.tr.Handle(rt.onFrame)
+	if vt, ok := rt.tr.(ValueTransport); ok {
+		rt.vt = vt
+		vt.HandleValue(rt.onValue)
+	}
 	rt.exec(func() { rt.proc.Init(rt.ctx) })
 }
 
@@ -123,6 +130,11 @@ func (rt *Runtime) onFrame(from int, frame []byte) {
 		rt.DecodeErrs.Add(1)
 		return
 	}
+	rt.exec(func() { rt.proc.OnMessage(rt.ctx, from, msg) })
+}
+
+// onValue dispatches one inbound fast-path message value.
+func (rt *Runtime) onValue(from int, msg any) {
 	rt.exec(func() { rt.proc.OnMessage(rt.ctx, from, msg) })
 }
 
@@ -179,6 +191,12 @@ func (c *rtCtx) Halt() { c.rt.halted = true }
 // the amp contract has no send errors; reliability is the Resilient
 // layer's and the protocol's job.
 func (c *rtCtx) Send(to int, msg amp.Message) {
+	if c.rt.vt != nil {
+		if err := c.rt.vt.SendValue(to, msg); err != nil {
+			c.rt.SendErrs.Add(1)
+		}
+		return
+	}
 	frame, err := c.rt.codec.Encode(msg)
 	if err != nil {
 		// An unregistered type is a programming error: every message a

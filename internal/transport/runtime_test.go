@@ -40,7 +40,7 @@ func newLBCluster(t *testing.T, n int, chaos []ChaosRule) *lbCluster {
 		res := NewResilient(tr, clock, Policy{
 			SendTimeout: 10, RetryBase: 5, RetryCap: 80, Seed: int64(i + 1),
 		})
-		nd := rsm.NewNode(n, 8)
+		nd := rsm.NewNode(n)
 		// The simulation-scale heartbeat period (8) outruns the link
 		// service rate under chaos (one in-flight frame per link, plus
 		// retry latency) and the backlog starves consensus traffic.
@@ -168,7 +168,7 @@ func TestRuntimeStopIsRestartable(t *testing.T) {
 		if i == 2 {
 			opts = append(opts, rsm.WithJournal(journal))
 		}
-		nodes[i] = rsm.NewNode(n, 8, opts...)
+		nodes[i] = rsm.NewNode(n, opts...)
 		nodes[i].Omega.Period = 40
 		res := NewResilient(lb.Node(i), clock, Policy{Seed: int64(i + 1)})
 		rts[i] = NewRuntime(res, clock, nodes[i].Stack, WithRuntimeSeed(int64(i+1)))
@@ -191,7 +191,7 @@ func TestRuntimeStopIsRestartable(t *testing.T) {
 
 	// Restart node 2 from its journal; it must catch up.
 	lb.SetDown(2, false)
-	restarted := rsm.NewNode(n, 8, rsm.WithJournal(journal), rsm.WithRecovery(journal.Recovery()))
+	restarted := rsm.NewNode(n, rsm.WithJournal(journal), rsm.WithRecovery(journal.Recovery()))
 	restarted.Omega.Period = 40
 	res2 := NewResilient(lb.Node(2), clock, Policy{Seed: 3})
 	rt2 := NewRuntime(res2, clock, restarted.Stack, WithRuntimeSeed(3))

@@ -60,7 +60,9 @@
 // come from the transport's Clock (virtual for Loopback, wall for TCP),
 // and messages are encoded with the gob-based Codec (wire.go) whose
 // concrete types each protocol package registers via its RegisterWire
-// function. cmd/basicsd builds a node binary, workload driver, and
+// function — unless the transport offers the in-process ValueTransport
+// fast path, in which case message values cross uncopied and the codec
+// is skipped. cmd/basicsd builds a node binary, workload driver, and
 // kill -9 end-to-end harness on top; internal/scenario/models/transport
 // drives the Loopback+Chaos stack through seeded fault schedules with
 // the linearizable-KV oracle.
@@ -94,6 +96,28 @@ type Transport interface {
 	Send(to int, frame []byte) error
 	// Close releases the transport; subsequent Sends return ErrClosed.
 	Close() error
+}
+
+// ValueHandler is the delivery upcall of the value fast path: one
+// inbound message value from peer `from`.
+type ValueHandler func(from int, msg any)
+
+// ValueTransport is an optional Transport extension for in-process
+// backends that can move the message value itself, skipping the byte
+// codec entirely. The amp stacks already treat messages as immutable
+// once sent (the Sim scheduler delivers values without copying), so an
+// in-process network may alias them; serialization buys nothing but
+// CPU time there. The Runtime uses this path automatically when the
+// transport provides it. Wrappers that need real bytes to do their job
+// (Chaos corruption, Resilient framing, TCP) simply don't implement
+// it, so fault injection and wire traffic keep the full codec.
+type ValueTransport interface {
+	// SendValue queues msg for delivery to peer `to`. Both ends must
+	// treat msg as immutable.
+	SendValue(to int, msg any) error
+	// HandleValue installs the value delivery upcall (replacing any
+	// previous one).
+	HandleValue(h ValueHandler)
 }
 
 // Typed errors of the transport layer. Resilient wraps them with
