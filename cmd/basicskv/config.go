@@ -27,6 +27,10 @@ type Config struct {
 	Pipeline int `json:"pipeline,omitempty"`
 	// LeaseTTL in ticks; 0 = default, negative disables lease reads.
 	LeaseTTL int `json:"lease_ttl,omitempty"`
+	// LeaseMargin in ticks, discounted from the holder side of each
+	// lease grant to cover clock drift between processes; 0 = default
+	// (LeaseTTL/10 + 2), negative = no margin.
+	LeaseMargin int `json:"lease_margin,omitempty"`
 }
 
 // LoadConfig reads and validates a cluster config.
@@ -65,12 +69,13 @@ func (c *Config) hostConfig(self int) kv.HostConfig {
 		unit = time.Duration(c.UnitMS) * time.Millisecond
 	}
 	return kv.HostConfig{
-		Shards:   c.Shards,
-		Peers:    c.Peers,
-		Self:     self,
-		Unit:     unit,
-		LeaseTTL: amp.Time(c.LeaseTTL),
-		MaxBatch: c.MaxBatch,
-		Pipeline: c.Pipeline,
+		Shards:      c.Shards,
+		Peers:       c.Peers,
+		Self:        self,
+		Unit:        unit,
+		LeaseTTL:    amp.Time(c.LeaseTTL),
+		LeaseMargin: amp.Time(c.LeaseMargin),
+		MaxBatch:    c.MaxBatch,
+		Pipeline:    c.Pipeline,
 	}
 }

@@ -20,10 +20,16 @@ import (
 //
 // Descriptor lifecycle: the reactor holds the read-side ref. It
 // retires a connection (deregister + unref) on EOF, read error,
-// EPOLLHUP/ERR, or server shutdown. A worker that hits a write error
-// calls hangup (shutdown(2), valid under its ref), which surfaces at
-// the reactor as EPOLLHUP; the actual close(2) runs when the last ref
-// drops, so no goroutine can ever write into a reused descriptor.
+// EPOLLHUP/ERR, or server shutdown. An orderly close (EOF, or HUP
+// after draining the socket) retires gracefully: requests already
+// received keep their claim on the attached worker and are still
+// served — a client may legitimately write a final request and close
+// without reading the response. Read errors, EPOLLERR, and shutdown
+// retire forcefully: pending work is poisoned and the peer socket is
+// broken. A worker that hits a write error calls hangup (shutdown(2),
+// valid under its ref), which surfaces at the reactor as EPOLLHUP; the
+// actual close(2) runs when the last ref drops, so no goroutine can
+// ever write into a reused descriptor.
 
 type reactor struct {
 	srv   *Server
@@ -139,8 +145,21 @@ func (r *reactor) run() {
 			if !ok {
 				continue // stale event for an already-retired fd
 			}
-			if events[i].Events&(syscall.EPOLLHUP|syscall.EPOLLERR) != 0 {
-				r.retire(fd, c)
+			if events[i].Events&syscall.EPOLLERR != 0 {
+				r.retire(fd, c, true)
+				continue
+			}
+			if events[i].Events&syscall.EPOLLHUP != 0 {
+				// The kernel can report HUP alongside the peer's final
+				// buffered bytes (e.g. a client that writes a request and
+				// immediately half-closes). Drain before retiring so that
+				// request is still served; readAll retires on the EOF or
+				// error it hits at the end of the data, and the conns
+				// check below covers the (theoretical) EAGAIN return.
+				r.readAll(fd, c, buf)
+				if _, live := r.conns[fd]; live {
+					r.retire(fd, c, false)
+				}
 				continue
 			}
 			r.readAll(fd, c, buf)
@@ -174,33 +193,40 @@ func (r *reactor) readAll(fd int, c *conn, buf []byte) {
 		n, err := syscall.Read(fd, buf)
 		if n > 0 {
 			if !r.srv.ingest(c, buf[:n]) {
-				r.retire(fd, c) // oversized request line
+				r.retire(fd, c, true) // oversized request line
 				return
 			}
 			continue
 		}
 		switch err {
-		case nil: // n == 0: EOF
-			r.retire(fd, c)
+		case nil: // n == 0: orderly EOF
+			r.retire(fd, c, false)
 			return
 		case syscall.EAGAIN:
 			return
 		case syscall.EINTR:
 			continue
 		default:
-			r.retire(fd, c)
+			r.retire(fd, c, true)
 			return
 		}
 	}
 }
 
 // retire drops the reactor's interest in and reference to a
-// connection. The fd closes when any attached worker detaches.
-func (r *reactor) retire(fd int, c *conn) {
+// connection; the fd closes when any attached worker detaches. force
+// additionally poisons queued requests and breaks the peer socket —
+// right for read errors, EPOLLERR, oversized lines, and shutdown. A
+// graceful retire (orderly EOF/HUP) leaves the conn live so a worker
+// already holding requests that were fully received before the close
+// still serves them instead of silently discarding them.
+func (r *reactor) retire(fd int, c *conn, force bool) {
 	syscall.EpollCtl(r.epfd, syscall.EPOLL_CTL_DEL, fd, nil)
 	delete(r.conns, fd)
-	c.markDead()
-	c.hangup() // unstick a worker blocked writing to a full buffer
+	if force {
+		c.markDead()
+		c.hangup() // unstick a worker blocked writing to a full buffer
+	}
 	c.unref()
 }
 
@@ -208,7 +234,7 @@ func (r *reactor) retire(fd int, c *conn) {
 func (r *reactor) shutdown() {
 	syscall.Close(r.lfd)
 	for fd, c := range r.conns {
-		r.retire(fd, c)
+		r.retire(fd, c, true)
 	}
 	syscall.Close(r.epfd)
 }

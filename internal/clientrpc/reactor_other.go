@@ -4,7 +4,9 @@ package clientrpc
 
 import (
 	"bufio"
+	"errors"
 	"fmt"
+	"io"
 	"net"
 	"sync"
 	"time"
@@ -62,23 +64,30 @@ func (s *Server) listen(addr string) error {
 	return nil
 }
 
-// readLoop frames lines off one connection until it drops.
+// readLoop frames lines off one connection until it drops. An orderly
+// EOF only releases the read-side ref: requests fully received before
+// the peer closed stay queued and are still served by the attached
+// worker (a client may write a final request and close without reading
+// the response). Read errors and oversized lines poison the conn so
+// queued work is dropped instead.
 func (s *Server) readLoop(nc net.Conn, c *conn) {
-	defer func() {
-		c.markDead()
-		c.unref()
-	}()
 	r := bufio.NewReaderSize(nc, 64<<10)
 	buf := make([]byte, 64<<10)
 	for {
 		n, err := r.Read(buf)
 		if n > 0 {
 			if !s.ingest(c, buf[:n]) {
-				return // oversized request line
+				err = errOversized
 			}
 		}
 		if err != nil {
+			if err != io.EOF {
+				c.markDead()
+			}
+			c.unref()
 			return
 		}
 	}
 }
+
+var errOversized = errors.New("clientrpc: request line over MaxLine")

@@ -97,6 +97,42 @@ func TestServerPartialLineFraming(t *testing.T) {
 	}
 }
 
+// TestServerServesFinalRequestBeforeClose: a client that writes a
+// request and immediately closes (the fire-and-forget pattern) must
+// still have that request served — the front end may learn of the
+// hangup together with the buffered bytes and has to drain before
+// retiring the connection.
+func TestServerServesFinalRequestBeforeClose(t *testing.T) {
+	handled := make(chan string, 8)
+	s, err := NewServer("127.0.0.1:0", func(req Request) Response {
+		handled <- req.Key
+		return Response{OK: true}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	for i := 0; i < 8; i++ {
+		nc, err := net.Dial("tcp", s.Addr())
+		if err != nil {
+			t.Fatal(err)
+		}
+		key := fmt.Sprintf("last%d", i)
+		if _, err := fmt.Fprintf(nc, "{\"op\":\"put\",\"key\":%q}\n", key); err != nil {
+			t.Fatal(err)
+		}
+		nc.Close() // no read-back: the close races the server's read
+		select {
+		case got := <-handled:
+			if got != key {
+				t.Fatalf("handled %q, want %q", got, key)
+			}
+		case <-time.After(5 * time.Second):
+			t.Fatalf("request %d written right before close was never served", i)
+		}
+	}
+}
+
 // TestServerMalformedLine: garbage gets an error response, and the
 // connection stays usable for the next well-formed request.
 func TestServerMalformedLine(t *testing.T) {

@@ -50,6 +50,18 @@ type Detector struct {
 	// holds a majority of them. 0 (the default) disables leasing — no
 	// extra messages, no behavior change.
 	LeaseTTL amp.Time
+	// LeaseMargin is discounted from the HOLDER side of every grant's
+	// validity: a grant elicited by a heartbeat sent at s is believed
+	// until s+LeaseTTL-LeaseMargin, while the granter honors it until
+	// receipt+LeaseTTL. The lease safety argument needs the holder's
+	// belief to expire no later than the granter's promise; with
+	// perfectly rate-synchronized clocks (the virtual-time harness) the
+	// heartbeat's network delay alone guarantees that and 0 is correct.
+	// Real clocks drift and real tick lengths jitter under load, so
+	// real-clock deployments must set a margin covering the worst-case
+	// rate skew over one TTL plus scheduling jitter (see
+	// kv.HostConfig.LeaseMargin). Must be < LeaseTTL to ever hold.
+	LeaseMargin amp.Time
 	// OnLeaseChange, if set, is invoked when HoldsLease transitions (as
 	// observed at grant arrivals and the periodic suspicion sweep; an
 	// expiry is reported at the sweep after it happens).

@@ -22,15 +22,21 @@ import (
 //     previous grant has expired.
 //   - The leader, on receiving a grant, times its validity from the
 //     moment the eliciting heartbeat was SENT (the start of the round
-//     trip). The granter honors it from the later moment the heartbeat
-//     was received, so under rate-synchronized clocks (exact in the
-//     virtual-time harness, tick-length-accurate in the real runtime)
-//     the holder's belief always expires before the granter's promise.
+//     trip), further discounted by LeaseMargin. The granter honors it
+//     from the later moment the heartbeat was received, so the holder's
+//     belief expires before the granter's promise whenever clocks are
+//     rate-synchronized (exact in the virtual-time harness; real-clock
+//     runtimes must cover their drift and tick jitter with LeaseMargin).
 //   - HoldsLease: the process believes it is leader AND holds unexpired
 //     grants from a majority (itself included). Issuing a grant to
 //     another process renounces any grants held — without that, a
 //     leadership flap could let two processes count overlapping
-//     majorities.
+//     majorities. The self vote is renounced for the full lifetime of a
+//     grant to another process, not just at issuance: counting self
+//     while a live promise to a rival is outstanding would let this
+//     process appear in two "majorities" at once (its own implicit one
+//     and the rival's granted one), which is exactly the overlap the
+//     sequential-grant rule exists to prevent.
 //
 // Enforcement is the acceptor's job, not the detector's: consensus
 // acceptors consult GrantHolder and ignore ballot messages from any
@@ -101,7 +107,10 @@ func (d *Detector) onGrant(ctx amp.Context, from, seq int) {
 	if !ok {
 		return // too old to matter
 	}
-	if exp := sent + d.LeaseTTL; exp > d.lease.grantExp[from] {
+	// The holder-side belief is discounted by LeaseMargin so that clock
+	// rate skew and tick jitter cannot stretch it past the granter's
+	// promise (see the Detector field doc).
+	if exp := sent + d.LeaseTTL - d.LeaseMargin; exp > d.lease.grantExp[from] {
 		d.lease.grantExp[from] = exp
 	}
 	d.updateLease(ctx)
@@ -117,7 +126,10 @@ func (d *Detector) HoldsLease(now amp.Time) bool {
 	if d.LeaseTTL <= 0 || d.leader != d.id || d.lease.grantExp == nil {
 		return false
 	}
-	cnt := 1 // self
+	cnt := 0
+	if d.selfCounts(now) {
+		cnt = 1
+	}
 	for i, exp := range d.lease.grantExp {
 		if i != d.id && exp > now {
 			cnt++
@@ -126,19 +138,34 @@ func (d *Detector) HoldsLease(now amp.Time) bool {
 	return cnt > d.n/2
 }
 
+// selfCounts reports whether this process may count its own vote toward
+// a lease majority: only while it has no live grant out to another
+// process. A grant is a promise to regard its recipient as the
+// exclusive leaseholder, and that promise binds this process's own vote
+// for the grant's full lifetime — not only at issuance, when grantExp
+// is zeroed. Without this, a process that regained leadership and fresh
+// peer grants while an old promise was still live could complete a
+// second majority overlapping the promisee's.
+func (d *Detector) selfCounts(now amp.Time) bool {
+	return d.lease.grantTo < 0 || d.lease.grantTo == d.id || now >= d.lease.grantUntil
+}
+
 // GrantHolder reports the process this detector is currently bound to
 // honor as leaseholder, if any: the process it granted to (until the
 // grant expires, regardless of later leader changes), or itself while
-// it holds the lease. Acceptors use this to ignore rival ballots.
+// it holds the lease. Acceptors use this to ignore rival ballots. A
+// live grant to another process takes precedence over any self claim —
+// the promise binds this process's acceptor even if it believes it has
+// since reassembled a lease of its own.
 func (d *Detector) GrantHolder(now amp.Time) (int, bool) {
 	if d.LeaseTTL <= 0 {
 		return -1, false
 	}
+	if d.lease.grantTo >= 0 && d.lease.grantTo != d.id && now < d.lease.grantUntil {
+		return d.lease.grantTo, true
+	}
 	if d.HoldsLease(now) {
 		return d.id, true
-	}
-	if d.lease.grantTo >= 0 && now < d.lease.grantUntil {
-		return d.lease.grantTo, true
 	}
 	return -1, false
 }

@@ -138,6 +138,104 @@ func TestLeaseMutualExclusionUnderPartition(t *testing.T) {
 	}
 }
 
+// TestLeaseSelfRenouncedWhileGrantLive pins the holder-side half of
+// the sequential-grant rule: a process with a live grant out to
+// another process may not count its own vote toward a lease majority
+// (and its acceptor must keep honoring the promisee), even if it has
+// since regained leadership and fresh grants from peers. Counting self
+// here is the two-leaseholder bug: the self vote would complete a
+// majority overlapping the one the promisee assembled from this very
+// grant.
+func TestLeaseSelfRenouncedWhileGrantLive(t *testing.T) {
+	d := NewDetector(3)
+	d.LeaseTTL = 100
+	ctx := &grantCtx{}
+	d.Init(ctx)
+	// Follow 1 and grant it a lease at t=0 (promise live until 100).
+	d.leader = 1
+	d.maybeGrant(ctx, 1, 0)
+	// Leadership swings back to this process and peer 2 grants it while
+	// the promise to 1 is still live.
+	d.leader = 0
+	d.lease.grantExp[2] = 140
+	if d.HoldsLease(40) {
+		t.Fatal("counted self into a lease majority while a grant to 1 was live")
+	}
+	if h, ok := d.GrantHolder(40); !ok || h != 1 {
+		t.Fatalf("GrantHolder = (%d,%v), want (1,true): the live promise binds the acceptor", h, ok)
+	}
+	// Once the promise lapses the self vote counts again.
+	if !d.HoldsLease(120) {
+		t.Fatal("lease not assembled after the outstanding grant expired")
+	}
+	if h, ok := d.GrantHolder(120); !ok || h != 0 {
+		t.Fatalf("GrantHolder = (%d,%v), want (0,true) after the grant expired", h, ok)
+	}
+}
+
+// TestLeaseMarginDiscountsHolderValidity: with LeaseMargin set, a
+// grant elicited by a heartbeat sent at s is believed only until
+// s+TTL-margin (the real-clock drift allowance).
+func TestLeaseMarginDiscountsHolderValidity(t *testing.T) {
+	d := NewDetector(3)
+	d.LeaseTTL = 100
+	d.LeaseMargin = 20
+	ctx := &grantCtx{}
+	d.Init(ctx) // heartbeat seq 0 recorded as sent at t=0
+	d.onGrant(ctx, 1, 0)
+	if !d.HoldsLease(79) {
+		t.Fatal("lease not held inside the discounted window")
+	}
+	if d.HoldsLease(80) {
+		t.Fatal("lease believed past sent+TTL-margin: margin not applied")
+	}
+}
+
+// TestLeaseMutualExclusionAsymmetricPartition replays the
+// two-leaseholder schedule that unconditional self-counting permitted:
+// only the incumbent leader 0's OUTBOUND links are cut — and toward
+// follower 2 earlier than toward follower 1 — so 2's promise to 0
+// lapses (and 2 grants the new leader 1) while 1's own promise to 0 is
+// still live and 0 still believes a lease via 1's last grant. If 1
+// counted itself during that window it would hold concurrently with 0.
+// The probes must never see two holders on any tick, and leadership
+// (with the lease) must still hand off and hand back.
+func TestLeaseMutualExclusionAsymmetricPartition(t *testing.T) {
+	const (
+		ttl      = 200
+		cutTo2   = 800   // 0→2 silenced first...
+		cutTo1   = 880   // ...then 0→1: staggers the promise expiries
+		heal     = 3_000 //
+		duration = 4_500
+	)
+	asym := amp.AdversaryFunc(func(src, dst int, at amp.Time) amp.Verdict {
+		if src != 0 || at >= heal {
+			return amp.Verdict{}
+		}
+		cut := (dst == 2 && at >= cutTo2) || (dst == 1 && at >= cutTo1)
+		return amp.Verdict{Drop: cut}
+	})
+	c, rec := newLeaseCluster(3, ttl,
+		amp.WithDelay(amp.FixedDelay{D: 2}),
+		amp.WithAdversary(asym))
+	c.sim.Run(duration)
+	checkSingleHolder(t, rec)
+	saw1 := false
+	for at, hs := range rec.holders {
+		for _, h := range hs {
+			if h == 1 && at > cutTo1 && at < heal {
+				saw1 = true
+			}
+		}
+	}
+	if !saw1 {
+		t.Fatal("successor leader 1 never held the lease during the partition")
+	}
+	if !c.dets[0].HoldsLease(duration) {
+		t.Fatal("healed leader 0 did not reacquire the lease")
+	}
+}
+
 // TestLeaseGrantIsSequential pins the granter-side rule directly: a
 // follower with a live grant to X refuses to grant Y until expiry.
 func TestLeaseGrantIsSequential(t *testing.T) {

@@ -28,6 +28,16 @@ type HostConfig struct {
 	Unit time.Duration
 	// LeaseTTL in ticks; 0 = DefaultHostLeaseTTL, negative disables.
 	LeaseTTL amp.Time
+	// LeaseMargin (ticks) is subtracted from the holder-side validity
+	// of every lease grant. The lease protocol's safety needs the
+	// holder's belief to lapse before the granter's promise, which the
+	// virtual-time harness gets for free from its exact shared clock;
+	// under real clocks the two processes count their OWN ticks, which
+	// drift and jitter under load, so the Host path must leave slack.
+	// 0 = default LeaseTTL/10 + 2 (covers ~10% rate skew over one TTL
+	// plus two ticks of scheduling jitter), negative = no margin (only
+	// sane for tests that control both clocks).
+	LeaseMargin amp.Time
 	// MaxBatch / Pipeline pass through to the rsm proposer.
 	MaxBatch, Pipeline int
 	// Timeout bounds one client op's consensus round-trip (default 15s).
@@ -62,6 +72,12 @@ func (c HostConfig) withDefaults() (HostConfig, error) {
 	}
 	if c.LeaseTTL == 0 {
 		c.LeaseTTL = DefaultHostLeaseTTL
+	}
+	switch {
+	case c.LeaseMargin == 0:
+		c.LeaseMargin = c.LeaseTTL/10 + 2
+	case c.LeaseMargin < 0:
+		c.LeaseMargin = 0
 	}
 	if c.Timeout <= 0 {
 		c.Timeout = 15 * time.Second
@@ -118,7 +134,7 @@ func (h *Host) startShard(s int) (*hostShard, error) {
 		nodeOpts = append(nodeOpts, rsm.WithPipeline(cfg.Pipeline))
 	}
 	if cfg.LeaseTTL > 0 {
-		nodeOpts = append(nodeOpts, rsm.WithReadLease(cfg.LeaseTTL))
+		nodeOpts = append(nodeOpts, rsm.WithReadLease(cfg.LeaseTTL), rsm.WithLeaseMargin(cfg.LeaseMargin))
 	}
 	nd := rsm.NewNode(n, nodeOpts...)
 	nd.Omega.Period = hostHeartbeatPeriod

@@ -275,6 +275,20 @@ func TestHostTCP(t *testing.T) {
 			t.Fatalf("get %d = %v", i, resp.Val)
 		}
 	}
+	// The leader host must eventually serve reads on the lease fast
+	// path: the real-clock drift margin discounts grant validity but
+	// renewal every heartbeat period keeps a healthy lease live.
+	key := spreadKey(0, "tcp")
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		if _, ok := hosts[0].shardFor(key).rep.leaseRead(key); ok {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("leader host never served a lease fast-path read under the real clock")
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
 }
 
 func reqPut(k string, v any) clientrpc.Request {

@@ -468,6 +468,7 @@ type nodeConfig struct {
 	maxBatch    int
 	retryPeriod amp.Time
 	leaseTTL    amp.Time
+	leaseMargin amp.Time
 	noLog       bool
 }
 
@@ -529,6 +530,16 @@ func WithReadLease(ttl amp.Time) NodeOption {
 	return func(c *nodeConfig) { c.leaseTTL = ttl }
 }
 
+// WithLeaseMargin discounts the holder-side validity of every lease
+// grant by margin ticks (see fd.Detector.LeaseMargin). Virtual-time
+// simulations have rate-synchronized clocks and should leave it 0;
+// real-clock deployments must set it to cover clock drift and tick
+// jitter over one TTL, or a slow holder clock can believe a lease past
+// the granter's promise.
+func WithLeaseMargin(margin amp.Time) NodeOption {
+	return func(c *nodeConfig) { c.leaseMargin = margin }
+}
+
 // WithoutAppliedLog disables retention of the full applied-entry slice
 // (Applied returns nil). Long-running services use it to keep replica
 // memory flat; the per-message dedup watermarks still guarantee
@@ -562,6 +573,7 @@ func NewNode(n int, opts ...NodeOption) *Node {
 	}
 	det := fd.NewDetector(n)
 	det.LeaseTTL = cfg.leaseTTL
+	det.LeaseMargin = cfg.leaseMargin
 	tb := newTOBroadcast(n, det, func(e Entry, at amp.Time) { node.apply(e, at) })
 	tb.retain = cfg.retain
 	tb.maxBatch = cfg.maxBatch
