@@ -38,6 +38,7 @@ type server struct {
 	node    *rsm.Node
 	rt      *transport.Runtime
 	tcp     *transport.TCP
+	res     *transport.Resilient
 	journal *rsm.FileJournal
 	clock   *transport.RealClock
 
@@ -113,6 +114,7 @@ func startServer(cfg *Config, id int) (*server, error) {
 		tr = transport.NewChaos(tr, s.clock, rules...)
 	}
 	res := transport.NewResilient(tr, s.clock, tcpPolicy(id))
+	s.res = res
 	s.rt = transport.NewRuntime(res, s.clock, s.node.Stack,
 		transport.WithRuntimeSeed(int64(id+1)),
 		transport.WithSuspectSource(s.node.Omega.Suspects),
@@ -128,6 +130,21 @@ func startServer(cfg *Config, id int) (*server, error) {
 	}
 	s.rpc = rpcSrv
 	return s, nil
+}
+
+// netStats snapshots the Resilient layer's counters for the "stat" op:
+// retry-exhaustion drops and queue sheds are the transport's two
+// explicit loss modes, and surfacing them per node is what lets the e2e
+// harness (and an operator) tell "slow consensus" from "dying links".
+func netStats(res *transport.Resilient) *clientrpc.NetStats {
+	st := res.Stats()
+	return &clientrpc.NetStats{
+		Sent:         st.Sent.Load(),
+		Delivered:    st.Delivered.Load(),
+		Retries:      st.Retries.Load(),
+		RetryDropped: st.Dropped.Load(),
+		Shed:         st.Shed.Load(),
+	}
 }
 
 // onApply runs inside the event loop after every applied entry and
@@ -218,7 +235,7 @@ func (s *server) handle(req clientrpc.Request) clientrpc.Response {
 	case "stat":
 		var n int
 		s.rt.Do(func(amp.Context) { n = s.node.Len() })
-		return clientrpc.Response{OK: true, Applied: n}
+		return clientrpc.Response{OK: true, Applied: n, Net: netStats(s.res)}
 	default:
 		return clientrpc.Response{Err: fmt.Sprintf("unknown op %q", req.Op)}
 	}

@@ -1,0 +1,260 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"log"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"distbasics/internal/clientrpc"
+)
+
+type benchOptions struct {
+	Out      string
+	Rows     string
+	Duration time.Duration
+	Workers  int
+
+	// Bin is the basicsjobd binary for serve subprocesses ("" = self).
+	Bin string
+}
+
+// benchRow is one line of BENCH_jobq.json: closed-loop jobs-per-second
+// through the full submit→assign→execute→complete pipeline, with the
+// replicated queue counters for the row appended (each row runs a
+// fresh cluster, so the totals are the row's own).
+type benchRow struct {
+	Name        string  `json:"name"`
+	Transport   string  `json:"transport"`
+	Replicas    int     `json:"replicas"`
+	Workers     int     `json:"workers"`
+	Seconds     float64 `json:"seconds"`
+	Jobs        uint64  `json:"jobs"`
+	Errors      uint64  `json:"errors"`
+	JobsPerSec  float64 `json:"jobsPerSec"`
+	P50us       float64 `json:"p50_us"`
+	P99us       float64 `json:"p99_us"`
+	Kills       int     `json:"kills,omitempty"`
+	Assigns     float64 `json:"assigns,omitempty"`
+	Completions float64 `json:"completions,omitempty"`
+	Retries     float64 `json:"retries,omitempty"`
+	Expiries    float64 `json:"expiries,omitempty"`
+	DeadLetters float64 `json:"deadLetters,omitempty"`
+	Stale       float64 `json:"stale,omitempty"`
+}
+
+const benchNodes = 5
+
+func runBench(opt benchOptions) error {
+	if opt.Workers <= 0 {
+		opt.Workers = 48
+	}
+	if opt.Duration <= 0 {
+		opt.Duration = 6 * time.Second
+	}
+	var rows []benchRow
+	for _, name := range strings.Split(opt.Rows, ",") {
+		var (
+			row benchRow
+			err error
+		)
+		switch strings.TrimSpace(name) {
+		case "steady":
+			row, err = runBenchRow("steady", opt, false)
+		case "crash20":
+			row, err = runBenchRow("crash20", opt, true)
+		case "":
+			continue
+		default:
+			return fmt.Errorf("basicsjobd: unknown bench row %q", name)
+		}
+		if err != nil {
+			return fmt.Errorf("basicsjobd: row %s: %w", name, err)
+		}
+		log.Printf("bench: %-8s %8.0f jobs/s  p50=%.0fµs p99=%.0fµs  errs=%d kills=%d retries=%.0f expiries=%.0f",
+			row.Name, row.JobsPerSec, row.P50us, row.P99us, row.Errors, row.Kills, row.Retries, row.Expiries)
+		rows = append(rows, row)
+	}
+	out := struct {
+		Benchmark string     `json:"benchmark"`
+		Rows      []benchRow `json:"rows"`
+	}{Benchmark: "basicsjobd", Rows: rows}
+	raw, err := json.MarshalIndent(out, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(opt.Out, append(raw, '\n'), 0o644); err != nil {
+		return err
+	}
+	log.Printf("bench: wrote %s", opt.Out)
+	return nil
+}
+
+// runBenchRow spawns a fresh cluster, drives `workers` closed-loop
+// submitter connections using the blocking "run" op for the measured
+// window, and — when crash is set — cycles one worker node through a
+// SIGKILL + journal restart on a ~20% downtime duty cycle.
+func runBenchRow(name string, opt benchOptions, crash bool) (benchRow, error) {
+	row := benchRow{Name: name, Transport: "tcp", Replicas: benchNodes, Workers: opt.Workers}
+	bin := opt.Bin
+	if bin == "" {
+		self, err := os.Executable()
+		if err != nil {
+			return row, err
+		}
+		bin = self
+	}
+	dir, err := os.MkdirTemp("", "basicsjobd-bench-")
+	if err != nil {
+		return row, err
+	}
+	defer os.RemoveAll(dir)
+
+	peers, err := allocAddrs(benchNodes)
+	if err != nil {
+		return row, err
+	}
+	clientAddrs, err := allocAddrs(benchNodes)
+	if err != nil {
+		return row, err
+	}
+	cfg := &Config{Peers: peers, Clients: clientAddrs, Journals: make([]string, benchNodes)}
+	for i := range cfg.Journals {
+		cfg.Journals[i] = filepath.Join(dir, fmt.Sprintf("node%d.journal", i))
+	}
+	cl := &cluster{opt: e2eOptions{Bin: bin, Dir: dir}, cfg: cfg,
+		cfgPath: filepath.Join(dir, "cluster.json"), procs: make([]*exec.Cmd, benchNodes)}
+	if err := cfg.Write(cl.cfgPath); err != nil {
+		return row, err
+	}
+	defer cl.stopAll()
+	for i := 0; i < benchNodes; i++ {
+		if err := cl.startNode(i); err != nil {
+			return row, err
+		}
+	}
+	for i := 0; i < benchNodes; i++ {
+		if err := cl.waitReady(i, 15*time.Second); err != nil {
+			return row, err
+		}
+	}
+
+	var stop atomic.Bool
+	counts := make([]uint64, opt.Workers)
+	errCounts := make([]uint64, opt.Workers)
+	lats := make([][]time.Duration, opt.Workers)
+	var wg sync.WaitGroup
+	start := time.Now()
+	for w := 0; w < opt.Workers; w++ {
+		w := w
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			// Submitters avoid node 0 for their connections when crashing
+			// is on — the row measures worker loss, and the victim rotation
+			// below never kills the scheduler either.
+			node := 1 + w%(benchNodes-1)
+			rpc := clientrpc.NewClient(cfg.Clients[node])
+			defer func() { rpc.Close() }()
+			for n := 0; !stop.Load(); n++ {
+				id := fmt.Sprintf("%s-w%d-%d", name, w, n)
+				t0 := time.Now()
+				resp, err := rpc.Call(clientrpc.Request{
+					Op: "run", Key: id,
+					Val: map[string]any{"cost_ms": 2, "budget": 3},
+				}, 30*time.Second)
+				if err != nil || !resp.OK {
+					errCounts[w]++
+					rpc.Close()
+					node = 1 + (node)%(benchNodes-1)
+					rpc = clientrpc.NewClient(cfg.Clients[node])
+					time.Sleep(100 * time.Millisecond)
+					continue
+				}
+				counts[w]++
+				if counts[w]%8 == 0 {
+					lats[w] = append(lats[w], time.Since(t0))
+				}
+			}
+		}()
+	}
+
+	// Kill cycle: ~20% downtime for one (rotating) worker node. With a
+	// ~800ms lease grace, each cycle exercises expiry + reassignment.
+	kills := 0
+	if crash {
+		killDone := make(chan struct{})
+		go func() {
+			defer close(killDone)
+			victim := benchNodes - 1
+			for !stop.Load() {
+				cl.kill9(victim)
+				kills++
+				time.Sleep(1200 * time.Millisecond) // down: past the lease grace
+				if err := cl.startNode(victim); err != nil {
+					return
+				}
+				cl.waitReady(victim, 15*time.Second)
+				// Up for 4x the downtime → ≈20% crash duty cycle.
+				end := time.Now().Add(4800 * time.Millisecond)
+				for time.Now().Before(end) && !stop.Load() {
+					time.Sleep(100 * time.Millisecond)
+				}
+				victim = 1 + victim%(benchNodes-1)
+			}
+		}()
+		defer func() { <-killDone }()
+	}
+
+	time.Sleep(opt.Duration)
+	stop.Store(true)
+	wg.Wait()
+	row.Seconds = time.Since(start).Seconds()
+	row.Kills = kills
+	for w := 0; w < opt.Workers; w++ {
+		row.Jobs += counts[w]
+		row.Errors += errCounts[w]
+	}
+	row.JobsPerSec = float64(row.Jobs) / row.Seconds
+	var all []time.Duration
+	for _, l := range lats {
+		all = append(all, l...)
+	}
+	row.P50us, row.P99us = percentiles(all)
+
+	// Queue counters from replicated state (node 0 survives both rows).
+	rpc := clientrpc.NewClient(cfg.Clients[0])
+	if resp, err := rpc.Call(clientrpc.Request{Op: "stat"}, 5*time.Second); err == nil {
+		if m, ok := resp.Val.(map[string]any); ok {
+			get := func(k string) float64 { f, _ := m[k].(float64); return f }
+			row.Assigns = get("assigns")
+			row.Completions = get("completions")
+			row.Retries = get("retries")
+			row.Expiries = get("expiries")
+			row.DeadLetters = get("deadLetters")
+			row.Stale = get("stale")
+		}
+	}
+	rpc.Close()
+	return row, nil
+}
+
+// percentiles returns p50/p99 in microseconds.
+func percentiles(lat []time.Duration) (p50, p99 float64) {
+	if len(lat) == 0 {
+		return 0, 0
+	}
+	sort.Slice(lat, func(i, j int) bool { return lat[i] < lat[j] })
+	at := func(q float64) float64 {
+		i := int(q * float64(len(lat)-1))
+		return float64(lat[i]) / float64(time.Microsecond)
+	}
+	return at(0.50), at(0.99)
+}

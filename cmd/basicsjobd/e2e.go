@@ -1,0 +1,472 @@
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"reflect"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"syscall"
+	"time"
+
+	"distbasics/internal/clientrpc"
+)
+
+// e2eOptions parameterize the job-queue kill -9 survival demo.
+type e2eOptions struct {
+	Bin     string // basicsjobd binary for serve subprocesses ("" = self)
+	Dir     string // journal + artifact directory ("" = temp dir)
+	Nodes   int    // cluster size (default 5)
+	Clients int    // concurrent submitters (default 3)
+	JobsPer int    // jobs per submitter (default 18)
+	Kill    int    // nodes to SIGKILL mid-run; victim set includes node 0
+	Chaos   bool   // inject drop/delay/duplicate chaos on every link
+	Keep    bool   // keep artifacts even on success
+}
+
+func (o e2eOptions) withDefaults() (e2eOptions, error) {
+	if o.Bin == "" {
+		self, err := os.Executable()
+		if err != nil {
+			return o, fmt.Errorf("basicsjobd: resolve self: %w", err)
+		}
+		o.Bin = self
+	}
+	if o.Nodes <= 0 {
+		o.Nodes = 5
+	}
+	if o.Clients <= 0 {
+		o.Clients = 3
+	}
+	if o.JobsPer <= 0 {
+		o.JobsPer = 18
+	}
+	if o.Kill < 0 || 2*o.Kill >= o.Nodes {
+		return o, fmt.Errorf("basicsjobd: killing %d of %d nodes loses the majority", o.Kill, o.Nodes)
+	}
+	if o.Dir == "" {
+		dir, err := os.MkdirTemp("", "basicsjobd-e2e-")
+		if err != nil {
+			return o, err
+		}
+		o.Dir = dir
+	} else if err := os.MkdirAll(o.Dir, 0o755); err != nil {
+		return o, err
+	}
+	return o, nil
+}
+
+// victims returns the SIGKILL set: node 0 FIRST — the smallest id is
+// the stable Ω leader, i.e. the acting scheduler and lease arbiter, so
+// killing it exercises scheduler failover, not just worker loss — then
+// the highest-numbered nodes.
+func (o e2eOptions) victims() []int {
+	if o.Kill == 0 {
+		return nil
+	}
+	v := []int{0}
+	for k := 1; k < o.Kill; k++ {
+		v = append(v, o.Nodes-k)
+	}
+	return v
+}
+
+// cluster manages the serve subprocesses.
+type cluster struct {
+	opt     e2eOptions
+	cfgPath string
+	cfg     *Config
+
+	mu    sync.Mutex
+	procs []*exec.Cmd
+}
+
+// startNode (re)spawns node i with its output appended to the node's
+// log artifact.
+func (c *cluster) startNode(i int) error {
+	logf, err := os.OpenFile(filepath.Join(c.opt.Dir, fmt.Sprintf("node%d.log", i)),
+		os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return err
+	}
+	cmd := exec.Command(c.opt.Bin, "serve", "-config", c.cfgPath, "-id", fmt.Sprint(i))
+	cmd.Stdout = logf
+	cmd.Stderr = logf
+	if err := cmd.Start(); err != nil {
+		logf.Close()
+		return fmt.Errorf("basicsjobd: start node %d: %w", i, err)
+	}
+	go func() { cmd.Wait(); logf.Close() }()
+	c.mu.Lock()
+	c.procs[i] = cmd
+	c.mu.Unlock()
+	return nil
+}
+
+// kill9 sends SIGKILL to node i.
+func (c *cluster) kill9(i int) {
+	c.mu.Lock()
+	cmd := c.procs[i]
+	c.mu.Unlock()
+	if cmd != nil && cmd.Process != nil {
+		cmd.Process.Signal(syscall.SIGKILL)
+	}
+}
+
+func (c *cluster) stopAll() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for _, cmd := range c.procs {
+		if cmd != nil && cmd.Process != nil {
+			cmd.Process.Signal(syscall.SIGKILL)
+		}
+	}
+}
+
+// waitReady blocks until node i answers a stat RPC.
+func (c *cluster) waitReady(i int, deadline time.Duration) error {
+	return waitReadyAddr(c.cfg.Clients[i], deadline)
+}
+
+func waitReadyAddr(addr string, deadline time.Duration) error {
+	cl := clientrpc.NewClient(addr)
+	defer cl.Close()
+	end := time.Now().Add(deadline)
+	for time.Now().Before(end) {
+		if _, err := cl.Stat(2 * time.Second); err == nil {
+			return nil
+		}
+		cl.Close()
+		time.Sleep(100 * time.Millisecond)
+	}
+	return fmt.Errorf("basicsjobd: node at %s not ready after %s", addr, deadline)
+}
+
+// jobPlan is one planned job and its expected behavior.
+type jobPlan struct {
+	ID     string
+	CostMS int
+	Fails  int
+	Poison bool
+	Budget int
+}
+
+// planJobs derives the deterministic workload: mixed costs, a third of
+// the jobs failing transiently once, and every seventh job poison.
+func planJobs(opt e2eOptions) []jobPlan {
+	var plans []jobPlan
+	for ci := 0; ci < opt.Clients; ci++ {
+		for i := 0; i < opt.JobsPer; i++ {
+			p := jobPlan{
+				ID:     fmt.Sprintf("c%d-j%02d", ci, i),
+				CostMS: 5 + (ci*7+i*3)%20,
+				Budget: 3,
+			}
+			if i%3 == 1 {
+				p.Fails = 1
+			}
+			if i%7 == 3 {
+				p.Poison = true
+			}
+			plans = append(plans, p)
+		}
+	}
+	return plans
+}
+
+// runE2E is the job-queue survival demo: an n-node TCP cluster under
+// chaos takes a mixed job workload; mid-campaign a minority of nodes —
+// node 0, the acting scheduler, among them — is SIGKILLed and later
+// restarted from journals; afterwards every job must be terminal with
+// exactly-once completion effects, poison jobs dead-lettered at their
+// budget, and every replica in full agreement on every record.
+func runE2E(opt e2eOptions) (err error) {
+	opt, err = opt.withDefaults()
+	if err != nil {
+		return err
+	}
+	log.Printf("e2e: %d nodes, %d submitters x %d jobs, kill %v, chaos=%v, dir=%s",
+		opt.Nodes, opt.Clients, opt.JobsPer, opt.victims(), opt.Chaos, opt.Dir)
+
+	peers, err := allocAddrs(opt.Nodes)
+	if err != nil {
+		return err
+	}
+	clientAddrs, err := allocAddrs(opt.Nodes)
+	if err != nil {
+		return err
+	}
+	cfg := &Config{Peers: peers, Clients: clientAddrs, Journals: make([]string, opt.Nodes)}
+	for i := range cfg.Journals {
+		cfg.Journals[i] = filepath.Join(opt.Dir, fmt.Sprintf("node%d.journal", i))
+	}
+	if opt.Chaos {
+		cfg.Chaos = []ChaosConfig{
+			{Kind: "drop", Pct: 10, Seed: 1},
+			{Kind: "delay", Pct: 10, Seed: 2},
+			{Kind: "duplicate", Pct: 5, Seed: 3},
+		}
+	}
+	cl := &cluster{opt: opt, cfg: cfg, cfgPath: filepath.Join(opt.Dir, "cluster.json"), procs: make([]*exec.Cmd, opt.Nodes)}
+	if err := cfg.Write(cl.cfgPath); err != nil {
+		return err
+	}
+	defer cl.stopAll()
+
+	for i := 0; i < opt.Nodes; i++ {
+		if err := cl.startNode(i); err != nil {
+			return err
+		}
+	}
+	for i := 0; i < opt.Nodes; i++ {
+		if err := cl.waitReady(i, 10*time.Second); err != nil {
+			return err
+		}
+	}
+	log.Printf("e2e: cluster up")
+
+	// --- submission workload ---------------------------------------------
+	plans := planJobs(opt)
+	byClient := make([][]jobPlan, opt.Clients)
+	for i, p := range plans {
+		byClient[i/opt.JobsPer] = append(byClient[i/opt.JobsPer], p)
+	}
+	var submitted atomic.Int64
+	var subWG sync.WaitGroup
+	subErr := make(chan error, opt.Clients)
+	for ci := 0; ci < opt.Clients; ci++ {
+		ci := ci
+		subWG.Add(1)
+		go func() {
+			defer subWG.Done()
+			// Client 0 pins its first node to victim 0 so submitting
+			// through a dying scheduler (timeout → retry elsewhere) is part
+			// of the demo. Submission is idempotent by job ID, so blind
+			// retries across nodes are safe.
+			node := ci % opt.Nodes
+			if ci == 0 && opt.Kill > 0 {
+				node = 0
+			}
+			rpc := clientrpc.NewClient(cfg.Clients[node])
+			defer func() { rpc.Close() }()
+			for _, p := range byClient[ci] {
+				ok := false
+				for try := 0; try < 2*opt.Nodes && !ok; try++ {
+					resp, err := rpc.Call(clientrpc.Request{
+						Op: "submit", Key: p.ID,
+						Val: map[string]any{"cost_ms": p.CostMS, "fails": p.Fails, "poison": p.Poison, "budget": p.Budget},
+					}, rpcTimeout)
+					if err == nil && resp.OK {
+						ok = true
+						break
+					}
+					rpc.Close()
+					node = (node + 1) % opt.Nodes
+					rpc = clientrpc.NewClient(cfg.Clients[node])
+					time.Sleep(200 * time.Millisecond)
+				}
+				if !ok {
+					subErr <- fmt.Errorf("job %s: submission never accepted", p.ID)
+					return
+				}
+				submitted.Add(1)
+				time.Sleep(25 * time.Millisecond)
+			}
+		}()
+	}
+
+	// --- the kill -9 schedule --------------------------------------------
+	total := int64(len(plans))
+	killErr := make(chan error, 1)
+	go func() {
+		if opt.Kill == 0 {
+			killErr <- nil
+			return
+		}
+		for submitted.Load() < total/3 {
+			time.Sleep(25 * time.Millisecond)
+		}
+		for _, v := range opt.victims() {
+			log.Printf("e2e: kill -9 node %d", v)
+			cl.kill9(v)
+		}
+		// Long enough for the survivors to elect a new leader, lapse the
+		// victims' worker leases (grace = 10 heartbeats ≈ 800ms), and
+		// reassign their in-flight jobs.
+		time.Sleep(2 * time.Second)
+		for _, v := range opt.victims() {
+			log.Printf("e2e: restart node %d", v)
+			if err := cl.startNode(v); err != nil {
+				killErr <- err
+				return
+			}
+		}
+		for _, v := range opt.victims() {
+			if err := cl.waitReady(v, 15*time.Second); err != nil {
+				killErr <- err
+				return
+			}
+		}
+		killErr <- nil
+	}()
+
+	subWG.Wait()
+	close(subErr)
+	if err := <-subErr; err != nil {
+		<-killErr
+		return dumpArtifacts(opt, nil, err)
+	}
+	if err := <-killErr; err != nil {
+		return dumpArtifacts(opt, nil, err)
+	}
+	log.Printf("e2e: %d jobs submitted, draining", submitted.Load())
+
+	// --- drain: all jobs terminal, all replicas agree --------------------
+	perNode, err := collectJobs(cfg, opt, plans)
+	if err != nil {
+		return dumpArtifacts(opt, perNode, err)
+	}
+
+	// --- verification ----------------------------------------------------
+	jobs := perNode[0]
+	completed, dead, nonPoisonDead := 0, 0, 0
+	for _, p := range plans {
+		j, ok := jobs[p.ID]
+		if !ok {
+			return dumpArtifacts(opt, perNode, fmt.Errorf("job %s lost: absent from replicated state", p.ID))
+		}
+		state, _ := j["state"].(string)
+		effects := int(jnum(j, "effects"))
+		attempt := int(jnum(j, "attempt"))
+		budget := int(jnum(j, "budget"))
+		switch state {
+		case "completed":
+			completed++
+			if effects != 1 {
+				return dumpArtifacts(opt, perNode, fmt.Errorf("job %s: exactly-once violated: %d effects (%v)", p.ID, effects, j))
+			}
+			if p.Poison {
+				return dumpArtifacts(opt, perNode, fmt.Errorf("poison job %s completed: %v", p.ID, j))
+			}
+		case "failed":
+			dead++
+			if effects != 0 {
+				return dumpArtifacts(opt, perNode, fmt.Errorf("dead-lettered job %s has %d effects (%v)", p.ID, effects, j))
+			}
+			if attempt != budget {
+				return dumpArtifacts(opt, perNode, fmt.Errorf("job %s dead-lettered at attempt %d of budget %d (%v)", p.ID, attempt, budget, j))
+			}
+			if !p.Poison {
+				nonPoisonDead++ // possible: its budget burned on lease expiries
+			}
+		default:
+			return dumpArtifacts(opt, perNode, fmt.Errorf("no-lost-jobs violated: job %s ended %q (%v)", p.ID, state, j))
+		}
+	}
+	if completed == 0 {
+		return dumpArtifacts(opt, perNode, fmt.Errorf("nothing completed"))
+	}
+	logStats(cfg, opt)
+	log.Printf("e2e: PASS — %d jobs all terminal on %d agreeing replicas: %d completed (exactly once), %d dead-lettered (%d poison, %d budget-burned by expiries)",
+		len(plans), opt.Nodes, completed, dead, dead-nonPoisonDead, nonPoisonDead)
+	if !opt.Keep {
+		os.RemoveAll(opt.Dir)
+	}
+	return nil
+}
+
+// jnum pulls a numeric field out of a JSON-decoded job record.
+func jnum(j map[string]any, k string) float64 {
+	f, _ := j[k].(float64)
+	return f
+}
+
+// collectJobs polls every node's "jobs" op until every planned job is
+// terminal on every node and all nodes return identical records.
+func collectJobs(cfg *Config, opt e2eOptions, plans []jobPlan) ([]map[string]map[string]any, error) {
+	deadline := time.Now().Add(90 * time.Second)
+	var last []map[string]map[string]any
+	var lastWhy error
+	for time.Now().Before(deadline) {
+		perNode := make([]map[string]map[string]any, opt.Nodes)
+		why := func() error {
+			for i := 0; i < opt.Nodes; i++ {
+				rpc := clientrpc.NewClient(cfg.Clients[i])
+				resp, err := rpc.Call(clientrpc.Request{Op: "jobs"}, 5*time.Second)
+				rpc.Close()
+				if err != nil {
+					return fmt.Errorf("node %d unreachable: %w", i, err)
+				}
+				raw, _ := resp.Val.(map[string]any)
+				jobs := make(map[string]map[string]any, len(raw))
+				for id, v := range raw {
+					if m, ok := v.(map[string]any); ok {
+						jobs[id] = m
+					}
+				}
+				perNode[i] = jobs
+			}
+			for _, p := range plans {
+				for i := 0; i < opt.Nodes; i++ {
+					j, ok := perNode[i][p.ID]
+					if !ok {
+						return fmt.Errorf("node %d missing job %s", i, p.ID)
+					}
+					if st, _ := j["state"].(string); st != "completed" && st != "failed" {
+						return fmt.Errorf("node %d: job %s still %q", i, p.ID, st)
+					}
+					if i > 0 && !reflect.DeepEqual(perNode[0][p.ID], j) {
+						return fmt.Errorf("nodes 0 and %d disagree on job %s:\n%v\n%v", i, p.ID, perNode[0][p.ID], j)
+					}
+				}
+			}
+			return nil
+		}()
+		last = perNode
+		if why == nil {
+			return perNode, nil
+		}
+		lastWhy = why
+		time.Sleep(300 * time.Millisecond)
+	}
+	return last, fmt.Errorf("basicsjobd: cluster did not drain/converge within 90s: %w", lastWhy)
+}
+
+// logStats prints each node's queue counters and transport-resilience
+// counters — the satellite observability surface, exercised end to end.
+func logStats(cfg *Config, opt e2eOptions) {
+	for i := 0; i < opt.Nodes; i++ {
+		rpc := clientrpc.NewClient(cfg.Clients[i])
+		resp, err := rpc.Call(clientrpc.Request{Op: "stat"}, 5*time.Second)
+		rpc.Close()
+		if err != nil {
+			continue
+		}
+		if resp.Net != nil {
+			log.Printf("e2e: node %d: applied=%d queue=%v net: sent=%d delivered=%d retries=%d retryDropped=%d shed=%d",
+				i, resp.Applied, resp.Val, resp.Net.Sent, resp.Net.Delivered, resp.Net.Retries, resp.Net.RetryDropped, resp.Net.Shed)
+		}
+	}
+}
+
+// dumpArtifacts writes every node's view of every job next to the node
+// logs and journals, then annotates the error with the artifact path.
+func dumpArtifacts(opt e2eOptions, perNode []map[string]map[string]any, cause error) error {
+	var sb []byte
+	for i, jobs := range perNode {
+		ids := make([]string, 0, len(jobs))
+		for id := range jobs {
+			ids = append(ids, id)
+		}
+		sort.Strings(ids)
+		for _, id := range ids {
+			sb = append(sb, fmt.Sprintf("node%d %s %v\n", i, id, jobs[id])...)
+		}
+	}
+	os.WriteFile(filepath.Join(opt.Dir, "jobs.log"), sb, 0o644)
+	return fmt.Errorf("%w (artifacts in %s)", cause, opt.Dir)
+}

@@ -1,0 +1,51 @@
+package main
+
+import (
+	"os/exec"
+	"path/filepath"
+	"testing"
+)
+
+// TestJobQE2EKillMinorityIncludingScheduler is the headline robustness
+// demo as a test: a 5-node TCP job-queue cluster on localhost running a
+// mixed workload (transient failures, poison jobs) under link chaos,
+// with two nodes — node 0, the Ω leader and thus the acting scheduler,
+// plus one worker — SIGKILLed mid-campaign and restarted from their
+// journals. Afterwards every submitted job must be terminal with
+// exactly one completion effect, every replica must agree on every
+// record, and poison jobs must sit dead-lettered at their budget. It
+// builds the real binary and spawns real processes.
+func TestJobQE2EKillMinorityIncludingScheduler(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns a real multi-process cluster")
+	}
+	bin := filepath.Join(t.TempDir(), "basicsjobd")
+	build := exec.Command("go", "build", "-o", bin, ".")
+	if out, err := build.CombinedOutput(); err != nil {
+		t.Fatalf("go build: %v\n%s", err, out)
+	}
+	err := runE2E(e2eOptions{
+		Bin:     bin,
+		Dir:     t.TempDir(),
+		Nodes:   5,
+		Clients: 3,
+		JobsPer: 12,
+		Kill:    2,
+		Chaos:   true,
+		Keep:    true, // t.TempDir cleans up; keep artifacts for -v debugging
+	})
+	if err != nil {
+		t.Fatalf("e2e: %v", err)
+	}
+}
+
+// TestJobQE2ERejectsMajorityKill guards the option validation: killing
+// a majority of replicas can never satisfy the demo's liveness claims.
+func TestJobQE2ERejectsMajorityKill(t *testing.T) {
+	if _, err := (e2eOptions{Bin: "x", Dir: "y", Nodes: 4, Kill: 2}).withDefaults(); err == nil {
+		t.Fatal("want error for kill=2 of nodes=4")
+	}
+	if _, err := (e2eOptions{Bin: "x", Dir: "y", Nodes: 5, Kill: 2}).withDefaults(); err != nil {
+		t.Fatalf("kill=2 of nodes=5 is a minority: %v", err)
+	}
+}

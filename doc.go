@@ -199,4 +199,40 @@
 // conditions. The batching/pipelining invariants themselves are fuzzed
 // by the scenario harness's kv model (exactly-once apply, identical
 // applied order across replicas, batching evidence on benign seeds).
+//
+// # Running a job queue
+//
+// internal/jobq and cmd/basicsjobd build a crash-resilient distributed
+// job queue on the same replicated state machine: every node is at once
+// a queue replica, a scheduler candidate, and a worker. The design
+// splits replicated truth from leader-local policy. Job records,
+// attempt counters, worker membership, and completion effects live in
+// the replicated state, where apply-time validation of a per-attempt
+// idempotency token (the attempt number a worker's Complete/Fail must
+// echo) enforces exactly-once completion no matter how many duplicate
+// or stale reports race in. Timing policy — the lease grace that
+// declares a continuously-suspected worker dead (fd.SuspectedSince),
+// the jittered exponential backoff between a job's attempts, the
+// re-proposal pacing — is read against the acting Ω leader's own clock
+// and never needs clock agreement; a failover leader re-derives it
+// from its own detector and seed. Jobs whose attempt budget is
+// exhausted are dead-lettered (the poison-job escape hatch), and
+// everything a worker proposes is at-least-once: joins and outcome
+// reports re-issue until the replicated state reflects them, because
+// the first command in the total order wins and the rest are counted
+// as stale rejections, never second effects.
+//
+//	basicsjobd serve -config cluster.json -id 0
+//	basicsjobd e2e -nodes 5 -clients 3 -kill 2 -chaos=true
+//	basicsjobd bench -out BENCH_jobq.json
+//
+// The e2e demo SIGKILLs a minority including node 0 — the Ω leader,
+// i.e. the acting scheduler — mid-campaign, restarts it from journals,
+// and verifies no job is lost, every completion happened exactly once,
+// poison jobs sit dead-lettered at their budget, and all replicas
+// agree on every record; CI runs it on every PR. The same scheduler,
+// runner, and oracles are fuzzed deterministically by the scenario
+// harness's jobq model. See cmd/basicsjobd's README for the state
+// machine, the policy knobs, and the congestion lesson baked into the
+// daemon defaults.
 package distbasics

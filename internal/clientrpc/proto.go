@@ -26,12 +26,28 @@ type Request struct {
 
 // Response is the matching reply line.
 type Response struct {
-	OK      bool     `json:"ok"`
-	Val     any      `json:"val,omitempty"`
-	Err     string   `json:"err,omitempty"`
-	Applied int      `json:"applied,omitempty"`
-	Order   []string `json:"order,omitempty"`
-	ID      string   `json:"id,omitempty"`
+	OK      bool      `json:"ok"`
+	Val     any       `json:"val,omitempty"`
+	Err     string    `json:"err,omitempty"`
+	Applied int       `json:"applied,omitempty"`
+	Order   []string  `json:"order,omitempty"`
+	ID      string    `json:"id,omitempty"`
+	Net     *NetStats `json:"net,omitempty"`
+}
+
+// NetStats is the transport-resilience counter snapshot a daemon's
+// "stat" op reports: how hard the retry layer is working (Retries), and
+// the two loss modes it makes explicit — frames abandoned after the
+// retry budget (RetryDropped, transport.RetryError) and frames rejected
+// at the per-peer queue cap (Shed, transport.ShedError). A climbing
+// RetryDropped/Shed on a "healthy" node is the operational signal that
+// the network, not consensus, is the bottleneck.
+type NetStats struct {
+	Sent         uint64 `json:"sent"`
+	Delivered    uint64 `json:"delivered"`
+	Retries      uint64 `json:"retries"`
+	RetryDropped uint64 `json:"retryDropped"`
+	Shed         uint64 `json:"shed"`
 }
 
 // NormalizeVal normalizes decoded JSON values for the state machine:

@@ -67,13 +67,14 @@ type Detector struct {
 	// expiry is reported at the sweep after it happens).
 	OnLeaseChange func(held bool, at amp.Time)
 
-	n         int
-	id        int
-	lastHeard []amp.Time
-	timeout   []amp.Time
-	suspected []bool
-	leader    int
-	changes   []LeaderChange
+	n           int
+	id          int
+	lastHeard   []amp.Time
+	timeout     []amp.Time
+	suspected   []bool
+	suspectedAt []amp.Time // onset of the current suspicion (valid while suspected)
+	leader      int
+	changes     []LeaderChange
 
 	lease leaseState // leader read-lease machinery (see lease.go)
 }
@@ -102,6 +103,7 @@ func (d *Detector) Init(ctx amp.Context) {
 	d.lastHeard = make([]amp.Time, d.n)
 	d.timeout = make([]amp.Time, d.n)
 	d.suspected = make([]bool, d.n)
+	d.suspectedAt = make([]amp.Time, d.n)
 	for i := range d.timeout {
 		d.timeout[i] = d.InitialTimeout
 		d.lastHeard[i] = ctx.Now()
@@ -157,6 +159,7 @@ func (d *Detector) OnTimer(ctx amp.Context, id int) {
 			}
 			if ctx.Now()-d.lastHeard[i] > d.timeout[i] {
 				d.suspected[i] = true
+				d.suspectedAt[i] = ctx.Now()
 				changed = true
 			}
 		}
@@ -197,6 +200,19 @@ func (d *Detector) IsSuspected(i int) bool {
 		return false
 	}
 	return d.suspected[i]
+}
+
+// SuspectedSince reports when the current, uninterrupted suspicion of
+// peer i began. ok is false when i is not suspected (or out of range);
+// a retracted-then-renewed suspicion restarts the clock. Lease-style
+// liveness policies (internal/jobq's worker-expiry grace) use this to
+// act only on suspicions that have aged past a grace period, so one
+// heartbeat hiccup never costs a worker its assignments.
+func (d *Detector) SuspectedSince(i int) (amp.Time, bool) {
+	if i < 0 || i >= len(d.suspected) || !d.suspected[i] {
+		return 0, false
+	}
+	return d.suspectedAt[i], true
 }
 
 // Suspects returns a copy of the current suspicion vector.

@@ -1,0 +1,283 @@
+package jobq
+
+import (
+	"sort"
+
+	"distbasics/internal/amp"
+	"distbasics/internal/rbcast"
+	"distbasics/internal/rsm"
+)
+
+// Op is the rsm.Command.Op under which queue commands ride. The rsm KV
+// apply ignores unknown ops, so jobq commands coexist with put/del in
+// the same replica group without touching the consensus core.
+const Op = "jobq"
+
+// Config tunes one queue replica. Zero values take the defaults.
+type Config struct {
+	// Grace is how long a worker must stay CONTINUOUSLY suspected before
+	// the scheduler declares its lease lapsed and releases its jobs
+	// (default 10 heartbeat periods' worth: 400 ticks at the runtime's
+	// hbPeriod=40). Too short and a network hiccup double-executes work
+	// (safe — the attempt token rejects one effect — but wasteful); too
+	// long and a crashed worker's jobs stall for the full grace.
+	Grace amp.Time
+	// MaxPerWorker caps concurrent assignments per worker (default 4).
+	MaxPerWorker int
+	// StepEvery is the scheduler tick period hosts should drive Pulse
+	// with (default 50).
+	StepEvery amp.Time
+	// ReproposeEvery is how long the scheduler waits for a proposal
+	// (assign/expire) to take effect before proposing it again —
+	// proposals can be lost to leader changes and partitions, and a
+	// duplicate is validated away at apply time (default 8*StepEvery).
+	ReproposeEvery amp.Time
+	// Retry is the reassignment backoff policy.
+	Retry RetryPolicy
+}
+
+func (c Config) withDefaults() Config {
+	if c.Grace <= 0 {
+		c.Grace = 400
+	}
+	if c.MaxPerWorker <= 0 {
+		c.MaxPerWorker = 4
+	}
+	if c.StepEvery <= 0 {
+		c.StepEvery = 50
+	}
+	if c.ReproposeEvery <= 0 {
+		c.ReproposeEvery = 8 * c.StepEvery
+	}
+	c.Retry = c.Retry.withDefaults()
+	return c
+}
+
+// Node is one job-queue replica: an rsm replica whose apply stream
+// feeds the queue State, plus the scheduler driver that the current Ω
+// leader runs (Step). Everything here executes inside the replica's
+// event loop (the amp.Sim or transport.Runtime actor), so none of it
+// needs locking; hosts reach it via Sim.Schedule / Runtime.Do.
+type Node struct {
+	RSM *rsm.Node
+
+	cfg  Config
+	st   *State
+	subs []func(ev Event, e rsm.Entry, at amp.Time)
+
+	// eligibleAt is the leader-local backoff gate: job ID → earliest
+	// reassignment time on THIS replica's clock. Every replica tracks it
+	// (cheap) so whichever replica becomes leader enforces backoff.
+	eligibleAt map[string]amp.Time
+	// proposedAt dedups in-flight scheduler proposals (key "a/<job>" or
+	// "x/<worker>") so the leader does not flood consensus re-proposing
+	// every Step while a decision is in flight.
+	proposedAt map[string]amp.Time
+	rng        jitterRand
+}
+
+// New builds a queue replica for an n-replica group. The rsm options
+// are passed through (journal, recovery, batching...); the apply hook
+// is installed via rsm.WithApplyHook so a journal recovery replays the
+// queue state before the node ever serves traffic.
+func New(n int, cfg Config, opts ...rsm.NodeOption) *Node {
+	jn := &Node{
+		cfg:        cfg.withDefaults(),
+		st:         NewState(),
+		eligibleAt: make(map[string]amp.Time),
+		proposedAt: make(map[string]amp.Time),
+	}
+	jn.rng = newJitterRand(jn.cfg.Retry.Seed)
+	opts = append(opts, rsm.WithApplyHook(jn.onApply))
+	jn.RSM = rsm.NewNode(n, opts...)
+	return jn
+}
+
+// Ctx returns the context for Schedule/Do-driven proposals.
+func (jn *Node) Ctx() amp.Context { return jn.RSM.Ctx() }
+
+// State exposes the replicated queue state. Read it only inside the
+// event loop (or after the simulation has stopped).
+func (jn *Node) State() *State { return jn.st }
+
+// Config returns the effective (defaulted) configuration.
+func (jn *Node) Config() Config { return jn.cfg }
+
+// Subscribe registers an event observer, fired inside the event loop
+// after each applied queue command — in subscription order, which hosts
+// keep deterministic by subscribing at construction time.
+func (jn *Node) Subscribe(fn func(ev Event, e rsm.Entry, at amp.Time)) {
+	jn.subs = append(jn.subs, fn)
+}
+
+// Propose TO-broadcasts one queue command from this replica. Must run
+// inside the event loop.
+func (jn *Node) Propose(ctx amp.Context, c Cmd) rbcast.MsgID {
+	return jn.RSM.Submit(ctx, rsm.Command{Op: Op, Val: c})
+}
+
+// onApply consumes the replica's totally-ordered entry stream (and the
+// recovery replay, via rsm.WithApplyHook): queue commands mutate the
+// State; the leader-local backoff gate and proposal dedup are updated
+// from the resulting event; subscribers run last.
+func (jn *Node) onApply(e rsm.Entry, at amp.Time) {
+	cmd, ok := e.Payload.(rsm.Command)
+	if !ok || cmd.Op != Op {
+		return
+	}
+	jc, ok := cmd.Val.(Cmd)
+	if !ok {
+		return
+	}
+	ev := jn.st.Apply(jc)
+	switch ev.Kind {
+	case EvAssigned:
+		delete(jn.eligibleAt, ev.Job)
+		delete(jn.proposedAt, "a/"+ev.Job)
+	case EvRetried:
+		// The attempt failed on its merits: exponential backoff.
+		jn.eligibleAt[ev.Job] = at + jn.cfg.Retry.Backoff(ev.Attempt, &jn.rng)
+	case EvCompleted, EvDeadLettered:
+		delete(jn.eligibleAt, ev.Job)
+	case EvWorkerExpired, EvWorkerLeft:
+		delete(jn.proposedAt, xKey(ev.Worker))
+		// Released jobs lost their worker, not the work: one base delay
+		// (jittered), not the exponential curve — expiry is the lease's
+		// fault, not the job's.
+		for _, id := range ev.Released {
+			jn.eligibleAt[id] = at + jn.cfg.Retry.Backoff(1, &jn.rng)
+		}
+	}
+	for _, fn := range jn.subs {
+		fn(ev, e, at)
+	}
+}
+
+// Step runs one scheduler pass. Call it periodically on every replica
+// (hosts: Sim.Schedule loop or clock.AfterFunc + Runtime.Do); only the
+// current Ω leader acts, and nothing it proposes is trusted — apply-time
+// validation makes stale or duplicate proposals harmless, so leadership
+// flaps and split brains during partitions cost traffic, never safety.
+func (jn *Node) Step(ctx amp.Context) {
+	if jn.RSM.Omega.Leader() != ctx.ID() {
+		return
+	}
+	now := ctx.Now()
+	jn.expireWorkers(ctx, now)
+	jn.assign(ctx, now)
+}
+
+// expireWorkers proposes CmdExpire for every joined worker whose
+// suspicion has aged past the grace period — the lease-lapse half of
+// the liveness policy. The detector's adaptive timeout is the lease;
+// Grace is the slack that keeps one late heartbeat from costing a
+// worker its assignments.
+func (jn *Node) expireWorkers(ctx amp.Context, now amp.Time) {
+	for _, w := range jn.st.Workers() {
+		if w == ctx.ID() {
+			continue // never self-expire: a leader does not suspect itself
+		}
+		since, ok := jn.RSM.Omega.SuspectedSince(w)
+		if !ok || now-since < jn.cfg.Grace {
+			continue
+		}
+		if !jn.shouldPropose(xKey(w), now) {
+			continue
+		}
+		jn.Propose(ctx, Cmd{Kind: CmdExpire, Worker: w})
+	}
+}
+
+// assign hands eligible Pending jobs to the least-loaded live,
+// unsuspected workers, oldest submission first, respecting the
+// per-worker cap and the backoff gate.
+func (jn *Node) assign(ctx amp.Context, now amp.Time) {
+	// Current load per live worker, from replicated state.
+	load := make(map[int]int)
+	for _, j := range jn.st.Jobs() {
+		if j.State == Assigned || j.State == Running {
+			load[j.Worker]++
+		}
+	}
+	var cands []int
+	for _, w := range jn.st.Workers() {
+		if w != ctx.ID() && jn.RSM.Omega.IsSuspected(w) {
+			continue // alive per the queue, but not per the detector: skip
+		}
+		cands = append(cands, w)
+	}
+	if len(cands) == 0 {
+		return
+	}
+	for _, id := range jn.st.order {
+		j := jn.st.jobs[id]
+		if j.State != Pending || jn.eligibleAt[id] > now {
+			continue
+		}
+		if !jn.shouldPropose("a/"+id, now) {
+			continue
+		}
+		// Least-loaded candidate, smallest ID on ties (cands is sorted).
+		best, bestLoad := -1, 0
+		for _, w := range cands {
+			if load[w] >= jn.cfg.MaxPerWorker {
+				continue
+			}
+			if best < 0 || load[w] < bestLoad {
+				best, bestLoad = w, load[w]
+			}
+		}
+		if best < 0 {
+			delete(jn.proposedAt, "a/"+id) // all workers full; retry next Step
+			break
+		}
+		jn.Propose(ctx, Cmd{Kind: CmdAssign, Job: id, Worker: best, Attempt: j.Attempt + 1})
+		load[best]++
+	}
+}
+
+// shouldPropose gates duplicate scheduler proposals: a key is proposed
+// at most once per ReproposeEvery until its effect (or rejection)
+// clears it.
+func (jn *Node) shouldPropose(key string, now amp.Time) bool {
+	if t, ok := jn.proposedAt[key]; ok && now-t < jn.cfg.ReproposeEvery {
+		return false
+	}
+	jn.proposedAt[key] = now
+	return true
+}
+
+// xKey is the proposal-dedup key for expiring worker w.
+func xKey(w int) string { return "x/" + itoa(w) }
+
+// itoa avoids strconv for the tiny IDs used here.
+func itoa(n int) string {
+	if n < 0 {
+		return "-" + itoa(-n)
+	}
+	if n < 10 {
+		return string(rune('0' + n))
+	}
+	return itoa(n/10) + string(rune('0'+n%10))
+}
+
+// PendingEligible reports how many Pending jobs are currently past
+// their backoff gate (introspection for hosts deciding whether the
+// queue is drained or merely backing off).
+func (jn *Node) PendingEligible(now amp.Time) int {
+	n := 0
+	for _, id := range jn.st.order {
+		if jn.st.jobs[id].State == Pending && jn.eligibleAt[id] <= now {
+			n++
+		}
+	}
+	return n
+}
+
+// SortedJobIDs returns every job ID, sorted (stable introspection
+// order for dumps).
+func (jn *Node) SortedJobIDs() []string {
+	out := append([]string(nil), jn.st.order...)
+	sort.Strings(out)
+	return out
+}

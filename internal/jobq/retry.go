@@ -1,0 +1,97 @@
+package jobq
+
+import (
+	"distbasics/internal/amp"
+)
+
+// RetryPolicy governs when a failed or released job becomes eligible
+// for reassignment. It deliberately mirrors transport.Policy's shape —
+// exponential base-to-cap backoff with seeded ± jitter and an attempt
+// budget — because the problem is the same at a different layer:
+// bounded, decorrelated retries against a possibly-degraded resource,
+// with a hard stop (there the frame is dropped with a RetryError, here
+// the job is parked in the Failed dead-letter state).
+//
+// The policy is LEADER-LOCAL, not replicated: backoff deadlines are
+// read against the scheduling leader's own clock, so replicas never
+// need clock agreement. All durations are clock ticks.
+type RetryPolicy struct {
+	// Base is the backoff before the first retry; it doubles per failed
+	// attempt (default 50).
+	Base amp.Time
+	// Cap bounds the backoff (default 1000).
+	Cap amp.Time
+	// JitterPct spreads each backoff uniformly by +/- this percentage
+	// (default 25), so a burst of same-aged failures decorrelates.
+	JitterPct int
+	// Budget is the default max attempts per job (default 3) — used by
+	// submitters that do not pick one; exhaustion dead-letters the job.
+	Budget int
+	// Seed seeds the jitter stream.
+	Seed int64
+}
+
+func (p RetryPolicy) withDefaults() RetryPolicy {
+	if p.Base <= 0 {
+		p.Base = 50
+	}
+	if p.Cap <= 0 {
+		p.Cap = 1000
+	}
+	switch {
+	case p.JitterPct < 0: // explicit "no jitter"
+		p.JitterPct = 0
+	case p.JitterPct == 0:
+		p.JitterPct = 25
+	}
+	if p.Budget <= 0 {
+		p.Budget = 3
+	}
+	return p
+}
+
+// Backoff returns the jittered delay before the job may be reassigned
+// after its attempt'th attempt failed: Base after the first, doubling
+// per attempt, bounded by Cap (same curve as transport.Policy.Backoff).
+func (p RetryPolicy) Backoff(attempt int, rng *jitterRand) amp.Time {
+	d := p.Base
+	for i := 1; i < attempt; i++ {
+		d *= 2
+		if d >= p.Cap {
+			d = p.Cap
+			break
+		}
+	}
+	if d > p.Cap {
+		d = p.Cap
+	}
+	if p.JitterPct > 0 {
+		span := int64(d) * int64(p.JitterPct) / 100
+		if span > 0 {
+			d += amp.Time(int64(rng.next()%uint64(2*span+1)) - span)
+		}
+	}
+	if d < 1 {
+		d = 1
+	}
+	return d
+}
+
+// jitterRand is the splitmix64 generator used everywhere else in the
+// repository (transport chaos, the scenario harness), local so jobq's
+// jitter stream is stable regardless of math/rand evolution.
+type jitterRand struct{ state uint64 }
+
+func newJitterRand(seed int64) jitterRand {
+	s := jitterRand{state: uint64(seed) ^ 0x9e3779b97f4a7c15}
+	s.next()
+	return s
+}
+
+func (s *jitterRand) next() uint64 {
+	s.state += 0x9e3779b97f4a7c15
+	z := s.state
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}

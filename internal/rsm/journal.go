@@ -6,6 +6,7 @@ import (
 	"encoding/gob"
 	"fmt"
 	"io"
+	"log"
 	"os"
 	"sort"
 	"sync"
@@ -136,9 +137,24 @@ type journalRec struct {
 // not fsync: kill -9 leaves OS-buffered writes intact, and the e2e
 // harness only needs process-crash (not power-loss) durability.
 type FileJournal struct {
-	mu sync.Mutex
-	f  *os.File
+	mu      sync.Mutex
+	f       *os.File
+	path    string
+	records int64 // valid records replayed at open + appended since
+	size    int64 // bytes of valid records (prefix included)
+	warned  bool  // growth warning fired (once per open)
 }
+
+// FileJournalWarnRecords is the record count past which a FileJournal
+// logs a one-time growth warning. The journal is append-only with no
+// compaction (every acceptor update and decided slot is a new record,
+// so a long-lived replica's journal grows without bound and recovery
+// replay time grows with it); the warning makes that visible in
+// production logs long before recovery becomes the outage. Snapshot
+// compaction is tracked as future work in ROADMAP.md. A var, not a
+// const, so tests can exercise the warning without writing 2^17
+// records.
+var FileJournalWarnRecords int64 = 1 << 17
 
 // OpenFileJournal opens (creating if needed) the journal at path,
 // replays its records into a Recovery, and returns the journal
@@ -151,6 +167,7 @@ func OpenFileJournal(path string) (*FileJournal, *Recovery, error) {
 	}
 	rec := &Recovery{Accepts: map[int]Acceptor{}, Decides: map[int][]Entry{}}
 	valid := int64(0)
+	records := int64(0)
 	var hdr [4]byte
 	for {
 		if _, err := io.ReadFull(f, hdr[:]); err != nil {
@@ -169,6 +186,7 @@ func OpenFileJournal(path string) (*FileJournal, *Recovery, error) {
 			break // corrupt record body
 		}
 		valid += 4 + int64(n)
+		records++
 		switch r.Kind {
 		case 1:
 			rec.NextSeq = r.Seq
@@ -187,7 +205,9 @@ func OpenFileJournal(path string) (*FileJournal, *Recovery, error) {
 		f.Close()
 		return nil, nil, fmt.Errorf("rsm: seek journal %s: %w", path, err)
 	}
-	return &FileJournal{f: f}, rec, nil
+	j := &FileJournal{f: f, path: path, records: records, size: valid}
+	j.maybeWarn()
+	return j, rec, nil
 }
 
 // journalMaxRec bounds one record (sanity check against corrupt length
@@ -209,6 +229,37 @@ func (j *FileJournal) append(r journalRec) {
 	// in-memory state and the loss shows up, at worst, as a failed
 	// recovery later.
 	_, _ = j.f.Write(buf)
+	j.records++
+	j.size += int64(len(buf))
+	j.maybeWarn()
+}
+
+// maybeWarn logs the one-time growth warning. Callers hold j.mu (or,
+// at open time, have exclusive access).
+func (j *FileJournal) maybeWarn() {
+	if j.warned || j.records <= FileJournalWarnRecords {
+		return
+	}
+	j.warned = true
+	log.Printf("rsm: journal %s has %d records (%d bytes) and no compaction; recovery replay cost grows unboundedly (see ROADMAP: journal snapshot compaction)",
+		j.path, j.records, j.size)
+}
+
+// Records returns the number of valid journal records: those replayed
+// at open plus those appended since. Operational visibility for the
+// unbounded-growth limitation — see FileJournalWarnRecords.
+func (j *FileJournal) Records() int64 {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.records
+}
+
+// Size returns the journal's valid byte size (torn tails at open are
+// excluded; appends are counted as written).
+func (j *FileJournal) Size() int64 {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.size
 }
 
 // SaveSeq implements Journal.

@@ -1,8 +1,11 @@
 package rsm
 
 import (
+	"bytes"
+	"log"
 	"os"
 	"path/filepath"
+	"strings"
 	"testing"
 
 	"distbasics/internal/amp"
@@ -221,5 +224,71 @@ func TestFileJournalTornTail(t *testing.T) {
 	}
 	if rec3.NextSeq != 5 {
 		t.Fatalf("NextSeq after re-append = %d, want 5", rec3.NextSeq)
+	}
+}
+
+// TestFileJournalAccountingAndGrowthWarning covers the operational
+// surface: Records/Size track appends, survive a reopen (replayed
+// records count), exclude a torn tail, and the one-time growth warning
+// fires exactly once past FileJournalWarnRecords.
+func TestFileJournalAccountingAndGrowthWarning(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "acct.journal")
+	j, _, err := OpenFileJournal(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if j.Records() != 0 || j.Size() != 0 {
+		t.Fatalf("fresh journal: records=%d size=%d", j.Records(), j.Size())
+	}
+	j.SaveSeq(1)
+	j.SaveAccept(0, Acceptor{Promised: 1})
+	j.SaveDecide(0, []Entry{{ID: rbcast.MsgID{Sender: 0, Seq: 0}, Payload: Command{Op: "put", Key: "a", Val: 1}}})
+	if j.Records() != 3 {
+		t.Fatalf("records = %d, want 3", j.Records())
+	}
+	sz := j.Size()
+	fi, err := os.Stat(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sz != fi.Size() {
+		t.Fatalf("Size() = %d, file is %d", sz, fi.Size())
+	}
+	j.Close()
+
+	// Reopen: replayed records are counted; a torn tail is not.
+	f, err := os.OpenFile(path, os.O_WRONLY|os.O_APPEND, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.Write([]byte{0, 0, 0, 9, 1, 2}) // length prefix promising 9 bytes, body torn after 2
+	f.Close()
+	j2, _, err := OpenFileJournal(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer j2.Close()
+	if j2.Records() != 3 || j2.Size() != sz {
+		t.Fatalf("reopened: records=%d size=%d, want 3/%d", j2.Records(), j2.Size(), sz)
+	}
+
+	// Growth warning: lower the threshold, capture log output, confirm
+	// exactly one warning however many appends follow.
+	old := FileJournalWarnRecords
+	FileJournalWarnRecords = 4
+	defer func() { FileJournalWarnRecords = old }()
+	var buf bytes.Buffer
+	prev := log.Writer()
+	log.SetOutput(&buf)
+	defer log.SetOutput(prev)
+	for i := 0; i < 10; i++ {
+		j2.SaveSeq(i)
+	}
+	warnings := strings.Count(buf.String(), "no compaction")
+	if warnings != 1 {
+		t.Fatalf("growth warning fired %d times, want exactly 1:\n%s", warnings, buf.String())
+	}
+	if !strings.Contains(buf.String(), path) {
+		t.Fatalf("warning does not name the journal:\n%s", buf.String())
 	}
 }

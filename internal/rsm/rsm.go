@@ -470,6 +470,7 @@ type nodeConfig struct {
 	leaseTTL    amp.Time
 	leaseMargin amp.Time
 	noLog       bool
+	onApply     func(e Entry, at amp.Time)
 }
 
 // WithJournal attaches a persistence journal: acceptor-state changes,
@@ -484,8 +485,10 @@ func WithJournal(j Journal) NodeOption {
 // sequence number resumes past its pre-crash value, each slot's Paxos
 // acceptor triple is reinstated (the crash-safety invariant), and
 // decided slots are re-applied locally in order, rebuilding the KV
-// state. OnApply is not yet set at construction time, so recovery
-// replay does not re-fire client completions.
+// state. OnApply assigned after NewNode returns does not see the
+// replay (so client completions never re-fire); an application state
+// machine that must be rebuilt from the replay installs its observer
+// with WithApplyHook instead.
 func WithRecovery(rec *Recovery) NodeOption {
 	return func(c *nodeConfig) { c.recovery = rec }
 }
@@ -548,6 +551,18 @@ func WithoutAppliedLog() NodeOption {
 	return func(c *nodeConfig) { c.noLog = true }
 }
 
+// WithApplyHook sets the OnApply observer at construction time, BEFORE
+// any WithRecovery replay runs. Applications that maintain their own
+// state machine over the entry stream (internal/jobq) need this: their
+// state is rebuilt by replaying the journal's decided slots, and an
+// OnApply assigned only after NewNode returns would miss that replay
+// entirely, leaving a recovered replica with consensus state but an
+// empty application state. Completion waiters keyed by MsgID are still
+// safe — a recovering process has no waiters registered yet.
+func WithApplyHook(fn func(e Entry, at amp.Time)) NodeOption {
+	return func(c *nodeConfig) { c.onApply = fn }
+}
+
 // NewNode wires a replica: an Ω detector, a TO-broadcast coordinator,
 // and a lazy per-slot consensus multiplexer, all in one Stack. The
 // returned Stack is the amp.Process to install in the simulator at
@@ -570,6 +585,7 @@ func NewNode(n int, opts ...NodeOption) *Node {
 		seen:    make(map[rbcast.MsgID]bool),
 		seenLow: make([]int, n),
 		noLog:   cfg.noLog,
+		OnApply: cfg.onApply,
 	}
 	det := fd.NewDetector(n)
 	det.LeaseTTL = cfg.leaseTTL

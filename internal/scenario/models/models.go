@@ -35,6 +35,7 @@ func All() []scenario.Model {
 		&ABDMulti{},
 		&RSM{},
 		&KV{},
+		&JobQ{},
 		&Transport{},
 		&BenOr{},
 		&Universal{},
