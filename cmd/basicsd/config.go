@@ -37,6 +37,14 @@ type Config struct {
 	// MaxBatch caps commands packed into one consensus slot (default
 	// rsm.DefaultMaxBatch).
 	MaxBatch int `json:"max_batch,omitempty"`
+	// CompactRecords / CompactBytes are the journal auto-compaction
+	// thresholds: once the active segment passes either one, the node
+	// snapshots its state and truncates the journal behind it. 0 takes
+	// rsm.DefaultCompactRecords / rsm.DefaultCompactBytes; negative
+	// disables that threshold (both negative = unbounded journal, the
+	// pre-compaction behaviour).
+	CompactRecords int64 `json:"compact_records,omitempty"`
+	CompactBytes   int64 `json:"compact_bytes,omitempty"`
 }
 
 // ChaosConfig is one transport.ChaosRule in JSON form.
@@ -110,6 +118,23 @@ func (c *Config) rsmOptions() []rsm.NodeOption {
 		opts = append(opts, rsm.WithMaxBatch(c.MaxBatch))
 	}
 	return opts
+}
+
+// compaction resolves the configured auto-compaction thresholds
+// (0 = rsm default, negative = disabled).
+func (c *Config) compaction() (records, bytes int64) {
+	return resolveThreshold(c.CompactRecords, rsm.DefaultCompactRecords),
+		resolveThreshold(c.CompactBytes, rsm.DefaultCompactBytes)
+}
+
+func resolveThreshold(v, def int64) int64 {
+	switch {
+	case v == 0:
+		return def
+	case v < 0:
+		return 0
+	}
+	return v
 }
 
 // chaosRules converts the schedule for one sending node, giving each

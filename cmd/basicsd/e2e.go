@@ -24,6 +24,7 @@ type e2eOptions struct {
 	OpsPer  int    // KV ops per client (default 24; <= check.MaxOps per key)
 	Kill    int    // nodes to SIGKILL mid-run (default 2; must stay a minority)
 	Chaos   bool   // inject drop/delay chaos on every node's links
+	Compact bool   // force aggressive journal compaction mid-campaign
 	Keep    bool   // keep artifacts even on success
 }
 
@@ -155,6 +156,13 @@ func runE2E(opt e2eOptions) (err error) {
 	cfg := &Config{Peers: peers, Clients: clientAddrs, Journals: make([]string, opt.Nodes)}
 	for i := range cfg.Journals {
 		cfg.Journals[i] = filepath.Join(opt.Dir, fmt.Sprintf("node%d.journal", i))
+	}
+	if opt.Compact {
+		// A threshold far below the campaign's apply volume keeps every
+		// node compacting throughout the run, so the SIGKILLs land around
+		// live snapshot installs and the restarted victims recover from a
+		// snapshot plus a short journal suffix.
+		cfg.CompactRecords = 32
 	}
 	if opt.Chaos {
 		// Mild, permanent background chaos on every link: enough to
@@ -350,36 +358,45 @@ func runE2E(opt e2eOptions) (err error) {
 	uidWG.Wait()
 	bcastWG.Wait()
 	if err := <-killErr; err != nil {
-		return dumpArtifacts(opt, rec, nil, err)
+		return dumpArtifacts(opt, rec, nil, nil, err)
 	}
 	log.Printf("e2e: workload done: %d/%d kv ops completed, %d/%d broadcasts delivered, %d uids issued",
 		completed.Load(), total, bcastOK.Load(), opt.Nodes*bcastPer, len(uids))
 
 	// --- verification ----------------------------------------------------
-	// 1. Every node converges to the same applied count (the restarted
-	//    victims catch up via anti-entropy).
-	orders, err := collectOrders(cfg, opt)
+	// 1. Every node converges to the same absolute applied count (the
+	//    restarted victims catch up via anti-entropy). A victim that
+	//    recovered from a snapshot only retains the suffix past the
+	//    snapshot's coverage; bases[i] is that suffix's start position.
+	orders, bases, err := collectOrders(cfg, opt)
 	if err != nil {
-		return dumpArtifacts(opt, rec, orders, err)
+		return dumpArtifacts(opt, rec, orders, bases, err)
 	}
-	// 2. Total order safety: all applied orders agree prefix-wise.
+	// 2. Total order safety: all applied orders agree at every absolute
+	//    position both retain.
 	for i := 1; i < len(orders); i++ {
-		m := min(len(orders[0]), len(orders[i]))
-		for j := 0; j < m; j++ {
-			if orders[0][j] != orders[i][j] {
-				return dumpArtifacts(opt, rec, orders,
+		lo := max(bases[0], bases[i])
+		hi := min(bases[0]+len(orders[0]), bases[i]+len(orders[i]))
+		for a := lo; a < hi; a++ {
+			if orders[0][a-bases[0]] != orders[i][a-bases[i]] {
+				return dumpArtifacts(opt, rec, orders, bases,
 					fmt.Errorf("nodes 0 and %d diverge at applied index %d: %s vs %s",
-						i, j, orders[0][j], orders[i][j]))
+						i, a, orders[0][a-bases[0]], orders[i][a-bases[i]]))
 			}
 		}
 	}
 	// 3. Broadcast exactly-once: no entry (KV command or broadcast
 	//    message) appears twice in the applied sequence — retries and
-	//    chaos duplicates must be absorbed by idempotent apply.
+	//    chaos duplicates must be absorbed by idempotent apply. Node 0
+	//    is never killed, so it retains the full sequence.
+	if bases[0] != 0 {
+		return dumpArtifacts(opt, rec, orders, bases,
+			fmt.Errorf("node 0 was never restarted but reports applied base %d", bases[0]))
+	}
 	seen := make(map[string]bool, len(orders[0]))
 	for _, id := range orders[0] {
 		if seen[id] {
-			return dumpArtifacts(opt, rec, orders,
+			return dumpArtifacts(opt, rec, orders, bases,
 				fmt.Errorf("entry %s applied twice (broadcast exactly-once violated)", id))
 		}
 		seen[id] = true
@@ -387,7 +404,7 @@ func runE2E(opt e2eOptions) (err error) {
 	// 4. Unique IDs really are unique.
 	for id, n := range uids {
 		if n > 1 {
-			return dumpArtifacts(opt, rec, orders, fmt.Errorf("uid %q issued %d times", id, n))
+			return dumpArtifacts(opt, rec, orders, bases, fmt.Errorf("uid %q issued %d times", id, n))
 		}
 	}
 	// 5. The KV history linearizes (per-key partitions).
@@ -395,14 +412,57 @@ func runE2E(opt e2eOptions) (err error) {
 	spec := check.RegisterArraySpec{}
 	lin, err := check.Linearizable(spec, h)
 	if err != nil {
-		return dumpArtifacts(opt, rec, orders, fmt.Errorf("checker: %w", err))
+		return dumpArtifacts(opt, rec, orders, bases, fmt.Errorf("checker: %w", err))
 	}
 	if !lin.OK {
-		return dumpArtifacts(opt, rec, orders,
+		return dumpArtifacts(opt, rec, orders, bases,
 			fmt.Errorf("history of %d ops is NOT linearizable", len(h)))
 	}
 	if err := check.ValidateOrder(spec, h, lin.Order); err != nil {
-		return dumpArtifacts(opt, rec, orders, fmt.Errorf("witness invalid: %w", err))
+		return dumpArtifacts(opt, rec, orders, bases, fmt.Errorf("witness invalid: %w", err))
+	}
+	// 6. With compaction forced, every node must actually have compacted:
+	//    at least one snapshot installed, and the live journal strictly
+	//    smaller than the lifetime append volume — bounded growth, not
+	//    just survival. Write errors or a degraded journal fail the run.
+	if opt.Compact {
+		liveSnaps := int64(0)
+		for i := 0; i < opt.Nodes; i++ {
+			rpc := clientrpc.NewClient(cfg.Clients[i])
+			resp, err := rpc.Stats(5 * time.Second)
+			rpc.Close()
+			if err != nil {
+				return dumpArtifacts(opt, rec, orders, bases, fmt.Errorf("stat node %d: %w", i, err))
+			}
+			js := resp.Journal
+			if js == nil {
+				return dumpArtifacts(opt, rec, orders, bases, fmt.Errorf("node %d reports no journal stats", i))
+			}
+			// Snapshots/LifeRecords count this incarnation only; Gen is
+			// persisted in the journal's file layout, so a restarted victim
+			// that recovered from a snapshot but hasn't re-compacted yet
+			// still reports the generation its killed predecessor reached.
+			if js.Snapshots == 0 && js.Gen == 0 {
+				return dumpArtifacts(opt, rec, orders, bases,
+					fmt.Errorf("node %d never compacted (life records %d)", i, js.LifeRecords))
+			}
+			if js.Snapshots > 0 && (js.Records >= js.LifeRecords || js.Bytes >= js.LifeBytes) {
+				return dumpArtifacts(opt, rec, orders, bases,
+					fmt.Errorf("node %d journal not bounded: %d/%d records, %d/%d bytes live/lifetime",
+						i, js.Records, js.LifeRecords, js.Bytes, js.LifeBytes))
+			}
+			if js.WriteErrs > 0 || js.Degraded {
+				return dumpArtifacts(opt, rec, orders, bases,
+					fmt.Errorf("node %d journal degraded (%d write errors)", i, js.WriteErrs))
+			}
+			liveSnaps += js.Snapshots
+			log.Printf("e2e: node %d journal: %d snapshots, %d/%d live/lifetime records, gen %d",
+				i, js.Snapshots, js.Records, js.LifeRecords, js.Gen)
+		}
+		if liveSnaps == 0 {
+			return dumpArtifacts(opt, rec, orders, bases,
+				fmt.Errorf("no node installed a snapshot during the campaign"))
+		}
 	}
 	log.Printf("e2e: PASS — %d ops linearizable over %d partitions, %d nodes agree on %d applied entries, %d unique ids",
 		len(h), lin.Partitions, opt.Nodes, len(orders[0]), len(uids))
@@ -412,40 +472,43 @@ func runE2E(opt e2eOptions) (err error) {
 	return nil
 }
 
-// collectOrders polls every node until all report the same applied
-// count (quiesced + caught up), then returns the orders.
-func collectOrders(cfg *Config, opt e2eOptions) ([][]string, error) {
+// collectOrders polls every node until all report the same absolute
+// applied count (quiesced + caught up), then returns the retained
+// orders and each node's applied base (non-zero after a recovery from
+// a snapshot).
+func collectOrders(cfg *Config, opt e2eOptions) ([][]string, []int, error) {
 	deadline := time.Now().Add(30 * time.Second)
 	for {
 		orders := make([][]string, opt.Nodes)
+		bases := make([]int, opt.Nodes)
 		ok := true
 		for i := 0; i < opt.Nodes; i++ {
 			rpc := clientrpc.NewClient(cfg.Clients[i])
-			o, err := rpc.Order(5 * time.Second)
+			o, base, err := rpc.Order(5 * time.Second)
 			rpc.Close()
 			if err != nil {
 				ok = false
 				break
 			}
-			orders[i] = o
+			orders[i], bases[i] = o, base
 		}
 		if ok {
 			same := true
 			for i := 1; i < opt.Nodes; i++ {
-				if len(orders[i]) != len(orders[0]) {
+				if bases[i]+len(orders[i]) != bases[0]+len(orders[0]) {
 					same = false
 					break
 				}
 			}
 			if same {
-				return orders, nil
+				return orders, bases, nil
 			}
 		}
 		if time.Now().After(deadline) {
 			if !ok {
-				return nil, fmt.Errorf("basicsd: nodes unreachable while collecting applied orders")
+				return nil, nil, fmt.Errorf("basicsd: nodes unreachable while collecting applied orders")
 			}
-			return orders, fmt.Errorf("basicsd: applied counts did not converge within 30s")
+			return orders, bases, fmt.Errorf("basicsd: applied counts did not converge within 30s")
 		}
 		time.Sleep(250 * time.Millisecond)
 	}
@@ -454,7 +517,7 @@ func collectOrders(cfg *Config, opt e2eOptions) ([][]string, error) {
 // dumpArtifacts writes the recorded history and applied orders next to
 // the node logs and journals so a failure is diagnosable, then returns
 // the original error annotated with the artifact path.
-func dumpArtifacts(opt e2eOptions, rec *check.Recorder, orders [][]string, cause error) error {
+func dumpArtifacts(opt e2eOptions, rec *check.Recorder, orders [][]string, bases []int, cause error) error {
 	var sb []byte
 	for _, op := range rec.History() {
 		sb = append(sb, fmt.Sprintf("p%d %v @[%d,%d] -> %v\n", op.Proc, op.Arg, op.Call, op.Return, op.Out)...)
@@ -462,7 +525,11 @@ func dumpArtifacts(opt e2eOptions, rec *check.Recorder, orders [][]string, cause
 	os.WriteFile(filepath.Join(opt.Dir, "history.log"), sb, 0o644)
 	var ob []byte
 	for i, o := range orders {
-		ob = append(ob, fmt.Sprintf("node%d (%d): %v\n", i, len(o), o)...)
+		base := 0
+		if i < len(bases) {
+			base = bases[i]
+		}
+		ob = append(ob, fmt.Sprintf("node%d (base=%d, %d): %v\n", i, base, len(o), o)...)
 	}
 	os.WriteFile(filepath.Join(opt.Dir, "orders.log"), ob, 0o644)
 	return fmt.Errorf("%w (artifacts in %s)", cause, opt.Dir)

@@ -29,6 +29,7 @@ func TestE2EKillMinority(t *testing.T) {
 		OpsPer:  12,
 		Kill:    2,
 		Chaos:   true,
+		Compact: true, // SIGKILLs land amid live snapshot installs
 		Keep:    true, // t.TempDir cleans up; keep artifacts for -v debugging
 	})
 	if err != nil {
@@ -39,10 +40,10 @@ func TestE2EKillMinority(t *testing.T) {
 // TestE2ERejectsMajorityKill guards the option validation: killing a
 // majority can never satisfy the demo's liveness claims.
 func TestE2ERejectsMajorityKill(t *testing.T) {
-	if _, err := (e2eOptions{Bin: "x", Dir: "y", Nodes: 4, Kill: 2}).withDefaults(); err == nil {
+	if _, err := (e2eOptions{Bin: "x", Dir: filepath.Join(t.TempDir(), "d"), Nodes: 4, Kill: 2}).withDefaults(); err == nil {
 		t.Fatal("want error for kill=2 of nodes=4")
 	}
-	if _, err := (e2eOptions{Bin: "x", Dir: "y", Nodes: 5, Kill: 2}).withDefaults(); err != nil {
+	if _, err := (e2eOptions{Bin: "x", Dir: filepath.Join(t.TempDir(), "d"), Nodes: 5, Kill: 2}).withDefaults(); err != nil {
 		t.Fatalf("kill=2 of nodes=5 is a minority: %v", err)
 	}
 }

@@ -17,7 +17,7 @@
 //	    {"op":"stat"}.
 //
 //	basicsd e2e [-nodes 5] [-clients 3] [-ops 24] [-kill 2] [-chaos=true]
-//	            [-dir DIR] [-keep]
+//	            [-compact=true] [-dir DIR] [-keep]
 //	    The kill -9 survival demo: spawn a local cluster, run
 //	    linearizable-KV and unique-ID workloads under link chaos,
 //	    SIGKILL a minority mid-campaign, restart it from the journals,
@@ -58,6 +58,7 @@ func main() {
 		fs.IntVar(&opt.OpsPer, "ops", 24, "KV ops per client")
 		fs.IntVar(&opt.Kill, "kill", 2, "nodes to SIGKILL mid-run (must be a minority)")
 		fs.BoolVar(&opt.Chaos, "chaos", true, "inject drop/delay/duplicate chaos")
+		fs.BoolVar(&opt.Compact, "compact", true, "force journal compaction mid-campaign and assert bounded journals")
 		fs.StringVar(&opt.Dir, "dir", "", "journal/artifact directory (default: temp)")
 		fs.BoolVar(&opt.Keep, "keep", false, "keep artifacts on success")
 		fs.Parse(os.Args[2:])

@@ -94,7 +94,9 @@ func startServer(cfg *Config, id int) (*server, error) {
 		}
 		s.journal = j
 		opts = append(opts, rsm.WithJournal(j))
-		if rec.NextSeq > 0 || len(rec.Accepts) > 0 || len(rec.Decides) > 0 {
+		cr, cb := cfg.compaction()
+		opts = append(opts, rsm.WithCompaction(cr, cb))
+		if rec.Snap != nil || rec.NextSeq > 0 || len(rec.Accepts) > 0 || len(rec.Decides) > 0 {
 			opts = append(opts, rsm.WithRecovery(rec))
 		}
 	}
@@ -144,6 +146,23 @@ func netStats(res *transport.Resilient) *clientrpc.NetStats {
 		Retries:      st.Retries.Load(),
 		RetryDropped: st.Dropped.Load(),
 		Shed:         st.Shed.Load(),
+	}
+}
+
+// journalStats snapshots the journal/compaction counters for the
+// "stat" op; nil when the node runs without persistence. Records <
+// LifeRecords is the external proof that compaction is truncating, and
+// Degraded flags a dying disk while the replica still runs.
+func journalStats(j *rsm.FileJournal) *clientrpc.JournalStats {
+	if j == nil {
+		return nil
+	}
+	st := j.Stats()
+	return &clientrpc.JournalStats{
+		Records: st.Records, Bytes: st.Bytes,
+		LifeRecords: st.LifeRecords, LifeBytes: st.LifeBytes,
+		Snapshots: st.Snapshots, SnapBytes: st.SnapBytes, Gen: st.Gen,
+		WriteErrs: st.WriteErrs, Degraded: st.Degraded,
 	}
 }
 
@@ -224,18 +243,22 @@ func (s *server) handle(req clientrpc.Request) clientrpc.Response {
 		n := s.uidSeq.Add(1)
 		return clientrpc.Response{OK: true, ID: fmt.Sprintf("%d-%x-%d", s.id, s.boot, n)}
 	case "order":
-		// Applied order snapshot, read inside the event loop.
+		// Applied order snapshot, read inside the event loop. After a
+		// recovery from a snapshot only the suffix past the snapshot's
+		// coverage is retained; OrderBase is its absolute position.
 		var ids []string
+		var base int
 		s.rt.Do(func(amp.Context) {
 			for _, e := range s.node.Applied() {
 				ids = append(ids, e.ID.String())
 			}
+			base = s.node.Len() - len(ids)
 		})
-		return clientrpc.Response{OK: true, Order: ids, Applied: len(ids)}
+		return clientrpc.Response{OK: true, Order: ids, OrderBase: base, Applied: base + len(ids)}
 	case "stat":
 		var n int
 		s.rt.Do(func(amp.Context) { n = s.node.Len() })
-		return clientrpc.Response{OK: true, Applied: n, Net: netStats(s.res)}
+		return clientrpc.Response{OK: true, Applied: n, Net: netStats(s.res), Journal: journalStats(s.journal)}
 	default:
 		return clientrpc.Response{Err: fmt.Sprintf("unknown op %q", req.Op)}
 	}

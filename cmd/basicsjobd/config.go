@@ -32,6 +32,13 @@ type Config struct {
 	// Pipeline / MaxBatch tune the consensus replica (defaults from rsm).
 	Pipeline int `json:"pipeline,omitempty"`
 	MaxBatch int `json:"max_batch,omitempty"`
+	// CompactRecords / CompactBytes are the journal auto-compaction
+	// thresholds: once the active segment passes either one, the node
+	// snapshots the queue state and truncates the journal behind it.
+	// 0 takes rsm.DefaultCompactRecords / rsm.DefaultCompactBytes;
+	// negative disables that threshold.
+	CompactRecords int64 `json:"compact_records,omitempty"`
+	CompactBytes   int64 `json:"compact_bytes,omitempty"`
 
 	// Queue policy, in clock ticks (zero values take the daemon
 	// defaults in node.go, not the jobq simulation-scale defaults).
@@ -139,6 +146,23 @@ func (c *Config) rsmOptions() []rsm.NodeOption {
 		opts = append(opts, rsm.WithMaxBatch(c.MaxBatch))
 	}
 	return opts
+}
+
+// compaction resolves the configured auto-compaction thresholds
+// (0 = rsm default, negative = disabled).
+func (c *Config) compaction() (records, bytes int64) {
+	return resolveThreshold(c.CompactRecords, rsm.DefaultCompactRecords),
+		resolveThreshold(c.CompactBytes, rsm.DefaultCompactBytes)
+}
+
+func resolveThreshold(v, def int64) int64 {
+	switch {
+	case v == 0:
+		return def
+	case v < 0:
+		return 0
+	}
+	return v
 }
 
 // chaosRules converts the schedule for one sending node, giving each

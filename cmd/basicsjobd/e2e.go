@@ -25,6 +25,7 @@ type e2eOptions struct {
 	JobsPer int    // jobs per submitter (default 18)
 	Kill    int    // nodes to SIGKILL mid-run; victim set includes node 0
 	Chaos   bool   // inject drop/delay/duplicate chaos on every link
+	Compact bool   // force aggressive journal compaction mid-campaign
 	Keep    bool   // keep artifacts even on success
 }
 
@@ -204,6 +205,13 @@ func runE2E(opt e2eOptions) (err error) {
 	for i := range cfg.Journals {
 		cfg.Journals[i] = filepath.Join(opt.Dir, fmt.Sprintf("node%d.journal", i))
 	}
+	if opt.Compact {
+		// A threshold far below the campaign's record volume keeps every
+		// node compacting throughout the run, so the SIGKILLs land around
+		// live snapshot installs and the victims restart from a snapshot
+		// plus a short journal suffix.
+		cfg.CompactRecords = 32
+	}
 	if opt.Chaos {
 		cfg.Chaos = []ChaosConfig{
 			{Kind: "drop", Pct: 10, Seed: 1},
@@ -369,6 +377,46 @@ func runE2E(opt e2eOptions) (err error) {
 	}
 	if completed == 0 {
 		return dumpArtifacts(opt, perNode, fmt.Errorf("nothing completed"))
+	}
+	// Journal-growth leg: with compaction forced, journals must stay
+	// bounded — snapshots installed, the live journal strictly smaller
+	// than the lifetime append volume, and no write errors. Snapshots
+	// and Life* counters are per-incarnation; Gen persists in the file
+	// layout, so a freshly restarted victim that recovered from a
+	// snapshot but hasn't re-compacted yet still proves its history.
+	if opt.Compact {
+		liveSnaps := int64(0)
+		for i := 0; i < opt.Nodes; i++ {
+			rpc := clientrpc.NewClient(cfg.Clients[i])
+			resp, err := rpc.Stats(5 * time.Second)
+			rpc.Close()
+			if err != nil {
+				return dumpArtifacts(opt, perNode, fmt.Errorf("stat node %d: %w", i, err))
+			}
+			js := resp.Journal
+			if js == nil {
+				return dumpArtifacts(opt, perNode, fmt.Errorf("node %d reports no journal stats", i))
+			}
+			if js.Snapshots == 0 && js.Gen == 0 {
+				return dumpArtifacts(opt, perNode,
+					fmt.Errorf("node %d never compacted (life records %d)", i, js.LifeRecords))
+			}
+			if js.Snapshots > 0 && (js.Records >= js.LifeRecords || js.Bytes >= js.LifeBytes) {
+				return dumpArtifacts(opt, perNode,
+					fmt.Errorf("node %d journal not bounded: %d/%d records, %d/%d bytes live/lifetime",
+						i, js.Records, js.LifeRecords, js.Bytes, js.LifeBytes))
+			}
+			if js.WriteErrs > 0 || js.Degraded {
+				return dumpArtifacts(opt, perNode,
+					fmt.Errorf("node %d journal degraded (%d write errors)", i, js.WriteErrs))
+			}
+			liveSnaps += js.Snapshots
+			log.Printf("e2e: node %d journal: %d snapshots, %d/%d live/lifetime records, gen %d",
+				i, js.Snapshots, js.Records, js.LifeRecords, js.Gen)
+		}
+		if liveSnaps == 0 {
+			return dumpArtifacts(opt, perNode, fmt.Errorf("no node installed a snapshot during the campaign"))
+		}
 	}
 	logStats(cfg, opt)
 	log.Printf("e2e: PASS — %d jobs all terminal on %d agreeing replicas: %d completed (exactly once), %d dead-lettered (%d poison, %d budget-burned by expiries)",

@@ -32,6 +32,7 @@ func TestJobQE2EKillMinorityIncludingScheduler(t *testing.T) {
 		JobsPer: 12,
 		Kill:    2,
 		Chaos:   true,
+		Compact: true, // SIGKILLs land amid live snapshot installs
 		Keep:    true, // t.TempDir cleans up; keep artifacts for -v debugging
 	})
 	if err != nil {
@@ -42,10 +43,10 @@ func TestJobQE2EKillMinorityIncludingScheduler(t *testing.T) {
 // TestJobQE2ERejectsMajorityKill guards the option validation: killing
 // a majority of replicas can never satisfy the demo's liveness claims.
 func TestJobQE2ERejectsMajorityKill(t *testing.T) {
-	if _, err := (e2eOptions{Bin: "x", Dir: "y", Nodes: 4, Kill: 2}).withDefaults(); err == nil {
+	if _, err := (e2eOptions{Bin: "x", Dir: filepath.Join(t.TempDir(), "d"), Nodes: 4, Kill: 2}).withDefaults(); err == nil {
 		t.Fatal("want error for kill=2 of nodes=4")
 	}
-	if _, err := (e2eOptions{Bin: "x", Dir: "y", Nodes: 5, Kill: 2}).withDefaults(); err != nil {
+	if _, err := (e2eOptions{Bin: "x", Dir: filepath.Join(t.TempDir(), "d"), Nodes: 5, Kill: 2}).withDefaults(); err != nil {
 		t.Fatalf("kill=2 of nodes=5 is a minority: %v", err)
 	}
 }

@@ -70,6 +70,7 @@ func main() {
 		fs.IntVar(&opt.JobsPer, "jobs", 18, "jobs per submitter")
 		fs.IntVar(&opt.Kill, "kill", 2, "nodes to SIGKILL mid-run (must be a minority; includes node 0)")
 		fs.BoolVar(&opt.Chaos, "chaos", true, "inject drop/delay/duplicate chaos")
+		fs.BoolVar(&opt.Compact, "compact", true, "force journal compaction mid-campaign and assert bounded journals")
 		fs.StringVar(&opt.Dir, "dir", "", "journal/artifact directory (default: temp)")
 		fs.BoolVar(&opt.Keep, "keep", false, "keep artifacts on success")
 		fs.Parse(os.Args[2:])

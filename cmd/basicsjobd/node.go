@@ -137,7 +137,9 @@ func startServer(cfg *Config, id int) (*server, error) {
 		}
 		s.journal = j
 		opts = append(opts, rsm.WithJournal(j))
-		if rec.NextSeq > 0 || len(rec.Accepts) > 0 || len(rec.Decides) > 0 {
+		cr, cb := cfg.compaction()
+		opts = append(opts, rsm.WithCompaction(cr, cb))
+		if rec.Snap != nil || rec.NextSeq > 0 || len(rec.Accepts) > 0 || len(rec.Decides) > 0 {
 			opts = append(opts, rsm.WithRecovery(rec))
 		}
 	}
@@ -385,7 +387,7 @@ func (s *server) handle(req clientrpc.Request) clientrpc.Response {
 			ctr = s.nd.State().Counters()
 			workers = s.nd.State().Workers()
 		})
-		return clientrpc.Response{OK: true, Applied: n, Net: netStats(s.res), Val: map[string]any{
+		return clientrpc.Response{OK: true, Applied: n, Net: netStats(s.res), Journal: journalStats(s.journal), Val: map[string]any{
 			"submitted":   ctr.Submitted,
 			"assigns":     ctr.Assigns,
 			"completions": ctr.Completions,
@@ -398,6 +400,21 @@ func (s *server) handle(req clientrpc.Request) clientrpc.Response {
 		}}
 	default:
 		return clientrpc.Response{Err: fmt.Sprintf("unknown op %q", req.Op)}
+	}
+}
+
+// journalStats snapshots the journal/compaction counters for the
+// "stat" op; nil when the node runs without persistence.
+func journalStats(j *rsm.FileJournal) *clientrpc.JournalStats {
+	if j == nil {
+		return nil
+	}
+	st := j.Stats()
+	return &clientrpc.JournalStats{
+		Records: st.Records, Bytes: st.Bytes,
+		LifeRecords: st.LifeRecords, LifeBytes: st.LifeBytes,
+		Snapshots: st.Snapshots, SnapBytes: st.SnapBytes, Gen: st.Gen,
+		WriteErrs: st.WriteErrs, Degraded: st.Degraded,
 	}
 }
 

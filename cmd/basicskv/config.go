@@ -20,6 +20,15 @@ type Config struct {
 	Peers   [][]string `json:"peers"`
 	Clients []string   `json:"clients"`
 
+	// Journals[s][i] is process i's journal path for its replica of
+	// shard s (same shape as Peers; empty/absent disables persistence,
+	// losing kill -9 survival for state not re-replicated from peers).
+	Journals [][]string `json:"journals,omitempty"`
+	// CompactRecords / CompactBytes are per-shard journal auto-
+	// compaction thresholds (0 = rsm defaults, negative disables).
+	CompactRecords int64 `json:"compact_records,omitempty"`
+	CompactBytes   int64 `json:"compact_bytes,omitempty"`
+
 	// UnitMS is the clock tick in milliseconds (default 2).
 	UnitMS int `json:"unit_ms,omitempty"`
 	// MaxBatch / Pipeline tune the rsm proposer (0 = its defaults).
@@ -58,6 +67,16 @@ func LoadConfig(path string) (*Config, error) {
 	if len(c.Clients) != n {
 		return nil, fmt.Errorf("basicskv: %d client addrs for %d processes", len(c.Clients), n)
 	}
+	if len(c.Journals) != 0 {
+		if len(c.Journals) != c.Shards {
+			return nil, fmt.Errorf("basicskv: %d journal rows for %d shards", len(c.Journals), c.Shards)
+		}
+		for s, row := range c.Journals {
+			if len(row) != n {
+				return nil, fmt.Errorf("basicskv: journal row %d has %d entries for %d processes", s, len(row), n)
+			}
+		}
+	}
 	return &c, nil
 }
 
@@ -68,14 +87,24 @@ func (c *Config) hostConfig(self int) kv.HostConfig {
 	if c.UnitMS > 0 {
 		unit = time.Duration(c.UnitMS) * time.Millisecond
 	}
+	var journals []string
+	if len(c.Journals) == c.Shards {
+		journals = make([]string, c.Shards)
+		for s := range c.Journals {
+			journals[s] = c.Journals[s][self]
+		}
+	}
 	return kv.HostConfig{
-		Shards:      c.Shards,
-		Peers:       c.Peers,
-		Self:        self,
-		Unit:        unit,
-		LeaseTTL:    amp.Time(c.LeaseTTL),
-		LeaseMargin: amp.Time(c.LeaseMargin),
-		MaxBatch:    c.MaxBatch,
-		Pipeline:    c.Pipeline,
+		Shards:         c.Shards,
+		Peers:          c.Peers,
+		Self:           self,
+		Unit:           unit,
+		LeaseTTL:       amp.Time(c.LeaseTTL),
+		LeaseMargin:    amp.Time(c.LeaseMargin),
+		MaxBatch:       c.MaxBatch,
+		Pipeline:       c.Pipeline,
+		Journals:       journals,
+		CompactRecords: c.CompactRecords,
+		CompactBytes:   c.CompactBytes,
 	}
 }

@@ -152,19 +152,31 @@
 // {"op":"put","key":"x","val":1}, {"op":"get","key":"x"} (a
 // linearizable read: the get rides through consensus and is answered at
 // its apply point), {"op":"uid"} (consensus-free unique IDs),
-// {"op":"order"} (the replica's applied sequence). The journal makes a
-// node safe to kill -9: on restart it replays its Paxos acceptor state
-// and decided slots, then catches up on missed decisions via the
-// TO-broadcast anti-entropy fetch. The whole lifecycle is packaged as a
-// self-contained demo —
+// {"op":"order"} (the replica's applied sequence), {"op":"stat"}
+// (applied count plus transport and journal counters). The journal
+// makes a node safe to kill -9: on restart it replays its Paxos
+// acceptor state and decided slots, then catches up on missed decisions
+// via the TO-broadcast anti-entropy fetch. The journal does not grow
+// without bound: once it passes a records or bytes threshold
+// (compact_records / compact_bytes in the config; defaults from
+// internal/rsm, negative disables) the node snapshots its full applied
+// state and truncates the journal to the suffix past the snapshot, via
+// a crash-safe install protocol (write snapshot.tmp, fsync, atomic
+// rename, fresh journal segment, delete old segment) that recovers to
+// the old or the new snapshot — never a hybrid — no matter where a
+// kill -9 lands. Recovery then restores the snapshot and replays only
+// the suffix. The whole lifecycle is packaged as a self-contained demo —
 //
-//	basicsd e2e -nodes 5 -clients 3 -kill 2 -chaos=true
+//	basicsd e2e -nodes 5 -clients 3 -kill 2 -chaos=true -compact=true
 //
 // — which spawns a local 5-node TCP cluster, runs linearizable-KV and
-// unique-ID workloads under link chaos, SIGKILLs a minority
-// mid-campaign, restarts it from the journals, and verifies that the
+// unique-ID workloads under link chaos, forces continuous compaction,
+// SIGKILLs a minority mid-campaign (landing around live snapshot
+// installs), restarts it from the journals, and verifies that the
 // histories linearize (internal/check), the replicas agree on one
-// applied order, and every issued ID is unique. CI runs it on every PR.
+// applied order, every issued ID is unique, and every journal stayed
+// strictly smaller than its lifetime append volume. CI runs it on
+// every PR.
 // The same stack minus the sockets is fuzzed deterministically by the
 // scenario harness's transport model (seeded chaos schedules plus
 // crash/restart faults over Loopback).
@@ -227,10 +239,12 @@
 //	basicsjobd bench -out BENCH_jobq.json
 //
 // The e2e demo SIGKILLs a minority including node 0 — the Ω leader,
-// i.e. the acting scheduler — mid-campaign, restarts it from journals,
-// and verifies no job is lost, every completion happened exactly once,
-// poison jobs sit dead-lettered at their budget, and all replicas
-// agree on every record; CI runs it on every PR. The same scheduler,
+// i.e. the acting scheduler — mid-campaign while forced compaction
+// keeps every journal snapshotting, restarts the victims from
+// snapshot + suffix, and verifies no job is lost, every completion
+// happened exactly once, poison jobs sit dead-lettered at their
+// budget, all replicas agree on every record, and every journal stayed
+// bounded; CI runs it on every PR. The same scheduler,
 // runner, and oracles are fuzzed deterministically by the scenario
 // harness's jobq model. See cmd/basicsjobd's README for the state
 // machine, the policy knobs, and the congestion lesson baked into the

@@ -42,6 +42,7 @@ type Sim struct {
 
 	crashed    []bool
 	halted     []bool
+	epoch      []int // incarnation counter per pid; stale-epoch timers are dropped
 	sendBudget []int // -1 = unlimited; otherwise remaining sends before crash
 	delivered  int
 	sent       int
@@ -93,6 +94,7 @@ func NewSim(procs []Process, opts ...SimOption) *Sim {
 		rng:        newRand(1),
 		crashed:    make([]bool, n),
 		halted:     make([]bool, n),
+		epoch:      make([]int, n),
 		sendBudget: make([]int, n),
 	}
 	for i := range s.sendBudget {
@@ -158,6 +160,7 @@ type event struct {
 	from int
 	msg  Message
 	tid  int
+	ep   int // timer events: incarnation that armed the timer
 	fn   func()
 }
 
@@ -307,6 +310,30 @@ func (s *Sim) Crashed(pid int) bool {
 	return s.crashed[pid]
 }
 
+// Replace boots a NEW process at pid: the old incarnation's state is
+// abandoned (its armed timers are invalidated — they belong to a dead
+// process), pid is un-crashed if it was down, and p.Init runs
+// immediately. This is the simulation analogue of a kill -9 restart
+// from a journal: crash the pid, rebuild a process from the recovered
+// state, then Replace it. Call it inside the event loop (a Schedule
+// closure) or before Run. Messages already in flight to pid are
+// delivered to the new incarnation — the network does not know the
+// process restarted — which is exactly the duplicate/straggler traffic
+// the protocols must dedup anyway.
+func (s *Sim) Replace(pid int, p Process) {
+	validatePID(pid, s.n)
+	s.epoch[pid]++
+	s.procs[pid] = p
+	s.crashed[pid] = false
+	s.halted[pid] = false
+	if s.sendBudget[pid] == 0 {
+		s.sendBudget[pid] = -1
+	}
+	if s.inited {
+		p.Init(s.ctxs[pid])
+	}
+}
+
 // Run processes events until the queue is empty or virtual time would
 // exceed until (0 = run to quiescence). It returns the number of events
 // processed.
@@ -329,7 +356,10 @@ func (s *Sim) Run(until Time) int {
 				s.procs[e.to].OnMessage(s.ctxs[e.to], e.from, e.msg)
 			}
 		case evTimer:
-			if !s.crashed[e.to] && !s.halted[e.to] {
+			// A timer armed by a replaced incarnation must not fire into
+			// its successor: Replace bumps the pid's epoch, and the stale
+			// event is discarded here.
+			if !s.crashed[e.to] && !s.halted[e.to] && e.ep == s.epoch[e.to] {
 				s.procs[e.to].OnTimer(s.ctxs[e.to], e.tid)
 			}
 		case evClosure:
@@ -425,5 +455,6 @@ func (c *simCtx) SetTimer(d Time, id int) {
 	}
 	e := c.sim.newEvent()
 	e.at, e.kind, e.to, e.tid = c.sim.now+d, evTimer, c.id, id
+	e.ep = c.sim.epoch[c.id]
 	c.sim.push(e)
 }

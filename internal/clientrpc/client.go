@@ -111,12 +111,15 @@ func (c *Client) UID(d time.Duration) (string, error) {
 	return resp.ID, nil
 }
 
-func (c *Client) Order(d time.Duration) ([]string, error) {
+// Order returns the node's retained applied sequence plus the absolute
+// apply position of its first element (non-zero after a recovery from
+// a snapshot, which discards the compacted prefix).
+func (c *Client) Order(d time.Duration) ([]string, int, error) {
 	resp, err := c.Call(Request{Op: "order"}, d)
 	if err != nil {
-		return nil, err
+		return nil, 0, err
 	}
-	return resp.Order, nil
+	return resp.Order, resp.OrderBase, nil
 }
 
 func (c *Client) Stat(d time.Duration) (int, error) {
@@ -125,4 +128,10 @@ func (c *Client) Stat(d time.Duration) (int, error) {
 		return 0, err
 	}
 	return resp.Applied, nil
+}
+
+// Stats returns the full stat response, including journal counters when
+// the node runs with a journal.
+func (c *Client) Stats(d time.Duration) (Response, error) {
+	return c.Call(Request{Op: "stat"}, d)
 }

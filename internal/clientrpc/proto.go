@@ -26,13 +26,19 @@ type Request struct {
 
 // Response is the matching reply line.
 type Response struct {
-	OK      bool      `json:"ok"`
-	Val     any       `json:"val,omitempty"`
-	Err     string    `json:"err,omitempty"`
-	Applied int       `json:"applied,omitempty"`
-	Order   []string  `json:"order,omitempty"`
-	ID      string    `json:"id,omitempty"`
-	Net     *NetStats `json:"net,omitempty"`
+	OK      bool     `json:"ok"`
+	Val     any      `json:"val,omitempty"`
+	Err     string   `json:"err,omitempty"`
+	Applied int      `json:"applied,omitempty"`
+	Order   []string `json:"order,omitempty"`
+	// OrderBase is the absolute apply position of Order[0]: a node
+	// restarted from a snapshot only retains the applied suffix past the
+	// snapshot's coverage, so order checks must align sequences at
+	// OrderBase + index, not index.
+	OrderBase int           `json:"order_base,omitempty"`
+	ID        string        `json:"id,omitempty"`
+	Net       *NetStats     `json:"net,omitempty"`
+	Journal   *JournalStats `json:"journal,omitempty"`
 }
 
 // NetStats is the transport-resilience counter snapshot a daemon's
@@ -48,6 +54,25 @@ type NetStats struct {
 	Retries      uint64 `json:"retries"`
 	RetryDropped uint64 `json:"retryDropped"`
 	Shed         uint64 `json:"shed"`
+}
+
+// JournalStats is the journal/compaction counter snapshot a journaled
+// daemon's "stat" op reports (summed across shards where a process
+// hosts several). Records/Bytes cover the active (post-snapshot)
+// segment; LifeRecords/LifeBytes the full history this process has
+// seen, so Records < LifeRecords shows compaction is truncating.
+// Degraded (with WriteErrs) flags journal append failures — a dying
+// disk, visible long before a recovery comes up short.
+type JournalStats struct {
+	Records     int64 `json:"records"`
+	Bytes       int64 `json:"bytes"`
+	LifeRecords int64 `json:"lifeRecords"`
+	LifeBytes   int64 `json:"lifeBytes"`
+	Snapshots   int64 `json:"snapshots"`
+	SnapBytes   int64 `json:"snapBytes,omitempty"`
+	Gen         int   `json:"gen,omitempty"`
+	WriteErrs   int64 `json:"writeErrs,omitempty"`
+	Degraded    bool  `json:"degraded,omitempty"`
 }
 
 // NormalizeVal normalizes decoded JSON values for the state machine:

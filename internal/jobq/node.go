@@ -88,7 +88,7 @@ func New(n int, cfg Config, opts ...rsm.NodeOption) *Node {
 		proposedAt: make(map[string]amp.Time),
 	}
 	jn.rng = newJitterRand(jn.cfg.Retry.Seed)
-	opts = append(opts, rsm.WithApplyHook(jn.onApply))
+	opts = append(opts, rsm.WithApplyHook(jn.onApply), rsm.WithSnapshotter(jn))
 	jn.RSM = rsm.NewNode(n, opts...)
 	return jn
 }

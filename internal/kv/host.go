@@ -42,6 +42,17 @@ type HostConfig struct {
 	MaxBatch, Pipeline int
 	// Timeout bounds one client op's consensus round-trip (default 15s).
 	Timeout time.Duration
+	// Journals[s] is this process's journal path for its replica of
+	// shard s (len == Shards; "" or a nil slice disables persistence
+	// for that shard, losing kill -9 survival). Each journal compacts
+	// automatically behind state snapshots (see CompactRecords).
+	Journals []string
+	// CompactRecords / CompactBytes are the per-shard journal
+	// auto-compaction thresholds (active-segment records / bytes).
+	// 0 = rsm.DefaultCompactRecords / rsm.DefaultCompactBytes;
+	// negative disables that threshold.
+	CompactRecords int64
+	CompactBytes   int64
 }
 
 const (
@@ -82,12 +93,26 @@ func (c HostConfig) withDefaults() (HostConfig, error) {
 	if c.Timeout <= 0 {
 		c.Timeout = 15 * time.Second
 	}
+	if len(c.Journals) != 0 && len(c.Journals) != c.Shards {
+		return c, fmt.Errorf("kv: %d journal paths for %d shards", len(c.Journals), c.Shards)
+	}
+	if c.CompactRecords == 0 {
+		c.CompactRecords = rsm.DefaultCompactRecords
+	} else if c.CompactRecords < 0 {
+		c.CompactRecords = 0
+	}
+	if c.CompactBytes == 0 {
+		c.CompactBytes = rsm.DefaultCompactBytes
+	} else if c.CompactBytes < 0 {
+		c.CompactBytes = 0
+	}
 	return c, nil
 }
 
 type hostShard struct {
-	rep *replica
-	tcp *transport.TCP
+	rep     *replica
+	tcp     *transport.TCP
+	journal *rsm.FileJournal // nil when persistence is disabled
 }
 
 // Host runs this process's replicas; see HostConfig.
@@ -136,6 +161,20 @@ func (h *Host) startShard(s int) (*hostShard, error) {
 	if cfg.LeaseTTL > 0 {
 		nodeOpts = append(nodeOpts, rsm.WithReadLease(cfg.LeaseTTL), rsm.WithLeaseMargin(cfg.LeaseMargin))
 	}
+	var journal *rsm.FileJournal
+	if len(cfg.Journals) > s && cfg.Journals[s] != "" {
+		j, rec, err := rsm.OpenFileJournal(cfg.Journals[s])
+		if err != nil {
+			return nil, err
+		}
+		journal = j
+		nodeOpts = append(nodeOpts,
+			rsm.WithJournal(j),
+			rsm.WithCompaction(cfg.CompactRecords, cfg.CompactBytes))
+		if rec.Snap != nil || rec.NextSeq > 0 || len(rec.Accepts) > 0 || len(rec.Decides) > 0 {
+			nodeOpts = append(nodeOpts, rsm.WithRecovery(rec))
+		}
+	}
 	nd := rsm.NewNode(n, nodeOpts...)
 	nd.Omega.Period = hostHeartbeatPeriod
 
@@ -151,7 +190,7 @@ func (h *Host) startShard(s int) (*hostShard, error) {
 	)
 	res.SetSuspected(rt.Suspected)
 	rt.Start()
-	return &hostShard{rep: newReplica(nd, rt), tcp: tcp}, nil
+	return &hostShard{rep: newReplica(nd, rt), tcp: tcp, journal: journal}, nil
 }
 
 // Close stops every shard runtime and transport.
@@ -159,6 +198,9 @@ func (h *Host) Close() {
 	for _, hs := range h.shards {
 		hs.rep.rt.Stop()
 		hs.tcp.Close()
+		if hs.journal != nil {
+			hs.journal.Close()
+		}
 	}
 }
 
@@ -184,14 +226,38 @@ func (h *Host) Handle(req clientrpc.Request) clientrpc.Response {
 		return clientrpc.Response{OK: true, Val: out}
 	case "stat":
 		total := 0
+		var js *clientrpc.JournalStats
 		for _, hs := range h.shards {
 			rep := hs.rep
 			rep.rt.Do(func(amp.Context) { total += rep.node.Len() })
+			if hs.journal != nil {
+				if js == nil {
+					js = &clientrpc.JournalStats{}
+				}
+				addJournalStats(js, hs.journal.Stats())
+			}
 		}
-		return clientrpc.Response{OK: true, Applied: total}
+		return clientrpc.Response{OK: true, Applied: total, Journal: js}
 	default:
 		return clientrpc.Response{Err: fmt.Sprintf("unknown op %q", req.Op)}
 	}
 }
 
 func (h *Host) shardFor(key string) *hostShard { return h.shards[h.rmap.Shard(key)] }
+
+// addJournalStats folds one shard's journal counters into the summed
+// client-facing snapshot. Gen reports the maximum across shards (the
+// sum would be meaningless); Degraded is sticky if ANY shard is.
+func addJournalStats(dst *clientrpc.JournalStats, s rsm.JournalStats) {
+	dst.Records += s.Records
+	dst.Bytes += s.Bytes
+	dst.LifeRecords += s.LifeRecords
+	dst.LifeBytes += s.LifeBytes
+	dst.Snapshots += s.Snapshots
+	dst.SnapBytes += s.SnapBytes
+	if s.Gen > dst.Gen {
+		dst.Gen = s.Gen
+	}
+	dst.WriteErrs += s.WriteErrs
+	dst.Degraded = dst.Degraded || s.Degraded
+}

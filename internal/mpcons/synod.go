@@ -110,6 +110,13 @@ func NewSynod(input any, omega *fd.Detector, onDecide DecideFn) *Synod {
 // Decided reports the decision state.
 func (s *Synod) Decided() (any, bool) { return s.decidedVal, s.decided }
 
+// AcceptorState returns the current acceptor triple (the state
+// RestoreAcceptor reinstates). Snapshot capture reads it for every
+// still-live instance so a truncated journal loses no promises.
+func (s *Synod) AcceptorState() (promised, acceptedBal int, acceptedVal any) {
+	return s.promised, s.acceptedBal, s.acceptedVal
+}
+
 // RestoreAcceptor reinstates journaled acceptor state after a restart.
 // Must be called before the runtime starts delivering messages.
 func (s *Synod) RestoreAcceptor(promised, acceptedBal int, acceptedVal any) {

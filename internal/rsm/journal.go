@@ -8,7 +8,10 @@ import (
 	"io"
 	"log"
 	"os"
+	"path/filepath"
 	"sort"
+	"strconv"
+	"strings"
 	"sync"
 
 	"distbasics/internal/fd"
@@ -30,6 +33,10 @@ import (
 //     replica's applied sequence consistent with its own history.
 //   - The next TO-broadcast sequence number. Reusing a (sender, seq)
 //     MsgID after restart would collide with a pre-crash command.
+//
+// Journals are bounded by snapshot compaction (see snapshot.go): a
+// Compactor journal truncates its history behind an installed Snapshot,
+// and recovery seeds from the snapshot plus the suffix segment.
 
 // Acceptor is the journaled Paxos acceptor triple for one slot.
 type Acceptor struct {
@@ -50,11 +57,14 @@ type Journal interface {
 	SaveDecide(slot int, b []Entry)
 }
 
-// Recovery is the replayable snapshot a Journal reconstructs.
+// Recovery is the replayable state a Journal reconstructs: an optional
+// snapshot (the compacted prefix) plus the record suffix written after
+// it. With Snap == nil the records are the full history.
 type Recovery struct {
 	NextSeq int
 	Accepts map[int]Acceptor
 	Decides map[int][]Entry
+	Snap    *Snapshot
 }
 
 // slots returns the decided slot numbers in order.
@@ -68,10 +78,23 @@ func (rec *Recovery) slots() []int {
 }
 
 // MemJournal is an in-memory Journal for deterministic in-harness
-// restarts (the scenario models) and tests.
+// restarts (the scenario models) and tests. It implements Compactor
+// with the same install-protocol states as FileJournal — including the
+// SIGKILL-between-steps intermediate states via SetInstallCrash — so
+// model restarts exercise the identical snapshot-plus-suffix recovery
+// code path, not a map-replay shortcut. Snapshots round-trip through
+// the real gob encoding.
 type MemJournal struct {
-	mu  sync.Mutex
-	rec Recovery
+	mu        sync.Mutex
+	rec       Recovery
+	records   int64
+	lifeRecs  int64
+	gen       int
+	snapBytes []byte // the "renamed" snapshot (valid at recovery)
+	snapGen   int
+	tmpBytes  []byte // the "snapshot.tmp" (ignored at recovery)
+	snapshots int64
+	crash     SnapStep
 }
 
 // NewMemJournal returns an empty in-memory journal.
@@ -84,6 +107,8 @@ func (m *MemJournal) SaveSeq(next int) {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	m.rec.NextSeq = next
+	m.records++
+	m.lifeRecs++
 }
 
 // SaveAccept implements Journal.
@@ -91,6 +116,8 @@ func (m *MemJournal) SaveAccept(slot int, a Acceptor) {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	m.rec.Accepts[slot] = a
+	m.records++
+	m.lifeRecs++
 }
 
 // SaveDecide implements Journal.
@@ -98,16 +125,93 @@ func (m *MemJournal) SaveDecide(slot int, b []Entry) {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	m.rec.Decides[slot] = append([]Entry(nil), b...)
+	m.records++
+	m.lifeRecs++
 }
 
-// Recovery returns a deep-enough snapshot to seed a restarted node.
+// Install implements Compactor: the in-memory analogue of the file
+// install protocol. The record log is the "segment": a completed
+// install truncates it behind the encoded snapshot; a crash step leaves
+// the corresponding intermediate state (tmp written; renamed with the
+// old segment still attached; fresh segment with the old not yet
+// dropped) for Recovery to resolve exactly as OpenFileJournal would.
+func (m *MemJournal) Install(snap *Snapshot) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	snap.Gen = m.gen + 1
+	buf, err := encodeSnapshot(snap)
+	if err != nil {
+		return err
+	}
+	m.tmpBytes = buf
+	if m.crash == SnapStepTmp {
+		return ErrInstallInterrupted
+	}
+	m.snapBytes, m.snapGen, m.tmpBytes = buf, snap.Gen, nil
+	if m.crash == SnapStepRename {
+		return ErrInstallInterrupted
+	}
+	// Fresh segment: the old record log is superseded by the snapshot.
+	m.gen = snap.Gen
+	m.rec = Recovery{Accepts: map[int]Acceptor{}, Decides: map[int][]Entry{}}
+	m.records = 0
+	m.snapshots++
+	if m.crash == SnapStepFresh {
+		return ErrInstallInterrupted // old-segment delete is a no-op in memory
+	}
+	return nil
+}
+
+// SetInstallCrash arms a simulated SIGKILL at the given install step
+// (SnapStepNone disarms). After an ErrInstallInterrupted the journal
+// must be treated as a crashed process's: stop appending and rebuild
+// the node from Recovery.
+func (m *MemJournal) SetInstallCrash(s SnapStep) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.crash = s
+}
+
+// Stats implements Compactor. Byte counters are zero: MemJournal does
+// not model record framing, only record counts.
+func (m *MemJournal) Stats() JournalStats {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return JournalStats{
+		Records:     m.records,
+		LifeRecords: m.lifeRecs,
+		Gen:         m.gen,
+		Snapshots:   m.snapshots,
+	}
+}
+
+// Recovery returns a deep-enough snapshot to seed a restarted node,
+// resolving any interrupted install the way OpenFileJournal does: a
+// valid "renamed" snapshot wins, and the record log counts as its
+// suffix only if it belongs to the snapshot's generation (a log from
+// the pre-install generation is superseded — its contents are covered
+// by the snapshot).
 func (m *MemJournal) Recovery() *Recovery {
 	m.mu.Lock()
 	defer m.mu.Unlock()
+	var snap *Snapshot
+	if m.snapBytes != nil {
+		snap, _ = decodeSnapshot(m.snapBytes)
+	}
+	if snap != nil && m.snapGen != m.gen {
+		// Crashed between rename and fresh segment: the snapshot is
+		// durable and the stale segment is discarded.
+		return &Recovery{
+			Accepts: map[int]Acceptor{},
+			Decides: map[int][]Entry{},
+			Snap:    snap,
+		}
+	}
 	rec := &Recovery{
 		NextSeq: m.rec.NextSeq,
 		Accepts: make(map[int]Acceptor, len(m.rec.Accepts)),
 		Decides: make(map[int][]Entry, len(m.rec.Decides)),
+		Snap:    snap,
 	}
 	for s, a := range m.rec.Accepts {
 		rec.Accepts[s] = a
@@ -127,45 +231,159 @@ type journalRec struct {
 	Batch []Entry
 }
 
-// FileJournal is an append-only Journal backed by one file. Each
-// record is a length-prefixed, self-contained gob stream ([u32 BE
-// len][gob bytes]) — independently decodable, so a reopened journal
-// can append without colliding with the previous writer's gob type
-// state, and a SIGKILL loses at most the record being written;
-// OpenFileJournal tolerates that truncated tail by dropping everything
-// from the first short or undecodable record on. It deliberately does
-// not fsync: kill -9 leaves OS-buffered writes intact, and the e2e
-// harness only needs process-crash (not power-loss) durability.
+// FileJournal is a Compactor journal backed by one active segment file
+// plus an optional snapshot file. Each record is a length-prefixed,
+// self-contained gob stream ([u32 BE len][gob bytes]) — independently
+// decodable, so a reopened journal can append without colliding with
+// the previous writer's gob type state, and a SIGKILL loses at most the
+// record being written; OpenFileJournal tolerates that truncated tail
+// by dropping everything from the first short or undecodable record on.
+// It deliberately does not fsync appends: kill -9 leaves OS-buffered
+// writes intact, and the e2e harness only needs process-crash (not
+// power-loss) durability. Snapshot installs DO fsync — the rename is
+// the commit point and must not reorder past the data it covers.
+//
+// On-disk layout for a journal at path P:
+//
+//	P            segment, generation 0
+//	P.seg<g>     segment, generation g >= 1
+//	P.snap       installed snapshot (names the generation it precedes)
+//	P.snap.tmp   in-progress install; ignored and deleted at open
 type FileJournal struct {
-	mu      sync.Mutex
-	f       *os.File
-	path    string
-	records int64 // valid records replayed at open + appended since
-	size    int64 // bytes of valid records (prefix included)
-	warned  bool  // growth warning fired (once per open)
+	mu        sync.Mutex
+	f         *os.File
+	path      string
+	gen       int
+	records   int64 // valid records in the active segment
+	size      int64 // bytes of valid records (prefix included)
+	lifeRecs  int64 // records replayed at open + appended since, across installs
+	lifeBytes int64
+	snapshots int64 // installs completed by this instance
+	snapBytes int64 // size of the last installed snapshot file
+	writeErrs int64 // failed appends (see Degraded)
+	warned    bool  // growth warning fired (once per segment)
+	errLogged bool  // append-failure warning fired (once per open)
+	crash     SnapStep
 }
 
 // FileJournalWarnRecords is the record count past which a FileJournal
-// logs a one-time growth warning. The journal is append-only with no
-// compaction (every acceptor update and decided slot is a new record,
-// so a long-lived replica's journal grows without bound and recovery
-// replay time grows with it); the warning makes that visible in
-// production logs long before recovery becomes the outage. Snapshot
-// compaction is tracked as future work in ROADMAP.md. A var, not a
-// const, so tests can exercise the warning without writing 2^17
-// records.
+// logs a one-time growth warning for its active segment. With snapshot
+// compaction enabled (rsm.WithCompaction) the segment is truncated
+// long before this; the warning now marks a journal whose compaction is
+// disabled or misconfigured. A var, not a const, so tests can exercise
+// the warning without writing 2^17 records.
 var FileJournalWarnRecords int64 = 1 << 17
 
+// segPath returns the segment file for generation g of the journal at
+// path (generation 0 is path itself, for compatibility with journals
+// written before compaction existed).
+func segPath(path string, g int) string {
+	if g == 0 {
+		return path
+	}
+	return path + ".seg" + strconv.Itoa(g)
+}
+
+// segGens lists the generations of all existing segment files for
+// path, sorted ascending.
+func segGens(path string) []int {
+	var gens []int
+	if _, err := os.Stat(path); err == nil {
+		gens = append(gens, 0)
+	}
+	matches, _ := filepath.Glob(path + ".seg*")
+	for _, m := range matches {
+		g, err := strconv.Atoi(strings.TrimPrefix(m, path+".seg"))
+		if err == nil && g > 0 {
+			gens = append(gens, g)
+		}
+	}
+	sort.Ints(gens)
+	return gens
+}
+
 // OpenFileJournal opens (creating if needed) the journal at path,
-// replays its records into a Recovery, and returns the journal
-// positioned for appending.
+// resolves any interrupted snapshot install, replays the snapshot and
+// its suffix segment into a Recovery, and returns the journal
+// positioned for appending. A SIGKILL at any point of a prior install
+// recovers to either the pre-install or the post-install state:
+//
+//   - a leftover P.snap.tmp (whole or torn) is deleted unread;
+//   - a valid P.snap selects its generation's segment as the suffix
+//     (created empty if the crash preceded it) and every other segment
+//     is deleted — their contents predate the snapshot;
+//   - a torn or corrupt P.snap is deleted and all surviving segments
+//     replay in generation order (the pre-install state).
 func OpenFileJournal(path string) (*FileJournal, *Recovery, error) {
 	RegisterWire(gob.Register) // journal payloads ride through `any` fields
+	_ = os.Remove(path + ".snap.tmp")
+
+	var snap *Snapshot
+	if data, err := os.ReadFile(path + ".snap"); err == nil {
+		var ok bool
+		if snap, ok = decodeSnapshot(data); !ok {
+			// Corrupt beyond the install protocol's reach (the rename is
+			// atomic): fall back to the surviving segments.
+			_ = os.Remove(path + ".snap")
+			snap = nil
+		}
+	}
+
+	rec := &Recovery{Accepts: map[int]Acceptor{}, Decides: map[int][]Entry{}, Snap: snap}
+	j := &FileJournal{path: path}
+	gens := segGens(path)
+
+	if snap != nil {
+		j.gen = snap.Gen
+		for _, g := range gens {
+			if g != snap.Gen {
+				_ = os.Remove(segPath(path, g))
+			}
+		}
+		f, records, valid, err := openSegment(segPath(path, snap.Gen), rec, true)
+		if err != nil {
+			return nil, nil, err
+		}
+		j.f, j.records, j.size = f, records, valid
+		j.lifeRecs, j.lifeBytes = records, valid
+		j.maybeWarn()
+		return j, rec, nil
+	}
+
+	// No (valid) snapshot: replay every surviving segment oldest first;
+	// the newest stays active for appends.
+	if len(gens) == 0 {
+		gens = []int{0}
+	}
+	for _, g := range gens[:len(gens)-1] {
+		_, records, valid, err := openSegment(segPath(path, g), rec, false)
+		if err != nil {
+			return nil, nil, err
+		}
+		j.lifeRecs += records
+		j.lifeBytes += valid
+	}
+	active := gens[len(gens)-1]
+	f, records, valid, err := openSegment(segPath(path, active), rec, true)
+	if err != nil {
+		return nil, nil, err
+	}
+	j.gen = active
+	j.f, j.records, j.size = f, records, valid
+	j.lifeRecs += records
+	j.lifeBytes += valid
+	j.maybeWarn()
+	return j, rec, nil
+}
+
+// openSegment opens one segment file and replays its records into rec.
+// With active set, the torn/corrupt tail is truncated and the file is
+// positioned for appending; otherwise it is closed after replay.
+func openSegment(path string, rec *Recovery, active bool) (*os.File, int64, int64, error) {
 	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
 	if err != nil {
-		return nil, nil, fmt.Errorf("rsm: open journal %s: %w", path, err)
+		return nil, 0, 0, fmt.Errorf("rsm: open journal %s: %w", path, err)
 	}
-	rec := &Recovery{Accepts: map[int]Acceptor{}, Decides: map[int][]Entry{}}
 	valid := int64(0)
 	records := int64(0)
 	var hdr [4]byte
@@ -196,18 +414,20 @@ func OpenFileJournal(path string) (*FileJournal, *Recovery, error) {
 			rec.Decides[r.Slot] = r.Batch
 		}
 	}
+	if !active {
+		f.Close()
+		return nil, records, valid, nil
+	}
 	// Drop any torn/corrupt tail so appends start at a record boundary.
 	if err := f.Truncate(valid); err != nil {
 		f.Close()
-		return nil, nil, fmt.Errorf("rsm: truncate journal %s: %w", path, err)
+		return nil, 0, 0, fmt.Errorf("rsm: truncate journal %s: %w", path, err)
 	}
 	if _, err := f.Seek(valid, io.SeekStart); err != nil {
 		f.Close()
-		return nil, nil, fmt.Errorf("rsm: seek journal %s: %w", path, err)
+		return nil, 0, 0, fmt.Errorf("rsm: seek journal %s: %w", path, err)
 	}
-	j := &FileJournal{f: f, path: path, records: records, size: valid}
-	j.maybeWarn()
-	return j, rec, nil
+	return f, records, valid, nil
 }
 
 // journalMaxRec bounds one record (sanity check against corrupt length
@@ -218,6 +438,9 @@ func (j *FileJournal) append(r journalRec) {
 	var body bytes.Buffer
 	body.Write([]byte{0, 0, 0, 0}) // length placeholder
 	if err := gob.NewEncoder(&body).Encode(&r); err != nil {
+		j.mu.Lock()
+		j.noteWriteErr(err)
+		j.mu.Unlock()
 		return
 	}
 	buf := body.Bytes()
@@ -225,13 +448,34 @@ func (j *FileJournal) append(r journalRec) {
 	j.mu.Lock()
 	defer j.mu.Unlock()
 	// A write error (disk full, closed file) cannot be surfaced through
-	// the Journal interface mid-protocol; the replica keeps running on its
-	// in-memory state and the loss shows up, at worst, as a failed
-	// recovery later.
-	_, _ = j.f.Write(buf)
+	// the Journal interface mid-protocol; the replica keeps running on
+	// its in-memory state, but the failure is counted, logged once, and
+	// visible as Degraded through Stats()/stat — a dying disk must show
+	// up in operator telemetry long before recovery fails.
+	if n, err := j.f.Write(buf); err != nil || n != len(buf) {
+		// Best effort: restore the record boundary so a torn write in
+		// the middle does not also corrupt the valid prefix at replay.
+		_ = j.f.Truncate(j.size)
+		_, _ = j.f.Seek(j.size, io.SeekStart)
+		j.noteWriteErr(err)
+		return
+	}
 	j.records++
 	j.size += int64(len(buf))
+	j.lifeRecs++
+	j.lifeBytes += int64(len(buf))
 	j.maybeWarn()
+}
+
+// noteWriteErr counts a failed append and logs the first one. Callers
+// hold j.mu.
+func (j *FileJournal) noteWriteErr(err error) {
+	j.writeErrs++
+	if !j.errLogged {
+		j.errLogged = true
+		log.Printf("rsm: journal %s append failed (%v); journal is degraded — %d records written so far survive, later recovery may be incomplete",
+			j.path, err, j.records)
+	}
 }
 
 // maybeWarn logs the one-time growth warning. Callers hold j.mu (or,
@@ -241,25 +485,134 @@ func (j *FileJournal) maybeWarn() {
 		return
 	}
 	j.warned = true
-	log.Printf("rsm: journal %s has %d records (%d bytes) and no compaction; recovery replay cost grows unboundedly (see ROADMAP: journal snapshot compaction)",
+	log.Printf("rsm: journal %s segment has %d records (%d bytes) and no compaction has truncated it; enable rsm.WithCompaction or recovery replay cost grows unboundedly",
 		j.path, j.records, j.size)
 }
 
-// Records returns the number of valid journal records: those replayed
-// at open plus those appended since. Operational visibility for the
-// unbounded-growth limitation — see FileJournalWarnRecords.
+// Install implements Compactor: the crash-safe snapshot truncation
+// protocol (write tmp → fsync → atomic rename → fsync dir → fresh
+// segment → delete old segment). It must be called with no concurrent
+// appends in flight for the snapshot's coverage to hold — rsm runs it
+// synchronously inside the event loop. On ErrInstallInterrupted (a
+// test-armed crash step, see SetInstallCrash) the journal must be
+// treated as a crashed process's and reopened.
+func (j *FileJournal) Install(snap *Snapshot) error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	snap.Gen = j.gen + 1
+	buf, err := encodeSnapshot(snap)
+	if err != nil {
+		return err
+	}
+	tmp := j.path + ".snap.tmp"
+	tf, err := os.OpenFile(tmp, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		return fmt.Errorf("rsm: snapshot tmp %s: %w", tmp, err)
+	}
+	if _, err := tf.Write(buf); err != nil {
+		tf.Close()
+		return fmt.Errorf("rsm: write snapshot tmp %s: %w", tmp, err)
+	}
+	if err := tf.Sync(); err != nil {
+		tf.Close()
+		return fmt.Errorf("rsm: sync snapshot tmp %s: %w", tmp, err)
+	}
+	if err := tf.Close(); err != nil {
+		return fmt.Errorf("rsm: close snapshot tmp %s: %w", tmp, err)
+	}
+	if j.crash == SnapStepTmp {
+		return ErrInstallInterrupted
+	}
+	if err := os.Rename(tmp, j.path+".snap"); err != nil {
+		return fmt.Errorf("rsm: install snapshot %s: %w", j.path, err)
+	}
+	syncDir(filepath.Dir(j.path))
+	if j.crash == SnapStepRename {
+		return ErrInstallInterrupted
+	}
+	fresh, err := os.OpenFile(segPath(j.path, snap.Gen), os.O_RDWR|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		return fmt.Errorf("rsm: fresh journal segment: %w", err)
+	}
+	old, oldGen := j.f, j.gen
+	j.f, j.gen = fresh, snap.Gen
+	j.records, j.size = 0, 0
+	j.snapshots++
+	j.snapBytes = int64(len(buf))
+	j.warned = false
+	old.Close()
+	if j.crash == SnapStepFresh {
+		return ErrInstallInterrupted
+	}
+	_ = os.Remove(segPath(j.path, oldGen))
+	return nil
+}
+
+// SetInstallCrash arms a simulated SIGKILL at the given install step
+// (SnapStepNone disarms): Install performs its effects up to and
+// including that step and returns ErrInstallInterrupted. Tests and
+// scenario models use it to prove recovery from every intermediate
+// install state.
+func (j *FileJournal) SetInstallCrash(s SnapStep) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	j.crash = s
+}
+
+// syncDir fsyncs a directory so a rename within it is durable before
+// the install proceeds. Best effort: some filesystems reject directory
+// syncs, and the e2e durability target is process crash, not power
+// loss.
+func syncDir(dir string) {
+	d, err := os.Open(dir)
+	if err != nil {
+		return
+	}
+	_ = d.Sync()
+	d.Close()
+}
+
+// Stats implements Compactor.
+func (j *FileJournal) Stats() JournalStats {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return JournalStats{
+		Records:     j.records,
+		Bytes:       j.size,
+		LifeRecords: j.lifeRecs,
+		LifeBytes:   j.lifeBytes,
+		Gen:         j.gen,
+		Snapshots:   j.snapshots,
+		SnapBytes:   j.snapBytes,
+		WriteErrs:   j.writeErrs,
+		Degraded:    j.writeErrs > 0,
+	}
+}
+
+// Records returns the number of valid records in the active segment:
+// those replayed at open plus those appended since. See Stats for the
+// lifetime counters and the degraded flag.
 func (j *FileJournal) Records() int64 {
 	j.mu.Lock()
 	defer j.mu.Unlock()
 	return j.records
 }
 
-// Size returns the journal's valid byte size (torn tails at open are
-// excluded; appends are counted as written).
+// Size returns the active segment's valid byte size (torn tails at
+// open are excluded; appends are counted as written).
 func (j *FileJournal) Size() int64 {
 	j.mu.Lock()
 	defer j.mu.Unlock()
 	return j.size
+}
+
+// Degraded reports whether any append has failed since open: the
+// journal is still appending past the failure, but a recovery from it
+// may be missing records. Operators should treat it as a dying disk.
+func (j *FileJournal) Degraded() bool {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.writeErrs > 0
 }
 
 // SaveSeq implements Journal.

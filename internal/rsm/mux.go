@@ -99,6 +99,31 @@ func (mx *synodMux) restoreAcceptor(slot int, a Acceptor) {
 	mx.restoreAcc[slot] = a
 }
 
+// acceptorSnapshot collects the acceptor triples snapshot capture must
+// preserve: every staged-but-unmaterialized restore and every live
+// instance with non-pristine acceptor state, for slots at or above
+// floor (the delivery frontier — triples below it are already
+// forgotten by gc, with muxLearn answering stragglers).
+func (mx *synodMux) acceptorSnapshot(floor int) map[int]Acceptor {
+	out := make(map[int]Acceptor)
+	for s, a := range mx.restoreAcc {
+		if s >= floor {
+			out[s] = a
+		}
+	}
+	for s, syn := range mx.insts {
+		if s < floor {
+			continue
+		}
+		p, ab, av := syn.AcceptorState()
+		if p == 0 && ab == 0 && av == nil {
+			continue // pristine: nothing promised or accepted yet
+		}
+		out[s] = Acceptor{Promised: p, AcceptedBal: ab, AcceptedVal: av}
+	}
+	return out
+}
+
 // Init implements amp.Component. Runs after the TO component's Init
 // (stack order), so recovery replay has already advanced the frontiers.
 func (mx *synodMux) Init(ctx amp.Context) {

@@ -16,6 +16,8 @@
 package rsm
 
 import (
+	"errors"
+	"log"
 	"sort"
 
 	"distbasics/internal/amp"
@@ -69,6 +71,11 @@ type TOBroadcast struct {
 	recovered     bool                    // restarted from a journal: fetch on Init
 	fetchPending  bool                    // keep re-fetching until any answer arrives
 	persistDecide func(slot int, b batch) // journal hook, may be nil
+
+	// afterDecide runs after every slot decision (and on the sync
+	// timer): the auto-compaction threshold check, set by NewNode once
+	// recovery replay has finished so replay itself never compacts.
+	afterDecide func()
 }
 
 // Anti-entropy messages: a replica that is (or may be) behind asks the
@@ -279,6 +286,9 @@ func (tb *TOBroadcast) OnTimer(ctx amp.Context, id int) {
 	if gap || tb.fetchPending {
 		ctx.Broadcast(tbFetch{From: tb.nextDeliver})
 	}
+	if tb.afterDecide != nil {
+		tb.afterDecide() // catch acceptor-churn growth between decisions
+	}
 	ctx.SetTimer(tbSyncPeriod, tbSyncTimer)
 }
 
@@ -404,6 +414,9 @@ func (tb *TOBroadcast) onSlotDecide(s int, v any, at amp.Time) {
 		tb.nextDeliver++
 	}
 	tb.compact()
+	if tb.afterDecide != nil {
+		tb.afterDecide()
+	}
 }
 
 // compact drops decided batches more than retain slots behind the
@@ -438,9 +451,17 @@ type Node struct {
 	state   map[string]any
 	applied []Entry
 	noLog   bool
-	seen    map[rbcast.MsgID]bool // idempotency: dedup by (proposer, seq)
-	seenLow []int                 // per-sender watermark over seen
+	hooks   []func(e Entry, at amp.Time) // construction-time observers; see WithApplyHook
+	seen    map[rbcast.MsgID]bool        // idempotency: dedup by (proposer, seq)
+	seenLow []int                        // per-sender watermark over seen
 	applies int
+
+	snapshotter  Snapshotter
+	compactor    Compactor
+	compactRecs  int64
+	compactBytes int64
+	compactions  int
+	compactWarn  bool
 }
 
 // Command is a state-machine command.
@@ -461,16 +482,19 @@ const (
 type NodeOption func(*nodeConfig)
 
 type nodeConfig struct {
-	journal     Journal
-	recovery    *Recovery
-	pipeline    int
-	retain      int
-	maxBatch    int
-	retryPeriod amp.Time
-	leaseTTL    amp.Time
-	leaseMargin amp.Time
-	noLog       bool
-	onApply     func(e Entry, at amp.Time)
+	journal      Journal
+	recovery     *Recovery
+	pipeline     int
+	retain       int
+	maxBatch     int
+	retryPeriod  amp.Time
+	leaseTTL     amp.Time
+	leaseMargin  amp.Time
+	noLog        bool
+	hooks        []func(e Entry, at amp.Time)
+	snapshotter  Snapshotter
+	compactRecs  int64
+	compactBytes int64
 }
 
 // WithJournal attaches a persistence journal: acceptor-state changes,
@@ -551,16 +575,41 @@ func WithoutAppliedLog() NodeOption {
 	return func(c *nodeConfig) { c.noLog = true }
 }
 
-// WithApplyHook sets the OnApply observer at construction time, BEFORE
-// any WithRecovery replay runs. Applications that maintain their own
-// state machine over the entry stream (internal/jobq) need this: their
-// state is rebuilt by replaying the journal's decided slots, and an
-// OnApply assigned only after NewNode returns would miss that replay
-// entirely, leaving a recovered replica with consensus state but an
-// empty application state. Completion waiters keyed by MsgID are still
-// safe — a recovering process has no waiters registered yet.
+// WithApplyHook registers an apply observer at construction time,
+// BEFORE any WithRecovery replay runs. Applications that maintain
+// their own state machine over the entry stream (internal/jobq) need
+// this: their state is rebuilt by replaying the journal's decided
+// slots, and an OnApply assigned only after NewNode returns would miss
+// that replay entirely, leaving a recovered replica with consensus
+// state but an empty application state. Completion waiters keyed by
+// MsgID are still safe — a recovering process has no waiters
+// registered yet. Hooks compose: each call appends another observer,
+// run in registration order before the public OnApply field, so a test
+// harness can watch the replay of a node whose application (jobq) also
+// installs its own hook.
 func WithApplyHook(fn func(e Entry, at amp.Time)) NodeOption {
-	return func(c *nodeConfig) { c.onApply = fn }
+	return func(c *nodeConfig) { c.hooks = append(c.hooks, fn) }
+}
+
+// WithSnapshotter attaches an application state-machine snapshotter:
+// its encoded state rides every journal snapshot and is restored —
+// before the journal-suffix replay re-applies newer entries on top —
+// when the replica recovers from a compacted journal. Applications
+// that install a WithApplyHook to rebuild state from replay
+// (internal/jobq) must also set this if their journal compacts, or a
+// recovered replica would replay only the suffix into empty state.
+func WithSnapshotter(s Snapshotter) NodeOption {
+	return func(c *nodeConfig) { c.snapshotter = s }
+}
+
+// WithCompaction enables automatic journal compaction when the
+// journal's active segment reaches records records or bytes bytes
+// (either 0 disables that threshold; both 0 disables auto-compaction).
+// Requires a Compactor journal (FileJournal, MemJournal); on each
+// trigger the replica captures a snapshot inside the event loop and
+// the journal installs it crash-safely, truncating its history.
+func WithCompaction(records, bytes int64) NodeOption {
+	return func(c *nodeConfig) { c.compactRecs, c.compactBytes = records, bytes }
 }
 
 // NewNode wires a replica: an Ω detector, a TO-broadcast coordinator,
@@ -585,7 +634,7 @@ func NewNode(n int, opts ...NodeOption) *Node {
 		seen:    make(map[rbcast.MsgID]bool),
 		seenLow: make([]int, n),
 		noLog:   cfg.noLog,
-		OnApply: cfg.onApply,
+		hooks:   cfg.hooks,
 	}
 	det := fd.NewDetector(n)
 	det.LeaseTTL = cfg.leaseTTL
@@ -599,13 +648,27 @@ func NewNode(n int, opts ...NodeOption) *Node {
 	}
 	mux := newSynodMux(tb, det, cfg.journal, cfg.pipeline, cfg.retryPeriod)
 	tb.onNewWork = mux.ensureWindow
+	node.TO = tb
+	node.Omega = det
+	node.mux = mux
+	node.snapshotter = cfg.snapshotter
+	if cfg.journal != nil {
+		if c, ok := cfg.journal.(Compactor); ok {
+			node.compactor = c
+			node.compactRecs = cfg.compactRecs
+			node.compactBytes = cfg.compactBytes
+		}
+	}
 	if rec := cfg.recovery; rec != nil {
 		tb.recovered = true
+		if rec.Snap != nil {
+			node.restoreSnapshot(rec.Snap)
+		}
 		if rec.NextSeq > tb.nextSeq {
 			tb.nextSeq = rec.NextSeq
 		}
 		for s, a := range rec.Accepts {
-			if s >= 0 {
+			if s >= tb.compactFloor {
 				mux.restoreAcceptor(s, a)
 			}
 		}
@@ -616,11 +679,150 @@ func NewNode(n int, opts ...NodeOption) *Node {
 			tb.onSlotDecide(s, batch(rec.Decides[s]), 0)
 		}
 	}
+	if node.compactor != nil && (node.compactRecs > 0 || node.compactBytes > 0) {
+		// Installed after replay: recovery itself never re-compacts.
+		tb.afterDecide = node.maybeCompact
+	}
 	node.Stack = amp.NewStack(det, tb, mux)
-	node.TO = tb
-	node.Omega = det
-	node.mux = mux
 	return node
+}
+
+// restoreSnapshot seeds the replica from a compacted journal's
+// snapshot, before the suffix replay layers newer records on top: the
+// applied state (built-in KV map plus the Snapshotter payload), the
+// delivery/dedup watermarks, and the consensus frontier. Slots below
+// Frontier are treated exactly as delivered-and-forgotten slots are on
+// a live replica (compactFloor covers them); the snapshot's
+// decided-but-undelivered batches are then re-fed through the normal
+// decide path, so deliveries resume in order.
+func (nd *Node) restoreSnapshot(snap *Snapshot) {
+	tb := nd.TO
+	tb.nextSeq = snap.NextSeq
+	tb.nextDecide = snap.Frontier
+	tb.nextDeliver = snap.Frontier
+	tb.compactFloor = snap.Frontier
+	if snap.Frontier-1 > tb.maxSeen {
+		tb.maxSeen = snap.Frontier - 1
+	}
+	copy(tb.dlvLow, snap.DlvLow)
+	for _, id := range snap.Delivered {
+		tb.delivered[id] = true
+	}
+	copy(nd.seenLow, snap.SeenLow)
+	for _, id := range snap.Seen {
+		nd.seen[id] = true
+	}
+	nd.applies = snap.Applies
+	for k, v := range snap.State {
+		nd.state[k] = v
+	}
+	if nd.snapshotter != nil && snap.App != nil {
+		if err := nd.snapshotter.RestoreState(snap.App); err != nil {
+			// The CRC already vouched for the bytes; a decode failure
+			// here is a version-skew bug, not corruption. The replica
+			// continues with consensus state intact but application
+			// state rebuilt only from the suffix.
+			log.Printf("rsm: snapshot application-state restore failed: %v", err)
+		}
+	}
+	for s, a := range snap.Accepts {
+		if s >= snap.Frontier {
+			nd.mux.restoreAcceptor(s, a)
+		}
+	}
+	slots := make([]int, 0, len(snap.Decides))
+	for s := range snap.Decides {
+		slots = append(slots, s)
+	}
+	sort.Ints(slots)
+	for _, s := range slots {
+		tb.onSlotDecide(s, batch(snap.Decides[s]), 0)
+	}
+}
+
+// captureSnapshot freezes the replica's recoverable state. Must run
+// inside the event loop (or with the runtime stopped): the snapshot
+// must cover every journaled record, so no append may interleave.
+func (nd *Node) captureSnapshot() (*Snapshot, error) {
+	tb := nd.TO
+	snap := &Snapshot{
+		Frontier: tb.nextDeliver,
+		NextSeq:  tb.nextSeq,
+		Applies:  nd.applies,
+		DlvLow:   append([]int(nil), tb.dlvLow...),
+		SeenLow:  append([]int(nil), nd.seenLow...),
+		State:    make(map[string]any, len(nd.state)),
+		Accepts:  nd.mux.acceptorSnapshot(tb.nextDeliver),
+		Decides:  make(map[int][]Entry),
+	}
+	for id := range tb.delivered {
+		snap.Delivered = append(snap.Delivered, id)
+	}
+	for id := range nd.seen {
+		snap.Seen = append(snap.Seen, id)
+	}
+	for k, v := range nd.state {
+		snap.State[k] = v
+	}
+	for s, b := range tb.decided {
+		if s >= tb.nextDeliver {
+			snap.Decides[s] = append([]Entry(nil), b...)
+		}
+	}
+	if nd.snapshotter != nil {
+		data, err := nd.snapshotter.SnapshotState()
+		if err != nil {
+			return nil, err
+		}
+		snap.App = data
+	}
+	return snap, nil
+}
+
+// Compact captures a snapshot and installs it into the replica's
+// Compactor journal, truncating the journal's history behind it. Must
+// be called inside the event loop (auto-compaction via WithCompaction
+// does) or with the runtime stopped (scenario-model restart forcing).
+func (nd *Node) Compact() error {
+	if nd.compactor == nil {
+		return errors.New("rsm: Compact requires a Compactor journal (WithJournal with FileJournal or MemJournal)")
+	}
+	snap, err := nd.captureSnapshot()
+	if err != nil {
+		return err
+	}
+	if err := nd.compactor.Install(snap); err != nil {
+		return err
+	}
+	nd.compactions++
+	return nil
+}
+
+// maybeCompact is the afterDecide hook: compact when the journal's
+// active segment crosses a configured threshold.
+func (nd *Node) maybeCompact() {
+	st := nd.compactor.Stats()
+	if (nd.compactRecs <= 0 || st.Records < nd.compactRecs) &&
+		(nd.compactBytes <= 0 || st.Bytes < nd.compactBytes) {
+		return
+	}
+	if err := nd.Compact(); err != nil && !nd.compactWarn {
+		nd.compactWarn = true
+		log.Printf("rsm: auto-compaction failed (will not retry-log): %v", err)
+	}
+}
+
+// Compactions returns the number of snapshot installs this replica has
+// completed since construction.
+func (nd *Node) Compactions() int { return nd.compactions }
+
+// JournalStats returns the attached Compactor journal's counters, or
+// false when the replica has no compactor journal.
+func (nd *Node) JournalStats() (JournalStats, bool) {
+	if nd.compactor == nil {
+		return JournalStats{}, false
+	}
+	return nd.compactor.Stats(), true
 }
 
 // Submit TO-broadcasts a command from this replica. Must be called inside
@@ -683,6 +885,9 @@ func (nd *Node) apply(e Entry, at amp.Time) {
 		case "del":
 			delete(nd.state, cmd.Key)
 		}
+	}
+	for _, h := range nd.hooks {
+		h(e, at)
 	}
 	if nd.OnApply != nil {
 		nd.OnApply(e, at)

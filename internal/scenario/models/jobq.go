@@ -88,6 +88,15 @@ func (*JobQ) Generate(seed uint64) *scenario.Scenario {
 	}
 	if seed%2 == 1 {
 		sc.Faults = genAmpFaults(rng, jqReplicas, jqFaultHz)
+		// Snapshot-crash: one replica compacts its journal mid-campaign
+		// with a SIGKILL after install step Pct (0 = clean install), then
+		// reboots from whatever the journal recovers.
+		sf := 500 + rng.Int63n(jqFaultHz)
+		sc.Faults = append(sc.Faults, scenario.Fault{
+			Kind: scenario.FaultSnapCrash, Proc: rng.Intn(jqReplicas),
+			From: sf, Until: sf + 500 + rng.Int63n(3_000),
+			Pct: rng.Intn(4),
+		})
 	}
 	return sc
 }
@@ -97,16 +106,41 @@ func (*JobQ) Run(sc *scenario.Scenario) *scenario.Result {
 	res := &scenario.Result{}
 	cfg := scenario.NewRand(sc.Seed).Derive(100)
 
+	// Per-replica applied entry sequences for the order oracle,
+	// captured by a construction-time apply hook (so a snapshot-crash
+	// restart's recovery replay is observed too: applied[] is rewound
+	// to the recovered snapshot's coverage and the replayed suffix
+	// re-extends it through the same hook). inc guards deferred work:
+	// a closure armed by a replaced incarnation must not run into its
+	// successor — the sim analogue of kill -9 killing in-flight work.
+	applied := make([][]rbcast.MsgID, jqReplicas)
+	inc := make([]int, jqReplicas)
 	nodes := make([]*jobq.Node, jqReplicas)
+	journals := make([]*rsm.MemJournal, jqReplicas)
+	cfgs := make([]jobq.Config, jqReplicas)
+	hook := func(j int) func(e rsm.Entry, at amp.Time) {
+		return func(e rsm.Entry, _ amp.Time) { applied[j] = append(applied[j], e.ID) }
+	}
+	build := func(j int, rec *rsm.Recovery) *jobq.Node {
+		opts := []rsm.NodeOption{rsm.WithMaxBatch(8), rsm.WithPipeline(2),
+			rsm.WithJournal(journals[j]), rsm.WithApplyHook(hook(j))}
+		if rec != nil {
+			opts = append(opts, rsm.WithRecovery(rec))
+		}
+		nd := jobq.New(jqReplicas, cfgs[j], opts...)
+		nd.RSM.Omega.Period = 16
+		return nd
+	}
 	procs := make([]amp.Process, jqReplicas)
 	for j := 0; j < jqReplicas; j++ {
-		nodes[j] = jobq.New(jqReplicas, jobq.Config{
+		journals[j] = rsm.NewMemJournal()
+		cfgs[j] = jobq.Config{
 			Grace:        jqGrace,
 			StepEvery:    jqStep,
 			MaxPerWorker: 3,
 			Retry:        jobq.RetryPolicy{Base: 40, Cap: 400, Budget: jqBudget, Seed: cfg.Int63()},
-		}, rsm.WithMaxBatch(8), rsm.WithPipeline(2))
-		nodes[j].RSM.Omega.Period = 16
+		}
+		nodes[j] = build(j, nil)
 		procs[j] = nodes[j].RSM.Stack
 	}
 	sim := amp.NewSim(procs,
@@ -114,28 +148,19 @@ func (*JobQ) Run(sc *scenario.Scenario) *scenario.Result {
 		amp.WithDelay(ampDelay(cfg)),
 		amp.WithAdversary(ampAdversaries(sc.Faults)...))
 
-	// Per-replica applied jobq-entry sequences for the order oracle.
-	applied := make([][]rbcast.MsgID, jqReplicas)
-	for j := 0; j < jqReplicas; j++ {
-		j := j
-		nodes[j].Subscribe(func(_ jobq.Event, e rsm.Entry, _ amp.Time) {
-			applied[j] = append(applied[j], e.ID)
-		})
-	}
-
 	// Workers: one per replica. Work outcomes are a deterministic
 	// function of (payload, attempt) so reassignment cannot change what
 	// an attempt would have done — only which attempt lands.
 	runners := make([]*jobq.Runner, jqReplicas)
-	for j := 0; j < jqReplicas; j++ {
-		j := j
+	mkRunner := func(j int) *jobq.Runner {
 		r := jobq.NewRunner(nodes[j], j)
+		ep := inc[j]
 		r.Defer = func(d amp.Time, f func()) {
 			if d < 1 {
 				d = 1
 			}
 			sim.Schedule(sim.Now()+d, func() {
-				if !sim.Crashed(j) {
+				if !sim.Crashed(j) && inc[j] == ep {
 					f()
 				}
 			})
@@ -157,8 +182,52 @@ func (*JobQ) Run(sc *scenario.Scenario) *scenario.Result {
 			}
 			return "done:" + job.ID, "", true
 		}
-		runners[j] = r
-		sim.Schedule(amp.Time(2+j), r.Start)
+		return r
+	}
+	for j := 0; j < jqReplicas; j++ {
+		j := j
+		runners[j] = mkRunner(j)
+		sim.Schedule(amp.Time(2+j), func() { runners[j].Start() })
+	}
+
+	// Snapshot-crash faults: at From the victim compacts its journal
+	// with a SIGKILL after install step Pct; at Until a NEW incarnation
+	// (fresh node, fresh runner) boots from whatever the journal
+	// recovers. The queue oracles below are unchanged — a restart may
+	// delay jobs, never strand or double-complete them.
+	for _, f := range sc.Faults {
+		if f.Kind != scenario.FaultSnapCrash || f.Proc < 0 || f.Proc >= jqReplicas {
+			continue
+		}
+		p, step := f.Proc, rsm.SnapStep(f.Pct%4)
+		until := f.Until
+		sim.Schedule(amp.Time(f.From), func() {
+			if sim.Crashed(p) {
+				return
+			}
+			journals[p].SetInstallCrash(step)
+			err := nodes[p].RSM.Compact()
+			journals[p].SetInstallCrash(rsm.SnapStepNone)
+			res.Tracef("snapcrash p%d step=%d err=%v", p, step, err)
+			sim.CrashAt(p, sim.Now())
+		})
+		sim.Schedule(amp.Time(until), func() {
+			rec := journals[p].Recovery()
+			base := 0
+			if rec.Snap != nil {
+				base = rec.Snap.Applies
+			}
+			if base > len(applied[p]) {
+				base = len(applied[p])
+			}
+			applied[p] = applied[p][:base]
+			inc[p]++
+			nodes[p] = build(p, rec)
+			sim.Replace(p, nodes[p].RSM.Stack)
+			runners[p] = mkRunner(p)
+			runners[p].Start()
+			res.Tracef("snaprestart p%d base=%d", p, base)
+		})
 	}
 
 	// Scheduler pulse on every replica; only the Ω leader acts. Crashed

@@ -68,6 +68,15 @@ func (*KV) Generate(seed uint64) *scenario.Scenario {
 				Kind: scenario.FaultDrop, Pct: 15, From: lf, Until: lf + 200, Sub: rng.Int63(),
 			})
 		}
+		// Snapshot-crash: one replica compacts its journal mid-run with a
+		// SIGKILL landing after install step Pct (0 = after a clean
+		// install), then reboots from whatever the journal recovers.
+		sf := 400 + rng.Int63n(1_500)
+		sc.Faults = append(sc.Faults, scenario.Fault{
+			Kind: scenario.FaultSnapCrash, Proc: rng.Intn(kvReplicas),
+			From: sf, Until: sf + 300 + rng.Int63n(900),
+			Pct: rng.Intn(4),
+		})
 	}
 	return sc
 }
@@ -77,29 +86,20 @@ func (*KV) Run(sc *scenario.Scenario) *scenario.Result {
 	res := &scenario.Result{}
 	cfg := scenario.NewRand(sc.Seed).Derive(100)
 
-	nodes := make([]*rsm.Node, kvReplicas)
-	procs := make([]amp.Process, kvReplicas)
-	for j := 0; j < kvReplicas; j++ {
-		nodes[j] = rsm.NewNode(kvReplicas,
-			rsm.WithMaxBatch(kvMaxBatch), rsm.WithPipeline(kvPipeline))
-		nodes[j].Omega.Period = 16
-		procs[j] = nodes[j].Stack
-	}
-	sim := amp.NewSim(procs,
-		amp.WithSeed(cfg.Int63()),
-		amp.WithDelay(amp.UniformDelay{Min: 1, Max: amp.Time(2 + cfg.Int63n(6))}),
-		amp.WithAdversary(ampAdversaries(sc.Faults)...))
-
 	// Per-replica applied sequences for the order and exactly-once
 	// oracles; clientCB lets client replicas drive burst submission off
-	// the same OnApply hook.
+	// the apply hook. The hook is registered at construction
+	// (WithApplyHook) rather than via the OnApply field so a
+	// snapshot-crash restart's recovery replay is observed through the
+	// same path: applied/seen are rewound to the recovered snapshot's
+	// coverage and the replayed suffix re-extends them.
 	applied := make([][]rbcast.MsgID, kvReplicas)
 	seen := make([]map[rbcast.MsgID]bool, kvReplicas)
 	clientCB := make([]func(e rsm.Entry), kvReplicas)
-	for j := 0; j < kvReplicas; j++ {
-		j := j
-		seen[j] = make(map[rbcast.MsgID]bool)
-		nodes[j].OnApply = func(e rsm.Entry, _ amp.Time) {
+	nodes := make([]*rsm.Node, kvReplicas)
+	journals := make([]*rsm.MemJournal, kvReplicas)
+	hook := func(j int) func(e rsm.Entry, at amp.Time) {
+		return func(e rsm.Entry, _ amp.Time) {
 			if seen[j][e.ID] {
 				res.Failf("replica %d applied %v twice", j, e.ID)
 				return
@@ -110,6 +110,72 @@ func (*KV) Run(sc *scenario.Scenario) *scenario.Result {
 				cb(e)
 			}
 		}
+	}
+	build := func(j int, rec *rsm.Recovery) *rsm.Node {
+		opts := []rsm.NodeOption{
+			rsm.WithMaxBatch(kvMaxBatch), rsm.WithPipeline(kvPipeline),
+			rsm.WithJournal(journals[j]), rsm.WithApplyHook(hook(j)),
+		}
+		if rec != nil {
+			opts = append(opts, rsm.WithRecovery(rec))
+		}
+		nd := rsm.NewNode(kvReplicas, opts...)
+		nd.Omega.Period = 16
+		return nd
+	}
+	procs := make([]amp.Process, kvReplicas)
+	for j := 0; j < kvReplicas; j++ {
+		journals[j] = rsm.NewMemJournal()
+		seen[j] = make(map[rbcast.MsgID]bool)
+		nodes[j] = build(j, nil)
+		procs[j] = nodes[j].Stack
+	}
+	sim := amp.NewSim(procs,
+		amp.WithSeed(cfg.Int63()),
+		amp.WithDelay(amp.UniformDelay{Min: 1, Max: amp.Time(2 + cfg.Int63n(6))}),
+		amp.WithAdversary(ampAdversaries(sc.Faults)...))
+
+	// Snapshot-crash faults: at From the victim compacts its journal
+	// with a SIGKILL landing after install step Pct, and at Until a NEW
+	// incarnation boots from whatever the journal recovers — the old
+	// snapshot or the new one, never a hybrid. The oracles are
+	// unchanged: the restarted replica must slot back into the same
+	// total order and never re-apply an entry within an incarnation.
+	for _, f := range sc.Faults {
+		if f.Kind != scenario.FaultSnapCrash || f.Proc < 0 || f.Proc >= kvReplicas {
+			continue
+		}
+		p, step := f.Proc, rsm.SnapStep(f.Pct%4)
+		until := f.Until
+		sim.Schedule(amp.Time(f.From), func() {
+			if sim.Crashed(p) {
+				return
+			}
+			journals[p].SetInstallCrash(step)
+			err := nodes[p].Compact()
+			journals[p].SetInstallCrash(rsm.SnapStepNone)
+			res.Tracef("snapcrash p%d step=%d err=%v", p, step, err)
+			sim.CrashAt(p, sim.Now())
+		})
+		sim.Schedule(amp.Time(until), func() {
+			rec := journals[p].Recovery()
+			base := 0
+			if rec.Snap != nil {
+				base = rec.Snap.Applies
+			}
+			if base > len(applied[p]) {
+				base = len(applied[p])
+			}
+			applied[p] = applied[p][:base]
+			ns := make(map[rbcast.MsgID]bool, base)
+			for _, id := range applied[p] {
+				ns[id] = true
+			}
+			seen[p] = ns
+			nodes[p] = build(p, rec)
+			sim.Replace(p, nodes[p].Stack)
+			res.Tracef("snaprestart p%d base=%d applied=%d", p, base, len(applied[p]))
+		})
 	}
 
 	submitted := 0
@@ -124,6 +190,12 @@ func (*KV) Run(sc *scenario.Scenario) *scenario.Result {
 		burst := make(map[rbcast.MsgID]bool)
 		var submit func()
 		submit = func() {
+			// A crashed client replica cannot submit (and must not touch
+			// its journal-sharing successor's state): retry after restart.
+			if sim.Crashed(c) {
+				sim.Schedule(sim.Now()+200, submit)
+				return
+			}
 			// Stage a whole burst back-to-back: with kvMaxBatch below the
 			// burst length, the proposer must pack it across several
 			// pipelined slots.

@@ -60,9 +60,19 @@ func (*Transport) Generate(seed uint64) *scenario.Scenario {
 			Group: []int{rng.Intn(tpReplicas)},
 		})
 		cf := 2_000 + rng.Int63n(40_000)
+		cu := cf + 5_000 + rng.Int63n(20_000)
 		sc.Faults = append(sc.Faults, scenario.Fault{
 			Kind: scenario.FaultCrash, Proc: tpClients,
-			From: cf, Until: cf + 5_000 + rng.Int63n(20_000),
+			From: cf, Until: cu,
+		})
+		// Snapshot-crash on the bystander, disjoint from the plain crash
+		// window: compact the journal with a SIGKILL landing after install
+		// step Pct, then reboot from whatever the journal recovers.
+		sf := cu + 2_000 + rng.Int63n(20_000)
+		sc.Faults = append(sc.Faults, scenario.Fault{
+			Kind: scenario.FaultSnapCrash, Proc: tpClients,
+			From: sf, Until: sf + 2_000 + rng.Int63n(10_000),
+			Pct: rng.Intn(4),
 		})
 	}
 	return sc
@@ -158,31 +168,80 @@ func (*Transport) Run(sc *scenario.Scenario) *scenario.Result {
 	// Crash faults: stop the victim's runtime and take its endpoint down
 	// at From; at Until rebuild the whole stack from the journal (the
 	// in-process kill -9). The restarted node catches up via the TO
-	// layer's anti-entropy fetch.
-	for _, f := range sc.Faults {
-		if f.Kind != scenario.FaultCrash {
-			continue
+	// layer's anti-entropy fetch. Snapshot-crash faults additionally run
+	// a compaction inside the event loop first, with the install
+	// interrupted after step Pct — the reboot then recovers the old or
+	// new snapshot, never a hybrid. down/fired keep overlapping windows
+	// on one victim from double-stopping or double-starting a stack;
+	// appliedBase records how many applies the recovered snapshot covers
+	// so the order oracle below compares absolute positions.
+	down := make([]bool, tpReplicas)
+	appliedBase := make([]int, tpReplicas)
+	restart := func(p int) {
+		lb.SetDown(p, false)
+		rec := journals[p].Recovery()
+		appliedBase[p] = 0
+		if rec.Snap != nil {
+			appliedBase[p] = rec.Snap.Applies
 		}
+		var tr transport.Transport = lb.Node(p)
+		if rules := tpChaos(sc, p); len(rules) > 0 {
+			tr = transport.NewChaos(tr, clock, rules...)
+		}
+		nodes[p] = tpStart(p, tr, clock,
+			rsm.WithJournal(journals[p]), rsm.WithRecovery(rec))
+		down[p] = false
+	}
+	for _, f := range sc.Faults {
 		f := f
 		p := f.Proc
 		if p < 0 || p >= tpReplicas {
 			continue
 		}
-		clock.AfterFunc(amp.Time(f.From), func() {
-			nodes[p].rt.Stop()
-			lb.SetDown(p, true)
-			res.Tracef("crash p%d @%d", p, f.From)
-		})
-		if f.Until > f.From {
-			clock.AfterFunc(amp.Time(f.Until), func() {
-				lb.SetDown(p, false)
-				var tr transport.Transport = lb.Node(p)
-				if rules := tpChaos(sc, p); len(rules) > 0 {
-					tr = transport.NewChaos(tr, clock, rules...)
+		switch f.Kind {
+		case scenario.FaultCrash:
+			fired := false
+			clock.AfterFunc(amp.Time(f.From), func() {
+				if down[p] {
+					return
 				}
-				nodes[p] = tpStart(p, tr, clock,
-					rsm.WithJournal(journals[p]), rsm.WithRecovery(journals[p].Recovery()))
-				res.Tracef("restart p%d @%d applied=%d", p, f.Until, nodes[p].node.Len())
+				fired, down[p] = true, true
+				nodes[p].rt.Stop()
+				lb.SetDown(p, true)
+				res.Tracef("crash p%d @%d", p, f.From)
+			})
+			if f.Until > f.From {
+				clock.AfterFunc(amp.Time(f.Until), func() {
+					if !fired {
+						return
+					}
+					restart(p)
+					res.Tracef("restart p%d @%d applied=%d", p, f.Until, nodes[p].node.Len())
+				})
+			}
+		case scenario.FaultSnapCrash:
+			fired := false
+			step := rsm.SnapStep(f.Pct % 4)
+			clock.AfterFunc(amp.Time(f.From), func() {
+				if down[p] {
+					return
+				}
+				fired, down[p] = true, true
+				nodes[p].rt.Do(func(amp.Context) {
+					journals[p].SetInstallCrash(step)
+					err := nodes[p].node.Compact()
+					journals[p].SetInstallCrash(rsm.SnapStepNone)
+					res.Tracef("snapcrash p%d step=%d err=%v", p, step, err)
+				})
+				nodes[p].rt.Stop()
+				lb.SetDown(p, true)
+			})
+			clock.AfterFunc(amp.Time(f.Until), func() {
+				if !fired {
+					return
+				}
+				restart(p)
+				res.Tracef("snaprestart p%d @%d base=%d", p, f.Until, appliedBase[p])
 			})
 		}
 	}
@@ -251,17 +310,27 @@ func (*Transport) Run(sc *scenario.Scenario) *scenario.Result {
 		}
 		res.Tracef("p%d %v @[%d,%d] -> %v", op.Proc, op.Arg, op.Call, op.Return, op.Out)
 	}
-	// Cross-replica safety: applied orders must agree prefix-wise.
+	// Cross-replica safety: applied orders must agree position-wise. A
+	// replica restarted from a snapshot only holds the suffix past the
+	// snapshot's coverage, so sequences are compared at absolute apply
+	// positions (appliedBase[i] + local index).
 	ref := nodes[0].node.Applied()
+	refBase := appliedBase[0]
 	for i := 1; i < tpReplicas; i++ {
 		got := nodes[i].node.Applied()
-		m := len(ref)
-		if len(got) < m {
-			m = len(got)
+		gotBase := appliedBase[i]
+		lo := refBase
+		if gotBase > lo {
+			lo = gotBase
 		}
-		for j := 0; j < m; j++ {
-			if got[j].ID != ref[j].ID {
-				res.Failf("replicas 0 and %d diverge at slot order %d: %v vs %v", i, j, ref[j].ID, got[j].ID)
+		hi := refBase + len(ref)
+		if h := gotBase + len(got); h < hi {
+			hi = h
+		}
+		for a := lo; a < hi; a++ {
+			if got[a-gotBase].ID != ref[a-refBase].ID {
+				res.Failf("replicas 0 and %d diverge at slot order %d: %v vs %v",
+					i, a, ref[a-refBase].ID, got[a-gotBase].ID)
 				return res
 			}
 		}

@@ -113,17 +113,25 @@ const (
 	// FaultSendBudget crashes Proc after its Pct-th message send
 	// (amp.Sim.CrashAfterSends — the "crash mid-broadcast" probe).
 	FaultSendBudget
+	// FaultSnapCrash makes Proc compact its journal at From with a
+	// SIGKILL landing after snapshot-install protocol step Pct
+	// (rsm.SnapStep: 1=tmp written, 2=renamed, 3=fresh segment), then
+	// restart from whatever the journal recovers at Until. Journaled
+	// models only; others ignore it.
+	FaultSnapCrash
 )
 
 var faultKindNames = map[FaultKind]string{
 	FaultCrash: "crash", FaultPartition: "partition", FaultDrop: "drop",
 	FaultIsolate: "isolate", FaultSkew: "skew", FaultSendBudget: "sendbudget",
+	FaultSnapCrash: "snapcrash",
 }
 
 // faultKindConsts are the Go constant names, for GoLiteral.
 var faultKindConsts = map[FaultKind]string{
 	FaultCrash: "FaultCrash", FaultPartition: "FaultPartition", FaultDrop: "FaultDrop",
 	FaultIsolate: "FaultIsolate", FaultSkew: "FaultSkew", FaultSendBudget: "FaultSendBudget",
+	FaultSnapCrash: "FaultSnapCrash",
 }
 
 // opKindConsts are the Go constant names, for GoLiteral.
