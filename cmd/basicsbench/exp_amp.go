@@ -643,5 +643,29 @@ func runE16() []row {
 			measured: fmt.Sprintf("exhaustive (%d configs): agreement violation found: %v", repMaj.Configs, repMaj.AgreementViolation != ""),
 			ok:       repMaj.AgreementViolation != "",
 		},
+		waitMajorityN4DPORRow(),
+	}
+}
+
+// waitMajorityN4DPORRow times the wait-majority n=4 search with and
+// without DPOR (Options.DPOR): the reduction is what makes n=4
+// exhaustible, and the row keeps the config counts and wall times in
+// BENCH_amp/BENCH_explore.json across PRs.
+func waitMajorityN4DPORRow() row {
+	inputs := []int{0, 1, 0, 1}
+	fullStart := time.Now()
+	full := flp.Explore(flp.WaitMajority{Procs: 4}, inputs, flp.Options{MaxCrashes: 1})
+	fullNS := time.Since(fullStart)
+	dporStart := time.Now()
+	dpor := flp.Explore(flp.WaitMajority{Procs: 4}, inputs, flp.Options{MaxCrashes: 1, DPOR: true})
+	dporNS := time.Since(dporStart)
+	ok := !full.Truncated && !dpor.Truncated &&
+		dpor.Configs < full.Configs &&
+		(full.AgreementViolation != "") == (dpor.AgreementViolation != "") &&
+		(full.TerminationViolation != "") == (dpor.TerminationViolation != "")
+	return row{
+		claim:    "DPOR prunes commuting deliveries: wait-majority n=4 w/ 1 crash exhausted at a fraction of the full search",
+		measured: fmt.Sprintf("full %d configs in %v; DPOR %d configs in %v (%.1fx fewer): violations agree: %v", full.Configs, fullNS.Round(time.Millisecond), dpor.Configs, dporNS.Round(time.Millisecond), float64(full.Configs)/float64(dpor.Configs), ok),
+		ok:       ok,
 	}
 }

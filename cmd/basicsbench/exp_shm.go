@@ -7,6 +7,7 @@ import (
 	"fmt"
 	"math/rand"
 	"runtime"
+	"time"
 
 	"distbasics/internal/agreement"
 	"distbasics/internal/check"
@@ -150,6 +151,41 @@ func runE4() []row {
 		claim:    "multivalued consensus reduces to binary consensus + registers (closes the sticky-bit gap)",
 		measured: fmt.Sprintf("exhaustive n=2 over arbitrary values (%d executions w/ crashes): correct: %v", resMV.Executions, resMV.Violation == ""),
 		ok:       resMV.Violation == "",
+	})
+
+	// DPOR makes the hierarchy exhaustive at n=4: CAS with up to 3
+	// crashes, full enumeration vs the sleep-set reduction, timed so
+	// BENCH_shm/BENCH_explore.json track the reduction across PRs.
+	n4 := func(dpor bool) shm.ExploreOpts {
+		return shm.ExploreOpts{
+			Factory: func() *shm.Run {
+				c := agreement.NewCASConsensus()
+				bodies := make([]func(*shm.Proc) any, 4)
+				for i := 0; i < 4; i++ {
+					i := i
+					bodies[i] = func(p *shm.Proc) any { return c.Propose(p, i) }
+				}
+				return &shm.Run{Bodies: bodies}
+			},
+			MaxCrashes: 3,
+			DPOR:       dpor,
+			Check: func(out *shm.Outcome) string {
+				return agreement.CheckConsensusOutcome(out, []any{0, 1, 2, 3})
+			},
+		}
+	}
+	fullStart := time.Now()
+	resFull := shm.Explore(n4(false))
+	fullNS := time.Since(fullStart)
+	dporStart := time.Now()
+	resDPOR := shm.Explore(n4(true))
+	dporNS := time.Since(dporStart)
+	okDPOR := resFull.Violation == "" && resDPOR.Violation == "" &&
+		!resFull.Truncated && !resDPOR.Truncated && resDPOR.Executions < resFull.Executions
+	rows = append(rows, row{
+		claim:    "DPOR prunes equivalent interleavings: exhaustive CAS n=4 w/ ≤3 crashes at a fraction of the full search",
+		measured: fmt.Sprintf("full %d executions in %v; DPOR %d executions in %v (%.1fx fewer): both clean: %v", resFull.Executions, fullNS.Round(time.Millisecond), resDPOR.Executions, dporNS.Round(time.Millisecond), float64(resFull.Executions)/float64(resDPOR.Executions), okDPOR),
+		ok:       okDPOR,
 	})
 	return rows
 }

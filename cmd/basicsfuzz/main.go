@@ -8,6 +8,15 @@
 //	basicsfuzz -models=all -seeds=200
 //	basicsfuzz -models=abd,benor -seeds=5000 -out=cmd/basicsfuzz/testdata
 //
+// Mutation mode (-mutate) replaces independent-seed sampling with the
+// coverage-guided loop (scenario.MutationCampaign): a bootstrap phase
+// generates seeds, runs whose coverage signatures are novel join a
+// corpus, and the rest of the -runs budget mutates corpus entries.
+// Mutants are not derivable from a seed, so failures are written to
+// -out as encoded scenario files, and -corpus-out archives the corpus:
+//
+//	basicsfuzz -mutate -models=abd,benor -runs=2000 -out=fuzz-repro -corpus-out=fuzz-corpus
+//
 // Replay mode re-runs one scenario — the invocation every harness
 // failure message prints:
 //
@@ -39,6 +48,9 @@ func main() {
 		shrinkFlag   = flag.Bool("shrink", true, "shrink failures to minimal reproducers")
 		shrinkBudget = flag.Int("shrink-budget", 2000, "max runs the shrinker may spend per failure")
 		outFlag      = flag.String("out", "", "directory to write found-crasher reproducers (empty = don't write)")
+		mutateFlag   = flag.Bool("mutate", false, "coverage-guided mutation campaign instead of independent-seed sampling")
+		runsFlag     = flag.Int("runs", 400, "total runs per model in mutation mode (bootstrap + mutants)")
+		corpusOut    = flag.String("corpus-out", "", "directory to archive the mutation corpus (with -mutate)")
 		verbose      = flag.Bool("v", false, "print run traces")
 	)
 	flag.Parse()
@@ -48,9 +60,92 @@ func main() {
 		os.Exit(replayFile(*replayFlag, *verbose))
 	case *modelFlag != "":
 		os.Exit(replaySeed(*modelFlag, *seedFlag, *verbose))
+	case *mutateFlag:
+		os.Exit(mutationCampaign(*modelsFlag, *startFlag, *runsFlag, *shrinkFlag, *shrinkBudget, *outFlag, *corpusOut, *verbose))
 	default:
 		os.Exit(campaign(*modelsFlag, *startFlag, *seedsFlag, *shrinkFlag, *shrinkBudget, *outFlag, *verbose))
 	}
+}
+
+// selectModels resolves a -models flag value.
+func selectModels(names string) ([]scenario.Model, error) {
+	if names == "all" {
+		return models.All(), nil
+	}
+	var selected []scenario.Model
+	for _, name := range strings.Split(names, ",") {
+		m, err := models.ByName(strings.TrimSpace(name))
+		if err != nil {
+			return nil, err
+		}
+		selected = append(selected, m)
+	}
+	return selected, nil
+}
+
+// writeScenario encodes sc into dir under name, creating dir as needed.
+func writeScenario(dir, name string, sc *scenario.Scenario) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	return os.WriteFile(filepath.Join(dir, name), sc.Encode(), 0o644)
+}
+
+// mutationCampaign runs the coverage-guided loop per model.
+func mutationCampaign(names string, start uint64, runs int, shrink bool, shrinkBudget int, out, corpusDir string, verbose bool) int {
+	selected, err := selectModels(names)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 2
+	}
+	exit := 0
+	for _, m := range selected {
+		c := &scenario.MutationCampaign{
+			Model: m, Seed: start, Start: start, Runs: runs,
+			Shrink: shrink, MaxShrinkRuns: shrinkBudget,
+			Log: func(format string, args ...any) { fmt.Printf(format+"\n", args...) },
+		}
+		failures, stats := c.Run()
+		fmt.Printf("%s: %d runs, %d failures (%d unique), %d signatures (%d at bootstrap), corpus %d, %d completed + %d pending ops\n",
+			m.Name(), stats.Runs, stats.Failures, len(failures),
+			stats.Signatures, stats.BootstrapSignatures, stats.CorpusSize,
+			stats.Completed, stats.Pending)
+		if stats.ShrinkRuns > 0 {
+			fmt.Printf("  (shrinking spent %d runs)\n", stats.ShrinkRuns)
+		}
+		for i, f := range failures {
+			exit = 1
+			repro := f.Scenario
+			if f.Shrunk != nil {
+				repro = f.Shrunk
+			}
+			fmt.Printf("  failure %d: %s\n  minimal reproducer: %s\n", i, f.Result.Reason, repro.Summary())
+			if verbose {
+				for _, line := range f.Result.Trace {
+					fmt.Printf("  | %s\n", line)
+				}
+			}
+			if out != "" {
+				name := fmt.Sprintf("%s-mutant%d.scenario", m.Name(), i)
+				if err := writeScenario(out, name, repro); err != nil {
+					fmt.Fprintln(os.Stderr, err)
+					return 2
+				}
+				fmt.Printf("  reproducer written to %s\n", filepath.Join(out, name))
+			}
+		}
+		if corpusDir != "" {
+			for i, sc := range stats.Corpus {
+				name := fmt.Sprintf("%s-corpus%03d.scenario", m.Name(), i)
+				if err := writeScenario(corpusDir, name, sc); err != nil {
+					fmt.Fprintln(os.Stderr, err)
+					return 2
+				}
+			}
+			fmt.Printf("  corpus archived to %s (%d scenarios)\n", corpusDir, len(stats.Corpus))
+		}
+	}
+	return exit
 }
 
 // printResult renders one run's outcome.
@@ -108,18 +203,10 @@ func replayFile(path string, verbose bool) int {
 }
 
 func campaign(names string, start, seeds uint64, shrink bool, shrinkBudget int, out string, verbose bool) int {
-	var selected []scenario.Model
-	if names == "all" {
-		selected = models.All()
-	} else {
-		for _, name := range strings.Split(names, ",") {
-			m, err := models.ByName(strings.TrimSpace(name))
-			if err != nil {
-				fmt.Fprintln(os.Stderr, err)
-				return 2
-			}
-			selected = append(selected, m)
-		}
+	selected, err := selectModels(names)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 2
 	}
 	exit := 0
 	for _, m := range selected {

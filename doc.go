@@ -88,6 +88,21 @@
 // check per key, and E16 classifies wait-majority valences at n=4
 // (a configuration space two orders beyond the seed's n=3 entry).
 //
+// Both explorers additionally support dynamic partial-order reduction
+// (shm.ExploreOpts.DPOR, flp.Options.DPOR): steps on disjoint shared
+// objects and deliveries to different processes commute, so sleep-set
+// pruning visits one execution per equivalence class of reorderings
+// instead of all of them — the n=4 consensus-hierarchy rows run at 17x
+// fewer executions (3472 vs 58920 for CAS with three crashes) and
+// wait-majority n=4 at 3x fewer configurations (39425 vs 118357),
+// which is what makes those instances exhaustible at all. The
+// reduction is fenced differentially: randomized program families run
+// under full enumeration, serial DPOR, parallel DPOR, and the legacy
+// engines, requiring identical violation presence, replayable
+// violation schedules, and exact serial/parallel agreement; the fences
+// are mutation-verified by wiring deliberately-wrong dependence
+// relations and requiring the fences to catch them.
+//
 // # The scenario harness
 //
 // All of the fences above run on one engine: internal/scenario, a
@@ -104,6 +119,18 @@
 // is mutation-verified: deliberately weakened algorithms (an ABD read
 // quorum below majority, a Ben-Or coin that ignores phase-2 reports)
 // are caught by the oracles and shrunk to pinned minimal reproducers.
+//
+// Campaigns come in two shapes. Independent-seed sampling
+// (scenario.Campaign) runs a contiguous seed range. Coverage-guided
+// mutation (scenario.MutationCampaign, basicsfuzz -mutate) summarizes
+// each run into oracle-state coverage signatures — trace shapes, fault
+// combinations, decider profiles, via the scenario.CoverageModel hook
+// or a generic fallback — keeps coverage-novel scenarios in a corpus,
+// and spends the rest of its budget mutating corpus entries with
+// sub-stream-seeded DSL edits. At equal run budgets the mutation loop
+// provably reaches coverage independent sampling does not (asserted in
+// a test); mutants stay first-class reproducers — Encode/Decode
+// round-trip, ddmin shrinking, byte-stable replay all intact.
 //
 // # Reproducing a failure
 //

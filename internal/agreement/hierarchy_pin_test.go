@@ -84,7 +84,10 @@ func TestHierarchyExplorationPinnedAcrossEngines(t *testing.T) {
 			}
 			if wantViolation {
 				// The violating schedule must replay to the same violation.
-				out := shm.ReplayViolation(opts.Factory, serial.Schedule, opts.MaxSteps)
+				out, err := shm.ReplayViolation(opts.Factory, serial.Schedule, opts.MaxSteps)
+				if err != nil {
+					t.Errorf("pinned violation schedule failed to replay: %v", err)
+				}
 				if msg := CheckConsensusOutcome(out, []any{0, 1}); msg == "" {
 					t.Error("pinned violation schedule no longer reproduces a violation")
 				}

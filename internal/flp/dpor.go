@@ -1,0 +1,400 @@
+package flp
+
+// Dynamic partial-order reduction (Options.DPOR) for the configuration
+// search. Deliveries to DIFFERENT processes commute: each changes only
+// its receiver's state, and their sends union into the same in-flight
+// multiset either way. Crashing p commutes with every delivery to q != p
+// and with crashing q (a message sent to an already-crashed process is
+// inert — never deliverable, never consulted — so configurations that
+// differ only by inert messages are observationally equivalent, which is
+// all the reported properties see: Decided, valences, and both violation
+// classes are preserved by extending any execution to completion, and
+// equivalent complete executions share their final configuration).
+// Dependent pairs are exactly: two deliveries to the same process, and a
+// delivery to p versus crash(p).
+//
+// The search therefore keeps two sleep masks per recursion, one of
+// receivers and one of crash targets. Branches are enumerated grouped by
+// receiver; after a group with at least one explored delivery, its
+// receiver goes to sleep for the later groups and the crash branches,
+// and each explored crash goes to sleep for the later crash branches.
+// Descending a branch wakes the dependent entries: a delivery to r wakes
+// crash(r) and — because causally-new messages were not covered by the
+// sleeping receiver's earlier-sibling subtree — every receiver the
+// delivery sends to. Unlike the shm explorer there is no per-execution
+// step budget, so no crash/budget interaction arises; MaxConfigs
+// truncation makes any search a lower bound, DPOR or not.
+//
+// Because the search caches configurations, sleep sets alone are not
+// enough: a configuration first reached with sleep S may be reached
+// again with sleep S' not containing S, and the branches in S \ S' were
+// never explored. The seen table in DPOR mode therefore maps each
+// configuration to the masks it was explored with; a revisit prunes only
+// if the stored masks are a subset of the current ones, and otherwise
+// stores the intersection BEFORE re-exploring (so cycles terminate: the
+// stored masks strictly shrink). Configs counts first visits only, and
+// is identical between serial and parallel DPOR searches — the explored
+// set is the same order-independent fixpoint — but smaller than the full
+// search's count.
+
+import (
+	"hash/maphash"
+	"sync"
+	"sync/atomic"
+)
+
+// dporCovered decides whether a revisited configuration's stored sleep
+// masks cover the current ones (prune) or not (re-explore with the
+// intersection stored).
+var dporCovered = func(stored, cur dporMask) bool { return stored.subset(cur) }
+
+// dporSameReceiverDep gates the one dependence the reduction must never
+// drop: two deliveries to the same process. It is a variable only so the
+// differential fence can mutation-verify itself — flipping it to false
+// makes the search explore a single delivery per receiver group, the
+// textbook-wrong dependence relation, which the fence must catch.
+var dporSameReceiverDep = true
+
+// dporMask is the pair of sleep masks a configuration was explored with.
+type dporMask struct {
+	recv  uint64 // receivers whose deliveries are asleep
+	crash uint64 // processes whose crashes are asleep
+}
+
+// subset reports m ⊆ o for both masks.
+func (m dporMask) subset(o dporMask) bool {
+	return m.recv&^o.recv == 0 && m.crash&^o.crash == 0
+}
+
+// sharedSeenD is sharedSeen for DPOR searches: shards map configuration
+// keys to the masks they were explored with.
+type sharedSeenD struct {
+	shards [64]struct {
+		mu sync.Mutex
+		m  map[string]dporMask
+	}
+	count atomic.Int64
+}
+
+// visit implements the covered-check / intersection protocol under the
+// shard lock. explore reports whether the caller should (re-)explore the
+// configuration's branches; fresh reports a first visit (counted).
+func (ss *sharedSeenD) visit(key []byte, cur dporMask, limit int) (explore, fresh, truncated bool) {
+	sh := &ss.shards[maphash.Bytes(sharedSeenSeed, key)&63]
+	sh.mu.Lock()
+	if sh.m == nil {
+		sh.m = make(map[string]dporMask)
+	}
+	if stored, dup := sh.m[string(key)]; dup {
+		if dporCovered(stored, cur) {
+			sh.mu.Unlock()
+			return false, false, false
+		}
+		sh.m[string(key)] = dporMask{stored.recv & cur.recv, stored.crash & cur.crash}
+		sh.mu.Unlock()
+		return true, false, false
+	}
+	sh.m[string(key)] = cur
+	sh.mu.Unlock()
+	if ss.count.Add(1) > int64(limit) {
+		return false, false, true
+	}
+	return true, true, false
+}
+
+// visitD is visit under sleep-set pruning: sr and sc are the sleep masks
+// at this configuration.
+func (e *explorer) visitD(sr, sc uint64) {
+	cur := dporMask{recv: sr, crash: sc}
+	if e.sharedD != nil {
+		explore, _, truncated := e.sharedD.visit(e.configKey(), cur, e.limit)
+		if truncated {
+			e.rep.Truncated = true
+		}
+		if !explore {
+			return
+		}
+	} else {
+		key := e.configKey()
+		if stored, dup := e.dporSeen[string(key)]; dup {
+			if dporCovered(stored, cur) {
+				return
+			}
+			e.dporSeen[string(key)] = dporMask{stored.recv & cur.recv, stored.crash & cur.crash}
+		} else {
+			if e.configs >= e.limit {
+				e.rep.Truncated = true
+				return
+			}
+			e.dporSeen[string(key)] = cur
+			e.configs++
+		}
+	}
+
+	// Record decisions and check agreement among live, awake processes
+	// (idempotent on re-exploration).
+	firstPid, firstVal := -1, 0
+	quiet := true
+	for i := range e.buf {
+		if e.crashedMask&(1<<uint(e.buf[i].to)) == 0 {
+			quiet = false
+			break
+		}
+	}
+	live := ^(e.crashedMask | e.asleepMask)
+	for pid := 0; pid < e.n; pid++ {
+		if live&(1<<uint(pid)) == 0 {
+			continue
+		}
+		if d, ok := e.decision(e.stateID[pid]); ok {
+			e.rep.Decided[d] = true
+			if firstPid < 0 {
+				firstPid, firstVal = pid, d
+			} else if d != firstVal && e.rep.AgreementViolation == "" {
+				e.rep.AgreementViolation = agreementMsg(firstPid, firstVal, pid, d, e.crashes, len(e.buf))
+			}
+		}
+	}
+
+	if quiet {
+		if e.rep.TerminationViolation == "" {
+			for pid := 0; pid < e.n; pid++ {
+				bit := uint64(1) << uint(pid)
+				if e.crashedMask&bit != 0 {
+					continue
+				}
+				undecided := e.asleepMask&bit != 0
+				if !undecided {
+					_, decided := e.decision(e.stateID[pid])
+					undecided = !decided
+				}
+				if undecided {
+					e.rep.TerminationViolation = terminationMsg(e.crashes, pid)
+					break
+				}
+			}
+		}
+		return
+	}
+
+	// Deliveries, grouped by receiver; each explored group's receiver
+	// goes to sleep for the groups and crash branches after it.
+	var accum uint64
+	for r := 0; r < e.n; r++ {
+		bit := uint64(1) << uint(r)
+		if e.crashedMask&bit != 0 || (sr|accum)&bit != 0 {
+			continue
+		}
+		delivered := false
+		for i := 0; i < len(e.buf); i++ {
+			if int(e.buf[i].to) != r {
+				continue
+			}
+			if e.asleepMask&bit != 0 && !e.buf[i].wake {
+				continue
+			}
+			e.deliverAtD(i, sr|accum, sc)
+			delivered = true
+			if !dporSameReceiverDep {
+				break
+			}
+		}
+		if delivered {
+			accum |= bit
+		}
+	}
+
+	// Crashes; each explored crash goes to sleep for the ones after it.
+	if e.crashes < e.maxCrashes {
+		for pid := 0; pid < e.n; pid++ {
+			bit := uint64(1) << uint(pid)
+			if e.crashedMask&bit != 0 || sc&bit != 0 {
+				continue
+			}
+			e.crashBranchD(pid, (sr|accum)&^bit, sc)
+			sc |= bit
+		}
+	}
+}
+
+// deliverAtD is deliverAt recursing through visitD: the delivery wakes
+// the receiver's crash entry and every receiver it sends to.
+func (e *explorer) deliverAtD(i int, sr, sc uint64) {
+	m := e.buf[i]
+	last := len(e.buf) - 1
+	e.buf[i] = e.buf[last]
+	e.buf = e.buf[:last]
+
+	to := int(m.to)
+	oldState, oldID := e.states[to], e.stateID[to]
+	wasAsleep := e.asleepMask&(1<<uint(to)) != 0
+
+	var s State
+	var outs []Outgoing
+	if m.wake {
+		s, outs = e.proto.Initial(to, oldState.(asleep).Input)
+		e.asleepMask &^= 1 << uint(to)
+	} else {
+		s, outs = e.proto.Deliver(to, oldState, int(m.from), m.body)
+	}
+	e.setState(to, s)
+	var sends uint64
+	for _, o := range outs {
+		e.buf = append(e.buf, e.newMsg(to, o.To, o.Body, false))
+		sends |= 1 << uint(o.To)
+	}
+	e.visitD(sr&^sends, sc&^(1<<uint(to)))
+
+	e.buf = e.buf[:last+1]
+	e.buf[last] = e.buf[i]
+	e.buf[i] = m
+	e.states[to], e.stateID[to] = oldState, oldID
+	if wasAsleep {
+		e.asleepMask |= 1 << uint(to)
+	}
+}
+
+// crashBranchD is crashBranch recursing through visitD. Crash/crash and
+// crash/delivery-to-others pairs are independent, so the masks pass
+// through unchanged (the caller already cleared the crashed pid's
+// receiver bit).
+func (e *explorer) crashBranchD(pid int, sr, sc uint64) {
+	var save []emsg
+	if k := len(e.scratch); k > 0 {
+		save, e.scratch = e.scratch[k-1][:0], e.scratch[:k-1]
+	}
+	save = append(save, e.buf...)
+
+	kept := e.buf[:0]
+	for i := range save {
+		if int(save[i].to) != pid {
+			kept = append(kept, save[i])
+		}
+	}
+	e.buf = kept
+	e.crashedMask |= 1 << uint(pid)
+	e.crashes++
+
+	e.visitD(sr, sc)
+
+	e.crashes--
+	e.crashedMask &^= 1 << uint(pid)
+	e.buf = append(e.buf[:0], save...)
+	e.scratch = append(e.scratch, save)
+}
+
+// exploreDPOR drives a DPOR search, serial or parallel.
+func exploreDPOR(proto Protocol, inputs []int, opts Options) Report {
+	if opts.Workers > 1 {
+		return exploreParallelDPOR(proto, inputs, opts)
+	}
+	e := newExplorer(proto, inputs, opts, nil, nil)
+	e.dporSeen = make(map[string]dporMask)
+	e.visitD(0, 0)
+	e.rep.Configs = e.configs
+	return *e.rep
+}
+
+// exploreParallelDPOR mirrors exploreParallel: the root's branches fan
+// out across workers sharing one mask-carrying deduplication table. The
+// sleep masks each top-level branch starts with depend only on branch
+// order, so they are computed statically — no root probing needed.
+func exploreParallelDPOR(proto Protocol, inputs []int, opts Options) Report {
+	sharedD := &sharedSeenD{}
+	glob := &internTable{stateIDs: make(map[any]uint32), bodyIDs: make(map[any]uint32)}
+	root := newExplorer(proto, inputs, opts, nil, glob)
+	root.sharedD = sharedD
+	rep := Report{Decided: make(map[int]bool)}
+	limit := root.limit
+	sharedD.visit(root.configKey(), dporMask{}, limit) // the root: all asleep, no decisions
+
+	type dBranch struct {
+		deliver int // buffer index, or -1
+		crash   int // pid, or -1
+		sr, sc  uint64
+	}
+	var branches []dBranch
+	var accum uint64
+	for r := 0; r < root.n; r++ {
+		bit := uint64(1) << uint(r)
+		if root.crashedMask&bit != 0 {
+			continue
+		}
+		delivered := false
+		for i := 0; i < len(root.buf); i++ {
+			if int(root.buf[i].to) != r {
+				continue
+			}
+			if root.asleepMask&bit != 0 && !root.buf[i].wake {
+				continue
+			}
+			branches = append(branches, dBranch{deliver: i, crash: -1, sr: accum})
+			delivered = true
+			if !dporSameReceiverDep {
+				break
+			}
+		}
+		if delivered {
+			accum |= bit
+		}
+	}
+	if root.crashes < opts.MaxCrashes {
+		var crashAccum uint64
+		for pid := 0; pid < root.n; pid++ {
+			bit := uint64(1) << uint(pid)
+			if root.crashedMask&bit != 0 {
+				continue
+			}
+			branches = append(branches, dBranch{deliver: -1, crash: pid, sr: accum &^ bit, sc: crashAccum})
+			crashAccum |= bit
+		}
+	}
+	if len(branches) == 0 {
+		rep.Configs = int(sharedD.count.Load())
+		return rep
+	}
+
+	workers := opts.Workers
+	if workers > len(branches) {
+		workers = len(branches)
+	}
+	subs := make([]*explorer, len(branches))
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				bi := int(next.Add(1)) - 1
+				if bi >= len(branches) {
+					return
+				}
+				sub := newExplorer(proto, inputs, opts, nil, glob)
+				sub.sharedD = sharedD
+				subs[bi] = sub
+				if br := branches[bi]; br.deliver >= 0 {
+					sub.deliverAtD(br.deliver, br.sr, br.sc)
+				} else {
+					sub.crashBranchD(br.crash, br.sr, br.sc)
+				}
+			}
+		}()
+	}
+	wg.Wait()
+
+	rep.Configs = int(sharedD.count.Load())
+	for _, sub := range subs {
+		for v := range sub.rep.Decided {
+			rep.Decided[v] = true
+		}
+		if rep.AgreementViolation == "" {
+			rep.AgreementViolation = sub.rep.AgreementViolation
+		}
+		if rep.TerminationViolation == "" {
+			rep.TerminationViolation = sub.rep.TerminationViolation
+		}
+		rep.Truncated = rep.Truncated || sub.rep.Truncated
+	}
+	return rep
+}

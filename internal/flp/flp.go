@@ -44,6 +44,14 @@
 // all match the serial engine. Reports merge deterministically in
 // branch order.
 //
+// Options.DPOR adds dynamic partial-order reduction (dpor.go):
+// deliveries to different processes commute, so per-branch sleep masks
+// prune reorderings of independent deliveries and crashes, with the
+// configuration cache carrying the masks each configuration was
+// explored with (plain sleep sets plus naive state caching is unsound).
+// Decided sets, valences, and violation presence are preserved; the
+// wait-majority n=4 instance drops from 118357 configurations to 39425.
+//
 // The seed explorer is preserved behind Options.Legacy and fenced by
 // equivalence property tests: identical Decided sets, valences,
 // violation classifications, and Configs counts on the serial path.
@@ -185,6 +193,15 @@ type Options struct {
 	// Legacy runs the seed explorer (Sprintf keys, full clones) instead
 	// of the rebuilt engine — the oracle for equivalence tests.
 	Legacy bool
+	// DPOR enables dynamic partial-order reduction (see dpor.go):
+	// deliveries to different processes commute, so the search prunes
+	// reorderings of independent deliveries and crashes with per-node
+	// sleep masks. Decided sets, valences, and the presence of agreement
+	// and termination violations are preserved exactly; Configs counts
+	// only the configurations the pruned search visits (fewer than the
+	// full search), and violation message details may differ. Ignored
+	// under Legacy.
+	DPOR bool
 }
 
 // DefaultMaxConfigs bounds exploration when Options.MaxConfigs is 0.
@@ -206,6 +223,9 @@ func Explore(proto Protocol, inputs []int, opts Options) Report {
 	}
 	if n > MaxProcs {
 		panic(fmt.Sprintf("flp: %d processes, max %d", n, MaxProcs))
+	}
+	if opts.DPOR {
+		return exploreDPOR(proto, inputs, opts)
 	}
 	if opts.Workers > 1 {
 		return exploreParallel(proto, inputs, opts)
@@ -266,9 +286,11 @@ type explorer struct {
 	msgKeys []uint64
 	scratch [][]emsg // buffer snapshots for crash branches
 
-	configs int
-	shared  *sharedSeen // cross-worker deduplication (nil when serial)
-	rep     *Report
+	configs  int
+	shared   *sharedSeen         // cross-worker deduplication (nil when serial)
+	dporSeen map[string]dporMask // DPOR-mode seen table (serial; nil otherwise)
+	sharedD  *sharedSeenD        // DPOR-mode shared table (parallel; nil otherwise)
+	rep      *Report
 }
 
 // internTable assigns globally consistent state and body ids across

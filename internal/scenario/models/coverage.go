@@ -1,0 +1,42 @@
+package models
+
+import (
+	"fmt"
+
+	"distbasics/internal/scenario"
+)
+
+// Coverage hooks (scenario.CoverageModel) for the amp-backed models the
+// nightly mutation campaigns run hottest: generic trace-shape coverage
+// plus the fault-kind combination actually composed against the run and
+// a coarse oracle-state summary. The combination signature is what the
+// mutation loop exploits — genAmpFaults draws each species with fixed
+// probabilities, so rare combinations (e.g. drop windows stacked with
+// partitions AND crash-recoveries) are reached far sooner by mutating a
+// corpus entry that already has two of the three than by waiting for an
+// independent seed to draw all of them at once.
+
+var (
+	_ scenario.CoverageModel = (*ABD)(nil)
+	_ scenario.CoverageModel = (*BenOr)(nil)
+)
+
+// Coverage implements scenario.CoverageModel.
+func (m *ABD) Coverage(sc *scenario.Scenario, res *scenario.Result) []string {
+	sigs := scenario.TraceCoverage(res)
+	sigs = append(sigs,
+		scenario.FaultComboCoverage(sc),
+		fmt.Sprintf("procs:%d", sc.Procs))
+	return sigs
+}
+
+// Coverage implements scenario.CoverageModel.
+func (m *BenOr) Coverage(sc *scenario.Scenario, res *scenario.Result) []string {
+	sigs := scenario.TraceCoverage(res)
+	sigs = append(sigs,
+		scenario.FaultComboCoverage(sc),
+		// Decider count is the oracle-visible liveness profile: how many
+		// processes got to a decision under this fault schedule.
+		fmt.Sprintf("decided:%d/%d", res.Completed, sc.Procs))
+	return sigs
+}

@@ -145,6 +145,23 @@ func (*FLP) Run(sc *scenario.Scenario) *scenario.Result {
 		res.Failf("parallel explorer diverges from serial: %s configs=%d vs %s configs=%d",
 			d, par.Configs, flpReportDigest(serial), serial.Configs)
 	}
+	// DPOR rows: serial and parallel reduced searches must match each
+	// other exactly (Configs included — the explored set is an
+	// order-independent fixpoint) and match the full search on the
+	// digest, over no more configurations.
+	dporS := flp.Explore(proto, inputs, flp.Options{MaxCrashes: crashes, DPOR: true})
+	dporP := flp.Explore(proto, inputs, flp.Options{MaxCrashes: crashes, DPOR: true, Workers: 4})
+	res.Tracef("dpor: %s configs=%d", flpReportDigest(dporS), dporS.Configs)
+	if d := flpReportDigest(dporP); d != flpReportDigest(dporS) || dporP.Configs != dporS.Configs {
+		res.Failf("parallel DPOR diverges from serial DPOR: %s configs=%d vs %s configs=%d",
+			d, dporP.Configs, flpReportDigest(dporS), dporS.Configs)
+	}
+	if d := flpReportDigest(dporS); d != flpReportDigest(serial) {
+		res.Failf("DPOR digest diverges from full search: %s vs %s", d, flpReportDigest(serial))
+	}
+	if dporS.Configs > serial.Configs {
+		res.Failf("DPOR visited more configs (%d) than the full search (%d)", dporS.Configs, serial.Configs)
+	}
 	res.Completed = serial.Configs
 	return res
 }

@@ -123,6 +123,34 @@ func (*ShmExplore) Run(sc *scenario.Scenario) *scenario.Result {
 				maxCrashes, exploreDigest(gotPar), exploreDigest(got))
 			return res
 		}
+		// DPOR rows: the reduced search must agree with itself across
+		// serial/parallel exactly, and with the full search on violation
+		// presence whenever neither was truncated (under truncation the
+		// two searches cut different prefixes and are incomparable).
+		dporOpts := opts
+		dporOpts.DPOR = true
+		gotD := shm.Explore(dporOpts)
+		dporPar := dporOpts
+		dporPar.Workers = 4
+		gotDP := shm.Explore(dporPar)
+		res.Tracef("crashes=%d dpor: %s", maxCrashes, exploreDigest(gotD))
+		if exploreDigest(gotDP) != exploreDigest(gotD) {
+			res.Failf("crashes=%d: parallel DPOR diverges from serial DPOR:\n  parallel: %s\n  serial:   %s",
+				maxCrashes, exploreDigest(gotDP), exploreDigest(gotD))
+			return res
+		}
+		if !got.Truncated && !gotD.Truncated {
+			if (gotD.Violation != "") != (got.Violation != "") {
+				res.Failf("crashes=%d: DPOR violation presence diverges from full search:\n  dpor: %s\n  full: %s",
+					maxCrashes, exploreDigest(gotD), exploreDigest(got))
+				return res
+			}
+			if got.Violation == "" && gotD.Executions > got.Executions {
+				res.Failf("crashes=%d: DPOR explored more executions (%d) than the full search (%d)",
+					maxCrashes, gotD.Executions, got.Executions)
+				return res
+			}
+		}
 		res.Completed += got.Executions
 	}
 	return res

@@ -1,0 +1,170 @@
+package scenario_test
+
+import (
+	"fmt"
+	"testing"
+
+	"distbasics/internal/scenario"
+	"distbasics/internal/scenario/models"
+)
+
+// TestMutationBeatsSamplingAtEqualBudget is the tentpole's acceptance
+// check for the fuzz half: at the SAME Model.Run budget, the
+// coverage-guided mutation campaign must reach oracle-state coverage
+// that independent-seed sampling does not. Both campaigns are
+// deterministic, so this is a stable property of the harness, not a
+// flaky statistical claim.
+func TestMutationBeatsSamplingAtEqualBudget(t *testing.T) {
+	m, err := models.ByName("benor")
+	if err != nil {
+		t.Fatal(err)
+	}
+	const budget = 120
+	sampling := scenario.SamplingCoverage(m, 1, budget)
+
+	c := &scenario.MutationCampaign{Model: m, Seed: 1, Start: 1, Runs: budget, Bootstrap: budget / 4}
+	_, stats := c.Run()
+	if stats.Runs != budget {
+		t.Fatalf("mutation campaign spent %d runs, want %d", stats.Runs, budget)
+	}
+
+	var onlyMutation []string
+	for sig := range stats.Coverage {
+		if !sampling[sig] {
+			onlyMutation = append(onlyMutation, sig)
+		}
+	}
+	t.Logf("budget %d: sampling %d signatures, mutation %d (%d at bootstrap), %d mutation-only",
+		budget, len(sampling), stats.Signatures, stats.BootstrapSignatures, len(onlyMutation))
+	if stats.Signatures <= stats.BootstrapSignatures {
+		t.Fatalf("mutation phase added no coverage past bootstrap (%d signatures)", stats.BootstrapSignatures)
+	}
+	if len(onlyMutation) == 0 {
+		t.Fatal("mutation campaign reached no coverage beyond equal-budget independent sampling")
+	}
+}
+
+// TestMutationCampaignDeterministic: the whole campaign is a pure
+// function of (Model, Seed, Start, Runs) — stats and coverage must be
+// identical across repeated runs.
+func TestMutationCampaignDeterministic(t *testing.T) {
+	m, err := models.ByName("benor")
+	if err != nil {
+		t.Fatal(err)
+	}
+	run := func() scenario.MutationStats {
+		c := &scenario.MutationCampaign{Model: m, Seed: 7, Start: 3, Runs: 40}
+		_, stats := c.Run()
+		return stats
+	}
+	a, b := run(), run()
+	if a.Runs != b.Runs || a.Failures != b.Failures || a.Signatures != b.Signatures ||
+		a.CorpusSize != b.CorpusSize || a.Completed != b.Completed || a.Pending != b.Pending {
+		t.Fatalf("campaign not deterministic:\n  %+v\n  %+v", a, b)
+	}
+	for sig := range a.Coverage {
+		if !b.Coverage[sig] {
+			t.Fatalf("coverage sets differ: %q only in first run", sig)
+		}
+	}
+	for i := range a.Corpus {
+		if string(a.Corpus[i].Encode()) != string(b.Corpus[i].Encode()) {
+			t.Fatalf("corpus entry %d differs between runs", i)
+		}
+	}
+}
+
+// TestMutantsRemainReplayable: every corpus scenario a mutation
+// campaign retains must round-trip through Encode/Decode and replay to
+// an identical result — mutants are first-class reproducers.
+func TestMutantsRemainReplayable(t *testing.T) {
+	m, err := models.ByName("abd")
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := &scenario.MutationCampaign{Model: m, Seed: 11, Start: 1, Runs: 30, Bootstrap: 8}
+	_, stats := c.Run()
+	if stats.CorpusSize <= 8 {
+		t.Fatalf("mutation retained no corpus entries past bootstrap (corpus %d)", stats.CorpusSize)
+	}
+	for i, sc := range stats.Corpus {
+		dec, err := scenario.Decode(sc.Encode())
+		if err != nil {
+			t.Fatalf("corpus entry %d does not round-trip: %v", i, err)
+		}
+		want, got := m.Run(sc), m.Run(dec)
+		if want.TraceString() != got.TraceString() || want.Failed != got.Failed {
+			t.Fatalf("corpus entry %d replays differently after round-trip", i)
+		}
+	}
+}
+
+// TestMutationCampaignShrinksFailures: the mutated-oracle fence — a
+// deliberately weakened ABD read quorum must be caught by the mutation
+// campaign, and ddmin must still minimize the failing mutant while it
+// keeps failing.
+func TestMutationCampaignShrinksFailures(t *testing.T) {
+	weak := &models.ABD{WeakReadQuorum: 1}
+	var found *scenario.Failure
+	for attempt := uint64(1); attempt <= 4 && found == nil; attempt++ {
+		c := &scenario.MutationCampaign{
+			Model: weak, Seed: attempt, Start: attempt * 50, Runs: 60,
+			Shrink: true, MaxShrinkRuns: 400,
+		}
+		failures, _ := c.Run()
+		if len(failures) > 0 {
+			found = &failures[0]
+		}
+	}
+	if found == nil {
+		t.Fatal("weakened read quorum produced no failure under mutation campaigns")
+	}
+	if found.Shrunk == nil || !found.ShrunkResult.Failed {
+		t.Fatal("failure was not shrunk to a still-failing reproducer")
+	}
+	if len(found.Shrunk.Ops)+len(found.Shrunk.Faults) > len(found.Scenario.Ops)+len(found.Scenario.Faults) {
+		t.Fatalf("shrinking grew the scenario: %s -> %s", found.Scenario.Summary(), found.Shrunk.Summary())
+	}
+	// The shrunk mutant must replay through the text format and still
+	// fail under the weak model but pass under the sound one.
+	dec, err := scenario.Decode(found.Shrunk.Encode())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !weak.Run(dec).Failed {
+		t.Fatal("decoded mutant reproducer no longer fails under the weak model")
+	}
+	sound, _ := models.ByName("abd")
+	if sound.Run(dec).Failed {
+		t.Fatal("decoded mutant reproducer fails even under the sound model")
+	}
+}
+
+// TestTraceCoverageShapes pins the generic signature abstraction:
+// digit runs collapse, distinct shapes stay distinct.
+func TestTraceCoverageShapes(t *testing.T) {
+	res := &scenario.Result{Completed: 3}
+	res.Tracef("p%d write(%d) -> %d @[%d,%d]", 3, 7, 7, 141, 209)
+	res.Tracef("p%d write(%d) -> %d @[%d,%d]", 0, 2, 2, 87, 90)
+	res.Tracef("p%d read pending @%d", 1, 55)
+	sigs := scenario.TraceCoverage(res)
+	want := map[string]bool{
+		"t:p# write(#) -> # @[#,#]": true,
+		"t:p# read pending @#":      true,
+		"completed:2":               true,
+		"pending:0":                 true,
+	}
+	if len(sigs) != len(want) {
+		t.Fatalf("got %d signatures %v, want %d", len(sigs), sigs, len(want))
+	}
+	for _, sig := range sigs {
+		if !want[sig] {
+			t.Fatalf("unexpected signature %q in %v", sig, sigs)
+		}
+	}
+	if got := fmt.Sprint(scenario.FaultComboCoverage(&scenario.Scenario{
+		Faults: []scenario.Fault{{Kind: scenario.FaultDrop}, {Kind: scenario.FaultCrash}, {Kind: scenario.FaultDrop}},
+	})); got != "faults:crash+drop" {
+		t.Fatalf("FaultComboCoverage = %q", got)
+	}
+}

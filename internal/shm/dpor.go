@@ -1,0 +1,659 @@
+package shm
+
+// Dynamic partial-order reduction (DPOR) for the exhaustive explorer
+// (ExploreOpts.DPOR). Two complete schedules that differ only in the
+// order of adjacent independent steps — steps of different processes
+// touching different objects, or at most reading the same one — are
+// Mazurkiewicz-equivalent: they visit the same states and produce the
+// same outcome. The full explorer enumerates every member of every
+// equivalence class; the DPOR explorer visits exactly one
+// representative per class, using sleep sets (Godefroid).
+//
+// # Dependence relation
+//
+// Every atomic step declares the shared object it touches (a
+// creation-order id assigned by the object constructors in objects.go)
+// and whether it may write it. Two steps are dependent iff they belong
+// to the same process, or they touch the same object and at least one
+// writes it. A Yield touches nothing and is independent of every other
+// process's steps; a step with no declaration (shm.Atomic, objects built
+// without their constructor) conservatively conflicts with everything.
+// A crash is dependent only with its own process's transitions: crashing
+// p commutes with every step and crash of q != p.
+//
+// Object identity must be stable across the millions of executions of
+// one search, each of which constructs fresh objects via Factory. The
+// ids are creation-order: a global counter, a mutex serializing Factory
+// calls of DPOR explorations, and per-execution normalization of raw ids
+// against the window the call reserved. Deterministic factories create
+// the same objects in the same order, so "k-th object created" names the
+// same program object in every execution. If the window's object count
+// ever deviates from the first execution's (a non-deterministic factory,
+// or foreign construction racing the window), normalization degrades
+// every access to conflicts-with-everything — no pruning, never wrong.
+//
+// # Sleep sets
+//
+// Each node of the decision tree carries a sleep set: transitions whose
+// subtrees are already covered by an earlier sibling branch. Descending
+// into child t, the child's sleep set is the node's minus every entry
+// dependent with t; backtracking out of t adds t to the node's set for
+// its later siblings. The extension of each execution steps the lowest
+// enabled process whose step is not asleep; when every enabled step is
+// asleep, every completion from the node is equivalent to one already
+// explored, and the partial execution is abandoned (not counted, not
+// checked). In a tree search (no state caching) sleep sets alone visit
+// exactly one complete execution per Mazurkiewicz class, which is
+// optimal for trace reduction; the persistent/backtrack set at every
+// node is the full enabled set, which is trivially persistent and keeps
+// the search embarrassingly partitionable across workers (the pruned
+// partial executions are the price, bounded by one per abandoned class).
+//
+// # Step budgets and crashes
+//
+// The soundness of pruning under the step-budget cutoff rests on
+// equivalence preserving length and per-process step counts: the
+// representative of a cutoff leaf's class is itself a cutoff leaf with
+// the same outcome. That argument covers step/step swaps, but not
+// crash/step swaps: a crash consumes no step budget, so moving a crash
+// LATER across a step can push it onto a node at the budget boundary —
+// a node the explored tree ends as a cutoff leaf, with no crash
+// children. Concretely, [crash(p), step(q)] is in the tree whenever
+// [step(q), crash(p)] is, but not conversely, so treating them as
+// independent lets a sleeping step(q) prune a crash branch whose
+// continuations the step(q)-first subtree never actually contained.
+// When crashes are possible and the budget is reachable, crash
+// transitions are therefore declared dependent with every step
+// (crash/crash swaps move neither crash's step offset and stay
+// independent). The mode is static when the caller set MaxSteps; under
+// the default budget the search runs with full reduction and, if a
+// cutoff is nonetheless observed without a violation, is restarted in
+// the dependent mode — the trigger is computed from counted executions
+// only, which serial and parallel searches visit identically, so the
+// restart decision is exploration-order independent.
+
+import (
+	"math/bits"
+	"sync"
+	"sync/atomic"
+)
+
+// objSeq hands out creation-order object identities (see newObjID). The
+// zero id is reserved for "unknown object" (conflicts with everything).
+var objSeq atomic.Uint64
+
+// dporFactoryMu serializes object construction during DPOR explorations
+// so each Factory call owns a contiguous id window.
+var dporFactoryMu sync.Mutex
+
+// newObjID reserves one creation-order object identity.
+func newObjID() uint64 { return objSeq.Add(1) }
+
+// newObjIDBlock reserves m consecutive identities, returning the first.
+func newObjIDBlock(m int) uint64 { return objSeq.Add(uint64(m)) - uint64(m) + 1 }
+
+// oidNone marks a step that touches no shared object (Yield).
+const oidNone = ^uint64(0)
+
+// Access classes after normalization. Classes >= 2 name the (cls-2)-th
+// object created by the execution's Factory call.
+const (
+	clsConflict = 0 // unknown object: dependent with every access
+	clsNone     = 1 // touches nothing: independent of everything
+)
+
+// dporAcc is one step's normalized object access.
+type dporAcc struct {
+	cls   uint32
+	write bool
+}
+
+// dporStep is one recorded step: its access and the process that took it.
+type dporStep struct {
+	acc dporAcc
+	pid uint8
+}
+
+// dporSleep is one sleep-set entry: a transition (step or crash of pid)
+// whose subtree is covered by an earlier sibling branch. acc is the
+// step's access (unused for crash entries).
+type dporSleep struct {
+	pid   uint8
+	crash bool
+	acc   dporAcc
+}
+
+// dporDependsDefault is the dependence relation on accesses of DIFFERENT
+// processes (same-process transitions are always dependent and handled
+// by pid comparison in dporFilterSleep).
+func dporDependsDefault(a, b dporAcc) bool {
+	if a.cls == clsNone || b.cls == clsNone {
+		return false
+	}
+	if a.cls == clsConflict || b.cls == clsConflict {
+		return true
+	}
+	return a.cls == b.cls && (a.write || b.write)
+}
+
+// dporDepends is the dependence relation in effect. It is a variable
+// only so the differential fence can mutation-verify itself by wiring a
+// deliberately-wrong relation and confirming the fence fails.
+var dporDepends = dporDependsDefault
+
+// dporFilterSleep removes from sleep (in place) every entry dependent
+// with the executed transition: pid stepping with access acc, or pid
+// crashing (crash == true, acc ignored). In crashDep mode crash
+// transitions are additionally dependent with every step (see the
+// step-budget discussion in the package comment above).
+func dporFilterSleep(sleep []dporSleep, pid uint8, crash bool, acc dporAcc, crashDep bool) []dporSleep {
+	kept := sleep[:0]
+	for _, s := range sleep {
+		if s.pid == pid {
+			continue // same process: transitions never commute
+		}
+		if crashDep && s.crash != crash {
+			continue // crash vs step: dependent under a reachable budget
+		}
+		if !crash && !s.crash && dporDepends(s.acc, acc) {
+			continue
+		}
+		kept = append(kept, s)
+	}
+	return kept
+}
+
+// dporSleepContains reports whether the transition d is asleep.
+func dporSleepContains(sleep []dporSleep, d Decision) bool {
+	crash := d.Kind == CrashProc
+	for _, s := range sleep {
+		if int(s.pid) == d.Pid && s.crash == crash {
+			return true
+		}
+	}
+	return false
+}
+
+// dporRec is the engine-side access recorder of one DPOR exploration:
+// raw object ids are normalized against the current execution's Factory
+// window as steps execute. accs holds one entry per step of the current
+// execution (replayed prefix included; crashes record nothing).
+type dporRec struct {
+	base     uint64 // objSeq before the execution's Factory call
+	count    uint64 // ids the call reserved
+	unstable bool   // normalization off: every access is clsConflict
+	crashDep bool   // crash transitions dependent with every step
+	accs     []dporStep
+	scratch  []dporSleep // engine-local working sleep set
+}
+
+// setExec points normalization at the current execution's id window.
+func (d *dporRec) setExec(base, count uint64, unstable bool) {
+	if count >= 1<<30 {
+		unstable = true // class must fit uint32
+	}
+	d.base, d.count, d.unstable = base, count, unstable
+}
+
+// record normalizes and appends one step's access.
+func (d *dporRec) record(sid int, oid uint64, write bool) {
+	cls := uint32(clsConflict)
+	switch {
+	case oid == oidNone:
+		cls = clsNone
+	case !d.unstable && oid > d.base && oid-d.base <= d.count:
+		cls = uint32(2 + (oid - d.base - 1))
+	}
+	d.accs = append(d.accs, dporStep{acc: dporAcc{cls: cls, write: write}, pid: uint8(sid)})
+}
+
+// dporRuns is the shared per-exploration factory state: every Factory
+// call goes through make, which reserves the id window and checks that
+// the call constructed the same number of objects as the first one.
+type dporRuns struct {
+	expected  atomic.Int64 // objects per Factory call; -1 until known
+	unstable  atomic.Bool
+	crashDep  bool        // this attempt's crash/step dependence mode
+	sawCutoff atomic.Bool // some counted execution hit the step budget
+}
+
+func newDPORRuns(crashDep bool) *dporRuns {
+	r := &dporRuns{crashDep: crashDep}
+	r.expected.Store(-1)
+	return r
+}
+
+// make runs factory under the construction mutex and returns the run
+// with its id window.
+func (r *dporRuns) make(factory func() *Run) (*Run, uint64, uint64) {
+	dporFactoryMu.Lock()
+	base := objSeq.Load()
+	run := factory()
+	count := objSeq.Load() - base
+	dporFactoryMu.Unlock()
+	exp := r.expected.Load()
+	switch {
+	case exp == int64(count):
+	case exp == -1 && r.expected.CompareAndSwap(-1, int64(count)):
+	default:
+		r.unstable.Store(true)
+	}
+	return run, base, count
+}
+
+// childDecisionDPOR maps a child index to its scheduling decision under
+// the DPOR child order: the steps of every enabled id in ascending
+// order, then (crash budget permitting) the crashes in ascending order.
+// Steps-first keeps the extension loop — which takes the first
+// non-sleeping step child — purely step-shaped.
+func childDecisionDPOR(word uint64, idx int, canCrash bool) Decision {
+	kind := StepProc
+	if k := bits.OnesCount64(word); canCrash && idx >= k {
+		kind = CrashProc
+		idx -= k
+	}
+	w := word
+	for ; idx > 0; idx-- {
+		w &= w - 1
+	}
+	return Decision{Kind: kind, Pid: bits.TrailingZeros64(w)}
+}
+
+// dporLevel is one decision point on the DPOR DFS stack.
+type dporLevel struct {
+	word    uint64 // enabled set at this decision point
+	child   int    // child currently being explored (-1: none yet)
+	nchild  int
+	crashes int     // CrashProc decisions before this point
+	soff    int     // this node's sleep set: arena[soff : soff+slen]
+	slen    int     // (explored-sibling entries are appended to it)
+	stepIdx int     // StepProc decisions before this point
+	curAcc  dporAcc // access of the step child currently descending
+}
+
+// dporExplorer runs the sleep-set DFS over one subtree, mirroring
+// subExplorer's leaf-only architecture: one engine, one outcome, one
+// recording buffer, plus an arena of per-level sleep sets managed with
+// the same LIFO discipline as the level stack.
+type dporExplorer struct {
+	eng      *engine
+	opts     *ExploreOpts
+	runs     *dporRuns
+	maxSteps int
+	out      *Outcome
+	rec      []uint64
+	prefix   []Decision
+	stack    []dporLevel
+	arena    []dporSleep
+
+	executions int
+	violation  string
+	schedule   []Decision
+}
+
+func newDPORExplorer(eng *engine, opts *ExploreOpts, runs *dporRuns, maxSteps, n int) *dporExplorer {
+	return &dporExplorer{eng: eng, opts: opts, runs: runs, maxSteps: maxSteps, out: newOutcome(n)}
+}
+
+// explore runs the pruned DFS over all extensions of base, whose at-node
+// sleep set is baseSleep. first (with its id window) is used for the
+// initial execution in place of a Factory call when non-nil. Semantics
+// of cont, executions, violation, and schedule match subExplorer.explore.
+func (s *dporExplorer) explore(first *Run, firstBase, firstCount uint64, base []Decision, baseCrashes int, baseSleep []dporSleep, cont func() bool) {
+	s.prefix = append(s.prefix[:0], base...)
+	s.stack = s.stack[:0]
+	s.arena = append(s.arena[:0], baseSleep...)
+	crashes := baseCrashes
+	baseSteps := 0
+	for _, d := range base {
+		if d.Kind == StepProc {
+			baseSteps++
+		}
+	}
+	// The sleep set handed to the next execution: at-node before the
+	// first execution; after a backtrack, the branch level's set
+	// (including sibling entries), which the engine filters through the
+	// branch decision (filterLast).
+	curOff, curLen := 0, len(baseSleep)
+	filterLast := false
+	parent := -1 // stack index of the level being branched from
+	for {
+		run := first
+		rb, rc := firstBase, firstCount
+		if run == nil {
+			run, rb, rc = s.runs.make(s.opts.Factory)
+		}
+		first = nil
+		s.eng.dpor.setExec(rb, rc, s.runs.unstable.Load())
+		var prunedWord uint64
+		var pruned bool
+		s.rec, prunedWord, pruned = s.eng.runExploreDPOR(run.Bodies, s.prefix, s.arena[curOff:curOff+curLen], filterLast, s.maxSteps, s.out, s.rec[:0])
+		accs := s.eng.dpor.accs
+		// stepIdx of the first extension decision point; also resolve the
+		// branch step's access now that it has executed.
+		stepIdx := baseSteps
+		if parent >= 0 {
+			L := &s.stack[parent]
+			stepIdx = L.stepIdx
+			if d := s.prefix[len(s.prefix)-1]; d.Kind == StepProc {
+				L.curAcc = accs[L.stepIdx].acc
+				stepIdx++
+			}
+		}
+		if !pruned {
+			s.executions++
+			if s.out.Cutoff {
+				s.runs.sawCutoff.Store(true)
+			}
+			if reason := s.opts.Check(s.out); reason != "" {
+				s.violation = reason
+				sched := make([]Decision, 0, len(s.prefix)+len(s.rec))
+				sched = append(sched, s.prefix...)
+				for i := range s.rec {
+					sched = append(sched, Decision{Kind: StepProc, Pid: int(accs[stepIdx+i].pid)})
+				}
+				s.schedule = sched
+				return
+			}
+		}
+		// At-node sleep set of the first extension decision point: the
+		// branch level's set filtered through the branch decision (the
+		// engine computed the same internally; rebuild it for the stack).
+		if filterLast && len(s.prefix) > 0 {
+			d := s.prefix[len(s.prefix)-1]
+			var acc dporAcc
+			if d.Kind == StepProc && parent >= 0 {
+				acc = s.stack[parent].curAcc
+			}
+			newOff := len(s.arena)
+			s.arena = append(s.arena, s.arena[curOff:curOff+curLen]...)
+			filtered := dporFilterSleep(s.arena[newOff:], uint8(d.Pid), d.Kind == CrashProc, acc, s.runs.crashDep)
+			s.arena = s.arena[:newOff+len(filtered)]
+			curOff, curLen = newOff, len(filtered)
+		}
+		// The executed tail's decision points become stack levels. The
+		// child taken at each is the lowest enabled id whose step was not
+		// asleep — not necessarily child 0.
+		for i, w := range s.rec {
+			a := accs[stepIdx+i]
+			taken := bits.OnesCount64(w & (1<<(a.pid&63) - 1))
+			nc := bits.OnesCount64(w)
+			if crashes < s.opts.MaxCrashes {
+				nc *= 2
+			}
+			s.stack = append(s.stack, dporLevel{
+				word: w, child: taken, nchild: nc, crashes: crashes,
+				soff: curOff, slen: curLen, stepIdx: stepIdx + i, curAcc: a.acc,
+			})
+			s.prefix = append(s.prefix, Decision{Kind: StepProc, Pid: int(a.pid)})
+			newOff := len(s.arena)
+			s.arena = append(s.arena, s.arena[curOff:curOff+curLen]...)
+			filtered := dporFilterSleep(s.arena[newOff:], a.pid, false, a.acc, s.runs.crashDep)
+			s.arena = s.arena[:newOff+len(filtered)]
+			curOff, curLen = newOff, len(filtered)
+		}
+		if pruned {
+			// Every enabled step at the final node is asleep; only its
+			// crash children (if any) remain.
+			nc := bits.OnesCount64(prunedWord)
+			if crashes < s.opts.MaxCrashes {
+				nc *= 2
+			}
+			s.stack = append(s.stack, dporLevel{
+				word: prunedWord, child: -1, nchild: nc, crashes: crashes,
+				soff: curOff, slen: curLen, stepIdx: stepIdx + len(s.rec),
+			})
+			s.prefix = append(s.prefix, Decision{}) // overwritten on descent
+		}
+		// Backtrack to the deepest decision point with an unexplored,
+		// non-sleeping child and descend into it.
+		for {
+			if len(s.stack) == 0 {
+				return // subtree exhausted
+			}
+			idx := len(s.stack) - 1
+			top := &s.stack[idx]
+			canCrash := top.crashes < s.opts.MaxCrashes
+			// Reclaim the arena above this node's set, then put the
+			// finished child to sleep for its later siblings.
+			s.arena = s.arena[:top.soff+top.slen]
+			if top.child >= 0 {
+				d := childDecisionDPOR(top.word, top.child, canCrash)
+				s.arena = append(s.arena, dporSleep{pid: uint8(d.Pid), crash: d.Kind == CrashProc, acc: top.curAcc})
+				top.slen++
+			}
+			next := -1
+			for c := top.child + 1; c < top.nchild; c++ {
+				if !dporSleepContains(s.arena[top.soff:top.soff+top.slen], childDecisionDPOR(top.word, c, canCrash)) {
+					next = c
+					break
+				}
+			}
+			if next >= 0 {
+				top.child = next
+				d := childDecisionDPOR(top.word, next, canCrash)
+				s.prefix = s.prefix[:len(base)+len(s.stack)]
+				s.prefix[len(s.prefix)-1] = d
+				crashes = top.crashes
+				if d.Kind == CrashProc {
+					crashes++
+				}
+				curOff, curLen = top.soff, top.slen
+				filterLast = true
+				parent = idx
+				break
+			}
+			s.stack = s.stack[:idx]
+		}
+		if !cont() {
+			return
+		}
+	}
+}
+
+// exploreDPOR drives a DPOR exploration (Explore with opts.DPOR set),
+// serial or parallel. When the caller set no explicit step budget, the
+// first attempt treats crashes as independent of steps; if that attempt
+// finds no violation but some execution hit the (default) budget, the
+// independence was potentially unsound and the search is redone with
+// crash/step dependence on (see the package comment).
+func exploreDPOR(opts *ExploreOpts, maxSteps int) *ExploreResult {
+	crashDep := opts.MaxCrashes > 0 && opts.MaxSteps > 0
+	res, sawCutoff := exploreDPORAttempt(opts, maxSteps, crashDep)
+	if !crashDep && opts.MaxCrashes > 0 && res.Violation == "" && sawCutoff {
+		res, _ = exploreDPORAttempt(opts, maxSteps, true)
+	}
+	return res
+}
+
+func exploreDPORAttempt(opts *ExploreOpts, maxSteps int, crashDep bool) (*ExploreResult, bool) {
+	runs := newDPORRuns(crashDep)
+	first, base, count := runs.make(opts.Factory)
+	n := len(first.Bodies)
+	if n > 64 {
+		panic("shm: Explore supports at most 64 processes")
+	}
+	if opts.Workers > 1 && opts.MaxExecutions == 0 && n > 0 {
+		return exploreParallelDPOR(opts, runs, n, maxSteps, first, base, count), runs.sawCutoff.Load()
+	}
+	res := &ExploreResult{}
+	withEngine(n, func(eng *engine) {
+		eng.dpor = &dporRec{crashDep: crashDep}
+		sub := newDPORExplorer(eng, opts, runs, maxSteps, n)
+		sub.explore(first, base, count, nil, 0, nil, func() bool {
+			if opts.MaxExecutions > 0 && sub.executions >= opts.MaxExecutions {
+				res.Truncated = true
+				return false
+			}
+			return true
+		})
+		res.Executions = sub.executions
+		res.Violation = sub.violation
+		res.Schedule = sub.schedule
+	})
+	return res, runs.sawCutoff.Load()
+}
+
+// exploreParallelDPOR is exploreParallel under sleep-set pruning: the
+// breadth-first frontier expansion replicates the serial DFS's sleep
+// sets exactly — children are enumerated in DPOR child order, sleeping
+// children are skipped, and each explored sibling is added to the sleep
+// set of the ones after it — so the workers' subtrees partition exactly
+// the serial search's leaves and Executions/Violation/Schedule match a
+// serial DPOR run.
+func exploreParallelDPOR(opts *ExploreOpts, runs *dporRuns, n, maxSteps int, first *Run, firstBase, firstCount uint64) *ExploreResult {
+	type dNode struct {
+		prefix  []Decision
+		crashes int
+		sleep   []dporSleep // at-node sleep set
+		word    uint64      // enabled set at the node (valid when !leaf)
+		leaf    bool
+	}
+
+	target := opts.Workers * 4
+	var frontier []dNode
+	withEngine(n, func(eng *engine) {
+		eng.dpor = &dporRec{crashDep: runs.crashDep}
+		scratch := newOutcome(n)
+		// probe replays prefix and reports the enabled set at its end plus
+		// the access of the prefix's last step (the branch step whose
+		// sibling sleep entry is being built).
+		probe := func(prefix []Decision) (uint64, bool, dporAcc) {
+			run := first
+			rb, rc := firstBase, firstCount
+			if run == nil {
+				run, rb, rc = runs.make(opts.Factory)
+			}
+			first = nil
+			eng.dpor.setExec(rb, rc, runs.unstable.Load())
+			w, ok := eng.probeDPOR(run.Bodies, prefix, maxSteps, scratch)
+			var last dporAcc
+			if accs := eng.dpor.accs; len(accs) > 0 {
+				last = accs[len(accs)-1].acc
+			}
+			return w, ok, last
+		}
+		rootWord, rootOK, _ := probe(nil)
+		if !rootOK {
+			frontier = []dNode{{leaf: true}}
+			return
+		}
+		frontier = []dNode{{word: rootWord}}
+		for len(frontier) < target {
+			expanded := false
+			next := make([]dNode, 0, 2*len(frontier))
+			for _, nd := range frontier {
+				if nd.leaf {
+					next = append(next, nd)
+					continue
+				}
+				expanded = true
+				canCrash := nd.crashes < opts.MaxCrashes
+				nc := bits.OnesCount64(nd.word)
+				if canCrash {
+					nc *= 2
+				}
+				cur := append([]dporSleep(nil), nd.sleep...)
+				for c := 0; c < nc; c++ {
+					d := childDecisionDPOR(nd.word, c, canCrash)
+					if dporSleepContains(cur, d) {
+						continue
+					}
+					child := dNode{
+						prefix:  append(append(make([]Decision, 0, len(nd.prefix)+1), nd.prefix...), d),
+						crashes: nd.crashes,
+					}
+					var acc dporAcc
+					if d.Kind == CrashProc {
+						// Crashing d.Pid disables exactly it and takes no
+						// steps, so the child's node is known without a probe.
+						child.crashes++
+						child.word = nd.word &^ (1 << uint(d.Pid))
+						child.leaf = child.word == 0
+					} else {
+						w, ok, last := probe(child.prefix)
+						acc = last
+						child.word, child.leaf = w, !ok
+					}
+					child.sleep = dporFilterSleep(append([]dporSleep(nil), cur...), uint8(d.Pid), d.Kind == CrashProc, acc, runs.crashDep)
+					next = append(next, child)
+					cur = append(cur, dporSleep{pid: uint8(d.Pid), crash: d.Kind == CrashProc, acc: acc})
+				}
+			}
+			widened := len(next) > len(frontier)
+			frontier = next
+			if !expanded || !widened {
+				break
+			}
+		}
+	})
+
+	type rootResult struct {
+		executions int
+		violation  string
+		schedule   []Decision
+	}
+	results := make([]rootResult, len(frontier))
+	var nextRoot atomic.Int64
+	var minViol atomic.Int64
+	minViol.Store(int64(len(frontier))) // sentinel: no violation yet
+	var wg sync.WaitGroup
+	for wk := 0; wk < opts.Workers; wk++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			withEngine(n, func(weng *engine) {
+				weng.dpor = &dporRec{crashDep: runs.crashDep}
+				sub := newDPORExplorer(weng, opts, runs, maxSteps, n)
+				for {
+					r := int(nextRoot.Add(1) - 1)
+					if r >= len(frontier) {
+						return
+					}
+					if int64(r) > minViol.Load() {
+						continue // beaten by an earlier subtree's violation
+					}
+					nd := frontier[r]
+					sub.executions, sub.violation, sub.schedule = 0, "", nil
+					aborted := false
+					sub.explore(nil, 0, 0, nd.prefix, nd.crashes, nd.sleep, func() bool {
+						if int64(r) > minViol.Load() {
+							aborted = true
+							return false
+						}
+						return true
+					})
+					if aborted {
+						continue
+					}
+					results[r] = rootResult{sub.executions, sub.violation, sub.schedule}
+					if sub.violation != "" {
+						for {
+							cur := minViol.Load()
+							if int64(r) >= cur || minViol.CompareAndSwap(cur, int64(r)) {
+								break
+							}
+						}
+					}
+				}
+			})
+		}()
+	}
+	wg.Wait()
+
+	res := &ExploreResult{}
+	rmin := int(minViol.Load())
+	if rmin < len(frontier) {
+		for r := 0; r < rmin; r++ {
+			res.Executions += results[r].executions
+		}
+		res.Executions += results[rmin].executions
+		res.Violation = results[rmin].violation
+		res.Schedule = results[rmin].schedule
+	} else {
+		for r := range results {
+			res.Executions += results[r].executions
+		}
+	}
+	return res
+}

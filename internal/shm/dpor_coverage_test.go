@@ -1,0 +1,67 @@
+package shm
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+)
+
+func dporOutcomeKey(out *Outcome) string {
+	s := ""
+	for i := range out.Outputs {
+		s += fmt.Sprintf("%v:%v:%v:%d;", out.Outputs[i], out.Finished[i], out.Crashed[i], out.StepsBy[i])
+	}
+	return s + fmt.Sprintf("steps=%d cutoff=%v", out.Steps, out.Cutoff)
+}
+
+// TestDPORClassCoverage is a stronger fence than violation presence: for
+// every seeded program, the SET of outcome equivalence classes visited
+// by the DPOR search must equal the full enumeration's exactly — DPOR
+// may drop duplicate members of a class, never a whole class.
+func TestDPORClassCoverage(t *testing.T) {
+	var fullLeaves, dporLeaves int
+	for seed := int64(0); seed < 80; seed++ {
+		g := genDPORProgram(seed)
+		rng := rand.New(rand.NewSource(seed ^ 0x5eed))
+		maxCrashes := rng.Intn(3)
+		maxSteps := 0
+		if rng.Intn(3) == 0 {
+			maxSteps = 2 + rng.Intn(4)
+		}
+		collect := func(dpor bool) (map[string]int, int) {
+			seen := map[string]int{}
+			leaves := 0
+			Explore(ExploreOpts{
+				Factory:    g.factory,
+				MaxCrashes: maxCrashes,
+				MaxSteps:   maxSteps,
+				DPOR:       dpor,
+				Check: func(out *Outcome) string {
+					seen[dporOutcomeKey(out)]++
+					leaves++
+					return ""
+				},
+			})
+			return seen, leaves
+		}
+		full, nf := collect(false)
+		dpor, nd := collect(true)
+		fullLeaves += nf
+		dporLeaves += nd
+		for k, c := range full {
+			if dpor[k] == 0 {
+				t.Errorf("seed %d: outcome class missing from DPOR search (full visits it %d times): %s", seed, c, k)
+			}
+		}
+		for k, c := range dpor {
+			if full[k] == 0 {
+				t.Errorf("seed %d: DPOR visited an outcome class full enumeration does not (%d times): %s", seed, c, k)
+			}
+		}
+		if t.Failed() {
+			t.Fatalf("seed %d: class coverage broken", seed)
+		}
+	}
+	t.Logf("class coverage: full=%d leaves, dpor=%d leaves (%.1fx reduction) with identical class sets",
+		fullLeaves, dporLeaves, float64(fullLeaves)/float64(dporLeaves))
+}

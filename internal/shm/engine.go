@@ -71,6 +71,12 @@ type engine struct {
 	// lazily: processes are launched on their first step grant, and a
 	// process crashed before its first step never runs at all.
 	prof *progProfile
+
+	// dpor, when non-nil, makes every granted step record its declared
+	// object access (normalized to a creation-order class) — the raw
+	// material of the DPOR explorer's dependence relation. Nil outside
+	// DPOR explorations, so ordinary executions pay one branch per step.
+	dpor *dporRec
 }
 
 // progProfile is what a deterministic program's launch phase always looks
@@ -145,9 +151,12 @@ func runBody(body func(*Proc) any, p *Proc) (output any, crashed bool) {
 	return body(p), false
 }
 
-// step implements Proc.exec for engine-scheduled processes: consume one
-// granted step, parking at a decision point when the quota is exhausted.
-func (e *engine) step(sid int, op func()) {
+// stepAcc implements Proc.atomic/Proc.access for engine-scheduled
+// processes: consume one granted step, parking at a decision point when
+// the quota is exhausted. oid/write declare the shared-object access of
+// the step (oid 0: unknown object, conflicts with everything; oidNone:
+// touches nothing); they are recorded only under a DPOR exploration.
+func (e *engine) stepAcc(sid int, oid uint64, write bool, op func()) {
 	s := &e.slots[sid]
 	if s.quota == 0 {
 		if !s.yield(ready{}) {
@@ -159,6 +168,9 @@ func (e *engine) step(sid int, op func()) {
 		}
 	}
 	s.quota--
+	if e.dpor != nil {
+		e.dpor.record(sid, oid, write)
+	}
 	op()
 }
 
@@ -456,6 +468,84 @@ func (e *engine) runExplore(bodies []func(*Proc) any, prefix []Decision, maxStep
 	return rec
 }
 
+// runExploreDPOR is runExplore under sleep-set pruning: replay prefix,
+// then extend by always stepping the lowest enabled process whose step is
+// not in the sleep set, filtering the sleep set through each executed
+// step's access. sleep is the sleep set AT the node the prefix leads to
+// when filterLast is false; when filterLast is true it is the sleep set
+// at the prefix's parent node (including explored-sibling entries) and is
+// filtered through the prefix's final decision first. If every enabled
+// process's step is asleep the extension stops: the remaining subtree is
+// covered by earlier-explored sibling branches, and the partial execution
+// is reported with pruned == true (its word is the enabled set at the
+// pruned node; the outcome is meaningless and must not be checked).
+// Accesses of every step — replayed and extended — are left in
+// e.dpor.accs for the explorer.
+func (e *engine) runExploreDPOR(bodies []func(*Proc) any, prefix []Decision, sleep []dporSleep, filterLast bool, maxSteps int, out *Outcome, rec []uint64) (recOut []uint64, prunedWord uint64, pruned bool) {
+	d := e.dpor
+	d.accs = d.accs[:0]
+	e.beginExplore(bodies, out)
+	e.replay(prefix)
+	ws := append(d.scratch[:0], sleep...)
+	if filterLast && len(prefix) > 0 {
+		last := prefix[len(prefix)-1]
+		if last.Kind == CrashProc {
+			ws = dporFilterSleep(ws, uint8(last.Pid), true, dporAcc{}, d.crashDep)
+		} else {
+			ws = dporFilterSleep(ws, uint8(last.Pid), false, d.accs[len(d.accs)-1].acc, d.crashDep)
+		}
+	}
+	defer func() { d.scratch = ws[:0] }()
+	for e.live > 0 {
+		if out.Steps >= maxSteps {
+			out.Cutoff = true
+			e.crashAllEnabled()
+			break
+		}
+		w := e.words[0]
+		var slp uint64
+		minSleep := 64
+		for _, s := range ws {
+			if !s.crash {
+				slp |= 1 << (s.pid & 63)
+				if int(s.pid) < minSleep {
+					minSleep = int(s.pid)
+				}
+			}
+		}
+		free := w &^ slp
+		if free == 0 {
+			e.crashAllEnabled()
+			return rec, w, true
+		}
+		pid := bits.TrailingZeros64(free)
+		// Batching a run of consecutive steps to pid is safe only while no
+		// lower-id step is asleep: filtering could wake it mid-batch, which
+		// would change the lowest-non-sleeping choice.
+		q := 1
+		if pid < minSleep {
+			q = maxSteps - out.Steps
+		}
+		before := out.StepsBy[pid]
+		accStart := len(d.accs)
+		e.grantStep(pid, q)
+		for k := 0; k < out.StepsBy[pid]-before; k++ {
+			rec = append(rec, w)
+			ws = dporFilterSleep(ws, uint8(pid), false, d.accs[accStart+k].acc, d.crashDep)
+		}
+	}
+	return rec, 0, false
+}
+
+// probeDPOR replays prefix (recording step accesses into e.dpor.accs) and
+// reports the enabled set at its end, exactly like probe. Used by the
+// parallel DPOR frontier expansion, which needs each branch step's access
+// to build sibling sleep entries.
+func (e *engine) probeDPOR(bodies []func(*Proc) any, prefix []Decision, maxSteps int, out *Outcome) (uint64, bool) {
+	e.dpor.accs = e.dpor.accs[:0]
+	return e.probe(bodies, prefix, maxSteps, out)
+}
+
 // probe replays prefix and reports the enabled set at its end: ok is
 // false when the run ends within (or exactly at) the prefix, i.e. the
 // prefix is a complete schedule. The execution is aborted either way; the
@@ -519,6 +609,7 @@ func getEngine(n int) *engine {
 func putEngine(e *engine) {
 	e.prof = nil // the launch profile belongs to one program only
 	e.out = nil  // don't pin the caller's Outcome from the pool
+	e.dpor = nil // access recording belongs to one DPOR exploration only
 	enginePool.Lock()
 	if enginePool.bySize == nil {
 		enginePool.bySize = make(map[int][]*engine)

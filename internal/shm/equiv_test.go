@@ -150,7 +150,10 @@ func TestReplayViolationMatchesLegacyReplay(t *testing.T) {
 	if res.Violation == "" {
 		t.Fatal("no violation found")
 	}
-	got := ReplayViolation(factory, res.Schedule, 0)
+	got, err := ReplayViolation(factory, res.Schedule, 0)
+	if err != nil {
+		t.Fatalf("replay failed: %v", err)
+	}
 	want, _ := executeLegacy(factory(), &FixedPolicy{Schedule: res.Schedule}, DefaultExploreSteps)
 	if !reflect.DeepEqual(got, want) {
 		t.Fatalf("replayed outcomes diverge\nnew:    %+v\nlegacy: %+v", got, want)

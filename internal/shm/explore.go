@@ -17,6 +17,7 @@ package shm
 // in depth-first order.
 
 import (
+	"fmt"
 	"math/bits"
 	"sync"
 	"sync/atomic"
@@ -51,6 +52,15 @@ type ExploreOpts struct {
 	// Violation, and Schedule match a serial run — but Factory and Check
 	// must be safe for concurrent use.
 	Workers int
+	// DPOR enables dynamic partial-order reduction (dpor.go): schedules
+	// that differ only in the order of adjacent independent steps are
+	// explored once per equivalence class instead of once per member.
+	// Violation presence is preserved — a violating execution exists iff
+	// the pruned search finds one — but Executions shrinks (it counts
+	// class representatives) and the reported Schedule may be a
+	// permutation of the one full enumeration would report. Composes with
+	// Workers and MaxExecutions; ignored under Legacy.
+	DPOR bool
 	// Legacy runs the seed-era explorer (an execution per tree node on
 	// the goroutine-per-process engine), the differential-testing fence
 	// for the leaf-only explorer.
@@ -83,6 +93,9 @@ func Explore(opts ExploreOpts) *ExploreResult {
 	maxSteps := opts.MaxSteps
 	if maxSteps <= 0 {
 		maxSteps = DefaultExploreSteps
+	}
+	if opts.DPOR {
+		return exploreDPOR(&opts, maxSteps)
 	}
 	first := opts.Factory()
 	n := len(first.Bodies)
@@ -360,8 +373,21 @@ func exploreParallel(opts *ExploreOpts, n, maxSteps int, first *Run) *ExploreRes
 }
 
 // ReplayViolation re-executes a violating schedule and returns its outcome
-// (for debugging reports).
-func ReplayViolation(factory func() *Run, schedule []Decision, maxSteps int) *Outcome {
-	out, _ := executeInternal(factory(), &FixedPolicy{Schedule: schedule}, maxSteps)
-	return out
+// (for debugging reports). maxSteps must be the bound the schedule was
+// explored under (0 meaning DefaultMaxSteps), or a cutoff schedule cannot
+// replay. The error is non-nil when the schedule failed to replay — a
+// decision targeted a process that was not enabled, or the schedule ran
+// out with processes still running — which happens when the schedule is
+// stale (a different program, or a non-deterministic factory); the
+// returned Outcome is then the truncated run's and must not be trusted.
+func ReplayViolation(factory func() *Run, schedule []Decision, maxSteps int) (*Outcome, error) {
+	pol := &FixedPolicy{Schedule: schedule}
+	out, stopped := executeInternal(factory(), pol, maxSteps)
+	if pol.Skipped > 0 {
+		return out, fmt.Errorf("shm: replay diverged: %d of %d scheduled decisions targeted non-enabled processes", pol.Skipped, len(schedule))
+	}
+	if stopped != nil {
+		return out, fmt.Errorf("shm: replay incomplete: schedule exhausted with processes %v still running", stopped)
+	}
+	return out, nil
 }

@@ -36,7 +36,10 @@ func TestExploreFindsLostUpdate(t *testing.T) {
 		t.Fatal("violation schedule empty")
 	}
 	// The violating schedule must replay to the same violation.
-	out := ReplayViolation(factory, res.Schedule, 0)
+	out, err := ReplayViolation(factory, res.Schedule, 0)
+	if err != nil {
+		t.Fatalf("replay failed: %v", err)
+	}
 	for _, o := range out.Outputs {
 		if o == 2 {
 			t.Fatal("replay did not reproduce the violation")

@@ -12,21 +12,29 @@ package shm
 
 // Register is an atomic multi-writer multi-reader read/write register.
 // Its consensus number is 1 (§4.2).
-type Register struct{ v any }
+//
+// Like every object in this file, a register carries a creation-order
+// identity (oid) that the DPOR explorer's dependence relation is keyed
+// on. A register built without its constructor has oid 0, which DPOR
+// soundly treats as conflicting with everything.
+type Register struct {
+	v   any
+	oid uint64
+}
 
 // NewRegister returns a register initialized to init.
-func NewRegister(init any) *Register { return &Register{v: init} }
+func NewRegister(init any) *Register { return &Register{v: init, oid: newObjID()} }
 
 // Read returns the current value.
 func (r *Register) Read(p *Proc) any {
 	var v any
-	p.atomic(func() { v = r.v })
+	p.access(r.oid, false, func() { v = r.v })
 	return v
 }
 
 // Write stores v.
 func (r *Register) Write(p *Proc, v any) {
-	p.atomic(func() { r.v = v })
+	p.access(r.oid, true, func() { r.v = v })
 }
 
 // RegisterArray is a fixed-size array of atomic registers, the usual shape
@@ -36,10 +44,14 @@ func (r *Register) Write(p *Proc, v any) {
 type RegisterArray struct{ regs []Register }
 
 // NewRegisterArray returns an array of m registers all initialized to init.
+// Each element gets its own creation-order identity (a block reserved in
+// one step), so DPOR sees operations on distinct elements as independent.
 func NewRegisterArray(m int, init any) *RegisterArray {
 	a := &RegisterArray{regs: make([]Register, m)}
+	base := newObjIDBlock(m)
 	for i := range a.regs {
 		a.regs[i].v = init
+		a.regs[i].oid = base + uint64(i)
 	}
 	return a
 }
@@ -62,16 +74,19 @@ func (a *RegisterArray) Collect(p *Proc) []any {
 }
 
 // TestAndSet is an atomic test-and-set bit. Consensus number 2 (§4.2).
-type TestAndSet struct{ set bool }
+type TestAndSet struct {
+	set bool
+	oid uint64
+}
 
 // NewTestAndSet returns an unset test-and-set object.
-func NewTestAndSet() *TestAndSet { return &TestAndSet{} }
+func NewTestAndSet() *TestAndSet { return &TestAndSet{oid: newObjID()} }
 
 // TestAndSet atomically sets the bit and returns the previous value; the
 // first caller sees false ("winner"), everyone after sees true.
 func (t *TestAndSet) TestAndSet(p *Proc) bool {
 	var old bool
-	p.atomic(func() {
+	p.access(t.oid, true, func() {
 		old = t.set
 		t.set = true
 	})
@@ -81,20 +96,23 @@ func (t *TestAndSet) TestAndSet(p *Proc) bool {
 // Read returns the current bit without modifying it.
 func (t *TestAndSet) Read(p *Proc) bool {
 	var v bool
-	p.atomic(func() { v = t.set })
+	p.access(t.oid, false, func() { v = t.set })
 	return v
 }
 
 // FetchAndAdd is an atomic counter with fetch&add. Consensus number 2.
-type FetchAndAdd struct{ n int64 }
+type FetchAndAdd struct {
+	n   int64
+	oid uint64
+}
 
 // NewFetchAndAdd returns a counter initialized to init.
-func NewFetchAndAdd(init int64) *FetchAndAdd { return &FetchAndAdd{n: init} }
+func NewFetchAndAdd(init int64) *FetchAndAdd { return &FetchAndAdd{n: init, oid: newObjID()} }
 
 // Add atomically adds delta and returns the previous value.
 func (f *FetchAndAdd) Add(p *Proc, delta int64) int64 {
 	var old int64
-	p.atomic(func() {
+	p.access(f.oid, true, func() {
 		old = f.n
 		f.n += delta
 	})
@@ -104,20 +122,23 @@ func (f *FetchAndAdd) Add(p *Proc, delta int64) int64 {
 // Read returns the current value.
 func (f *FetchAndAdd) Read(p *Proc) int64 {
 	var v int64
-	p.atomic(func() { v = f.n })
+	p.access(f.oid, false, func() { v = f.n })
 	return v
 }
 
 // Swap is an atomic swap register. Consensus number 2.
-type Swap struct{ v any }
+type Swap struct {
+	v   any
+	oid uint64
+}
 
 // NewSwap returns a swap register initialized to init.
-func NewSwap(init any) *Swap { return &Swap{v: init} }
+func NewSwap(init any) *Swap { return &Swap{v: init, oid: newObjID()} }
 
 // Swap atomically stores v and returns the previous value.
 func (s *Swap) Swap(p *Proc, v any) any {
 	var old any
-	p.atomic(func() {
+	p.access(s.oid, true, func() {
 		old = s.v
 		s.v = v
 	})
@@ -126,16 +147,20 @@ func (s *Swap) Swap(p *Proc, v any) any {
 
 // CompareAndSwap is an atomic compare&swap register. Consensus number ∞
 // (§4.2): it solves consensus for any number of processes.
-type CompareAndSwap struct{ v any }
+type CompareAndSwap struct {
+	v   any
+	oid uint64
+}
 
 // NewCompareAndSwap returns a CAS register initialized to init.
-func NewCompareAndSwap(init any) *CompareAndSwap { return &CompareAndSwap{v: init} }
+func NewCompareAndSwap(init any) *CompareAndSwap { return &CompareAndSwap{v: init, oid: newObjID()} }
 
 // CompareAndSwap atomically replaces the value with new iff it equals old,
-// reporting success.
+// reporting success. Classified as a write for DPOR even when it fails —
+// the classification is static, not state-dependent.
 func (c *CompareAndSwap) CompareAndSwap(p *Proc, old, new any) bool {
 	var ok bool
-	p.atomic(func() {
+	p.access(c.oid, true, func() {
 		if c.v == old {
 			c.v = new
 			ok = true
@@ -147,7 +172,7 @@ func (c *CompareAndSwap) CompareAndSwap(p *Proc, old, new any) bool {
 // Read returns the current value.
 func (c *CompareAndSwap) Read(p *Proc) any {
 	var v any
-	p.atomic(func() { v = c.v })
+	p.access(c.oid, false, func() { v = c.v })
 	return v
 }
 
@@ -156,17 +181,21 @@ type LLSC struct {
 	v       any
 	version uint64
 	links   []uint64 // links[pid] = version observed at LL, plus one; 0 = no link
+	oid     uint64
 }
 
 // NewLLSC returns an LL/SC cell initialized to init.
 func NewLLSC(init any) *LLSC {
-	return &LLSC{v: init}
+	return &LLSC{v: init, oid: newObjID()}
 }
 
-// LL load-links the cell for process p and returns the current value.
+// LL load-links the cell for process p and returns the current value. For
+// DPOR it classifies as a read: it writes only p's own link slot, so two
+// LLs by different processes commute, and an LL/SC conflict is caught by
+// the SC's write classification.
 func (l *LLSC) LL(p *Proc) any {
 	var v any
-	p.atomic(func() {
+	p.access(l.oid, false, func() {
 		if p.id >= len(l.links) {
 			grown := make([]uint64, p.id+1)
 			copy(grown, l.links)
@@ -182,7 +211,7 @@ func (l *LLSC) LL(p *Proc) any {
 // occurred since p's last LL.
 func (l *LLSC) SC(p *Proc, v any) bool {
 	var ok bool
-	p.atomic(func() {
+	p.access(l.oid, true, func() {
 		if p.id < len(l.links) && l.links[p.id] == l.version+1 {
 			l.v = v
 			l.version++
@@ -198,16 +227,19 @@ func (l *LLSC) SC(p *Proc, v any) bool {
 // StickyBit is a sticky three-state cell: initially unset (-1); the first
 // Set wins and the value sticks forever. Consensus number ∞ (§4.2) — it is
 // essentially a hard-wired binary consensus object.
-type StickyBit struct{ v int }
+type StickyBit struct {
+	v   int
+	oid uint64
+}
 
 // NewStickyBit returns an unset sticky bit.
-func NewStickyBit() *StickyBit { return &StickyBit{v: -1} }
+func NewStickyBit() *StickyBit { return &StickyBit{v: -1, oid: newObjID()} }
 
 // Set proposes b (0 or 1) and returns the stuck value (b if this was the
 // first Set, the earlier value otherwise).
 func (s *StickyBit) Set(p *Proc, b int) int {
 	var v int
-	p.atomic(func() {
+	p.access(s.oid, true, func() {
 		if s.v == -1 {
 			s.v = b
 		}
@@ -219,30 +251,33 @@ func (s *StickyBit) Set(p *Proc, b int) int {
 // Read returns the current value (-1 if unset).
 func (s *StickyBit) Read(p *Proc) int {
 	var v int
-	p.atomic(func() { v = s.v })
+	p.access(s.oid, false, func() { v = s.v })
 	return v
 }
 
 // Queue is an atomic FIFO queue object (the hardware-queue of Herlihy's
 // hierarchy, consensus number 2 — not a wait-free implemented queue, which
 // is what the universal construction of §4.2 builds from consensus).
-type Queue struct{ items []any }
+type Queue struct {
+	items []any
+	oid   uint64
+}
 
 // NewQueue returns a queue pre-loaded with the given items (front first).
 func NewQueue(items ...any) *Queue {
-	q := &Queue{items: make([]any, len(items))}
+	q := &Queue{items: make([]any, len(items)), oid: newObjID()}
 	copy(q.items, items)
 	return q
 }
 
 // Enq atomically appends v.
 func (q *Queue) Enq(p *Proc, v any) {
-	p.atomic(func() { q.items = append(q.items, v) })
+	p.access(q.oid, true, func() { q.items = append(q.items, v) })
 }
 
 // Deq atomically removes and returns the front item; ok is false on empty.
 func (q *Queue) Deq(p *Proc) (v any, ok bool) {
-	p.atomic(func() {
+	p.access(q.oid, true, func() {
 		if len(q.items) > 0 {
 			v = q.items[0]
 			q.items = q.items[1:]
@@ -255,28 +290,31 @@ func (q *Queue) Deq(p *Proc) (v any, ok bool) {
 // Len returns the current length (one atomic step).
 func (q *Queue) Len(p *Proc) int {
 	var n int
-	p.atomic(func() { n = len(q.items) })
+	p.access(q.oid, false, func() { n = len(q.items) })
 	return n
 }
 
 // Stack is an atomic LIFO stack object, consensus number 2.
-type Stack struct{ items []any }
+type Stack struct {
+	items []any
+	oid   uint64
+}
 
 // NewStack returns a stack pre-loaded with items (bottom first).
 func NewStack(items ...any) *Stack {
-	s := &Stack{items: make([]any, len(items))}
+	s := &Stack{items: make([]any, len(items)), oid: newObjID()}
 	copy(s.items, items)
 	return s
 }
 
 // Push atomically pushes v.
 func (s *Stack) Push(p *Proc, v any) {
-	p.atomic(func() { s.items = append(s.items, v) })
+	p.access(s.oid, true, func() { s.items = append(s.items, v) })
 }
 
 // Pop atomically removes and returns the top item; ok is false on empty.
 func (s *Stack) Pop(p *Proc) (v any, ok bool) {
-	p.atomic(func() {
+	p.access(s.oid, true, func() {
 		if n := len(s.items); n > 0 {
 			v = s.items[n-1]
 			s.items = s.items[:n-1]
